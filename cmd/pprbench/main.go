@@ -1,0 +1,126 @@
+// Command pprbench regenerates every table and figure of the paper's
+// evaluation section against the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	pprbench -exp all -scale 8
+//	pprbench -exp table2 -scale 1 -queries 32 -repeats 3
+//
+// Experiments: table1, table2, accuracy, fig5a, fig5b, table3, fig6, fig7,
+// intro, partquality, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pprengine/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|all)")
+		scale   = flag.Int("scale", 8, "dataset downscale factor (1 = full stand-in size)")
+		queries = flag.Int("queries", 0, "SSPPR queries per machine (0 = default)")
+		repeats = flag.Int("repeats", 0, "measured repetitions (0 = default)")
+		warmup  = flag.Int("warmup", -1, "warm-up runs (-1 = default)")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	p.Scale = *scale
+	if *queries > 0 {
+		p.Queries = *queries
+	}
+	if *repeats > 0 {
+		p.Repeats = *repeats
+	}
+	if *warmup >= 0 {
+		p.Warmup = *warmup
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+	run := func(name string, f func() (experiments.Report, error)) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		r, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprbench: %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(r.String())
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() (experiments.Report, error) {
+		r, _ := experiments.Table1(p)
+		return r, nil
+	})
+	run("table2", func() (experiments.Report, error) {
+		r, _, err := experiments.Table2(p)
+		return r, err
+	})
+	run("accuracy", func() (experiments.Report, error) {
+		r, _, err := experiments.Accuracy(p, 5)
+		return r, err
+	})
+	run("fig5a", func() (experiments.Report, error) {
+		r, _, err := experiments.Fig5a(p)
+		return r, err
+	})
+	run("fig5b", func() (experiments.Report, error) {
+		r, _, err := experiments.Fig5b(p)
+		return r, err
+	})
+	run("table3", func() (experiments.Report, error) {
+		r, _, err := experiments.Table3(p)
+		return r, err
+	})
+	run("fig6", func() (experiments.Report, error) {
+		r, _, err := experiments.Fig6(p)
+		return r, err
+	})
+	run("fig7", func() (experiments.Report, error) {
+		r, _, err := experiments.Fig7(p)
+		return r, err
+	})
+	run("intro", func() (experiments.Report, error) {
+		r, _, err := experiments.Intro(p)
+		return r, err
+	})
+	run("partquality", func() (experiments.Report, error) {
+		r, _, err := experiments.PartQuality(p)
+		return r, err
+	})
+	run("halo", func() (experiments.Report, error) {
+		r, _, err := experiments.Halo(p)
+		return r, err
+	})
+	run("epssweep", func() (experiments.Report, error) {
+		r, _, err := experiments.EpsSweep(p)
+		return r, err
+	})
+	run("netlatency", func() (experiments.Report, error) {
+		r, _, err := experiments.NetLatency(p)
+		return r, err
+	})
+	run("models", func() (experiments.Report, error) {
+		r, _, err := experiments.Models(p)
+		return r, err
+	})
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "pprbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,109 @@
+// Command pprquery runs SSPPR queries as a compute process of a real
+// deployment: it holds one shard locally (the machine it runs on) and
+// reaches every other shard through a pprserve instance.
+//
+//	pprquery -shard shards/shard-0.bin -locator shards/locator.bin \
+//	         -peers "1=127.0.0.1:7001" -source 42 -topk 10
+//
+// -source is a global node ID; it must belong to the local shard (the
+// owner-compute rule: queries run on the machine that owns their source).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pprengine/internal/core"
+	"pprengine/internal/deploy"
+	"pprengine/internal/graph"
+	"pprengine/internal/metrics"
+	"pprengine/internal/rpc"
+)
+
+func main() {
+	var (
+		shardPath  = flag.String("shard", "", "local shard file (compute mode)")
+		locPath    = flag.String("locator", "", "locator file (required)")
+		peersSpec  = flag.String("peers", "", "compute mode: remote shards \"1=host:port,...\"")
+		ownersSpec = flag.String("owners", "", "thin mode: every shard's query service \"0=host:port,1=host:port,...\"; no local shard needed (requires pprserve -peers)")
+		source     = flag.Int("source", 0, "global source node ID")
+		topk       = flag.Int("topk", 10, "print the k best-ranked nodes")
+		alpha      = flag.Float64("alpha", 0.462, "teleport probability")
+		eps        = flag.Float64("eps", 1e-6, "residual threshold")
+	)
+	flag.Parse()
+	if *locPath == "" {
+		fmt.Fprintln(os.Stderr, "pprquery: -locator is required")
+		os.Exit(2)
+	}
+	if *ownersSpec != "" {
+		runThin(*locPath, *ownersSpec, *source, *topk, *alpha, *eps)
+		return
+	}
+	if *shardPath == "" {
+		fmt.Fprintln(os.Stderr, "pprquery: pass -shard (compute mode) or -owners (thin mode)")
+		os.Exit(2)
+	}
+	peers, err := deploy.ParsePeers(*peersSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		os.Exit(2)
+	}
+	st, cleanup, err := deploy.Connect(*shardPath, *locPath, peers, rpc.LatencyModel{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		os.Exit(1)
+	}
+	defer cleanup()
+
+	sh, local := st.Locator.Locate(graph.NodeID(*source))
+	if sh != st.ShardID {
+		fmt.Fprintf(os.Stderr, "pprquery: source %d lives on shard %d, not the local shard %d (owner-compute rule)\n",
+			*source, sh, st.ShardID)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Alpha = *alpha
+	cfg.Eps = *eps
+	bd := metrics.NewBreakdown()
+	top, stats, err := core.RunSSPPRTopK(st, local, *topk, cfg, bd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("SSPPR from %d (alpha=%.3f eps=%.0e): %d iterations, %d pushes, %d touched\n",
+		*source, *alpha, *eps, stats.Iterations, stats.Pushes, stats.TouchedNodes)
+	fmt.Printf("rows: local=%d halo=%d remote=%d; %s\n",
+		stats.LocalRows, stats.HaloRows, stats.RemoteRows, bd)
+	for rank, sn := range top {
+		fmt.Printf("%3d. node %-8d π = %.6g\n",
+			rank+1, st.Locator.Global(sn.Key.Shard, sn.Key.Local), sn.Score)
+	}
+}
+
+// runThin dispatches the query to its owner's query service (owner-compute
+// over RPC) instead of computing locally.
+func runThin(locPath, ownersSpec string, source, topk int, alpha, eps float64) {
+	owners, err := deploy.ParsePeers(ownersSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		os.Exit(2)
+	}
+	qc, cleanup, err := deploy.ConnectThin(locPath, owners, rpc.LatencyModel{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		os.Exit(1)
+	}
+	defer cleanup()
+	resp, err := qc.Query(graph.NodeID(source), topk, alpha, eps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("SSPPR from %d (remote, alpha=%.3f eps=%.0e): %d iterations, %d pushes, %d touched\n",
+		source, alpha, eps, resp.Iterations, resp.Pushes, resp.Touched)
+	for i := range resp.Globals {
+		fmt.Printf("%3d. node %-8d π = %.6g\n", i+1, resp.Globals[i], resp.Scores[i])
+	}
+}

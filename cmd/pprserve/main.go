@@ -1,0 +1,65 @@
+// Command pprserve runs one machine's Graph Storage server: it loads a
+// shard file (from cmd/partition) and its locator, binds a TCP address, and
+// answers neighbor-info / sampling / feature requests until interrupted.
+//
+// A real 4-machine deployment is four of these plus compute processes
+// (cmd/pprquery or an embedding program) connecting with -peers:
+//
+//	pprserve -shard shards/shard-0.bin -locator shards/locator.bin -listen :7000
+//	pprserve -shard shards/shard-1.bin -locator shards/locator.bin -listen :7001
+//	...
+//	pprquery -shard shards/shard-0.bin -locator shards/locator.bin \
+//	         -peers "1=host1:7001,2=host2:7002,3=host3:7003" -source 42 -topk 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pprengine/internal/core"
+	"pprengine/internal/deploy"
+	"pprengine/internal/rpc"
+)
+
+func main() {
+	var (
+		shardPath = flag.String("shard", "", "shard file (required)")
+		locPath   = flag.String("locator", "", "locator file (required)")
+		listen    = flag.String("listen", ":7000", "TCP listen address")
+		peersSpec = flag.String("peers", "", "other shards (\"1=host:port,...\"); enables the SSPPR query service for this shard's vertices")
+	)
+	flag.Parse()
+	if *shardPath == "" || *locPath == "" {
+		fmt.Fprintln(os.Stderr, "pprserve: -shard and -locator are required")
+		os.Exit(2)
+	}
+	srv, addr, err := deploy.Serve(*shardPath, *locPath, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pprserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pprserve: shard %d (%d core nodes) serving on %s\n",
+		srv.Shard.ShardID, srv.Shard.NumCore(), addr)
+	if *peersSpec != "" {
+		peers, err := deploy.ParsePeers(*peersSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprserve:", err)
+			os.Exit(2)
+		}
+		cleanup, err := deploy.EnableQueries(srv, peers, core.DefaultConfig(), rpc.LatencyModel{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprserve:", err)
+			os.Exit(1)
+		}
+		defer cleanup()
+		fmt.Printf("pprserve: query service enabled (peers %s)\n", deploy.FormatPeers(peers))
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pprserve: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,64 @@
+// RPC optimization ladder (paper Table 3): run the same SSPPR workload
+// under Single → +Batch → +Compress → +Overlap and watch each optimization
+// carve time off the local fetch / remote fetch / push breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pprengine/internal/cluster"
+	"pprengine/internal/core"
+	"pprengine/internal/graph"
+	"pprengine/internal/metrics"
+)
+
+func main() {
+	g := graph.MakeUndirected(graph.RMAT(graph.RMATConfig{
+		NumNodes: 8000, NumEdges: 64000,
+		A: 0.45, B: 0.25, C: 0.25, Noise: 0.05, Seed: 5,
+	}))
+	c, err := cluster.New(g, cluster.Options{NumMachines: 2, ProcsPerMachine: 1, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	qs := c.EvenQuerySet(4, 17)
+	ladder := []struct {
+		name    string
+		mode    core.FetchMode
+		overlap bool
+	}{
+		{"Single", core.FetchSingle, false},
+		{"+Batch", core.FetchBatch, false},
+		{"+Compress", core.FetchBatchCompress, false},
+		{"+Overlap", core.FetchBatchCompress, true},
+	}
+	fmt.Printf("%-10s %12s %12s %10s %10s %9s\n",
+		"Variant", "LocalFetch", "RemoteFetch", "Push", "Total", "Speedup")
+	var baseline float64
+	for _, rung := range ladder {
+		cfg := core.DefaultConfig()
+		cfg.Mode = rung.mode
+		cfg.Overlap = rung.overlap
+		// Warm once, then measure.
+		if _, err := c.RunSSPPRBatch(qs, cfg, cluster.EngineMap); err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := res.Wall.Seconds()
+		if rung.name == "Single" {
+			baseline = total
+		}
+		fmt.Printf("%-10s %11.3fs %11.3fs %9.3fs %9.3fs %8.1fx\n",
+			rung.name,
+			res.Breakdown.Get(metrics.PhaseLocalFetch).Seconds(),
+			res.Breakdown.Get(metrics.PhaseRemoteFetch).Seconds(),
+			res.Breakdown.Get(metrics.PhasePush).Seconds(),
+			total, baseline/total)
+	}
+}

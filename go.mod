@@ -1,0 +1,3 @@
+module pprengine
+
+go 1.22

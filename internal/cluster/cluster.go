@@ -1,0 +1,354 @@
+// Package cluster simulates the paper's experimental setup (§4.1): a
+// K-machine deployment built on one host, where each simulated machine owns
+// one graph shard served by a Graph Storage server, and runs P compute
+// processes that access the local shard through shared memory and remote
+// shards through RPC. The paper spawns K×(P+1) OS processes; here machines
+// are goroutine groups and the storage servers listen on loopback TCP.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pprengine/internal/core"
+	"pprengine/internal/graph"
+	"pprengine/internal/metrics"
+	"pprengine/internal/partition"
+	"pprengine/internal/rpc"
+	"pprengine/internal/shard"
+)
+
+// PartitionKind selects the partitioning algorithm used at preprocessing.
+type PartitionKind int
+
+const (
+	// PartitionMinCut is the METIS-style multilevel min-cut partitioner
+	// (the paper's choice).
+	PartitionMinCut PartitionKind = iota
+	// PartitionHash assigns node v to shard v % K (locality-free baseline).
+	PartitionHash
+	// PartitionLDG is the streaming linear-deterministic-greedy baseline.
+	PartitionLDG
+)
+
+// Options configures cluster construction.
+type Options struct {
+	NumMachines     int
+	ProcsPerMachine int
+	Partitioner     PartitionKind
+	// Latency optionally models a network link on remote calls.
+	Latency rpc.LatencyModel
+	// CacheHaloRows enables the higher-hop halo cache (paper §3.2.1):
+	// each shard also stores the neighbor rows of its 1-hop halo nodes,
+	// trading memory for less RPC traffic.
+	CacheHaloRows bool
+	Seed          int64
+}
+
+// Cluster is a running simulated deployment.
+type Cluster struct {
+	Opts     Options
+	Shards   []*shard.Shard
+	Locator  *shard.Locator
+	Servers  []*core.StorageServer
+	Addrs    []string
+	Quality  partition.Quality
+	Storages [][]*core.DistGraphStorage // [machine][proc]
+
+	clients []*rpc.Client // all clients, for Close
+	mu      sync.Mutex
+}
+
+// New partitions g, builds shards, starts one storage server per machine,
+// and connects ProcsPerMachine compute handles on every machine.
+func New(g *graph.Graph, opts Options) (*Cluster, error) {
+	if opts.NumMachines <= 0 {
+		return nil, fmt.Errorf("cluster: NumMachines must be positive")
+	}
+	if opts.ProcsPerMachine <= 0 {
+		opts.ProcsPerMachine = 1
+	}
+	var assign partition.Assignment
+	var err error
+	switch opts.Partitioner {
+	case PartitionHash:
+		assign = partition.HashPartition(g.NumNodes, opts.NumMachines)
+	case PartitionLDG:
+		assign = partition.LDGPartition(g, opts.NumMachines, 0.05)
+	default:
+		assign, err = partition.Partition(g, opts.NumMachines, partition.Options{Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+	}
+	shards, loc, err := shard.BuildWithOptions(g, assign, opts.NumMachines,
+		shard.BuildOptions{CacheHaloRows: opts.CacheHaloRows})
+	if err != nil {
+		return nil, err
+	}
+	return NewFromShards(shards, loc, opts, partition.Evaluate(g, assign))
+}
+
+// NewFromShards assembles a cluster from prebuilt shards (callers that cache
+// partition assignments use this to skip repartitioning).
+func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, quality partition.Quality) (*Cluster, error) {
+	if opts.NumMachines != len(shards) {
+		return nil, fmt.Errorf("cluster: %d machines but %d shards", opts.NumMachines, len(shards))
+	}
+	if opts.ProcsPerMachine <= 0 {
+		opts.ProcsPerMachine = 1
+	}
+	c := &Cluster{
+		Opts:    opts,
+		Shards:  shards,
+		Locator: loc,
+		Quality: quality,
+	}
+	// Start storage servers.
+	for m := 0; m < opts.NumMachines; m++ {
+		srv := core.NewStorageServer(shards[m], loc)
+		addr, err := srv.Start()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Servers = append(c.Servers, srv)
+		c.Addrs = append(c.Addrs, addr)
+	}
+	// Connect compute processes: every process owns clients to all remote
+	// machines (the paper registers each process in the RPC group).
+	c.Storages = make([][]*core.DistGraphStorage, opts.NumMachines)
+	for m := 0; m < opts.NumMachines; m++ {
+		c.Storages[m] = make([]*core.DistGraphStorage, opts.ProcsPerMachine)
+		for p := 0; p < opts.ProcsPerMachine; p++ {
+			clients := make([]*rpc.Client, opts.NumMachines)
+			for j := 0; j < opts.NumMachines; j++ {
+				if j == m {
+					continue
+				}
+				cl, err := rpc.Dial(c.Addrs[j], opts.Latency)
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+				clients[j] = cl
+				c.clients = append(c.clients, cl)
+			}
+			c.Storages[m][p] = core.NewDistGraphStorage(int32(m), shards[m], loc, clients)
+		}
+	}
+	return c, nil
+}
+
+// Close shuts down all clients and servers.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	c.clients = nil
+	for _, s := range c.Servers {
+		s.Close()
+	}
+	c.Servers = nil
+}
+
+// EvenQuerySet draws per-machine query sources uniformly from each
+// machine's core nodes — the paper's "root nodes of a batch are evenly
+// distributed across all machines". It returns, per machine, a slice of
+// local vertex IDs of length queriesPerMachine.
+func (c *Cluster) EvenQuerySet(queriesPerMachine int, seed int64) [][]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int32, c.Opts.NumMachines)
+	for m := range out {
+		n := c.Shards[m].NumCore()
+		if n == 0 {
+			out[m] = nil // a starved shard gets no queries
+			continue
+		}
+		qs := make([]int32, queriesPerMachine)
+		for i := range qs {
+			qs[i] = int32(rng.Intn(n))
+		}
+		out[m] = qs
+	}
+	return out
+}
+
+// EngineKind selects which SSPPR implementation a run uses.
+type EngineKind int
+
+const (
+	// EngineMap is the paper's PPR Engine (hashmap-based operators).
+	EngineMap EngineKind = iota
+	// EngineTensor is the tensor-based baseline.
+	EngineTensor
+)
+
+// String names the engine for report rows.
+func (k EngineKind) String() string {
+	if k == EngineTensor {
+		return "PyTorch Tensor"
+	}
+	return "PPR Engine"
+}
+
+// RunResult aggregates one batch run over the whole cluster.
+type RunResult struct {
+	Queries    int
+	Wall       time.Duration
+	Throughput float64 // queries per second across all machines
+	Breakdown  *metrics.Breakdown
+	Pushes     int64
+	LocalRows  int64
+	RemoteRows int64
+	HaloRows   int64 // remote rows served by the halo cache
+}
+
+// RemoteFraction returns the fraction of fetched rows served over RPC.
+func (r RunResult) RemoteFraction() float64 {
+	total := r.LocalRows + r.RemoteRows
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RemoteRows) / float64(total)
+}
+
+// RunSSPPRBatch processes queriesByMachine (local source IDs per machine):
+// machine m's queries are split round-robin over its P compute processes,
+// each process runs its share sequentially, and the wall clock covers the
+// slowest process (synchronization included, per §2.1.2). The per-process
+// breakdowns are merged into the result.
+func (c *Cluster) RunSSPPRBatch(queriesByMachine [][]int32, cfg core.Config, kind EngineKind) (RunResult, error) {
+	procs := c.Opts.ProcsPerMachine
+	var res RunResult
+	breakdowns := make([][]*metrics.Breakdown, c.Opts.NumMachines)
+	type acc struct {
+		pushes, localRows, remoteRows, haloRows int64
+	}
+	accs := make([][]acc, c.Opts.NumMachines)
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for m := 0; m < c.Opts.NumMachines; m++ {
+		breakdowns[m] = make([]*metrics.Breakdown, procs)
+		accs[m] = make([]acc, procs)
+		for p := 0; p < procs; p++ {
+			breakdowns[m][p] = metrics.NewBreakdown()
+			// Round-robin assignment of the machine's queries to procs.
+			var mine []int32
+			for i := p; i < len(queriesByMachine[m]); i += procs {
+				mine = append(mine, queriesByMachine[m][i])
+			}
+			res.Queries += len(mine)
+			wg.Add(1)
+			go func(m, p int, mine []int32) {
+				defer wg.Done()
+				st := c.Storages[m][p]
+				bd := breakdowns[m][p]
+				for _, src := range mine {
+					var err error
+					var stats core.QueryStats
+					switch kind {
+					case EngineTensor:
+						_, stats, err = core.RunTensorSSPPR(st, src, cfg, bd)
+					default:
+						_, stats, err = core.RunSSPPR(st, src, cfg, bd)
+					}
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					accs[m][p].pushes += stats.Pushes
+					accs[m][p].localRows += stats.LocalRows
+					accs[m][p].remoteRows += stats.RemoteRows
+					accs[m][p].haloRows += stats.HaloRows
+				}
+			}(m, p, mine)
+		}
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	if firstErr != nil {
+		return res, firstErr
+	}
+	res.Breakdown = metrics.NewBreakdown()
+	for m := range breakdowns {
+		for p := range breakdowns[m] {
+			res.Breakdown.Merge(breakdowns[m][p])
+			res.Pushes += accs[m][p].pushes
+			res.LocalRows += accs[m][p].localRows
+			res.RemoteRows += accs[m][p].remoteRows
+			res.HaloRows += accs[m][p].haloRows
+		}
+	}
+	res.Throughput = metrics.Throughput(res.Queries, res.Wall)
+	return res, nil
+}
+
+// RunRandomWalkBatch starts walksPerMachine walks on every machine (roots
+// drawn from its core nodes) and runs them through the distributed
+// random-walk primitive, one batch per compute process.
+func (c *Cluster) RunRandomWalkBatch(walksPerMachine, walkLen int, seed int64) (RunResult, [][][]int32, error) {
+	procs := c.Opts.ProcsPerMachine
+	roots := c.EvenQuerySet(walksPerMachine, seed)
+	var res RunResult
+	summaries := make([][][]int32, c.Opts.NumMachines)
+	breakdowns := make([]*metrics.Breakdown, c.Opts.NumMachines*procs)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	start := time.Now()
+	for m := 0; m < c.Opts.NumMachines; m++ {
+		summaries[m] = make([][]int32, walksPerMachine)
+		res.Queries += walksPerMachine
+		for p := 0; p < procs; p++ {
+			bd := metrics.NewBreakdown()
+			breakdowns[m*procs+p] = bd
+			var mine []int32
+			var idxs []int
+			for i := p; i < len(roots[m]); i += procs {
+				mine = append(mine, roots[m][i])
+				idxs = append(idxs, i)
+			}
+			wg.Add(1)
+			go func(m, p int, mine []int32, idxs []int) {
+				defer wg.Done()
+				if len(mine) == 0 {
+					return
+				}
+				sum, err := core.RunRandomWalk(c.Storages[m][p], mine, walkLen, seed+int64(m*1000+p), bd)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				for k, i := range idxs {
+					summaries[m][i] = sum[k]
+				}
+			}(m, p, mine, idxs)
+		}
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	if firstErr != nil {
+		return res, nil, firstErr
+	}
+	res.Breakdown = metrics.NewBreakdown()
+	for _, bd := range breakdowns {
+		res.Breakdown.Merge(bd)
+	}
+	res.Throughput = metrics.Throughput(res.Queries, res.Wall)
+	return res, summaries, nil
+}

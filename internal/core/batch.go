@@ -1,0 +1,93 @@
+package core
+
+import (
+	"pprengine/internal/shard"
+	"pprengine/internal/wire"
+)
+
+// NeighborBatch is the uniform view the push operator consumes, regardless
+// of whether the rows came from the local shard (zero-copy VertexProp
+// views) or from a decoded remote response.
+type NeighborBatch interface {
+	// NumRows returns the number of source vertices in the batch.
+	NumRows() int
+	// Row returns the i-th source vertex's neighbor tuples plus its own
+	// weighted degree. Returned slices must be treated as read-only.
+	Row(i int) (locals, shards []int32, weights, wdegs []float32, rowWDeg float32)
+}
+
+// localBatch wraps VertexProp views of the local shard — the shared-memory
+// fast path (no serialization, no copies).
+type localBatch struct {
+	vps []shard.VertexProp
+}
+
+func (b *localBatch) NumRows() int { return len(b.vps) }
+
+func (b *localBatch) Row(i int) (locals, shards []int32, weights, wdegs []float32, rowWDeg float32) {
+	vp := b.vps[i]
+	return vp.Locals, vp.Shards, vp.Weights, vp.WDegs, vp.WDeg
+}
+
+// LocalBatch builds the zero-copy batch for a list of core vertices of s.
+// IDs must already be validated.
+func LocalBatch(s *shard.Shard, locals []int32) NeighborBatch {
+	vps := make([]shard.VertexProp, len(locals))
+	for i, l := range locals {
+		vps[i] = s.VertexProp(l)
+	}
+	return &localBatch{vps: vps}
+}
+
+// VPBatch wraps pre-fetched VertexProp views (e.g. halo-cache hits).
+func VPBatch(vps []shard.VertexProp) NeighborBatch {
+	return &localBatch{vps: vps}
+}
+
+// infosBatch adapts a decoded wire.NeighborInfos to the NeighborBatch view.
+type infosBatch struct {
+	n *wire.NeighborInfos
+}
+
+func (b *infosBatch) NumRows() int { return b.n.NumRows() }
+
+func (b *infosBatch) Row(i int) (locals, shards []int32, weights, wdegs []float32, rowWDeg float32) {
+	l, s, w, d := b.n.Row(i)
+	return l, s, w, d, b.n.RowWDeg[i]
+}
+
+// InfosBatch wraps a decoded remote response.
+func InfosBatch(n *wire.NeighborInfos) NeighborBatch { return &infosBatch{n: n} }
+
+// BuildInfos assembles the wire response for a batch of core vertices of s —
+// the server-side "compress into CSR" step.
+func BuildInfos(s *shard.Shard, locals []int32) (*wire.NeighborInfos, error) {
+	n := &wire.NeighborInfos{
+		Indptr:  make([]int32, 1, len(locals)+1),
+		RowWDeg: make([]float32, 0, len(locals)),
+	}
+	total := 0
+	for _, l := range locals {
+		if err := s.CheckLocal(l); err != nil {
+			return nil, err
+		}
+		total += int(s.Indptr[l+1] - s.Indptr[l])
+	}
+	n.Locals = make([]int32, 0, total)
+	n.Shards = make([]int32, 0, total)
+	n.Weights = make([]float32, 0, total)
+	n.WDegs = make([]float32, 0, total)
+	for _, l := range locals {
+		lo, hi := s.Indptr[l], s.Indptr[l+1]
+		n.Locals = append(n.Locals, s.NbrLocal[lo:hi]...)
+		n.Shards = append(n.Shards, s.NbrShard[lo:hi]...)
+		n.Weights = append(n.Weights, s.NbrWeight[lo:hi]...)
+		n.WDegs = append(n.WDegs, s.NbrWDeg[lo:hi]...)
+		n.Indptr = append(n.Indptr, int32(len(n.Locals)))
+		n.RowWDeg = append(n.RowWDeg, s.CoreWDeg[l])
+	}
+	if len(locals) == 0 {
+		n.Indptr = []int32{}
+	}
+	return n, nil
+}

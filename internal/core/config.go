@@ -1,0 +1,127 @@
+// Package core implements the paper's primary contribution: the distributed
+// graph engine. It contains
+//
+//   - the Graph Storage server (the per-machine RPC endpoint over a shard),
+//   - DistGraphStorage, the per-compute-process handle that unifies local
+//     shared-memory access with remote RPC access behind one API
+//     (get_neighbor_infos / sample_one_neighbor, Figure 4),
+//   - the SSPPR state object with its pop/push operators over the parallel
+//     map (§3.3),
+//   - the distributed SSPPR driver implementing the batched, compressed,
+//     overlapped iteration loop (§3.2.3),
+//   - the tensor-based distributed Forward Push baseline ("PyTorch Tensor"),
+//   - the distributed Random Walk primitive.
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// FetchMode selects the RPC request strategy — the axis of the Table 3
+// ablation.
+type FetchMode int
+
+const (
+	// FetchSingle issues one request per activated vertex (the "Single"
+	// baseline; no batching).
+	FetchSingle FetchMode = iota
+	// FetchBatch batches per destination shard but ships responses in the
+	// uncompressed list-of-lists format ("+Batch").
+	FetchBatch
+	// FetchBatchCompress batches and compresses responses into CSR form
+	// ("+Compress"). This is the engine default.
+	FetchBatchCompress
+)
+
+// String returns the ablation row label for the mode.
+func (m FetchMode) String() string {
+	switch m {
+	case FetchSingle:
+		return "Single"
+	case FetchBatch:
+		return "+Batch"
+	case FetchBatchCompress:
+		return "+Compress"
+	default:
+		return "FetchMode(?)"
+	}
+}
+
+// Config controls one SSPPR computation.
+type Config struct {
+	// Alpha is the teleport probability (paper default 0.462).
+	Alpha float64
+	// Eps is the residual threshold (paper default 1e-6).
+	Eps float64
+	// Mode is the RPC fetch strategy.
+	Mode FetchMode
+	// Overlap overlaps local fetch+push with in-flight remote fetches
+	// ("+Overlap").
+	Overlap bool
+	// PushWorkers is the thread count for the multi-threaded push.
+	// <= 0 means GOMAXPROCS.
+	PushWorkers int
+	// PushThreshold is the batch size above which push goes multi-threaded
+	// (paper §3.3's "simple strategy"). <= 0 means 64.
+	PushThreshold int
+	// LockedPush switches the push operator from the owner-compute
+	// (lock-eliminated) scheme to plain per-submap locking; an extra
+	// ablation axis.
+	LockedPush bool
+	// TensorDispatch simulates the per-operator dispatch latency of a
+	// Python tensor library, charged by the tensor-based baselines for
+	// every small tensor operation they issue (masking, gather, scatter,
+	// ... — roughly 6 ops per pushed row). Real PyTorch CPU dispatch costs
+	// ~2-10µs per op; compiled Go has none, so without this term the
+	// baseline would be unrealistically fast relative to the system the
+	// paper measured. Zero disables the model. Ignored by the engine.
+	TensorDispatch time.Duration
+}
+
+// DefaultConfig returns the paper's default configuration.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:         0.462,
+		Eps:           1e-6,
+		Mode:          FetchBatchCompress,
+		Overlap:       true,
+		PushWorkers:   runtime.GOMAXPROCS(0),
+		PushThreshold: 64,
+	}
+}
+
+func (c *Config) pushWorkers() int {
+	if c.PushWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.PushWorkers
+}
+
+func (c *Config) pushThreshold() int {
+	if c.PushThreshold <= 0 {
+		return 64
+	}
+	return c.PushThreshold
+}
+
+// TensorBaselineConfig is DefaultConfig plus the tensor-library dispatch
+// model at a PyTorch-CPU-calibrated 5µs per small operation. Experiments use
+// it for the "PyTorch Tensor" competitor.
+func TensorBaselineConfig() Config {
+	c := DefaultConfig()
+	c.TensorDispatch = 5 * time.Microsecond
+	return c
+}
+
+// dispatch burns CPU for n simulated tensor-op dispatches. A busy spin, not
+// a sleep: the interpreter overhead being modeled is real CPU work that
+// contends with everything else on the machine.
+func (c *Config) dispatch(n int) {
+	if c.TensorDispatch <= 0 || n <= 0 {
+		return
+	}
+	deadline := time.Now().Add(time.Duration(n) * c.TensorDispatch)
+	for time.Now().Before(deadline) {
+	}
+}

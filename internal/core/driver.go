@@ -1,0 +1,171 @@
+package core
+
+import (
+	"pprengine/internal/metrics"
+	"pprengine/internal/pmap"
+	"pprengine/internal/shard"
+)
+
+// QueryStats describes one completed SSPPR query.
+type QueryStats struct {
+	Iterations   int
+	Pushes       int64
+	LocalRows    int64 // vertices fetched from the local shard
+	RemoteRows   int64 // vertices fetched over RPC
+	HaloRows     int64 // remote vertices served by the local halo row cache
+	TouchedNodes int
+}
+
+// RunSSPPR executes one distributed SSPPR query for the source vertex
+// (sourceLocal, g.ShardID), following the iteration loop of Figure 4:
+//
+//	pop activated vertices → mask by destination shard → issue remote
+//	fetches → fetch + push local → wait + push remote.
+//
+// With cfg.Overlap the local fetch and push run while remote responses are
+// in flight; without it all fetches complete before any push. bd, when
+// non-nil, accumulates the per-phase timing breakdown.
+func RunSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (*SSPPR, QueryStats, error) {
+	m := NewSSPPR(sourceLocal, g.ShardID, cfg)
+	var stats QueryStats
+	// Reusable per-shard grouping buffers.
+	byShard := make([][]int32, g.NumShards)
+	for {
+		stopPop := bd.Start(metrics.PhasePop)
+		locals, shards := m.Pop()
+		stopPop()
+		if len(locals) == 0 {
+			break
+		}
+		// Mask construction: group the activated vertices by destination
+		// shard (the tensor-mask step of Figure 4). When the shard caches
+		// halo rows (§3.2.1's higher-hop configuration), remote vertices
+		// with a cached row are diverted to a shared-memory halo batch.
+		for i := range byShard {
+			byShard[i] = byShard[i][:0]
+		}
+		self := g.ShardID
+		var haloVPs []shard.VertexProp
+		var haloLocals, haloShards []int32
+		useHalo := g.Local.HasHaloRows()
+		for i, l := range locals {
+			sh := shards[i]
+			if useHalo && sh != self {
+				if vp, ok := g.Local.HaloRow(sh, l); ok {
+					haloVPs = append(haloVPs, vp)
+					haloLocals = append(haloLocals, l)
+					haloShards = append(haloShards, sh)
+					continue
+				}
+			}
+			byShard[sh] = append(byShard[sh], l)
+		}
+
+		// Issue remote fetches first so they progress in the background.
+		type pending struct {
+			shard int32
+			fut   *InfoFuture
+		}
+		var remotes []pending
+		stopIssue := bd.Start(metrics.PhaseRemoteFetch)
+		for j := int32(0); j < g.NumShards; j++ {
+			if j == self || len(byShard[j]) == 0 {
+				continue
+			}
+			remotes = append(remotes, pending{j, g.GetNeighborInfos(j, byShard[j], cfg.Mode)})
+			stats.RemoteRows += int64(len(byShard[j]))
+		}
+		stopIssue()
+
+		pushLocal := func() error {
+			if len(haloVPs) > 0 {
+				// Halo-cached rows: shared-memory fetch, like local rows.
+				stats.HaloRows += int64(len(haloVPs))
+				var hb NeighborBatch
+				bd.Time(metrics.PhaseLocalFetch, func() { hb = VPBatch(haloVPs) })
+				bd.Time(metrics.PhasePush, func() { m.Push(hb, haloLocals, haloShards) })
+			}
+			if len(byShard[self]) == 0 {
+				return nil
+			}
+			var batch NeighborBatch
+			var err error
+			bd.Time(metrics.PhaseLocalFetch, func() {
+				batch, err = g.GetNeighborInfos(self, byShard[self], cfg.Mode).Wait()
+			})
+			if err != nil {
+				return err
+			}
+			stats.LocalRows += int64(len(byShard[self]))
+			bd.Time(metrics.PhasePush, func() {
+				m.Push(batch, byShard[self], sameShard(len(byShard[self]), self))
+			})
+			return nil
+		}
+
+		if cfg.Overlap {
+			// Local work proceeds while remote responses are in flight.
+			if err := pushLocal(); err != nil {
+				return nil, stats, err
+			}
+			for _, p := range remotes {
+				var batch NeighborBatch
+				var err error
+				bd.Time(metrics.PhaseRemoteFetch, func() {
+					batch, err = p.fut.Wait()
+				})
+				if err != nil {
+					return nil, stats, err
+				}
+				bd.Time(metrics.PhasePush, func() {
+					m.Push(batch, byShard[p.shard], sameShard(len(byShard[p.shard]), p.shard))
+				})
+			}
+		} else {
+			// Synchronous variant: complete every fetch before pushing.
+			batches := make([]NeighborBatch, len(remotes))
+			for i, p := range remotes {
+				var err error
+				bd.Time(metrics.PhaseRemoteFetch, func() {
+					batches[i], err = p.fut.Wait()
+				})
+				if err != nil {
+					return nil, stats, err
+				}
+			}
+			if err := pushLocal(); err != nil {
+				return nil, stats, err
+			}
+			for i, p := range remotes {
+				bd.Time(metrics.PhasePush, func() {
+					m.Push(batches[i], byShard[p.shard], sameShard(len(byShard[p.shard]), p.shard))
+				})
+			}
+		}
+	}
+	stats.Iterations = m.Iterations
+	stats.Pushes = m.Pushes
+	stats.TouchedNodes = m.p.Len()
+	return m, stats, nil
+}
+
+// sameShard returns a slice of n copies of shard (the shard-ID tensor for a
+// single-destination batch).
+func sameShard(n int, shard int32) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = shard
+	}
+	return s
+}
+
+// ScoresGlobal converts a query's sparse result to global node IDs using
+// the storage's locator.
+func ScoresGlobal(g *DistGraphStorage, m *SSPPR) map[int32]float64 {
+	out := make(map[int32]float64, m.p.Len())
+	m.p.Range(func(k pmap.Key, v float64) bool {
+		out[int32(g.Locator.Global(k.Shard, k.Local))] = v
+		return true
+	})
+	return out
+}

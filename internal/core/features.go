@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"pprengine/internal/rpc"
+	"pprengine/internal/wire"
+)
+
+// Feature access for the GNN case study (§4.5): every shard's storage
+// server can host a row-major feature block for its core vertices; compute
+// processes slice features for mini-batch subgraphs through the same
+// local/remote split as neighbor fetches ("slices corresponding features
+// from a cross-machine feature store").
+
+// AttachFeatures registers the feature block on the server side.
+func (ss *StorageServer) AttachFeatures(dim int, feats []float32) error {
+	if len(feats) != ss.Shard.NumCore()*dim {
+		return fmt.Errorf("core: feature block has %d floats, want %d", len(feats), ss.Shard.NumCore()*dim)
+	}
+	ss.Features = feats
+	ss.FeatureDim = dim
+	return nil
+}
+
+// AttachLocalFeatures gives a compute process shared-memory access to its
+// machine's feature block.
+func (g *DistGraphStorage) AttachLocalFeatures(dim int, feats []float32) {
+	g.LocalFeatures = feats
+	g.FeatureDim = dim
+}
+
+// FeatureFuture resolves to a row-major [len(ids) x dim] feature block.
+type FeatureFuture struct {
+	feats []float32
+	dim   int
+	err   error
+	fut   *rpc.Future
+}
+
+// Wait blocks for the block.
+func (f *FeatureFuture) Wait() ([]float32, int, error) {
+	if f.feats != nil || f.err != nil {
+		return f.feats, f.dim, f.err
+	}
+	payload, err := f.fut.Wait()
+	if err != nil {
+		f.err = err
+		return nil, 0, err
+	}
+	f.dim, f.feats, f.err = decodeFeatures(payload)
+	return f.feats, f.dim, f.err
+}
+
+func decodeFeatures(payload []byte) (int, []float32, error) {
+	dim, feats, err := wire.DecodeFeatureResponse(payload)
+	return dim, feats, err
+}
+
+// FetchFeatures gathers feature rows for core vertices of dstShard.
+func (g *DistGraphStorage) FetchFeatures(dstShard int32, locals []int32) *FeatureFuture {
+	if dstShard == g.ShardID {
+		if g.LocalFeatures == nil {
+			return &FeatureFuture{err: fmt.Errorf("core: no local feature store on shard %d", g.ShardID)}
+		}
+		d := g.FeatureDim
+		out := make([]float32, 0, len(locals)*d)
+		for _, l := range locals {
+			if err := g.Local.CheckLocal(l); err != nil {
+				return &FeatureFuture{err: err}
+			}
+			out = append(out, g.LocalFeatures[int(l)*d:(int(l)+1)*d]...)
+		}
+		return &FeatureFuture{feats: out, dim: d}
+	}
+	c := g.Clients[dstShard]
+	if c == nil {
+		return &FeatureFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
+	}
+	return &FeatureFuture{fut: c.Call(rpc.MethodFetchFeatures, wire.EncodeIDList(locals))}
+}

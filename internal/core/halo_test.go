@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pprengine/internal/partition"
+	"pprengine/internal/rpc"
+	"pprengine/internal/shard"
+)
+
+func TestHaloCacheReducesRemoteRows(t *testing.T) {
+	g := testGraph(21, 400, 2400)
+	assign, err := partition.Partition(g, 3, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(halo bool) ([]*DistGraphStorage, func()) {
+		shards, loc, err := shard.BuildWithOptions(g, assign, 3, shard.BuildOptions{CacheHaloRows: halo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers := make([]*StorageServer, 3)
+		addrs := make([]string, 3)
+		for i := range servers {
+			servers[i] = NewStorageServer(shards[i], loc)
+			addrs[i], err = servers[i].Start()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var all []*rpc.Client
+		storages := make([]*DistGraphStorage, 3)
+		for i := range storages {
+			clients := make([]*rpc.Client, 3)
+			for j := range clients {
+				if j == i {
+					continue
+				}
+				c, err := rpc.Dial(addrs[j], rpc.LatencyModel{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				clients[j] = c
+				all = append(all, c)
+			}
+			storages[i] = NewDistGraphStorage(int32(i), shards[i], loc, clients)
+		}
+		return storages, func() {
+			for _, c := range all {
+				c.Close()
+			}
+			for _, s := range servers {
+				s.Close()
+			}
+		}
+	}
+
+	plain, cleanup1 := build(false)
+	defer cleanup1()
+	halo, cleanup2 := build(true)
+	defer cleanup2()
+
+	cfg := DefaultConfig()
+	mPlain, sPlain, err := RunSSPPR(plain[0], 2, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHalo, sHalo, err := RunSSPPR(halo[0], 2, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sHalo.HaloRows == 0 {
+		t.Fatal("halo cache unused")
+	}
+	if sPlain.HaloRows != 0 {
+		t.Fatal("plain run reported halo rows")
+	}
+	if sHalo.RemoteRows >= sPlain.RemoteRows {
+		t.Fatalf("halo cache did not cut remote rows: %d vs %d", sHalo.RemoteRows, sPlain.RemoteRows)
+	}
+	// A 1-hop halo cache serves every remote expansion of a core node's
+	// direct neighbors; only deeper frontier vertices still go remote.
+	t.Logf("remote rows: plain=%d halo=%d (halo served %d)", sPlain.RemoteRows, sHalo.RemoteRows, sHalo.HaloRows)
+
+	// Results agree within eps-approximation noise.
+	a := ScoresGlobal(plain[0], mPlain)
+	b := ScoresGlobal(halo[0], mHalo)
+	for v, av := range a {
+		if math.Abs(b[v]-av) > 5e-4 {
+			t.Fatalf("node %d: %v vs %v", v, av, b[v])
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/metrics"
+	"pprengine/internal/pmap"
+	"pprengine/internal/rpc"
+	"pprengine/internal/shard"
+	"pprengine/internal/wire"
+)
+
+// K-hop fanout sampling — the BFS-style mini-batch construction primitive
+// (GraphSAGE) the paper's introduction lists alongside Random Walk and
+// Personalized PageRank. Sampling happens server-side (one batched RPC per
+// destination shard per hop), so responses carry only the sampled neighbor
+// IDs instead of whole adjacency lists.
+
+// SampleNeighborsLocal samples up to fanout distinct weighted out-neighbors
+// for each listed core vertex of s.
+func SampleNeighborsLocal(s *shard.Shard, loc *shard.Locator, locals []int32, fanout int32, seed int64) (*wire.SampleNResponse, error) {
+	if fanout <= 0 {
+		return nil, fmt.Errorf("core: fanout must be positive, got %d", fanout)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	resp := &wire.SampleNResponse{Indptr: make([]int32, 1, len(locals)+1)}
+	for _, l := range locals {
+		if err := s.CheckLocal(l); err != nil {
+			return nil, err
+		}
+		vp := s.VertexProp(l)
+		deg := vp.Degree()
+		pick := func(j int) {
+			resp.Locals = append(resp.Locals, vp.Locals[j])
+			resp.Shards = append(resp.Shards, vp.Shards[j])
+			resp.Globals = append(resp.Globals, int32(loc.Global(vp.Shards[j], vp.Locals[j])))
+		}
+		switch {
+		case deg == 0:
+			// No neighbors: empty row.
+		case deg <= int(fanout):
+			for j := 0; j < deg; j++ {
+				pick(j)
+			}
+		default:
+			// Weighted sampling without replacement via sequential
+			// selection (A-Res would be overkill at GNN fanouts).
+			chosen := make(map[int]bool, fanout)
+			remaining := float64(vp.WDeg)
+			for picked := int32(0); picked < fanout; picked++ {
+				target := rng.Float64() * remaining
+				acc := 0.0
+				sel := -1
+				for j := 0; j < deg; j++ {
+					if chosen[j] {
+						continue
+					}
+					acc += float64(vp.Weights[j])
+					if acc >= target {
+						sel = j
+						break
+					}
+				}
+				if sel == -1 { // numeric fallback: take the last unchosen
+					for j := deg - 1; j >= 0; j-- {
+						if !chosen[j] {
+							sel = j
+							break
+						}
+					}
+				}
+				chosen[sel] = true
+				remaining -= float64(vp.Weights[sel])
+				pick(sel)
+			}
+		}
+		resp.Indptr = append(resp.Indptr, int32(len(resp.Locals)))
+	}
+	if len(locals) == 0 {
+		resp.Indptr = []int32{}
+	}
+	return resp, nil
+}
+
+// SampleNFuture is the future for a SampleNeighbors call.
+type SampleNFuture struct {
+	resp *wire.SampleNResponse
+	err  error
+	fut  *rpc.Future
+}
+
+// Wait blocks for the sampled rows.
+func (f *SampleNFuture) Wait() (*wire.SampleNResponse, error) {
+	if f.resp != nil || f.err != nil {
+		return f.resp, f.err
+	}
+	payload, err := f.fut.Wait()
+	if err != nil {
+		f.err = err
+		return nil, err
+	}
+	f.resp, f.err = wire.DecodeSampleNResponse(payload)
+	return f.resp, f.err
+}
+
+// SampleNeighbors samples up to fanout neighbors for each core vertex of
+// dstShard, locally via shared memory or remotely via one batched RPC.
+func (g *DistGraphStorage) SampleNeighbors(dstShard int32, locals []int32, fanout int32, seed int64) *SampleNFuture {
+	if dstShard == g.ShardID {
+		resp, err := SampleNeighborsLocal(g.Local, g.Locator, locals, fanout, seed)
+		return &SampleNFuture{resp: resp, err: err}
+	}
+	c := g.Clients[dstShard]
+	if c == nil {
+		return &SampleNFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
+	}
+	payload := wire.EncodeSampleNRequest(&wire.SampleNRequest{Seed: seed, Fanout: fanout, Locals: locals})
+	return &SampleNFuture{fut: c.Call(rpc.MethodSampleNeighbors, payload)}
+}
+
+// KHopResult is a sampled computation graph: the union of sampled vertices
+// (global IDs) and the sampled directed edges (child -> parent hop order,
+// i.e. from sampled neighbor to the vertex it was sampled for).
+type KHopResult struct {
+	Roots []int32 // global IDs of the roots
+	Nodes []int32 // all distinct global IDs, roots first
+	// Edge lists over Nodes indices.
+	EdgeSrc []int32
+	EdgeDst []int32
+	// HopOf[i] is the hop at which Nodes[i] first appeared (0 = root).
+	HopOf []int32
+}
+
+// RunKHopSample builds a GraphSAGE-style sampled neighborhood: starting
+// from the given root vertices of g's shard, each hop h samples up to
+// fanouts[h] neighbors of every frontier vertex with one batched request
+// per destination shard.
+func RunKHopSample(g *DistGraphStorage, rootLocals []int32, fanouts []int, seed int64, bd *metrics.Breakdown) (*KHopResult, error) {
+	res := &KHopResult{}
+	index := map[pmap.Key]int32{} // node key -> index into res.Nodes
+	addNode := func(k pmap.Key, global int32, hop int32) int32 {
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := int32(len(res.Nodes))
+		index[k] = i
+		res.Nodes = append(res.Nodes, global)
+		res.HopOf = append(res.HopOf, hop)
+		return i
+	}
+	type fnode struct {
+		key pmap.Key
+		idx int32
+	}
+	var frontier []fnode
+	for _, l := range rootLocals {
+		if err := g.Local.CheckLocal(l); err != nil {
+			return nil, err
+		}
+		gid := int32(g.Locator.Global(g.ShardID, l))
+		res.Roots = append(res.Roots, gid)
+		k := pmap.Key{Local: l, Shard: g.ShardID}
+		idx := addNode(k, gid, 0)
+		frontier = append(frontier, fnode{k, idx})
+	}
+	byShard := make([][]int32, g.NumShards)
+	idxByShard := make([][]int32, g.NumShards)
+	for hop, fanout := range fanouts {
+		if len(frontier) == 0 {
+			break
+		}
+		for j := range byShard {
+			byShard[j] = byShard[j][:0]
+			idxByShard[j] = idxByShard[j][:0]
+		}
+		for _, f := range frontier {
+			byShard[f.key.Shard] = append(byShard[f.key.Shard], f.key.Local)
+			idxByShard[f.key.Shard] = append(idxByShard[f.key.Shard], f.idx)
+		}
+		futs := make([]*SampleNFuture, g.NumShards)
+		stopIssue := bd.Start(metrics.PhaseRemoteFetch)
+		for j := int32(0); j < g.NumShards; j++ {
+			if j == g.ShardID || len(byShard[j]) == 0 {
+				continue
+			}
+			futs[j] = g.SampleNeighbors(j, byShard[j], int32(fanout), seed+int64(hop*101+int(j)))
+		}
+		stopIssue()
+		if len(byShard[g.ShardID]) > 0 {
+			stop := bd.Start(metrics.PhaseLocalFetch)
+			futs[g.ShardID] = g.SampleNeighbors(g.ShardID, byShard[g.ShardID], int32(fanout), seed+int64(hop*101+int(g.ShardID)))
+			stop()
+		}
+		var next []fnode
+		for j := int32(0); j < g.NumShards; j++ {
+			if futs[j] == nil {
+				continue
+			}
+			phase := metrics.PhaseRemoteFetch
+			if j == g.ShardID {
+				phase = metrics.PhaseLocalFetch
+			}
+			var resp *wire.SampleNResponse
+			var err error
+			bd.Time(phase, func() { resp, err = futs[j].Wait() })
+			if err != nil {
+				return nil, fmt.Errorf("core: k-hop hop %d shard %d: %w", hop, j, err)
+			}
+			if resp.NumRows() != len(byShard[j]) {
+				return nil, fmt.Errorf("core: k-hop response size mismatch")
+			}
+			for row := 0; row < resp.NumRows(); row++ {
+				parentIdx := idxByShard[j][row]
+				locals, shards, globals := resp.Row(row)
+				for x := range locals {
+					k := pmap.Key{Local: locals[x], Shard: shards[x]}
+					_, existed := index[k]
+					childIdx := addNode(k, globals[x], int32(hop+1))
+					res.EdgeSrc = append(res.EdgeSrc, childIdx)
+					res.EdgeDst = append(res.EdgeDst, parentIdx)
+					if !existed {
+						next = append(next, fnode{k, childIdx})
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// Subgraph converts the sampled computation graph into a graph.Graph over
+// its node indices (unit weights), for downstream model code.
+func (r *KHopResult) Subgraph() (*graph.Graph, error) {
+	edges := make([]graph.Edge, len(r.EdgeSrc))
+	for i := range r.EdgeSrc {
+		edges[i] = graph.Edge{Src: r.EdgeSrc[i], Dst: r.EdgeDst[i], Weight: 1}
+	}
+	return graph.FromEdges(len(r.Nodes), edges)
+}

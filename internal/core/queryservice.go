@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/rpc"
+	"pprengine/internal/wire"
+)
+
+// Owner-compute query dispatch: the paper assigns each SSPPR query to the
+// machine hosting the source's partition (§3.1). EnableQueryService turns a
+// storage server into such an owner: remote clients submit a QueryRequest
+// and the server runs the full distributed SSPPR (using its own compute
+// handle to fetch from peers) and returns the ranked results. Thin clients
+// then need no shard at all.
+
+// EnableQueryService registers the SSPPR query handler. compute must be a
+// handle on the same shard this server stores (its peer clients are used
+// for remote fetches during query execution).
+func (ss *StorageServer) EnableQueryService(compute *DistGraphStorage, cfg Config) error {
+	if compute.Local != ss.Shard {
+		return fmt.Errorf("core: query service compute handle is for shard %d, server stores shard %d",
+			compute.ShardID, ss.Shard.ShardID)
+	}
+	ss.srv.Handle(rpc.MethodSSPPRQuery, func(p []byte) ([]byte, error) {
+		req, err := wire.DecodeQueryRequest(p)
+		if err != nil {
+			return nil, err
+		}
+		qcfg := cfg
+		if req.Alpha > 0 {
+			qcfg.Alpha = req.Alpha
+		}
+		if req.Eps > 0 {
+			qcfg.Eps = req.Eps
+		}
+		top, stats, err := RunSSPPRTopK(compute, req.SourceLocal, int(req.TopK), qcfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp := &wire.QueryResponse{
+			Globals:    make([]int32, len(top)),
+			Scores:     make([]float64, len(top)),
+			Iterations: int32(stats.Iterations),
+			Pushes:     stats.Pushes,
+			Touched:    int32(stats.TouchedNodes),
+		}
+		for i, sn := range top {
+			resp.Globals[i] = int32(compute.Locator.Global(sn.Key.Shard, sn.Key.Local))
+			resp.Scores[i] = sn.Score
+		}
+		return wire.EncodeQueryResponse(resp), nil
+	})
+	return nil
+}
+
+// QueryClient submits SSPPR queries to owner machines. It holds one RPC
+// client per shard plus the locator, and routes each query by the source's
+// owner — the thin-client side of the owner-compute rule.
+type QueryClient struct {
+	clients []*rpc.Client
+	locate  func(graph.NodeID) (int32, int32)
+}
+
+// NewQueryClient builds a query client from per-shard connections and a
+// locate function (global -> shard, local), typically locator.Locate.
+func NewQueryClient(clients []*rpc.Client, locate func(graph.NodeID) (int32, int32)) *QueryClient {
+	return &QueryClient{clients: clients, locate: locate}
+}
+
+// Query runs a top-k SSPPR query for a global source node on its owner
+// machine. alpha/eps <= 0 use the server's defaults.
+func (qc *QueryClient) Query(source graph.NodeID, topK int, alpha, eps float64) (*wire.QueryResponse, error) {
+	sh, local := qc.locate(source)
+	if int(sh) >= len(qc.clients) || qc.clients[sh] == nil {
+		return nil, fmt.Errorf("core: no connection to owner shard %d of node %d", sh, source)
+	}
+	payload := wire.EncodeQueryRequest(&wire.QueryRequest{
+		SourceLocal: local,
+		TopK:        int32(topK),
+		Alpha:       alpha,
+		Eps:         eps,
+	})
+	resp, err := qc.clients[sh].SyncCall(rpc.MethodSSPPRQuery, payload)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeQueryResponse(resp)
+}

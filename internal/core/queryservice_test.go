@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/rpc"
+)
+
+func TestQueryServiceEndToEnd(t *testing.T) {
+	g := testGraph(51, 300, 1800)
+	// Build a dedicated 2-shard deployment with query service enabled.
+	storages, shards, loc, cleanup := testDeployment(t, g, 2)
+	defer cleanup()
+	// testDeployment's servers are not exported; start a second pair of
+	// servers with query service on top of the same shards, wiring their
+	// compute handles through fresh clients.
+	servers := make([]*StorageServer, 2)
+	addrs := make([]string, 2)
+	var err error
+	for i := range servers {
+		servers[i] = NewStorageServer(shards[i], loc)
+		addrs[i], err = servers[i].Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer servers[i].Close()
+	}
+	var opened []*rpc.Client
+	defer func() {
+		for _, c := range opened {
+			c.Close()
+		}
+	}()
+	for i := range servers {
+		clients := make([]*rpc.Client, 2)
+		for j := range servers {
+			if j == i {
+				continue
+			}
+			c, err := rpc.Dial(addrs[j], rpc.LatencyModel{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			clients[j] = c
+			opened = append(opened, c)
+		}
+		compute := NewDistGraphStorage(int32(i), shards[i], loc, clients)
+		if err := servers[i].EnableQueryService(compute, DefaultConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Thin client: connections to both owners, no local shard.
+	thin := make([]*rpc.Client, 2)
+	for i := range thin {
+		c, err := rpc.Dial(addrs[i], rpc.LatencyModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		thin[i] = c
+		opened = append(opened, c)
+	}
+	qc := NewQueryClient(thin, loc.Locate)
+
+	// Query two sources owned by different machines; check against local
+	// execution.
+	for _, src := range []graph.NodeID{shards[0].CoreGlobal[1], shards[1].CoreGlobal[2]} {
+		resp, err := qc.Query(src, 10, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Globals) != 10 || len(resp.Scores) != 10 {
+			t.Fatalf("results: %d/%d", len(resp.Globals), len(resp.Scores))
+		}
+		if resp.Pushes == 0 || resp.Iterations == 0 || resp.Touched == 0 {
+			t.Fatalf("stats empty: %+v", resp)
+		}
+		// Source ranks first with score >= alpha.
+		if resp.Globals[0] != int32(src) || resp.Scores[0] < 0.462 {
+			t.Fatalf("top-1 = %d (%.3f), want source %d", resp.Globals[0], resp.Scores[0], src)
+		}
+		// Compare with a direct local run on the owner.
+		sh, lc := loc.Locate(src)
+		top, _, err := RunSSPPRTopK(storages[sh], lc, 10, DefaultConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range top {
+			wantGlobal := int32(loc.Global(top[i].Key.Shard, top[i].Key.Local))
+			if resp.Globals[i] != wantGlobal && math.Abs(resp.Scores[i]-top[i].Score) > 5e-4 {
+				t.Fatalf("rank %d: remote (%d, %v) vs local (%d, %v)",
+					i, resp.Globals[i], resp.Scores[i], wantGlobal, top[i].Score)
+			}
+		}
+	}
+	// Custom alpha/eps pass through.
+	resp, err := qc.Query(shards[0].CoreGlobal[0], 5, 0.85, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Scores[0] < 0.85 {
+		t.Fatalf("alpha override ignored: top score %v", resp.Scores[0])
+	}
+}
+
+func TestEnableQueryServiceWrongShard(t *testing.T) {
+	g := testGraph(52, 100, 600)
+	_, shards, loc, cleanup := testDeployment(t, g, 2)
+	defer cleanup()
+	srv := NewStorageServer(shards[0], loc)
+	defer srv.Close()
+	compute := NewDistGraphStorage(1, shards[1], loc, make([]*rpc.Client, 2))
+	if err := srv.EnableQueryService(compute, DefaultConfig()); err == nil {
+		t.Fatal("expected shard mismatch error")
+	}
+}
+
+func TestQueryClientNoConnection(t *testing.T) {
+	qc := NewQueryClient(make([]*rpc.Client, 2), func(graph.NodeID) (int32, int32) { return 1, 0 })
+	if _, err := qc.Query(5, 3, 0, 0); err == nil {
+		t.Fatal("expected missing-connection error")
+	}
+}

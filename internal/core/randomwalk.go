@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"pprengine/internal/metrics"
+)
+
+// RunRandomWalk performs fixed-length weighted random walks from the given
+// root vertices (core vertices of g's shard), following the distributed
+// Random Walk loop of Figure 4: at every step the current positions are
+// masked by destination shard and one batched sample_one_neighbor request
+// goes to each shard.
+//
+// The returned summary is [len(roots)][walkLen+1] global node IDs, starting
+// with each root. A walk that reaches a vertex with no out-edges stays
+// there (the remaining steps repeat its ID).
+func RunRandomWalk(g *DistGraphStorage, rootLocals []int32, walkLen int, seed int64, bd *metrics.Breakdown) ([][]int32, error) {
+	n := len(rootLocals)
+	summary := make([][]int32, n)
+	curLocal := make([]int32, n)
+	curShard := make([]int32, n)
+	dead := make([]bool, n)
+	for i, l := range rootLocals {
+		if err := g.Local.CheckLocal(l); err != nil {
+			return nil, err
+		}
+		gid := int32(g.Locator.Global(g.ShardID, l))
+		summary[i] = make([]int32, 0, walkLen+1)
+		summary[i] = append(summary[i], gid)
+		curLocal[i] = l
+		curShard[i] = g.ShardID
+	}
+	idxByShard := make([][]int32, g.NumShards) // walk indices grouped by shard
+	localsByShard := make([][]int32, g.NumShards)
+	for step := 0; step < walkLen; step++ {
+		for j := range idxByShard {
+			idxByShard[j] = idxByShard[j][:0]
+			localsByShard[j] = localsByShard[j][:0]
+		}
+		alive := 0
+		for i := 0; i < n; i++ {
+			if dead[i] {
+				continue
+			}
+			alive++
+			sh := curShard[i]
+			idxByShard[sh] = append(idxByShard[sh], int32(i))
+			localsByShard[sh] = append(localsByShard[sh], curLocal[i])
+		}
+		if alive == 0 {
+			// Every walk hit a dead end; pad the summaries and stop.
+			for i := 0; i < n; i++ {
+				for len(summary[i]) < walkLen+1 {
+					summary[i] = append(summary[i], summary[i][len(summary[i])-1])
+				}
+			}
+			break
+		}
+		// Issue one batched request per shard, remote ones first.
+		futs := make([]*SampleFuture, g.NumShards)
+		stopIssue := bd.Start(metrics.PhaseRemoteFetch)
+		for j := int32(0); j < g.NumShards; j++ {
+			if j == g.ShardID || len(localsByShard[j]) == 0 {
+				continue
+			}
+			futs[j] = g.SampleOneNeighbor(j, localsByShard[j], seed+int64(step)*7919+int64(j))
+		}
+		stopIssue()
+		if len(localsByShard[g.ShardID]) > 0 {
+			stopLocal := bd.Start(metrics.PhaseLocalFetch)
+			futs[g.ShardID] = g.SampleOneNeighbor(g.ShardID, localsByShard[g.ShardID], seed+int64(step)*7919+int64(g.ShardID))
+			stopLocal()
+		}
+		for j := int32(0); j < g.NumShards; j++ {
+			if futs[j] == nil {
+				continue
+			}
+			var stop func()
+			if j == g.ShardID {
+				stop = bd.Start(metrics.PhaseLocalFetch)
+			} else {
+				stop = bd.Start(metrics.PhaseRemoteFetch)
+			}
+			resp, err := futs[j].Wait()
+			stop()
+			if err != nil {
+				return nil, fmt.Errorf("core: random walk step %d shard %d: %w", step, j, err)
+			}
+			if len(resp.Locals) != len(idxByShard[j]) {
+				return nil, fmt.Errorf("core: random walk response size mismatch")
+			}
+			for k, wi := range idxByShard[j] {
+				if resp.Locals[k] < 0 {
+					dead[wi] = true
+					summary[wi] = append(summary[wi], summary[wi][len(summary[wi])-1])
+					continue
+				}
+				curLocal[wi] = resp.Locals[k]
+				curShard[wi] = resp.Shards[k]
+				summary[wi] = append(summary[wi], resp.Globals[k])
+			}
+		}
+	}
+	// Pad any dead walks that ended early in the final iterations.
+	for i := 0; i < n; i++ {
+		for len(summary[i]) < walkLen+1 {
+			summary[i] = append(summary[i], summary[i][len(summary[i])-1])
+		}
+	}
+	return summary, nil
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"sync"
+
+	"pprengine/internal/pmap"
+)
+
+// SSPPR holds the state of one single-source PPR query on the machine that
+// owns the source (the owner-compute rule of §3.1): the PPR map p, the
+// residual map r, and the activated-vertex set, all keyed by
+// (local ID, shard ID).
+//
+// The two operators exposed to the driver loop mirror the paper's PPR Ops:
+// Pop drains the activated set; Push applies a batch of neighbor updates,
+// multi-threaded when the batch is large enough.
+type SSPPR struct {
+	cfg       Config
+	p         *pmap.Striped
+	r         *pmap.Striped
+	activated *pmap.ConcurrentSet
+
+	// Pushes counts applied push operations (for parity with the
+	// single-machine kernels in tests).
+	Pushes int64
+	// Iterations counts Pop rounds.
+	Iterations int
+}
+
+// NewSSPPR initializes the query state for the given source vertex.
+func NewSSPPR(sourceLocal, sourceShard int32, cfg Config) *SSPPR {
+	m := &SSPPR{
+		cfg:       cfg,
+		p:         pmap.NewStriped(1024),
+		r:         pmap.NewStriped(1024),
+		activated: pmap.NewConcurrentSet(256),
+	}
+	src := pmap.Key{Local: sourceLocal, Shard: sourceShard}
+	m.r.Set(src, 1)
+	m.activated.Insert(src)
+	return m
+}
+
+// Pop returns the current activated vertices as parallel local-ID and
+// shard-ID slices and clears the set (paper §3.3). The returned slices are
+// freshly allocated.
+func (m *SSPPR) Pop() (locals, shards []int32) {
+	keys := m.activated.Drain(nil)
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	m.Iterations++
+	locals = make([]int32, len(keys))
+	shards = make([]int32, len(keys))
+	for i, k := range keys {
+		locals[i] = k.Local
+		shards[i] = k.Shard
+	}
+	return locals, shards
+}
+
+// Push applies one fetched batch: batch row i holds the neighbor info of
+// the source vertex (locals[i], shards[i]). It updates p and r and inserts
+// newly activated vertices into the activated set.
+//
+// Following §3.3, the batch goes multi-threaded only above the configured
+// threshold; below it a single thread avoids fork-join overhead.
+func (m *SSPPR) Push(batch NeighborBatch, locals, shards []int32) {
+	if batch.NumRows() != len(locals) || len(locals) != len(shards) {
+		panic("core: Push batch size mismatch")
+	}
+	if batch.NumRows() == 0 {
+		return
+	}
+	workers := m.cfg.pushWorkers()
+	if batch.NumRows() <= m.cfg.pushThreshold() || workers <= 1 {
+		m.pushSequential(batch, locals, shards)
+		return
+	}
+	if m.cfg.LockedPush {
+		m.pushLocked(batch, locals, shards, workers)
+		return
+	}
+	m.pushOwned(batch, locals, shards, workers)
+}
+
+// claimRow atomically takes the full residual of a source vertex and
+// credits its PPR value. Returns the propagating mass m (0 when the row is
+// stale or a dangling node).
+func (m *SSPPR) claimRow(key pmap.Key, rowWDeg float32) float64 {
+	rv := m.r.Swap(key, 0)
+	if rv <= 0 {
+		return 0 // already claimed by an earlier batch this round
+	}
+	m.p.Add(key, m.cfg.Alpha*rv)
+	if rowWDeg <= 0 {
+		return 0 // dangling: the residual is absorbed
+	}
+	return (1 - m.cfg.Alpha) * rv
+}
+
+// visitResidual checks the activation condition after a residual update.
+func (m *SSPPR) visitResidual(k pmap.Key, newVal, wdeg float64) {
+	if newVal > m.cfg.Eps*wdeg {
+		m.activated.Insert(k)
+	}
+}
+
+func (m *SSPPR) pushSequential(batch NeighborBatch, locals, shards []int32) {
+	// Single-threaded: use the lock-free map fast paths. No other goroutine
+	// touches this query's state while the driver is in Push.
+	eps := m.cfg.Eps
+	for i := 0; i < batch.NumRows(); i++ {
+		nl, ns, nw, nd, rowWDeg := batch.Row(i)
+		key := pmap.Key{Local: locals[i], Shard: shards[i]}
+		rv := m.r.SwapSeq(key, 0)
+		if rv <= 0 {
+			continue
+		}
+		m.p.AddSeq(key, m.cfg.Alpha*rv)
+		if rowWDeg <= 0 {
+			continue
+		}
+		m.Pushes++
+		inv := (1 - m.cfg.Alpha) * rv / float64(rowWDeg)
+		for j := range nl {
+			k := pmap.Key{Local: nl[j], Shard: ns[j]}
+			nv := m.r.AddSeq(k, float64(nw[j])*inv)
+			if nv > eps*float64(nd[j]) {
+				m.activated.InsertSeq(k)
+			}
+		}
+	}
+}
+
+// pushLocked is the straightforward multi-threaded push: rows in parallel,
+// every residual update takes its submap lock.
+func (m *SSPPR) pushLocked(batch NeighborBatch, locals, shards []int32, workers int) {
+	rows := batch.NumRows()
+	var wg sync.WaitGroup
+	var pushes int64
+	var mu sync.Mutex
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= rows {
+			break
+		}
+		hi := min(lo+chunk, rows)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			local := int64(0)
+			for i := lo; i < hi; i++ {
+				nl, ns, nw, nd, rowWDeg := batch.Row(i)
+				mass := m.claimRow(pmap.Key{Local: locals[i], Shard: shards[i]}, rowWDeg)
+				if mass == 0 {
+					continue
+				}
+				local++
+				inv := mass / float64(rowWDeg)
+				for j := range nl {
+					k := pmap.Key{Local: nl[j], Shard: ns[j]}
+					nv := m.r.Add(k, float64(nw[j])*inv)
+					m.visitResidual(k, nv, float64(nd[j]))
+				}
+			}
+			mu.Lock()
+			pushes += local
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	m.Pushes += pushes
+}
+
+// pushOwned is the lock-eliminated push of §3.3: phase 1 claims row
+// residuals and materializes all neighbor deltas; phase 2 applies them with
+// ApplyOwned, which partitions updates by submap index across workers so no
+// locks are taken while mutating the residual map.
+func (m *SSPPR) pushOwned(batch NeighborBatch, locals, shards []int32, workers int) {
+	rows := batch.NumRows()
+	perWorker := make([][]pmap.Update, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var pushes int64
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= rows {
+			break
+		}
+		hi := min(lo+chunk, rows)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var ups []pmap.Update
+			local := int64(0)
+			for i := lo; i < hi; i++ {
+				nl, ns, nw, nd, rowWDeg := batch.Row(i)
+				mass := m.claimRow(pmap.Key{Local: locals[i], Shard: shards[i]}, rowWDeg)
+				if mass == 0 {
+					continue
+				}
+				local++
+				inv := mass / float64(rowWDeg)
+				for j := range nl {
+					ups = append(ups, pmap.Update{
+						Key:   pmap.Key{Local: nl[j], Shard: ns[j]},
+						Delta: float64(nw[j]) * inv,
+						Aux:   float64(nd[j]),
+					})
+				}
+			}
+			perWorker[w] = ups
+			mu.Lock()
+			pushes += local
+			mu.Unlock()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	m.Pushes += pushes
+	total := 0
+	for _, u := range perWorker {
+		total += len(u)
+	}
+	updates := make([]pmap.Update, 0, total)
+	for _, u := range perWorker {
+		updates = append(updates, u...)
+	}
+	m.r.ApplyOwned(updates, workers, m.visitResidual)
+}
+
+// Scores returns the computed PPR estimates. Call after the driver loop has
+// drained the activated set.
+func (m *SSPPR) Scores() map[pmap.Key]float64 {
+	out := make(map[pmap.Key]float64, m.p.Len())
+	m.p.Range(func(k pmap.Key, v float64) bool {
+		out[k] = v
+		return true
+	})
+	return out
+}
+
+// ResidualMass returns the total remaining residual (diagnostics: the
+// engine's approximation error mass).
+func (m *SSPPR) ResidualMass() float64 {
+	s := 0.0
+	m.r.Range(func(_ pmap.Key, v float64) bool {
+		s += v
+		return true
+	})
+	return s
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+
+	"pprengine/internal/rpc"
+	"pprengine/internal/shard"
+	"pprengine/internal/wire"
+)
+
+// StorageServer is the per-machine Graph Storage endpoint: it owns the
+// machine's shard (in shared memory) and answers neighborhood requests over
+// RPC. One StorageServer per simulated machine; all compute processes on
+// other machines reach it through rpc.Clients.
+type StorageServer struct {
+	Shard   *shard.Shard
+	Locator *shard.Locator // for global IDs in sample responses
+	// Features is the optional per-shard feature store for the GNN case
+	// study: row-major [NumCore x FeatureDim].
+	Features   []float32
+	FeatureDim int
+
+	srv *rpc.Server
+}
+
+// NewStorageServer wraps a shard (and locator) in a server. Call Start to
+// begin serving.
+func NewStorageServer(s *shard.Shard, loc *shard.Locator) *StorageServer {
+	ss := &StorageServer{Shard: s, Locator: loc, srv: rpc.NewServer()}
+	ss.register()
+	return ss
+}
+
+func (ss *StorageServer) register() {
+	ss.srv.Handle(rpc.MethodGetNeighborInfos, func(p []byte) ([]byte, error) {
+		ids, err := wire.DecodeIDList(p)
+		if err != nil {
+			return nil, err
+		}
+		infos, err := BuildInfos(ss.Shard, ids)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeCSR(infos), nil
+	})
+	ss.srv.Handle(rpc.MethodGetNeighborInfosLoL, func(p []byte) ([]byte, error) {
+		ids, err := wire.DecodeIDList(p)
+		if err != nil {
+			return nil, err
+		}
+		infos, err := BuildInfos(ss.Shard, ids)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeLoL(infos), nil
+	})
+	ss.srv.Handle(rpc.MethodGetNeighborInfoOne, func(p []byte) ([]byte, error) {
+		ids, err := wire.DecodeIDList(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(ids) != 1 {
+			return nil, fmt.Errorf("core: GetNeighborInfoOne wants exactly 1 id, got %d", len(ids))
+		}
+		infos, err := BuildInfos(ss.Shard, ids)
+		if err != nil {
+			return nil, err
+		}
+		// The single-vertex path ships the uncompressed format, matching
+		// the naive per-vertex implementation it models.
+		return wire.EncodeLoL(infos), nil
+	})
+	ss.srv.Handle(rpc.MethodSampleOneNeighbor, func(p []byte) ([]byte, error) {
+		req, err := wire.DecodeSampleRequest(p)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := SampleOneNeighborLocal(ss.Shard, ss.Locator, req.Locals, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeSampleResponse(resp), nil
+	})
+	ss.srv.Handle(rpc.MethodGetShardStats, func(p []byte) ([]byte, error) {
+		st := shard.ComputeStats(ss.Shard)
+		return wire.EncodeShardStats(&wire.ShardStats{
+			ShardID:      st.ShardID,
+			NumShards:    ss.Shard.NumShards,
+			NumCore:      int64(st.NumCore),
+			NumEntries:   st.NumEntries,
+			HaloNodes:    int64(st.HaloNodes),
+			MemoryBytes:  st.MemoryBytes,
+			RemoteFrac:   st.RemoteFrac,
+			AvgOutDegree: st.AvgOutDegree,
+		}), nil
+	})
+	ss.srv.Handle(rpc.MethodSampleNeighbors, func(p []byte) ([]byte, error) {
+		req, err := wire.DecodeSampleNRequest(p)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := SampleNeighborsLocal(ss.Shard, ss.Locator, req.Locals, req.Fanout, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeSampleNResponse(resp), nil
+	})
+	ss.srv.Handle(rpc.MethodFetchFeatures, func(p []byte) ([]byte, error) {
+		ids, err := wire.DecodeIDList(p)
+		if err != nil {
+			return nil, err
+		}
+		feats, err := ss.FetchFeaturesLocal(ids)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeFeatureResponse(ss.FeatureDim, feats), nil
+	})
+}
+
+// FetchFeaturesLocal gathers feature rows for core vertices.
+func (ss *StorageServer) FetchFeaturesLocal(ids []int32) ([]float32, error) {
+	if ss.Features == nil {
+		return nil, fmt.Errorf("core: shard %d has no feature store", ss.Shard.ShardID)
+	}
+	d := ss.FeatureDim
+	out := make([]float32, 0, len(ids)*d)
+	for _, id := range ids {
+		if err := ss.Shard.CheckLocal(id); err != nil {
+			return nil, err
+		}
+		out = append(out, ss.Features[int(id)*d:(int(id)+1)*d]...)
+	}
+	return out, nil
+}
+
+// Start listens on a fresh loopback port and returns the dialable address.
+func (ss *StorageServer) Start() (string, error) {
+	return ss.srv.ListenAndServe()
+}
+
+// ServeListener serves on a caller-provided listener (blocking). Used by
+// real deployments that bind a specific address.
+func (ss *StorageServer) ServeListener(lis net.Listener) {
+	ss.srv.Serve(lis)
+}
+
+// Handle exposes the underlying server's registry so the cluster harness can
+// add machine-level handlers (e.g. gradient allreduce).
+func (ss *StorageServer) Handle(m rpc.Method, h rpc.Handler) { ss.srv.Handle(m, h) }
+
+// RPCStats returns the underlying server's request counters.
+func (ss *StorageServer) RPCStats() rpc.Stats { return ss.srv.Stats() }
+
+// Close shuts the server down.
+func (ss *StorageServer) Close() { ss.srv.Close() }
+
+// SampleOneNeighborLocal samples one weighted out-neighbor for each listed
+// core vertex of s. Vertices without out-edges return local -1. The seed
+// makes the whole batch reproducible.
+func SampleOneNeighborLocal(s *shard.Shard, loc *shard.Locator, locals []int32, seed int64) (*wire.SampleResponse, error) {
+	rng := rand.New(rand.NewSource(seed))
+	resp := &wire.SampleResponse{
+		Locals:  make([]int32, len(locals)),
+		Shards:  make([]int32, len(locals)),
+		Globals: make([]int32, len(locals)),
+	}
+	for i, l := range locals {
+		if err := s.CheckLocal(l); err != nil {
+			return nil, err
+		}
+		vp := s.VertexProp(l)
+		if vp.Degree() == 0 || vp.WDeg <= 0 {
+			resp.Locals[i] = -1
+			resp.Shards[i] = -1
+			resp.Globals[i] = -1
+			continue
+		}
+		target := rng.Float64() * float64(vp.WDeg)
+		acc := 0.0
+		j := vp.Degree() - 1
+		for k, w := range vp.Weights {
+			acc += float64(w)
+			if acc >= target {
+				j = k
+				break
+			}
+		}
+		resp.Locals[i] = vp.Locals[j]
+		resp.Shards[i] = vp.Shards[j]
+		resp.Globals[i] = int32(loc.Global(vp.Shards[j], vp.Locals[j]))
+	}
+	return resp, nil
+}
+
+// InfoFuture is the engine-level future for a neighbor-info fetch. Local
+// fetches resolve immediately (Batch already set); remote fetches decode on
+// Wait.
+type InfoFuture struct {
+	batch   NeighborBatch
+	err     error
+	futures []*rpc.Future // the batched request (Batch/BatchCompress)
+	mode    FetchMode
+
+	// FetchSingle state: the paper's "Single" baseline processes one
+	// vertex at a time, so the per-vertex requests are issued strictly
+	// sequentially at Wait time — no pipelining.
+	seqClient *rpc.Client
+	seqLocals []int32
+}
+
+// Wait blocks for the response(s) and returns the decoded batch.
+func (f *InfoFuture) Wait() (NeighborBatch, error) {
+	if f.batch != nil || f.err != nil {
+		return f.batch, f.err
+	}
+	switch f.mode {
+	case FetchBatchCompress:
+		payload, err := f.futures[0].Wait()
+		if err != nil {
+			f.err = err
+			return nil, err
+		}
+		infos, err := wire.DecodeCSR(payload)
+		if err != nil {
+			f.err = err
+			return nil, err
+		}
+		f.batch = InfosBatch(infos)
+	case FetchBatch:
+		payload, err := f.futures[0].Wait()
+		if err != nil {
+			f.err = err
+			return nil, err
+		}
+		infos, err := wire.DecodeLoL(payload)
+		if err != nil {
+			f.err = err
+			return nil, err
+		}
+		f.batch = InfosBatch(infos)
+	case FetchSingle:
+		// One request-response round trip per vertex, strictly in order.
+		merged := &wire.NeighborInfos{Indptr: []int32{0}}
+		for _, l := range f.seqLocals {
+			payload, err := f.seqClient.SyncCall(rpc.MethodGetNeighborInfoOne, wire.EncodeIDList([]int32{l}))
+			if err != nil {
+				f.err = err
+				return nil, err
+			}
+			one, err := wire.DecodeLoL(payload)
+			if err != nil {
+				f.err = err
+				return nil, err
+			}
+			for i := 0; i < one.NumRows(); i++ {
+				l, s, w, d := one.Row(i)
+				merged.Locals = append(merged.Locals, l...)
+				merged.Shards = append(merged.Shards, s...)
+				merged.Weights = append(merged.Weights, w...)
+				merged.WDegs = append(merged.WDegs, d...)
+				merged.Indptr = append(merged.Indptr, int32(len(merged.Locals)))
+				merged.RowWDeg = append(merged.RowWDeg, one.RowWDeg[i])
+			}
+		}
+		f.batch = InfosBatch(merged)
+	}
+	return f.batch, f.err
+}
+
+// SampleFuture is the future for a sample_one_neighbor call.
+type SampleFuture struct {
+	resp *wire.SampleResponse
+	err  error
+	fut  *rpc.Future
+}
+
+// Wait blocks for the sampled neighbors.
+func (f *SampleFuture) Wait() (*wire.SampleResponse, error) {
+	if f.resp != nil || f.err != nil {
+		return f.resp, f.err
+	}
+	payload, err := f.fut.Wait()
+	if err != nil {
+		f.err = err
+		return nil, err
+	}
+	f.resp, f.err = wire.DecodeSampleResponse(payload)
+	return f.resp, f.err
+}
+
+// DistGraphStorage is a compute process's handle on the whole distributed
+// graph: direct shared-memory access to the local shard, RPC clients to the
+// others. It is the Go analogue of the Python object constructed from the
+// rrefs list in Figure 4.
+type DistGraphStorage struct {
+	ShardID   int32
+	NumShards int32
+	Local     *shard.Shard
+	Locator   *shard.Locator
+	Clients   []*rpc.Client // indexed by shard ID; Clients[ShardID] == nil
+
+	// LocalFeatures/FeatureDim give shared-memory access to the machine's
+	// feature block for the GNN case study (see AttachLocalFeatures).
+	LocalFeatures []float32
+	FeatureDim    int
+}
+
+// NewDistGraphStorage assembles a handle. clients must have one entry per
+// shard; the local entry may be nil.
+func NewDistGraphStorage(shardID int32, local *shard.Shard, loc *shard.Locator, clients []*rpc.Client) *DistGraphStorage {
+	return &DistGraphStorage{
+		ShardID:   shardID,
+		NumShards: int32(len(clients)),
+		Local:     local,
+		Locator:   loc,
+		Clients:   clients,
+	}
+}
+
+// GetNeighborInfos fetches neighbor information for core vertices of
+// dstShard. Local requests resolve immediately via shared memory; remote
+// requests return a pending future. mode selects the RPC strategy.
+func (g *DistGraphStorage) GetNeighborInfos(dstShard int32, locals []int32, mode FetchMode) *InfoFuture {
+	if dstShard == g.ShardID {
+		// Shared-memory path: VertexProp views, no serialization. Validate
+		// IDs to mirror the server-side checks.
+		for _, l := range locals {
+			if err := g.Local.CheckLocal(l); err != nil {
+				return &InfoFuture{err: err}
+			}
+		}
+		return &InfoFuture{batch: LocalBatch(g.Local, locals)}
+	}
+	c := g.Clients[dstShard]
+	if c == nil {
+		return &InfoFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
+	}
+	switch mode {
+	case FetchBatchCompress:
+		return &InfoFuture{mode: mode, futures: []*rpc.Future{c.Call(rpc.MethodGetNeighborInfos, wire.EncodeIDList(locals))}}
+	case FetchBatch:
+		return &InfoFuture{mode: mode, futures: []*rpc.Future{c.Call(rpc.MethodGetNeighborInfosLoL, wire.EncodeIDList(locals))}}
+	default: // FetchSingle: sequential per-vertex round trips (see Wait)
+		return &InfoFuture{mode: FetchSingle, seqClient: c, seqLocals: locals}
+	}
+}
+
+// GetShardStats retrieves statistics about any shard — locally via a direct
+// scan, remotely via RPC.
+func (g *DistGraphStorage) GetShardStats(dstShard int32) (*wire.ShardStats, error) {
+	if dstShard == g.ShardID {
+		st := shard.ComputeStats(g.Local)
+		return &wire.ShardStats{
+			ShardID:      st.ShardID,
+			NumShards:    g.Local.NumShards,
+			NumCore:      int64(st.NumCore),
+			NumEntries:   st.NumEntries,
+			HaloNodes:    int64(st.HaloNodes),
+			MemoryBytes:  st.MemoryBytes,
+			RemoteFrac:   st.RemoteFrac,
+			AvgOutDegree: st.AvgOutDegree,
+		}, nil
+	}
+	c := g.Clients[dstShard]
+	if c == nil {
+		return nil, fmt.Errorf("core: no client for shard %d", dstShard)
+	}
+	payload, err := c.SyncCall(rpc.MethodGetShardStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeShardStats(payload)
+}
+
+// SampleOneNeighbor samples one neighbor for each listed core vertex of
+// dstShard (random-walk step, Figure 4 right).
+func (g *DistGraphStorage) SampleOneNeighbor(dstShard int32, locals []int32, seed int64) *SampleFuture {
+	if dstShard == g.ShardID {
+		resp, err := SampleOneNeighborLocal(g.Local, g.Locator, locals, seed)
+		return &SampleFuture{resp: resp, err: err}
+	}
+	c := g.Clients[dstShard]
+	if c == nil {
+		return &SampleFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
+	}
+	payload := wire.EncodeSampleRequest(&wire.SampleRequest{Seed: seed, Locals: locals})
+	return &SampleFuture{fut: c.Call(rpc.MethodSampleOneNeighbor, payload)}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"container/heap"
+
+	"pprengine/internal/metrics"
+	"pprengine/internal/pmap"
+)
+
+// Top-K SSPPR — the form most GNN samplers consume (ShaDow takes the top-K
+// PPR vertices per ego node, paper §2.1.1 and §4.5).
+
+// ScoredNode is one (node, score) result.
+type ScoredNode struct {
+	Key   pmap.Key
+	Score float64
+}
+
+type scoredHeap []ScoredNode
+
+func (h scoredHeap) Len() int { return len(h) }
+func (h scoredHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score // min-heap on score
+	}
+	if h[i].Key.Shard != h[j].Key.Shard {
+		return h[i].Key.Shard > h[j].Key.Shard
+	}
+	return h[i].Key.Local > h[j].Key.Local
+}
+func (h scoredHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *scoredHeap) Push(x any)   { *h = append(*h, x.(ScoredNode)) }
+func (h *scoredHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h scoredHeap) worse(s ScoredNode) bool {
+	t := h[0]
+	if s.Score != t.Score {
+		return s.Score < t.Score
+	}
+	if s.Key.Shard != t.Key.Shard {
+		return s.Key.Shard > t.Key.Shard
+	}
+	return s.Key.Local > t.Key.Local
+}
+
+// TopK selects the k highest-scored nodes of a finished query via a bounded
+// min-heap (O(n log k)), descending by score with deterministic tie-breaks.
+func (m *SSPPR) TopK(k int) []ScoredNode {
+	if k <= 0 {
+		return nil
+	}
+	h := make(scoredHeap, 0, k+1)
+	m.p.Range(func(key pmap.Key, v float64) bool {
+		s := ScoredNode{key, v}
+		if len(h) < k {
+			heap.Push(&h, s)
+		} else if h.worse(s) {
+			// s is not better than the current minimum; skip.
+		} else {
+			h[0] = s
+			heap.Fix(&h, 0)
+		}
+		return true
+	})
+	out := make([]ScoredNode, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(ScoredNode)
+	}
+	return out
+}
+
+// RunSSPPRTopK runs a full SSPPR query and returns the k highest-scored
+// nodes in descending score order.
+func RunSSPPRTopK(g *DistGraphStorage, sourceLocal int32, k int, cfg Config, bd *metrics.Breakdown) ([]ScoredNode, QueryStats, error) {
+	m, stats, err := RunSSPPR(g, sourceLocal, cfg, bd)
+	if err != nil {
+		return nil, stats, err
+	}
+	return m.TopK(k), stats, nil
+}

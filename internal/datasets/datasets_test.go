@@ -1,0 +1,80 @@
+package datasets
+
+import (
+	"testing"
+
+	"pprengine/internal/graph"
+)
+
+func TestLookup(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != name {
+			t.Fatal("wrong spec")
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestScaledSpecs(t *testing.T) {
+	for _, s := range Specs {
+		sc := s.Scaled(64)
+		if sc.Nodes >= s.Nodes || sc.Edges >= s.Edges {
+			t.Fatalf("%s not scaled", s.Name)
+		}
+		if sc.Nodes < 1024 || sc.Edges < int64(sc.Nodes) {
+			t.Fatalf("%s scaled below floors: %+v", s.Name, sc)
+		}
+	}
+}
+
+func TestGeneratedPropertiesMatchIntent(t *testing.T) {
+	// Use heavily scaled variants to keep the test fast; skew ordering
+	// should be preserved by R-MAT parameters.
+	tw, _ := Lookup("twitter-sim")
+	fr, _ := Lookup("friendster-sim")
+	gTW := tw.Scaled(32).Generate()
+	gFR := fr.Scaled(32).Generate()
+	stTW := graph.ComputeStats(gTW)
+	stFR := graph.ComputeStats(gFR)
+	if err := gTW.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gFR.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Twitter-sim must be much more skewed than friendster-sim, relative
+	// to average degree.
+	skewTW := float64(stTW.MaxDegree) / stTW.AvgDegree
+	skewFR := float64(stFR.MaxDegree) / stFR.AvgDegree
+	if skewTW < 2*skewFR {
+		t.Fatalf("skew ordering broken: twitter %f vs friendster %f", skewTW, skewFR)
+	}
+}
+
+func TestGenerateCachedReuses(t *testing.T) {
+	s := Specs[0].Scaled(128)
+	g1 := s.GenerateCached()
+	g2 := s.GenerateCached()
+	if g1 != g2 {
+		t.Fatal("cache miss on second call")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	specs := []Spec{Specs[0].Scaled(128), Specs[1].Scaled(128)}
+	rows := Table1(specs)
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	for _, r := range rows {
+		if r.V == 0 || r.E == 0 || r.DAvg <= 0 || r.DMax <= 0 {
+			t.Fatalf("empty row: %+v", r)
+		}
+	}
+}

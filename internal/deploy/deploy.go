@@ -1,0 +1,186 @@
+// Package deploy bootstraps real multi-process deployments from files on
+// disk: cmd/partition writes shard + locator files, cmd/pprserve turns one
+// shard file into a Graph Storage server on a TCP address, and cmd/pprquery
+// (or any embedding program) connects a compute process that holds one
+// shard locally and reaches the rest over the network — the production
+// topology the paper's single-host experiments simulate.
+package deploy
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pprengine/internal/core"
+	"pprengine/internal/rpc"
+	"pprengine/internal/shard"
+)
+
+// Serve loads a shard and its locator from disk and serves it on
+// listenAddr ("host:port"; ":0" picks a free port). It returns the running
+// server and the bound address.
+func Serve(shardPath, locatorPath, listenAddr string) (*core.StorageServer, string, error) {
+	s, err := shard.LoadFile(shardPath)
+	if err != nil {
+		return nil, "", fmt.Errorf("deploy: load shard: %w", err)
+	}
+	loc, err := shard.LoadLocatorFile(locatorPath)
+	if err != nil {
+		return nil, "", fmt.Errorf("deploy: load locator: %w", err)
+	}
+	srv := core.NewStorageServer(s, loc)
+	lis, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, "", err
+	}
+	go srv.ServeListener(lis)
+	return srv, lis.Addr().String(), nil
+}
+
+// EnableQueries upgrades a running storage server into a query owner: it
+// connects a compute handle to the given peers and registers the SSPPR
+// query handler, so thin clients can dispatch queries for this shard's core
+// vertices. The returned cleanup closes the peer clients.
+func EnableQueries(srv *core.StorageServer, peers map[int32]string, cfg core.Config, lat rpc.LatencyModel) (func(), error) {
+	k := srv.Shard.NumShards
+	clients := make([]*rpc.Client, k)
+	var opened []*rpc.Client
+	cleanup := func() {
+		for _, c := range opened {
+			c.Close()
+		}
+	}
+	for j := int32(0); j < k; j++ {
+		if j == srv.Shard.ShardID {
+			continue
+		}
+		addr, ok := peers[j]
+		if !ok {
+			cleanup()
+			return nil, fmt.Errorf("deploy: query service needs a peer address for shard %d", j)
+		}
+		c, err := rpc.DialRetry(addr, lat, 30*time.Second)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("deploy: dial shard %d at %s: %w", j, addr, err)
+		}
+		clients[j] = c
+		opened = append(opened, c)
+	}
+	compute := core.NewDistGraphStorage(srv.Shard.ShardID, srv.Shard, srv.Locator, clients)
+	if err := srv.EnableQueryService(compute, cfg); err != nil {
+		cleanup()
+		return nil, err
+	}
+	return cleanup, nil
+}
+
+// ConnectThin builds a thin query client: no local shard, just connections
+// to every owner's query service plus the locator for routing.
+func ConnectThin(locatorPath string, addrs map[int32]string, lat rpc.LatencyModel) (*core.QueryClient, func(), error) {
+	loc, err := shard.LoadLocatorFile(locatorPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("deploy: load locator: %w", err)
+	}
+	k := loc.NumShards()
+	clients := make([]*rpc.Client, k)
+	var opened []*rpc.Client
+	cleanup := func() {
+		for _, c := range opened {
+			c.Close()
+		}
+	}
+	for j := 0; j < k; j++ {
+		addr, ok := addrs[int32(j)]
+		if !ok {
+			cleanup()
+			return nil, nil, fmt.Errorf("deploy: thin client needs an address for every shard; missing %d", j)
+		}
+		c, err := rpc.Dial(addr, lat)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		clients[j] = c
+		opened = append(opened, c)
+	}
+	return core.NewQueryClient(clients, loc.Locate), cleanup, nil
+}
+
+// ParsePeers parses "1=host:port,2=host:port" into a shard→address map.
+func ParsePeers(spec string) (map[int32]string, error) {
+	peers := map[int32]string{}
+	if strings.TrimSpace(spec) == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("deploy: bad peer %q (want shard=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("deploy: bad peer shard id %q", kv[0])
+		}
+		peers[int32(id)] = kv[1]
+	}
+	return peers, nil
+}
+
+// FormatPeers renders a peer map back to the flag syntax (for logs).
+func FormatPeers(peers map[int32]string) string {
+	ids := make([]int, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, peers[int32(id)]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Connect builds a compute-process handle: the local shard is loaded from
+// disk (shared memory in a real deployment) and every other shard is
+// reached through its peer address. The returned cleanup closes all
+// clients.
+func Connect(shardPath, locatorPath string, peers map[int32]string, lat rpc.LatencyModel) (*core.DistGraphStorage, func(), error) {
+	s, err := shard.LoadFile(shardPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("deploy: load shard: %w", err)
+	}
+	loc, err := shard.LoadLocatorFile(locatorPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("deploy: load locator: %w", err)
+	}
+	k := s.NumShards
+	clients := make([]*rpc.Client, k)
+	var opened []*rpc.Client
+	cleanup := func() {
+		for _, c := range opened {
+			c.Close()
+		}
+	}
+	for j := int32(0); j < k; j++ {
+		if j == s.ShardID {
+			continue
+		}
+		addr, ok := peers[j]
+		if !ok {
+			cleanup()
+			return nil, nil, fmt.Errorf("deploy: no peer address for shard %d", j)
+		}
+		c, err := rpc.DialRetry(addr, lat, 30*time.Second)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("deploy: dial shard %d at %s: %w", j, addr, err)
+		}
+		clients[j] = c
+		opened = append(opened, c)
+	}
+	return core.NewDistGraphStorage(s.ShardID, s, loc, clients), cleanup, nil
+}

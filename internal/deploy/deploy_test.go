@@ -1,0 +1,175 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pprengine/internal/core"
+	"pprengine/internal/graph"
+	"pprengine/internal/partition"
+	"pprengine/internal/ppr"
+	"pprengine/internal/rpc"
+	"pprengine/internal/shard"
+)
+
+// writeDeployment partitions a graph and writes shard + locator files.
+func writeDeployment(t *testing.T, g *graph.Graph, k int) (dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	a, err := partition.Partition(g, k, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, loc, err := shard.Build(g, a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shards {
+		if err := s.SaveFile(filepath.Join(dir, fmt.Sprintf("shard-%d.bin", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := loc.SaveFile(filepath.Join(dir, "locator.bin")); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLocatorRoundTrip(t *testing.T) {
+	g := graph.MakeUndirected(graph.ErdosRenyi(200, 1000, 3))
+	a, _ := partition.Partition(g, 3, partition.Options{Seed: 2})
+	_, loc, err := shard.Build(g, a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/loc.bin"
+	if err := loc.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := shard.LoadLocatorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumShards() != 3 {
+		t.Fatal("shards")
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes; v++ {
+		s1, l1 := loc.Locate(v)
+		s2, l2 := got.Locate(v)
+		if s1 != s2 || l1 != l2 {
+			t.Fatalf("node %d: (%d,%d) vs (%d,%d)", v, s1, l1, s2, l2)
+		}
+		if got.Global(s2, l2) != v {
+			t.Fatalf("global round trip broken at %d", v)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("1=127.0.0.1:7001, 2=127.0.0.1:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[1] != "127.0.0.1:7001" || peers[2] != "127.0.0.1:7002" {
+		t.Fatalf("%v", peers)
+	}
+	if FormatPeers(peers) != "1=127.0.0.1:7001,2=127.0.0.1:7002" {
+		t.Fatalf("format: %s", FormatPeers(peers))
+	}
+	if _, err := ParsePeers("nonsense"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ParsePeers("x=1:2"); err == nil {
+		t.Fatal("expected id error")
+	}
+	empty, err := ParsePeers("  ")
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty spec: %v %v", empty, err)
+	}
+}
+
+// TestFileBasedDeploymentEndToEnd is the integration test for the
+// cmd/pprserve + cmd/pprquery path: shards and locator written to disk,
+// servers bootstrapped from files on real TCP ports, a compute process
+// connected from files + peer addresses, and query results checked against
+// the single-machine ground truth.
+func TestFileBasedDeploymentEndToEnd(t *testing.T) {
+	g := graph.MakeUndirected(graph.RMAT(graph.RMATConfig{
+		NumNodes: 300, NumEdges: 1800, A: 0.55, B: 0.2, C: 0.15, Seed: 8,
+	}))
+	const k = 3
+	dir := writeDeployment(t, g, k)
+	locPath := filepath.Join(dir, "locator.bin")
+
+	// Start servers for shards 1 and 2 (shard 0 is "this machine").
+	peers := map[int32]string{}
+	for i := 1; i < k; i++ {
+		srv, addr, err := Serve(filepath.Join(dir, fmt.Sprintf("shard-%d.bin", i)), locPath, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		peers[int32(i)] = addr
+	}
+
+	st, cleanup, err := Connect(filepath.Join(dir, "shard-0.bin"), locPath, peers, rpc.LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	src := st.Locator.Global(0, 4)
+	m, stats, err := core.RunSSPPR(st, 4, core.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RemoteRows == 0 {
+		t.Fatal("expected remote traffic through real deployment")
+	}
+	scores := core.ScoresGlobal(st, m)
+	exact, _ := ppr.PowerIteration(g, src, 0.462, 1e-12, 100000)
+	l1 := 0.0
+	for v, ev := range exact {
+		l1 += math.Abs(scores[int32(v)] - ev)
+	}
+	var sumDW float64
+	for _, d := range g.WeightedDegree {
+		sumDW += float64(d)
+	}
+	if l1 > 1e-6*sumDW {
+		t.Fatalf("deployment results off: L1 %v", l1)
+	}
+}
+
+func TestConnectMissingPeer(t *testing.T) {
+	g := graph.MakeUndirected(graph.ErdosRenyi(100, 500, 4))
+	dir := writeDeployment(t, g, 2)
+	_, _, err := Connect(filepath.Join(dir, "shard-0.bin"), filepath.Join(dir, "locator.bin"),
+		map[int32]string{}, rpc.LatencyModel{})
+	if err == nil {
+		t.Fatal("expected missing-peer error")
+	}
+}
+
+func TestServeBadFiles(t *testing.T) {
+	if _, _, err := Serve("/nonexistent/shard.bin", "/nonexistent/loc.bin", ":0"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLocatorDecodeGarbage(t *testing.T) {
+	path := t.TempDir() + "/bad.bin"
+	if err := writeFile(path, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.LoadLocatorFile(path); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func writeFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

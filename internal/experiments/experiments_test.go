@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickParams keep every experiment fast enough for the regular test run.
+func quickParams() Params {
+	return Params{Scale: 32, Warmup: 0, Repeats: 1, Queries: 4}
+}
+
+func TestTable1(t *testing.T) {
+	p := quickParams()
+	r, rows := Table1(p)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(r.String(), "twitter-sim") {
+		t.Fatalf("report missing dataset: %s", r)
+	}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	p := quickParams()
+	_, rows, err := Table2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		// The paper's headline ordering: PPR Engine >> PyTorch Tensor.
+		if row.PPREngine <= row.PyTorchTensor {
+			t.Fatalf("%s: engine %.1f not faster than tensor %.1f",
+				row.Dataset, row.PPREngine, row.PyTorchTensor)
+		}
+		// The engine-vs-SpMM position is scale-dependent: compiled power
+		// iteration over a test-scale graph is cheap, whereas the paper's
+		// graphs make any whole-graph method slow. Recorded, not asserted
+		// (see EXPERIMENTS.md "honest divergences").
+		if row.DGLSpMM <= 0 {
+			t.Fatalf("%s: missing SpMM row", row.Dataset)
+		}
+	}
+}
+
+func TestAccuracyClaim(t *testing.T) {
+	p := quickParams()
+	_, rows, err := Accuracy(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Top100 < 0.9 {
+			t.Fatalf("%s: top-100 precision %.3f below 0.9", row.Dataset, row.Top100)
+		}
+		// The FP-vs-PI speed ratio is scale-dependent (FP's locality only
+		// pays off on graphs much larger than the tiny test scale), so it
+		// is recorded but not asserted here; see EXPERIMENTS.md.
+		if row.FPSpeedup <= 0 {
+			t.Fatalf("%s: missing FP/PI ratio", row.Dataset)
+		}
+	}
+}
+
+func TestTable3LadderImproves(t *testing.T) {
+	p := quickParams()
+	_, rows, err := Table3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Batch must beat Single decisively; the full ladder must beat Single.
+	if rows[1].Speedup < 2 {
+		t.Fatalf("+Batch speedup only %.1fx", rows[1].Speedup)
+	}
+	if rows[3].Speedup < rows[1].Speedup*0.8 {
+		t.Fatalf("ladder regressed: %+v", rows)
+	}
+}
+
+func TestFig5aRuns(t *testing.T) {
+	p := quickParams()
+	p.Queries = 2
+	_, rows, err := Fig5a(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Remote fraction grows with machine count (more partitions => more
+	// cross-shard edges), per the paper's observation.
+	for d := 0; d < 4; d++ {
+		r2 := rows[d*3].RemoteFrac
+		r8 := rows[d*3+2].RemoteFrac
+		if r8 < r2 {
+			t.Fatalf("dataset %s: remote fraction fell from %.3f (2) to %.3f (8)",
+				rows[d*3].Dataset, r2, r8)
+		}
+	}
+}
+
+func TestFig6PushShare(t *testing.T) {
+	p := quickParams()
+	_, rows, err := Fig6(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// For every dataset the engine's per-query push time must undercut the
+	// tensor baseline's (the paper reports 5-16x).
+	for i := 0; i < len(rows); i += 2 {
+		tensor, engine := rows[i], rows[i+1]
+		if engine.Push >= tensor.Push {
+			t.Fatalf("%s: engine push %v not faster than tensor push %v",
+				engine.Dataset, engine.Push, tensor.Push)
+		}
+	}
+}
+
+func TestIntroComparison(t *testing.T) {
+	p := quickParams()
+	_, rows, err := Intro(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fp, rw := rows[0], rows[1]
+	if fp.EngineSpeedup <= 1 {
+		t.Fatalf("forward push speedup %.2fx", fp.EngineSpeedup)
+	}
+	// The paper's structural claim: FP gains far exceed RW gains.
+	if fp.EngineSpeedup < 2*rw.EngineSpeedup {
+		t.Fatalf("FP speedup %.1fx should dwarf RW speedup %.1fx",
+			fp.EngineSpeedup, rw.EngineSpeedup)
+	}
+}
+
+func TestPartQualityOrdering(t *testing.T) {
+	p := quickParams()
+	_, rows, err := PartQuality(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	minCut, hash := rows[0], rows[2]
+	if minCut.EdgeCut >= hash.EdgeCut {
+		t.Fatalf("min-cut edge cut %d not below hash %d", minCut.EdgeCut, hash.EdgeCut)
+	}
+	if minCut.RemoteFrac >= hash.RemoteFrac {
+		t.Fatalf("min-cut remote frac %.3f not below hash %.3f", minCut.RemoteFrac, hash.RemoteFrac)
+	}
+}
+
+func TestFig7LossDecreases(t *testing.T) {
+	p := quickParams()
+	_, stats, err := Fig7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) < 2 {
+		t.Fatalf("stats = %v", stats)
+	}
+	if !(stats[len(stats)-1].MeanLoss < stats[0].MeanLoss) {
+		t.Fatalf("loss did not decrease: %v", stats)
+	}
+}
+
+func TestFig5bRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	p := quickParams()
+	p.Queries = 4
+	_, rows, err := Fig5b(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*4*2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Seconds <= 0 {
+			t.Fatalf("non-positive time: %+v", row)
+		}
+	}
+}
+
+func TestHaloAblation(t *testing.T) {
+	p := quickParams()
+	_, rows, err := Halo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	plain, cached := rows[0], rows[1]
+	if cached.RemoteFrac >= plain.RemoteFrac {
+		t.Fatalf("halo rows did not reduce remote traffic: %.3f vs %.3f",
+			cached.RemoteFrac, plain.RemoteFrac)
+	}
+	if cached.HaloFrac <= 0 || plain.HaloFrac != 0 {
+		t.Fatalf("halo fractions wrong: %+v", rows)
+	}
+	if cached.MemoryBytes <= plain.MemoryBytes {
+		t.Fatalf("halo rows should cost memory: %d vs %d",
+			cached.MemoryBytes, plain.MemoryBytes)
+	}
+}
+
+func TestEpsSweepMonotone(t *testing.T) {
+	p := quickParams()
+	_, rows, err := EpsSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Tighter eps touches at least as many nodes and is never better than
+	// ~equal throughput; precision is non-decreasing (within noise).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Touched < rows[i-1].Touched {
+			t.Fatalf("touched not monotone: %+v", rows)
+		}
+		if rows[i].Top100+0.05 < rows[i-1].Top100 {
+			t.Fatalf("precision regressed sharply: %+v", rows)
+		}
+	}
+	if rows[len(rows)-1].Top100 < 0.9 {
+		t.Fatalf("tightest eps precision %.3f", rows[len(rows)-1].Top100)
+	}
+}
+
+func TestNetLatencySweep(t *testing.T) {
+	p := quickParams()
+	p.Queries = 6
+	p.Repeats = 2
+	_, rows, err := NetLatency(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// A 10ms link must hurt throughput unambiguously.
+	if rows[2].Throughput >= rows[0].Throughput {
+		t.Fatalf("10ms latency did not reduce throughput: %+v", rows)
+	}
+	// On this single-core host overlap has almost no local work to hide,
+	// so its benefit is within scheduling noise; assert only that it is
+	// not catastrophically worse. The positive overlap gain is reported
+	// (not asserted) by the netlatency experiment at larger scales.
+	if rows[2].OverlapTP < rows[2].Throughput*0.6 {
+		t.Fatalf("overlap collapsed under latency: %+v", rows[2])
+	}
+}
+
+func TestModelsComparison(t *testing.T) {
+	p := quickParams()
+	_, rows, err := Models(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		// Every architecture must learn the synthetic task well beyond
+		// random (0.25 for 4 classes).
+		if row.HeldOut < 0.4 {
+			t.Fatalf("%s: held-out accuracy %.3f", row.Model, row.HeldOut)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pprengine/internal/cluster"
+	"pprengine/internal/core"
+	"pprengine/internal/graph"
+	"pprengine/internal/partition"
+	"pprengine/internal/ppr"
+	"pprengine/internal/rpc"
+	"pprengine/internal/shard"
+)
+
+// HaloRow is one rung of the halo-cache ablation.
+type HaloRow struct {
+	Config      string
+	RemoteFrac  float64 // fetched rows served over RPC
+	HaloFrac    float64 // fetched rows served by the halo cache
+	MemoryBytes int64   // total shard memory
+	Throughput  float64
+}
+
+// Halo ablates the §3.2.1 halo-depth trade-off on twitter-sim (4 machines):
+// columns-only halo (the default) vs cached halo rows. More stored data,
+// less communication.
+func Halo(p Params) (Report, []HaloRow, error) {
+	spec, err := p.Spec("twitter-sim")
+	if err != nil {
+		return Report{}, nil, err
+	}
+	g := spec.GenerateCached()
+	const machines = 4
+	assign, err := assignmentFor(spec.Name, g, machines, cluster.PartitionMinCut)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	cfg := core.DefaultConfig()
+	r := Report{Title: "Halo-depth ablation on twitter-sim (4 machines)"}
+	r.Lines = append(r.Lines, fmt.Sprintf("%-14s %12s %10s %12s %12s",
+		"Halo", "RemoteFrac", "HaloFrac", "ShardMem", "Queries/s"))
+	var rows []HaloRow
+	for _, cached := range []bool{false, true} {
+		shards, loc, err := shard.BuildWithOptions(g, assign, machines, shard.BuildOptions{CacheHaloRows: cached})
+		if err != nil {
+			return r, nil, err
+		}
+		opts := cluster.Options{NumMachines: machines, ProcsPerMachine: 1, CacheHaloRows: cached}
+		c, err := cluster.NewFromShards(shards, loc, opts, partition.Evaluate(g, assign))
+		if err != nil {
+			return r, nil, err
+		}
+		qs := c.EvenQuerySet(minInt(p.Queries, 16), 51)
+		tp, last, err := measuredRun(p, func() (cluster.RunResult, error) {
+			return c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+		})
+		c.Close()
+		if err != nil {
+			return r, nil, err
+		}
+		var mem int64
+		for _, s := range shards {
+			st := shard.ComputeStats(s)
+			mem += st.MemoryBytes
+			// Halo rows add their own arrays beyond the base estimate.
+			mem += int64(len(s.HaloNbrLocal)) * 16
+			mem += int64(len(s.HaloKeys)) * 16
+		}
+		total := last.LocalRows + last.RemoteRows + last.HaloRows
+		name := "1-hop (cols)"
+		if cached {
+			name = "2-hop (rows)"
+		}
+		row := HaloRow{
+			Config:      name,
+			RemoteFrac:  float64(last.RemoteRows) / float64(total),
+			HaloFrac:    float64(last.HaloRows) / float64(total),
+			MemoryBytes: mem,
+			Throughput:  tp,
+		}
+		rows = append(rows, row)
+		r.Lines = append(r.Lines, fmt.Sprintf("%-14s %12.3f %10.3f %10.1fMB %12.1f",
+			row.Config, row.RemoteFrac, row.HaloFrac, float64(row.MemoryBytes)/(1<<20), row.Throughput))
+	}
+	return r, rows, nil
+}
+
+// EpsRow is one point of the ε sweep.
+type EpsRow struct {
+	Eps        float64
+	Throughput float64
+	Top100     float64
+	Touched    float64 // average touched nodes per query
+}
+
+// EpsSweep sweeps the residual threshold on products-sim, connecting the
+// paper's two claims: ε=1e-6 gives 97%+ top-100 precision (§4.2) while
+// ε=1e-4 is already enough for GNN tasks at far less cost.
+func EpsSweep(p Params) (Report, []EpsRow, error) {
+	spec, err := p.Spec("products-sim")
+	if err != nil {
+		return Report{}, nil, err
+	}
+	g := spec.GenerateCached()
+	const machines = 4
+	c, err := buildCluster(spec, machines, 1, cluster.PartitionMinCut)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	defer c.Close()
+	// Precision reference: power iteration on a few sources.
+	rng := rand.New(rand.NewSource(77))
+	type ref struct {
+		src   graph.NodeID
+		exact []float64
+	}
+	var refs []ref
+	for i := 0; i < 3; i++ {
+		src := graph.NodeID(rng.Intn(g.NumNodes))
+		exact, _ := ppr.PowerIteration(g, src, 0.462, 1e-10, 500)
+		refs = append(refs, ref{src, exact})
+	}
+	r := Report{Title: "Epsilon sweep on products-sim (4 machines)"}
+	r.Lines = append(r.Lines, fmt.Sprintf("%10s %12s %10s %12s", "eps", "Queries/s", "top-100", "Touched"))
+	var rows []EpsRow
+	for _, eps := range []float64{1e-4, 1e-5, 1e-6, 1e-7} {
+		cfg := core.DefaultConfig()
+		cfg.Eps = eps
+		qs := c.EvenQuerySet(minInt(p.Queries, 16), 61)
+		tp, _, err := measuredRun(p, func() (cluster.RunResult, error) {
+			return c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+		})
+		if err != nil {
+			return r, nil, err
+		}
+		var prec, touched float64
+		for _, rf := range refs {
+			res := ppr.ForwardPush(g, rf.src, 0.462, eps)
+			prec += ppr.TopKPrecision(res.Scores, rf.exact, 100)
+			touched += float64(len(res.Scores))
+		}
+		row := EpsRow{Eps: eps, Throughput: tp, Top100: prec / float64(len(refs)), Touched: touched / float64(len(refs))}
+		rows = append(rows, row)
+		r.Lines = append(r.Lines, fmt.Sprintf("%10.0e %12.1f %10.3f %12.0f",
+			row.Eps, row.Throughput, row.Top100, row.Touched))
+	}
+	return r, rows, nil
+}
+
+// LatencyRow is one point of the network-sensitivity sweep.
+type LatencyRow struct {
+	Base       time.Duration
+	Throughput float64
+	OverlapTP  float64 // with overlap enabled
+}
+
+// NetLatency sweeps a synthetic per-message link latency on friendster-sim
+// (2 machines), showing how the engine's throughput degrades with slower
+// interconnects and how much the overlap optimization buys back — the
+// regime (real cross-machine links) the paper targets but simulates on one
+// host, as do we.
+func NetLatency(p Params) (Report, []LatencyRow, error) {
+	spec, err := p.Spec("friendster-sim")
+	if err != nil {
+		return Report{}, nil, err
+	}
+	g := spec.GenerateCached()
+	const machines = 2
+	assign, err := assignmentFor(spec.Name, g, machines, cluster.PartitionMinCut)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	shards, loc, err := shard.Build(g, assign, machines)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	r := Report{Title: "Network latency sensitivity on friendster-sim (2 machines)"}
+	r.Lines = append(r.Lines, fmt.Sprintf("%12s %14s %14s %10s", "Latency", "No overlap", "Overlap", "Gain"))
+	var rows []LatencyRow
+	for _, base := range []time.Duration{0, time.Millisecond, 10 * time.Millisecond} {
+		opts := cluster.Options{
+			NumMachines: machines, ProcsPerMachine: 1,
+			Latency: rpc.LatencyModel{Base: base, BytesPerSec: 1e9},
+		}
+		c, err := cluster.NewFromShards(shards, loc, opts, partition.Evaluate(g, assign))
+		if err != nil {
+			return r, nil, err
+		}
+		qs := c.EvenQuerySet(minInt(p.Queries, 8), 71)
+		cfgNo := core.DefaultConfig()
+		cfgNo.Overlap = false
+		tpNo, _, err := measuredRun(p, func() (cluster.RunResult, error) {
+			return c.RunSSPPRBatch(qs, cfgNo, cluster.EngineMap)
+		})
+		if err != nil {
+			c.Close()
+			return r, nil, err
+		}
+		cfgYes := core.DefaultConfig()
+		tpYes, _, err := measuredRun(p, func() (cluster.RunResult, error) {
+			return c.RunSSPPRBatch(qs, cfgYes, cluster.EngineMap)
+		})
+		c.Close()
+		if err != nil {
+			return r, nil, err
+		}
+		row := LatencyRow{Base: base, Throughput: tpNo, OverlapTP: tpYes}
+		rows = append(rows, row)
+		r.Lines = append(r.Lines, fmt.Sprintf("%12v %14.1f %14.1f %9.2fx",
+			base, tpNo, tpYes, tpYes/tpNo))
+	}
+	return r, rows, nil
+}

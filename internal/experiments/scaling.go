@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pprengine/internal/cluster"
+	"pprengine/internal/core"
+)
+
+// Fig5aRow is one (dataset, machines) throughput sample.
+type Fig5aRow struct {
+	Dataset    string
+	Machines   int
+	Throughput float64
+	RemoteFrac float64
+}
+
+// Fig5a reproduces the machine-scalability curve: machines ∈ {2,4,8}, one
+// compute process per machine, partitions = machines, 256 total queries
+// (scaled by p.Queries*8 to stay proportionate at small scales).
+func Fig5a(p Params) (Report, []Fig5aRow, error) {
+	machinesList := []int{2, 4, 8}
+	cfg := core.DefaultConfig()
+	r := Report{Title: "Figure 5a: Scalability vs number of machines (1 proc/machine)"}
+	r.Lines = append(r.Lines, fmt.Sprintf("%-18s %9s %14s %12s", "Dataset", "Machines", "Queries/s", "RemoteFrac"))
+	var rows []Fig5aRow
+	for _, spec := range p.specs() {
+		var base float64
+		for _, k := range machinesList {
+			c, err := buildCluster(spec, k, 1, cluster.PartitionMinCut)
+			if err != nil {
+				return r, nil, err
+			}
+			// Fixed total problem size of 256 queries (paper), spread
+			// evenly; smaller when p.Queries is reduced.
+			total := minInt(256, p.Queries*8)
+			qs := c.EvenQuerySet(total/k, 3)
+			tp, last, err := measuredRun(p, func() (cluster.RunResult, error) {
+				return c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+			})
+			c.Close()
+			if err != nil {
+				return r, nil, err
+			}
+			row := Fig5aRow{Dataset: spec.Name, Machines: k, Throughput: tp, RemoteFrac: last.RemoteFraction()}
+			rows = append(rows, row)
+			speedup := ""
+			if k == machinesList[0] {
+				base = tp
+			} else if base > 0 {
+				speedup = fmt.Sprintf(" (%.2fx vs %d mach)", tp/base, machinesList[0])
+			}
+			r.Lines = append(r.Lines, fmt.Sprintf("%-18s %9d %14.1f %12.3f%s",
+				row.Dataset, row.Machines, row.Throughput, row.RemoteFrac, speedup))
+		}
+	}
+	return r, rows, nil
+}
+
+// Fig5bRow is one (dataset, procs, mode) sample of the inter-SSPPR
+// parallelism study.
+type Fig5bRow struct {
+	Dataset string
+	Procs   int
+	Weak    bool
+	Seconds float64
+}
+
+// Fig5b reproduces the inter-SSPPR parallelization analysis: 2 machines,
+// computing processes per machine ∈ {1,2,4,8}; strong scaling fixes the
+// total at 128 queries, weak scaling fixes 128 queries per process (scaled
+// down via p.Queries).
+func Fig5b(p Params) (Report, []Fig5bRow, error) {
+	procsList := []int{1, 2, 4, 8}
+	const machines = 2
+	cfg := core.DefaultConfig()
+	r := Report{Title: "Figure 5b: Inter-SSPPR parallelism (2 machines)"}
+	r.Lines = append(r.Lines, fmt.Sprintf("%-18s %6s %8s %10s", "Dataset", "Procs", "Mode", "Time"))
+	var rows []Fig5bRow
+	strongTotal := p.Queries // per machine at procs=1
+	for _, spec := range p.specs() {
+		var strongBase, weakBase float64
+		for _, procs := range procsList {
+			c, err := buildCluster(spec, machines, procs, cluster.PartitionMinCut)
+			if err != nil {
+				return r, nil, err
+			}
+			// Strong: fixed per-machine total.
+			qsStrong := c.EvenQuerySet(strongTotal, 5)
+			_, lastS, err := measuredRun(p, func() (cluster.RunResult, error) {
+				return c.RunSSPPRBatch(qsStrong, cfg, cluster.EngineMap)
+			})
+			if err != nil {
+				c.Close()
+				return r, nil, err
+			}
+			// Weak: fixed per-process count, total grows with procs.
+			weakPerProc := strongTotal / 4
+			if weakPerProc < 4 {
+				weakPerProc = 4
+			}
+			qsWeak := c.EvenQuerySet(weakPerProc*procs, 5)
+			_, lastW, err := measuredRun(p, func() (cluster.RunResult, error) {
+				return c.RunSSPPRBatch(qsWeak, cfg, cluster.EngineMap)
+			})
+			c.Close()
+			if err != nil {
+				return r, nil, err
+			}
+			sSec := lastS.Wall.Seconds()
+			wSec := lastW.Wall.Seconds()
+			rows = append(rows,
+				Fig5bRow{spec.Name, procs, false, sSec},
+				Fig5bRow{spec.Name, procs, true, wSec})
+			strongNote, weakNote := "", ""
+			if procs == 1 {
+				strongBase, weakBase = sSec, wSec
+			} else {
+				strongNote = fmt.Sprintf(" (%.2fx)", strongBase/sSec)
+				// Weak scaling: ideal is flat time while work grows.
+				weakNote = fmt.Sprintf(" (eff %.2f)", weakBase/wSec)
+			}
+			r.Lines = append(r.Lines,
+				fmt.Sprintf("%-18s %6d %8s %9.3fs%s", spec.Name, procs, "strong", sSec, strongNote),
+				fmt.Sprintf("%-18s %6d %8s %9.3fs%s", spec.Name, procs, "weak", wSec, weakNote))
+		}
+	}
+	return r, rows, nil
+}

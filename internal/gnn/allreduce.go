@@ -1,0 +1,107 @@
+package gnn
+
+import (
+	"fmt"
+	"sync"
+
+	"pprengine/internal/rpc"
+	"pprengine/internal/wire"
+)
+
+// AllreduceHub implements the gradient synchronization of the case study's
+// DistributedDataParallel step: every machine contributes its gradient
+// vector; once all worldSize contributions arrive, each caller receives the
+// element-wise mean. The hub lives on one machine's storage server (rank 0)
+// and the others reach it over RPC, which keeps the simulation's
+// communication honest.
+//
+// One hub instance handles an arbitrary number of sequential rounds; a
+// round completes when worldSize contributions have arrived.
+type AllreduceHub struct {
+	worldSize int
+
+	mu      sync.Mutex
+	sum     []float32
+	count   int
+	round   int
+	waiters []chan []float32
+}
+
+// NewAllreduceHub creates a hub for worldSize participants.
+func NewAllreduceHub(worldSize int) *AllreduceHub {
+	return &AllreduceHub{worldSize: worldSize}
+}
+
+// Contribute adds one gradient vector to the current round and blocks until
+// the round's mean is available.
+func (h *AllreduceHub) Contribute(grad []float32) ([]float32, error) {
+	h.mu.Lock()
+	if h.sum == nil {
+		h.sum = make([]float32, len(grad))
+	}
+	if len(grad) != len(h.sum) {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("gnn: allreduce size mismatch: %d vs %d", len(grad), len(h.sum))
+	}
+	for i, g := range grad {
+		h.sum[i] += g
+	}
+	h.count++
+	if h.count == h.worldSize {
+		mean := make([]float32, len(h.sum))
+		inv := float32(1) / float32(h.worldSize)
+		for i, s := range h.sum {
+			mean[i] = s * inv
+		}
+		waiters := h.waiters
+		h.waiters = nil
+		h.sum = nil
+		h.count = 0
+		h.round++
+		h.mu.Unlock()
+		for _, w := range waiters {
+			w <- mean
+		}
+		return mean, nil
+	}
+	ch := make(chan []float32, 1)
+	h.waiters = append(h.waiters, ch)
+	h.mu.Unlock()
+	return <-ch, nil
+}
+
+// RegisterHandler installs the hub on an RPC handler registry under
+// MethodAllreduce. The payload is a bare float32 vector.
+func (h *AllreduceHub) RegisterHandler(handle func(rpc.Method, rpc.Handler)) {
+	handle(rpc.MethodAllreduce, func(p []byte) ([]byte, error) {
+		grad, err := wire.DecodeF32s(p)
+		if err != nil {
+			return nil, err
+		}
+		mean, err := h.Contribute(grad)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeF32s(mean), nil
+	})
+}
+
+// AllreduceClient lets non-rank-0 machines contribute via RPC.
+type AllreduceClient struct {
+	// Hub is non-nil on the machine that hosts the hub (shared memory).
+	Hub *AllreduceHub
+	// Client reaches the hub machine otherwise.
+	Client *rpc.Client
+}
+
+// Sync contributes grad and returns the round mean.
+func (a *AllreduceClient) Sync(grad []float32) ([]float32, error) {
+	if a.Hub != nil {
+		return a.Hub.Contribute(grad)
+	}
+	resp, err := a.Client.SyncCall(rpc.MethodAllreduce, wire.EncodeF32s(grad))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeF32s(resp)
+}

@@ -1,0 +1,144 @@
+package gnn
+
+import (
+	"fmt"
+	"sort"
+
+	"pprengine/internal/core"
+	"pprengine/internal/graph"
+	"pprengine/internal/pmap"
+)
+
+// ConvertBatch is the paper's convert_batch (§4.5): given an SSPPR result
+// for an ego vertex, it takes the top-K scored vertices (always including
+// the ego), induces their subgraph by fetching neighbor lists through the
+// distributed storage, and slices their features from the cross-machine
+// feature store. The result is a model-ready Batch.
+func ConvertBatch(g *core.DistGraphStorage, m *core.SSPPR, egoLocal int32, topK, numClasses int) (*Batch, error) {
+	scores := m.Scores()
+	ego := pmap.Key{Local: egoLocal, Shard: g.ShardID}
+	// Rank by score, keep topK, force the ego in.
+	keys := topKeys(scores, topK)
+	hasEgo := false
+	for _, k := range keys {
+		if k == ego {
+			hasEgo = true
+			break
+		}
+	}
+	if !hasEgo {
+		if len(keys) == topK && topK > 0 {
+			keys[len(keys)-1] = ego
+		} else {
+			keys = append(keys, ego)
+		}
+	}
+	index := make(map[pmap.Key]int32, len(keys))
+	for i, k := range keys {
+		index[k] = int32(i)
+	}
+	// Group by shard for neighbor-info and feature fetches.
+	byShard := make([][]int32, g.NumShards)
+	rowOf := make([][]int32, g.NumShards) // batch index per fetched row
+	for i, k := range keys {
+		byShard[k.Shard] = append(byShard[k.Shard], k.Local)
+		rowOf[k.Shard] = append(rowOf[k.Shard], int32(i))
+	}
+	// Issue everything asynchronously (remote shards overlap).
+	infoFuts := make([]*core.InfoFuture, g.NumShards)
+	featFuts := make([]*core.FeatureFuture, g.NumShards)
+	for sh := int32(0); sh < g.NumShards; sh++ {
+		if len(byShard[sh]) == 0 {
+			continue
+		}
+		infoFuts[sh] = g.GetNeighborInfos(sh, byShard[sh], core.FetchBatchCompress)
+		featFuts[sh] = g.FetchFeatures(sh, byShard[sh])
+	}
+	b := &Batch{N: len(keys)}
+	var dim int
+	// Assemble features.
+	featRows := make([][]float32, len(keys))
+	for sh := int32(0); sh < g.NumShards; sh++ {
+		if featFuts[sh] == nil {
+			continue
+		}
+		feats, d, err := featFuts[sh].Wait()
+		if err != nil {
+			return nil, fmt.Errorf("gnn: feature fetch shard %d: %w", sh, err)
+		}
+		if dim == 0 {
+			dim = d
+		} else if dim != d {
+			return nil, fmt.Errorf("gnn: inconsistent feature dims %d vs %d", dim, d)
+		}
+		for i, row := range rowOf[sh] {
+			featRows[row] = feats[i*d : (i+1)*d]
+		}
+	}
+	b.X = make([]float32, len(keys)*dim)
+	for i, row := range featRows {
+		copy(b.X[i*dim:(i+1)*dim], row)
+	}
+	// Induce edges: keep only neighbors inside the batch. Edge direction
+	// src -> dst means messages flow along graph edges.
+	for sh := int32(0); sh < g.NumShards; sh++ {
+		if infoFuts[sh] == nil {
+			continue
+		}
+		batch, err := infoFuts[sh].Wait()
+		if err != nil {
+			return nil, fmt.Errorf("gnn: neighbor fetch shard %d: %w", sh, err)
+		}
+		for i := 0; i < batch.NumRows(); i++ {
+			srcIdx := rowOf[sh][i]
+			nl, ns, _, _, _ := batch.Row(i)
+			for j := range nl {
+				if dstIdx, ok := index[pmap.Key{Local: nl[j], Shard: ns[j]}]; ok {
+					b.EdgeSrc = append(b.EdgeSrc, srcIdx)
+					b.EdgeDst = append(b.EdgeDst, dstIdx)
+				}
+			}
+		}
+	}
+	b.EgoIdx = int(index[ego])
+	egoGlobal := g.Locator.Global(ego.Shard, ego.Local)
+	b.EgoLabel = LabelOf(egoGlobal, numClasses)
+	b.PPRWeights = make([]float32, len(keys))
+	for i, k := range keys {
+		b.PPRWeights[i] = float32(scores[k])
+	}
+	return b, nil
+}
+
+// topKeys returns up to k keys with the highest scores (descending; ties by
+// key for determinism).
+func topKeys(scores map[pmap.Key]float64, k int) []pmap.Key {
+	type kv struct {
+		k pmap.Key
+		v float64
+	}
+	items := make([]kv, 0, len(scores))
+	for key, v := range scores {
+		items = append(items, kv{key, v})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].v != items[j].v {
+			return items[i].v > items[j].v
+		}
+		if items[i].k.Shard != items[j].k.Shard {
+			return items[i].k.Shard < items[j].k.Shard
+		}
+		return items[i].k.Local < items[j].k.Local
+	})
+	if k > len(items) {
+		k = len(items)
+	}
+	out := make([]pmap.Key, k)
+	for i := 0; i < k; i++ {
+		out[i] = items[i].k
+	}
+	return out
+}
+
+// LabelOfGlobal is a convenience wrapper for tests.
+func LabelOfGlobal(v graph.NodeID, numClasses int) int { return LabelOf(v, numClasses) }

@@ -1,0 +1,100 @@
+package gnn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Model checkpointing: parameters are written as framed float32 blocks in
+// Params() order. The loader writes into an already-constructed model of
+// the same architecture, so the file stays architecture-agnostic.
+
+const (
+	ckptMagic   = 0x474e4e43 // "GNNC"
+	ckptVersion = 1
+)
+
+// SaveParams writes a model's parameters to w.
+func SaveParams(w io.Writer, m Model) error {
+	bw := bufio.NewWriter(w)
+	params := m.Params()
+	for _, v := range []any{uint32(ckptMagic), uint32(ckptVersion), uint32(len(params))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads parameters written by SaveParams into m. The block
+// shapes must match m's architecture exactly.
+func LoadParams(r io.Reader, m Model) error {
+	br := bufio.NewReader(r)
+	var magic, ver, n uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("gnn: bad checkpoint magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return err
+	}
+	if ver != ckptVersion {
+		return fmt.Errorf("gnn: unsupported checkpoint version %d", ver)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	params := m.Params()
+	if int(n) != len(params) {
+		return fmt.Errorf("gnn: checkpoint has %d blocks, model wants %d", n, len(params))
+	}
+	for i, p := range params {
+		var sz uint32
+		if err := binary.Read(br, binary.LittleEndian, &sz); err != nil {
+			return err
+		}
+		if int(sz) != len(p) {
+			return fmt.Errorf("gnn: block %d has %d floats, model wants %d", i, sz, len(p))
+		}
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveCheckpoint writes the model to path.
+func SaveCheckpoint(path string, m Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveParams(f, m); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadCheckpoint reads parameters from path into m.
+func LoadCheckpoint(path string, m Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadParams(f, m)
+}

@@ -1,0 +1,52 @@
+// Package gnn implements the paper's case study (§4.5, Figure 7):
+// distributed mini-batch GNN training where every mini-batch subgraph is
+// built from top-K SSPPR scores computed by the engine (ShaDow-SAGE style).
+//
+// It provides a synthetic feature/label store, the convert_batch subgraph
+// induction, a float32 GraphSAGE model with manual backpropagation, Adam,
+// and an RPC-based gradient allreduce so the simulated machines train a
+// shared model.
+package gnn
+
+import (
+	"math/rand"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/shard"
+)
+
+// LabelOf assigns a deterministic synthetic class to every global node ID.
+// The class structure is recoverable from features (see MakeFeatures), so a
+// working training loop drives the loss down.
+func LabelOf(global graph.NodeID, numClasses int) int {
+	x := uint64(uint32(global))
+	x ^= x >> 16
+	x *= 0x45d9f3b
+	x ^= x >> 16
+	return int(x % uint64(numClasses))
+}
+
+// MakeFeatures builds the feature block for one shard: each node's feature
+// vector is a noisy embedding of its label — class c contributes a bump on
+// coordinates [c*dim/numClasses, (c+1)*dim/numClasses). Row-major
+// [NumCore x dim].
+func MakeFeatures(s *shard.Shard, dim, numClasses int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, s.NumCore()*dim)
+	span := dim / numClasses
+	if span == 0 {
+		span = 1
+	}
+	for i, gv := range s.CoreGlobal {
+		c := LabelOf(gv, numClasses)
+		row := out[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] = float32(rng.NormFloat64()) * 0.3
+		}
+		lo := c * span
+		for j := lo; j < lo+span && j < dim; j++ {
+			row[j] += 1.0
+		}
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pprengine/internal/cluster"
+	"pprengine/internal/core"
+	"pprengine/internal/graph"
+	"pprengine/internal/rpc"
+)
+
+func TestMatMulBasics(t *testing.T) {
+	// A = [[1,2],[3,4]], B = [[5,6],[7,8]]
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	c := matMul(a, 2, 2, b, 2)
+	want := []float32{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("matMul[%d] = %v", i, c[i])
+		}
+	}
+	// AᵀB with A as 2x2.
+	ct := matMulATB(a, 2, 2, b, 2)
+	want = []float32{26, 30, 38, 44}
+	for i := range want {
+		if ct[i] != want[i] {
+			t.Fatalf("matMulATB[%d] = %v", i, ct[i])
+		}
+	}
+	// ABᵀ.
+	cbt := matMulABT(a, 2, 2, b, 2)
+	want = []float32{17, 23, 39, 53}
+	for i := range want {
+		if cbt[i] != want[i] {
+			t.Fatalf("matMulABT[%d] = %v", i, cbt[i])
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	// Uniform logits: loss = ln(n).
+	logits := []float32{0, 0, 0}
+	loss, grad := softmaxCrossEntropy(logits, 1, 3, []int{1})
+	if math.Abs(float64(loss)-math.Log(3)) > 1e-5 {
+		t.Fatalf("loss = %v, want ln 3", loss)
+	}
+	// Gradient sums to zero and is negative at the target.
+	sum := float32(0)
+	for _, g := range grad {
+		sum += g
+	}
+	if math.Abs(float64(sum)) > 1e-6 || grad[1] >= 0 {
+		t.Fatalf("grad = %v", grad)
+	}
+}
+
+func TestMeanAggregate(t *testing.T) {
+	b := &Batch{N: 3, EdgeSrc: []int32{0, 1, 0}, EdgeDst: []int32{2, 2, 1}}
+	h := []float32{1, 2, 3, 4, 5, 6} // 3 nodes x dim 2
+	agg := meanAggregate(b, h, 2)
+	// node2 gets mean(h0,h1) = (2,3); node1 gets h0 = (1,2); node0 zero.
+	want := []float32{0, 0, 1, 2, 2, 3}
+	for i := range want {
+		if agg[i] != want[i] {
+			t.Fatalf("agg = %v", agg)
+		}
+	}
+}
+
+// TestGradientCheck verifies Loss's analytic gradients against numerical
+// differentiation on a tiny model and batch.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewSAGE(3, 4, 2, 7)
+	b := &Batch{
+		N:        4,
+		X:        make([]float32, 12),
+		EdgeSrc:  []int32{0, 1, 2, 3, 1},
+		EdgeDst:  []int32{1, 0, 3, 2, 2},
+		EgoIdx:   1,
+		EgoLabel: 1,
+	}
+	for i := range b.X {
+		b.X[i] = float32(rng.NormFloat64())
+	}
+	_, grads := m.Loss(b)
+	params := m.Params()
+	const h = 1e-3
+	checked := 0
+	for pi, p := range params {
+		for j := 0; j < len(p); j += 3 { // sample every 3rd coordinate
+			orig := p[j]
+			p[j] = orig + h
+			lp, _ := m.Loss(b)
+			p[j] = orig - h
+			lm, _ := m.Loss(b)
+			p[j] = orig
+			num := (float64(lp) - float64(lm)) / (2 * h)
+			ana := float64(grads[pi][j])
+			if math.Abs(num-ana) > 1e-2*(1+math.Abs(num)) {
+				t.Fatalf("param %d[%d]: numerical %v vs analytic %v", pi, j, num, ana)
+			}
+			checked++
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d coords checked", checked)
+	}
+}
+
+func TestAdamDecreasesQuadratic(t *testing.T) {
+	// Minimize f(x) = sum x_i^2 from x=1.
+	x := []float32{1, 1, 1}
+	params := [][]float32{x}
+	opt := NewAdam(params, 0.1)
+	f := func() float32 {
+		s := float32(0)
+		for _, v := range x {
+			s += v * v
+		}
+		return s
+	}
+	start := f()
+	for i := 0; i < 200; i++ {
+		g := []float32{2 * x[0], 2 * x[1], 2 * x[2]}
+		opt.Step(params, [][]float32{g})
+	}
+	if f() > start/100 {
+		t.Fatalf("Adam failed to optimize: %v -> %v", start, f())
+	}
+}
+
+func TestFlattenUnflatten(t *testing.T) {
+	a := [][]float32{{1, 2}, {3}, {4, 5, 6}}
+	flat := FlattenGrads(a)
+	if len(flat) != 6 || flat[3] != 4 {
+		t.Fatalf("flat = %v", flat)
+	}
+	back := UnflattenInto(flat, a)
+	if len(back) != 3 || back[2][2] != 6 || len(back[1]) != 1 {
+		t.Fatalf("back = %v", back)
+	}
+}
+
+func TestLabelOfStable(t *testing.T) {
+	seen := map[int]int{}
+	for v := graph.NodeID(0); v < 1000; v++ {
+		l := LabelOf(v, 4)
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d", l)
+		}
+		if l != LabelOf(v, 4) {
+			t.Fatal("unstable label")
+		}
+		seen[l]++
+	}
+	for c := 0; c < 4; c++ {
+		if seen[c] < 100 {
+			t.Fatalf("class %d underrepresented: %v", c, seen)
+		}
+	}
+}
+
+func TestAllreduceHubLocal(t *testing.T) {
+	hub := NewAllreduceHub(3)
+	var wg sync.WaitGroup
+	results := make([][]float32, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			grad := []float32{float32(i), 1}
+			mean, err := hub.Contribute(grad)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = mean
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 3; i++ {
+		if results[i] == nil || results[i][0] != 1 || results[i][1] != 1 {
+			t.Fatalf("rank %d mean = %v", i, results[i])
+		}
+	}
+	// Second round works too.
+	done := make(chan []float32, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			m, _ := hub.Contribute([]float32{2, 2})
+			done <- m
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		m := <-done
+		if m[0] != 2 {
+			t.Fatalf("round 2 mean = %v", m)
+		}
+	}
+}
+
+func TestAllreduceOverRPC(t *testing.T) {
+	hub := NewAllreduceHub(2)
+	srv := rpc.NewServer()
+	hub.RegisterHandler(srv.Handle)
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := rpc.Dial(addr, rpc.LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	local := &AllreduceClient{Hub: hub}
+	remote := &AllreduceClient{Client: cl}
+	var localMean, remoteMean []float32
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); localMean, _ = local.Sync([]float32{0, 4}) }()
+	go func() { defer wg.Done(); remoteMean, _ = remote.Sync([]float32{2, 0}) }()
+	wg.Wait()
+	for _, m := range [][]float32{localMean, remoteMean} {
+		if m == nil || m[0] != 1 || m[1] != 2 {
+			t.Fatalf("mean = %v", m)
+		}
+	}
+}
+
+func TestAllreduceSizeMismatch(t *testing.T) {
+	hub := NewAllreduceHub(2)
+	go hub.Contribute([]float32{1, 2})
+	for {
+		hub.mu.Lock()
+		started := hub.count == 1
+		hub.mu.Unlock()
+		if started {
+			break
+		}
+	}
+	if _, err := hub.Contribute([]float32{1}); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	// Unblock the waiter.
+	hub.Contribute([]float32{1, 0})
+}
+
+func trainCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	g := graph.MakeUndirected(graph.RMAT(graph.RMATConfig{
+		NumNodes: 600, NumEdges: 4000, A: 0.5, B: 0.22, C: 0.22, Seed: 21,
+	}))
+	c, err := cluster.New(g, cluster.Options{NumMachines: 2, ProcsPerMachine: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestConvertBatch(t *testing.T) {
+	c := trainCluster(t)
+	cfg := DefaultTrainConfig()
+	if _, err := Setup(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Storages[0][0]
+	ego := int32(3)
+	q, _, err := core.RunSSPPR(st, ego, cfg.PPR, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConvertBatch(st, q, ego, cfg.TopK, cfg.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N == 0 || b.N > cfg.TopK+1 {
+		t.Fatalf("batch size %d", b.N)
+	}
+	if b.EgoIdx < 0 || b.EgoIdx >= b.N {
+		t.Fatalf("ego index %d", b.EgoIdx)
+	}
+	if len(b.X) != b.N*cfg.FeatureDim {
+		t.Fatalf("features %d", len(b.X))
+	}
+	if len(b.EdgeSrc) != len(b.EdgeDst) || len(b.EdgeSrc) == 0 {
+		t.Fatalf("edges %d/%d", len(b.EdgeSrc), len(b.EdgeDst))
+	}
+	for i := range b.EdgeSrc {
+		if b.EdgeSrc[i] < 0 || b.EdgeSrc[i] >= int32(b.N) || b.EdgeDst[i] < 0 || b.EdgeDst[i] >= int32(b.N) {
+			t.Fatal("edge index out of range")
+		}
+	}
+	egoGlobal := st.Locator.Global(0, ego)
+	if b.EgoLabel != LabelOf(egoGlobal, cfg.NumClasses) {
+		t.Fatal("ego label wrong")
+	}
+	// Ego features must match the shard's feature block.
+	lf := st.LocalFeatures[int(ego)*cfg.FeatureDim : (int(ego)+1)*cfg.FeatureDim]
+	for j := 0; j < cfg.FeatureDim; j++ {
+		if b.X[b.EgoIdx*cfg.FeatureDim+j] != lf[j] {
+			t.Fatal("ego features mismatch")
+		}
+	}
+}
+
+func TestTrainDistributedLossDecreases(t *testing.T) {
+	c := trainCluster(t)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 4
+	cfg.BatchesPerEpc = 12
+	stats, model, err := TrainDistributed(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != cfg.Epochs || model == nil {
+		t.Fatalf("stats = %v", stats)
+	}
+	first, last := stats[0].MeanLoss, stats[len(stats)-1].MeanLoss
+	if !(last < first) {
+		t.Fatalf("loss did not decrease: %v -> %v (all %v)", first, last, stats)
+	}
+	if stats[len(stats)-1].Accuracy <= stats[0].Accuracy-0.2 {
+		t.Fatalf("accuracy regressed: %v", stats)
+	}
+}
+
+func TestReplicasStayIdentical(t *testing.T) {
+	c := trainCluster(t)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	cfg.BatchesPerEpc = 4
+	ends, err := Setup(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := 2
+	models := []*SAGE{
+		NewSAGE(cfg.FeatureDim, cfg.Hidden, cfg.NumClasses, cfg.Seed),
+		NewSAGE(cfg.FeatureDim, cfg.Hidden, cfg.NumClasses, cfg.Seed),
+	}
+	adams := []*Adam{NewAdam(models[0].Params(), cfg.LR), NewAdam(models[1].Params(), cfg.LR)}
+	var wg sync.WaitGroup
+	for m := 0; m < world; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			st := c.Storages[m][0]
+			for bi := 0; bi < 3; bi++ {
+				ego := int32(bi)
+				q, _, err := core.RunSSPPR(st, ego, cfg.PPR, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b, err := ConvertBatch(st, q, ego, cfg.TopK, cfg.NumClasses)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, grads := models[m].Loss(b)
+				mean, err := ends[m].Sync(FlattenGrads(grads))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				adams[m].Step(models[m].Params(), UnflattenInto(mean, models[m].Params()))
+			}
+		}(m)
+	}
+	wg.Wait()
+	// After synchronized steps, both replicas hold identical parameters.
+	p0, p1 := models[0].Params(), models[1].Params()
+	for i := range p0 {
+		for j := range p0[i] {
+			if p0[i][j] != p1[i][j] {
+				t.Fatalf("replicas diverged at param %d[%d]: %v vs %v", i, j, p0[i][j], p1[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Minimal float32 dense math used by the GraphSAGE model. Matrices are
+// row-major [rows x cols] slices.
+
+// matMul computes C[m×n] = A[m×k] · B[k×n].
+func matMul(a []float32, m, k int, b []float32, n int) []float32 {
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		cr := c[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			if av == 0 {
+				continue
+			}
+			br := b[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				cr[j] += av * br[j]
+			}
+		}
+	}
+	return c
+}
+
+// matMulATB computes C[k×n] = Aᵀ[k×m] · B[m×n] for A[m×k].
+func matMulATB(a []float32, m, k int, b []float32, n int) []float32 {
+	c := make([]float32, k*n)
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		br := b[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			if av == 0 {
+				continue
+			}
+			cr := c[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				cr[j] += av * br[j]
+			}
+		}
+	}
+	return c
+}
+
+// matMulABT computes C[m×k] = A[m×n] · Bᵀ[n×k] for B[k×n].
+func matMulABT(a []float32, m, n int, b []float32, k int) []float32 {
+	c := make([]float32, m*k)
+	for i := 0; i < m; i++ {
+		ar := a[i*n : (i+1)*n]
+		cr := c[i*k : (i+1)*k]
+		for j := 0; j < k; j++ {
+			br := b[j*n : (j+1)*n]
+			s := float32(0)
+			for p := 0; p < n; p++ {
+				s += ar[p] * br[p]
+			}
+			cr[j] = s
+		}
+	}
+	return c
+}
+
+// addBiasRows adds bias[n] to every row of a[m×n], in place.
+func addBiasRows(a []float32, m, n int, bias []float32) {
+	for i := 0; i < m; i++ {
+		row := a[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// relu applies max(0,x) in place and returns the mask of active entries.
+func relu(a []float32) []bool {
+	mask := make([]bool, len(a))
+	for i, v := range a {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			a[i] = 0
+		}
+	}
+	return mask
+}
+
+// reluBackward zeroes gradient entries where the activation was clipped.
+func reluBackward(grad []float32, mask []bool) {
+	for i := range grad {
+		if !mask[i] {
+			grad[i] = 0
+		}
+	}
+}
+
+// softmaxCrossEntropy computes the mean loss over rows of logits[m×n] with
+// integer targets, and the gradient d(loss)/d(logits).
+func softmaxCrossEntropy(logits []float32, m, n int, targets []int) (float32, []float32) {
+	grad := make([]float32, len(logits))
+	loss := float64(0)
+	for i := 0; i < m; i++ {
+		row := logits[i*n : (i+1)*n]
+		grow := grad[i*n : (i+1)*n]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := float64(0)
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			grow[j] = float32(e)
+			sum += e
+		}
+		t := targets[i]
+		loss += -math.Log(float64(grow[t])/sum + 1e-12)
+		inv := float32(1.0 / sum)
+		for j := range grow {
+			grow[j] *= inv
+		}
+		grow[t] -= 1
+		// Mean over the batch.
+		for j := range grow {
+			grow[j] /= float32(m)
+		}
+	}
+	return float32(loss / float64(m)), grad
+}
+
+// xavierInit fills a [rows x cols] weight matrix with scaled uniform noise.
+func xavierInit(rows, cols int, rng *rand.Rand) []float32 {
+	w := make([]float32, rows*cols)
+	scale := float32(math.Sqrt(6.0 / float64(rows+cols)))
+	for i := range w {
+		w[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return w
+}
+
+// argmaxRows returns the argmax of each row of a[m×n].
+func argmaxRows(a []float32, m, n int) []int {
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		row := a[i*n : (i+1)*n]
+		best := 0
+		for j := 1; j < n; j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

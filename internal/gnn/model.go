@@ -1,0 +1,247 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SAGE is a two-layer GraphSAGE classifier with mean aggregation:
+//
+//	h1 = ReLU(X·W1self + mean_nbr(X)·W1nbr + b1)
+//	logits = h1·W2self + mean_nbr(h1)·W2nbr + b2
+//
+// The loss is softmax cross-entropy on the batch's ego vertices (ShaDow
+// style: each subgraph classifies its root).
+type SAGE struct {
+	InDim, Hidden, Classes int
+	// Parameters, in the fixed Params() order.
+	W1self, W1nbr, B1 []float32
+	W2self, W2nbr, B2 []float32
+}
+
+// NewSAGE initializes a model with Xavier weights from the given seed (all
+// machines must use the same seed so data-parallel replicas start equal).
+func NewSAGE(inDim, hidden, classes int, seed int64) *SAGE {
+	rng := rand.New(rand.NewSource(seed))
+	return &SAGE{
+		InDim: inDim, Hidden: hidden, Classes: classes,
+		W1self: xavierInit(inDim, hidden, rng),
+		W1nbr:  xavierInit(inDim, hidden, rng),
+		B1:     make([]float32, hidden),
+		W2self: xavierInit(hidden, classes, rng),
+		W2nbr:  xavierInit(hidden, classes, rng),
+		B2:     make([]float32, classes),
+	}
+}
+
+// Params returns views of all parameter slices in a fixed order.
+func (m *SAGE) Params() [][]float32 {
+	return [][]float32{m.W1self, m.W1nbr, m.B1, m.W2self, m.W2nbr, m.B2}
+}
+
+// NumParams returns the total parameter count.
+func (m *SAGE) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p)
+	}
+	return n
+}
+
+// FlattenGrads concatenates gradient slices (same order as Params).
+func FlattenGrads(grads [][]float32) []float32 {
+	n := 0
+	for _, g := range grads {
+		n += len(g)
+	}
+	out := make([]float32, 0, n)
+	for _, g := range grads {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// UnflattenInto splits flat back into the shapes of like (Params order).
+func UnflattenInto(flat []float32, like [][]float32) [][]float32 {
+	out := make([][]float32, len(like))
+	off := 0
+	for i, p := range like {
+		out[i] = flat[off : off+len(p)]
+		off += len(p)
+	}
+	return out
+}
+
+// Batch is one mini-batch subgraph in the model's input format: node
+// features, a directed edge list over batch-local indices (messages flow
+// src -> dst), the ego vertex index, and its label.
+type Batch struct {
+	X        []float32 // [N x InDim]
+	N        int
+	EdgeSrc  []int32
+	EdgeDst  []int32
+	EgoIdx   int
+	EgoLabel int
+	// PPRWeights optionally carries each vertex's PPR score w.r.t. the ego
+	// (PPRGo-style models consume it; message-passing models ignore it).
+	PPRWeights []float32
+}
+
+// meanAggregate computes, for every node, the mean of its in-neighbors'
+// rows of h[n×d] according to the batch edges. Nodes with no in-edges get a
+// zero row.
+func meanAggregate(b *Batch, h []float32, d int) []float32 {
+	out := make([]float32, b.N*d)
+	deg := make([]float32, b.N)
+	for e := range b.EdgeSrc {
+		src, dst := b.EdgeSrc[e], b.EdgeDst[e]
+		hr := h[int(src)*d : (int(src)+1)*d]
+		or := out[int(dst)*d : (int(dst)+1)*d]
+		for j := 0; j < d; j++ {
+			or[j] += hr[j]
+		}
+		deg[dst]++
+	}
+	for i := 0; i < b.N; i++ {
+		if deg[i] == 0 {
+			continue
+		}
+		inv := 1 / deg[i]
+		row := out[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			row[j] *= inv
+		}
+	}
+	return out
+}
+
+// meanAggregateBackward routes gradient gOut (w.r.t. the aggregated rows)
+// back to the input rows: gIn[src] += gOut[dst]/deg(dst).
+func meanAggregateBackward(b *Batch, gOut []float32, d int) []float32 {
+	gIn := make([]float32, b.N*d)
+	deg := make([]float32, b.N)
+	for e := range b.EdgeDst {
+		deg[b.EdgeDst[e]]++
+	}
+	for e := range b.EdgeSrc {
+		src, dst := b.EdgeSrc[e], b.EdgeDst[e]
+		inv := 1 / deg[dst]
+		gr := gOut[int(dst)*d : (int(dst)+1)*d]
+		ir := gIn[int(src)*d : (int(src)+1)*d]
+		for j := 0; j < d; j++ {
+			ir[j] += gr[j] * inv
+		}
+	}
+	return gIn
+}
+
+// Forward runs the model on a batch and returns the ego logits.
+func (m *SAGE) Forward(b *Batch) []float32 {
+	logits, _, _ := m.forward(b)
+	return logits[b.EgoIdx*m.Classes : (b.EgoIdx+1)*m.Classes]
+}
+
+// forward returns logits[n×C], the hidden layer, and its ReLU mask.
+func (m *SAGE) forward(b *Batch) (logits, h1 []float32, mask []bool) {
+	agg0 := meanAggregate(b, b.X, m.InDim)
+	h1 = matMul(b.X, b.N, m.InDim, m.W1self, m.Hidden)
+	hn := matMul(agg0, b.N, m.InDim, m.W1nbr, m.Hidden)
+	for i := range h1 {
+		h1[i] += hn[i]
+	}
+	addBiasRows(h1, b.N, m.Hidden, m.B1)
+	mask = relu(h1)
+	agg1 := meanAggregate(b, h1, m.Hidden)
+	logits = matMul(h1, b.N, m.Hidden, m.W2self, m.Classes)
+	ln := matMul(agg1, b.N, m.Hidden, m.W2nbr, m.Classes)
+	for i := range logits {
+		logits[i] += ln[i]
+	}
+	addBiasRows(logits, b.N, m.Classes, m.B2)
+	return logits, h1, mask
+}
+
+// Loss runs forward + backward on one batch and returns the cross-entropy
+// loss at the ego vertex and the parameter gradients (Params order).
+func (m *SAGE) Loss(b *Batch) (float32, [][]float32) {
+	logits, h1, mask := m.forward(b)
+	// Cross-entropy only at the ego row: build a 1-row view.
+	egoLogits := logits[b.EgoIdx*m.Classes : (b.EgoIdx+1)*m.Classes]
+	loss, egoGrad := softmaxCrossEntropy(egoLogits, 1, m.Classes, []int{b.EgoLabel})
+	gLogits := make([]float32, len(logits))
+	copy(gLogits[b.EgoIdx*m.Classes:(b.EgoIdx+1)*m.Classes], egoGrad)
+
+	agg1 := meanAggregate(b, h1, m.Hidden)
+	gW2self := matMulATB(h1, b.N, m.Hidden, gLogits, m.Classes)
+	gW2nbr := matMulATB(agg1, b.N, m.Hidden, gLogits, m.Classes)
+	gB2 := make([]float32, m.Classes)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < m.Classes; j++ {
+			gB2[j] += gLogits[i*m.Classes+j]
+		}
+	}
+	// Grad wrt h1 via both branches.
+	gH1 := matMulABT(gLogits, b.N, m.Classes, m.W2self, m.Hidden)
+	gAgg1 := matMulABT(gLogits, b.N, m.Classes, m.W2nbr, m.Hidden)
+	gH1agg := meanAggregateBackward(b, gAgg1, m.Hidden)
+	for i := range gH1 {
+		gH1[i] += gH1agg[i]
+	}
+	reluBackward(gH1, mask)
+
+	agg0 := meanAggregate(b, b.X, m.InDim)
+	gW1self := matMulATB(b.X, b.N, m.InDim, gH1, m.Hidden)
+	gW1nbr := matMulATB(agg0, b.N, m.InDim, gH1, m.Hidden)
+	gB1 := make([]float32, m.Hidden)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < m.Hidden; j++ {
+			gB1[j] += gH1[i*m.Hidden+j]
+		}
+	}
+	return loss, [][]float32{gW1self, gW1nbr, gB1, gW2self, gW2nbr, gB2}
+}
+
+// Predict returns the argmax class for the batch's ego vertex.
+func (m *SAGE) Predict(b *Batch) int {
+	logits := m.Forward(b)
+	return argmaxRows(logits, 1, m.Classes)[0]
+}
+
+// Adam is a standard Adam optimizer over a model's parameter slices.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	step                  int
+	m, v                  [][]float32
+}
+
+// NewAdam returns an optimizer with the usual defaults for the given
+// parameter shapes.
+func NewAdam(params [][]float32, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	a.m = make([][]float32, len(params))
+	a.v = make([][]float32, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float32, len(p))
+		a.v[i] = make([]float32, len(p))
+	}
+	return a
+}
+
+// Step applies one update of params -= lr * m̂/(sqrt(v̂)+eps).
+func (a *Adam) Step(params, grads [][]float32) {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range params {
+		g := grads[i]
+		mi, vi := a.m[i], a.v[i]
+		for j := range p {
+			gj := float64(g[j])
+			mj := a.Beta1*float64(mi[j]) + (1-a.Beta1)*gj
+			vj := a.Beta2*float64(vi[j]) + (1-a.Beta2)*gj*gj
+			mi[j] = float32(mj)
+			vi[j] = float32(vj)
+			p[j] -= float32(a.LR * (mj / bc1) / (math.Sqrt(vj/bc2) + a.Eps))
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Model is the interface the distributed training loop drives; SAGE, GCN
+// and PPRGo all satisfy it. Params must return stable views (the optimizer
+// mutates them in place) and Loss must return gradients in Params order.
+type Model interface {
+	Loss(b *Batch) (float32, [][]float32)
+	Predict(b *Batch) int
+	Params() [][]float32
+	NumParams() int
+}
+
+var (
+	_ Model = (*SAGE)(nil)
+	_ Model = (*GCN)(nil)
+	_ Model = (*PPRGo)(nil)
+)
+
+// --- GCN ---
+
+// GCN is a two-layer graph convolutional network with symmetric
+// normalization over the batch subgraph (self-loops added):
+//
+//	H1 = ReLU(Â X W1 + b1),  logits = Â H1 W2 + b2,  Â = D^-1/2 (A+I) D^-1/2
+type GCN struct {
+	InDim, Hidden, Classes int
+	W1, B1, W2, B2         []float32
+}
+
+// NewGCN initializes a GCN with Xavier weights.
+func NewGCN(inDim, hidden, classes int, seed int64) *GCN {
+	rng := rand.New(rand.NewSource(seed))
+	return &GCN{
+		InDim: inDim, Hidden: hidden, Classes: classes,
+		W1: xavierInit(inDim, hidden, rng),
+		B1: make([]float32, hidden),
+		W2: xavierInit(hidden, classes, rng),
+		B2: make([]float32, classes),
+	}
+}
+
+// Params returns the parameter views in a fixed order.
+func (m *GCN) Params() [][]float32 { return [][]float32{m.W1, m.B1, m.W2, m.B2} }
+
+// NumParams returns the total parameter count.
+func (m *GCN) NumParams() int { return paramCount(m.Params()) }
+
+// gcnNorm precomputes the symmetric normalization coefficients for the
+// batch: for each edge (s,d) including self loops, 1/sqrt(deg(s)*deg(d))
+// where deg counts A+I degrees (in-degree over the directed batch edges).
+type gcnNorm struct {
+	src, dst []int32
+	coef     []float32
+}
+
+func buildGCNNorm(b *Batch) *gcnNorm {
+	deg := make([]float32, b.N)
+	for i := range deg {
+		deg[i] = 1 // self loop
+	}
+	for _, d := range b.EdgeDst {
+		deg[d]++
+	}
+	n := &gcnNorm{}
+	emit := func(s, d int32) {
+		n.src = append(n.src, s)
+		n.dst = append(n.dst, d)
+		n.coef = append(n.coef, 1/float32(math.Sqrt(float64(deg[s])*float64(deg[d]))))
+	}
+	for i := int32(0); i < int32(b.N); i++ {
+		emit(i, i)
+	}
+	for e := range b.EdgeSrc {
+		emit(b.EdgeSrc[e], b.EdgeDst[e])
+	}
+	return n
+}
+
+// apply computes out[d] += coef * h[s] for all normalized edges.
+func (n *gcnNorm) apply(h []float32, nNodes, d int) []float32 {
+	out := make([]float32, nNodes*d)
+	for e := range n.src {
+		hs := h[int(n.src[e])*d : (int(n.src[e])+1)*d]
+		od := out[int(n.dst[e])*d : (int(n.dst[e])+1)*d]
+		c := n.coef[e]
+		for j := 0; j < d; j++ {
+			od[j] += c * hs[j]
+		}
+	}
+	return out
+}
+
+// applyTranspose routes gradients backward: gIn[s] += coef * gOut[d].
+func (n *gcnNorm) applyTranspose(gOut []float32, nNodes, d int) []float32 {
+	gIn := make([]float32, nNodes*d)
+	for e := range n.src {
+		gd := gOut[int(n.dst[e])*d : (int(n.dst[e])+1)*d]
+		gs := gIn[int(n.src[e])*d : (int(n.src[e])+1)*d]
+		c := n.coef[e]
+		for j := 0; j < d; j++ {
+			gs[j] += c * gd[j]
+		}
+	}
+	return gIn
+}
+
+func (m *GCN) forward(b *Batch) (logits, h1, ax []float32, mask []bool, norm *gcnNorm) {
+	norm = buildGCNNorm(b)
+	ax = norm.apply(b.X, b.N, m.InDim)
+	h1 = matMul(ax, b.N, m.InDim, m.W1, m.Hidden)
+	addBiasRows(h1, b.N, m.Hidden, m.B1)
+	mask = relu(h1)
+	ah1 := norm.apply(h1, b.N, m.Hidden)
+	logits = matMul(ah1, b.N, m.Hidden, m.W2, m.Classes)
+	addBiasRows(logits, b.N, m.Classes, m.B2)
+	return logits, h1, ax, mask, norm
+}
+
+// Loss computes cross-entropy at the ego vertex and all gradients.
+func (m *GCN) Loss(b *Batch) (float32, [][]float32) {
+	logits, h1, ax, mask, norm := m.forward(b)
+	egoLogits := logits[b.EgoIdx*m.Classes : (b.EgoIdx+1)*m.Classes]
+	loss, egoGrad := softmaxCrossEntropy(egoLogits, 1, m.Classes, []int{b.EgoLabel})
+	gLogits := make([]float32, len(logits))
+	copy(gLogits[b.EgoIdx*m.Classes:(b.EgoIdx+1)*m.Classes], egoGrad)
+
+	ah1 := norm.apply(h1, b.N, m.Hidden)
+	gW2 := matMulATB(ah1, b.N, m.Hidden, gLogits, m.Classes)
+	gB2 := colSums(gLogits, b.N, m.Classes)
+	gAh1 := matMulABT(gLogits, b.N, m.Classes, m.W2, m.Hidden)
+	gH1 := norm.applyTranspose(gAh1, b.N, m.Hidden)
+	reluBackward(gH1, mask)
+	gW1 := matMulATB(ax, b.N, m.InDim, gH1, m.Hidden)
+	gB1 := colSums(gH1, b.N, m.Hidden)
+	return loss, [][]float32{gW1, gB1, gW2, gB2}
+}
+
+// Predict returns the ego vertex's argmax class.
+func (m *GCN) Predict(b *Batch) int {
+	logits, _, _, _, _ := m.forward(b)
+	row := logits[b.EgoIdx*m.Classes : (b.EgoIdx+1)*m.Classes]
+	return argmaxRows(row, 1, m.Classes)[0]
+}
+
+// --- PPRGo ---
+
+// PPRGo (Bojchevski et al., cited in paper §2) decouples feature
+// transformation from propagation: an MLP embeds every top-K vertex's raw
+// features, and the prediction is the PPR-weighted average of the
+// embeddings:
+//
+//	logits(ego) = Σ_i  π̂(ego, v_i)/Σπ̂ · MLP(x_i)
+//
+// No message passing over edges at all — propagation happened inside the
+// PPR computation. Requires Batch.PPRWeights.
+type PPRGo struct {
+	InDim, Hidden, Classes int
+	W1, B1, W2, B2         []float32
+}
+
+// NewPPRGo initializes the MLP.
+func NewPPRGo(inDim, hidden, classes int, seed int64) *PPRGo {
+	rng := rand.New(rand.NewSource(seed))
+	return &PPRGo{
+		InDim: inDim, Hidden: hidden, Classes: classes,
+		W1: xavierInit(inDim, hidden, rng),
+		B1: make([]float32, hidden),
+		W2: xavierInit(hidden, classes, rng),
+		B2: make([]float32, classes),
+	}
+}
+
+// Params returns the parameter views in a fixed order.
+func (m *PPRGo) Params() [][]float32 { return [][]float32{m.W1, m.B1, m.W2, m.B2} }
+
+// NumParams returns the total parameter count.
+func (m *PPRGo) NumParams() int { return paramCount(m.Params()) }
+
+// normWeights returns the PPR weights normalized to sum 1 (uniform if the
+// batch carries none).
+func (m *PPRGo) normWeights(b *Batch) []float32 {
+	w := make([]float32, b.N)
+	if len(b.PPRWeights) == b.N {
+		var s float32
+		for _, x := range b.PPRWeights {
+			s += x
+		}
+		if s > 0 {
+			for i, x := range b.PPRWeights {
+				w[i] = x / s
+			}
+			return w
+		}
+	}
+	for i := range w {
+		w[i] = 1 / float32(b.N)
+	}
+	return w
+}
+
+func (m *PPRGo) forward(b *Batch) (egoLogits, h1 []float32, mask []bool, w []float32) {
+	h1 = matMul(b.X, b.N, m.InDim, m.W1, m.Hidden)
+	addBiasRows(h1, b.N, m.Hidden, m.B1)
+	mask = relu(h1)
+	h2 := matMul(h1, b.N, m.Hidden, m.W2, m.Classes)
+	addBiasRows(h2, b.N, m.Classes, m.B2)
+	w = m.normWeights(b)
+	egoLogits = make([]float32, m.Classes)
+	for i := 0; i < b.N; i++ {
+		row := h2[i*m.Classes : (i+1)*m.Classes]
+		for j := 0; j < m.Classes; j++ {
+			egoLogits[j] += w[i] * row[j]
+		}
+	}
+	return egoLogits, h1, mask, w
+}
+
+// Loss computes cross-entropy on the PPR-weighted prediction.
+func (m *PPRGo) Loss(b *Batch) (float32, [][]float32) {
+	egoLogits, h1, mask, w := m.forward(b)
+	loss, egoGrad := softmaxCrossEntropy(egoLogits, 1, m.Classes, []int{b.EgoLabel})
+	// d loss / d h2[i] = w[i] * egoGrad
+	gH2 := make([]float32, b.N*m.Classes)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < m.Classes; j++ {
+			gH2[i*m.Classes+j] = w[i] * egoGrad[j]
+		}
+	}
+	gW2 := matMulATB(h1, b.N, m.Hidden, gH2, m.Classes)
+	gB2 := colSums(gH2, b.N, m.Classes)
+	gH1 := matMulABT(gH2, b.N, m.Classes, m.W2, m.Hidden)
+	reluBackward(gH1, mask)
+	gW1 := matMulATB(b.X, b.N, m.InDim, gH1, m.Hidden)
+	gB1 := colSums(gH1, b.N, m.Hidden)
+	return loss, [][]float32{gW1, gB1, gW2, gB2}
+}
+
+// Predict returns the argmax class of the weighted prediction.
+func (m *PPRGo) Predict(b *Batch) int {
+	egoLogits, _, _, _ := m.forward(b)
+	return argmaxRows(egoLogits, 1, m.Classes)[0]
+}
+
+// --- shared helpers ---
+
+func colSums(a []float32, m, n int) []float32 {
+	out := make([]float32, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out[j] += a[i*n+j]
+		}
+	}
+	return out
+}
+
+func paramCount(ps [][]float32) int {
+	n := 0
+	for _, p := range ps {
+		n += len(p)
+	}
+	return n
+}

@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// RMATConfig controls the recursive-matrix (R-MAT) generator used to build
+// synthetic power-law graphs. The four quadrant probabilities a+b+c+d must
+// sum to 1; a > 0.25 skews the degree distribution, producing supernodes.
+type RMATConfig struct {
+	NumNodes int // rounded up to a power of two internally
+	NumEdges int64
+	A, B, C  float64 // D = 1 - A - B - C
+	Seed     int64
+	// Noise perturbs quadrant probabilities per level to avoid grid
+	// artifacts (standard "noisy R-MAT"). 0 disables, 0.1 is typical.
+	Noise float64
+	// MaxDegree, when > 0, caps the out-degree of every node by dropping
+	// surplus edges (the paper notes GNN preprocessing bounds supernode
+	// degrees; friendster-sim uses this to keep dmax low).
+	MaxDegree int
+}
+
+// RMAT generates a directed graph with the given configuration. Duplicate
+// edges are removed. Edge weights are uniform in (0,1].
+func RMAT(cfg RMATConfig) *Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := 1
+	levels := 0
+	for n < cfg.NumNodes {
+		n <<= 1
+		levels++
+	}
+	d := 1.0 - cfg.A - cfg.B - cfg.C
+	seen := make(map[int64]struct{}, cfg.NumEdges)
+	edges := make([]Edge, 0, cfg.NumEdges)
+	degree := make([]int32, cfg.NumNodes)
+	attempts := int64(0)
+	maxAttempts := cfg.NumEdges * 20
+	for int64(len(edges)) < cfg.NumEdges && attempts < maxAttempts {
+		attempts++
+		u, v := 0, 0
+		a, b, c := cfg.A, cfg.B, cfg.C
+		for l := 0; l < levels; l++ {
+			if cfg.Noise > 0 {
+				// Perturb and renormalize.
+				na := a * (1 - cfg.Noise + 2*cfg.Noise*rng.Float64())
+				nb := b * (1 - cfg.Noise + 2*cfg.Noise*rng.Float64())
+				nc := c * (1 - cfg.Noise + 2*cfg.Noise*rng.Float64())
+				nd := d * (1 - cfg.Noise + 2*cfg.Noise*rng.Float64())
+				s := na + nb + nc + nd
+				a, b, c = na/s, nb/s, nc/s
+			}
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bit set
+			case r < a+b:
+				v |= 1 << l
+			case r < a+b+c:
+				u |= 1 << l
+			default:
+				u |= 1 << l
+				v |= 1 << l
+			}
+			a, b, c = cfg.A, cfg.B, cfg.C
+		}
+		if u >= cfg.NumNodes || v >= cfg.NumNodes || u == v {
+			continue
+		}
+		if cfg.MaxDegree > 0 && int(degree[u]) >= cfg.MaxDegree {
+			continue
+		}
+		key := int64(u)<<32 | int64(int32(v))&0xffffffff
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		degree[u]++
+		edges = append(edges, Edge{NodeID(u), NodeID(v), weight01(rng)})
+	}
+	g, err := FromEdges(cfg.NumNodes, edges)
+	if err != nil {
+		panic(err) // generator emits only in-range endpoints
+	}
+	return g
+}
+
+// ErdosRenyi generates a directed G(n, m) graph with m distinct random edges
+// (no self loops) and uniform random weights in (0,1].
+func ErdosRenyi(n int, m int64, seed int64) *Graph {
+	if maxM := int64(n) * int64(n-1); m > maxM {
+		m = maxM
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[int64]struct{}, m)
+	edges := make([]Edge, 0, m)
+	for int64(len(edges)) < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		key := int64(u)<<32 | int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, Edge{NodeID(u), NodeID(v), weight01(rng)})
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Ring generates a directed cycle 0->1->...->n-1->0 with unit weights.
+// Useful in tests where exact PPR values are known in closed form.
+func Ring(n int) *Graph {
+	edges := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = Edge{NodeID(i), NodeID((i + 1) % n), 1}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Complete generates the complete directed graph on n nodes (no self loops)
+// with unit weights.
+func Complete(n int) *Graph {
+	edges := make([]Edge, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				edges = append(edges, Edge{NodeID(i), NodeID(j), 1})
+			}
+		}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Star generates a star with node 0 at the center, edges in both directions,
+// unit weights. Node 0 is a supernode with degree n-1.
+func Star(n int) *Graph {
+	edges := make([]Edge, 0, 2*(n-1))
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{0, NodeID(i), 1}, Edge{NodeID(i), 0, 1})
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// RandomizeWeights replaces all edge weights with uniform values in (0,1]
+// and recomputes weighted degrees. Symmetric pairs get independent weights;
+// use this before MakeUndirected when symmetric weights are required.
+func RandomizeWeights(g *Graph, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range g.Weights {
+		g.Weights[i] = weight01(rng)
+	}
+	g.ComputeWeightedDegrees()
+}
+
+func weight01(rng *rand.Rand) float32 {
+	return float32(1 - rng.Float64()*0.999) // in (0.001, 1]
+}

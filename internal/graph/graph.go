@@ -1,0 +1,290 @@
+// Package graph provides the in-memory graph representation used throughout
+// the engine: a weighted directed graph in Compressed Sparse Row (CSR) form,
+// together with builders, generators, statistics, and binary serialization.
+//
+// All distributed components (partitioning, sharding, the PPR engine) consume
+// the CSR form produced here. Node identifiers are dense integers in
+// [0, NumNodes).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node by its dense global index.
+type NodeID = int32
+
+// Edge is a single weighted directed edge, used by builders and generators.
+type Edge struct {
+	Src    NodeID
+	Dst    NodeID
+	Weight float32
+}
+
+// Graph is a weighted directed graph in CSR form. For an undirected graph
+// each edge is stored in both directions.
+//
+// The out-neighbors of node v are Adj[Indptr[v]:Indptr[v+1]], with parallel
+// edge weights in Weights. WeightedDegree caches the sum of outgoing edge
+// weights per node, which Forward Push consults on every threshold check.
+type Graph struct {
+	NumNodes int
+	Indptr   []int64
+	Adj      []NodeID
+	Weights  []float32
+
+	// WeightedDegree[v] = sum of Weights over v's out-edges.
+	WeightedDegree []float32
+}
+
+// NumEdges returns the number of stored directed edges.
+func (g *Graph) NumEdges() int64 {
+	if len(g.Indptr) == 0 {
+		return 0
+	}
+	return g.Indptr[len(g.Indptr)-1]
+}
+
+// Degree returns the out-degree of node v.
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.Indptr[v+1] - g.Indptr[v])
+}
+
+// Neighbors returns the out-neighbor slice of v. The returned slice aliases
+// the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.Adj[g.Indptr[v]:g.Indptr[v+1]]
+}
+
+// EdgeWeights returns the out-edge weight slice of v, parallel to Neighbors.
+func (g *Graph) EdgeWeights(v NodeID) []float32 {
+	return g.Weights[g.Indptr[v]:g.Indptr[v+1]]
+}
+
+// Validate checks structural invariants of the CSR arrays. It returns a
+// descriptive error for the first violation found.
+func (g *Graph) Validate() error {
+	if g.NumNodes < 0 {
+		return errors.New("graph: negative NumNodes")
+	}
+	if len(g.Indptr) != g.NumNodes+1 {
+		return fmt.Errorf("graph: len(Indptr)=%d, want NumNodes+1=%d", len(g.Indptr), g.NumNodes+1)
+	}
+	if g.NumNodes == 0 {
+		return nil
+	}
+	if g.Indptr[0] != 0 {
+		return fmt.Errorf("graph: Indptr[0]=%d, want 0", g.Indptr[0])
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		if g.Indptr[v+1] < g.Indptr[v] {
+			return fmt.Errorf("graph: Indptr not monotone at node %d", v)
+		}
+	}
+	m := g.Indptr[g.NumNodes]
+	if int64(len(g.Adj)) != m {
+		return fmt.Errorf("graph: len(Adj)=%d, want %d", len(g.Adj), m)
+	}
+	if int64(len(g.Weights)) != m {
+		return fmt.Errorf("graph: len(Weights)=%d, want %d", len(g.Weights), m)
+	}
+	if g.WeightedDegree != nil && len(g.WeightedDegree) != g.NumNodes {
+		return fmt.Errorf("graph: len(WeightedDegree)=%d, want %d", len(g.WeightedDegree), g.NumNodes)
+	}
+	for i, u := range g.Adj {
+		if u < 0 || int(u) >= g.NumNodes {
+			return fmt.Errorf("graph: Adj[%d]=%d out of range [0,%d)", i, u, g.NumNodes)
+		}
+	}
+	for i, w := range g.Weights {
+		if w < 0 || math.IsNaN(float64(w)) || math.IsInf(float64(w), 0) {
+			return fmt.Errorf("graph: Weights[%d]=%v invalid", i, w)
+		}
+	}
+	return nil
+}
+
+// ComputeWeightedDegrees (re)computes the WeightedDegree cache from Weights.
+func (g *Graph) ComputeWeightedDegrees() {
+	wd := make([]float32, g.NumNodes)
+	for v := 0; v < g.NumNodes; v++ {
+		var s float32
+		for _, w := range g.Weights[g.Indptr[v]:g.Indptr[v+1]] {
+			s += w
+		}
+		wd[v] = s
+	}
+	g.WeightedDegree = wd
+}
+
+// FromEdges builds a CSR graph with numNodes nodes from an edge list.
+// Edges are not deduplicated; self loops are kept. Edge order within a
+// node's adjacency follows the input order (stable counting sort by source).
+func FromEdges(numNodes int, edges []Edge) (*Graph, error) {
+	g := &Graph{NumNodes: numNodes}
+	g.Indptr = make([]int64, numNodes+1)
+	for _, e := range edges {
+		if e.Src < 0 || int(e.Src) >= numNodes {
+			return nil, fmt.Errorf("graph: edge source %d out of range [0,%d)", e.Src, numNodes)
+		}
+		if e.Dst < 0 || int(e.Dst) >= numNodes {
+			return nil, fmt.Errorf("graph: edge destination %d out of range [0,%d)", e.Dst, numNodes)
+		}
+		g.Indptr[e.Src+1]++
+	}
+	for v := 0; v < numNodes; v++ {
+		g.Indptr[v+1] += g.Indptr[v]
+	}
+	m := g.Indptr[numNodes]
+	g.Adj = make([]NodeID, m)
+	g.Weights = make([]float32, m)
+	cursor := make([]int64, numNodes)
+	copy(cursor, g.Indptr[:numNodes])
+	for _, e := range edges {
+		i := cursor[e.Src]
+		cursor[e.Src]++
+		g.Adj[i] = e.Dst
+		g.Weights[i] = e.Weight
+	}
+	g.ComputeWeightedDegrees()
+	return g, nil
+}
+
+// MakeUndirected returns a new graph in which every directed edge (u,v,w)
+// also appears as (v,u,w). Duplicate directed edges between the same pair are
+// coalesced, keeping the maximum weight, so the result is symmetric with at
+// most one edge per ordered pair. Self loops are dropped.
+func MakeUndirected(g *Graph) *Graph {
+	type pair struct {
+		dst NodeID
+		w   float32
+	}
+	// Count upper bound per node, then build per-node sorted, deduplicated
+	// adjacency. Two passes keep peak memory at ~2x edges.
+	deg := make([]int64, g.NumNodes+1)
+	for v := NodeID(0); int(v) < g.NumNodes; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u == v {
+				continue
+			}
+			deg[v+1]++
+			deg[u+1]++
+		}
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		deg[v+1] += deg[v]
+	}
+	total := deg[g.NumNodes]
+	adj := make([]NodeID, total)
+	wts := make([]float32, total)
+	cursor := make([]int64, g.NumNodes)
+	copy(cursor, deg[:g.NumNodes])
+	emit := func(a, b NodeID, w float32) {
+		i := cursor[a]
+		cursor[a]++
+		adj[i] = b
+		wts[i] = w
+	}
+	for v := NodeID(0); int(v) < g.NumNodes; v++ {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if u == v {
+				continue
+			}
+			emit(v, u, ws[i])
+			emit(u, v, ws[i])
+		}
+	}
+	// Sort and dedup each node's adjacency, keeping max weight.
+	out := &Graph{NumNodes: g.NumNodes}
+	out.Indptr = make([]int64, g.NumNodes+1)
+	outAdj := make([]NodeID, 0, total)
+	outWts := make([]float32, 0, total)
+	scratch := make([]pair, 0, 256)
+	for v := 0; v < g.NumNodes; v++ {
+		lo, hi := deg[v], deg[v+1]
+		scratch = scratch[:0]
+		for i := lo; i < hi; i++ {
+			scratch = append(scratch, pair{adj[i], wts[i]})
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i].dst < scratch[j].dst })
+		for i := 0; i < len(scratch); i++ {
+			if i > 0 && scratch[i].dst == scratch[i-1].dst {
+				if scratch[i].w > outWts[len(outWts)-1] {
+					outWts[len(outWts)-1] = scratch[i].w
+				}
+				continue
+			}
+			outAdj = append(outAdj, scratch[i].dst)
+			outWts = append(outWts, scratch[i].w)
+		}
+		out.Indptr[v+1] = int64(len(outAdj))
+	}
+	out.Adj = outAdj
+	out.Weights = outWts
+	out.ComputeWeightedDegrees()
+	return out
+}
+
+// Stats summarizes degree statistics of a graph (Table 1 columns).
+type Stats struct {
+	NumNodes  int
+	NumEdges  int64 // directed edges as stored
+	AvgDegree float64
+	MaxDegree int
+	MinDegree int
+	Isolated  int // nodes with zero out-degree
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{NumNodes: g.NumNodes, NumEdges: g.NumEdges(), MinDegree: math.MaxInt}
+	if g.NumNodes == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	for v := NodeID(0); int(v) < g.NumNodes; v++ {
+		d := g.Degree(v)
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	s.AvgDegree = float64(s.NumEdges) / float64(s.NumNodes)
+	return s
+}
+
+// Subgraph induces the subgraph on the given nodes (global IDs). The returned
+// graph renumbers nodes to [0, len(nodes)) in the order given; the second
+// return value maps new local ID -> original global ID.
+func Subgraph(g *Graph, nodes []NodeID) (*Graph, []NodeID) {
+	local := make(map[NodeID]NodeID, len(nodes))
+	for i, v := range nodes {
+		local[v] = NodeID(i)
+	}
+	var edges []Edge
+	for i, v := range nodes {
+		ws := g.EdgeWeights(v)
+		for j, u := range g.Neighbors(v) {
+			if lu, ok := local[u]; ok {
+				edges = append(edges, Edge{NodeID(i), lu, ws[j]})
+			}
+		}
+	}
+	sub, err := FromEdges(len(nodes), edges)
+	if err != nil {
+		// Cannot happen: all endpoints were remapped into range.
+		panic(err)
+	}
+	gids := make([]NodeID, len(nodes))
+	copy(gids, nodes)
+	return sub, gids
+}

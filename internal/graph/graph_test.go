@@ -1,0 +1,370 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	edges := []Edge{{0, 1, 0.5}, {0, 2, 1.5}, {1, 2, 2.0}, {2, 0, 1.0}}
+	g, err := FromEdges(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatalf("degrees wrong: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("Neighbors(0) = %v", nb)
+	}
+	if got := g.WeightedDegree[0]; got != 2.0 {
+		t.Fatalf("WeightedDegree[0] = %v, want 2.0", got)
+	}
+}
+
+func TestFromEdgesOutOfRange(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 5, 1}}); err == nil {
+		t.Fatal("expected error for out-of-range destination")
+	}
+	if _, err := FromEdges(2, []Edge{{-1, 0, 1}}); err == nil {
+		t.Fatal("expected error for negative source")
+	}
+}
+
+func TestFromEdgesEmpty(t *testing.T) {
+	g, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatal("expected 0 edges")
+	}
+	g, err = FromEdges(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(g)
+	if st.Isolated != 5 || st.MaxDegree != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMakeUndirectedSymmetry(t *testing.T) {
+	g := RMAT(RMATConfig{NumNodes: 500, NumEdges: 2000, A: 0.57, B: 0.19, C: 0.19, Seed: 1})
+	u := MakeUndirected(g)
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Build an edge-weight lookup and check symmetry.
+	type key struct{ a, b NodeID }
+	m := make(map[key]float32)
+	for v := NodeID(0); int(v) < u.NumNodes; v++ {
+		ws := u.EdgeWeights(v)
+		for i, n := range u.Neighbors(v) {
+			m[key{v, n}] = ws[i]
+		}
+	}
+	for k, w := range m {
+		w2, ok := m[key{k.b, k.a}]
+		if !ok {
+			t.Fatalf("edge (%d,%d) has no reverse", k.a, k.b)
+		}
+		if w != w2 {
+			t.Fatalf("asymmetric weights (%d,%d): %v vs %v", k.a, k.b, w, w2)
+		}
+	}
+	// No self loops, no duplicates within a node's adjacency.
+	for v := NodeID(0); int(v) < u.NumNodes; v++ {
+		nb := u.Neighbors(v)
+		for i, n := range nb {
+			if n == v {
+				t.Fatalf("self loop at %d", v)
+			}
+			if i > 0 && nb[i-1] >= n {
+				t.Fatalf("adjacency of %d not strictly sorted", v)
+			}
+		}
+	}
+}
+
+func TestMakeUndirectedDedupKeepsMaxWeight(t *testing.T) {
+	// Duplicate directed edges 0->1 with weights 0.2 and 0.9.
+	g, _ := FromEdges(2, []Edge{{0, 1, 0.2}, {0, 1, 0.9}, {1, 0, 0.5}})
+	u := MakeUndirected(g)
+	if u.Degree(0) != 1 || u.Degree(1) != 1 {
+		t.Fatalf("degrees: %d %d, want 1 1", u.Degree(0), u.Degree(1))
+	}
+	if w := u.EdgeWeights(0)[0]; w != 0.9 {
+		t.Fatalf("weight(0->1) = %v, want max 0.9", w)
+	}
+}
+
+func TestRingAndCompleteAndStar(t *testing.T) {
+	r := Ring(5)
+	if r.NumEdges() != 5 {
+		t.Fatalf("ring edges = %d", r.NumEdges())
+	}
+	for v := NodeID(0); v < 5; v++ {
+		if r.Degree(v) != 1 || r.Neighbors(v)[0] != (v+1)%5 {
+			t.Fatalf("ring structure broken at %d", v)
+		}
+	}
+	c := Complete(4)
+	if c.NumEdges() != 12 {
+		t.Fatalf("complete edges = %d, want 12", c.NumEdges())
+	}
+	s := Star(6)
+	if s.Degree(0) != 5 {
+		t.Fatalf("star hub degree = %d, want 5", s.Degree(0))
+	}
+	for v := NodeID(1); v < 6; v++ {
+		if s.Degree(v) != 1 {
+			t.Fatalf("star leaf %d degree = %d", v, s.Degree(v))
+		}
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	cfg := RMATConfig{NumNodes: 1024, NumEdges: 8192, A: 0.6, B: 0.15, C: 0.15, Seed: 7, Noise: 0.1}
+	g := RMAT(cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < cfg.NumEdges*9/10 {
+		t.Fatalf("generated only %d of %d edges", g.NumEdges(), cfg.NumEdges)
+	}
+	st := ComputeStats(g)
+	// Skewed R-MAT must produce a hub much larger than the average degree.
+	if float64(st.MaxDegree) < 4*st.AvgDegree {
+		t.Fatalf("expected skew: max=%d avg=%.1f", st.MaxDegree, st.AvgDegree)
+	}
+	// Determinism for a fixed seed.
+	g2 := RMAT(cfg)
+	if g2.NumEdges() != g.NumEdges() || g2.Adj[0] != g.Adj[0] {
+		t.Fatal("RMAT not deterministic for fixed seed")
+	}
+}
+
+func TestRMATMaxDegreeCap(t *testing.T) {
+	g := RMAT(RMATConfig{NumNodes: 512, NumEdges: 4096, A: 0.6, B: 0.15, C: 0.15, Seed: 3, MaxDegree: 16})
+	st := ComputeStats(g)
+	if st.MaxDegree > 16 {
+		t.Fatalf("MaxDegree cap violated: %d", st.MaxDegree)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(200, 1000, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1000 {
+		t.Fatalf("edges = %d, want 1000", g.NumEdges())
+	}
+	// No self loops.
+	for v := NodeID(0); int(v) < g.NumNodes; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u == v {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	g := RMAT(RMATConfig{NumNodes: 300, NumEdges: 1500, A: 0.55, B: 0.2, C: 0.15, Seed: 9})
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes != g.NumNodes || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("size mismatch after round trip")
+	}
+	for i := range g.Indptr {
+		if g.Indptr[i] != g2.Indptr[i] {
+			t.Fatalf("indptr[%d] differs", i)
+		}
+	}
+	for i := range g.Adj {
+		if g.Adj[i] != g2.Adj[i] || g.Weights[i] != g2.Weights[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	for i := range g.WeightedDegree {
+		if g.WeightedDegree[i] != g2.WeightedDegree[i] {
+			t.Fatalf("weighted degree %d differs", i)
+		}
+	}
+}
+
+func TestSerializationBadMagic(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := Ring(10)
+	path := t.TempDir() + "/g.bin"
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes != 10 || g2.NumEdges() != 10 {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	// 0-1-2-3 path, plus 0->3.
+	g, _ := FromEdges(4, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 3, 1}})
+	sub, gids := Subgraph(g, []NodeID{0, 1, 3})
+	if sub.NumNodes != 3 {
+		t.Fatalf("sub nodes = %d", sub.NumNodes)
+	}
+	// Edges kept: 0->1 and 0->3 (local 0->2). 1->2 dropped (2 not in set).
+	if sub.NumEdges() != 2 {
+		t.Fatalf("sub edges = %d, want 2", sub.NumEdges())
+	}
+	if gids[2] != 3 {
+		t.Fatalf("gids = %v", gids)
+	}
+	nb := sub.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("sub Neighbors(0) = %v", nb)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := Ring(4)
+	g.Adj[0] = 99
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected validation error for out-of-range Adj")
+	}
+	g = Ring(4)
+	g.Indptr[2] = 0
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected validation error for non-monotone Indptr")
+	}
+}
+
+// Property: FromEdges preserves the multiset of edges.
+func TestQuickFromEdgesPreservesEdges(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw%50) + 2
+		m := int(mRaw % 500)
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), rng.Float32() + 0.01}
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		if g.NumEdges() != int64(m) {
+			return false
+		}
+		count := make(map[[2]NodeID]int)
+		for _, e := range edges {
+			count[[2]NodeID{e.Src, e.Dst}]++
+		}
+		for v := NodeID(0); int(v) < n; v++ {
+			for _, u := range g.Neighbors(v) {
+				count[[2]NodeID{v, u}]--
+			}
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MakeUndirected output is always symmetric and validates.
+func TestQuickUndirectedSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 2
+		m := rng.Intn(300)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), rng.Float32() + 0.01}
+		}
+		g, _ := FromEdges(n, edges)
+		u := MakeUndirected(g)
+		if u.Validate() != nil {
+			return false
+		}
+		has := make(map[[2]NodeID]bool)
+		for v := NodeID(0); int(v) < n; v++ {
+			for _, w := range u.Neighbors(v) {
+				has[[2]NodeID{v, w}] = true
+			}
+		}
+		for k := range has {
+			if !has[[2]NodeID{k[1], k[0]}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MakeUndirected is idempotent (a symmetric graph maps to itself).
+func TestQuickUndirectedIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 2
+		g, _ := FromEdges(n, randomEdges(rng, n, rng.Intn(150)))
+		u1 := MakeUndirected(g)
+		u2 := MakeUndirected(u1)
+		if u1.NumEdges() != u2.NumEdges() {
+			return false
+		}
+		for i := range u1.Adj {
+			if u1.Adj[i] != u2.Adj[i] || u1.Weights[i] != u2.Weights[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomEdges(rng *rand.Rand, n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), rng.Float32() + 0.01}
+	}
+	return edges
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary serialization of Graph in a simple framed little-endian format:
+//
+//	magic   uint32 = 0x47504852 ("GPHR")
+//	version uint32 = 1
+//	n       int64
+//	m       int64
+//	indptr  [n+1]int64
+//	adj     [m]int32
+//	weights [m]float32
+//
+// WeightedDegree is recomputed on load.
+
+const (
+	magic   = 0x47504852
+	version = 1
+)
+
+// Encode serializes g to w.
+func (g *Graph) Encode(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []any{uint32(magic), uint32(version), int64(g.NumNodes), g.NumEdges()}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Indptr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Adj); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a graph written by Encode.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var mg, ver uint32
+	var n, m int64
+	if err := binary.Read(br, binary.LittleEndian, &mg); err != nil {
+		return nil, err
+	}
+	if mg != magic {
+		return nil, fmt.Errorf("graph: bad magic %#x", mg)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("graph: unsupported version %d", ver)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative sizes n=%d m=%d", n, m)
+	}
+	g := &Graph{NumNodes: int(n)}
+	g.Indptr = make([]int64, n+1)
+	g.Adj = make([]NodeID, m)
+	g.Weights = make([]float32, m)
+	if err := binary.Read(br, binary.LittleEndian, g.Indptr); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Adj); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g.ComputeWeightedDegrees()
+	return g, nil
+}
+
+// SaveFile writes the graph to path.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.Encode(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a graph from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

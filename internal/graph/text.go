@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list I/O for interoperability with SNAP-style datasets (the
+// paper's Twitter and Friendster graphs ship in this format): one edge per
+// line, "src dst" or "src dst weight", '#' comments, whitespace separated.
+// Node IDs may be sparse; they are densified on load and the mapping
+// returned.
+
+// ReadEdgeList parses an edge list from r. Missing weights default to 1.
+// Returns the graph plus origID, mapping dense node ID -> original ID.
+func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	idOf := make(map[int64]NodeID)
+	var origID []int64
+	intern := func(raw int64) NodeID {
+		if id, ok := idOf[raw]; ok {
+			return id
+		}
+		id := NodeID(len(origID))
+		idOf[raw] = id
+		origID = append(origID, raw)
+		return id
+	}
+	var edges []Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", lineNo, line)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad source %q", lineNo, fields[0])
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad destination %q", lineNo, fields[1])
+		}
+		w := float32(1)
+		if len(fields) >= 3 {
+			wf, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
+			}
+			if wf < 0 {
+				return nil, nil, fmt.Errorf("graph: line %d: negative weight %v", lineNo, wf)
+			}
+			w = float32(wf)
+		}
+		edges = append(edges, Edge{Src: intern(src), Dst: intern(dst), Weight: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	g, err := FromEdges(len(origID), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, origID, nil
+}
+
+// WriteEdgeList writes g as "src dst weight" lines using dense IDs.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# pprengine edge list: %d nodes, %d directed edges\n", g.NumNodes, g.NumEdges())
+	for v := NodeID(0); int(v) < g.NumNodes; v++ {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", v, u, ws[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadEdgeListFile reads a SNAP-style text file.
+func LoadEdgeListFile(path string) (*Graph, []int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// SaveEdgeListFile writes the graph as a text edge list.
+func (g *Graph) SaveEdgeListFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteEdgeList(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}

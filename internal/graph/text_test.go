@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment style
+10 20 0.5
+20 30
+30 10 2.0
+
+10 30 1.5
+`
+	g, orig, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 3 || g.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", g.NumNodes, g.NumEdges())
+	}
+	// Dense IDs assigned in first-seen order: 10->0, 20->1, 30->2.
+	if orig[0] != 10 || orig[1] != 20 || orig[2] != 30 {
+		t.Fatalf("orig = %v", orig)
+	}
+	// Missing weight defaults to 1.
+	found := false
+	ws := g.EdgeWeights(1)
+	for i, u := range g.Neighbors(1) {
+		if u == 2 {
+			found = true
+			if ws[i] != 1 {
+				t.Fatalf("default weight = %v", ws[i])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("edge 20->30 missing")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"justonefield",
+		"a b",
+		"1 b",
+		"1 2 notaweight",
+		"1 2 -5",
+	}
+	for _, c := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Fatalf("input %q should fail", c)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := RMAT(RMATConfig{NumNodes: 100, NumEdges: 500, A: 0.5, B: 0.2, C: 0.2, Seed: 4})
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, orig, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	// Compare edges via original IDs (dense IDs may be permuted by
+	// first-seen order).
+	type e struct {
+		s, d int64
+		w    float32
+	}
+	set := map[e]bool{}
+	for v := NodeID(0); int(v) < g.NumNodes; v++ {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			set[e{int64(v), int64(u), ws[i]}] = true
+		}
+	}
+	for v := NodeID(0); int(v) < g2.NumNodes; v++ {
+		ws := g2.EdgeWeights(v)
+		for i, u := range g2.Neighbors(v) {
+			// Weights pass through %g formatting; float32 round-trips.
+			if !set[e{orig[v], orig[u], ws[i]}] {
+				t.Fatalf("unexpected edge %d->%d w=%v", orig[v], orig[u], ws[i])
+			}
+		}
+	}
+}
+
+func TestEdgeListFileRoundTrip(t *testing.T) {
+	g := Ring(5)
+	path := t.TempDir() + "/g.txt"
+	if err := g.SaveEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := LoadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes != 5 || g2.NumEdges() != 5 {
+		t.Fatal("file round trip mismatch")
+	}
+}

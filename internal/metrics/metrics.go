@@ -1,0 +1,220 @@
+// Package metrics provides the phase-timing instrumentation behind the
+// paper's runtime-breakdown experiments (Table 3, Figure 6): cumulative
+// wall-time per phase (local fetch, remote fetch, push, pop), plus
+// throughput accounting.
+//
+// Timers are sharded per goroutine usage pattern: each worker owns a
+// Breakdown and breakdowns are merged at the end, so timing adds no
+// synchronization to the hot path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Phase labels match the paper's breakdown rows.
+type Phase int
+
+const (
+	PhaseLocalFetch Phase = iota
+	PhaseRemoteFetch
+	PhasePush
+	PhasePop
+	numPhases
+)
+
+// String returns the phase's display name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseLocalFetch:
+		return "LocalFetch"
+	case PhaseRemoteFetch:
+		return "RemoteFetch"
+	case PhasePush:
+		return "Push"
+	case PhasePop:
+		return "Pop"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Breakdown accumulates time per phase. A nil *Breakdown is valid and all
+// methods are no-ops on it, so instrumentation can be disabled by passing
+// nil.
+type Breakdown struct {
+	durs   [numPhases]time.Duration
+	counts [numPhases]int64
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown { return &Breakdown{} }
+
+// Add records d under phase p.
+func (b *Breakdown) Add(p Phase, d time.Duration) {
+	if b == nil {
+		return
+	}
+	b.durs[p] += d
+	b.counts[p]++
+}
+
+// Time runs f and charges its duration to p.
+func (b *Breakdown) Time(p Phase, f func()) {
+	if b == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	b.durs[p] += time.Since(start)
+	b.counts[p]++
+}
+
+// Start begins a manual measurement; call the returned stop function to
+// charge the elapsed time to p.
+func (b *Breakdown) Start(p Phase) (stop func()) {
+	if b == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		b.durs[p] += time.Since(start)
+		b.counts[p]++
+	}
+}
+
+// Get returns the accumulated duration for p.
+func (b *Breakdown) Get(p Phase) time.Duration {
+	if b == nil {
+		return 0
+	}
+	return b.durs[p]
+}
+
+// Count returns the number of samples recorded for p.
+func (b *Breakdown) Count(p Phase) int64 {
+	if b == nil {
+		return 0
+	}
+	return b.counts[p]
+}
+
+// Total returns the sum over all phases.
+func (b *Breakdown) Total() time.Duration {
+	if b == nil {
+		return 0
+	}
+	var t time.Duration
+	for _, d := range b.durs {
+		t += d
+	}
+	return t
+}
+
+// Merge adds other's samples into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	if b == nil || other == nil {
+		return
+	}
+	for i := range b.durs {
+		b.durs[i] += other.durs[i]
+		b.counts[i] += other.counts[i]
+	}
+}
+
+// Reset zeroes all accumulators.
+func (b *Breakdown) Reset() {
+	if b == nil {
+		return
+	}
+	for i := range b.durs {
+		b.durs[i] = 0
+		b.counts[i] = 0
+	}
+}
+
+// String renders the breakdown as "LocalFetch=12ms RemoteFetch=40ms ...".
+func (b *Breakdown) String() string {
+	if b == nil {
+		return "<nil>"
+	}
+	parts := make([]string, 0, numPhases)
+	for p := Phase(0); p < numPhases; p++ {
+		parts = append(parts, fmt.Sprintf("%s=%v", p, b.durs[p].Round(time.Microsecond)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Throughput converts a query count and wall time into queries/second.
+func Throughput(queries int, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(queries) / wall.Seconds()
+}
+
+// Counter is a simple atomic event counter usable from many goroutines.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds n.
+func (c *Counter) Inc(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Summary holds repeated-run statistics (the paper reports an average of 10
+// runs after 4 warm-ups).
+type Summary struct {
+	Mean, Min, Max, Stddev float64
+	Runs                   int
+}
+
+// Summarize computes run statistics over samples.
+func Summarize(samples []float64) Summary {
+	s := Summary{Runs: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	s.Min = samples[0]
+	s.Max = samples[0]
+	sum := 0.0
+	for _, x := range samples {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(samples))
+	var ss float64
+	for _, x := range samples {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(samples) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(samples)-1))
+	}
+	return s
+}
+
+// Median returns the median of samples (not modifying the input).
+func Median(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), samples...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}

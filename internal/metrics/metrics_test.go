@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhasePush, 10*time.Millisecond)
+	b.Add(PhasePush, 5*time.Millisecond)
+	b.Add(PhaseLocalFetch, 2*time.Millisecond)
+	if b.Get(PhasePush) != 15*time.Millisecond {
+		t.Fatalf("push = %v", b.Get(PhasePush))
+	}
+	if b.Count(PhasePush) != 2 || b.Count(PhaseLocalFetch) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if b.Total() != 17*time.Millisecond {
+		t.Fatalf("total = %v", b.Total())
+	}
+	b.Reset()
+	if b.Total() != 0 || b.Count(PhasePush) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBreakdownTimeAndStart(t *testing.T) {
+	b := NewBreakdown()
+	b.Time(PhasePop, func() { time.Sleep(2 * time.Millisecond) })
+	if b.Get(PhasePop) < 2*time.Millisecond {
+		t.Fatalf("Time undercounted: %v", b.Get(PhasePop))
+	}
+	stop := b.Start(PhaseRemoteFetch)
+	time.Sleep(time.Millisecond)
+	stop()
+	if b.Get(PhaseRemoteFetch) < time.Millisecond {
+		t.Fatal("Start/stop undercounted")
+	}
+}
+
+func TestNilBreakdownIsNoop(t *testing.T) {
+	var b *Breakdown
+	b.Add(PhasePush, time.Second)
+	b.Time(PhasePop, func() {})
+	b.Start(PhasePop)()
+	b.Merge(NewBreakdown())
+	b.Reset()
+	if b.Get(PhasePush) != 0 || b.Total() != 0 || b.Count(PhasePop) != 0 {
+		t.Fatal("nil breakdown should read zero")
+	}
+	if b.String() != "<nil>" {
+		t.Fatal("nil String")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewBreakdown(), NewBreakdown()
+	a.Add(PhasePush, time.Millisecond)
+	b.Add(PhasePush, 2*time.Millisecond)
+	b.Add(PhasePop, time.Millisecond)
+	a.Merge(b)
+	if a.Get(PhasePush) != 3*time.Millisecond || a.Get(PhasePop) != time.Millisecond {
+		t.Fatalf("merge wrong: %v", a)
+	}
+	if a.Count(PhasePush) != 2 {
+		t.Fatal("merge counts wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseLocalFetch, time.Millisecond)
+	s := b.String()
+	if !strings.Contains(s, "LocalFetch=1ms") || !strings.Contains(s, "Push=0s") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	names := map[Phase]string{
+		PhaseLocalFetch: "LocalFetch", PhaseRemoteFetch: "RemoteFetch",
+		PhasePush: "Push", PhasePop: "Pop",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Fatalf("%v", p)
+		}
+	}
+	if Phase(99).String() != "Phase(99)" {
+		t.Fatal("unknown phase name")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(128, 2*time.Second); got != 64 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if Throughput(10, 0) != 0 {
+		t.Fatal("zero wall time should give 0")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 800 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Runs != 4 {
+		t.Fatalf("%+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if z := Summarize(nil); z.Runs != 0 || z.Mean != 0 {
+		t.Fatalf("%+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Mean != 7 || one.Stddev != 0 {
+		t.Fatalf("%+v", one)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	in := []float64{9, 1}
+	Median(in)
+	if in[0] != 9 {
+		t.Fatal("Median must not mutate input")
+	}
+}

@@ -1,0 +1,333 @@
+package pmap
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func testMapBasics(t *testing.T, m Map) {
+	t.Helper()
+	k1 := Key{Local: 3, Shard: 1}
+	k2 := Key{Local: 3, Shard: 2} // same local, different shard: distinct key
+	if _, ok := m.Get(k1); ok {
+		t.Fatal("empty map reports key present")
+	}
+	m.Set(k1, 1.5)
+	if v, ok := m.Get(k1); !ok || v != 1.5 {
+		t.Fatalf("Get(k1) = %v,%v", v, ok)
+	}
+	if _, ok := m.Get(k2); ok {
+		t.Fatal("k2 should be absent")
+	}
+	if nv := m.Add(k1, 0.5); nv != 2.0 {
+		t.Fatalf("Add -> %v, want 2.0", nv)
+	}
+	if nv := m.Add(k2, 0.25); nv != 0.25 {
+		t.Fatalf("Add on missing key -> %v, want 0.25", nv)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	sum := 0.0
+	m.Range(func(k Key, v float64) bool {
+		sum += v
+		return true
+	})
+	if sum != 2.25 {
+		t.Fatalf("Range sum = %v, want 2.25", sum)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("after Clear Len = %d", m.Len())
+	}
+}
+
+func TestStripedBasics(t *testing.T)  { testMapBasics(t, NewStriped(16)) }
+func TestLockFreeBasics(t *testing.T) { testMapBasics(t, NewLockFree(16)) }
+
+func TestZeroKey(t *testing.T) {
+	// Key{0,0} packs to 0; the lock-free map must distinguish it from empty.
+	for _, m := range []Map{NewStriped(4), NewLockFree(4)} {
+		k := Key{Local: 0, Shard: 0}
+		m.Set(k, 7)
+		if v, ok := m.Get(k); !ok || v != 7 {
+			t.Fatalf("zero key lost: %v %v", v, ok)
+		}
+		if m.Len() != 1 {
+			t.Fatalf("Len = %d", m.Len())
+		}
+	}
+}
+
+func TestNegativeIDs(t *testing.T) {
+	// Negative components must not collide with positive ones.
+	for _, m := range []Map{NewStriped(4), NewLockFree(4)} {
+		m.Set(Key{Local: -1, Shard: 0}, 1)
+		m.Set(Key{Local: 1, Shard: 0}, 2)
+		m.Set(Key{Local: 0, Shard: -1}, 3)
+		if m.Len() != 3 {
+			t.Fatalf("Len = %d, want 3", m.Len())
+		}
+		if v, _ := m.Get(Key{Local: -1, Shard: 0}); v != 1 {
+			t.Fatalf("got %v", v)
+		}
+	}
+}
+
+func testConcurrentAdd(t *testing.T, m Map) {
+	t.Helper()
+	const (
+		workers = 8
+		keys    = 128
+		iters   = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				k := Key{Local: int32(rng.Intn(keys)), Shard: int32(rng.Intn(4))}
+				m.Add(k, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	m.Range(func(_ Key, v float64) bool {
+		total += v
+		return true
+	})
+	if total != workers*iters {
+		t.Fatalf("lost updates: total = %v, want %d", total, workers*iters)
+	}
+}
+
+func TestStripedConcurrentAdd(t *testing.T)  { testConcurrentAdd(t, NewStriped(64)) }
+func TestLockFreeConcurrentAdd(t *testing.T) { testConcurrentAdd(t, NewLockFree(1024)) }
+
+func TestLockFreeGrowth(t *testing.T) {
+	m := NewLockFree(4) // force growth
+	const n = 10000
+	for i := 0; i < n; i++ {
+		m.Set(Key{Local: int32(i), Shard: int32(i % 7)}, float64(i))
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m.Get(Key{Local: int32(i), Shard: int32(i % 7)})
+		if !ok || v != float64(i) {
+			t.Fatalf("key %d lost after growth: %v %v", i, v, ok)
+		}
+	}
+}
+
+func TestApplyOwnedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	updates := make([]Update, 5000)
+	for i := range updates {
+		updates[i] = Update{
+			Key:   Key{Local: int32(rng.Intn(200)), Shard: int32(rng.Intn(4))},
+			Delta: rng.Float64(),
+			Aux:   float64(i),
+		}
+	}
+	seq := NewStriped(256)
+	for _, u := range updates {
+		seq.Add(u.Key, u.Delta)
+	}
+	for _, workers := range []int{1, 2, 4, 8, 100} {
+		par := NewStriped(256)
+		par.ApplyOwned(updates, workers, nil)
+		if par.Len() != seq.Len() {
+			t.Fatalf("workers=%d Len %d != %d", workers, par.Len(), seq.Len())
+		}
+		seq.Range(func(k Key, v float64) bool {
+			pv, ok := par.Get(k)
+			if !ok || math.Abs(pv-v) > 1e-9 {
+				t.Fatalf("workers=%d key %v: %v vs %v", workers, k, pv, v)
+			}
+			return true
+		})
+	}
+}
+
+func TestApplyOwnedVisit(t *testing.T) {
+	m := NewStriped(16)
+	updates := []Update{
+		{Key{1, 0}, 1.0, 10},
+		{Key{2, 0}, 2.0, 20},
+		{Key{1, 0}, 0.5, 30},
+	}
+	var mu sync.Mutex
+	last := map[Key]float64{}
+	lastAux := map[Key]float64{}
+	m.ApplyOwned(updates, 4, func(k Key, v, aux float64) {
+		mu.Lock()
+		last[k] = v
+		lastAux[k] = aux
+		mu.Unlock()
+	})
+	// Updates to the same key are applied by one owner in order, so the
+	// last visit for Key{1,0} sees the final value 1.5 and aux 30.
+	if last[Key{1, 0}] != 1.5 || last[Key{2, 0}] != 2.0 {
+		t.Fatalf("visit values: %v", last)
+	}
+	if lastAux[Key{1, 0}] != 30 || lastAux[Key{2, 0}] != 20 {
+		t.Fatalf("visit aux: %v", lastAux)
+	}
+}
+
+func TestSubmapIndexStable(t *testing.T) {
+	for i := int32(0); i < 1000; i++ {
+		k := Key{Local: i, Shard: i % 5}
+		if SubmapIndex(k) != SubmapIndex(k) {
+			t.Fatal("SubmapIndex not deterministic")
+		}
+		if SubmapIndex(k) < 0 || SubmapIndex(k) >= NumSubmaps {
+			t.Fatal("SubmapIndex out of range")
+		}
+	}
+}
+
+func TestConcurrentSetBasics(t *testing.T) {
+	s := NewConcurrentSet(16)
+	k := Key{Local: 5, Shard: 2}
+	if !s.Insert(k) {
+		t.Fatal("first Insert should report new")
+	}
+	if s.Insert(k) {
+		t.Fatal("second Insert should report existing")
+	}
+	if !s.Contains(k) || s.Len() != 1 {
+		t.Fatal("Contains/Len wrong")
+	}
+	got := s.Drain(nil)
+	if len(got) != 1 || got[0] != k {
+		t.Fatalf("Drain = %v", got)
+	}
+	if s.Len() != 0 || s.Contains(k) {
+		t.Fatal("set not cleared by Drain")
+	}
+}
+
+func TestConcurrentSetParallelInsert(t *testing.T) {
+	s := NewConcurrentSet(1024)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	newCount := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Overlapping key ranges across workers.
+				if s.Insert(Key{Local: int32(i), Shard: int32(w % 2)}) {
+					newCount[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	totalNew := 0
+	for _, c := range newCount {
+		totalNew += c
+	}
+	// Exactly perWorker * 2 distinct keys; Insert must report "new" exactly once each.
+	if s.Len() != perWorker*2 || totalNew != perWorker*2 {
+		t.Fatalf("Len=%d totalNew=%d, want %d", s.Len(), totalNew, perWorker*2)
+	}
+}
+
+func TestDrainAppends(t *testing.T) {
+	s := NewConcurrentSet(4)
+	s.Insert(Key{1, 0})
+	pre := []Key{{9, 9}}
+	got := s.Drain(pre)
+	if len(got) != 2 || got[0] != (Key{9, 9}) {
+		t.Fatalf("Drain should append: %v", got)
+	}
+}
+
+// Property: pack/unpack round-trips all int32 pairs.
+func TestQuickPackUnpack(t *testing.T) {
+	f := func(local, shard int32) bool {
+		k := Key{Local: local, Shard: shard}
+		return unpack(k.pack()) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: both maps agree with a reference map[Key]float64 under a random
+// operation sequence.
+func TestQuickMapsMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		maps := []Map{NewStriped(8), NewLockFree(8)}
+		ref := map[Key]float64{}
+		for i := 0; i < 300; i++ {
+			k := Key{Local: int32(rng.Intn(20)), Shard: int32(rng.Intn(3))}
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Float64()
+				ref[k] = v
+				for _, m := range maps {
+					m.Set(k, v)
+				}
+			case 1:
+				d := rng.Float64()
+				ref[k] += d
+				for _, m := range maps {
+					m.Add(k, d)
+				}
+			case 2:
+				rv, rok := ref[k]
+				for _, m := range maps {
+					v, ok := m.Get(k)
+					if ok != rok || math.Abs(v-rv) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		for _, m := range maps {
+			if m.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStripedAdd(b *testing.B) {
+	m := NewStriped(1 << 16)
+	b.RunParallel(func(pb *testing.PB) {
+		i := int32(0)
+		for pb.Next() {
+			m.Add(Key{Local: i & 0xffff, Shard: 0}, 1)
+			i++
+		}
+	})
+}
+
+func BenchmarkLockFreeAdd(b *testing.B) {
+	m := NewLockFree(1 << 17)
+	b.RunParallel(func(pb *testing.PB) {
+		i := int32(0)
+		for pb.Next() {
+			m.Add(Key{Local: i & 0xffff, Shard: 0}, 1)
+			i++
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package pmap
+
+import "sync"
+
+// ConcurrentSet is a segmented concurrent set of node Keys. The engine uses
+// it for the activated-vertex set of Forward Push: push inserts activations
+// concurrently, pop drains the whole set (paper §3.3: "the pop operator
+// first returns the local ID tensor and the shard ID tensor from the current
+// activated vertex set and then clears the set").
+type ConcurrentSet struct {
+	subs [NumSubmaps]struct {
+		mu sync.Mutex
+		m  map[uint64]struct{}
+		_  [40]byte
+	}
+}
+
+// NewConcurrentSet returns an empty set with a total capacity hint.
+func NewConcurrentSet(capacityHint int) *ConcurrentSet {
+	s := &ConcurrentSet{}
+	per := capacityHint / NumSubmaps
+	if per < 4 {
+		per = 4
+	}
+	for i := range s.subs {
+		s.subs[i].m = make(map[uint64]struct{}, per)
+	}
+	return s
+}
+
+// InsertSeq is the lock-free single-threaded fast path of Insert. The
+// caller must guarantee no concurrent access to the set.
+func (s *ConcurrentSet) InsertSeq(k Key) bool {
+	p := k.pack()
+	sm := &s.subs[hash64(p)&(NumSubmaps-1)]
+	if _, existed := sm.m[p]; existed {
+		return false
+	}
+	sm.m[p] = struct{}{}
+	return true
+}
+
+// Insert adds k and reports whether it was newly added.
+func (s *ConcurrentSet) Insert(k Key) bool {
+	p := k.pack()
+	sm := &s.subs[hash64(p)&(NumSubmaps-1)]
+	sm.mu.Lock()
+	_, existed := sm.m[p]
+	if !existed {
+		sm.m[p] = struct{}{}
+	}
+	sm.mu.Unlock()
+	return !existed
+}
+
+// Contains reports whether k is in the set.
+func (s *ConcurrentSet) Contains(k Key) bool {
+	p := k.pack()
+	sm := &s.subs[hash64(p)&(NumSubmaps-1)]
+	sm.mu.Lock()
+	_, ok := sm.m[p]
+	sm.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of keys.
+func (s *ConcurrentSet) Len() int {
+	n := 0
+	for i := range s.subs {
+		s.subs[i].mu.Lock()
+		n += len(s.subs[i].m)
+		s.subs[i].mu.Unlock()
+	}
+	return n
+}
+
+// Drain appends all keys to dst, clears the set, and returns dst. The drain
+// is per-submap atomic; concurrent inserts land either in this drain or the
+// next one.
+func (s *ConcurrentSet) Drain(dst []Key) []Key {
+	for i := range s.subs {
+		sm := &s.subs[i]
+		sm.mu.Lock()
+		for p := range sm.m {
+			dst = append(dst, unpack(p))
+		}
+		clear(sm.m)
+		sm.mu.Unlock()
+	}
+	return dst
+}
+
+// Clear removes all keys.
+func (s *ConcurrentSet) Clear() {
+	for i := range s.subs {
+		sm := &s.subs[i]
+		sm.mu.Lock()
+		clear(sm.m)
+		sm.mu.Unlock()
+	}
+}

@@ -1,0 +1,157 @@
+package ppr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"pprengine/internal/graph"
+)
+
+// FORA (Wang et al., cited as [25] — the paper takes its definition of
+// approximate whole-graph SSPPR from it) combines the two phases the
+// related-work section contrasts: a Forward Push with a loose threshold
+// leaves residual mass r(v) on a frontier; Monte-Carlo random walks then
+// spend that mass, started from each residual node in proportion to r(v).
+// The estimate is
+//
+//	π̂(s, u) = p(u) + Σ_v r(v) · (walk hits from v to u) / walks(v)
+//
+// which is unbiased given the Forward Push invariant
+// π(s,u) = p(u) + Σ_v r(v)·π(v,u).
+
+// FORAConfig controls the hybrid.
+type FORAConfig struct {
+	Alpha float64
+	// RMax is the forward-push residual threshold (looser than a pure
+	// push run; the walks clean up the remainder).
+	RMax float64
+	// WalksPerUnit scales walk counts: node v starts
+	// ceil(r(v) * WalksPerUnit) walks.
+	WalksPerUnit float64
+	Seed         int64
+}
+
+// DefaultFORAConfig chooses rmax and walk counts for a failure probability
+// around 1/n on a graph with m edges, following the paper's balancing
+// heuristic rmax ∝ sqrt(1/(m·ω)).
+func DefaultFORAConfig(g *graph.Graph) FORAConfig {
+	n := float64(g.NumNodes)
+	if n < 2 {
+		n = 2
+	}
+	omega := n * math.Log(n) // total walk budget
+	return FORAConfig{
+		Alpha:        0.462,
+		RMax:         1 / math.Sqrt(omega*math.Max(1, float64(g.NumEdges()))),
+		WalksPerUnit: omega,
+		Seed:         1,
+	}
+}
+
+// FORA runs the hybrid estimator from source s.
+func FORA(g *graph.Graph, s graph.NodeID, cfg FORAConfig) *Result {
+	fp := ForwardPushResiduals(g, s, cfg.Alpha, cfg.RMax)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	est := fp.Scores
+	walks := int64(0)
+	// Deterministic iteration order so a fixed seed reproduces exactly.
+	order := make([]graph.NodeID, 0, len(fp.Residuals))
+	for v := range fp.Residuals {
+		order = append(order, v)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, v := range order {
+		rv := fp.Residuals[v]
+		if rv <= 0 {
+			continue
+		}
+		nw := int(math.Ceil(rv * cfg.WalksPerUnit))
+		if nw == 0 {
+			continue
+		}
+		inc := rv / float64(nw)
+		for w := 0; w < nw; w++ {
+			u := randomWalkEnd(g, v, cfg.Alpha, rng)
+			est[u] += inc
+			walks++
+		}
+	}
+	return &Result{Scores: est, Pushes: fp.Pushes, Iters: int(walks)}
+}
+
+// PushResult extends Result with the leftover residual map.
+type PushResult struct {
+	Scores    map[graph.NodeID]float64
+	Residuals map[graph.NodeID]float64
+	Pushes    int64
+}
+
+// ForwardPushResiduals is ForwardPush but also returns the residual map
+// (needed by FORA's walk phase).
+func ForwardPushResiduals(g *graph.Graph, s graph.NodeID, alpha, eps float64) *PushResult {
+	p := make(map[graph.NodeID]float64)
+	r := map[graph.NodeID]float64{s: 1}
+	queue := []graph.NodeID{s}
+	inQueue := map[graph.NodeID]bool{s: true}
+	pushes := int64(0)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		dw := float64(g.WeightedDegree[v])
+		rv := r[v]
+		if rv <= eps*dw || rv == 0 {
+			continue
+		}
+		pushes++
+		p[v] += alpha * rv
+		m := (1 - alpha) * rv
+		r[v] = 0
+		if dw == 0 {
+			continue
+		}
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			ru := r[u] + float64(ws[i])/dw*m
+			r[u] = ru
+			if ru > eps*float64(g.WeightedDegree[u]) && !inQueue[u] {
+				inQueue[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v, rv := range r {
+		if rv == 0 {
+			delete(r, v)
+		}
+	}
+	return &PushResult{Scores: p, Residuals: r, Pushes: pushes}
+}
+
+// randomWalkEnd simulates one α-restart walk from v and returns its
+// terminal node.
+func randomWalkEnd(g *graph.Graph, v graph.NodeID, alpha float64, rng *rand.Rand) graph.NodeID {
+	for {
+		if rng.Float64() < alpha {
+			return v
+		}
+		dw := float64(g.WeightedDegree[v])
+		if dw == 0 {
+			return v // dangling: terminate here
+		}
+		target := rng.Float64() * dw
+		ws := g.EdgeWeights(v)
+		nbrs := g.Neighbors(v)
+		acc := 0.0
+		next := nbrs[len(nbrs)-1]
+		for j, w := range ws {
+			acc += float64(w)
+			if acc >= target {
+				next = nbrs[j]
+				break
+			}
+		}
+		v = next
+	}
+}

@@ -1,0 +1,352 @@
+// Package ppr implements single-machine Personalized PageRank kernels:
+//
+//   - ForwardPush: the sequential Forward Push of Algorithm 1 in the paper,
+//     computing an ε-approximate whole-graph SSPPR vector.
+//   - ParallelForwardPush: the frontier-parallel variant (Shun et al. 2016)
+//     the engine's distributed implementation is based on; it performs
+//     slightly more pushes but exposes batch parallelism.
+//   - PowerIteration: the high-precision method used as ground truth
+//     (the paper's "DGL SpMM" baseline runs this via SpMV).
+//   - MonteCarlo: random-walk-with-restart estimation, for reference.
+//
+// All kernels operate on weighted graphs: a step from v follows edge (v,u)
+// with probability W(v,u)/dw(v), where dw is the weighted out-degree.
+package ppr
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/tensor"
+)
+
+// Result holds an SSPPR vector as a sparse map from node to estimate,
+// along with counters describing the computation.
+type Result struct {
+	Scores map[graph.NodeID]float64
+	Pushes int64 // number of push operations applied
+	Iters  int   // frontier iterations (parallel) or total pops (sequential)
+}
+
+// ForwardPush runs the sequential Forward Push algorithm (paper Algorithm 1)
+// from source s with teleport probability alpha and residual threshold eps.
+// It returns the ε-approximate PPR vector restricted to touched nodes.
+func ForwardPush(g *graph.Graph, s graph.NodeID, alpha, eps float64) *Result {
+	p := make(map[graph.NodeID]float64)
+	r := make(map[graph.NodeID]float64)
+	r[s] = 1
+	// Work queue of activated nodes; a node enters at most once at a time.
+	queue := []graph.NodeID{s}
+	inQueue := map[graph.NodeID]bool{s: true}
+	pushes := int64(0)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		dw := float64(g.WeightedDegree[v])
+		rv := r[v]
+		if rv <= eps*dw || rv == 0 {
+			continue // deactivated since it was enqueued
+		}
+		pushes++
+		p[v] += alpha * rv
+		m := (1 - alpha) * rv
+		r[v] = 0
+		if dw == 0 {
+			continue // dangling node absorbs; residual mass is dropped
+		}
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			ru := r[u] + float64(ws[i])/dw*m
+			r[u] = ru
+			if ru > eps*float64(g.WeightedDegree[u]) && !inQueue[u] {
+				inQueue[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return &Result{Scores: p, Pushes: pushes, Iters: int(pushes)}
+}
+
+// ParallelForwardPush runs the frontier-parallel Forward Push (Shun et al.):
+// each iteration drains the activated set and pushes all of its nodes in
+// parallel. workers <= 0 uses GOMAXPROCS.
+func ParallelForwardPush(g *graph.Graph, s graph.NodeID, alpha, eps float64, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumNodes
+	p := make([]uint64, n) // atomic float64 bits
+	r := make([]uint64, n)
+	storeF := func(a []uint64, i graph.NodeID, v float64) {
+		atomic.StoreUint64(&a[i], math.Float64bits(v))
+	}
+	loadF := func(a []uint64, i graph.NodeID) float64 {
+		return math.Float64frombits(atomic.LoadUint64(&a[i]))
+	}
+	addF := func(a []uint64, i graph.NodeID, d float64) float64 {
+		for {
+			old := atomic.LoadUint64(&a[i])
+			nv := math.Float64frombits(old) + d
+			if atomic.CompareAndSwapUint64(&a[i], old, math.Float64bits(nv)) {
+				return nv
+			}
+		}
+	}
+	storeF(r, s, 1)
+	frontier := []graph.NodeID{s}
+	inFrontier := make([]atomic.Bool, n)
+	var pushes atomic.Int64
+	iters := 0
+	for len(frontier) > 0 {
+		iters++
+		next := make([][]graph.NodeID, workers)
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(frontier) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				for _, v := range frontier[lo:hi] {
+					inFrontier[v].Store(false)
+					dw := float64(g.WeightedDegree[v])
+					// Atomically claim the entire residual of v.
+					var rv float64
+					for {
+						old := atomic.LoadUint64(&r[v])
+						rv = math.Float64frombits(old)
+						if rv == 0 {
+							break
+						}
+						if atomic.CompareAndSwapUint64(&r[v], old, 0) {
+							break
+						}
+					}
+					if rv <= eps*dw || rv == 0 {
+						if rv != 0 {
+							addF(r, v, rv) // give it back; deactivated
+						}
+						continue
+					}
+					pushes.Add(1)
+					addF(p, v, alpha*rv)
+					if dw == 0 {
+						continue
+					}
+					m := (1 - alpha) * rv
+					ws := g.EdgeWeights(v)
+					for i, u := range g.Neighbors(v) {
+						ru := addF(r, u, float64(ws[i])/dw*m)
+						if ru > eps*float64(g.WeightedDegree[u]) && inFrontier[u].CompareAndSwap(false, true) {
+							next[w] = append(next[w], u)
+						}
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, part := range next {
+			frontier = append(frontier, part...)
+		}
+	}
+	res := &Result{Scores: make(map[graph.NodeID]float64), Pushes: pushes.Load(), Iters: iters}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if pv := loadF(p, v); pv > 0 {
+			res.Scores[v] = pv
+		}
+	}
+	return res
+}
+
+// ResidualSum returns the total residual mass left in a result's residual
+// map; exported kernels guarantee sum(scores) + residual <= 1 + fp error.
+// (Helper for invariant tests; computed from scratch by re-running is not
+// possible, so kernels that need it expose it directly.)
+
+// PowerIteration computes a high-precision SSPPR estimate by iterating
+// x ← alpha·e_s + (1-alpha)·Pᵀx until the L1 change is below tol, where
+// P(v,u) = W(v,u)/dw(v). The returned vector is dense over all nodes.
+// Dangling nodes teleport their mass back to the source, matching the
+// random-walk-with-restart semantics.
+func PowerIteration(g *graph.Graph, s graph.NodeID, alpha, tol float64, maxIters int) (tensor.Vec, int) {
+	pt := TransitionTranspose(g)
+	n := g.NumNodes
+	x := tensor.NewVec(n)
+	x[s] = 1
+	dangling := make([]bool, n)
+	for v := 0; v < n; v++ {
+		dangling[v] = g.WeightedDegree[v] == 0
+	}
+	y := tensor.NewVec(n)
+	iters := 0
+	for iters = 0; iters < maxIters; iters++ {
+		pt.SpMVInto(y, x)
+		// Dangling mass restarts at the source.
+		lost := 0.0
+		for v := 0; v < n; v++ {
+			if dangling[v] && x[v] > 0 {
+				lost += x[v]
+			}
+		}
+		y[s] += lost
+		diff := 0.0
+		for v := 0; v < n; v++ {
+			nv := (1 - alpha) * y[v]
+			if v == int(s) {
+				nv += alpha
+			}
+			diff += math.Abs(nv - x[v])
+			x[v] = nv
+		}
+		if diff < tol {
+			iters++
+			break
+		}
+	}
+	return x, iters
+}
+
+// TransitionTranspose builds Pᵀ in CSR form where P(v,u)=W(v,u)/dw(v), so
+// that Pᵀx propagates mass forward along edges.
+func TransitionTranspose(g *graph.Graph) *tensor.CSR {
+	n := g.NumNodes
+	a := &tensor.CSR{Rows: n, Cols: n, Indptr: make([]int64, n+1)}
+	// Count in-degree (rows of Pᵀ are destinations).
+	for _, u := range g.Adj {
+		a.Indptr[u+1]++
+	}
+	for v := 0; v < n; v++ {
+		a.Indptr[v+1] += a.Indptr[v]
+	}
+	nnz := a.Indptr[n]
+	a.ColIdx = make([]int32, nnz)
+	a.Values = make([]float64, nnz)
+	cursor := make([]int64, n)
+	copy(cursor, a.Indptr[:n])
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		dw := float64(g.WeightedDegree[v])
+		if dw == 0 {
+			continue
+		}
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			j := cursor[u]
+			cursor[u]++
+			a.ColIdx[j] = int32(v)
+			a.Values[j] = float64(ws[i]) / dw
+		}
+	}
+	return a
+}
+
+// MonteCarlo estimates SSPPR by simulating walks random walks with restart
+// probability alpha from s. The estimate of π(s,v) is the fraction of walk
+// terminations at v.
+func MonteCarlo(g *graph.Graph, s graph.NodeID, alpha float64, walks int, seed int64) map[graph.NodeID]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[graph.NodeID]int)
+	for i := 0; i < walks; i++ {
+		v := s
+		for rng.Float64() > alpha {
+			dw := float64(g.WeightedDegree[v])
+			if dw == 0 {
+				v = s // dangling: restart
+				continue
+			}
+			// Weighted neighbor sampling by inverse CDF.
+			target := rng.Float64() * dw
+			ws := g.EdgeWeights(v)
+			nbrs := g.Neighbors(v)
+			acc := 0.0
+			next := nbrs[len(nbrs)-1]
+			for j, w := range ws {
+				acc += float64(w)
+				if acc >= target {
+					next = nbrs[j]
+					break
+				}
+			}
+			v = next
+		}
+		counts[v]++
+	}
+	out := make(map[graph.NodeID]float64, len(counts))
+	for v, c := range counts {
+		out[v] = float64(c) / float64(walks)
+	}
+	return out
+}
+
+// L1Error returns sum_v |approx(v) - exact[v]| over all nodes of exact.
+func L1Error(approx map[graph.NodeID]float64, exact tensor.Vec) float64 {
+	s := 0.0
+	for v, ev := range exact {
+		s += math.Abs(approx[graph.NodeID(v)] - ev)
+	}
+	// Nodes present in approx but outside exact's range (impossible when
+	// lengths match the graph) are ignored.
+	return s
+}
+
+// TopKPrecision returns |topK(approx) ∩ topK(exact)| / k — the paper's
+// "top-100 accuracy" metric (§4.2).
+func TopKPrecision(approx map[graph.NodeID]float64, exact tensor.Vec, k int) float64 {
+	exactTop := tensor.TopK(exact, k)
+	exactSet := make(map[int32]struct{}, k)
+	for _, v := range exactTop {
+		exactSet[v] = struct{}{}
+	}
+	approxTop := TopKOfMap(approx, k)
+	if len(approxTop) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, v := range approxTop {
+		if _, ok := exactSet[int32(v)]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(approxTop))
+}
+
+// TopKOfMap returns the ids of the k largest-valued entries of a sparse
+// score map, descending by score (ties: ascending id). If the map has fewer
+// than k entries, all of them are returned.
+func TopKOfMap(scores map[graph.NodeID]float64, k int) []graph.NodeID {
+	type kv struct {
+		v graph.NodeID
+		x float64
+	}
+	items := make([]kv, 0, len(scores))
+	for v, x := range scores {
+		items = append(items, kv{v, x})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].x != items[j].x {
+			return items[i].x > items[j].x
+		}
+		return items[i].v < items[j].v
+	})
+	if k > len(items) {
+		k = len(items)
+	}
+	out := make([]graph.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = items[i].v
+	}
+	return out
+}

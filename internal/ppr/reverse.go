@@ -1,0 +1,97 @@
+package ppr
+
+import (
+	"pprengine/internal/graph"
+	"pprengine/internal/tensor"
+)
+
+// ReversePush is the local-update method for single-target PPR (Andersen et
+// al., cited as [1] in the paper's related work): it computes an
+// ε-approximation of π(s, t) for a fixed target t and *all* sources s by
+// pushing along in-edges. The returned sparse map p satisfies
+//
+//	p[s] <= π(s, t) <= p[s] + eps   for every source s.
+//
+// On weighted graphs the reverse transition uses P(s,v) = W(s,v)/dw(s),
+// matching the forward kernels.
+func ReversePush(g *graph.Graph, t graph.NodeID, alpha, eps float64) *Result {
+	// Build the in-adjacency once: for target-side pushes we need, for
+	// each node v, the set of sources s with an edge s->v and W(s,v)/dw(s).
+	in := buildInEdges(g)
+	p := make(map[graph.NodeID]float64)
+	r := map[graph.NodeID]float64{t: 1}
+	queue := []graph.NodeID{t}
+	inQueue := map[graph.NodeID]bool{t: true}
+	pushes := int64(0)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		rv := r[v]
+		if rv <= eps {
+			continue
+		}
+		pushes++
+		p[v] += alpha * rv
+		r[v] = 0
+		m := (1 - alpha) * rv
+		lo, hi := in.indptr[v], in.indptr[v+1]
+		for i := lo; i < hi; i++ {
+			s := in.src[i]
+			rs := r[s] + float64(in.prob[i])*m
+			r[s] = rs
+			if rs > eps && !inQueue[s] {
+				inQueue[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return &Result{Scores: p, Pushes: pushes, Iters: int(pushes)}
+}
+
+type inEdges struct {
+	indptr []int64
+	src    []graph.NodeID
+	prob   []float32 // W(s,v)/dw(s)
+}
+
+func buildInEdges(g *graph.Graph) *inEdges {
+	in := &inEdges{indptr: make([]int64, g.NumNodes+1)}
+	for _, u := range g.Adj {
+		in.indptr[u+1]++
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		in.indptr[v+1] += in.indptr[v]
+	}
+	nnz := in.indptr[g.NumNodes]
+	in.src = make([]graph.NodeID, nnz)
+	in.prob = make([]float32, nnz)
+	cursor := make([]int64, g.NumNodes)
+	copy(cursor, in.indptr[:g.NumNodes])
+	for s := graph.NodeID(0); int(s) < g.NumNodes; s++ {
+		dw := g.WeightedDegree[s]
+		if dw == 0 {
+			continue
+		}
+		ws := g.EdgeWeights(s)
+		for i, v := range g.Neighbors(s) {
+			j := cursor[v]
+			cursor[v]++
+			in.src[j] = s
+			in.prob[j] = ws[i] / dw
+		}
+	}
+	return in
+}
+
+// ExactPPRColumn computes the exact column π(·, t) — π(s, t) for every
+// source s — by power-iterating each source. O(|V|) power iterations; test
+// helper for tiny graphs only.
+func ExactPPRColumn(g *graph.Graph, t graph.NodeID, alpha, tol float64) tensor.Vec {
+	col := tensor.NewVec(g.NumNodes)
+	for s := 0; s < g.NumNodes; s++ {
+		x, _ := PowerIteration(g, graph.NodeID(s), alpha, tol, 100000)
+		col[s] = x[t]
+	}
+	return col
+}

@@ -1,0 +1,130 @@
+package ppr
+
+import (
+	"math"
+	"testing"
+
+	"pprengine/internal/graph"
+)
+
+func TestReversePushRingClosedForm(t *testing.T) {
+	// On a directed n-ring, π(s, t) depends only on the distance from s to
+	// t: π(s, t) = a(1-a)^d / (1 - (1-a)^n).
+	n := 8
+	g := graph.Ring(n)
+	tgt := graph.NodeID(3)
+	res := ReversePush(g, tgt, alpha, 1e-12)
+	for s := 0; s < n; s++ {
+		d := (int(tgt) - s + n) % n
+		want := ringExact(n, d, alpha)
+		if math.Abs(res.Scores[graph.NodeID(s)]-want) > 1e-6 {
+			t.Fatalf("π(%d,%d) = %v, want %v", s, tgt, res.Scores[graph.NodeID(s)], want)
+		}
+	}
+}
+
+func TestReversePushBoundsAgainstExactColumn(t *testing.T) {
+	g := graph.MakeUndirected(graph.ErdosRenyi(60, 300, 9))
+	tgt := graph.NodeID(7)
+	eps := 1e-4
+	res := ReversePush(g, tgt, alpha, eps)
+	col := ExactPPRColumn(g, tgt, alpha, 1e-12)
+	for s := 0; s < g.NumNodes; s++ {
+		est := res.Scores[graph.NodeID(s)]
+		exact := col[s]
+		// Guarantee: est <= π(s,t) <= est + eps.
+		if est > exact+1e-9 {
+			t.Fatalf("s=%d: estimate %v exceeds exact %v", s, est, exact)
+		}
+		if exact > est+eps+1e-9 {
+			t.Fatalf("s=%d: exact %v beyond est %v + eps", s, exact, est)
+		}
+	}
+}
+
+func TestReversePushSymmetricGraphIdentity(t *testing.T) {
+	// On an undirected unweighted regular graph, π(s,t)·d(s) = π(t,s)·d(t)
+	// (reversibility); for a ring doubled to be 2-regular everywhere,
+	// π(s,t) = π(t,s). Use the complete graph: all off-diagonal equal.
+	g := graph.Complete(6)
+	res := ReversePush(g, 2, alpha, 1e-10)
+	var vals []float64
+	for s := 0; s < 6; s++ {
+		if s == 2 {
+			continue
+		}
+		vals = append(vals, res.Scores[graph.NodeID(s)])
+	}
+	for _, v := range vals[1:] {
+		if math.Abs(v-vals[0]) > 1e-9 {
+			t.Fatalf("asymmetric estimates on complete graph: %v", vals)
+		}
+	}
+}
+
+func TestFORAMoreAccurateThanLoosePush(t *testing.T) {
+	g := graph.MakeUndirected(graph.RMAT(graph.RMATConfig{
+		NumNodes: 400, NumEdges: 2400, A: 0.5, B: 0.22, C: 0.22, Seed: 17,
+	}))
+	src := graph.NodeID(11)
+	exact, _ := PowerIteration(g, src, alpha, 1e-12, 100000)
+	cfg := DefaultFORAConfig(g)
+	cfg.Alpha = alpha
+	// Loose push alone vs the same push plus walks.
+	loose := ForwardPush(g, src, alpha, cfg.RMax)
+	fora := FORA(g, src, cfg)
+	l1Loose := L1Error(loose.Scores, exact)
+	l1FORA := L1Error(fora.Scores, exact)
+	if l1FORA >= l1Loose {
+		t.Fatalf("FORA (%v) should beat loose push (%v)", l1FORA, l1Loose)
+	}
+	// And the estimate is globally sane.
+	sum := 0.0
+	for _, v := range fora.Scores {
+		if v < 0 {
+			t.Fatal("negative estimate")
+		}
+		sum += v
+	}
+	if sum > 1.05 || sum < 0.8 {
+		t.Fatalf("FORA mass = %v", sum)
+	}
+}
+
+func TestForwardPushResidualInvariant(t *testing.T) {
+	// Invariant: p + residual mass == 1 (no dangling nodes reachable).
+	g := graph.MakeUndirected(graph.ErdosRenyi(150, 900, 5))
+	res := ForwardPushResiduals(g, 3, alpha, 1e-4)
+	sum := 0.0
+	for _, v := range res.Scores {
+		sum += v
+	}
+	for _, v := range res.Residuals {
+		if v < 0 {
+			t.Fatal("negative residual")
+		}
+		sum += v
+	}
+	// float32 edge weights accumulate ~1e-8 of rounding here.
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("mass = %v, want 1", sum)
+	}
+	if len(res.Residuals) == 0 {
+		t.Fatal("loose push should leave residuals")
+	}
+}
+
+func TestFORADeterministicSeed(t *testing.T) {
+	g := graph.MakeUndirected(graph.ErdosRenyi(100, 600, 6))
+	cfg := DefaultFORAConfig(g)
+	a := FORA(g, 1, cfg)
+	b := FORA(g, 1, cfg)
+	if len(a.Scores) != len(b.Scores) {
+		t.Fatal("nondeterministic")
+	}
+	for v, x := range a.Scores {
+		if b.Scores[v] != x {
+			t.Fatal("nondeterministic scores")
+		}
+	}
+}

@@ -1,0 +1,457 @@
+// Package rpc implements the point-to-point asynchronous communication layer
+// between simulated machines — the stand-in for PyTorch RPC over TensorPipe
+// (paper §3.1). It provides length-prefixed binary framing over any
+// net.Conn, request multiplexing with futures, and a handler-registry
+// server.
+//
+// Like TensorPipe, the transport is happiest with few large messages:
+// every request pays framing, syscall, and scheduling overhead, which is
+// what makes the paper's batching optimization (§3.2.3) matter. An optional
+// latency/bandwidth model adds a deterministic per-message and per-byte
+// delay to emulate a datacenter link instead of loopback.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Method identifies a server-side handler.
+type Method uint8
+
+// Well-known methods used by the graph engine. Users may register any value.
+const (
+	MethodGetNeighborInfos    Method = 1 // batched, CSR-compressed response
+	MethodGetNeighborInfosLoL Method = 2 // batched, list-of-lists response
+	MethodGetNeighborInfoOne  Method = 3 // single vertex (the "Single" ablation)
+	MethodSampleOneNeighbor   Method = 4 // random-walk step
+	MethodGetShardStats       Method = 5
+	MethodFetchFeatures       Method = 6 // GNN feature store
+	MethodAllreduce           Method = 7 // gradient sync for the case study
+	MethodSampleNeighbors     Method = 8 // k-hop fanout sampling (GraphSAGE)
+	MethodSSPPRQuery          Method = 9 // owner-compute query dispatch
+	MethodEcho                Method = 63
+)
+
+const (
+	flagRequest  = 0x00
+	flagResponse = 0x01
+	flagError    = 0x02
+
+	maxFrameSize = 1 << 30
+)
+
+// Handler processes one request payload and returns the response payload.
+type Handler func(payload []byte) ([]byte, error)
+
+// LatencyModel adds synthetic delay to every message of size n bytes:
+// Base + n/BytesPerSec. A zero model means raw transport speed.
+type LatencyModel struct {
+	Base        time.Duration
+	BytesPerSec float64
+}
+
+// Delay returns the synthetic delay for a message of n bytes.
+func (l LatencyModel) Delay(n int) time.Duration {
+	d := l.Base
+	if l.BytesPerSec > 0 {
+		d += time.Duration(float64(n) / l.BytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+func (l LatencyModel) apply(n int) {
+	if d := l.Delay(n); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// writeFrame writes one frame: [len u32][reqID u64][flags u8][method u8][payload].
+func writeFrame(w io.Writer, buf *[]byte, reqID uint64, flags byte, method Method, payload []byte) error {
+	need := 4 + 10 + len(payload)
+	if cap(*buf) < need {
+		*buf = make([]byte, need)
+	}
+	b := (*buf)[:need]
+	binary.LittleEndian.PutUint32(b, uint32(10+len(payload)))
+	binary.LittleEndian.PutUint64(b[4:], reqID)
+	b[12] = flags
+	b[13] = byte(method)
+	copy(b[14:], payload)
+	_, err := w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader, hdr *[14]byte) (reqID uint64, flags byte, method Method, payload []byte, err error) {
+	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
+		return
+	}
+	size := binary.LittleEndian.Uint32(hdr[:4])
+	if size < 10 || size > maxFrameSize {
+		err = fmt.Errorf("rpc: bad frame size %d", size)
+		return
+	}
+	if _, err = io.ReadFull(r, hdr[4:14]); err != nil {
+		return
+	}
+	reqID = binary.LittleEndian.Uint64(hdr[4:12])
+	flags = hdr[12]
+	method = Method(hdr[13])
+	payload = make([]byte, size-10)
+	_, err = io.ReadFull(r, payload)
+	return
+}
+
+// Server dispatches incoming requests to registered handlers. Each accepted
+// connection gets a reader goroutine; each request runs in its own goroutine
+// so slow handlers do not head-of-line block the connection.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[Method]Handler
+	lis      net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	conns    sync.Map // *net.Conn set for shutdown
+
+	// MaxRequestBytes rejects request payloads larger than this when > 0
+	// (a guard against misbehaving clients; responses are not limited).
+	MaxRequestBytes int
+
+	reqCounts  [256]atomic.Int64
+	errCounts  [256]atomic.Int64
+	bytesIn    atomic.Int64
+	bytesOut   atomic.Int64
+	connsTotal atomic.Int64
+}
+
+// Stats is a snapshot of server-side counters.
+type Stats struct {
+	Requests    map[Method]int64
+	Errors      map[Method]int64
+	BytesIn     int64
+	BytesOut    int64
+	Connections int64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:    map[Method]int64{},
+		Errors:      map[Method]int64{},
+		BytesIn:     s.bytesIn.Load(),
+		BytesOut:    s.bytesOut.Load(),
+		Connections: s.connsTotal.Load(),
+	}
+	for m := 0; m < 256; m++ {
+		if n := s.reqCounts[m].Load(); n > 0 {
+			st.Requests[Method(m)] = n
+		}
+		if n := s.errCounts[m].Load(); n > 0 {
+			st.Errors[Method(m)] = n
+		}
+	}
+	return st
+}
+
+// NewServer returns a server with no handlers registered.
+func NewServer() *Server {
+	return &Server{handlers: make(map[Method]Handler)}
+}
+
+// Handle registers h for method m, replacing any previous handler.
+func (s *Server) Handle(m Method, h Handler) {
+	s.mu.Lock()
+	s.handlers[m] = h
+	s.mu.Unlock()
+}
+
+// Serve accepts connections on lis until Close. It returns after the
+// listener fails (normally: after Close).
+func (s *Server) Serve(lis net.Listener) {
+	s.mu.Lock()
+	s.lis = lis
+	closed := s.closed.Load()
+	s.mu.Unlock()
+	if closed {
+		lis.Close()
+		return
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		// Register under the lock so Close cannot start waiting between
+		// the accept and the wg.Add (Add must not race with Wait at zero).
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns.Store(conn, struct{}{})
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.conns.Delete(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on a fresh loopback TCP port and serves in a
+// background goroutine. It returns the address clients should dial.
+func (s *Server) ListenAndServe() (addr string, err error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	go s.Serve(lis)
+	return lis.Addr().String(), nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	s.connsTotal.Add(1)
+	var wmu sync.Mutex
+	var hdr [14]byte
+	for {
+		reqID, flags, method, payload, err := readFrame(conn, &hdr)
+		if err != nil {
+			return
+		}
+		if flags != flagRequest {
+			continue // protocol misuse; drop
+		}
+		s.reqCounts[method].Add(1)
+		s.bytesIn.Add(int64(len(payload)))
+		s.mu.RLock()
+		h, ok := s.handlers[method]
+		s.mu.RUnlock()
+		if max := s.MaxRequestBytes; max > 0 && len(payload) > max {
+			s.errCounts[method].Add(1)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				var wbuf []byte
+				wmu.Lock()
+				writeFrame(conn, &wbuf, reqID, flagError, method,
+					[]byte(fmt.Sprintf("rpc: request of %d bytes exceeds server limit %d", len(payload), max)))
+				wmu.Unlock()
+			}()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			var wbuf []byte
+			if !ok {
+				s.errCounts[method].Add(1)
+				wmu.Lock()
+				writeFrame(conn, &wbuf, reqID, flagError, method, []byte(fmt.Sprintf("rpc: no handler for method %d", method)))
+				wmu.Unlock()
+				return
+			}
+			resp, err := h(payload)
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err != nil {
+				s.errCounts[method].Add(1)
+				writeFrame(conn, &wbuf, reqID, flagError, method, []byte(err.Error()))
+				return
+			}
+			s.bytesOut.Add(int64(len(resp)))
+			writeFrame(conn, &wbuf, reqID, flagResponse, method, resp)
+		}()
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for in-flight
+// handlers to finish.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	// Taking the lock here flushes any in-flight connection registration
+	// in Serve; new ones observe closed and bail out.
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.conns.Range(func(k, _ any) bool {
+		k.(net.Conn).Close()
+		return true
+	})
+	s.wg.Wait()
+}
+
+// Future is the pending result of an asynchronous Call.
+type Future struct {
+	ch  chan result
+	res result
+	got bool
+}
+
+type result struct {
+	payload []byte
+	err     error
+}
+
+// Wait blocks until the response arrives and returns it. Wait may be called
+// multiple times; subsequent calls return the cached result.
+func (f *Future) Wait() ([]byte, error) {
+	if !f.got {
+		f.res = <-f.ch
+		f.got = true
+	}
+	return f.res.payload, f.res.err
+}
+
+// Client is a connection to one remote server, safe for concurrent use.
+// Responses are demultiplexed to futures by request ID, so many calls can be
+// in flight at once — the engine overlaps remote fetches with local work by
+// issuing Calls early and Waiting late (paper's "Overlap" optimization).
+type Client struct {
+	conn    net.Conn
+	wmu     sync.Mutex
+	wbuf    []byte
+	nextID  atomic.Uint64
+	pending sync.Map // reqID -> chan result
+	lat     LatencyModel
+	closed  atomic.Bool
+
+	// Stats counts traffic for the experiment harness.
+	RequestsSent  atomic.Int64
+	BytesSent     atomic.Int64
+	BytesReceived atomic.Int64
+}
+
+// Dial connects to a server address with the given synthetic latency model.
+func Dial(addr string, lat LatencyModel) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewClient(conn, lat), nil
+}
+
+// DialRetry dials addr, retrying with backoff until timeout — for
+// deployment bootstrap, where peer servers start in arbitrary order.
+func DialRetry(addr string, lat LatencyModel, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	wait := 50 * time.Millisecond
+	for {
+		c, err := Dial(addr, lat)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("rpc: dial %s: gave up after %v: %w", addr, timeout, err)
+		}
+		time.Sleep(wait)
+		if wait < time.Second {
+			wait *= 2
+		}
+	}
+}
+
+// NewClient wraps an established connection (e.g. one end of net.Pipe for
+// in-process transports).
+func NewClient(conn net.Conn, lat LatencyModel) *Client {
+	c := &Client{conn: conn, lat: lat}
+	go c.readLoop()
+	return c
+}
+
+var errClientClosed = errors.New("rpc: client closed")
+
+func (c *Client) readLoop() {
+	var hdr [14]byte
+	for {
+		reqID, flags, _, payload, err := readFrame(c.conn, &hdr)
+		if err != nil {
+			// Connection gone: fail all pending calls.
+			c.pending.Range(func(k, v any) bool {
+				v.(chan result) <- result{nil, errClientClosed}
+				c.pending.Delete(k)
+				return true
+			})
+			return
+		}
+		ch, ok := c.pending.LoadAndDelete(reqID)
+		if !ok {
+			continue
+		}
+		c.BytesReceived.Add(int64(len(payload)))
+		if flags == flagError {
+			ch.(chan result) <- result{nil, fmt.Errorf("rpc: remote error: %s", payload)}
+		} else {
+			ch.(chan result) <- result{payload, nil}
+		}
+	}
+}
+
+// Call sends a request and returns a Future for its response. The synthetic
+// latency model charges the request and response legs to the waiter, not the
+// sender, so Calls still return immediately.
+func (c *Client) Call(m Method, payload []byte) *Future {
+	ch := make(chan result, 1)
+	f := &Future{ch: ch}
+	if c.closed.Load() {
+		ch <- result{nil, errClientClosed}
+		return f
+	}
+	id := c.nextID.Add(1)
+	c.pending.Store(id, ch)
+	c.wmu.Lock()
+	err := writeFrame(c.conn, &c.wbuf, id, flagRequest, m, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		if _, ok := c.pending.LoadAndDelete(id); ok {
+			ch <- result{nil, err}
+		}
+		return f
+	}
+	c.RequestsSent.Add(1)
+	c.BytesSent.Add(int64(len(payload)))
+	if c.lat.Base > 0 || c.lat.BytesPerSec > 0 {
+		// Model the request leg; the response leg is charged on receipt by
+		// wrapping the future channel. For simplicity both legs are charged
+		// here against the payload size.
+		sz := len(payload)
+		inner := ch
+		outer := make(chan result, 1)
+		f.ch = outer
+		go func() {
+			r := <-inner
+			c.lat.apply(sz + len(r.payload))
+			outer <- r
+		}()
+	}
+	return f
+}
+
+// SyncCall is Call followed by Wait.
+func (c *Client) SyncCall(m Method, payload []byte) ([]byte, error) {
+	return c.Call(m, payload).Wait()
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	c.conn.Close()
+}

@@ -1,0 +1,43 @@
+package shard_test
+
+import (
+	"fmt"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/partition"
+	"pprengine/internal/shard"
+)
+
+// Example_figure2 reconstructs the spirit of the paper's Figure 2: a small
+// weighted graph split into two shards, where nodes are addressed as
+// (local ID, shard ID) and cross-shard neighbors appear as halo columns.
+func Example_figure2() {
+	// Global graph: 5 nodes. Shard 0 gets {0,1,2}, shard 1 gets {3,4}.
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 2}, {Src: 1, Dst: 0, Weight: 2},
+		{Src: 1, Dst: 2, Weight: 1}, {Src: 2, Dst: 1, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 4}, {Src: 3, Dst: 2, Weight: 4}, // cut edge
+		{Src: 3, Dst: 4, Weight: 3}, {Src: 4, Dst: 3, Weight: 3},
+	}
+	g, _ := graph.FromEdges(5, edges)
+	assign := partition.Assignment{0, 0, 0, 1, 1}
+	shards, loc, _ := shard.Build(g, assign, 2)
+
+	// Node 2 lives on shard 0; its neighbor 3 is a halo node from shard 1.
+	sh, local := loc.Locate(2)
+	vp := shards[sh].VertexProp(local)
+	for i := range vp.Locals {
+		kind := "core"
+		if vp.Shards[i] != sh {
+			kind = "halo"
+		}
+		fmt.Printf("neighbor (%d,%d) [%s] weight=%g nbr-wdeg=%g\n",
+			vp.Locals[i], vp.Shards[i], kind, vp.Weights[i], vp.WDegs[i])
+	}
+	// The weighted degree of node 2 itself is stored with the row.
+	fmt.Printf("dw(2) = %g\n", vp.WDeg)
+	// Output:
+	// neighbor (1,0) [core] weight=1 nbr-wdeg=3
+	// neighbor (0,1) [halo] weight=4 nbr-wdeg=7
+	// dw(2) = 5
+}

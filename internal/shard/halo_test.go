@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/partition"
+)
+
+func buildHaloShards(t *testing.T) (*graph.Graph, []*Shard, *Locator) {
+	t.Helper()
+	g := graph.MakeUndirected(graph.RMAT(graph.RMATConfig{
+		NumNodes: 300, NumEdges: 1800, A: 0.55, B: 0.2, C: 0.15, Seed: 13,
+	}))
+	a, err := partition.Partition(g, 3, partition.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, loc, err := BuildWithOptions(g, a, 3, BuildOptions{CacheHaloRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, shards, loc
+}
+
+func TestHaloRowsMatchHomeShard(t *testing.T) {
+	_, shards, _ := buildHaloShards(t)
+	for _, s := range shards {
+		if !s.HasHaloRows() {
+			t.Fatalf("shard %d missing halo rows", s.ShardID)
+		}
+		if s.NumHaloRows() == 0 {
+			t.Fatalf("shard %d has zero halo rows", s.ShardID)
+		}
+		// Every cached halo row must equal the home shard's core row.
+		for _, k := range s.HaloKeys {
+			sh := int32(k >> 32)
+			local := int32(uint32(k))
+			cached, ok := s.HaloRow(sh, local)
+			if !ok {
+				t.Fatal("HaloRow miss for cached key")
+			}
+			home := shards[sh].VertexProp(local)
+			if cached.WDeg != home.WDeg || len(cached.Locals) != len(home.Locals) {
+				t.Fatalf("halo row mismatch for (%d,%d)", sh, local)
+			}
+			for i := range home.Locals {
+				if cached.Locals[i] != home.Locals[i] || cached.Shards[i] != home.Shards[i] ||
+					cached.Weights[i] != home.Weights[i] || cached.WDegs[i] != home.WDegs[i] {
+					t.Fatalf("halo row entry %d mismatch for (%d,%d)", i, sh, local)
+				}
+			}
+		}
+	}
+}
+
+func TestHaloRowNeverServesCoreOrUnknown(t *testing.T) {
+	_, shards, _ := buildHaloShards(t)
+	s := shards[0]
+	// Own-core addresses must miss even if a same-ID halo exists.
+	if _, ok := s.HaloRow(s.ShardID, 0); ok {
+		t.Fatal("HaloRow must not serve the shard's own core nodes")
+	}
+	if _, ok := s.HaloRow(99, 0); ok {
+		t.Fatal("HaloRow hit for nonexistent shard")
+	}
+}
+
+func TestHaloCoversAllRemoteColumns(t *testing.T) {
+	_, shards, _ := buildHaloShards(t)
+	for _, s := range shards {
+		for i := range s.NbrLocal {
+			if s.NbrShard[i] == s.ShardID {
+				continue
+			}
+			if _, ok := s.HaloRow(s.NbrShard[i], s.NbrLocal[i]); !ok {
+				t.Fatalf("shard %d: remote column (%d,%d) not in halo cache",
+					s.ShardID, s.NbrShard[i], s.NbrLocal[i])
+			}
+		}
+	}
+}
+
+func TestHaloSerializationRoundTrip(t *testing.T) {
+	_, shards, _ := buildHaloShards(t)
+	for _, s := range shards {
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s2.HasHaloRows() || s2.NumHaloRows() != s.NumHaloRows() {
+			t.Fatalf("halo cache lost in round trip: %d vs %d", s2.NumHaloRows(), s.NumHaloRows())
+		}
+		for _, k := range s.HaloKeys {
+			sh := int32(k >> 32)
+			local := int32(uint32(k))
+			a, okA := s.HaloRow(sh, local)
+			b, okB := s2.HaloRow(sh, local)
+			if !okA || !okB || a.WDeg != b.WDeg || len(a.Locals) != len(b.Locals) {
+				t.Fatalf("halo row (%d,%d) differs after round trip", sh, local)
+			}
+		}
+	}
+}
+
+func TestNoHaloSerializationStillWorks(t *testing.T) {
+	g := graph.Ring(6)
+	shards, _, err := Build(g, partition.Assignment{0, 0, 0, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := shards[0].Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.HasHaloRows() {
+		t.Fatal("unexpected halo rows")
+	}
+}
+
+func TestHaloMemoryOverheadReported(t *testing.T) {
+	g, shards, _ := buildHaloShards(t)
+	_ = g
+	st := ComputeStats(shards[0])
+	if st.HaloNodes != shards[0].NumHaloRows() {
+		t.Fatalf("stats halo %d vs cache %d", st.HaloNodes, shards[0].NumHaloRows())
+	}
+}

@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"pprengine/internal/graph"
+)
+
+// Locator serialization: the preprocessing step writes one locator file
+// next to the shard files so that independently started server/compute
+// processes agree on the global↔(shard,local) mapping.
+
+const (
+	locMagic   = 0x4c4f4354 // "LOCT"
+	locVersion = 1
+)
+
+// Encode writes the locator in a framed little-endian binary format. Only
+// ShardOf/LocalOf are stored; GlobalOf is reconstructed on load.
+func (l *Locator) Encode(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, v := range []any{
+		uint32(locMagic), uint32(locVersion),
+		int64(len(l.ShardOf)), int32(l.NumShards()),
+	} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, l.ShardOf); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, l.LocalOf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeLocator reads a locator written by Encode and rebuilds GlobalOf.
+func DecodeLocator(r io.Reader) (*Locator, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var mg, ver uint32
+	var n int64
+	var k int32
+	if err := binary.Read(br, binary.LittleEndian, &mg); err != nil {
+		return nil, err
+	}
+	if mg != locMagic {
+		return nil, fmt.Errorf("shard: bad locator magic %#x", mg)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != locVersion {
+		return nil, fmt.Errorf("shard: unsupported locator version %d", ver)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+		return nil, err
+	}
+	if n < 0 || k < 0 {
+		return nil, fmt.Errorf("shard: negative locator sizes")
+	}
+	l := &Locator{
+		ShardOf:  make([]int32, n),
+		LocalOf:  make([]int32, n),
+		GlobalOf: make([][]graph.NodeID, k),
+	}
+	if err := binary.Read(br, binary.LittleEndian, l.ShardOf); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, l.LocalOf); err != nil {
+		return nil, err
+	}
+	// Rebuild GlobalOf: count core sizes, then fill by position.
+	for v := int64(0); v < n; v++ {
+		sh := l.ShardOf[v]
+		if sh < 0 || sh >= k {
+			return nil, fmt.Errorf("shard: locator node %d in invalid shard %d", v, sh)
+		}
+	}
+	sizes := make([]int32, k)
+	for v := int64(0); v < n; v++ {
+		lc := l.LocalOf[v]
+		if lc+1 > sizes[l.ShardOf[v]] {
+			sizes[l.ShardOf[v]] = lc + 1
+		}
+	}
+	for s := int32(0); s < k; s++ {
+		l.GlobalOf[s] = make([]graph.NodeID, sizes[s])
+		for i := range l.GlobalOf[s] {
+			l.GlobalOf[s][i] = -1
+		}
+	}
+	for v := int64(0); v < n; v++ {
+		l.GlobalOf[l.ShardOf[v]][l.LocalOf[v]] = graph.NodeID(v)
+	}
+	for s := int32(0); s < k; s++ {
+		for i, g := range l.GlobalOf[s] {
+			if g == -1 {
+				return nil, fmt.Errorf("shard: locator hole at (%d,%d)", s, i)
+			}
+		}
+	}
+	return l, nil
+}
+
+// SaveFile writes the locator to path.
+func (l *Locator) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := l.Encode(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadLocatorFile reads a locator from path.
+func LoadLocatorFile(path string) (*Locator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeLocator(f)
+}

@@ -1,0 +1,392 @@
+// Package shard implements the Graph Shard data structure of paper §3.2.2:
+// each partition of the input graph becomes a CSR block whose rows are the
+// partition's core nodes and whose columns carry, per neighbor, the tuple
+// (local ID, shard ID, edge weight, weighted degree). One-hop halo nodes —
+// neighbors owned by other shards — appear only as columns, never as rows,
+// so a shard can answer any neighborhood request about its own core nodes
+// without contacting other machines.
+//
+// Nodes are addressed by (shard ID, local ID) everywhere; the global ID is
+// kept only for user-facing conversion (GlobalID / Locate).
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/partition"
+)
+
+// Shard holds one partition in the CSR layout of Figure 3. All arrays are
+// contiguous; a core node's neighbor block is the half-open index range
+// [Indptr[v], Indptr[v+1]).
+type Shard struct {
+	ShardID   int32
+	NumShards int32
+
+	// CoreGlobal maps a core node's local ID to its global ID.
+	CoreGlobal []graph.NodeID
+
+	// CSR over core rows.
+	Indptr []int64
+	// Per-neighbor tuples, parallel arrays.
+	NbrLocal  []int32   // neighbor's local ID in its home shard
+	NbrShard  []int32   // neighbor's home shard
+	NbrWeight []float32 // edge weight
+	NbrWDeg   []float32 // neighbor's weighted out-degree (for threshold checks)
+
+	// CoreWDeg caches each core node's own weighted out-degree.
+	CoreWDeg []float32
+
+	// Optional halo row cache (see halo.go). HaloKeys[i] packs the i-th
+	// cached halo node's (shard<<32 | local); its neighbor tuples live at
+	// [HaloIndptr[i], HaloIndptr[i+1]).
+	HaloKeys      []uint64
+	HaloIndptr    []int64
+	HaloNbrLocal  []int32
+	HaloNbrShard  []int32
+	HaloNbrWeight []float32
+	HaloNbrWDeg   []float32
+	HaloWDeg      []float32
+
+	haloIndex map[uint64]int32 // packed key -> row; rebuilt on load
+}
+
+// NumCore returns the number of core nodes.
+func (s *Shard) NumCore() int { return len(s.CoreGlobal) }
+
+// NumNeighborEntries returns the number of stored neighbor tuples.
+func (s *Shard) NumNeighborEntries() int64 {
+	if len(s.Indptr) == 0 {
+		return 0
+	}
+	return s.Indptr[len(s.Indptr)-1]
+}
+
+// VertexProp is a view of one core node's neighbor information — the engine
+// passes these across layers without copying (paper §3.2.3: "we directly
+// pass a vector of shared pointers of VertexProp ... without taking
+// ownership of the original data"). All slices alias the shard's arrays.
+type VertexProp struct {
+	Local   int32
+	WDeg    float32
+	Locals  []int32
+	Shards  []int32
+	Weights []float32
+	WDegs   []float32
+}
+
+// Degree returns the node's out-degree.
+func (vp VertexProp) Degree() int { return len(vp.Locals) }
+
+// VertexProp returns the view for core node local. It panics if local is out
+// of range — server handlers validate IDs before calling.
+func (s *Shard) VertexProp(local int32) VertexProp {
+	lo, hi := s.Indptr[local], s.Indptr[local+1]
+	return VertexProp{
+		Local:   local,
+		WDeg:    s.CoreWDeg[local],
+		Locals:  s.NbrLocal[lo:hi],
+		Shards:  s.NbrShard[lo:hi],
+		Weights: s.NbrWeight[lo:hi],
+		WDegs:   s.NbrWDeg[lo:hi],
+	}
+}
+
+// CheckLocal validates that local is a core node ID of this shard.
+func (s *Shard) CheckLocal(local int32) error {
+	if local < 0 || int(local) >= s.NumCore() {
+		return fmt.Errorf("shard %d: local ID %d out of range [0,%d)", s.ShardID, local, s.NumCore())
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of the shard.
+func (s *Shard) Validate() error {
+	n := s.NumCore()
+	if len(s.Indptr) != n+1 {
+		return fmt.Errorf("shard %d: len(Indptr)=%d want %d", s.ShardID, len(s.Indptr), n+1)
+	}
+	if n > 0 && s.Indptr[0] != 0 {
+		return fmt.Errorf("shard %d: Indptr[0] != 0", s.ShardID)
+	}
+	for i := 0; i < n; i++ {
+		if s.Indptr[i+1] < s.Indptr[i] {
+			return fmt.Errorf("shard %d: Indptr not monotone at %d", s.ShardID, i)
+		}
+	}
+	m := s.NumNeighborEntries()
+	for _, arr := range []int{len(s.NbrLocal), len(s.NbrShard)} {
+		if int64(arr) != m {
+			return fmt.Errorf("shard %d: neighbor array length %d want %d", s.ShardID, arr, m)
+		}
+	}
+	if int64(len(s.NbrWeight)) != m || int64(len(s.NbrWDeg)) != m {
+		return fmt.Errorf("shard %d: weight array lengths wrong", s.ShardID)
+	}
+	if len(s.CoreWDeg) != n {
+		return fmt.Errorf("shard %d: len(CoreWDeg)=%d want %d", s.ShardID, len(s.CoreWDeg), n)
+	}
+	for i := int64(0); i < m; i++ {
+		if s.NbrShard[i] < 0 || s.NbrShard[i] >= s.NumShards {
+			return fmt.Errorf("shard %d: NbrShard[%d]=%d out of range", s.ShardID, i, s.NbrShard[i])
+		}
+		if s.NbrLocal[i] < 0 {
+			return fmt.Errorf("shard %d: NbrLocal[%d]=%d negative", s.ShardID, i, s.NbrLocal[i])
+		}
+	}
+	return nil
+}
+
+// Locator maps between global node IDs and (shard, local) addresses for a
+// partitioned graph. Built once at preprocessing time.
+type Locator struct {
+	ShardOf []int32 // global -> shard
+	LocalOf []int32 // global -> local ID within its shard
+	// GlobalOf[shard][local] -> global
+	GlobalOf [][]graph.NodeID
+}
+
+// Locate returns the (shard, local) address of global node v.
+func (l *Locator) Locate(v graph.NodeID) (shard, local int32) {
+	return l.ShardOf[v], l.LocalOf[v]
+}
+
+// Global returns the global ID for a (shard, local) address.
+func (l *Locator) Global(shard, local int32) graph.NodeID {
+	return l.GlobalOf[shard][local]
+}
+
+// NumShards returns the shard count.
+func (l *Locator) NumShards() int { return len(l.GlobalOf) }
+
+// Build converts a partitioned graph into per-shard Graph Shards plus the
+// Locator. Assignment a must label every node of g with a shard in [0, k).
+//
+// This is the preprocessing step of paper §4.1: it materializes, for every
+// core node, the full neighbor tuple array, including each neighbor's
+// weighted degree — trading ~1.5x memory for never having to aggregate edge
+// weights across machines at query time.
+func Build(g *graph.Graph, a partition.Assignment, numShards int) ([]*Shard, *Locator, error) {
+	if len(a) != g.NumNodes {
+		return nil, nil, fmt.Errorf("shard: assignment covers %d nodes, graph has %d", len(a), g.NumNodes)
+	}
+	loc := &Locator{
+		ShardOf:  make([]int32, g.NumNodes),
+		LocalOf:  make([]int32, g.NumNodes),
+		GlobalOf: make([][]graph.NodeID, numShards),
+	}
+	for v := 0; v < g.NumNodes; v++ {
+		p := a[v]
+		if p < 0 || int(p) >= numShards {
+			return nil, nil, fmt.Errorf("shard: node %d assigned to invalid shard %d (k=%d)", v, p, numShards)
+		}
+		loc.ShardOf[v] = p
+		loc.LocalOf[v] = int32(len(loc.GlobalOf[p]))
+		loc.GlobalOf[p] = append(loc.GlobalOf[p], graph.NodeID(v))
+	}
+	if g.WeightedDegree == nil {
+		g.ComputeWeightedDegrees()
+	}
+	shards := make([]*Shard, numShards)
+	for p := 0; p < numShards; p++ {
+		core := loc.GlobalOf[p]
+		s := &Shard{
+			ShardID:    int32(p),
+			NumShards:  int32(numShards),
+			CoreGlobal: core,
+			Indptr:     make([]int64, len(core)+1),
+			CoreWDeg:   make([]float32, len(core)),
+		}
+		var total int64
+		for i, gv := range core {
+			total += int64(g.Degree(gv))
+			s.CoreWDeg[i] = g.WeightedDegree[gv]
+		}
+		s.NbrLocal = make([]int32, 0, total)
+		s.NbrShard = make([]int32, 0, total)
+		s.NbrWeight = make([]float32, 0, total)
+		s.NbrWDeg = make([]float32, 0, total)
+		for i, gv := range core {
+			ws := g.EdgeWeights(gv)
+			for j, u := range g.Neighbors(gv) {
+				s.NbrLocal = append(s.NbrLocal, loc.LocalOf[u])
+				s.NbrShard = append(s.NbrShard, loc.ShardOf[u])
+				s.NbrWeight = append(s.NbrWeight, ws[j])
+				s.NbrWDeg = append(s.NbrWDeg, g.WeightedDegree[u])
+			}
+			s.Indptr[i+1] = int64(len(s.NbrLocal))
+		}
+		shards[p] = s
+	}
+	return shards, loc, nil
+}
+
+// Stats reports shard-level statistics used in logs and the partition
+// quality experiments.
+type Stats struct {
+	ShardID      int32
+	NumCore      int
+	NumEntries   int64
+	RemoteFrac   float64 // fraction of neighbor entries pointing off-shard
+	HaloNodes    int     // distinct off-shard (shard,local) columns
+	MemoryBytes  int64   // approximate in-memory footprint
+	AvgOutDegree float64
+}
+
+// ComputeStats scans the shard once.
+func ComputeStats(s *Shard) Stats {
+	st := Stats{ShardID: s.ShardID, NumCore: s.NumCore(), NumEntries: s.NumNeighborEntries()}
+	halo := make(map[int64]struct{})
+	remote := int64(0)
+	for i := range s.NbrLocal {
+		if s.NbrShard[i] != s.ShardID {
+			remote++
+			halo[int64(s.NbrShard[i])<<32|int64(s.NbrLocal[i])] = struct{}{}
+		}
+	}
+	if st.NumEntries > 0 {
+		st.RemoteFrac = float64(remote) / float64(st.NumEntries)
+		st.AvgOutDegree = float64(st.NumEntries) / float64(st.NumCore)
+	}
+	st.HaloNodes = len(halo)
+	st.MemoryBytes = int64(len(s.Indptr))*8 + st.NumEntries*(4+4+4+4) + int64(st.NumCore)*(4+4)
+	return st
+}
+
+// --- serialization ---
+
+const (
+	shardMagic   = 0x53485244 // "SHRD"
+	shardVersion = 2
+)
+
+// Encode writes the shard in a framed little-endian binary format,
+// including the halo row cache when present.
+func (s *Shard) Encode(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var haloEntries int64
+	if n := len(s.HaloIndptr); n > 0 {
+		haloEntries = s.HaloIndptr[n-1]
+	}
+	for _, v := range []any{
+		uint32(shardMagic), uint32(shardVersion),
+		s.ShardID, s.NumShards,
+		int64(s.NumCore()), s.NumNeighborEntries(),
+		int64(len(s.HaloKeys)), haloEntries,
+	} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	arrays := []any{s.CoreGlobal, s.Indptr, s.NbrLocal, s.NbrShard, s.NbrWeight, s.NbrWDeg, s.CoreWDeg}
+	if len(s.HaloKeys) > 0 {
+		arrays = append(arrays, s.HaloKeys, s.HaloIndptr,
+			s.HaloNbrLocal, s.HaloNbrShard, s.HaloNbrWeight, s.HaloNbrWDeg, s.HaloWDeg)
+	}
+	for _, arr := range arrays {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a shard written by Encode.
+func Decode(r io.Reader) (*Shard, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var mg, ver uint32
+	if err := binary.Read(br, binary.LittleEndian, &mg); err != nil {
+		return nil, err
+	}
+	if mg != shardMagic {
+		return nil, fmt.Errorf("shard: bad magic %#x", mg)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != shardVersion {
+		return nil, fmt.Errorf("shard: unsupported version %d", ver)
+	}
+	s := &Shard{}
+	var n, m, haloN, haloM int64
+	if err := binary.Read(br, binary.LittleEndian, &s.ShardID); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &s.NumShards); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &haloN); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &haloM); err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 || haloN < 0 || haloM < 0 {
+		return nil, fmt.Errorf("shard: negative sizes")
+	}
+	s.CoreGlobal = make([]graph.NodeID, n)
+	s.Indptr = make([]int64, n+1)
+	s.NbrLocal = make([]int32, m)
+	s.NbrShard = make([]int32, m)
+	s.NbrWeight = make([]float32, m)
+	s.NbrWDeg = make([]float32, m)
+	s.CoreWDeg = make([]float32, n)
+	arrays := []any{s.CoreGlobal, s.Indptr, s.NbrLocal, s.NbrShard, s.NbrWeight, s.NbrWDeg, s.CoreWDeg}
+	if haloN > 0 {
+		s.HaloKeys = make([]uint64, haloN)
+		s.HaloIndptr = make([]int64, haloN+1)
+		s.HaloNbrLocal = make([]int32, haloM)
+		s.HaloNbrShard = make([]int32, haloM)
+		s.HaloNbrWeight = make([]float32, haloM)
+		s.HaloNbrWDeg = make([]float32, haloM)
+		s.HaloWDeg = make([]float32, haloN)
+		arrays = append(arrays, s.HaloKeys, s.HaloIndptr,
+			s.HaloNbrLocal, s.HaloNbrShard, s.HaloNbrWeight, s.HaloNbrWDeg, s.HaloWDeg)
+	}
+	for _, arr := range arrays {
+		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.rebuildHaloIndex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SaveFile writes the shard to path.
+func (s *Shard) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Encode(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a shard from path.
+func LoadFile(path string) (*Shard, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

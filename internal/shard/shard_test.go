@@ -1,0 +1,283 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/partition"
+)
+
+// paperExample builds the 2-shard example of Figure 2-style layouts: a small
+// graph with a known partition.
+func paperExample(t *testing.T) (*graph.Graph, []*Shard, *Locator) {
+	t.Helper()
+	// 5 nodes. Shard 0: {0,1,2}; shard 1: {3,4}.
+	// Edges (weighted, directed both ways where listed):
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 2}, {Src: 1, Dst: 0, Weight: 2},
+		{Src: 1, Dst: 2, Weight: 1}, {Src: 2, Dst: 1, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 4}, {Src: 3, Dst: 2, Weight: 4}, // cross-shard
+		{Src: 3, Dst: 4, Weight: 3}, {Src: 4, Dst: 3, Weight: 3},
+		{Src: 1, Dst: 4, Weight: 5}, {Src: 4, Dst: 1, Weight: 5}, // cross-shard
+	}
+	g, err := graph.FromEdges(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := partition.Assignment{0, 0, 0, 1, 1}
+	shards, loc, err := Build(g, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, shards, loc
+}
+
+func TestBuildBasic(t *testing.T) {
+	g, shards, loc := paperExample(t)
+	if len(shards) != 2 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	s0, s1 := shards[0], shards[1]
+	if s0.NumCore() != 3 || s1.NumCore() != 2 {
+		t.Fatalf("core counts: %d %d", s0.NumCore(), s1.NumCore())
+	}
+	for _, s := range shards {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Total neighbor entries = total directed edges.
+	if s0.NumNeighborEntries()+s1.NumNeighborEntries() != g.NumEdges() {
+		t.Fatal("neighbor entries don't cover all edges")
+	}
+	// Locator round-trips.
+	for v := graph.NodeID(0); int(v) < g.NumNodes; v++ {
+		sh, lc := loc.Locate(v)
+		if loc.Global(sh, lc) != v {
+			t.Fatalf("locator round trip failed for %d", v)
+		}
+	}
+	if loc.NumShards() != 2 {
+		t.Fatal("NumShards")
+	}
+}
+
+func TestVertexPropContents(t *testing.T) {
+	g, shards, loc := paperExample(t)
+	// Node 2 (shard 0): neighbors 1 (local, shard 0) and 3 (halo, shard 1).
+	sh, lc := loc.Locate(2)
+	if sh != 0 {
+		t.Fatalf("node 2 in shard %d", sh)
+	}
+	vp := shards[0].VertexProp(lc)
+	if vp.Degree() != 2 {
+		t.Fatalf("degree = %d", vp.Degree())
+	}
+	// WDeg of node 2 = 1 + 4 = 5.
+	if vp.WDeg != 5 {
+		t.Fatalf("WDeg = %v, want 5", vp.WDeg)
+	}
+	found3 := false
+	for i := range vp.Locals {
+		gv := loc.Global(vp.Shards[i], vp.Locals[i])
+		switch gv {
+		case 1:
+			if vp.Weights[i] != 1 {
+				t.Fatalf("weight to 1 = %v", vp.Weights[i])
+			}
+			// Node 1's weighted degree = 2+1+5 = 8.
+			if vp.WDegs[i] != 8 {
+				t.Fatalf("wdeg of nbr 1 = %v, want 8", vp.WDegs[i])
+			}
+		case 3:
+			found3 = true
+			if vp.Shards[i] != 1 {
+				t.Fatalf("node 3 should be halo in shard 1")
+			}
+			if vp.Weights[i] != 4 {
+				t.Fatalf("weight to 3 = %v", vp.Weights[i])
+			}
+			// Node 3's weighted degree = 4+3 = 7.
+			if vp.WDegs[i] != 7 {
+				t.Fatalf("wdeg of nbr 3 = %v, want 7", vp.WDegs[i])
+			}
+		default:
+			t.Fatalf("unexpected neighbor %d", gv)
+		}
+	}
+	if !found3 {
+		t.Fatal("halo neighbor 3 missing")
+	}
+	_ = g
+}
+
+func TestShardNeighborsMatchGraph(t *testing.T) {
+	g := graph.MakeUndirected(graph.RMAT(graph.RMATConfig{
+		NumNodes: 400, NumEdges: 2400, A: 0.55, B: 0.2, C: 0.15, Seed: 10,
+	}))
+	a, err := partition.Partition(g, 4, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, loc, err := Build(g, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes; v++ {
+		sh, lc := loc.Locate(v)
+		vp := shards[sh].VertexProp(lc)
+		if vp.Degree() != g.Degree(v) {
+			t.Fatalf("node %d degree mismatch: %d vs %d", v, vp.Degree(), g.Degree(v))
+		}
+		want := make(map[graph.NodeID]float32)
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			want[u] = ws[i]
+		}
+		for i := range vp.Locals {
+			gv := loc.Global(vp.Shards[i], vp.Locals[i])
+			w, ok := want[gv]
+			if !ok {
+				t.Fatalf("node %d: spurious neighbor %d", v, gv)
+			}
+			if w != vp.Weights[i] {
+				t.Fatalf("node %d -> %d weight %v vs %v", v, gv, vp.Weights[i], w)
+			}
+			if vp.WDegs[i] != g.WeightedDegree[gv] {
+				t.Fatalf("node %d: nbr %d wdeg %v vs %v", v, gv, vp.WDegs[i], g.WeightedDegree[gv])
+			}
+		}
+		if vp.WDeg != g.WeightedDegree[v] {
+			t.Fatalf("node %d core wdeg mismatch", v)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := graph.Ring(4)
+	if _, _, err := Build(g, partition.Assignment{0, 0}, 2); err == nil {
+		t.Fatal("short assignment should error")
+	}
+	if _, _, err := Build(g, partition.Assignment{0, 0, 5, 0}, 2); err == nil {
+		t.Fatal("invalid shard label should error")
+	}
+}
+
+func TestCheckLocal(t *testing.T) {
+	_, shards, _ := paperExample(t)
+	if err := shards[0].CheckLocal(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := shards[0].CheckLocal(3); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := shards[0].CheckLocal(-1); err == nil {
+		t.Fatal("expected negative error")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	_, shards, _ := paperExample(t)
+	st := ComputeStats(shards[0])
+	// Shard 0 entries: node0 (1), node1 (3), node2 (2) = 6.
+	if st.NumEntries != 6 {
+		t.Fatalf("entries = %d", st.NumEntries)
+	}
+	// Cross entries from shard 0: 2->3 and 1->4 = 2 of 6.
+	if st.RemoteFrac < 0.33 || st.RemoteFrac > 0.34 {
+		t.Fatalf("remoteFrac = %v", st.RemoteFrac)
+	}
+	if st.HaloNodes != 2 {
+		t.Fatalf("halo = %d, want 2 (nodes 3 and 4)", st.HaloNodes)
+	}
+	if st.MemoryBytes <= 0 {
+		t.Fatal("memory estimate missing")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	_, shards, _ := paperExample(t)
+	for _, s := range shards {
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.ShardID != s.ShardID || s2.NumShards != s.NumShards || s2.NumCore() != s.NumCore() {
+			t.Fatal("header mismatch")
+		}
+		for i := range s.NbrLocal {
+			if s.NbrLocal[i] != s2.NbrLocal[i] || s.NbrShard[i] != s2.NbrShard[i] ||
+				s.NbrWeight[i] != s2.NbrWeight[i] || s.NbrWDeg[i] != s2.NbrWDeg[i] {
+				t.Fatalf("entry %d differs", i)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	_, shards, _ := paperExample(t)
+	path := t.TempDir() + "/s0.shard"
+	if err := shards[0].SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCore() != shards[0].NumCore() {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte{0, 1, 2, 3, 4, 5, 6, 7})); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: for random graphs and partitions, Build covers every edge
+// exactly once and the locator is a bijection.
+func TestQuickBuildBijection(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 10
+		k := int(kRaw%4) + 1
+		g := graph.MakeUndirected(graph.ErdosRenyi(n, int64(rng.Intn(300)+10), seed))
+		a := make(partition.Assignment, n)
+		for i := range a {
+			a[i] = int32(rng.Intn(k))
+		}
+		shards, loc, err := Build(g, a, k)
+		if err != nil {
+			return false
+		}
+		var entries int64
+		seen := make(map[graph.NodeID]bool, n)
+		for _, s := range shards {
+			if s.Validate() != nil {
+				return false
+			}
+			entries += s.NumNeighborEntries()
+			for lc, gv := range s.CoreGlobal {
+				if seen[gv] {
+					return false // node in two shards
+				}
+				seen[gv] = true
+				if sh2, lc2 := loc.Locate(gv); sh2 != s.ShardID || lc2 != int32(lc) {
+					return false
+				}
+			}
+		}
+		return entries == g.NumEdges() && len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

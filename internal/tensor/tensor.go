@@ -1,0 +1,230 @@
+// Package tensor is a small dense-vector library that stands in for the
+// PyTorch tensor operations used by the paper's baseline implementations
+// ("PyTorch Tensor" Forward Push and "DGL SpMM" power iteration).
+//
+// Only the operations those baselines need are provided: elementwise
+// arithmetic, gather/scatter, masked selection, nonzero scans, sorting and
+// top-k, and CSR sparse-matrix/dense-vector products. The deliberate cost
+// profile matters more than the API surface: like its tensor-library
+// counterpart, every frontier scan here is O(len(vector)) — this is exactly
+// the inefficiency the paper's hashmap-based engine removes.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vec is a dense float64 vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Fill sets every element to v.
+func (x Vec) Fill(v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Clone returns a copy of x.
+func (x Vec) Clone() Vec {
+	y := make(Vec, len(x))
+	copy(y, x)
+	return y
+}
+
+// AXPY computes x += a*y elementwise. Panics if lengths differ.
+func (x Vec) AXPY(a float64, y Vec) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: AXPY length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		x[i] += a * y[i]
+	}
+}
+
+// Scale multiplies every element by a.
+func (x Vec) Scale(a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Sum returns the sum of elements.
+func (x Vec) Sum() float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// L1Diff returns sum |x_i - y_i|.
+func (x Vec) L1Diff(y Vec) float64 {
+	if len(x) != len(y) {
+		panic("tensor: L1Diff length mismatch")
+	}
+	s := 0.0
+	for i := range x {
+		s += math.Abs(x[i] - y[i])
+	}
+	return s
+}
+
+// Gather returns x[idx[0]], x[idx[1]], ... in a new vector.
+func (x Vec) Gather(idx []int32) Vec {
+	out := make(Vec, len(idx))
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	return out
+}
+
+// ScatterAdd performs x[idx[i]] += src[i] for all i. Duplicate indices
+// accumulate (like torch.scatter_add).
+func (x Vec) ScatterAdd(idx []int32, src Vec) {
+	if len(idx) != len(src) {
+		panic("tensor: ScatterAdd length mismatch")
+	}
+	for i, j := range idx {
+		x[j] += src[i]
+	}
+}
+
+// IndexFill sets x[idx[i]] = v for all i.
+func (x Vec) IndexFill(idx []int32, v float64) {
+	for _, j := range idx {
+		x[j] = v
+	}
+}
+
+// NonzeroGreater returns the indices i where x[i] > thresh[i]*scale, scanning
+// the entire vector — the O(|V|) frontier detection of the tensor baseline.
+func NonzeroGreater(x, thresh Vec, scale float64) []int32 {
+	if len(x) != len(thresh) {
+		panic("tensor: NonzeroGreater length mismatch")
+	}
+	var out []int32
+	for i := range x {
+		if x[i] > thresh[i]*scale {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// MaskedSelectI32 returns the elements of v whose mask entry is true.
+func MaskedSelectI32(v []int32, mask []bool) []int32 {
+	if len(v) != len(mask) {
+		panic("tensor: MaskedSelect length mismatch")
+	}
+	var out []int32
+	for i, m := range mask {
+		if m {
+			out = append(out, v[i])
+		}
+	}
+	return out
+}
+
+// EqMaskI32 returns mask[i] = (v[i] == target), a full scan like tensor ==.
+func EqMaskI32(v []int32, target int32) []bool {
+	mask := make([]bool, len(v))
+	for i, x := range v {
+		mask[i] = x == target
+	}
+	return mask
+}
+
+// TopK returns the indices of the k largest elements of x in descending
+// value order. Ties break toward the lower index. k is clamped to len(x).
+func TopK(x Vec, k int) []int32 {
+	if k > len(x) {
+		k = len(x)
+	}
+	idx := make([]int32, len(x))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if x[idx[a]] != x[idx[b]] {
+			return x[idx[a]] > x[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+// ArgsortDescending returns the permutation that sorts x descending.
+func ArgsortDescending(x Vec) []int32 {
+	return TopK(x, len(x))
+}
+
+// CSR is a float64 sparse matrix in compressed sparse row form, used by the
+// power-iteration baseline (the "DGL SpMM" competitor).
+type CSR struct {
+	Rows, Cols int
+	Indptr     []int64
+	ColIdx     []int32
+	Values     []float64
+}
+
+// SpMV computes y = A * x for dense x. Panics on dimension mismatch.
+func (a *CSR) SpMV(x Vec) Vec {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("tensor: SpMV dim mismatch: %d cols vs %d vec", a.Cols, len(x)))
+	}
+	y := make(Vec, a.Rows)
+	for r := 0; r < a.Rows; r++ {
+		s := 0.0
+		for i := a.Indptr[r]; i < a.Indptr[r+1]; i++ {
+			s += a.Values[i] * x[a.ColIdx[i]]
+		}
+		y[r] = s
+	}
+	return y
+}
+
+// SpMVInto computes y = A*x reusing y's storage.
+func (a *CSR) SpMVInto(y, x Vec) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic("tensor: SpMVInto dim mismatch")
+	}
+	for r := 0; r < a.Rows; r++ {
+		s := 0.0
+		for i := a.Indptr[r]; i < a.Indptr[r+1]; i++ {
+			s += a.Values[i] * x[a.ColIdx[i]]
+		}
+		y[r] = s
+	}
+}
+
+// Transpose returns Aᵀ in CSR form.
+func (a *CSR) Transpose() *CSR {
+	t := &CSR{Rows: a.Cols, Cols: a.Rows}
+	t.Indptr = make([]int64, a.Cols+1)
+	for _, c := range a.ColIdx {
+		t.Indptr[c+1]++
+	}
+	for i := 0; i < a.Cols; i++ {
+		t.Indptr[i+1] += t.Indptr[i]
+	}
+	nnz := t.Indptr[a.Cols]
+	t.ColIdx = make([]int32, nnz)
+	t.Values = make([]float64, nnz)
+	cursor := make([]int64, a.Cols)
+	copy(cursor, t.Indptr[:a.Cols])
+	for r := 0; r < a.Rows; r++ {
+		for i := a.Indptr[r]; i < a.Indptr[r+1]; i++ {
+			c := a.ColIdx[i]
+			j := cursor[c]
+			cursor[c]++
+			t.ColIdx[j] = int32(r)
+			t.Values[j] = a.Values[i]
+		}
+	}
+	return t
+}

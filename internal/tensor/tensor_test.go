@@ -1,0 +1,231 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasics(t *testing.T) {
+	x := NewVec(4)
+	x.Fill(2)
+	y := Vec{1, 2, 3, 4}
+	x.AXPY(0.5, y)
+	want := Vec{2.5, 3, 3.5, 4}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("AXPY[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	x.Scale(2)
+	if x.Sum() != 26 {
+		t.Fatalf("Sum = %v, want 26", x.Sum())
+	}
+	c := x.Clone()
+	c[0] = 99
+	if x[0] == 99 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestAXPYPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vec{1}.AXPY(1, Vec{1, 2})
+}
+
+func TestL1Diff(t *testing.T) {
+	if d := (Vec{1, 2}).L1Diff(Vec{2, 0}); d != 3 {
+		t.Fatalf("L1Diff = %v, want 3", d)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	x := Vec{10, 20, 30, 40}
+	g := x.Gather([]int32{3, 0, 0})
+	if g[0] != 40 || g[1] != 10 || g[2] != 10 {
+		t.Fatalf("Gather = %v", g)
+	}
+	y := NewVec(4)
+	y.ScatterAdd([]int32{1, 1, 2}, Vec{5, 7, 1})
+	if y[1] != 12 || y[2] != 1 || y[0] != 0 {
+		t.Fatalf("ScatterAdd = %v", y)
+	}
+	y.IndexFill([]int32{1, 2}, 0)
+	if y.Sum() != 0 {
+		t.Fatalf("IndexFill result = %v", y)
+	}
+}
+
+func TestNonzeroGreater(t *testing.T) {
+	x := Vec{0.5, 0.1, 0.9, 0}
+	th := Vec{1, 1, 1, 1}
+	got := NonzeroGreater(x, th, 0.4)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("NonzeroGreater = %v", got)
+	}
+	if out := NonzeroGreater(x, th, 10); out != nil {
+		t.Fatalf("expected nil, got %v", out)
+	}
+}
+
+func TestMaskOps(t *testing.T) {
+	v := []int32{10, 20, 30, 20}
+	mask := EqMaskI32(v, 20)
+	sel := MaskedSelectI32(v, mask)
+	if len(sel) != 2 || sel[0] != 20 || sel[1] != 20 {
+		t.Fatalf("MaskedSelect = %v", sel)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	x := Vec{0.1, 0.9, 0.5, 0.9, 0.2}
+	top := TopK(x, 3)
+	// 0.9 appears at 1 and 3; ties break to lower index.
+	if top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if len(TopK(x, 100)) != len(x) {
+		t.Fatal("TopK should clamp k")
+	}
+	full := ArgsortDescending(x)
+	if len(full) != 5 || full[4] != 0 {
+		t.Fatalf("ArgsortDescending = %v", full)
+	}
+}
+
+func buildTestCSR() *CSR {
+	// 3x3: [[1,0,2],[0,3,0],[4,0,5]]
+	return &CSR{
+		Rows: 3, Cols: 3,
+		Indptr: []int64{0, 2, 3, 5},
+		ColIdx: []int32{0, 2, 1, 0, 2},
+		Values: []float64{1, 2, 3, 4, 5},
+	}
+}
+
+func TestSpMV(t *testing.T) {
+	a := buildTestCSR()
+	y := a.SpMV(Vec{1, 1, 1})
+	want := Vec{3, 3, 9}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("SpMV[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	y2 := NewVec(3)
+	a.SpMVInto(y2, Vec{1, 0, 2})
+	want2 := Vec{5, 0, 14}
+	for i := range want2 {
+		if y2[i] != want2[i] {
+			t.Fatalf("SpMVInto[%d] = %v", i, y2[i])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := buildTestCSR()
+	at := a.Transpose()
+	// Aᵀ = [[1,0,4],[0,3,0],[2,0,5]]
+	y := at.SpMV(Vec{1, 1, 1})
+	want := Vec{5, 3, 7}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Transpose SpMV[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	// Double transpose restores dimensions and values.
+	att := at.Transpose()
+	if att.Rows != a.Rows || att.Cols != a.Cols || len(att.Values) != len(a.Values) {
+		t.Fatal("double transpose shape mismatch")
+	}
+}
+
+// Property: (Aᵀ)x·y == x·(Ay) for random matrices (adjointness).
+func TestQuickTransposeAdjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		m := rng.Intn(20) + 2
+		nnz := rng.Intn(80)
+		a := &CSR{Rows: n, Cols: m, Indptr: make([]int64, n+1)}
+		type entry struct {
+			r, c int32
+			v    float64
+		}
+		entries := make([]entry, nnz)
+		for i := range entries {
+			entries[i] = entry{int32(rng.Intn(n)), int32(rng.Intn(m)), rng.Float64()}
+		}
+		for _, e := range entries {
+			a.Indptr[e.r+1]++
+		}
+		for i := 0; i < n; i++ {
+			a.Indptr[i+1] += a.Indptr[i]
+		}
+		a.ColIdx = make([]int32, nnz)
+		a.Values = make([]float64, nnz)
+		cursor := make([]int64, n)
+		copy(cursor, a.Indptr[:n])
+		for _, e := range entries {
+			a.ColIdx[cursor[e.r]] = e.c
+			a.Values[cursor[e.r]] = e.v
+			cursor[e.r]++
+		}
+		x := make(Vec, m)
+		y := make(Vec, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		ax := a.SpMV(x)
+		aty := a.Transpose().SpMV(y)
+		lhs, rhs := 0.0, 0.0
+		for i := range y {
+			lhs += ax[i] * y[i]
+		}
+		for i := range x {
+			rhs += aty[i] * x[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ScatterAdd then Gather recovers accumulated sums.
+func TestQuickScatterGather(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 1
+		k := rng.Intn(100)
+		idx := make([]int32, k)
+		src := make(Vec, k)
+		for i := range idx {
+			idx[i] = int32(rng.Intn(n))
+			src[i] = rng.Float64()
+		}
+		x := NewVec(n)
+		x.ScatterAdd(idx, src)
+		ref := make(map[int32]float64)
+		for i, j := range idx {
+			ref[j] += src[i]
+		}
+		for j, v := range ref {
+			if math.Abs(x[j]-v) > 1e-9 {
+				return false
+			}
+		}
+		return math.Abs(x.Sum()-src.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleInfos() *NeighborInfos {
+	return &NeighborInfos{
+		Indptr:  []int32{0, 2, 2, 5},
+		Locals:  []int32{1, 2, 3, 4, 5},
+		Shards:  []int32{0, 1, 0, 0, 1},
+		Weights: []float32{0.5, 1.5, 2.5, 3.5, 4.5},
+		WDegs:   []float32{1, 2, 3, 4, 5},
+		RowWDeg: []float32{2.0, 0, 10.5},
+	}
+}
+
+func assertEqualInfos(t *testing.T, a, b *NeighborInfos) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("rows %d vs %d", a.NumRows(), b.NumRows())
+	}
+	if !reflect.DeepEqual(a.Indptr, b.Indptr) {
+		t.Fatalf("indptr %v vs %v", a.Indptr, b.Indptr)
+	}
+	if !reflect.DeepEqual(a.Locals, b.Locals) || !reflect.DeepEqual(a.Shards, b.Shards) {
+		t.Fatal("ids differ")
+	}
+	if !reflect.DeepEqual(a.Weights, b.Weights) || !reflect.DeepEqual(a.WDegs, b.WDegs) {
+		t.Fatal("weights differ")
+	}
+	if !reflect.DeepEqual(a.RowWDeg, b.RowWDeg) {
+		t.Fatalf("row wdeg %v vs %v", a.RowWDeg, b.RowWDeg)
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	n := sampleInfos()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCSR(EncodeCSR(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualInfos(t, n, got)
+}
+
+func TestLoLRoundTrip(t *testing.T) {
+	n := sampleInfos()
+	got, err := DecodeLoL(EncodeLoL(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualInfos(t, n, got)
+}
+
+func TestCompressionActuallySmaller(t *testing.T) {
+	// A realistic batch: many rows with small degrees — CSR must be
+	// substantially smaller than list-of-lists.
+	rng := rand.New(rand.NewSource(1))
+	n := &NeighborInfos{Indptr: []int32{0}}
+	for i := 0; i < 200; i++ {
+		deg := rng.Intn(8) + 1
+		for j := 0; j < deg; j++ {
+			n.Locals = append(n.Locals, int32(rng.Intn(1000)))
+			n.Shards = append(n.Shards, int32(rng.Intn(4)))
+			n.Weights = append(n.Weights, rng.Float32())
+			n.WDegs = append(n.WDegs, rng.Float32()*10)
+		}
+		n.Indptr = append(n.Indptr, int32(len(n.Locals)))
+		n.RowWDeg = append(n.RowWDeg, rng.Float32()*10)
+	}
+	csr := len(EncodeCSR(n))
+	lol := len(EncodeLoL(n))
+	if csr >= lol {
+		t.Fatalf("CSR (%d bytes) should be smaller than LoL (%d bytes)", csr, lol)
+	}
+	t.Logf("csr=%dB lol=%dB ratio=%.2f", csr, lol, float64(lol)/float64(csr))
+}
+
+func TestEmptyBatch(t *testing.T) {
+	n := &NeighborInfos{Indptr: []int32{}, RowWDeg: []float32{}}
+	got, err := DecodeCSR(EncodeCSR(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	got, err = DecodeLoL(EncodeLoL(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 {
+		t.Fatalf("LoL rows = %d", got.NumRows())
+	}
+}
+
+func TestRowAccessor(t *testing.T) {
+	n := sampleInfos()
+	locals, shards, weights, wdegs := n.Row(2)
+	if len(locals) != 3 || locals[0] != 3 || shards[2] != 1 ||
+		weights[1] != 3.5 || wdegs[0] != 3 {
+		t.Fatalf("Row(2) wrong: %v %v %v %v", locals, shards, weights, wdegs)
+	}
+	locals, _, _, _ = n.Row(1)
+	if len(locals) != 0 {
+		t.Fatal("Row(1) should be empty")
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	n := sampleInfos()
+	csr := EncodeCSR(n)
+	if _, err := DecodeCSR(csr[:len(csr)-3]); err == nil {
+		t.Fatal("truncated CSR should fail")
+	}
+	if _, err := DecodeCSR(append(csr, 0)); err == nil {
+		t.Fatal("padded CSR should fail")
+	}
+	lol := EncodeLoL(n)
+	if _, err := DecodeLoL(lol[:len(lol)-1]); err == nil {
+		t.Fatal("truncated LoL should fail")
+	}
+	if _, err := DecodeCSR(nil); err == nil {
+		t.Fatal("nil CSR should fail")
+	}
+}
+
+func TestIDListRoundTrip(t *testing.T) {
+	ids := []int32{5, 0, -1, 1 << 30}
+	got, err := DecodeIDList(EncodeIDList(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, got) {
+		t.Fatalf("%v vs %v", ids, got)
+	}
+	empty, err := DecodeIDList(EncodeIDList(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty list: %v %v", empty, err)
+	}
+}
+
+func TestSampleRoundTrip(t *testing.T) {
+	req := &SampleRequest{Seed: -42, Locals: []int32{1, 2, 3}}
+	got, err := DecodeSampleRequest(EncodeSampleRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != -42 || !reflect.DeepEqual(got.Locals, req.Locals) {
+		t.Fatalf("%+v", got)
+	}
+	resp := &SampleResponse{
+		Locals:  []int32{7, -1},
+		Shards:  []int32{1, 0},
+		Globals: []int32{100, -1},
+	}
+	got2, err := DecodeSampleResponse(EncodeSampleResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, resp) {
+		t.Fatalf("%+v vs %+v", got2, resp)
+	}
+}
+
+func TestFeatureRoundTrip(t *testing.T) {
+	feats := []float32{1, 2, 3, 4, 5, 6}
+	dim, got, err := DecodeFeatureResponse(EncodeFeatureResponse(3, feats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != 3 || !reflect.DeepEqual(got, feats) {
+		t.Fatalf("dim=%d got=%v", dim, got)
+	}
+}
+
+func TestF32sRoundTrip(t *testing.T) {
+	v := []float32{0, -1.5, 3.25}
+	got, err := DecodeF32s(EncodeF32s(v))
+	if err != nil || !reflect.DeepEqual(got, v) {
+		t.Fatalf("%v %v", got, err)
+	}
+}
+
+// Property: both encodings round-trip arbitrary random batches and agree
+// with each other.
+func TestQuickEncodingsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(20)
+		n := &NeighborInfos{Indptr: make([]int32, 1, rows+1)}
+		for i := 0; i < rows; i++ {
+			deg := rng.Intn(6)
+			for j := 0; j < deg; j++ {
+				n.Locals = append(n.Locals, int32(rng.Intn(1<<20)))
+				n.Shards = append(n.Shards, int32(rng.Intn(16)))
+				n.Weights = append(n.Weights, rng.Float32())
+				n.WDegs = append(n.WDegs, rng.Float32()*100)
+			}
+			n.Indptr = append(n.Indptr, int32(len(n.Locals)))
+			n.RowWDeg = append(n.RowWDeg, rng.Float32()*100)
+		}
+		if rows == 0 {
+			n.Indptr = []int32{}
+			n.RowWDeg = []float32{}
+		}
+		a, err := DecodeCSR(EncodeCSR(n))
+		if err != nil {
+			return false
+		}
+		b, err := DecodeLoL(EncodeLoL(n))
+		if err != nil {
+			return false
+		}
+		if a.NumRows() != b.NumRows() || a.NumRows() != rows {
+			return false
+		}
+		eqI := func(x, y []int32) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					return false
+				}
+			}
+			return true
+		}
+		eqF := func(x, y []float32) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < rows; i++ {
+			al, as, aw, ad := a.Row(i)
+			bl, bs, bw, bd := b.Row(i)
+			// Element-wise compare: nil vs empty slices are equivalent here.
+			if !eqI(al, bl) || !eqI(as, bs) || !eqF(aw, bw) || !eqF(ad, bd) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleNRoundTrip(t *testing.T) {
+	req := &SampleNRequest{Seed: 42, Fanout: 5, Locals: []int32{1, 2, 3}}
+	got, err := DecodeSampleNRequest(EncodeSampleNRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 42 || got.Fanout != 5 || !reflect.DeepEqual(got.Locals, req.Locals) {
+		t.Fatalf("%+v", got)
+	}
+	resp := &SampleNResponse{
+		Indptr:  []int32{0, 2, 2, 3},
+		Locals:  []int32{1, 2, 3},
+		Shards:  []int32{0, 1, 0},
+		Globals: []int32{10, 20, 30},
+	}
+	got2, err := DecodeSampleNResponse(EncodeSampleNResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.NumRows() != 3 {
+		t.Fatalf("rows = %d", got2.NumRows())
+	}
+	l, s, g := got2.Row(0)
+	if len(l) != 2 || l[1] != 2 || s[1] != 1 || g[1] != 20 {
+		t.Fatalf("row 0: %v %v %v", l, s, g)
+	}
+	if l, _, _ := got2.Row(1); len(l) != 0 {
+		t.Fatal("row 1 should be empty")
+	}
+	// Corruption.
+	if _, err := DecodeSampleNResponse(EncodeSampleNResponse(resp)[:5]); err == nil {
+		t.Fatal("truncated response should fail")
+	}
+	if _, err := DecodeSampleNRequest([]byte{1, 2}); err == nil {
+		t.Fatal("short request should fail")
+	}
+	// Empty response round trip.
+	empty, err := DecodeSampleNResponse(EncodeSampleNResponse(&SampleNResponse{Indptr: []int32{}}))
+	if err != nil || empty.NumRows() != 0 {
+		t.Fatalf("empty: %v %v", empty, err)
+	}
+}
+
+func TestShardStatsRoundTrip(t *testing.T) {
+	s := &ShardStats{
+		ShardID: 3, NumShards: 8, NumCore: 1000, NumEntries: 50000,
+		HaloNodes: 200, MemoryBytes: 1 << 20, RemoteFrac: 0.25, AvgOutDegree: 50.5,
+	}
+	got, err := DecodeShardStats(EncodeShardStats(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *s {
+		t.Fatalf("%+v vs %+v", got, s)
+	}
+	if _, err := DecodeShardStats([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload should fail")
+	}
+}
