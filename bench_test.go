@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"testing"
@@ -175,7 +176,7 @@ func BenchmarkFig7GNNEpoch(b *testing.B) {
 	cfg.BatchesPerEpc = 4
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		stats, _, err := gnn.TrainDistributed(c, cfg)
+		stats, _, err := gnn.TrainDistributed(context.Background(), c, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -230,7 +231,7 @@ func BenchmarkSSPPRSingleQuery(b *testing.B) {
 	n := int32(c.Shards[0].NumCore())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.RunSSPPR(st, int32(i)%n, cfg, nil); err != nil {
+		if _, _, err := core.RunSSPPR(context.Background(), st, int32(i)%n, cfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -259,7 +260,7 @@ func BenchmarkPushThreshold(b *testing.B) {
 			cfg.PushThreshold = threshold
 			cfg.PushWorkers = 4
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.RunSSPPR(st, int32(i)%n, cfg, nil); err != nil {
+				if _, _, err := core.RunSSPPR(context.Background(), st, int32(i)%n, cfg, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -294,7 +295,7 @@ func BenchmarkPmapVariants(b *testing.B) {
 			cfg.PushThreshold = 1
 			cfg.PushWorkers = 4
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.RunSSPPR(st, int32(i)%n, cfg, nil); err != nil {
+				if _, _, err := core.RunSSPPR(context.Background(), st, int32(i)%n, cfg, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -318,7 +319,7 @@ func BenchmarkRandomWalk(b *testing.B) {
 	defer c.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, _, err := c.RunRandomWalkBatch(32, 16, int64(i))
+		res, _, err := c.RunRandomWalkBatch(context.Background(), 32, 16, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -344,7 +345,7 @@ func BenchmarkKHopSample(b *testing.B) {
 	roots := []int32{0, 1, 2, 3, 4, 5, 6, 7}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.RunKHopSample(st, roots, []int{10, 10}, int64(i), nil)
+		res, err := core.RunKHopSample(context.Background(), st, roots, []int{10, 10}, int64(i), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -379,7 +380,7 @@ func BenchmarkHaloCache(b *testing.B) {
 			b.ResetTimer()
 			var remote, haloRows int64
 			for i := 0; i < b.N; i++ {
-				_, stats, err := core.RunSSPPR(st, int32(i)%n, cfg, nil)
+				_, stats, err := core.RunSSPPR(context.Background(), st, int32(i)%n, cfg, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -424,7 +425,7 @@ func BenchmarkQueryService(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := c.Shards[i%2].CoreGlobal[i%c.Shards[i%2].NumCore()]
-		if _, err := qc.Query(src, 10, 0, 0); err != nil {
+		if _, err := qc.Query(context.Background(), src, 10, 0, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

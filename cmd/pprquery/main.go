@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pprengine/internal/core"
 	"pprengine/internal/deploy"
@@ -23,14 +25,16 @@ import (
 
 func main() {
 	var (
-		shardPath  = flag.String("shard", "", "local shard file (compute mode)")
-		locPath    = flag.String("locator", "", "locator file (required)")
-		peersSpec  = flag.String("peers", "", "compute mode: remote shards \"1=host:port,...\"")
-		ownersSpec = flag.String("owners", "", "thin mode: every shard's query service \"0=host:port,1=host:port,...\"; no local shard needed (requires pprserve -peers)")
-		source     = flag.Int("source", 0, "global source node ID")
-		topk       = flag.Int("topk", 10, "print the k best-ranked nodes")
-		alpha      = flag.Float64("alpha", 0.462, "teleport probability")
-		eps        = flag.Float64("eps", 1e-6, "residual threshold")
+		shardPath   = flag.String("shard", "", "local shard file (compute mode)")
+		locPath     = flag.String("locator", "", "locator file (required)")
+		peersSpec   = flag.String("peers", "", "compute mode: remote shards \"1=host:port,...\"")
+		ownersSpec  = flag.String("owners", "", "thin mode: every shard's query service \"0=host:port,1=host:port,...\"; no local shard needed (requires pprserve -peers)")
+		source      = flag.Int("source", 0, "global source node ID")
+		topk        = flag.Int("topk", 10, "print the k best-ranked nodes")
+		alpha       = flag.Float64("alpha", 0.462, "teleport probability")
+		eps         = flag.Float64("eps", 1e-6, "residual threshold")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries exit with context.DeadlineExceeded")
+		dialTimeout = flag.Duration("dial-timeout", deploy.DefaultDialTimeout, "per-peer connect deadline")
 	)
 	flag.Parse()
 	if *locPath == "" {
@@ -38,7 +42,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *ownersSpec != "" {
-		runThin(*locPath, *ownersSpec, *source, *topk, *alpha, *eps)
+		runThin(*locPath, *ownersSpec, *source, *topk, *alpha, *eps, *timeout, *dialTimeout)
 		return
 	}
 	if *shardPath == "" {
@@ -50,7 +54,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pprquery:", err)
 		os.Exit(2)
 	}
-	st, cleanup, err := deploy.Connect(*shardPath, *locPath, peers, rpc.LatencyModel{})
+	dialCtx, cancelDial := context.WithTimeout(context.Background(), *dialTimeout)
+	st, cleanup, err := deploy.Connect(dialCtx, *shardPath, *locPath, peers, rpc.LatencyModel{})
+	cancelDial()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pprquery:", err)
 		os.Exit(1)
@@ -66,8 +72,9 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Alpha = *alpha
 	cfg.Eps = *eps
+	cfg.QueryTimeout = *timeout
 	bd := metrics.NewBreakdown()
-	top, stats, err := core.RunSSPPRTopK(st, local, *topk, cfg, bd)
+	top, stats, err := core.RunSSPPRTopK(context.Background(), st, local, *topk, cfg, bd)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pprquery:", err)
 		os.Exit(1)
@@ -84,19 +91,27 @@ func main() {
 
 // runThin dispatches the query to its owner's query service (owner-compute
 // over RPC) instead of computing locally.
-func runThin(locPath, ownersSpec string, source, topk int, alpha, eps float64) {
+func runThin(locPath, ownersSpec string, source, topk int, alpha, eps float64, timeout, dialTimeout time.Duration) {
 	owners, err := deploy.ParsePeers(ownersSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pprquery:", err)
 		os.Exit(2)
 	}
-	qc, cleanup, err := deploy.ConnectThin(locPath, owners, rpc.LatencyModel{})
+	dialCtx, cancelDial := context.WithTimeout(context.Background(), dialTimeout)
+	qc, cleanup, err := deploy.ConnectThin(dialCtx, locPath, owners, rpc.LatencyModel{})
+	cancelDial()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pprquery:", err)
 		os.Exit(1)
 	}
 	defer cleanup()
-	resp, err := qc.Query(graph.NodeID(source), topk, alpha, eps)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	resp, err := qc.Query(ctx, graph.NodeID(source), topk, alpha, eps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pprquery:", err)
 		os.Exit(1)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +27,12 @@ import (
 
 func main() {
 	var (
-		shardPath = flag.String("shard", "", "shard file (required)")
-		locPath   = flag.String("locator", "", "locator file (required)")
-		listen    = flag.String("listen", ":7000", "TCP listen address")
-		peersSpec = flag.String("peers", "", "other shards (\"1=host:port,...\"); enables the SSPPR query service for this shard's vertices")
+		shardPath    = flag.String("shard", "", "shard file (required)")
+		locPath      = flag.String("locator", "", "locator file (required)")
+		listen       = flag.String("listen", ":7000", "TCP listen address")
+		peersSpec    = flag.String("peers", "", "other shards (\"1=host:port,...\"); enables the SSPPR query service for this shard's vertices")
+		dialTimeout  = flag.Duration("dial-timeout", deploy.DefaultDialTimeout, "per-peer connect deadline for the query service")
+		queryTimeout = flag.Duration("query-timeout", 0, "default per-query deadline for served SSPPR queries (0 = none; a client-propagated deadline overrides it)")
 	)
 	flag.Parse()
 	if *shardPath == "" || *locPath == "" {
@@ -49,7 +52,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pprserve:", err)
 			os.Exit(2)
 		}
-		cleanup, err := deploy.EnableQueries(srv, peers, core.DefaultConfig(), rpc.LatencyModel{})
+		cfg := core.DefaultConfig()
+		cfg.QueryTimeout = *queryTimeout
+		ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
+		cleanup, err := deploy.EnableQueries(ctx, srv, peers, cfg, rpc.LatencyModel{})
+		cancel()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pprserve:", err)
 			os.Exit(1)

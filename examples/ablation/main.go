@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,10 +44,10 @@ func main() {
 		cfg.Mode = rung.mode
 		cfg.Overlap = rung.overlap
 		// Warm once, then measure.
-		if _, err := c.RunSSPPRBatch(qs, cfg, cluster.EngineMap); err != nil {
+		if _, err := c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap); err != nil {
 			log.Fatal(err)
 		}
-		res, err := c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+		res, err := c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -65,7 +66,7 @@ func main() {
 	}
 	// Enable the owner-compute query service on each.
 	for _, srv := range servers {
-		cleanup, err := deploy.EnableQueries(srv, owners, core.DefaultConfig(), rpc.LatencyModel{})
+		cleanup, err := deploy.EnableQueries(context.Background(), srv, owners, core.DefaultConfig(), rpc.LatencyModel{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,13 +76,13 @@ func main() {
 
 	// Thin client (what cmd/pprquery -owners does): no local shard, queries
 	// routed to each source's owner.
-	qc, cleanup, err := deploy.ConnectThin(locPath, owners, rpc.LatencyModel{})
+	qc, cleanup, err := deploy.ConnectThin(context.Background(), locPath, owners, rpc.LatencyModel{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cleanup()
 	for _, src := range []graph.NodeID{0, graph.NodeID(g.NumNodes / 2), graph.NodeID(g.NumNodes - 1)} {
-		resp, err := qc.Query(src, 3, 0, 0)
+		resp, err := qc.Query(context.Background(), src, 3, 0, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 
 	fmt.Printf("training ShaDow-SAGE on %d machines: top-%d PPR subgraphs, %d-dim features, %d classes\n",
 		c.Opts.NumMachines, cfg.TopK, cfg.FeatureDim, cfg.NumClasses)
-	stats, model, err := gnn.TrainDistributed(c, cfg)
+	stats, model, err := gnn.TrainDistributed(context.Background(), c, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 		egoGlobal, g.Degree(egoGlobal))
 
 	// Strategy 1: 2-hop fanout sampling, 8 then 4 neighbors.
-	khop, err := core.RunKHopSample(st, []int32{ego}, []int{8, 4}, 42, nil)
+	khop, err := core.RunKHopSample(context.Background(), st, []int32{ego}, []int{8, 4}, 42, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func main() {
 	// Strategy 2: top-32 Personalized PageRank.
 	cfg := core.DefaultConfig()
 	cfg.Eps = 1e-5
-	top, stats, err := core.RunSSPPRTopK(st, ego, 32, cfg, nil)
+	top, stats, err := core.RunSSPPRTopK(context.Background(), st, ego, 32, cfg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	//    vertex 0 and run on its first compute process.
 	st := c.Storages[0][0]
 	cfg := core.DefaultConfig() // alpha=0.462, eps=1e-6, batched+compressed+overlapped
-	m, stats, err := core.RunSSPPR(st, 0, cfg, nil)
+	m, stats, err := core.RunSSPPR(context.Background(), st, 0, cfg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	defer c.Close()
 
 	const walksPerMachine, walkLen = 8, 12
-	res, summaries, err := c.RunRandomWalkBatch(walksPerMachine, walkLen, 42)
+	res, summaries, err := c.RunRandomWalkBatch(context.Background(), walksPerMachine, walkLen, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

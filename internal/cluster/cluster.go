@@ -7,6 +7,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -196,16 +198,41 @@ func (k EngineKind) String() string {
 	return "PPR Engine"
 }
 
+// QueryError records one query's failure inside a batch: which machine and
+// compute process ran it, the local source vertex, and the error. Failures
+// are isolated — the rest of the batch keeps running.
+type QueryError struct {
+	Machine int
+	Proc    int
+	Source  int32
+	Err     error
+}
+
+// Error implements the error interface.
+func (e QueryError) Error() string {
+	return fmt.Sprintf("machine %d proc %d source %d: %v", e.Machine, e.Proc, e.Source, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e QueryError) Unwrap() error { return e.Err }
+
 // RunResult aggregates one batch run over the whole cluster.
 type RunResult struct {
-	Queries    int
+	Queries    int // queries issued (successful + failed)
+	Failed     int // queries that returned an error (see Errors)
 	Wall       time.Duration
-	Throughput float64 // queries per second across all machines
+	Throughput float64 // successful queries per second across all machines
 	Breakdown  *metrics.Breakdown
 	Pushes     int64
 	LocalRows  int64
 	RemoteRows int64
 	HaloRows   int64 // remote rows served by the halo cache
+	Timeouts   int64 // queries aborted by deadline or cancellation
+	Retries    int64 // transient-error RPC retries across all queries
+	// Errors lists the per-query failures. A timed-out query lands here
+	// with context.DeadlineExceeded in its chain while the rest of the
+	// batch completes normally (partial results, not batch abort).
+	Errors []QueryError
 }
 
 // RemoteFraction returns the fraction of fetched rows served over RPC.
@@ -222,16 +249,22 @@ func (r RunResult) RemoteFraction() float64 {
 // each process runs its share sequentially, and the wall clock covers the
 // slowest process (synchronization included, per §2.1.2). The per-process
 // breakdowns are merged into the result.
-func (c *Cluster) RunSSPPRBatch(queriesByMachine [][]int32, cfg core.Config, kind EngineKind) (RunResult, error) {
+//
+// ctx bounds the whole batch; cfg.QueryTimeout additionally bounds every
+// individual query. Failures are isolated: a query that times out or errors
+// is recorded in RunResult.Errors and its process moves on to its next
+// query. The returned error is non-nil only when the batch context itself
+// ended (ctx.Err()) or every single query failed.
+func (c *Cluster) RunSSPPRBatch(ctx context.Context, queriesByMachine [][]int32, cfg core.Config, kind EngineKind) (RunResult, error) {
 	procs := c.Opts.ProcsPerMachine
 	var res RunResult
 	breakdowns := make([][]*metrics.Breakdown, c.Opts.NumMachines)
 	type acc struct {
 		pushes, localRows, remoteRows, haloRows int64
+		timeouts, retries                       int64
+		errs                                    []QueryError
 	}
 	accs := make([][]acc, c.Opts.NumMachines)
-	var firstErr error
-	var errMu sync.Mutex
 	var wg sync.WaitGroup
 	start := time.Now()
 	for m := 0; m < c.Opts.NumMachines; m++ {
@@ -250,36 +283,37 @@ func (c *Cluster) RunSSPPRBatch(queriesByMachine [][]int32, cfg core.Config, kin
 				defer wg.Done()
 				st := c.Storages[m][p]
 				bd := breakdowns[m][p]
+				a := &accs[m][p]
 				for _, src := range mine {
+					if ctx.Err() != nil {
+						// Batch cancelled: mark the remaining queries failed.
+						a.errs = append(a.errs, QueryError{m, p, src, ctx.Err()})
+						continue
+					}
 					var err error
 					var stats core.QueryStats
 					switch kind {
 					case EngineTensor:
-						_, stats, err = core.RunTensorSSPPR(st, src, cfg, bd)
+						_, stats, err = core.RunTensorSSPPR(ctx, st, src, cfg, bd)
 					default:
-						_, stats, err = core.RunSSPPR(st, src, cfg, bd)
+						_, stats, err = core.RunSSPPR(ctx, st, src, cfg, bd)
 					}
+					a.timeouts += stats.Timeouts
+					a.retries += stats.Retries
 					if err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						errMu.Unlock()
-						return
+						a.errs = append(a.errs, QueryError{m, p, src, err})
+						continue
 					}
-					accs[m][p].pushes += stats.Pushes
-					accs[m][p].localRows += stats.LocalRows
-					accs[m][p].remoteRows += stats.RemoteRows
-					accs[m][p].haloRows += stats.HaloRows
+					a.pushes += stats.Pushes
+					a.localRows += stats.LocalRows
+					a.remoteRows += stats.RemoteRows
+					a.haloRows += stats.HaloRows
 				}
 			}(m, p, mine)
 		}
 	}
 	wg.Wait()
 	res.Wall = time.Since(start)
-	if firstErr != nil {
-		return res, firstErr
-	}
 	res.Breakdown = metrics.NewBreakdown()
 	for m := range breakdowns {
 		for p := range breakdowns[m] {
@@ -288,24 +322,39 @@ func (c *Cluster) RunSSPPRBatch(queriesByMachine [][]int32, cfg core.Config, kin
 			res.LocalRows += accs[m][p].localRows
 			res.RemoteRows += accs[m][p].remoteRows
 			res.HaloRows += accs[m][p].haloRows
+			res.Timeouts += accs[m][p].timeouts
+			res.Retries += accs[m][p].retries
+			res.Errors = append(res.Errors, accs[m][p].errs...)
 		}
 	}
-	res.Throughput = metrics.Throughput(res.Queries, res.Wall)
+	res.Failed = len(res.Errors)
+	res.Throughput = metrics.Throughput(res.Queries-res.Failed, res.Wall)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if res.Queries > 0 && res.Failed == res.Queries {
+		return res, fmt.Errorf("cluster: all %d queries failed, first: %w", res.Queries, res.Errors[0])
+	}
 	return res, nil
 }
 
 // RunRandomWalkBatch starts walksPerMachine walks on every machine (roots
 // drawn from its core nodes) and runs them through the distributed
 // random-walk primitive, one batch per compute process.
-func (c *Cluster) RunRandomWalkBatch(walksPerMachine, walkLen int, seed int64) (RunResult, [][][]int32, error) {
+//
+// ctx bounds the whole batch. Failure isolation is per compute process (one
+// RunRandomWalk call advances all of a process's walks in lockstep): a
+// failed process's walks land in RunResult.Errors with nil summaries while
+// the other processes' walks complete. The returned error is non-nil only
+// when ctx ended or every process failed.
+func (c *Cluster) RunRandomWalkBatch(ctx context.Context, walksPerMachine, walkLen int, seed int64) (RunResult, [][][]int32, error) {
 	procs := c.Opts.ProcsPerMachine
 	roots := c.EvenQuerySet(walksPerMachine, seed)
 	var res RunResult
 	summaries := make([][][]int32, c.Opts.NumMachines)
 	breakdowns := make([]*metrics.Breakdown, c.Opts.NumMachines*procs)
+	errs := make([][]QueryError, c.Opts.NumMachines*procs)
 	var wg sync.WaitGroup
-	var firstErr error
-	var errMu sync.Mutex
 	start := time.Now()
 	for m := 0; m < c.Opts.NumMachines; m++ {
 		summaries[m] = make([][]int32, walksPerMachine)
@@ -325,13 +374,13 @@ func (c *Cluster) RunRandomWalkBatch(walksPerMachine, walkLen int, seed int64) (
 				if len(mine) == 0 {
 					return
 				}
-				sum, err := core.RunRandomWalk(c.Storages[m][p], mine, walkLen, seed+int64(m*1000+p), bd)
+				sum, err := core.RunRandomWalk(ctx, c.Storages[m][p], mine, walkLen, seed+int64(m*1000+p), bd)
 				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
+					qes := make([]QueryError, len(mine))
+					for k, src := range mine {
+						qes[k] = QueryError{m, p, src, err}
 					}
-					errMu.Unlock()
+					errs[m*procs+p] = qes
 					return
 				}
 				for k, i := range idxs {
@@ -342,13 +391,25 @@ func (c *Cluster) RunRandomWalkBatch(walksPerMachine, walkLen int, seed int64) (
 	}
 	wg.Wait()
 	res.Wall = time.Since(start)
-	if firstErr != nil {
-		return res, nil, firstErr
-	}
 	res.Breakdown = metrics.NewBreakdown()
 	for _, bd := range breakdowns {
 		res.Breakdown.Merge(bd)
 	}
-	res.Throughput = metrics.Throughput(res.Queries, res.Wall)
+	for _, qes := range errs {
+		res.Errors = append(res.Errors, qes...)
+	}
+	res.Failed = len(res.Errors)
+	for _, qe := range res.Errors {
+		if errors.Is(qe.Err, context.Canceled) || errors.Is(qe.Err, context.DeadlineExceeded) {
+			res.Timeouts++
+		}
+	}
+	res.Throughput = metrics.Throughput(res.Queries-res.Failed, res.Wall)
+	if err := ctx.Err(); err != nil {
+		return res, summaries, err
+	}
+	if res.Queries > 0 && res.Failed == res.Queries {
+		return res, summaries, fmt.Errorf("cluster: all %d walks failed, first: %w", res.Queries, res.Errors[0])
+	}
 	return res, summaries, nil
 }

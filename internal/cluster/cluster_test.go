@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -97,7 +98,7 @@ func TestRunSSPPRBatchBothEngines(t *testing.T) {
 	qs := c.EvenQuerySet(4, 11)
 	cfg := core.DefaultConfig()
 	for _, kind := range []EngineKind{EngineMap, EngineTensor} {
-		res, err := c.RunSSPPRBatch(qs, cfg, kind)
+		res, err := c.RunSSPPRBatch(context.Background(), qs, cfg, kind)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -130,7 +131,7 @@ func TestClusterResultsMatchGroundTruth(t *testing.T) {
 	// to power iteration.
 	src := c.Shards[0].CoreGlobal[3]
 	exact, _ := ppr.PowerIteration(g, src, 0.462, 1e-12, 100000)
-	m, _, err := core.RunSSPPR(c.Storages[0][0], 3, core.DefaultConfig(), nil)
+	m, _, err := core.RunSSPPR(context.Background(), c.Storages[0][0], 3, core.DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestHashPartitionHasMoreRemoteTraffic(t *testing.T) {
 			t.Fatal(err)
 		}
 		qs = c.EvenQuerySet(4, 13)
-		res, err := c.RunSSPPRBatch(qs, core.DefaultConfig(), EngineMap)
+		res, err := c.RunSSPPRBatch(context.Background(), qs, core.DefaultConfig(), EngineMap)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +204,7 @@ func TestRunRandomWalkBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	res, summaries, err := c.RunRandomWalkBatch(6, 5, 17)
+	res, summaries, err := c.RunRandomWalkBatch(context.Background(), 6, 5, 17)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestLDGPartitionOption(t *testing.T) {
 	}
 	defer c.Close()
 	qs := c.EvenQuerySet(2, 1)
-	if _, err := c.RunSSPPRBatch(qs, core.DefaultConfig(), EngineMap); err != nil {
+	if _, err := c.RunSSPPRBatch(context.Background(), qs, core.DefaultConfig(), EngineMap); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -259,10 +260,10 @@ func TestThroughputScalesWithProcs(t *testing.T) {
 		}
 		qs := c.EvenQuerySet(16, 3)
 		// Warm up.
-		if _, err := c.RunSSPPRBatch(qs, core.DefaultConfig(), EngineMap); err != nil {
+		if _, err := c.RunSSPPRBatch(context.Background(), qs, core.DefaultConfig(), EngineMap); err != nil {
 			t.Fatal(err)
 		}
-		res, err := c.RunSSPPRBatch(qs, core.DefaultConfig(), EngineMap)
+		res, err := c.RunSSPPRBatch(context.Background(), qs, core.DefaultConfig(), EngineMap)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -291,7 +292,7 @@ func TestClusterHaloOption(t *testing.T) {
 		}
 	}
 	qs := c.EvenQuerySet(4, 9)
-	res, err := c.RunSSPPRBatch(qs, core.DefaultConfig(), EngineMap)
+	res, err := c.RunSSPPRBatch(context.Background(), qs, core.DefaultConfig(), EngineMap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestSingleMachineCluster(t *testing.T) {
 	}
 	defer c.Close()
 	qs := c.EvenQuerySet(4, 3)
-	res, err := c.RunSSPPRBatch(qs, core.DefaultConfig(), EngineMap)
+	res, err := c.RunSSPPRBatch(context.Background(), qs, core.DefaultConfig(), EngineMap)
 	if err != nil {
 		t.Fatal(err)
 	}

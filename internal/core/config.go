@@ -14,8 +14,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"time"
+
+	"pprengine/internal/rpc"
 )
 
 // FetchMode selects the RPC request strategy — the axis of the Table 3
@@ -69,6 +73,17 @@ type Config struct {
 	// (lock-eliminated) scheme to plain per-submap locking; an extra
 	// ablation axis.
 	LockedPush bool
+	// QueryTimeout bounds one query's wall-clock time: when > 0 the driver
+	// derives a deadline from it (on top of whatever deadline the caller's
+	// context already carries) and the query aborts with
+	// context.DeadlineExceeded once it expires. Zero means no per-query
+	// deadline beyond the caller's context.
+	QueryTimeout time.Duration
+	// Retry enables bounded retries of transient transport failures on the
+	// sequential FetchSingle path (the batched modes share one in-flight
+	// future per shard and do not retry). Retry.MaxAttempts == 0 disables
+	// retries; see rpc.RetryPolicy for the backoff parameters.
+	Retry rpc.RetryPolicy
 	// TensorDispatch simulates the per-operator dispatch latency of a
 	// Python tensor library, charged by the tensor-based baselines for
 	// every small tensor operation they issue (masking, gather, scatter,
@@ -112,6 +127,21 @@ func TensorBaselineConfig() Config {
 	c := DefaultConfig()
 	c.TensorDispatch = 5 * time.Microsecond
 	return c
+}
+
+// applyQueryTimeout derives the query's context: the caller's ctx plus the
+// config's per-query deadline when one is set.
+func (c *Config) applyQueryTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.QueryTimeout > 0 {
+		return context.WithTimeout(ctx, c.QueryTimeout)
+	}
+	return ctx, func() {}
+}
+
+// isCtxErr reports whether err is a cancellation or deadline expiry —
+// anywhere in its chain, so wrapped fetch errors count too.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // dispatch burns CPU for n simulated tensor-op dispatches. A busy spin, not

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestDistributedMatchesSingleMachine(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Eps = 1e-7
 	sh, lc := loc.Locate(5)
-	m, stats, err := RunSSPPR(storages[sh], lc, cfg, nil)
+	m, stats, err := RunSSPPR(context.Background(), storages[sh], lc, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestAllFetchModesAgree(t *testing.T) {
 			cfg.Mode = mode
 			cfg.Overlap = overlap
 			cfg.Eps = 1e-6
-			m, _, err := RunSSPPR(storages[sh], lc, cfg, nil)
+			m, _, err := RunSSPPR(context.Background(), storages[sh], lc, cfg, nil)
 			if err != nil {
 				t.Fatalf("mode=%v overlap=%v: %v", mode, overlap, err)
 			}
@@ -161,7 +162,7 @@ func TestPushVariantsAgree(t *testing.T) {
 	var ref map[int32]float64
 	for i, cfg := range configs {
 		cfg.Eps = 1e-6
-		m, _, err := RunSSPPR(storages[sh], lc, cfg, nil)
+		m, _, err := RunSSPPR(context.Background(), storages[sh], lc, cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,12 +186,12 @@ func TestTensorBaselineMatchesEngine(t *testing.T) {
 	sh, lc := loc.Locate(7)
 	cfg := DefaultConfig()
 	cfg.Eps = 1e-6
-	m, _, err := RunSSPPR(storages[sh], lc, cfg, nil)
+	m, _, err := RunSSPPR(context.Background(), storages[sh], lc, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	engineScores := ScoresGlobal(storages[sh], m)
-	p, stats, err := RunTensorSSPPR(storages[sh], lc, cfg, nil)
+	p, stats, err := RunTensorSSPPR(context.Background(), storages[sh], lc, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestBreakdownIsPopulated(t *testing.T) {
 	sh, lc := loc.Locate(11)
 	bd := metrics.NewBreakdown()
 	cfg := DefaultConfig()
-	if _, _, err := RunSSPPR(storages[sh], lc, cfg, bd); err != nil {
+	if _, _, err := RunSSPPR(context.Background(), storages[sh], lc, cfg, bd); err != nil {
 		t.Fatal(err)
 	}
 	if bd.Count(metrics.PhasePop) == 0 || bd.Count(metrics.PhasePush) == 0 {
@@ -237,7 +238,7 @@ func TestQueryStatsRemoteLocalSplit(t *testing.T) {
 	storages, _, loc, cleanup := testDeployment(t, g, 3)
 	defer cleanup()
 	sh, lc := loc.Locate(0)
-	_, stats, err := RunSSPPR(storages[sh], lc, DefaultConfig(), nil)
+	_, stats, err := RunSSPPR(context.Background(), storages[sh], lc, DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestGetNeighborInfosLocalValidation(t *testing.T) {
 	g := testGraph(7, 100, 500)
 	storages, _, _, cleanup := testDeployment(t, g, 2)
 	defer cleanup()
-	if _, err := storages[0].GetNeighborInfos(0, []int32{1 << 20}, FetchBatchCompress).Wait(); err == nil {
+	if _, err := storages[0].GetNeighborInfos(context.Background(), 0, []int32{1 << 20}, Config{Mode: FetchBatchCompress}).Wait(); err == nil {
 		t.Fatal("expected validation error for bad local id")
 	}
 }
@@ -328,7 +329,7 @@ func TestGetNeighborInfosRemoteError(t *testing.T) {
 	g := testGraph(8, 100, 500)
 	storages, _, _, cleanup := testDeployment(t, g, 2)
 	defer cleanup()
-	if _, err := storages[0].GetNeighborInfos(1, []int32{1 << 20}, FetchBatchCompress).Wait(); err == nil {
+	if _, err := storages[0].GetNeighborInfos(context.Background(), 1, []int32{1 << 20}, Config{Mode: FetchBatchCompress}).Wait(); err == nil {
 		t.Fatal("expected remote validation error")
 	}
 }
@@ -339,7 +340,7 @@ func TestRandomWalkDistributed(t *testing.T) {
 	defer cleanup()
 	roots := []int32{0, 1, 2, 3}
 	walkLen := 8
-	sum, err := RunRandomWalk(storages[0], roots, walkLen, 42, nil)
+	sum, err := RunRandomWalk(context.Background(), storages[0], roots, walkLen, 42, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,11 +378,11 @@ func TestRandomWalkDeterministicSeed(t *testing.T) {
 	g := testGraph(10, 150, 900)
 	storages, _, _, cleanup := testDeployment(t, g, 2)
 	defer cleanup()
-	a, err := RunRandomWalk(storages[0], []int32{0, 1}, 6, 7, nil)
+	a, err := RunRandomWalk(context.Background(), storages[0], []int32{0, 1}, 6, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunRandomWalk(storages[0], []int32{0, 1}, 6, 7, nil)
+	b, err := RunRandomWalk(context.Background(), storages[0], []int32{0, 1}, 6, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +403,7 @@ func TestRandomWalkDeadEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := NewDistGraphStorage(0, shards[0], loc, make([]*rpc.Client, 1))
-	sum, err := RunRandomWalk(st, []int32{0}, 5, 1, nil)
+	sum, err := RunRandomWalk(context.Background(), st, []int32{0}, 5, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +446,7 @@ func TestScoresAndResidualMass(t *testing.T) {
 	storages, _, loc, cleanup := testDeployment(t, g, 2)
 	defer cleanup()
 	sh, lc := loc.Locate(1)
-	m, _, err := RunSSPPR(storages[sh], lc, DefaultConfig(), nil)
+	m, _, err := RunSSPPR(context.Background(), storages[sh], lc, DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

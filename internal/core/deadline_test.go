@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/metrics"
+	"pprengine/internal/partition"
+	"pprengine/internal/rpc"
+	"pprengine/internal/shard"
+)
+
+// testDeploymentLat is testDeployment with a synthetic latency model on
+// every inter-machine client — for deadline tests that need slow peers.
+func testDeploymentLat(t *testing.T, g *graph.Graph, k int, lat rpc.LatencyModel) ([]*DistGraphStorage, func()) {
+	t.Helper()
+	assign, err := partition.Partition(g, k, partition.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, loc, err := shard.Build(g, assign, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*StorageServer, k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		servers[i] = NewStorageServer(shards[i], loc)
+		addrs[i], err = servers[i].Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var allClients []*rpc.Client
+	storages := make([]*DistGraphStorage, k)
+	for i := 0; i < k; i++ {
+		clients := make([]*rpc.Client, k)
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			c, err := rpc.Dial(addrs[j], lat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clients[j] = c
+			allClients = append(allClients, c)
+		}
+		storages[i] = NewDistGraphStorage(int32(i), shards[i], loc, clients)
+	}
+	cleanup := func() {
+		for _, c := range allClients {
+			c.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	return storages, cleanup
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want, failing the test if it does not within the timeout.
+func waitGoroutines(t *testing.T, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines alive, want <= %d", n, want)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueryDeadlineExceeded is the issue's acceptance scenario: a query with
+// a 50ms deadline against peers behind a 500ms synthetic latency must return
+// context.DeadlineExceeded at roughly the deadline — not after the first
+// 500ms round trip — report the timeout in its stats, and leave no
+// goroutines behind once the latency-model sleeps drain.
+func TestQueryDeadlineExceeded(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	g := testGraph(1, 300, 1800)
+	storages, cleanup := testDeploymentLat(t, g, 3, rpc.LatencyModel{Base: 500 * time.Millisecond})
+	timeoutsBefore := metrics.QueryTimeouts.Load()
+
+	cfg := DefaultConfig()
+	cfg.Eps = 1e-7 // enough work to guarantee remote fetches
+	cfg.QueryTimeout = 50 * time.Millisecond
+	start := time.Now()
+	_, stats, err := RunSSPPR(context.Background(), storages[0], 0, cfg, nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed >= 400*time.Millisecond {
+		t.Fatalf("query took %v; the 50ms deadline should fire well before the 500ms latency", elapsed)
+	}
+	if stats.Timeouts != 1 {
+		t.Fatalf("stats.Timeouts = %d, want 1", stats.Timeouts)
+	}
+	if got := metrics.QueryTimeouts.Load() - timeoutsBefore; got < 1 {
+		t.Fatalf("metrics.QueryTimeouts delta = %d, want >= 1", got)
+	}
+
+	cleanup()
+	// The latency model parks one goroutine per in-flight response for
+	// ~500ms; everything must drain afterwards.
+	waitGoroutines(t, baseline+2, 3*time.Second)
+}
+
+// TestQueryDeadlineIsolation runs a doomed 50ms-deadline query concurrently
+// with an unbounded one on the same deployment: the timeout must not disturb
+// the other query.
+func TestQueryDeadlineIsolation(t *testing.T) {
+	g := testGraph(2, 200, 1200)
+	storages, cleanup := testDeploymentLat(t, g, 2, rpc.LatencyModel{Base: 100 * time.Millisecond})
+	defer cleanup()
+
+	slowCfg := DefaultConfig()
+	slowCfg.Eps = 1e-7
+	slowCfg.QueryTimeout = 30 * time.Millisecond
+	okCfg := DefaultConfig()
+	okCfg.Eps = 1e-3 // few iterations, so the 100ms-per-round latency stays cheap
+
+	var wg sync.WaitGroup
+	var slowErr, okErr error
+	var okStats QueryStats
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _, slowErr = RunSSPPR(context.Background(), storages[0], 0, slowCfg, nil)
+	}()
+	go func() {
+		defer wg.Done()
+		_, okStats, okErr = RunSSPPR(context.Background(), storages[1], 0, okCfg, nil)
+	}()
+	wg.Wait()
+	if !errors.Is(slowErr, context.DeadlineExceeded) {
+		t.Fatalf("slow query err = %v, want DeadlineExceeded", slowErr)
+	}
+	if okErr != nil {
+		t.Fatalf("concurrent query failed: %v", okErr)
+	}
+	if okStats.Iterations == 0 || okStats.Timeouts != 0 {
+		t.Fatalf("concurrent query stats = %+v", okStats)
+	}
+}
+
+// TestQueryPreCancelled: a query on an already-cancelled context does no
+// work at all.
+func TestQueryPreCancelled(t *testing.T) {
+	g := testGraph(3, 100, 500)
+	storages, cleanup := testDeploymentLat(t, g, 2, rpc.LatencyModel{})
+	defer cleanup()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, stats, err := RunSSPPR(ctx, storages[0], 0, DefaultConfig(), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if stats.Iterations != 0 || stats.Pushes != 0 {
+		t.Fatalf("pre-cancelled query did work: %+v", stats)
+	}
+}
+
+// TestRandomWalkDeadline: the per-step context check stops a random walk
+// against slow peers at the deadline.
+func TestRandomWalkDeadline(t *testing.T) {
+	g := testGraph(4, 200, 1200)
+	storages, cleanup := testDeploymentLat(t, g, 2, rpc.LatencyModel{Base: 200 * time.Millisecond})
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	roots := make([]int32, 64)
+	for i := range roots {
+		roots[i] = int32(i % storages[0].Local.NumCore())
+	}
+	start := time.Now()
+	_, err := RunRandomWalk(ctx, storages[0], roots, 20, 7, nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("walk took %v to honor a 50ms deadline", elapsed)
+	}
+}
+
+// TestKHopDeadline: the per-hop context check stops a k-hop sample against
+// slow peers at the deadline.
+func TestKHopDeadline(t *testing.T) {
+	g := testGraph(5, 200, 1200)
+	storages, cleanup := testDeploymentLat(t, g, 2, rpc.LatencyModel{Base: 200 * time.Millisecond})
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	seeds := []int32{0, 1, 2, 3}
+	_, err := RunKHopSample(ctx, storages[0], seeds, []int{5, 5}, 11, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"pprengine/internal/metrics"
 	"pprengine/internal/pmap"
 	"pprengine/internal/shard"
@@ -14,6 +16,8 @@ type QueryStats struct {
 	RemoteRows   int64 // vertices fetched over RPC
 	HaloRows     int64 // remote vertices served by the local halo row cache
 	TouchedNodes int
+	Retries      int64 // transient-error RPC retries taken by this query
+	Timeouts     int64 // 1 when the query was cut short by deadline/cancel
 }
 
 // RunSSPPR executes one distributed SSPPR query for the source vertex
@@ -25,12 +29,33 @@ type QueryStats struct {
 // With cfg.Overlap the local fetch and push run while remote responses are
 // in flight; without it all fetches complete before any push. bd, when
 // non-nil, accumulates the per-phase timing breakdown.
-func RunSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (*SSPPR, QueryStats, error) {
+//
+// The query honors ctx (plus cfg.QueryTimeout when set): cancellation is
+// checked between push iterations and on every remote wait, so a cancelled
+// query stops doing local work too and returns ctx's error. Aborted queries
+// report Timeouts=1 in their stats and bump metrics.QueryTimeouts.
+func RunSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (*SSPPR, QueryStats, error) {
+	ctx, cancel := cfg.applyQueryTimeout(ctx)
+	defer cancel()
+	m, stats, err := runSSPPR(ctx, g, sourceLocal, cfg, bd)
+	if err != nil && isCtxErr(err) {
+		stats.Timeouts++
+		metrics.QueryTimeouts.Inc(1)
+	}
+	return m, stats, err
+}
+
+func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (*SSPPR, QueryStats, error) {
 	m := NewSSPPR(sourceLocal, g.ShardID, cfg)
 	var stats QueryStats
 	// Reusable per-shard grouping buffers.
 	byShard := make([][]int32, g.NumShards)
 	for {
+		// Deadline check at the top of every push iteration: a cancelled
+		// query must stop spending CPU on pop/push, not just on fetches.
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		stopPop := bd.Start(metrics.PhasePop)
 		locals, shards := m.Pop()
 		stopPop()
@@ -72,7 +97,7 @@ func RunSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Br
 			if j == self || len(byShard[j]) == 0 {
 				continue
 			}
-			remotes = append(remotes, pending{j, g.GetNeighborInfos(j, byShard[j], cfg.Mode)})
+			remotes = append(remotes, pending{j, g.GetNeighborInfos(ctx, j, byShard[j], cfg)})
 			stats.RemoteRows += int64(len(byShard[j]))
 		}
 		stopIssue()
@@ -91,7 +116,9 @@ func RunSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Br
 			var batch NeighborBatch
 			var err error
 			bd.Time(metrics.PhaseLocalFetch, func() {
-				batch, err = g.GetNeighborInfos(self, byShard[self], cfg.Mode).Wait()
+				fut := g.GetNeighborInfos(ctx, self, byShard[self], cfg)
+				batch, err = fut.WaitCtx(ctx)
+				stats.Retries += fut.Retries()
 			})
 			if err != nil {
 				return err
@@ -112,7 +139,8 @@ func RunSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Br
 				var batch NeighborBatch
 				var err error
 				bd.Time(metrics.PhaseRemoteFetch, func() {
-					batch, err = p.fut.Wait()
+					batch, err = p.fut.WaitCtx(ctx)
+					stats.Retries += p.fut.Retries()
 				})
 				if err != nil {
 					return nil, stats, err
@@ -127,7 +155,8 @@ func RunSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Br
 			for i, p := range remotes {
 				var err error
 				bd.Time(metrics.PhaseRemoteFetch, func() {
-					batches[i], err = p.fut.Wait()
+					batches[i], err = p.fut.WaitCtx(ctx)
+					stats.Retries += p.fut.Retries()
 				})
 				if err != nil {
 					return nil, stats, err

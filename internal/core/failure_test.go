@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func TestServerFailureMidQueryReturnsError(t *testing.T) {
 	go func() {
 		var lastErr error
 		for i := int32(0); i < 50; i++ {
-			_, _, err := RunSSPPR(storages[0], i%int32(storages[0].Local.NumCore()), DefaultConfig(), nil)
+			_, _, err := RunSSPPR(context.Background(), storages[0], i%int32(storages[0].Local.NumCore()), DefaultConfig(), nil)
 			if err != nil {
 				lastErr = err
 				break
@@ -61,7 +62,7 @@ func TestConcurrentQueriesSameProcess(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			m, _, err := RunSSPPR(st, 3, DefaultConfig(), nil)
+			m, _, err := RunSSPPR(context.Background(), st, 3, DefaultConfig(), nil)
 			if err != nil {
 				errs <- err
 				return
@@ -97,7 +98,7 @@ func TestQueryAfterServerRestart(t *testing.T) {
 	storages, shards, loc, cleanup := testDeployment(t, g, 2)
 	defer cleanup()
 	// Baseline query works.
-	if _, _, err := RunSSPPR(storages[0], 0, DefaultConfig(), nil); err != nil {
+	if _, _, err := RunSSPPR(context.Background(), storages[0], 0, DefaultConfig(), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Start a second server for shard 1 and point a new handle at it.
@@ -113,7 +114,7 @@ func TestQueryAfterServerRestart(t *testing.T) {
 	}
 	defer cl.Close()
 	st2 := NewDistGraphStorage(0, shards[0], loc, clientsWith(2, 1, cl))
-	if _, _, err := RunSSPPR(st2, 0, DefaultConfig(), nil); err != nil {
+	if _, _, err := RunSSPPR(context.Background(), st2, 0, DefaultConfig(), nil); err != nil {
 		t.Fatalf("query through restarted server failed: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pprengine/internal/rpc"
@@ -40,10 +41,15 @@ type FeatureFuture struct {
 
 // Wait blocks for the block.
 func (f *FeatureFuture) Wait() ([]float32, int, error) {
+	return f.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait bounded by a context.
+func (f *FeatureFuture) WaitCtx(ctx context.Context) ([]float32, int, error) {
 	if f.feats != nil || f.err != nil {
 		return f.feats, f.dim, f.err
 	}
-	payload, err := f.fut.Wait()
+	payload, err := f.fut.WaitCtx(ctx)
 	if err != nil {
 		f.err = err
 		return nil, 0, err
@@ -57,8 +63,9 @@ func decodeFeatures(payload []byte) (int, []float32, error) {
 	return dim, feats, err
 }
 
-// FetchFeatures gathers feature rows for core vertices of dstShard.
-func (g *DistGraphStorage) FetchFeatures(dstShard int32, locals []int32) *FeatureFuture {
+// FetchFeatures gathers feature rows for core vertices of dstShard. Remote
+// requests are issued under ctx.
+func (g *DistGraphStorage) FetchFeatures(ctx context.Context, dstShard int32, locals []int32) *FeatureFuture {
 	if dstShard == g.ShardID {
 		if g.LocalFeatures == nil {
 			return &FeatureFuture{err: fmt.Errorf("core: no local feature store on shard %d", g.ShardID)}
@@ -77,5 +84,5 @@ func (g *DistGraphStorage) FetchFeatures(dstShard int32, locals []int32) *Featur
 	if c == nil {
 		return &FeatureFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
 	}
-	return &FeatureFuture{fut: c.Call(rpc.MethodFetchFeatures, wire.EncodeIDList(locals))}
+	return &FeatureFuture{fut: c.CallCtx(ctx, rpc.MethodFetchFeatures, wire.EncodeIDList(locals))}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -62,11 +63,11 @@ func TestHaloCacheReducesRemoteRows(t *testing.T) {
 	defer cleanup2()
 
 	cfg := DefaultConfig()
-	mPlain, sPlain, err := RunSSPPR(plain[0], 2, cfg, nil)
+	mPlain, sPlain, err := RunSSPPR(context.Background(), plain[0], 2, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mHalo, sHalo, err := RunSSPPR(halo[0], 2, cfg, nil)
+	mHalo, sHalo, err := RunSSPPR(context.Background(), halo[0], 2, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -93,10 +94,15 @@ type SampleNFuture struct {
 
 // Wait blocks for the sampled rows.
 func (f *SampleNFuture) Wait() (*wire.SampleNResponse, error) {
+	return f.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait bounded by a context.
+func (f *SampleNFuture) WaitCtx(ctx context.Context) (*wire.SampleNResponse, error) {
 	if f.resp != nil || f.err != nil {
 		return f.resp, f.err
 	}
-	payload, err := f.fut.Wait()
+	payload, err := f.fut.WaitCtx(ctx)
 	if err != nil {
 		f.err = err
 		return nil, err
@@ -106,8 +112,9 @@ func (f *SampleNFuture) Wait() (*wire.SampleNResponse, error) {
 }
 
 // SampleNeighbors samples up to fanout neighbors for each core vertex of
-// dstShard, locally via shared memory or remotely via one batched RPC.
-func (g *DistGraphStorage) SampleNeighbors(dstShard int32, locals []int32, fanout int32, seed int64) *SampleNFuture {
+// dstShard, locally via shared memory or remotely via one batched RPC
+// issued under ctx.
+func (g *DistGraphStorage) SampleNeighbors(ctx context.Context, dstShard int32, locals []int32, fanout int32, seed int64) *SampleNFuture {
 	if dstShard == g.ShardID {
 		resp, err := SampleNeighborsLocal(g.Local, g.Locator, locals, fanout, seed)
 		return &SampleNFuture{resp: resp, err: err}
@@ -117,7 +124,7 @@ func (g *DistGraphStorage) SampleNeighbors(dstShard int32, locals []int32, fanou
 		return &SampleNFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
 	}
 	payload := wire.EncodeSampleNRequest(&wire.SampleNRequest{Seed: seed, Fanout: fanout, Locals: locals})
-	return &SampleNFuture{fut: c.Call(rpc.MethodSampleNeighbors, payload)}
+	return &SampleNFuture{fut: c.CallCtx(ctx, rpc.MethodSampleNeighbors, payload)}
 }
 
 // KHopResult is a sampled computation graph: the union of sampled vertices
@@ -136,8 +143,9 @@ type KHopResult struct {
 // RunKHopSample builds a GraphSAGE-style sampled neighborhood: starting
 // from the given root vertices of g's shard, each hop h samples up to
 // fanouts[h] neighbors of every frontier vertex with one batched request
-// per destination shard.
-func RunKHopSample(g *DistGraphStorage, rootLocals []int32, fanouts []int, seed int64, bd *metrics.Breakdown) (*KHopResult, error) {
+// per destination shard. ctx bounds the whole sample: it is checked before
+// every hop and on every remote wait.
+func RunKHopSample(ctx context.Context, g *DistGraphStorage, rootLocals []int32, fanouts []int, seed int64, bd *metrics.Breakdown) (*KHopResult, error) {
 	res := &KHopResult{}
 	index := map[pmap.Key]int32{} // node key -> index into res.Nodes
 	addNode := func(k pmap.Key, global int32, hop int32) int32 {
@@ -171,6 +179,9 @@ func RunKHopSample(g *DistGraphStorage, rootLocals []int32, fanouts []int, seed 
 		if len(frontier) == 0 {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := range byShard {
 			byShard[j] = byShard[j][:0]
 			idxByShard[j] = idxByShard[j][:0]
@@ -185,12 +196,12 @@ func RunKHopSample(g *DistGraphStorage, rootLocals []int32, fanouts []int, seed 
 			if j == g.ShardID || len(byShard[j]) == 0 {
 				continue
 			}
-			futs[j] = g.SampleNeighbors(j, byShard[j], int32(fanout), seed+int64(hop*101+int(j)))
+			futs[j] = g.SampleNeighbors(ctx, j, byShard[j], int32(fanout), seed+int64(hop*101+int(j)))
 		}
 		stopIssue()
 		if len(byShard[g.ShardID]) > 0 {
 			stop := bd.Start(metrics.PhaseLocalFetch)
-			futs[g.ShardID] = g.SampleNeighbors(g.ShardID, byShard[g.ShardID], int32(fanout), seed+int64(hop*101+int(g.ShardID)))
+			futs[g.ShardID] = g.SampleNeighbors(ctx, g.ShardID, byShard[g.ShardID], int32(fanout), seed+int64(hop*101+int(g.ShardID)))
 			stop()
 		}
 		var next []fnode
@@ -204,7 +215,7 @@ func RunKHopSample(g *DistGraphStorage, rootLocals []int32, fanouts []int, seed 
 			}
 			var resp *wire.SampleNResponse
 			var err error
-			bd.Time(phase, func() { resp, err = futs[j].Wait() })
+			bd.Time(phase, func() { resp, err = futs[j].WaitCtx(ctx) })
 			if err != nil {
 				return nil, fmt.Errorf("core: k-hop hop %d shard %d: %w", hop, j, err)
 			}

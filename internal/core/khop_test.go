@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestRunKHopSampleDistributed(t *testing.T) {
 	storages, _, loc, cleanup := testDeployment(t, g, 3)
 	defer cleanup()
 	fanouts := []int{4, 3}
-	res, err := RunKHopSample(storages[0], []int32{0, 1}, fanouts, 9, nil)
+	res, err := RunKHopSample(context.Background(), storages[0], []int32{0, 1}, fanouts, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestRunKHopDeterministicSeed(t *testing.T) {
 	g := testGraph(32, 200, 1200)
 	storages, _, _, cleanup := testDeployment(t, g, 2)
 	defer cleanup()
-	a, err := RunKHopSample(storages[0], []int32{0}, []int{3, 3}, 5, nil)
+	a, err := RunKHopSample(context.Background(), storages[0], []int32{0}, []int{3, 3}, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunKHopSample(storages[0], []int32{0}, []int{3, 3}, 5, nil)
+	b, err := RunKHopSample(context.Background(), storages[0], []int32{0}, []int{3, 3}, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestSampleNeighborsRemoteError(t *testing.T) {
 	g := testGraph(33, 100, 600)
 	storages, _, _, cleanup := testDeployment(t, g, 2)
 	defer cleanup()
-	if _, err := storages[0].SampleNeighbors(1, []int32{1 << 20}, 3, 1).Wait(); err == nil {
+	if _, err := storages[0].SampleNeighbors(context.Background(), 1, []int32{1 << 20}, 3, 1).Wait(); err == nil {
 		t.Fatal("expected remote validation error")
 	}
 }
@@ -226,7 +227,7 @@ func TestRunSSPPRTopKMatchesFull(t *testing.T) {
 	storages, _, loc, cleanup := testDeployment(t, g, 2)
 	defer cleanup()
 	sh, lc := loc.Locate(4)
-	top, _, err := RunSSPPRTopK(storages[sh], lc, 10, DefaultConfig(), nil)
+	top, _, err := RunSSPPRTopK(context.Background(), storages[sh], lc, 10, DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -49,7 +50,7 @@ func TestHaloWithAllFetchModes(t *testing.T) {
 	for _, mode := range []FetchMode{FetchSingle, FetchBatch, FetchBatchCompress} {
 		cfg := DefaultConfig()
 		cfg.Mode = mode
-		m, stats, err := RunSSPPR(st, 1, cfg, nil)
+		m, stats, err := RunSSPPR(context.Background(), st, 1, cfg, nil)
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
 		}
@@ -193,7 +194,7 @@ func TestIsolatedSourceDistributed(t *testing.T) {
 	clients[1] = cl
 	st := NewDistGraphStorage(0, shards[0], loc, clients)
 	// Global node 0 is isolated and lives on shard 0 with local ID 0.
-	m, stats, err := RunSSPPR(st, 0, DefaultConfig(), nil)
+	m, stats, err := RunSSPPR(context.Background(), st, 0, DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestRunSSPPRTopKZero(t *testing.T) {
 	g := testGraph(63, 100, 600)
 	storages, _, _, cleanup := testDeployment(t, g, 2)
 	defer cleanup()
-	top, _, err := RunSSPPRTopK(storages[0], 0, 0, DefaultConfig(), nil)
+	top, _, err := RunSSPPRTopK(context.Background(), storages[0], 0, 0, DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

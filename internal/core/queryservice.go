@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"pprengine/internal/graph"
 	"pprengine/internal/rpc"
@@ -18,6 +20,11 @@ import (
 // EnableQueryService registers the SSPPR query handler. compute must be a
 // handle on the same shard this server stores (its peer clients are used
 // for remote fetches during query execution).
+//
+// Each query runs under a server-side deadline: the client's propagated
+// TimeoutMs when present, otherwise cfg.QueryTimeout (zero disables). The
+// server therefore stops computing — including the local push work — once
+// the client has given up on the request.
 func (ss *StorageServer) EnableQueryService(compute *DistGraphStorage, cfg Config) error {
 	if compute.Local != ss.Shard {
 		return fmt.Errorf("core: query service compute handle is for shard %d, server stores shard %d",
@@ -35,7 +42,10 @@ func (ss *StorageServer) EnableQueryService(compute *DistGraphStorage, cfg Confi
 		if req.Eps > 0 {
 			qcfg.Eps = req.Eps
 		}
-		top, stats, err := RunSSPPRTopK(compute, req.SourceLocal, int(req.TopK), qcfg, nil)
+		if req.TimeoutMs > 0 {
+			qcfg.QueryTimeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		}
+		top, stats, err := RunSSPPRTopK(context.Background(), compute, req.SourceLocal, int(req.TopK), qcfg, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -61,6 +71,11 @@ func (ss *StorageServer) EnableQueryService(compute *DistGraphStorage, cfg Confi
 type QueryClient struct {
 	clients []*rpc.Client
 	locate  func(graph.NodeID) (int32, int32)
+
+	// Retry, when MaxAttempts != 0, retries transient transport failures
+	// of whole queries with bounded exponential backoff. Deadline expiry is
+	// never retried.
+	Retry rpc.RetryPolicy
 }
 
 // NewQueryClient builds a query client from per-shard connections and a
@@ -70,19 +85,35 @@ func NewQueryClient(clients []*rpc.Client, locate func(graph.NodeID) (int32, int
 }
 
 // Query runs a top-k SSPPR query for a global source node on its owner
-// machine. alpha/eps <= 0 use the server's defaults.
-func (qc *QueryClient) Query(source graph.NodeID, topK int, alpha, eps float64) (*wire.QueryResponse, error) {
+// machine. alpha/eps <= 0 use the server's defaults. ctx bounds the whole
+// round trip; its deadline (when set) is also propagated in the request so
+// the owner aborts server-side work the client will never consume.
+func (qc *QueryClient) Query(ctx context.Context, source graph.NodeID, topK int, alpha, eps float64) (*wire.QueryResponse, error) {
 	sh, local := qc.locate(source)
 	if int(sh) >= len(qc.clients) || qc.clients[sh] == nil {
 		return nil, fmt.Errorf("core: no connection to owner shard %d of node %d", sh, source)
 	}
-	payload := wire.EncodeQueryRequest(&wire.QueryRequest{
+	req := &wire.QueryRequest{
 		SourceLocal: local,
 		TopK:        int32(topK),
 		Alpha:       alpha,
 		Eps:         eps,
-	})
-	resp, err := qc.clients[sh].SyncCall(rpc.MethodSSPPRQuery, payload)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.TimeoutMs = uint32(ms)
+		} else {
+			req.TimeoutMs = 1 // already (nearly) expired; tell the server anyway
+		}
+	}
+	payload := wire.EncodeQueryRequest(req)
+	var resp []byte
+	var err error
+	if qc.Retry.MaxAttempts != 0 {
+		resp, err = qc.clients[sh].CallRetry(ctx, rpc.MethodSSPPRQuery, payload, qc.Retry)
+	} else {
+		resp, err = qc.clients[sh].SyncCallCtx(ctx, rpc.MethodSSPPRQuery, payload)
+	}
 	if err != nil {
 		return nil, err
 	}

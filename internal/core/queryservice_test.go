@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestQueryServiceEndToEnd(t *testing.T) {
 	// Query two sources owned by different machines; check against local
 	// execution.
 	for _, src := range []graph.NodeID{shards[0].CoreGlobal[1], shards[1].CoreGlobal[2]} {
-		resp, err := qc.Query(src, 10, 0, 0)
+		resp, err := qc.Query(context.Background(), src, 10, 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func TestQueryServiceEndToEnd(t *testing.T) {
 		}
 		// Compare with a direct local run on the owner.
 		sh, lc := loc.Locate(src)
-		top, _, err := RunSSPPRTopK(storages[sh], lc, 10, DefaultConfig(), nil)
+		top, _, err := RunSSPPRTopK(context.Background(), storages[sh], lc, 10, DefaultConfig(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestQueryServiceEndToEnd(t *testing.T) {
 		}
 	}
 	// Custom alpha/eps pass through.
-	resp, err := qc.Query(shards[0].CoreGlobal[0], 5, 0.85, 1e-4)
+	resp, err := qc.Query(context.Background(), shards[0].CoreGlobal[0], 5, 0.85, 1e-4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestEnableQueryServiceWrongShard(t *testing.T) {
 
 func TestQueryClientNoConnection(t *testing.T) {
 	qc := NewQueryClient(make([]*rpc.Client, 2), func(graph.NodeID) (int32, int32) { return 1, 0 })
-	if _, err := qc.Query(5, 3, 0, 0); err == nil {
+	if _, err := qc.Query(context.Background(), 5, 3, 0, 0); err == nil {
 		t.Fatal("expected missing-connection error")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pprengine/internal/metrics"
@@ -14,8 +15,9 @@ import (
 //
 // The returned summary is [len(roots)][walkLen+1] global node IDs, starting
 // with each root. A walk that reaches a vertex with no out-edges stays
-// there (the remaining steps repeat its ID).
-func RunRandomWalk(g *DistGraphStorage, rootLocals []int32, walkLen int, seed int64, bd *metrics.Breakdown) ([][]int32, error) {
+// there (the remaining steps repeat its ID). ctx bounds the whole batch of
+// walks: it is checked before every step and on every remote wait.
+func RunRandomWalk(ctx context.Context, g *DistGraphStorage, rootLocals []int32, walkLen int, seed int64, bd *metrics.Breakdown) ([][]int32, error) {
 	n := len(rootLocals)
 	summary := make([][]int32, n)
 	curLocal := make([]int32, n)
@@ -34,6 +36,9 @@ func RunRandomWalk(g *DistGraphStorage, rootLocals []int32, walkLen int, seed in
 	idxByShard := make([][]int32, g.NumShards) // walk indices grouped by shard
 	localsByShard := make([][]int32, g.NumShards)
 	for step := 0; step < walkLen; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := range idxByShard {
 			idxByShard[j] = idxByShard[j][:0]
 			localsByShard[j] = localsByShard[j][:0]
@@ -64,12 +69,12 @@ func RunRandomWalk(g *DistGraphStorage, rootLocals []int32, walkLen int, seed in
 			if j == g.ShardID || len(localsByShard[j]) == 0 {
 				continue
 			}
-			futs[j] = g.SampleOneNeighbor(j, localsByShard[j], seed+int64(step)*7919+int64(j))
+			futs[j] = g.SampleOneNeighbor(ctx, j, localsByShard[j], seed+int64(step)*7919+int64(j))
 		}
 		stopIssue()
 		if len(localsByShard[g.ShardID]) > 0 {
 			stopLocal := bd.Start(metrics.PhaseLocalFetch)
-			futs[g.ShardID] = g.SampleOneNeighbor(g.ShardID, localsByShard[g.ShardID], seed+int64(step)*7919+int64(g.ShardID))
+			futs[g.ShardID] = g.SampleOneNeighbor(ctx, g.ShardID, localsByShard[g.ShardID], seed+int64(step)*7919+int64(g.ShardID))
 			stopLocal()
 		}
 		for j := int32(0); j < g.NumShards; j++ {
@@ -82,7 +87,7 @@ func RunRandomWalk(g *DistGraphStorage, rootLocals []int32, walkLen int, seed in
 			} else {
 				stop = bd.Start(metrics.PhaseRemoteFetch)
 			}
-			resp, err := futs[j].Wait()
+			resp, err := futs[j].WaitCtx(ctx)
 			stop()
 			if err != nil {
 				return nil, fmt.Errorf("core: random walk step %d shard %d: %w", step, j, err)

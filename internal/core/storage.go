@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -206,19 +207,32 @@ type InfoFuture struct {
 
 	// FetchSingle state: the paper's "Single" baseline processes one
 	// vertex at a time, so the per-vertex requests are issued strictly
-	// sequentially at Wait time — no pipelining.
+	// sequentially at Wait time — no pipelining. retry bounds transient
+	// per-vertex retries; retried counts the backoff rounds taken.
 	seqClient *rpc.Client
 	seqLocals []int32
+	retry     rpc.RetryPolicy
+	retried   int64
 }
+
+// Retries returns the number of transient-error retries this fetch
+// performed (FetchSingle mode only; the batched modes never retry).
+func (f *InfoFuture) Retries() int64 { return f.retried }
 
 // Wait blocks for the response(s) and returns the decoded batch.
 func (f *InfoFuture) Wait() (NeighborBatch, error) {
+	return f.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait bounded by a context: it returns ctx.Err() as soon as ctx
+// ends, even with the response still in flight.
+func (f *InfoFuture) WaitCtx(ctx context.Context) (NeighborBatch, error) {
 	if f.batch != nil || f.err != nil {
 		return f.batch, f.err
 	}
 	switch f.mode {
 	case FetchBatchCompress:
-		payload, err := f.futures[0].Wait()
+		payload, err := f.futures[0].WaitCtx(ctx)
 		if err != nil {
 			f.err = err
 			return nil, err
@@ -230,7 +244,7 @@ func (f *InfoFuture) Wait() (NeighborBatch, error) {
 		}
 		f.batch = InfosBatch(infos)
 	case FetchBatch:
-		payload, err := f.futures[0].Wait()
+		payload, err := f.futures[0].WaitCtx(ctx)
 		if err != nil {
 			f.err = err
 			return nil, err
@@ -245,7 +259,7 @@ func (f *InfoFuture) Wait() (NeighborBatch, error) {
 		// One request-response round trip per vertex, strictly in order.
 		merged := &wire.NeighborInfos{Indptr: []int32{0}}
 		for _, l := range f.seqLocals {
-			payload, err := f.seqClient.SyncCall(rpc.MethodGetNeighborInfoOne, wire.EncodeIDList([]int32{l}))
+			payload, err := f.callOne(ctx, l)
 			if err != nil {
 				f.err = err
 				return nil, err
@@ -270,6 +284,18 @@ func (f *InfoFuture) Wait() (NeighborBatch, error) {
 	return f.batch, f.err
 }
 
+// callOne fetches a single vertex's row, retrying transient failures when
+// the config opted in.
+func (f *InfoFuture) callOne(ctx context.Context, l int32) ([]byte, error) {
+	payload := wire.EncodeIDList([]int32{l})
+	if f.retry.MaxAttempts == 0 {
+		return f.seqClient.SyncCallCtx(ctx, rpc.MethodGetNeighborInfoOne, payload)
+	}
+	p := f.retry
+	p.OnRetry = func(int, error) { f.retried++ }
+	return f.seqClient.CallRetry(ctx, rpc.MethodGetNeighborInfoOne, payload, p)
+}
+
 // SampleFuture is the future for a sample_one_neighbor call.
 type SampleFuture struct {
 	resp *wire.SampleResponse
@@ -279,10 +305,15 @@ type SampleFuture struct {
 
 // Wait blocks for the sampled neighbors.
 func (f *SampleFuture) Wait() (*wire.SampleResponse, error) {
+	return f.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait bounded by a context.
+func (f *SampleFuture) WaitCtx(ctx context.Context) (*wire.SampleResponse, error) {
 	if f.resp != nil || f.err != nil {
 		return f.resp, f.err
 	}
-	payload, err := f.fut.Wait()
+	payload, err := f.fut.WaitCtx(ctx)
 	if err != nil {
 		f.err = err
 		return nil, err
@@ -322,8 +353,10 @@ func NewDistGraphStorage(shardID int32, local *shard.Shard, loc *shard.Locator, 
 
 // GetNeighborInfos fetches neighbor information for core vertices of
 // dstShard. Local requests resolve immediately via shared memory; remote
-// requests return a pending future. mode selects the RPC strategy.
-func (g *DistGraphStorage) GetNeighborInfos(dstShard int32, locals []int32, mode FetchMode) *InfoFuture {
+// requests return a pending future issued under ctx — when ctx ends, the
+// future resolves to ctx.Err(). mode selects the RPC strategy; cfg's retry
+// policy applies to the sequential mode only.
+func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32, locals []int32, cfg Config) *InfoFuture {
 	if dstShard == g.ShardID {
 		// Shared-memory path: VertexProp views, no serialization. Validate
 		// IDs to mirror the server-side checks.
@@ -338,13 +371,13 @@ func (g *DistGraphStorage) GetNeighborInfos(dstShard int32, locals []int32, mode
 	if c == nil {
 		return &InfoFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
 	}
-	switch mode {
+	switch cfg.Mode {
 	case FetchBatchCompress:
-		return &InfoFuture{mode: mode, futures: []*rpc.Future{c.Call(rpc.MethodGetNeighborInfos, wire.EncodeIDList(locals))}}
+		return &InfoFuture{mode: cfg.Mode, futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfos, wire.EncodeIDList(locals))}}
 	case FetchBatch:
-		return &InfoFuture{mode: mode, futures: []*rpc.Future{c.Call(rpc.MethodGetNeighborInfosLoL, wire.EncodeIDList(locals))}}
-	default: // FetchSingle: sequential per-vertex round trips (see Wait)
-		return &InfoFuture{mode: FetchSingle, seqClient: c, seqLocals: locals}
+		return &InfoFuture{mode: cfg.Mode, futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfosLoL, wire.EncodeIDList(locals))}}
+	default: // FetchSingle: sequential per-vertex round trips (see WaitCtx)
+		return &InfoFuture{mode: FetchSingle, seqClient: c, seqLocals: locals, retry: cfg.Retry}
 	}
 }
 
@@ -376,8 +409,9 @@ func (g *DistGraphStorage) GetShardStats(dstShard int32) (*wire.ShardStats, erro
 }
 
 // SampleOneNeighbor samples one neighbor for each listed core vertex of
-// dstShard (random-walk step, Figure 4 right).
-func (g *DistGraphStorage) SampleOneNeighbor(dstShard int32, locals []int32, seed int64) *SampleFuture {
+// dstShard (random-walk step, Figure 4 right). Remote requests are issued
+// under ctx.
+func (g *DistGraphStorage) SampleOneNeighbor(ctx context.Context, dstShard int32, locals []int32, seed int64) *SampleFuture {
 	if dstShard == g.ShardID {
 		resp, err := SampleOneNeighborLocal(g.Local, g.Locator, locals, seed)
 		return &SampleFuture{resp: resp, err: err}
@@ -387,5 +421,5 @@ func (g *DistGraphStorage) SampleOneNeighbor(dstShard int32, locals []int32, see
 		return &SampleFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
 	}
 	payload := wire.EncodeSampleRequest(&wire.SampleRequest{Seed: seed, Locals: locals})
-	return &SampleFuture{fut: c.Call(rpc.MethodSampleOneNeighbor, payload)}
+	return &SampleFuture{fut: c.CallCtx(ctx, rpc.MethodSampleOneNeighbor, payload)}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"pprengine/internal/graph"
@@ -18,7 +19,12 @@ import (
 // The per-iteration O(|V|) frontier scan is charged to PhasePop so the
 // breakdown experiments can include or omit it, as the paper does in
 // Figure 6.
-func RunTensorSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (tensor.Vec, QueryStats, error) {
+//
+// Like RunSSPPR, the baseline honors ctx plus cfg.QueryTimeout: the context
+// is checked before every iteration and on every fetch wait.
+func RunTensorSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (tensor.Vec, QueryStats, error) {
+	ctx, cancel := cfg.applyQueryTimeout(ctx)
+	defer cancel()
 	numNodes := len(g.Locator.ShardOf)
 	var stats QueryStats
 
@@ -36,6 +42,11 @@ func RunTensorSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metr
 	byShard := make([][]int32, g.NumShards)       // local IDs per shard
 	globalByShard := make([][]int32, g.NumShards) // corresponding global IDs
 	for {
+		if err := ctx.Err(); err != nil {
+			stats.Timeouts++
+			metrics.QueryTimeouts.Inc(1)
+			return nil, stats, err
+		}
 		// Frontier detection: full |V| scan (the tensor-library way), a
 		// handful of whole-tensor ops (compare, multiply, nonzero).
 		var active []int32
@@ -68,7 +79,7 @@ func RunTensorSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metr
 			if j == self || len(byShard[j]) == 0 {
 				continue
 			}
-			remotes = append(remotes, pending{j, g.GetNeighborInfos(j, byShard[j], cfg.Mode)})
+			remotes = append(remotes, pending{j, g.GetNeighborInfos(ctx, j, byShard[j], cfg)})
 			stats.RemoteRows += int64(len(byShard[j]))
 		}
 		stopIssue()
@@ -116,7 +127,7 @@ func RunTensorSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metr
 			var batch NeighborBatch
 			var err error
 			bd.Time(metrics.PhaseLocalFetch, func() {
-				batch, err = g.GetNeighborInfos(self, byShard[self], cfg.Mode).Wait()
+				batch, err = g.GetNeighborInfos(ctx, self, byShard[self], cfg).WaitCtx(ctx)
 			})
 			if err != nil {
 				return err
@@ -133,7 +144,7 @@ func RunTensorSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metr
 			for _, pd := range remotes {
 				var batch NeighborBatch
 				var err error
-				bd.Time(metrics.PhaseRemoteFetch, func() { batch, err = pd.fut.Wait() })
+				bd.Time(metrics.PhaseRemoteFetch, func() { batch, err = pd.fut.WaitCtx(ctx) })
 				if err != nil {
 					return nil, stats, err
 				}
@@ -143,7 +154,7 @@ func RunTensorSSPPR(g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metr
 			batches := make([]NeighborBatch, len(remotes))
 			for i, pd := range remotes {
 				var err error
-				bd.Time(metrics.PhaseRemoteFetch, func() { batches[i], err = pd.fut.Wait() })
+				bd.Time(metrics.PhaseRemoteFetch, func() { batches[i], err = pd.fut.WaitCtx(ctx) })
 				if err != nil {
 					return nil, stats, err
 				}

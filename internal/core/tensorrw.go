@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"pprengine/internal/metrics"
@@ -13,8 +14,9 @@ import (
 // dense operations. Compared to RunRandomWalk it ships whole adjacency
 // lists instead of single sampled IDs, which is the structural reason the
 // paper's tensor Random Walk stays within ~2x of the native one while
-// tensor Forward Push does not.
-func RunTensorRandomWalk(g *DistGraphStorage, rootLocals []int32, walkLen int, seed int64, bd *metrics.Breakdown) ([][]int32, error) {
+// tensor Forward Push does not. ctx is checked before every step and on
+// every fetch wait.
+func RunTensorRandomWalk(ctx context.Context, g *DistGraphStorage, rootLocals []int32, walkLen int, seed int64, bd *metrics.Breakdown) ([][]int32, error) {
 	n := len(rootLocals)
 	rng := rand.New(rand.NewSource(seed))
 	summary := make([][]int32, n)
@@ -32,6 +34,9 @@ func RunTensorRandomWalk(g *DistGraphStorage, rootLocals []int32, walkLen int, s
 	idxByShard := make([][]int32, g.NumShards)
 	localsByShard := make([][]int32, g.NumShards)
 	for step := 0; step < walkLen; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := range idxByShard {
 			idxByShard[j] = idxByShard[j][:0]
 			localsByShard[j] = localsByShard[j][:0]
@@ -50,14 +55,15 @@ func RunTensorRandomWalk(g *DistGraphStorage, rootLocals []int32, walkLen int, s
 			break
 		}
 		futs := make([]*InfoFuture, g.NumShards)
+		fetchCfg := Config{Mode: FetchBatchCompress}
 		for j := int32(0); j < g.NumShards; j++ {
 			if len(localsByShard[j]) == 0 || j == g.ShardID {
 				continue
 			}
-			futs[j] = g.GetNeighborInfos(j, localsByShard[j], FetchBatchCompress)
+			futs[j] = g.GetNeighborInfos(ctx, j, localsByShard[j], fetchCfg)
 		}
 		if len(localsByShard[g.ShardID]) > 0 {
-			futs[g.ShardID] = g.GetNeighborInfos(g.ShardID, localsByShard[g.ShardID], FetchBatchCompress)
+			futs[g.ShardID] = g.GetNeighborInfos(ctx, g.ShardID, localsByShard[g.ShardID], fetchCfg)
 		}
 		for j := int32(0); j < g.NumShards; j++ {
 			if futs[j] == nil {
@@ -69,7 +75,7 @@ func RunTensorRandomWalk(g *DistGraphStorage, rootLocals []int32, walkLen int, s
 			}
 			var batch NeighborBatch
 			var err error
-			bd.Time(phase, func() { batch, err = futs[j].Wait() })
+			bd.Time(phase, func() { batch, err = futs[j].WaitCtx(ctx) })
 			if err != nil {
 				return nil, err
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"pprengine/internal/metrics"
 	"pprengine/internal/pmap"
@@ -68,10 +69,10 @@ func (m *SSPPR) TopK(k int) []ScoredNode {
 	return out
 }
 
-// RunSSPPRTopK runs a full SSPPR query and returns the k highest-scored
-// nodes in descending score order.
-func RunSSPPRTopK(g *DistGraphStorage, sourceLocal int32, k int, cfg Config, bd *metrics.Breakdown) ([]ScoredNode, QueryStats, error) {
-	m, stats, err := RunSSPPR(g, sourceLocal, cfg, bd)
+// RunSSPPRTopK runs a full SSPPR query under ctx and returns the k
+// highest-scored nodes in descending score order.
+func RunSSPPRTopK(ctx context.Context, g *DistGraphStorage, sourceLocal int32, k int, cfg Config, bd *metrics.Breakdown) ([]ScoredNode, QueryStats, error) {
+	m, stats, err := RunSSPPR(ctx, g, sourceLocal, cfg, bd)
 	if err != nil {
 		return nil, stats, err
 	}

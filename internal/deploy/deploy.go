@@ -7,6 +7,7 @@
 package deploy
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sort"
@@ -18,6 +19,22 @@ import (
 	"pprengine/internal/rpc"
 	"pprengine/internal/shard"
 )
+
+// DefaultDialTimeout bounds peer dials when the caller's context carries no
+// deadline of its own.
+const DefaultDialTimeout = 30 * time.Second
+
+// dialPeer dials one peer under ctx, applying DefaultDialTimeout when ctx
+// has no deadline (so a bare context.Background() can't hang bootstrap
+// forever).
+func dialPeer(ctx context.Context, addr string, lat rpc.LatencyModel) (*rpc.Client, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultDialTimeout)
+		defer cancel()
+	}
+	return rpc.DialRetryCtx(ctx, addr, lat, rpc.RetryPolicy{})
+}
 
 // Serve loads a shard and its locator from disk and serves it on
 // listenAddr ("host:port"; ":0" picks a free port). It returns the running
@@ -43,8 +60,9 @@ func Serve(shardPath, locatorPath, listenAddr string) (*core.StorageServer, stri
 // EnableQueries upgrades a running storage server into a query owner: it
 // connects a compute handle to the given peers and registers the SSPPR
 // query handler, so thin clients can dispatch queries for this shard's core
-// vertices. The returned cleanup closes the peer clients.
-func EnableQueries(srv *core.StorageServer, peers map[int32]string, cfg core.Config, lat rpc.LatencyModel) (func(), error) {
+// vertices. The returned cleanup closes the peer clients. ctx bounds the
+// peer dials (DefaultDialTimeout applies when it has no deadline).
+func EnableQueries(ctx context.Context, srv *core.StorageServer, peers map[int32]string, cfg core.Config, lat rpc.LatencyModel) (func(), error) {
 	k := srv.Shard.NumShards
 	clients := make([]*rpc.Client, k)
 	var opened []*rpc.Client
@@ -62,7 +80,7 @@ func EnableQueries(srv *core.StorageServer, peers map[int32]string, cfg core.Con
 			cleanup()
 			return nil, fmt.Errorf("deploy: query service needs a peer address for shard %d", j)
 		}
-		c, err := rpc.DialRetry(addr, lat, 30*time.Second)
+		c, err := dialPeer(ctx, addr, lat)
 		if err != nil {
 			cleanup()
 			return nil, fmt.Errorf("deploy: dial shard %d at %s: %w", j, addr, err)
@@ -79,8 +97,9 @@ func EnableQueries(srv *core.StorageServer, peers map[int32]string, cfg core.Con
 }
 
 // ConnectThin builds a thin query client: no local shard, just connections
-// to every owner's query service plus the locator for routing.
-func ConnectThin(locatorPath string, addrs map[int32]string, lat rpc.LatencyModel) (*core.QueryClient, func(), error) {
+// to every owner's query service plus the locator for routing. ctx bounds
+// the dials.
+func ConnectThin(ctx context.Context, locatorPath string, addrs map[int32]string, lat rpc.LatencyModel) (*core.QueryClient, func(), error) {
 	loc, err := shard.LoadLocatorFile(locatorPath)
 	if err != nil {
 		return nil, nil, fmt.Errorf("deploy: load locator: %w", err)
@@ -99,7 +118,7 @@ func ConnectThin(locatorPath string, addrs map[int32]string, lat rpc.LatencyMode
 			cleanup()
 			return nil, nil, fmt.Errorf("deploy: thin client needs an address for every shard; missing %d", j)
 		}
-		c, err := rpc.Dial(addr, lat)
+		c, err := rpc.DialCtx(ctx, addr, lat)
 		if err != nil {
 			cleanup()
 			return nil, nil, err
@@ -147,8 +166,9 @@ func FormatPeers(peers map[int32]string) string {
 // Connect builds a compute-process handle: the local shard is loaded from
 // disk (shared memory in a real deployment) and every other shard is
 // reached through its peer address. The returned cleanup closes all
-// clients.
-func Connect(shardPath, locatorPath string, peers map[int32]string, lat rpc.LatencyModel) (*core.DistGraphStorage, func(), error) {
+// clients. ctx bounds the peer dials (DefaultDialTimeout applies when it
+// has no deadline).
+func Connect(ctx context.Context, shardPath, locatorPath string, peers map[int32]string, lat rpc.LatencyModel) (*core.DistGraphStorage, func(), error) {
 	s, err := shard.LoadFile(shardPath)
 	if err != nil {
 		return nil, nil, fmt.Errorf("deploy: load shard: %w", err)
@@ -174,7 +194,7 @@ func Connect(shardPath, locatorPath string, peers map[int32]string, lat rpc.Late
 			cleanup()
 			return nil, nil, fmt.Errorf("deploy: no peer address for shard %d", j)
 		}
-		c, err := rpc.DialRetry(addr, lat, 30*time.Second)
+		c, err := dialPeer(ctx, addr, lat)
 		if err != nil {
 			cleanup()
 			return nil, nil, fmt.Errorf("deploy: dial shard %d at %s: %w", j, addr, err)

@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -115,14 +116,14 @@ func TestFileBasedDeploymentEndToEnd(t *testing.T) {
 		peers[int32(i)] = addr
 	}
 
-	st, cleanup, err := Connect(filepath.Join(dir, "shard-0.bin"), locPath, peers, rpc.LatencyModel{})
+	st, cleanup, err := Connect(context.Background(), filepath.Join(dir, "shard-0.bin"), locPath, peers, rpc.LatencyModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cleanup()
 
 	src := st.Locator.Global(0, 4)
-	m, stats, err := core.RunSSPPR(st, 4, core.DefaultConfig(), nil)
+	m, stats, err := core.RunSSPPR(context.Background(), st, 4, core.DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFileBasedDeploymentEndToEnd(t *testing.T) {
 func TestConnectMissingPeer(t *testing.T) {
 	g := graph.MakeUndirected(graph.ErdosRenyi(100, 500, 4))
 	dir := writeDeployment(t, g, 2)
-	_, _, err := Connect(filepath.Join(dir, "shard-0.bin"), filepath.Join(dir, "locator.bin"),
+	_, _, err := Connect(context.Background(), filepath.Join(dir, "shard-0.bin"), filepath.Join(dir, "locator.bin"),
 		map[int32]string{}, rpc.LatencyModel{})
 	if err == nil {
 		t.Fatal("expected missing-peer error")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -59,7 +60,7 @@ func Table3(p Params) (Report, []Table3Row, error) {
 		cfg.Mode = rung.mode
 		cfg.Overlap = rung.overlap
 		_, last, err := measuredRun(p, func() (cluster.RunResult, error) {
-			return c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+			return c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap)
 		})
 		if err != nil {
 			return r, nil, err
@@ -125,7 +126,7 @@ func Fig6(p Params) (Report, []Fig6Row, error) {
 			}
 			qs := c.EvenQuerySet(queries, 23)
 			_, last, err := measuredRun(p, func() (cluster.RunResult, error) {
-				return c.RunSSPPRBatch(qs, cfg, kind)
+				return c.RunSSPPRBatch(context.Background(), qs, cfg, kind)
 			})
 			if err != nil {
 				c.Close()
@@ -177,7 +178,7 @@ func Fig7(p Params) (Report, []gnn.EpochStats, error) {
 	cfg := gnn.DefaultTrainConfig()
 	cfg.Epochs = 4
 	cfg.BatchesPerEpc = 16
-	stats, _, err := gnn.TrainDistributed(c, cfg)
+	stats, _, err := gnn.TrainDistributed(context.Background(), c, cfg)
 	if err != nil {
 		return Report{}, nil, err
 	}
@@ -236,12 +237,12 @@ func Models(p Params) (Report, []ModelRow, error) {
 		cfg.Model = kd.kind
 		cfg.Epochs = 4
 		cfg.BatchesPerEpc = 16
-		stats, model, err := gnn.TrainDistributed(c, cfg)
+		stats, model, err := gnn.TrainDistributed(context.Background(), c, cfg)
 		if err != nil {
 			c.Close()
 			return r, nil, err
 		}
-		heldOut, err := gnn.Evaluate(c, cfg, model, 32, 4242)
+		heldOut, err := gnn.Evaluate(context.Background(), c, cfg, model, 32, 4242)
 		c.Close()
 		if err != nil {
 			return r, nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -54,7 +55,7 @@ func Halo(p Params) (Report, []HaloRow, error) {
 		}
 		qs := c.EvenQuerySet(minInt(p.Queries, 16), 51)
 		tp, last, err := measuredRun(p, func() (cluster.RunResult, error) {
-			return c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+			return c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap)
 		})
 		c.Close()
 		if err != nil {
@@ -130,7 +131,7 @@ func EpsSweep(p Params) (Report, []EpsRow, error) {
 		cfg.Eps = eps
 		qs := c.EvenQuerySet(minInt(p.Queries, 16), 61)
 		tp, _, err := measuredRun(p, func() (cluster.RunResult, error) {
-			return c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+			return c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap)
 		})
 		if err != nil {
 			return r, nil, err
@@ -192,7 +193,7 @@ func NetLatency(p Params) (Report, []LatencyRow, error) {
 		cfgNo := core.DefaultConfig()
 		cfgNo.Overlap = false
 		tpNo, _, err := measuredRun(p, func() (cluster.RunResult, error) {
-			return c.RunSSPPRBatch(qs, cfgNo, cluster.EngineMap)
+			return c.RunSSPPRBatch(context.Background(), qs, cfgNo, cluster.EngineMap)
 		})
 		if err != nil {
 			c.Close()
@@ -200,7 +201,7 @@ func NetLatency(p Params) (Report, []LatencyRow, error) {
 		}
 		cfgYes := core.DefaultConfig()
 		tpYes, _, err := measuredRun(p, func() (cluster.RunResult, error) {
-			return c.RunSSPPRBatch(qs, cfgYes, cluster.EngineMap)
+			return c.RunSSPPRBatch(context.Background(), qs, cfgYes, cluster.EngineMap)
 		})
 		c.Close()
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -23,7 +24,7 @@ func tensorRandomWalkThroughput(c *cluster.Cluster, p Params, walkLen int) (floa
 			wg.Add(1)
 			go func(m int) {
 				defer wg.Done()
-				_, err := core.RunTensorRandomWalk(c.Storages[m][0], roots[m], walkLen, int64(m), metrics.NewBreakdown())
+				_, err := core.RunTensorRandomWalk(context.Background(), c.Storages[m][0], roots[m], walkLen, int64(m), metrics.NewBreakdown())
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -89,14 +90,14 @@ func Intro(p Params) (Report, []IntroRow, error) {
 	// Forward Push: engine vs tensor.
 	qs := c.EvenQuerySet(minInt(p.Queries, 8), 31)
 	engineTP, _, err := measuredRun(p, func() (cluster.RunResult, error) {
-		return c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+		return c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap)
 	})
 	if err != nil {
 		return Report{}, nil, err
 	}
 	qsT := c.EvenQuerySet(minInt(p.Queries, 4), 31)
 	tensorTP, _, err := measuredRun(p, func() (cluster.RunResult, error) {
-		return c.RunSSPPRBatch(qsT, core.TensorBaselineConfig(), cluster.EngineTensor)
+		return c.RunSSPPRBatch(context.Background(), qsT, core.TensorBaselineConfig(), cluster.EngineTensor)
 	})
 	if err != nil {
 		return Report{}, nil, err
@@ -106,7 +107,7 @@ func Intro(p Params) (Report, []IntroRow, error) {
 	// Random Walk: the engine's server-side sampling vs client-side
 	// sampling over fetched neighbor infos.
 	walkTPengine, _, err := measuredRun(p, func() (cluster.RunResult, error) {
-		res, _, err := c.RunRandomWalkBatch(p.Queries, 16, 11)
+		res, _, err := c.RunRandomWalkBatch(context.Background(), p.Queries, 16, 11)
 		return res, err
 	})
 	if err != nil {
@@ -165,7 +166,7 @@ func PartQuality(p Params) (Report, []PartQualityRow, error) {
 		}
 		qs := c.EvenQuerySet(minInt(p.Queries, 16), 41)
 		tp, last, err := measuredRun(p, func() (cluster.RunResult, error) {
-			return c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+			return c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap)
 		})
 		quality := c.Quality
 		c.Close()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pprengine/internal/cluster"
@@ -36,7 +37,7 @@ func Fig5a(p Params) (Report, []Fig5aRow, error) {
 			total := minInt(256, p.Queries*8)
 			qs := c.EvenQuerySet(total/k, 3)
 			tp, last, err := measuredRun(p, func() (cluster.RunResult, error) {
-				return c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+				return c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap)
 			})
 			c.Close()
 			if err != nil {
@@ -88,7 +89,7 @@ func Fig5b(p Params) (Report, []Fig5bRow, error) {
 			// Strong: fixed per-machine total.
 			qsStrong := c.EvenQuerySet(strongTotal, 5)
 			_, lastS, err := measuredRun(p, func() (cluster.RunResult, error) {
-				return c.RunSSPPRBatch(qsStrong, cfg, cluster.EngineMap)
+				return c.RunSSPPRBatch(context.Background(), qsStrong, cfg, cluster.EngineMap)
 			})
 			if err != nil {
 				c.Close()
@@ -101,7 +102,7 @@ func Fig5b(p Params) (Report, []Fig5bRow, error) {
 			}
 			qsWeak := c.EvenQuerySet(weakPerProc*procs, 5)
 			_, lastW, err := measuredRun(p, func() (cluster.RunResult, error) {
-				return c.RunSSPPRBatch(qsWeak, cfg, cluster.EngineMap)
+				return c.RunSSPPRBatch(context.Background(), qsWeak, cfg, cluster.EngineMap)
 			})
 			c.Close()
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -56,14 +57,14 @@ func Table2(p Params) (Report, []Table2Row, error) {
 		// reduced query count and identical per-query accounting.
 		qsTensor := c.EvenQuerySet(minInt(p.Queries, 4), 7)
 		tensorTP, _, err := measuredRun(p, func() (cluster.RunResult, error) {
-			return c.RunSSPPRBatch(qsTensor, core.TensorBaselineConfig(), cluster.EngineTensor)
+			return c.RunSSPPRBatch(context.Background(), qsTensor, core.TensorBaselineConfig(), cluster.EngineTensor)
 		})
 		if err != nil {
 			c.Close()
 			return r, nil, err
 		}
 		engineTP, _, err := measuredRun(p, func() (cluster.RunResult, error) {
-			return c.RunSSPPRBatch(qs, cfg, cluster.EngineMap)
+			return c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap)
 		})
 		c.Close()
 		if err != nil {

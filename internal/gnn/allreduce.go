@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -35,6 +36,14 @@ func NewAllreduceHub(worldSize int) *AllreduceHub {
 // Contribute adds one gradient vector to the current round and blocks until
 // the round's mean is available.
 func (h *AllreduceHub) Contribute(grad []float32) ([]float32, error) {
+	return h.ContributeCtx(context.Background(), grad)
+}
+
+// ContributeCtx is Contribute bounded by a context: when ctx ends before the
+// round completes, the call returns ctx.Err(). The contribution itself stays
+// in the round (the barrier math cannot be unwound), so an abandoned round
+// still completes for the other participants.
+func (h *AllreduceHub) ContributeCtx(ctx context.Context, grad []float32) ([]float32, error) {
 	h.mu.Lock()
 	if h.sum == nil {
 		h.sum = make([]float32, len(grad))
@@ -67,7 +76,14 @@ func (h *AllreduceHub) Contribute(grad []float32) ([]float32, error) {
 	ch := make(chan []float32, 1)
 	h.waiters = append(h.waiters, ch)
 	h.mu.Unlock()
-	return <-ch, nil
+	select {
+	case mean := <-ch:
+		return mean, nil
+	case <-ctx.Done():
+		// The buffered channel lets the round completer deliver without
+		// blocking even though nobody will read it.
+		return nil, ctx.Err()
+	}
 }
 
 // RegisterHandler installs the hub on an RPC handler registry under
@@ -96,10 +112,15 @@ type AllreduceClient struct {
 
 // Sync contributes grad and returns the round mean.
 func (a *AllreduceClient) Sync(grad []float32) ([]float32, error) {
+	return a.SyncCtx(context.Background(), grad)
+}
+
+// SyncCtx is Sync bounded by a context.
+func (a *AllreduceClient) SyncCtx(ctx context.Context, grad []float32) ([]float32, error) {
 	if a.Hub != nil {
-		return a.Hub.Contribute(grad)
+		return a.Hub.ContributeCtx(ctx, grad)
 	}
-	resp, err := a.Client.SyncCall(rpc.MethodAllreduce, wire.EncodeF32s(grad))
+	resp, err := a.Client.SyncCallCtx(ctx, rpc.MethodAllreduce, wire.EncodeF32s(grad))
 	if err != nil {
 		return nil, err
 	}

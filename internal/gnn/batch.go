@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,8 +14,9 @@ import (
 // for an ego vertex, it takes the top-K scored vertices (always including
 // the ego), induces their subgraph by fetching neighbor lists through the
 // distributed storage, and slices their features from the cross-machine
-// feature store. The result is a model-ready Batch.
-func ConvertBatch(g *core.DistGraphStorage, m *core.SSPPR, egoLocal int32, topK, numClasses int) (*Batch, error) {
+// feature store. The result is a model-ready Batch. ctx bounds all the
+// fetches.
+func ConvertBatch(ctx context.Context, g *core.DistGraphStorage, m *core.SSPPR, egoLocal int32, topK, numClasses int) (*Batch, error) {
 	scores := m.Scores()
 	ego := pmap.Key{Local: egoLocal, Shard: g.ShardID}
 	// Rank by score, keep topK, force the ego in.
@@ -51,8 +53,8 @@ func ConvertBatch(g *core.DistGraphStorage, m *core.SSPPR, egoLocal int32, topK,
 		if len(byShard[sh]) == 0 {
 			continue
 		}
-		infoFuts[sh] = g.GetNeighborInfos(sh, byShard[sh], core.FetchBatchCompress)
-		featFuts[sh] = g.FetchFeatures(sh, byShard[sh])
+		infoFuts[sh] = g.GetNeighborInfos(ctx, sh, byShard[sh], core.Config{Mode: core.FetchBatchCompress})
+		featFuts[sh] = g.FetchFeatures(ctx, sh, byShard[sh])
 	}
 	b := &Batch{N: len(keys)}
 	var dim int
@@ -62,7 +64,7 @@ func ConvertBatch(g *core.DistGraphStorage, m *core.SSPPR, egoLocal int32, topK,
 		if featFuts[sh] == nil {
 			continue
 		}
-		feats, d, err := featFuts[sh].Wait()
+		feats, d, err := featFuts[sh].WaitCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("gnn: feature fetch shard %d: %w", sh, err)
 		}
@@ -85,7 +87,7 @@ func ConvertBatch(g *core.DistGraphStorage, m *core.SSPPR, egoLocal int32, topK,
 		if infoFuts[sh] == nil {
 			continue
 		}
-		batch, err := infoFuts[sh].Wait()
+		batch, err := infoFuts[sh].WaitCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("gnn: neighbor fetch shard %d: %w", sh, err)
 		}

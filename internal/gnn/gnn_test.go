@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -272,11 +273,11 @@ func TestConvertBatch(t *testing.T) {
 	}
 	st := c.Storages[0][0]
 	ego := int32(3)
-	q, _, err := core.RunSSPPR(st, ego, cfg.PPR, nil)
+	q, _, err := core.RunSSPPR(context.Background(), st, ego, cfg.PPR, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ConvertBatch(st, q, ego, cfg.TopK, cfg.NumClasses)
+	b, err := ConvertBatch(context.Background(), st, q, ego, cfg.TopK, cfg.NumClasses)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestTrainDistributedLossDecreases(t *testing.T) {
 	cfg := DefaultTrainConfig()
 	cfg.Epochs = 4
 	cfg.BatchesPerEpc = 12
-	stats, model, err := TrainDistributed(c, cfg)
+	stats, model, err := TrainDistributed(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,12 +355,12 @@ func TestReplicasStayIdentical(t *testing.T) {
 			st := c.Storages[m][0]
 			for bi := 0; bi < 3; bi++ {
 				ego := int32(bi)
-				q, _, err := core.RunSSPPR(st, ego, cfg.PPR, nil)
+				q, _, err := core.RunSSPPR(context.Background(), st, ego, cfg.PPR, nil)
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				b, err := ConvertBatch(st, q, ego, cfg.TopK, cfg.NumClasses)
+				b, err := ConvertBatch(context.Background(), st, q, ego, cfg.TopK, cfg.NumClasses)
 				if err != nil {
 					t.Error(err)
 					return

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -122,7 +123,7 @@ func TestModelKindsTrainAndGeneralize(t *testing.T) {
 		cfg.Model = kind
 		cfg.Epochs = 4
 		cfg.BatchesPerEpc = 12
-		stats, model, err := TrainDistributed(c, cfg)
+		stats, model, err := TrainDistributed(context.Background(), c, cfg)
 		if err != nil {
 			t.Fatalf("kind %d: %v", kind, err)
 		}
@@ -131,7 +132,7 @@ func TestModelKindsTrainAndGeneralize(t *testing.T) {
 		}
 		// Held-out evaluation beats random guessing (features encode the
 		// labels, so a working model generalizes immediately).
-		acc, err := Evaluate(c, cfg, model, 24, 999)
+		acc, err := Evaluate(context.Background(), c, cfg, model, 24, 999)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -102,7 +103,11 @@ func Setup(c *cluster.Cluster, cfg TrainConfig) ([]*AllreduceClient, error) {
 // and synchronizes gradients through the allreduce hub every step. All
 // replicas start from the same seed and apply identical averaged gradients,
 // so they stay bit-identical — the DistributedDataParallel contract.
-func TrainDistributed(c *cluster.Cluster, cfg TrainConfig) ([]EpochStats, Model, error) {
+//
+// ctx bounds the whole run: it is threaded into every PPR query and
+// allreduce wait, so cancelling it stops training at the next batch
+// boundary on every machine.
+func TrainDistributed(ctx context.Context, c *cluster.Cluster, cfg TrainConfig) ([]EpochStats, Model, error) {
 	ends, err := Setup(c, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -130,14 +135,14 @@ func TrainDistributed(c *cluster.Cluster, cfg TrainConfig) ([]EpochStats, Model,
 				model := models[m]
 				for bi := 0; bi < cfg.BatchesPerEpc; bi++ {
 					ego := int32(rng.Intn(c.Shards[m].NumCore()))
-					q, _, err := core.RunSSPPR(st, ego, cfg.PPR, nil)
+					q, _, err := core.RunSSPPR(ctx, st, ego, cfg.PPR, nil)
 					if err == nil {
 						var b *Batch
-						b, err = ConvertBatch(st, q, ego, cfg.TopK, cfg.NumClasses)
+						b, err = ConvertBatch(ctx, st, q, ego, cfg.TopK, cfg.NumClasses)
 						if err == nil {
 							loss, grads := model.Loss(b)
 							flat := FlattenGrads(grads)
-							mean, aerr := ends[m].Sync(flat)
+							mean, aerr := ends[m].SyncCtx(ctx, flat)
 							if aerr != nil {
 								err = aerr
 							} else {
@@ -187,18 +192,18 @@ func TrainDistributed(c *cluster.Cluster, cfg TrainConfig) ([]EpochStats, Model,
 // Evaluate measures ego-classification accuracy of a trained model on
 // held-out vertices (drawn with a seed disjoint from training). The
 // evaluation runs on machine 0's compute process; features must already be
-// attached (Setup or TrainDistributed).
-func Evaluate(c *cluster.Cluster, cfg TrainConfig, model Model, samples int, seed int64) (float64, error) {
+// attached (Setup or TrainDistributed). ctx bounds the whole evaluation.
+func Evaluate(ctx context.Context, c *cluster.Cluster, cfg TrainConfig, model Model, samples int, seed int64) (float64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	st := c.Storages[0][0]
 	correct := 0
 	for i := 0; i < samples; i++ {
 		ego := int32(rng.Intn(c.Shards[0].NumCore()))
-		q, _, err := core.RunSSPPR(st, ego, cfg.PPR, nil)
+		q, _, err := core.RunSSPPR(ctx, st, ego, cfg.PPR, nil)
 		if err != nil {
 			return 0, err
 		}
-		b, err := ConvertBatch(st, q, ego, cfg.TopK, cfg.NumClasses)
+		b, err := ConvertBatch(ctx, st, q, ego, cfg.TopK, cfg.NumClasses)
 		if err != nil {
 			return 0, err
 		}

@@ -168,6 +168,15 @@ func (c *Counter) Inc(n int64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Engine-wide query-lifecycle counters. The rpc layer and the SSPPR drivers
+// increment these; serving binaries read them for health reporting.
+var (
+	// QueryTimeouts counts queries aborted by a deadline or cancellation.
+	QueryTimeouts Counter
+	// RPCRetries counts backoff rounds taken by rpc.Client.CallRetry.
+	RPCRetries Counter
+)
+
 // Summary holds repeated-run statistics (the paper reports an average of 10
 // runs after 4 warm-ups).
 type Summary struct {

@@ -1,0 +1,334 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServerKillMidFlight is the regression test for the hang where a call
+// issued after the read loop exited never completed: the server dies while a
+// request is blocked in its handler, the pending future must fail promptly,
+// and every subsequent Call must fail immediately with ErrClientClosed
+// instead of parking a future nobody will ever resolve.
+func TestServerKillMidFlight(t *testing.T) {
+	s := NewServer()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.Handle(MethodEcho, func(p []byte) ([]byte, error) {
+		close(entered)
+		<-release
+		return p, nil
+	})
+	addr, err := s.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	f := c.Call(MethodEcho, []byte("stuck"))
+	<-entered
+	// Kill the server while the request is mid-flight. Close waits for the
+	// handler, so release it from another goroutine.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	s.Close()
+
+	select {
+	case <-f.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending future never resolved after server death")
+	}
+	if _, err := f.Wait(); err == nil {
+		t.Fatal("pending call should fail when the connection dies")
+	}
+
+	// The client must now be dead: new calls fail fast, not hang.
+	start := time.Now()
+	if _, err := c.SyncCall(MethodEcho, []byte("after")); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("post-death call: err = %v, want ErrClientClosed", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("post-death call took %v; should fail immediately", d)
+	}
+}
+
+// TestConcurrentWaiters has two goroutines waiting on the same future — one
+// via Wait, one via WaitCtx — and both must observe the same response.
+func TestConcurrentWaiters(t *testing.T) {
+	_, addr := startEchoServer(t)
+	c, err := Dial(addr, LatencyModel{Base: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := []byte("shared")
+	f := c.Call(MethodEcho, payload)
+	var wg sync.WaitGroup
+	results := make([][]byte, 2)
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = f.Wait()
+	}()
+	go func() {
+		defer wg.Done()
+		results[1], errs[1] = f.WaitCtx(context.Background())
+	}()
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], payload) {
+			t.Fatalf("waiter %d: resp = %q", i, results[i])
+		}
+	}
+}
+
+// TestWaitCtxDeadline: a short per-call deadline against a slow handler
+// returns context.DeadlineExceeded at roughly the deadline, not the handler
+// duration.
+func TestWaitCtxDeadline(t *testing.T) {
+	s := NewServer()
+	release := make(chan struct{})
+	s.Handle(MethodEcho, func(p []byte) ([]byte, error) {
+		<-release
+		return p, nil
+	})
+	addr, err := s.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(release); s.Close() }()
+	c, err := Dial(addr, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.SyncCallCtx(ctx, MethodEcho, []byte("x"))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	// CallCtx releases the pending slot at cancellation, so the client keeps
+	// working for later calls once the handler is unblocked.
+}
+
+// TestCallCtxPreCancelled: a call on an already-done context fails without
+// touching the wire.
+func TestCallCtxPreCancelled(t *testing.T) {
+	_, addr := startEchoServer(t)
+	c, err := Dial(addr, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.SyncCallCtx(ctx, MethodEcho, []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if c.RequestsSent.Load() != 0 {
+		t.Fatal("pre-cancelled call should not hit the wire")
+	}
+}
+
+// TestCallRetryFirstTry: a successful first attempt does no retries and the
+// counters stay zero.
+func TestCallRetryFirstTry(t *testing.T) {
+	_, addr := startEchoServer(t)
+	c, err := Dial(addr, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.CallRetry(context.Background(), MethodEcho, []byte("ok"), RetryPolicy{MaxAttempts: 3})
+	if err != nil || !bytes.Equal(resp, []byte("ok")) {
+		t.Fatalf("resp = %q, err = %v", resp, err)
+	}
+	if c.Retries.Load() != 0 {
+		t.Fatalf("Retries = %d, want 0", c.Retries.Load())
+	}
+}
+
+// TestCallRetryExhausts: against a dead endpoint every attempt fails with
+// the transient ErrClientClosed, so CallRetry runs all attempts, counts each
+// retry, invokes OnRetry, and gives up with the last error wrapped.
+func TestCallRetryExhausts(t *testing.T) {
+	s := NewServer()
+	addr, err := s.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s.Close() // kill the endpoint; the client's read loop marks it dead
+
+	// Wait for the client to notice the death so every attempt fails fast.
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.dead.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("client never noticed server death")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var onRetryCalls atomic.Int64
+	p := RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		OnRetry:     func(retry int, err error) { onRetryCalls.Add(1) },
+	}
+	_, err = c.CallRetry(context.Background(), MethodEcho, []byte("x"), p)
+	if !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("err = %v, want wrapped ErrClientClosed", err)
+	}
+	if got := c.Retries.Load(); got != 2 {
+		t.Fatalf("Retries = %d, want 2 (3 attempts)", got)
+	}
+	if got := onRetryCalls.Load(); got != 2 {
+		t.Fatalf("OnRetry called %d times, want 2", got)
+	}
+}
+
+// TestCallRetryPermanentError: remote handler errors are not transient and
+// must not be retried.
+func TestCallRetryPermanentError(t *testing.T) {
+	s := NewServer()
+	var calls atomic.Int64
+	s.Handle(MethodEcho, func(p []byte) ([]byte, error) {
+		calls.Add(1)
+		return nil, errors.New("bad request")
+	})
+	addr, err := s.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.CallRetry(context.Background(), MethodEcho, []byte("x"), RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("handler ran %d times, want 1 (no retry on permanent error)", got)
+	}
+	if c.Retries.Load() != 0 {
+		t.Fatalf("Retries = %d, want 0", c.Retries.Load())
+	}
+}
+
+// TestCallRetryDeadlineCapsBackoff: when ctx expires during backoff,
+// CallRetry returns the ctx error promptly instead of sleeping the full
+// backoff schedule.
+func TestCallRetryDeadlineCapsBackoff(t *testing.T) {
+	s := NewServer()
+	addr, err := s.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.dead.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("client never noticed server death")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	p := RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Second, MaxBackoff: 10 * time.Second}
+	start := time.Now()
+	_, err = c.CallRetry(ctx, MethodEcho, []byte("x"), p)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("CallRetry slept %v past a 30ms deadline", elapsed)
+	}
+}
+
+// TestDialRetryCtxCancelled: cancelling the context aborts the dial-retry
+// loop promptly even with a long backoff configured.
+func TestDialRetryCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// 127.0.0.1:1 is reserved and should refuse quickly.
+	_, err := DialRetryCtx(ctx, "127.0.0.1:1", LatencyModel{}, RetryPolicy{BaseBackoff: 10 * time.Second})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("DialRetryCtx took %v to honor cancellation", elapsed)
+	}
+}
+
+// TestBackoffSchedule pins the doubling-and-cap arithmetic.
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		50 * time.Millisecond, // capped
+		50 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Zero value defaults.
+	z := RetryPolicy{}
+	if z.attempts() != 4 {
+		t.Fatalf("zero attempts() = %d", z.attempts())
+	}
+	if z.Backoff(0) != 50*time.Millisecond {
+		t.Fatalf("zero Backoff(0) = %v", z.Backoff(0))
+	}
+}

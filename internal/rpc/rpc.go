@@ -12,6 +12,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -20,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pprengine/internal/metrics"
 )
 
 // Method identifies a server-side handler.
@@ -64,12 +67,6 @@ func (l LatencyModel) Delay(n int) time.Duration {
 		d += time.Duration(float64(n) / l.BytesPerSec * float64(time.Second))
 	}
 	return d
-}
-
-func (l LatencyModel) apply(n int) {
-	if d := l.Delay(n); d > 0 {
-		time.Sleep(d)
-	}
 }
 
 // writeFrame writes one frame: [len u32][reqID u64][flags u8][method u8][payload].
@@ -294,26 +291,58 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Future is the pending result of an asynchronous Call.
+// Future is the pending result of an asynchronous Call. It is safe for any
+// number of goroutines to Wait on the same future concurrently; all of them
+// observe the same result once it resolves.
 type Future struct {
-	ch  chan result
-	res result
-	got bool
-}
-
-type result struct {
+	id      uint64
+	reqSize int
+	done    chan struct{}
 	payload []byte
 	err     error
 }
 
+func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+func failedFuture(err error) *Future {
+	f := newFuture()
+	f.complete(nil, err)
+	return f
+}
+
+// complete resolves the future. Completion must happen exactly once; the
+// client guarantees this by routing every completion path through
+// pending.LoadAndDelete on the request ID.
+func (f *Future) complete(payload []byte, err error) {
+	f.payload = payload
+	f.err = err
+	close(f.done)
+}
+
+// Done returns a channel that is closed when the response (or failure) is
+// available, for use in select loops alongside other events.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
 // Wait blocks until the response arrives and returns it. Wait may be called
-// multiple times; subsequent calls return the cached result.
+// multiple times and from multiple goroutines; every call returns the same
+// result.
 func (f *Future) Wait() ([]byte, error) {
-	if !f.got {
-		f.res = <-f.ch
-		f.got = true
+	<-f.done
+	return f.payload, f.err
+}
+
+// WaitCtx is Wait with a context: it returns ctx.Err() as soon as ctx is
+// done, even if the response has not arrived. The underlying call keeps its
+// slot in the pending table (a late response is then dropped), so WaitCtx
+// alone does not cancel the request — issue the call with CallCtx to also
+// release it at cancellation.
+func (f *Future) WaitCtx(ctx context.Context) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.payload, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	return f.res.payload, f.res.err
 }
 
 // Client is a connection to one remote server, safe for concurrent use.
@@ -325,19 +354,29 @@ type Client struct {
 	wmu     sync.Mutex
 	wbuf    []byte
 	nextID  atomic.Uint64
-	pending sync.Map // reqID -> chan result
+	pending sync.Map // reqID -> *Future
 	lat     LatencyModel
-	closed  atomic.Bool
+	closed  atomic.Bool // Close was called
+	dead    atomic.Bool // read loop exited; the connection is unusable
 
 	// Stats counts traffic for the experiment harness.
 	RequestsSent  atomic.Int64
 	BytesSent     atomic.Int64
 	BytesReceived atomic.Int64
+	// Retries counts backoff rounds taken by CallRetry on this client.
+	Retries atomic.Int64
 }
 
 // Dial connects to a server address with the given synthetic latency model.
 func Dial(addr string, lat LatencyModel) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialCtx(context.Background(), addr, lat)
+}
+
+// DialCtx is Dial bounded by a context: connection establishment is
+// abandoned when ctx is done.
+func DialCtx(ctx context.Context, addr string, lat LatencyModel) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -347,22 +386,106 @@ func Dial(addr string, lat LatencyModel) (*Client, error) {
 	return NewClient(conn, lat), nil
 }
 
+// RetryPolicy bounds the exponential backoff shared by CallRetry and
+// DialRetryCtx. The zero value is usable: it means 4 attempts, 50ms base
+// backoff, 1s backoff cap.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// <= 0 means 4.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further retry
+	// doubles it. <= 0 means 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. <= 0 means 1s.
+	MaxBackoff time.Duration
+	// OnRetry, when non-nil, is invoked before each backoff sleep with the
+	// 1-based retry number and the error that caused it.
+	OnRetry func(retry int, err error)
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the sleep before retry number attempt (0-based):
+// BaseBackoff << attempt, capped at MaxBackoff.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// sleepCtx sleeps for d, capped so the sleep never overshoots ctx's
+// deadline, and returns ctx.Err() as soon as ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < d {
+			if rem <= 0 {
+				// The deadline already passed; ctx.Err() may still be nil for
+				// a short window before the context's own timer fires, so
+				// report the expiry directly rather than spinning.
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				return context.DeadlineExceeded
+			}
+			d = rem
+		}
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // DialRetry dials addr, retrying with backoff until timeout — for
 // deployment bootstrap, where peer servers start in arbitrary order.
 func DialRetry(addr string, lat LatencyModel, timeout time.Duration) (*Client, error) {
-	deadline := time.Now().Add(timeout)
-	wait := 50 * time.Millisecond
-	for {
-		c, err := Dial(addr, lat)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return DialRetryCtx(ctx, addr, lat, RetryPolicy{})
+}
+
+// DialRetryCtx dials addr with bounded exponential backoff until ctx is
+// done. Unlike CallRetry it has no attempt bound: bootstrap keeps trying for
+// as long as the caller's context allows.
+func DialRetryCtx(ctx context.Context, addr string, lat LatencyModel, p RetryPolicy) (*Client, error) {
+	for attempt := 0; ; attempt++ {
+		c, err := DialCtx(ctx, addr, lat)
 		if err == nil {
 			return c, nil
 		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("rpc: dial %s: gave up after %v: %w", addr, timeout, err)
+		if attempt > 0 && p.OnRetry != nil {
+			p.OnRetry(attempt, err)
 		}
-		time.Sleep(wait)
-		if wait < time.Second {
-			wait *= 2
+		if serr := sleepCtx(ctx, p.Backoff(attempt)); serr != nil {
+			return nil, fmt.Errorf("rpc: dial %s: gave up (%w): %w", addr, serr, err)
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("rpc: dial %s: gave up (%w): %w", addr, ctx.Err(), err)
 		}
 	}
 }
@@ -375,69 +498,131 @@ func NewClient(conn net.Conn, lat LatencyModel) *Client {
 	return c
 }
 
-var errClientClosed = errors.New("rpc: client closed")
+// ErrClientClosed is returned by calls issued after the client was closed or
+// its connection died, and by pending calls when that happens mid-flight.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// RemoteError is a failure reported by the remote handler, as opposed to a
+// transport failure. Remote errors are not transient: retrying the identical
+// request would fail the same way.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
+
+// Transient reports whether err is a transport-level failure that a retry
+// (possibly on a fresh connection) could plausibly cure. Remote handler
+// errors and context cancellation/expiry are permanent.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var re *RemoteError
+	return !errors.As(err, &re)
+}
 
 func (c *Client) readLoop() {
 	var hdr [14]byte
 	for {
 		reqID, flags, _, payload, err := readFrame(c.conn, &hdr)
 		if err != nil {
-			// Connection gone: fail all pending calls.
-			c.pending.Range(func(k, v any) bool {
-				v.(chan result) <- result{nil, errClientClosed}
-				c.pending.Delete(k)
-				return true
-			})
+			// Connection gone: mark the client dead so new Calls fail fast,
+			// then fail every pending call exactly once.
+			c.dead.Store(true)
+			c.failPending()
 			return
 		}
-		ch, ok := c.pending.LoadAndDelete(reqID)
+		v, ok := c.pending.LoadAndDelete(reqID)
 		if !ok {
-			continue
+			continue // cancelled or unknown request; drop the late response
 		}
+		f := v.(*Future)
 		c.BytesReceived.Add(int64(len(payload)))
+		var res []byte
+		var rerr error
 		if flags == flagError {
-			ch.(chan result) <- result{nil, fmt.Errorf("rpc: remote error: %s", payload)}
+			rerr = &RemoteError{Msg: string(payload)}
 		} else {
-			ch.(chan result) <- result{payload, nil}
+			res = payload
+		}
+		if d := c.lat.Delay(f.reqSize + len(payload)); d > 0 {
+			// The synthetic latency model charges both legs to the waiter,
+			// not the read loop, so other responses are not delayed.
+			go func() {
+				time.Sleep(d)
+				f.complete(res, rerr)
+			}()
+		} else {
+			f.complete(res, rerr)
 		}
 	}
 }
 
-// Call sends a request and returns a Future for its response. The synthetic
-// latency model charges the request and response legs to the waiter, not the
-// sender, so Calls still return immediately.
-func (c *Client) Call(m Method, payload []byte) *Future {
-	ch := make(chan result, 1)
-	f := &Future{ch: ch}
-	if c.closed.Load() {
-		ch <- result{nil, errClientClosed}
-		return f
+// failPending resolves every registered future with ErrClientClosed.
+func (c *Client) failPending() {
+	c.pending.Range(func(k, _ any) bool {
+		c.fail(k.(uint64), ErrClientClosed)
+		return true
+	})
+}
+
+// fail completes the future registered under id with err, if it is still
+// pending. LoadAndDelete makes completion exactly-once even when a response,
+// a cancellation, and a connection death race.
+func (c *Client) fail(id uint64, err error) {
+	if v, ok := c.pending.LoadAndDelete(id); ok {
+		v.(*Future).complete(nil, err)
 	}
-	id := c.nextID.Add(1)
-	c.pending.Store(id, ch)
+}
+
+// Call sends a request and returns a Future for its response. Calls issued
+// after the client closed (or its read loop died) fail immediately with
+// ErrClientClosed.
+func (c *Client) Call(m Method, payload []byte) *Future {
+	return c.CallCtx(context.Background(), m, payload)
+}
+
+// CallCtx is Call with cancellation: when ctx ends before the response
+// arrives, the future resolves to ctx.Err() and the request's pending slot
+// is released (a late response is dropped). The request itself still reaches
+// the server — like most RPC systems, cancellation stops the waiting, not
+// the remote work.
+func (c *Client) CallCtx(ctx context.Context, m Method, payload []byte) *Future {
+	if err := ctx.Err(); err != nil {
+		return failedFuture(err)
+	}
+	if c.closed.Load() || c.dead.Load() {
+		return failedFuture(ErrClientClosed)
+	}
+	f := newFuture()
+	f.id = c.nextID.Add(1)
+	f.reqSize = len(payload)
+	c.pending.Store(f.id, f)
 	c.wmu.Lock()
-	err := writeFrame(c.conn, &c.wbuf, id, flagRequest, m, payload)
+	err := writeFrame(c.conn, &c.wbuf, f.id, flagRequest, m, payload)
 	c.wmu.Unlock()
 	if err != nil {
-		if _, ok := c.pending.LoadAndDelete(id); ok {
-			ch <- result{nil, err}
-		}
+		c.fail(f.id, err)
+		return f
+	}
+	if c.closed.Load() || c.dead.Load() {
+		// The read loop may have died between registration and the write;
+		// its sweep can miss a future stored after the sweep began, so
+		// re-check and fail our own slot (fail is exactly-once).
+		c.fail(f.id, ErrClientClosed)
 		return f
 	}
 	c.RequestsSent.Add(1)
 	c.BytesSent.Add(int64(len(payload)))
-	if c.lat.Base > 0 || c.lat.BytesPerSec > 0 {
-		// Model the request leg; the response leg is charged on receipt by
-		// wrapping the future channel. For simplicity both legs are charged
-		// here against the payload size.
-		sz := len(payload)
-		inner := ch
-		outer := make(chan result, 1)
-		f.ch = outer
+	if ctx.Done() != nil {
 		go func() {
-			r := <-inner
-			c.lat.apply(sz + len(r.payload))
-			outer <- r
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				c.fail(f.id, ctx.Err())
+			}
 		}()
 	}
 	return f
@@ -446,6 +631,42 @@ func (c *Client) Call(m Method, payload []byte) *Future {
 // SyncCall is Call followed by Wait.
 func (c *Client) SyncCall(m Method, payload []byte) ([]byte, error) {
 	return c.Call(m, payload).Wait()
+}
+
+// SyncCallCtx is CallCtx followed by WaitCtx.
+func (c *Client) SyncCallCtx(ctx context.Context, m Method, payload []byte) ([]byte, error) {
+	return c.CallCtx(ctx, m, payload).WaitCtx(ctx)
+}
+
+// CallRetry issues the request up to p.MaxAttempts times with bounded
+// exponential backoff between attempts, retrying only transient transport
+// errors (see Transient) and never sleeping past ctx's deadline. The request
+// must be idempotent. This generalizes the backoff loop DialRetry uses for
+// bootstrap.
+func (c *Client) CallRetry(ctx context.Context, m Method, payload []byte, p RetryPolicy) ([]byte, error) {
+	attempts := p.attempts()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.Retries.Add(1)
+			metrics.RPCRetries.Inc(1)
+			if p.OnRetry != nil {
+				p.OnRetry(a, lastErr)
+			}
+			if err := sleepCtx(ctx, p.Backoff(a-1)); err != nil {
+				return nil, fmt.Errorf("rpc: call method %d: %w (last error: %v)", m, err, lastErr)
+			}
+		}
+		resp, err := c.SyncCallCtx(ctx, m, payload)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !Transient(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("rpc: call method %d: gave up after %d attempts: %w", m, attempts, lastErr)
 }
 
 // Close tears down the connection; pending calls fail.

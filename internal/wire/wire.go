@@ -570,29 +570,39 @@ type QueryRequest struct {
 	TopK        int32
 	Alpha       float64
 	Eps         float64
+	// TimeoutMs propagates the client's deadline so the owner stops
+	// computing once the client has given up. 0 means no client deadline.
+	TimeoutMs uint32
 }
 
 // EncodeQueryRequest serializes r.
 func EncodeQueryRequest(r *QueryRequest) []byte {
-	b := make([]byte, 0, 24)
+	b := make([]byte, 0, 28)
 	b = binary.LittleEndian.AppendUint32(b, uint32(r.SourceLocal))
 	b = binary.LittleEndian.AppendUint32(b, uint32(r.TopK))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Alpha))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Eps))
+	b = binary.LittleEndian.AppendUint32(b, r.TimeoutMs)
 	return b
 }
 
-// DecodeQueryRequest parses an EncodeQueryRequest payload.
+// DecodeQueryRequest parses an EncodeQueryRequest payload. The 24-byte
+// pre-deadline layout (no TimeoutMs field) is still accepted for
+// compatibility with older clients.
 func DecodeQueryRequest(b []byte) (*QueryRequest, error) {
-	if len(b) != 24 {
-		return nil, fmt.Errorf("wire: query request has %d bytes, want 24", len(b))
+	if len(b) != 24 && len(b) != 28 {
+		return nil, fmt.Errorf("wire: query request has %d bytes, want 24 or 28", len(b))
 	}
-	return &QueryRequest{
+	r := &QueryRequest{
 		SourceLocal: int32(binary.LittleEndian.Uint32(b)),
 		TopK:        int32(binary.LittleEndian.Uint32(b[4:])),
 		Alpha:       math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
 		Eps:         math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
-	}, nil
+	}
+	if len(b) == 28 {
+		r.TimeoutMs = binary.LittleEndian.Uint32(b[24:])
+	}
+	return r, nil
 }
 
 // QueryResponse carries the ranked results plus the query statistics.

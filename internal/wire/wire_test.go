@@ -317,3 +317,38 @@ func TestShardStatsRoundTrip(t *testing.T) {
 		t.Fatal("short payload should fail")
 	}
 }
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	r := &QueryRequest{SourceLocal: 42, TopK: 10, Alpha: 0.462, Eps: 1e-6, TimeoutMs: 1500}
+	b := EncodeQueryRequest(r)
+	if len(b) != 28 {
+		t.Fatalf("encoded length %d, want 28", len(b))
+	}
+	got, err := DecodeQueryRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip: %+v vs %+v", got, r)
+	}
+}
+
+func TestQueryRequestLegacyDecode(t *testing.T) {
+	// Pre-deadline clients send 24 bytes (no TimeoutMs); decode must accept
+	// them and report no client deadline.
+	r := &QueryRequest{SourceLocal: 7, TopK: 3, Alpha: 0.2, Eps: 1e-4, TimeoutMs: 9999}
+	legacy := EncodeQueryRequest(r)[:24]
+	got, err := DecodeQueryRequest(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TimeoutMs != 0 {
+		t.Fatalf("legacy TimeoutMs = %d, want 0", got.TimeoutMs)
+	}
+	if got.SourceLocal != r.SourceLocal || got.TopK != r.TopK || got.Alpha != r.Alpha || got.Eps != r.Eps {
+		t.Fatalf("legacy decode: %+v", got)
+	}
+	if _, err := DecodeQueryRequest(legacy[:20]); err == nil {
+		t.Fatal("expected error for truncated request")
+	}
+}
