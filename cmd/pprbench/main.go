@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|all)")
-		scale   = flag.Int("scale", 8, "dataset downscale factor (1 = full stand-in size)")
-		queries = flag.Int("queries", 0, "SSPPR queries per machine (0 = default)")
-		repeats = flag.Int("repeats", 0, "measured repetitions (0 = default)")
-		warmup  = flag.Int("warmup", -1, "warm-up runs (-1 = default)")
+		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|all)")
+		scale      = flag.Int("scale", 8, "dataset downscale factor (1 = full stand-in size)")
+		queries    = flag.Int("queries", 0, "SSPPR queries per machine (0 = default)")
+		repeats    = flag.Int("repeats", 0, "measured repetitions (0 = default)")
+		warmup     = flag.Int("warmup", -1, "warm-up runs (-1 = default)")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "per-machine dynamic neighbor-row cache budget for the cache experiment")
 	)
 	flag.Parse()
 
@@ -117,6 +118,10 @@ func main() {
 	})
 	run("models", func() (experiments.Report, error) {
 		r, _, err := experiments.Models(p)
+		return r, err
+	})
+	run("cache", func() (experiments.Report, error) {
+		r, _, err := experiments.CacheBench(p, *cacheBytes)
 		return r, err
 	})
 	if ran == 0 {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"pprengine/internal/cache"
 	"pprengine/internal/core"
 	"pprengine/internal/deploy"
 	"pprengine/internal/graph"
@@ -35,6 +36,7 @@ func main() {
 		eps         = flag.Float64("eps", 1e-6, "residual threshold")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries exit with context.DeadlineExceeded")
 		dialTimeout = flag.Duration("dial-timeout", deploy.DefaultDialTimeout, "per-peer connect deadline")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "compute mode: byte budget for the dynamic remote neighbor-row cache (0 = disabled)")
 	)
 	flag.Parse()
 	if *locPath == "" {
@@ -62,6 +64,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer cleanup()
+	if *cacheBytes > 0 {
+		st.AttachCache(cache.New(*cacheBytes))
+	}
 
 	sh, local := st.Locator.Locate(graph.NodeID(*source))
 	if sh != st.ShardID {
@@ -81,8 +86,8 @@ func main() {
 	}
 	fmt.Printf("SSPPR from %d (alpha=%.3f eps=%.0e): %d iterations, %d pushes, %d touched\n",
 		*source, *alpha, *eps, stats.Iterations, stats.Pushes, stats.TouchedNodes)
-	fmt.Printf("rows: local=%d halo=%d remote=%d; %s\n",
-		stats.LocalRows, stats.HaloRows, stats.RemoteRows, bd)
+	fmt.Printf("rows: local=%d halo=%d remote=%d cachehit=%d coalesced=%d; %s\n",
+		stats.LocalRows, stats.HaloRows, stats.RemoteRows, stats.CacheHits, stats.CacheCoalesced, bd)
 	for rank, sn := range top {
 		fmt.Printf("%3d. node %-8d π = %.6g\n",
 			rank+1, st.Locator.Global(sn.Key.Shard, sn.Key.Local), sn.Score)

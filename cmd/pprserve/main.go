@@ -33,6 +33,7 @@ func main() {
 		peersSpec    = flag.String("peers", "", "other shards (\"1=host:port,...\"); enables the SSPPR query service for this shard's vertices")
 		dialTimeout  = flag.Duration("dial-timeout", deploy.DefaultDialTimeout, "per-peer connect deadline for the query service")
 		queryTimeout = flag.Duration("query-timeout", 0, "default per-query deadline for served SSPPR queries (0 = none; a client-propagated deadline overrides it)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "byte budget for the dynamic remote neighbor-row cache used by served queries (0 = disabled)")
 	)
 	flag.Parse()
 	if *shardPath == "" || *locPath == "" {
@@ -54,6 +55,7 @@ func main() {
 		}
 		cfg := core.DefaultConfig()
 		cfg.QueryTimeout = *queryTimeout
+		cfg.CacheBytes = *cacheBytes
 		ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
 		cleanup, err := deploy.EnableQueries(ctx, srv, peers, cfg, rpc.LatencyModel{})
 		cancel()

@@ -1,0 +1,362 @@
+// Package cache implements the dynamic remote-neighbor-row cache that sits
+// between the query drivers and the RPC layer. The paper's halo cache
+// (§3.2.1) is static: it short-circuits remote fetches only for neighbors
+// captured at partition time. Under a heavy query stream the same hub
+// vertices are re-fetched over RPC by every query that touches them — on
+// power-law graphs a small set of high-degree vertices dominates that
+// traffic. This package adds the missing dynamic layer:
+//
+//   - a sharded, byte-budgeted LRU of decoded neighbor rows keyed by
+//     (shard ID, local ID). The graph is immutable, so entries never need
+//     invalidation — only eviction when the byte budget is exceeded;
+//
+//   - single-flight deduplication of in-flight fetches: when several
+//     concurrent queries miss on the same vertex, exactly one RPC is issued
+//     and every query waits on the same Flight. The response populates the
+//     cache and resolves all waiters at once.
+//
+// The cache is shared by all queries of a machine (like the shard itself);
+// all methods are safe for concurrent use.
+package cache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"pprengine/internal/metrics"
+)
+
+// Row is one remote vertex's decoded neighbor row — the cached analogue of
+// shard.VertexProp, with slices the cache owns (copied out of the RPC
+// response so one hot row does not pin a whole response buffer).
+type Row struct {
+	Locals  []int32
+	Shards  []int32
+	Weights []float32
+	WDegs   []float32
+	// WDeg is the vertex's own weighted out-degree.
+	WDeg float32
+}
+
+// rowOverhead approximates the fixed per-entry cost: the entry struct, the
+// map slot, and the four slice headers.
+const rowOverhead = 96
+
+// Bytes returns the approximate memory footprint charged against the budget.
+func (r Row) Bytes() int64 {
+	return rowOverhead + int64(len(r.Locals))*16 // 2×int32 + 2×float32 per neighbor
+}
+
+// numShards is the lock-striping factor. Keys are packed (shard<<32|local),
+// so the mix below must spread both halves.
+const numShards = 16
+
+func pack(sh, local int32) uint64 {
+	return uint64(uint32(sh))<<32 | uint64(uint32(local))
+}
+
+// mix is a 64-bit finalizer (splitmix64) so consecutive local IDs spread
+// across stripes.
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// entry is one resident row in a stripe's LRU list (head = most recent).
+type entry struct {
+	key        uint64
+	row        Row
+	bytes      int64
+	prev, next *entry
+}
+
+type stripe struct {
+	mu      sync.Mutex
+	items   map[uint64]*entry
+	head    *entry
+	tail    *entry
+	bytes   int64
+	budget  int64
+	flights map[uint64]*Flight
+}
+
+// Cache is a sharded LRU of neighbor rows under a global byte budget, plus
+// the single-flight table for in-flight fetches.
+type Cache struct {
+	stripes [numShards]stripe
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+// New returns a cache bounded by maxBytes (split evenly across the lock
+// stripes). It returns nil when maxBytes <= 0, and a nil *Cache is the
+// "disabled" value callers test against.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	c := &Cache{}
+	per := maxBytes / numShards
+	if per < rowOverhead {
+		per = rowOverhead // always admit at least one minimal row per stripe
+	}
+	for i := range c.stripes {
+		c.stripes[i] = stripe{
+			items:   make(map[uint64]*entry),
+			budget:  per,
+			flights: make(map[uint64]*Flight),
+		}
+	}
+	return c
+}
+
+func (c *Cache) stripeFor(key uint64) *stripe {
+	return &c.stripes[mix(key)&(numShards-1)]
+}
+
+// Get returns the cached row for (sh, local), marking it most recently used.
+func (c *Cache) Get(sh, local int32) (Row, bool) {
+	key := pack(sh, local)
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	e, ok := s.items[key]
+	if ok {
+		s.moveToFront(e)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return Row{}, false
+	}
+	c.hits.Add(1)
+	metrics.CacheHits.Inc(1)
+	return e.row, true
+}
+
+// GetOrReserve is the fetch-path entry point. It returns exactly one of:
+//
+//   - a cache hit: (row, true, nil, false);
+//   - leadership of a new flight: (_, false, flight, true) — the caller MUST
+//     issue the fetch and either Fulfill the flight or AttachSource so any
+//     waiter can resolve it;
+//   - a coalesced wait on an existing flight: (_, false, flight, false) —
+//     the caller just Waits.
+func (c *Cache) GetOrReserve(sh, local int32) (Row, bool, *Flight, bool) {
+	key := pack(sh, local)
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	if e, ok := s.items[key]; ok {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		metrics.CacheHits.Inc(1)
+		return e.row, true, nil, false
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		metrics.CacheCoalesced.Inc(1)
+		return Row{}, false, f, false
+	}
+	f := &Flight{
+		c:     c,
+		key:   key,
+		done:  make(chan struct{}),
+		ready: make(chan struct{}),
+	}
+	s.flights[key] = f
+	s.mu.Unlock()
+	c.misses.Add(1)
+	metrics.CacheMisses.Inc(1)
+	return Row{}, false, f, true
+}
+
+// moveToFront makes e the list head. Caller holds s.mu.
+func (s *stripe) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// unlink removes e from the list. Caller holds s.mu.
+func (s *stripe) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if s.head == e {
+		s.head = e.next
+	}
+	if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// add inserts a row, evicting from the LRU tail until the stripe fits its
+// budget. Rows larger than the whole stripe budget are not admitted.
+func (c *Cache) add(key uint64, row Row) {
+	b := row.Bytes()
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	if _, dup := s.items[key]; dup {
+		// The graph is immutable: a duplicate insert carries identical data.
+		s.mu.Unlock()
+		return
+	}
+	if b > s.budget {
+		s.mu.Unlock()
+		return
+	}
+	var evicted int64
+	for s.bytes+b > s.budget && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.items, victim.key)
+		s.bytes -= victim.bytes
+		evicted++
+	}
+	e := &entry{key: key, row: row, bytes: b}
+	s.items[key] = e
+	s.moveToFront(e)
+	s.bytes += b
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+		metrics.CacheEvictions.Inc(evicted)
+	}
+}
+
+// removeFlight deletes f from the flight table if it is still the registered
+// flight for its key (identity-compared, so a successor flight for the same
+// key is never removed by a stale completion).
+func (c *Cache) removeFlight(key uint64, f *Flight) {
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	if cur, ok := s.flights[key]; ok && cur == f {
+		delete(s.flights, key)
+	}
+	s.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 // rows served from the cache
+	Misses    int64 // rows that started a fetch (flight leaders)
+	Coalesced int64 // rows that piggybacked on another query's fetch
+	Evictions int64 // rows evicted to stay under the byte budget
+	Entries   int64 // resident rows
+	Bytes     int64 // resident bytes (approximate)
+}
+
+// Stats returns a snapshot. A nil cache reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		st.Entries += int64(len(s.items))
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Flight is one in-flight fetch of a single vertex row, shared by every
+// query that missed on the key while the fetch was pending.
+//
+// Lifecycle: the leader (the caller GetOrReserve elected) issues the RPC and
+// calls AttachSource with the RPC future's done channel plus a resolve
+// callback that decodes the response and Fulfills every flight of the
+// request group. Resolution can then be driven by ANY participant — leader
+// or waiter — whichever observes the response first, so a leader that
+// abandons its query (deadline, batch abort) never strands the waiters: the
+// next Wait resolves the group itself once the response arrives.
+type Flight struct {
+	c   *Cache
+	key uint64
+
+	once sync.Once
+	done chan struct{}
+	row  Row
+	err  error
+
+	ready   chan struct{} // closed by AttachSource
+	src     <-chan struct{}
+	resolve func()
+}
+
+// AttachSource arms external resolution: src is closed when the underlying
+// response (or failure) is available, and resolve — which must be safe to
+// call from multiple goroutines — turns it into Fulfill calls. Must be
+// called at most once, by the flight's leader.
+func (f *Flight) AttachSource(src <-chan struct{}, resolve func()) {
+	f.src = src
+	f.resolve = resolve
+	close(f.ready)
+}
+
+// Fulfill completes the flight: on success the row is inserted into the
+// cache, and in all cases the flight is removed from the in-flight table and
+// every waiter is released. Extra calls are no-ops.
+func (f *Flight) Fulfill(row Row, err error) {
+	f.once.Do(func() {
+		if err == nil {
+			f.c.add(f.key, row)
+		}
+		f.row, f.err = row, err
+		f.c.removeFlight(f.key, f)
+		close(f.done)
+	})
+}
+
+// Wait blocks until the flight resolves or ctx ends. A ctx expiry abandons
+// only this waiter; the flight itself stays pending for the others and still
+// populates the cache when the response arrives.
+func (f *Flight) Wait(ctx context.Context) (Row, error) {
+	select {
+	case <-f.done:
+		return f.row, f.err
+	case <-ctx.Done():
+		return Row{}, ctx.Err()
+	case <-f.ready:
+	}
+	select {
+	case <-f.done:
+		return f.row, f.err
+	case <-ctx.Done():
+		return Row{}, ctx.Err()
+	case <-f.src:
+		// The response is in; resolve the group ourselves (idempotent) so
+		// no waiter depends on the leader still being around.
+		f.resolve()
+		<-f.done
+		return f.row, f.err
+	}
+}

@@ -1,0 +1,288 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mkRow builds a row with deg neighbors (Bytes() = rowOverhead + 16*deg).
+func mkRow(deg int) Row {
+	r := Row{
+		Locals:  make([]int32, deg),
+		Shards:  make([]int32, deg),
+		Weights: make([]float32, deg),
+		WDegs:   make([]float32, deg),
+		WDeg:    float32(deg),
+	}
+	for i := range r.Locals {
+		r.Locals[i] = int32(i)
+	}
+	return r
+}
+
+// fulfillLeader reserves (sh, local), requires leadership, and fulfills with
+// row — the test shorthand for "insert".
+func fulfillLeader(t *testing.T, c *Cache, sh, local int32, row Row) {
+	t.Helper()
+	_, hit, fl, leader := c.GetOrReserve(sh, local)
+	if hit || !leader {
+		t.Fatalf("GetOrReserve(%d,%d): hit=%v leader=%v, want fresh leader", sh, local, hit, leader)
+	}
+	fl.Fulfill(row, nil)
+}
+
+// sameStripeLocals returns n shard-0 local IDs that all hash to one stripe,
+// for deterministic LRU tests despite the striping.
+func sameStripeLocals(c *Cache, n int) []int32 {
+	want := c.stripeFor(pack(0, 0))
+	out := []int32{0}
+	for l := int32(1); len(out) < n; l++ {
+		if c.stripeFor(pack(0, l)) == want {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func TestDisabledCacheIsNil(t *testing.T) {
+	if New(0) != nil || New(-5) != nil {
+		t.Fatal("New with non-positive budget must return nil")
+	}
+	var c *Cache
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v, want zeros", s)
+	}
+}
+
+func TestHitAfterFulfill(t *testing.T) {
+	c := New(1 << 20)
+	fulfillLeader(t, c, 3, 7, mkRow(5))
+	row, ok := c.Get(3, 7)
+	if !ok || len(row.Locals) != 5 || row.WDeg != 5 {
+		t.Fatalf("Get after Fulfill: ok=%v row=%+v", ok, row)
+	}
+	row2, hit, _, _ := c.GetOrReserve(3, 7)
+	if !hit || len(row2.Locals) != 5 {
+		t.Fatalf("GetOrReserve after Fulfill: hit=%v", hit)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 2 hits, 1 entry", st)
+	}
+	if st.Bytes != mkRow(5).Bytes() {
+		t.Fatalf("stats bytes = %d, want %d", st.Bytes, mkRow(5).Bytes())
+	}
+}
+
+func TestKeysAreShardQualified(t *testing.T) {
+	c := New(1 << 20)
+	fulfillLeader(t, c, 1, 42, mkRow(1))
+	if _, ok := c.Get(2, 42); ok {
+		t.Fatal("local 42 of shard 2 must not hit shard 1's entry")
+	}
+	if _, ok := c.Get(1, 42); !ok {
+		t.Fatal("lost the shard-1 entry")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Per-stripe budget of 2 minimal rows (2 * rowOverhead).
+	c := New(numShards * 2 * rowOverhead)
+	ls := sameStripeLocals(c, 3)
+	fulfillLeader(t, c, 0, ls[0], mkRow(0))
+	fulfillLeader(t, c, 0, ls[1], mkRow(0))
+	// Touch ls[0] so ls[1] is the LRU victim.
+	if _, ok := c.Get(0, ls[0]); !ok {
+		t.Fatal("ls[0] missing before eviction")
+	}
+	fulfillLeader(t, c, 0, ls[2], mkRow(0))
+	if _, ok := c.Get(0, ls[1]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(0, ls[0]); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.Get(0, ls[2]); !ok {
+		t.Fatal("new entry not resident")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestOversizeRowNotAdmitted(t *testing.T) {
+	c := New(numShards * rowOverhead) // stripe budget fits only a 0-degree row
+	_, _, fl, leader := c.GetOrReserve(0, 1)
+	if !leader {
+		t.Fatal("want leadership")
+	}
+	fl.Fulfill(mkRow(64), nil) // 96+1024 bytes > 96 budget
+	if _, ok := c.Get(0, 1); ok {
+		t.Fatal("over-budget row must not be admitted")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats = %+v, want empty cache", st)
+	}
+}
+
+func TestSingleFlightCoalesce(t *testing.T) {
+	c := New(1 << 20)
+	_, _, leaderFl, leader := c.GetOrReserve(2, 9)
+	if !leader {
+		t.Fatal("first reserve must lead")
+	}
+	_, hit, waiterFl, leader2 := c.GetOrReserve(2, 9)
+	if hit || leader2 {
+		t.Fatalf("second reserve: hit=%v leader=%v, want coalesced wait", hit, leader2)
+	}
+	if waiterFl != leaderFl {
+		t.Fatal("waiter must share the leader's flight")
+	}
+	got := make(chan Row, 1)
+	go func() {
+		row, err := waiterFl.Wait(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- row
+	}()
+	leaderFl.Fulfill(mkRow(3), nil)
+	select {
+	case row := <-got:
+		if len(row.Locals) != 3 {
+			t.Fatalf("waiter row has %d neighbors, want 3", len(row.Locals))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never released")
+	}
+	if st := c.Stats(); st.Coalesced != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 coalesced", st)
+	}
+}
+
+func TestFailedFlightNotCachedAndRetryable(t *testing.T) {
+	c := New(1 << 20)
+	wantErr := errors.New("boom")
+	_, _, fl, _ := c.GetOrReserve(0, 4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := fl.Wait(context.Background())
+		done <- err
+	}()
+	fl.Fulfill(Row{}, wantErr)
+	if err := <-done; !errors.Is(err, wantErr) {
+		t.Fatalf("waiter error = %v, want %v", err, wantErr)
+	}
+	if _, ok := c.Get(0, 4); ok {
+		t.Fatal("failed fetch must not populate the cache")
+	}
+	// The flight is gone: the next toucher becomes a fresh leader.
+	_, hit, fl2, leader := c.GetOrReserve(0, 4)
+	if hit || !leader {
+		t.Fatalf("after failure: hit=%v leader=%v, want new leader", hit, leader)
+	}
+	fl2.Fulfill(mkRow(1), nil)
+	if _, ok := c.Get(0, 4); !ok {
+		t.Fatal("retry after failure did not cache")
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	c := New(1 << 20)
+	_, _, fl, _ := c.GetOrReserve(5, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fl.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on cancelled ctx = %v, want Canceled", err)
+	}
+	// The ctx expiry abandons only that waiter; the flight still completes.
+	fl.Fulfill(mkRow(2), nil)
+	if _, ok := c.Get(5, 5); !ok {
+		t.Fatal("flight no longer populates the cache after a waiter gave up")
+	}
+}
+
+func TestAttachSourceAnyParticipantResolves(t *testing.T) {
+	// The leader arms external resolution and then disappears: a waiter that
+	// sees the source channel close must resolve the flight itself.
+	c := New(1 << 20)
+	_, _, fl, leader := c.GetOrReserve(1, 1)
+	if !leader {
+		t.Fatal("want leadership")
+	}
+	src := make(chan struct{})
+	var resolves atomic.Int64
+	fl.AttachSource(src, func() {
+		resolves.Add(1)
+		fl.Fulfill(mkRow(4), nil)
+	})
+	_, _, waiterFl, _ := c.GetOrReserve(1, 1)
+	got := make(chan Row, 1)
+	go func() {
+		row, err := waiterFl.Wait(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- row
+	}()
+	close(src) // the "response" lands; no one calls Fulfill on the waiter's behalf
+	select {
+	case row := <-got:
+		if len(row.Locals) != 4 {
+			t.Fatalf("row has %d neighbors, want 4", len(row.Locals))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never resolved the flight itself")
+	}
+	if _, ok := c.Get(1, 1); !ok {
+		t.Fatal("waiter-driven resolution must still populate the cache")
+	}
+}
+
+func TestConcurrentReserveElectsOneLeader(t *testing.T) {
+	c := New(1 << 20)
+	const workers = 32
+	var leaders atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			row, hit, fl, leader := c.GetOrReserve(7, 7)
+			switch {
+			case hit:
+				if len(row.Locals) != 2 {
+					t.Errorf("hit row has %d neighbors", len(row.Locals))
+				}
+			case leader:
+				leaders.Add(1)
+				fl.Fulfill(mkRow(2), nil)
+			default:
+				got, err := fl.Wait(context.Background())
+				if err != nil || len(got.Locals) != 2 {
+					t.Errorf("waiter: row=%+v err=%v", got, err)
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := leaders.Load(); n != 1 {
+		t.Fatalf("%d leaders elected, want exactly 1", n)
+	}
+}
+
+func TestDuplicateInsertIsNoop(t *testing.T) {
+	c := New(1 << 20)
+	fulfillLeader(t, c, 0, 0, mkRow(1))
+	c.add(pack(0, 0), mkRow(1))
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != mkRow(1).Bytes() {
+		t.Fatalf("stats after duplicate insert = %+v", st)
+	}
+}

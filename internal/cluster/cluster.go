@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"pprengine/internal/cache"
 	"pprengine/internal/core"
 	"pprengine/internal/graph"
 	"pprengine/internal/metrics"
@@ -46,7 +47,12 @@ type Options struct {
 	// each shard also stores the neighbor rows of its 1-hop halo nodes,
 	// trading memory for less RPC traffic.
 	CacheHaloRows bool
-	Seed          int64
+	// CacheBytes, when > 0, gives every machine a dynamic neighbor-row
+	// cache of that byte budget (internal/cache), shared by all of the
+	// machine's compute processes: repeated remote fetches hit shared
+	// memory and concurrent fetches of one vertex coalesce into one RPC.
+	CacheBytes int64
+	Seed       int64
 }
 
 // Cluster is a running simulated deployment.
@@ -58,6 +64,9 @@ type Cluster struct {
 	Addrs    []string
 	Quality  partition.Quality
 	Storages [][]*core.DistGraphStorage // [machine][proc]
+	// Caches holds the per-machine dynamic neighbor-row caches (nil entries
+	// when Opts.CacheBytes is 0).
+	Caches []*cache.Cache
 
 	clients []*rpc.Client // all clients, for Close
 	mu      sync.Mutex
@@ -122,7 +131,13 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 	// Connect compute processes: every process owns clients to all remote
 	// machines (the paper registers each process in the RPC group).
 	c.Storages = make([][]*core.DistGraphStorage, opts.NumMachines)
+	c.Caches = make([]*cache.Cache, opts.NumMachines)
 	for m := 0; m < opts.NumMachines; m++ {
+		if opts.CacheBytes > 0 {
+			// One cache per machine, shared by all its compute processes —
+			// like the shard, it is machine-level shared memory.
+			c.Caches[m] = cache.New(opts.CacheBytes)
+		}
 		c.Storages[m] = make([]*core.DistGraphStorage, opts.ProcsPerMachine)
 		for p := 0; p < opts.ProcsPerMachine; p++ {
 			clients := make([]*rpc.Client, opts.NumMachines)
@@ -139,9 +154,50 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 				c.clients = append(c.clients, cl)
 			}
 			c.Storages[m][p] = core.NewDistGraphStorage(int32(m), shards[m], loc, clients)
+			if c.Caches[m] != nil {
+				c.Storages[m][p].AttachCache(c.Caches[m])
+			}
 		}
 	}
 	return c, nil
+}
+
+// NetStats aggregates client-side traffic counters over every compute
+// process's RPC clients. The experiment harness diffs snapshots around a
+// batch to report bytes-on-wire.
+type NetStats struct {
+	RequestsSent  int64
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// NetStats returns the cumulative client-side traffic totals.
+func (c *Cluster) NetStats() NetStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n NetStats
+	for _, cl := range c.clients {
+		n.RequestsSent += cl.RequestsSent.Load()
+		n.BytesSent += cl.BytesSent.Load()
+		n.BytesReceived += cl.BytesReceived.Load()
+	}
+	return n
+}
+
+// CacheStats sums the per-machine dynamic-cache counters (zero value when
+// the cache is disabled).
+func (c *Cluster) CacheStats() cache.Stats {
+	var s cache.Stats
+	for _, ch := range c.Caches {
+		cs := ch.Stats() // nil-safe
+		s.Hits += cs.Hits
+		s.Misses += cs.Misses
+		s.Coalesced += cs.Coalesced
+		s.Evictions += cs.Evictions
+		s.Entries += cs.Entries
+		s.Bytes += cs.Bytes
+	}
+	return s
 }
 
 // Close shuts down all clients and servers.
@@ -227,8 +283,13 @@ type RunResult struct {
 	LocalRows  int64
 	RemoteRows int64
 	HaloRows   int64 // remote rows served by the halo cache
-	Timeouts   int64 // queries aborted by deadline or cancellation
-	Retries    int64 // transient-error RPC retries across all queries
+	// CacheHits counts remote rows served by the dynamic neighbor-row cache;
+	// CacheCoalesced counts rows that piggybacked on an in-flight fetch.
+	// Both are 0 when Options.CacheBytes is 0.
+	CacheHits      int64
+	CacheCoalesced int64
+	Timeouts       int64 // queries aborted by deadline or cancellation
+	Retries        int64 // transient-error RPC retries across all queries
 	// Errors lists the per-query failures. A timed-out query lands here
 	// with context.DeadlineExceeded in its chain while the rest of the
 	// batch completes normally (partial results, not batch abort).
@@ -261,6 +322,7 @@ func (c *Cluster) RunSSPPRBatch(ctx context.Context, queriesByMachine [][]int32,
 	breakdowns := make([][]*metrics.Breakdown, c.Opts.NumMachines)
 	type acc struct {
 		pushes, localRows, remoteRows, haloRows int64
+		cacheHits, cacheCoalesced               int64
 		timeouts, retries                       int64
 		errs                                    []QueryError
 	}
@@ -308,6 +370,8 @@ func (c *Cluster) RunSSPPRBatch(ctx context.Context, queriesByMachine [][]int32,
 					a.localRows += stats.LocalRows
 					a.remoteRows += stats.RemoteRows
 					a.haloRows += stats.HaloRows
+					a.cacheHits += stats.CacheHits
+					a.cacheCoalesced += stats.CacheCoalesced
 				}
 			}(m, p, mine)
 		}
@@ -322,6 +386,8 @@ func (c *Cluster) RunSSPPRBatch(ctx context.Context, queriesByMachine [][]int32,
 			res.LocalRows += accs[m][p].localRows
 			res.RemoteRows += accs[m][p].remoteRows
 			res.HaloRows += accs[m][p].haloRows
+			res.CacheHits += accs[m][p].cacheHits
+			res.CacheCoalesced += accs[m][p].cacheCoalesced
 			res.Timeouts += accs[m][p].timeouts
 			res.Retries += accs[m][p].retries
 			res.Errors = append(res.Errors, accs[m][p].errs...)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"pprengine/internal/cache"
 	"pprengine/internal/shard"
 	"pprengine/internal/wire"
 )
@@ -58,6 +59,19 @@ func (b *infosBatch) Row(i int) (locals, shards []int32, weights, wdegs []float3
 
 // InfosBatch wraps a decoded remote response.
 func InfosBatch(n *wire.NeighborInfos) NeighborBatch { return &infosBatch{n: n} }
+
+// rowBatch adapts rows assembled from the dynamic neighbor-row cache (hits,
+// single-flight results) to the NeighborBatch view.
+type rowBatch struct {
+	rows []cache.Row
+}
+
+func (b *rowBatch) NumRows() int { return len(b.rows) }
+
+func (b *rowBatch) Row(i int) (locals, shards []int32, weights, wdegs []float32, rowWDeg float32) {
+	r := b.rows[i]
+	return r.Locals, r.Shards, r.Weights, r.WDegs, r.WDeg
+}
 
 // BuildInfos assembles the wire response for a batch of core vertices of s —
 // the server-side "compress into CSR" step.

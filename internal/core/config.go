@@ -84,6 +84,14 @@ type Config struct {
 	// future per shard and do not retry). Retry.MaxAttempts == 0 disables
 	// retries; see rpc.RetryPolicy for the backoff parameters.
 	Retry rpc.RetryPolicy
+	// CacheBytes is the byte budget for the machine-wide dynamic cache of
+	// remote neighbor rows (internal/cache): decoded rows are kept in a
+	// sharded LRU and concurrent fetches of the same vertex are coalesced
+	// into one RPC. 0 (the default) disables the cache, preserving the
+	// paper's ablation numbers exactly. The cache itself lives on
+	// DistGraphStorage (it is shared machine state, like the shard);
+	// cluster/deploy construction reads this knob to build and attach it.
+	CacheBytes int64
 	// TensorDispatch simulates the per-operator dispatch latency of a
 	// Python tensor library, charged by the tensor-based baselines for
 	// every small tensor operation they issue (masking, gather, scatter,

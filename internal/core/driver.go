@@ -10,14 +10,16 @@ import (
 
 // QueryStats describes one completed SSPPR query.
 type QueryStats struct {
-	Iterations   int
-	Pushes       int64
-	LocalRows    int64 // vertices fetched from the local shard
-	RemoteRows   int64 // vertices fetched over RPC
-	HaloRows     int64 // remote vertices served by the local halo row cache
-	TouchedNodes int
-	Retries      int64 // transient-error RPC retries taken by this query
-	Timeouts     int64 // 1 when the query was cut short by deadline/cancel
+	Iterations     int
+	Pushes         int64
+	LocalRows      int64 // vertices fetched from the local shard
+	RemoteRows     int64 // vertices fetched over RPC (cache hits excluded)
+	HaloRows       int64 // remote vertices served by the local halo row cache
+	TouchedNodes   int
+	Retries        int64 // transient-error RPC retries taken by this query
+	Timeouts       int64 // 1 when the query was cut short by deadline/cancel
+	CacheHits      int64 // remote rows served by the dynamic neighbor-row cache
+	CacheCoalesced int64 // rows that joined another query's in-flight fetch
 }
 
 // RunSSPPR executes one distributed SSPPR query for the source vertex
@@ -48,8 +50,18 @@ func RunSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (*SSPPR, QueryStats, error) {
 	m := NewSSPPR(sourceLocal, g.ShardID, cfg)
 	var stats QueryStats
-	// Reusable per-shard grouping buffers.
+	// Scratch buffers reused across iterations: the per-shard grouping, the
+	// halo diversion slices, and the pending-fetch list. Pop's output is
+	// likewise reused via scratch on the SSPPR state. Each is reset, never
+	// reallocated, per round — the driver loop runs allocation-light.
 	byShard := make([][]int32, g.NumShards)
+	type pending struct {
+		shard int32
+		fut   *InfoFuture
+	}
+	var remotes []pending
+	var haloVPs []shard.VertexProp
+	var haloLocals, haloShards []int32
 	for {
 		// Deadline check at the top of every push iteration: a cancelled
 		// query must stop spending CPU on pop/push, not just on fetches.
@@ -70,8 +82,8 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 			byShard[i] = byShard[i][:0]
 		}
 		self := g.ShardID
-		var haloVPs []shard.VertexProp
-		var haloLocals, haloShards []int32
+		haloVPs = haloVPs[:0]
+		haloLocals, haloShards = haloLocals[:0], haloShards[:0]
 		useHalo := g.Local.HasHaloRows()
 		for i, l := range locals {
 			sh := shards[i]
@@ -87,18 +99,19 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 		}
 
 		// Issue remote fetches first so they progress in the background.
-		type pending struct {
-			shard int32
-			fut   *InfoFuture
-		}
-		var remotes []pending
+		remotes = remotes[:0]
 		stopIssue := bd.Start(metrics.PhaseRemoteFetch)
 		for j := int32(0); j < g.NumShards; j++ {
 			if j == self || len(byShard[j]) == 0 {
 				continue
 			}
-			remotes = append(remotes, pending{j, g.GetNeighborInfos(ctx, j, byShard[j], cfg)})
-			stats.RemoteRows += int64(len(byShard[j]))
+			fut := g.GetNeighborInfos(ctx, j, byShard[j], cfg)
+			remotes = append(remotes, pending{j, fut})
+			// With the dynamic cache, rows served from shared memory or a
+			// coalesced in-flight fetch are not RPC traffic.
+			stats.RemoteRows += fut.RemoteRows()
+			stats.CacheHits += fut.CacheHits()
+			stats.CacheCoalesced += fut.CacheCoalesced()
 		}
 		stopIssue()
 

@@ -25,6 +25,12 @@ type SSPPR struct {
 	Pushes int64
 	// Iterations counts Pop rounds.
 	Iterations int
+
+	// Pop scratch, reused across rounds so a long query does not allocate
+	// three fresh slices per iteration.
+	popKeys   []pmap.Key
+	popLocals []int32
+	popShards []int32
 }
 
 // NewSSPPR initializes the query state for the given source vertex.
@@ -43,20 +49,22 @@ func NewSSPPR(sourceLocal, sourceShard int32, cfg Config) *SSPPR {
 
 // Pop returns the current activated vertices as parallel local-ID and
 // shard-ID slices and clears the set (paper §3.3). The returned slices are
-// freshly allocated.
+// scratch owned by the SSPPR state and remain valid only until the next Pop
+// call; callers that need to retain them across rounds must copy.
 func (m *SSPPR) Pop() (locals, shards []int32) {
-	keys := m.activated.Drain(nil)
+	m.popKeys = m.activated.Drain(m.popKeys[:0])
+	keys := m.popKeys
 	if len(keys) == 0 {
 		return nil, nil
 	}
 	m.Iterations++
-	locals = make([]int32, len(keys))
-	shards = make([]int32, len(keys))
-	for i, k := range keys {
-		locals[i] = k.Local
-		shards[i] = k.Shard
+	m.popLocals = m.popLocals[:0]
+	m.popShards = m.popShards[:0]
+	for _, k := range keys {
+		m.popLocals = append(m.popLocals, k.Local)
+		m.popShards = append(m.popShards, k.Shard)
 	}
-	return locals, shards
+	return m.popLocals, m.popShards
 }
 
 // Push applies one fetched batch: batch row i holds the neighbor info of

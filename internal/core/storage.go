@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 
+	"pprengine/internal/cache"
 	"pprengine/internal/rpc"
 	"pprengine/internal/shard"
 	"pprengine/internal/wire"
@@ -213,11 +215,33 @@ type InfoFuture struct {
 	seqLocals []int32
 	retry     rpc.RetryPolicy
 	retried   int64
+
+	// cached is set when the fetch went through the dynamic neighbor-row
+	// cache; see getNeighborInfosCached.
+	cached *cachedFetch
+	// remoteRows counts the rows this future actually requests over RPC
+	// (with the cache: flight-leader rows only). Known at issue time.
+	remoteRows int64
+	// cacheHits / cacheCoalesced count rows served from the shared cache
+	// and rows piggybacked on another query's in-flight fetch.
+	cacheHits      int64
+	cacheCoalesced int64
 }
 
 // Retries returns the number of transient-error retries this fetch
 // performed (FetchSingle mode only; the batched modes never retry).
 func (f *InfoFuture) Retries() int64 { return f.retried }
+
+// RemoteRows returns the number of rows this future requests over RPC —
+// with the dynamic cache active, cache hits and coalesced rows are excluded.
+func (f *InfoFuture) RemoteRows() int64 { return f.remoteRows }
+
+// CacheHits returns the rows served from the dynamic neighbor-row cache.
+func (f *InfoFuture) CacheHits() int64 { return f.cacheHits }
+
+// CacheCoalesced returns the rows that joined another query's in-flight
+// fetch instead of issuing their own RPC.
+func (f *InfoFuture) CacheCoalesced() int64 { return f.cacheCoalesced }
 
 // Wait blocks for the response(s) and returns the decoded batch.
 func (f *InfoFuture) Wait() (NeighborBatch, error) {
@@ -229,6 +253,9 @@ func (f *InfoFuture) Wait() (NeighborBatch, error) {
 func (f *InfoFuture) WaitCtx(ctx context.Context) (NeighborBatch, error) {
 	if f.batch != nil || f.err != nil {
 		return f.batch, f.err
+	}
+	if f.cached != nil {
+		return f.waitCached(ctx)
 	}
 	switch f.mode {
 	case FetchBatchCompress:
@@ -337,7 +364,18 @@ type DistGraphStorage struct {
 	// feature block for the GNN case study (see AttachLocalFeatures).
 	LocalFeatures []float32
 	FeatureDim    int
+
+	// Cache, when non-nil, is the machine-wide dynamic cache of remote
+	// neighbor rows with single-flight fetch deduplication (see
+	// internal/cache and Config.CacheBytes). nil disables it, preserving
+	// the paper's ablation behavior exactly.
+	Cache *cache.Cache
 }
+
+// AttachCache installs the shared dynamic neighbor-row cache. Call once at
+// setup; like the shard, the cache is meant to be shared by every compute
+// handle of the machine.
+func (g *DistGraphStorage) AttachCache(c *cache.Cache) { g.Cache = c }
 
 // NewDistGraphStorage assembles a handle. clients must have one entry per
 // shard; the local entry may be nil.
@@ -371,14 +409,165 @@ func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32,
 	if c == nil {
 		return &InfoFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
 	}
+	if g.Cache != nil {
+		return g.getNeighborInfosCached(dstShard, locals, cfg, c)
+	}
 	switch cfg.Mode {
 	case FetchBatchCompress:
-		return &InfoFuture{mode: cfg.Mode, futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfos, wire.EncodeIDList(locals))}}
+		return &InfoFuture{mode: cfg.Mode, remoteRows: int64(len(locals)), futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfos, wire.EncodeIDList(locals))}}
 	case FetchBatch:
-		return &InfoFuture{mode: cfg.Mode, futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfosLoL, wire.EncodeIDList(locals))}}
+		return &InfoFuture{mode: cfg.Mode, remoteRows: int64(len(locals)), futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfosLoL, wire.EncodeIDList(locals))}}
 	default: // FetchSingle: sequential per-vertex round trips (see WaitCtx)
-		return &InfoFuture{mode: FetchSingle, seqClient: c, seqLocals: locals, retry: cfg.Retry}
+		return &InfoFuture{mode: FetchSingle, remoteRows: int64(len(locals)), seqClient: c, seqLocals: locals, retry: cfg.Retry}
 	}
+}
+
+// cachedFetch is the per-future state of a cache-mediated remote fetch:
+// row i of the eventual batch corresponds to the i-th requested local ID and
+// is either a cache hit (filled at issue time) or resolved through a Flight.
+type cachedFetch struct {
+	rows    []cache.Row
+	flights []*cache.Flight // nil at hit indices
+}
+
+// fetchGroup decodes one leader RPC response and fulfills the flights of
+// every row it carries. resolve is idempotent and safe to call from any
+// participant — the leader's wait path or any coalesced waiter that saw the
+// response land first (see cache.Flight.AttachSource).
+type fetchGroup struct {
+	fut  *rpc.Future
+	csr  bool
+	once sync.Once
+	// flights[i] is the flight for the i-th requested row.
+	flights []*cache.Flight
+}
+
+// resolve must only be called after fut resolved (its Done channel closed).
+func (fg *fetchGroup) resolve() {
+	fg.once.Do(func() {
+		payload, err := fg.fut.Wait()
+		if err != nil {
+			fg.fail(err)
+			return
+		}
+		var infos *wire.NeighborInfos
+		if fg.csr {
+			infos, err = wire.DecodeCSR(payload)
+		} else {
+			infos, err = wire.DecodeLoL(payload)
+		}
+		if err != nil {
+			fg.fail(err)
+			return
+		}
+		if infos.NumRows() != len(fg.flights) {
+			fg.fail(fmt.Errorf("core: cache fetch returned %d rows, want %d", infos.NumRows(), len(fg.flights)))
+			return
+		}
+		for i, fl := range fg.flights {
+			fl.Fulfill(copyRow(infos, i), nil)
+		}
+	})
+}
+
+func (fg *fetchGroup) fail(err error) {
+	for _, fl := range fg.flights {
+		fl.Fulfill(cache.Row{}, err)
+	}
+}
+
+// copyRow copies batch row i into cache-owned storage, so a cached hub row
+// does not pin the whole decoded response. One int32 and one float32 backing
+// array serve all four slices.
+func copyRow(infos *wire.NeighborInfos, i int) cache.Row {
+	l, s, w, d := infos.Row(i)
+	deg := len(l)
+	ints := make([]int32, 2*deg)
+	floats := make([]float32, 2*deg)
+	r := cache.Row{
+		Locals:  ints[:deg:deg],
+		Shards:  ints[deg:],
+		Weights: floats[:deg:deg],
+		WDegs:   floats[deg:],
+		WDeg:    infos.RowWDeg[i],
+	}
+	copy(r.Locals, l)
+	copy(r.Shards, s)
+	copy(r.Weights, w)
+	copy(r.WDegs, d)
+	return r
+}
+
+// getNeighborInfosCached serves a remote fetch through the shared cache:
+// hits resolve from memory immediately; misses elect one single-flight
+// leader per vertex, and this future issues exactly one RPC covering the
+// rows it leads. Coalesced rows ride on other queries' in-flight fetches.
+//
+// The leader RPC is deliberately issued without the query's context: the
+// fetch is shared machine-wide state, and a query abandoning its wait (the
+// per-waiter ctx in WaitCtx still honors cancellation) must not kill a
+// response that other queries — and the cache — are waiting on. The wire
+// format follows cfg.Mode (CSR for FetchBatchCompress, list-of-lists
+// otherwise; the cache path always batches, even under FetchSingle).
+func (g *DistGraphStorage) getNeighborInfosCached(dstShard int32, locals []int32, cfg Config, c *rpc.Client) *InfoFuture {
+	cf := &cachedFetch{
+		rows:    make([]cache.Row, len(locals)),
+		flights: make([]*cache.Flight, len(locals)),
+	}
+	f := &InfoFuture{cached: cf}
+	var leaderLocals []int32
+	var leaderFlights []*cache.Flight
+	for i, l := range locals {
+		row, hit, fl, leader := g.Cache.GetOrReserve(dstShard, l)
+		switch {
+		case hit:
+			cf.rows[i] = row
+			f.cacheHits++
+		case leader:
+			cf.flights[i] = fl
+			leaderLocals = append(leaderLocals, l)
+			leaderFlights = append(leaderFlights, fl)
+		default:
+			cf.flights[i] = fl
+			f.cacheCoalesced++
+		}
+	}
+	f.remoteRows = int64(len(leaderLocals))
+	if len(leaderLocals) > 0 {
+		method := rpc.MethodGetNeighborInfosLoL
+		csr := cfg.Mode == FetchBatchCompress
+		if csr {
+			method = rpc.MethodGetNeighborInfos
+		}
+		fg := &fetchGroup{
+			fut:     c.Call(method, wire.EncodeIDList(leaderLocals)),
+			csr:     csr,
+			flights: leaderFlights,
+		}
+		for _, fl := range leaderFlights {
+			fl.AttachSource(fg.fut.Done(), fg.resolve)
+		}
+	}
+	return f
+}
+
+// waitCached assembles the batch for a cache-mediated fetch: hits are
+// already in place; every other row waits on its flight under ctx.
+func (f *InfoFuture) waitCached(ctx context.Context) (NeighborBatch, error) {
+	cf := f.cached
+	for i, fl := range cf.flights {
+		if fl == nil {
+			continue // cache hit, filled at issue time
+		}
+		row, err := fl.Wait(ctx)
+		if err != nil {
+			f.err = err
+			return nil, err
+		}
+		cf.rows[i] = row
+	}
+	f.batch = &rowBatch{rows: cf.rows}
+	return f.batch, nil
 }
 
 // GetShardStats retrieves statistics about any shard — locally via a direct

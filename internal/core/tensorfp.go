@@ -79,8 +79,11 @@ func RunTensorSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32,
 			if j == self || len(byShard[j]) == 0 {
 				continue
 			}
-			remotes = append(remotes, pending{j, g.GetNeighborInfos(ctx, j, byShard[j], cfg)})
-			stats.RemoteRows += int64(len(byShard[j]))
+			fut := g.GetNeighborInfos(ctx, j, byShard[j], cfg)
+			remotes = append(remotes, pending{j, fut})
+			stats.RemoteRows += fut.RemoteRows()
+			stats.CacheHits += fut.CacheHits()
+			stats.CacheCoalesced += fut.CacheCoalesced()
 		}
 		stopIssue()
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"pprengine/internal/cache"
 	"pprengine/internal/core"
 	"pprengine/internal/rpc"
 	"pprengine/internal/shard"
@@ -89,6 +90,12 @@ func EnableQueries(ctx context.Context, srv *core.StorageServer, peers map[int32
 		opened = append(opened, c)
 	}
 	compute := core.NewDistGraphStorage(srv.Shard.ShardID, srv.Shard, srv.Locator, clients)
+	if cfg.CacheBytes > 0 {
+		// The owner's compute handle gets its own dynamic neighbor-row cache:
+		// queries for this shard's sources repeatedly touch the same remote
+		// hubs, which is exactly the access pattern the cache serves.
+		compute.AttachCache(cache.New(cfg.CacheBytes))
+	}
 	if err := srv.EnableQueryService(compute, cfg); err != nil {
 		cleanup()
 		return nil, err

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"pprengine/internal/cluster"
+	"pprengine/internal/core"
+	"pprengine/internal/partition"
+	"pprengine/internal/shard"
+)
+
+// CacheRow is one pass of the dynamic-cache benchmark.
+type CacheRow struct {
+	Pass           string
+	RemoteRows     int64 // rows actually fetched over RPC
+	CacheHits      int64 // rows served by the dynamic cache
+	CacheCoalesced int64 // rows that joined an in-flight fetch
+	RequestsSent   int64 // RPC requests issued during the pass
+	BytesSent      int64 // request bytes on the wire during the pass
+	Throughput     float64
+}
+
+// CacheBench measures the cross-query neighbor-row cache on a
+// repeated-source workload: the same query batch runs twice on twitter-sim
+// (4 machines), first with the cache disabled (the ablation baseline, both
+// passes identical), then with a byte-budgeted cache attached. With the
+// cache, the second pass serves previously fetched remote rows from shared
+// memory, so its RemoteRows and bytes-on-wire drop while the stats with the
+// cache disabled are unchanged from the seed behavior.
+func CacheBench(p Params, cacheBytes int64) (Report, []CacheRow, error) {
+	if cacheBytes <= 0 {
+		cacheBytes = 64 << 20
+	}
+	const machines = 4
+	cfg := core.DefaultConfig()
+	r := Report{Title: fmt.Sprintf("Dynamic neighbor-row cache on twitter-sim (%d machines, %dMB budget)", machines, cacheBytes>>20)}
+	r.Lines = append(r.Lines, fmt.Sprintf("%-22s %11s %10s %10s %9s %12s %11s",
+		"Pass", "RemoteRows", "CacheHits", "Coalesced", "RPCs", "ReqBytes", "Queries/s"))
+	var rows []CacheRow
+	for _, budget := range []int64{0, cacheBytes} {
+		c, err := buildCacheCluster("twitter-sim", p, machines, budget)
+		if err != nil {
+			return r, nil, err
+		}
+		qs := c.EvenQuerySet(minInt(p.Queries, 64), 73)
+		label := "no cache"
+		if budget > 0 {
+			label = "cache"
+		}
+		for pass := 1; pass <= 2; pass++ {
+			before := c.NetStats()
+			res, err := c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap)
+			if err != nil {
+				c.Close()
+				return r, nil, err
+			}
+			after := c.NetStats()
+			row := CacheRow{
+				Pass:           fmt.Sprintf("%s, pass %d", label, pass),
+				RemoteRows:     res.RemoteRows,
+				CacheHits:      res.CacheHits,
+				CacheCoalesced: res.CacheCoalesced,
+				RequestsSent:   after.RequestsSent - before.RequestsSent,
+				BytesSent:      after.BytesSent - before.BytesSent,
+				Throughput:     res.Throughput,
+			}
+			rows = append(rows, row)
+			r.Lines = append(r.Lines, fmt.Sprintf("%-22s %11d %10d %10d %9d %12d %11.1f",
+				row.Pass, row.RemoteRows, row.CacheHits, row.CacheCoalesced,
+				row.RequestsSent, row.BytesSent, row.Throughput))
+		}
+		if budget > 0 {
+			cs := c.CacheStats()
+			r.Lines = append(r.Lines, fmt.Sprintf("cache state: %d entries, %.1fMB, %d evictions",
+				cs.Entries, float64(cs.Bytes)/(1<<20), cs.Evictions))
+		}
+		c.Close()
+	}
+	return r, rows, nil
+}
+
+// buildCacheCluster is buildCluster plus a per-machine dynamic-cache budget
+// (0 disables the cache).
+func buildCacheCluster(name string, p Params, machines int, cacheBytes int64) (*cluster.Cluster, error) {
+	spec, err := p.Spec(name)
+	if err != nil {
+		return nil, err
+	}
+	g := spec.GenerateCached()
+	a, err := assignmentFor(spec.Name, g, machines, cluster.PartitionMinCut)
+	if err != nil {
+		return nil, err
+	}
+	shards, loc, err := shard.Build(g, a, machines)
+	if err != nil {
+		return nil, err
+	}
+	opts := cluster.Options{NumMachines: machines, ProcsPerMachine: 1, CacheBytes: cacheBytes}
+	return cluster.NewFromShards(shards, loc, opts, partition.Evaluate(g, a))
+}

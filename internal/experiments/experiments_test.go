@@ -285,3 +285,35 @@ func TestModelsComparison(t *testing.T) {
 		}
 	}
 }
+
+func TestCacheBenchSecondPassCheaper(t *testing.T) {
+	p := quickParams()
+	p.Queries = 8
+	_, rows, err := CacheBench(p, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (two passes x two budgets)", len(rows))
+	}
+	off1, off2, on1, on2 := rows[0], rows[1], rows[2], rows[3]
+	// Cache disabled: both passes pay full price and report no cache stats —
+	// the ablation baseline is untouched.
+	if off1.CacheHits != 0 || off2.CacheHits != 0 || off1.CacheCoalesced != 0 {
+		t.Fatalf("cache-off passes report cache stats: %+v %+v", off1, off2)
+	}
+	if off2.RemoteRows == 0 || off2.BytesSent == 0 {
+		t.Fatalf("cache-off second pass did no remote work: %+v", off2)
+	}
+	// Cache enabled: the repeated pass fetches strictly less over the wire.
+	if on2.RemoteRows >= on1.RemoteRows || on2.RemoteRows >= off2.RemoteRows {
+		t.Fatalf("cached second pass RemoteRows not lower: on1=%d on2=%d off2=%d",
+			on1.RemoteRows, on2.RemoteRows, off2.RemoteRows)
+	}
+	if on2.BytesSent >= off2.BytesSent {
+		t.Fatalf("cached second pass bytes not lower: %d vs %d", on2.BytesSent, off2.BytesSent)
+	}
+	if on2.CacheHits == 0 {
+		t.Fatal("cached second pass recorded no hits")
+	}
+}

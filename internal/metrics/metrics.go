@@ -175,6 +175,16 @@ var (
 	QueryTimeouts Counter
 	// RPCRetries counts backoff rounds taken by rpc.Client.CallRetry.
 	RPCRetries Counter
+	// CacheHits counts remote rows served from the dynamic neighbor-row
+	// cache instead of RPC.
+	CacheHits Counter
+	// CacheMisses counts rows that started a fetch (single-flight leaders).
+	CacheMisses Counter
+	// CacheEvictions counts rows evicted to stay under the byte budget.
+	CacheEvictions Counter
+	// CacheCoalesced counts rows that piggybacked on another query's
+	// in-flight fetch instead of issuing their own RPC.
+	CacheCoalesced Counter
 )
 
 // Summary holds repeated-run statistics (the paper reports an average of 10

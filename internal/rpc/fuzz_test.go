@@ -1,0 +1,96 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// frameBytes builds a wire frame from parts (what writeFrame would emit).
+func frameBytes(reqID uint64, flags byte, method Method, payload []byte) []byte {
+	var buf bytes.Buffer
+	var wbuf []byte
+	if err := writeFrame(&buf, &wbuf, reqID, flags, method, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader. It must
+// either parse a frame or return an error — never panic, and never commit
+// large allocations for size claims the stream cannot back up.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(frameBytes(1, 0, MethodGetNeighborInfos, []byte("payload")))
+	f.Add(frameBytes(42, flagResponse, MethodSampleOneNeighbor, nil))
+	f.Add(frameBytes(7, flagError, MethodGetShardStats, []byte("boom")))
+	f.Add([]byte{})                                                // empty stream
+	f.Add([]byte{9, 0, 0, 0})                                      // size below the 10-byte header
+	f.Add([]byte{255, 255, 255, 255})                              // size above maxFrameSize
+	f.Add(frameBytes(3, 0, 0, nil)[:8])                            // truncated header
+	f.Add(frameBytes(3, 0, 0, make([]byte, 64))[:20])              // truncated payload
+	hostile := binary.LittleEndian.AppendUint32(nil, maxFrameSize) // claims 1 GiB
+	hostile = append(hostile, make([]byte, 14)...)                 // ...delivers 14 bytes
+	f.Add(hostile)
+
+	var hdr [14]byte
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		reqID, flags, method, payload, err := readFrame(r, &hdr)
+		if err != nil {
+			return
+		}
+		// A successfully parsed frame must round-trip.
+		again := frameBytes(reqID, flags, method, payload)
+		if !bytes.Equal(again, data[:len(again)]) {
+			t.Fatalf("parsed frame does not round-trip: % x vs % x", again, data[:len(again)])
+		}
+	})
+}
+
+// TestReadFrameHostileSizeBoundedAlloc: a frame header claiming the maximum
+// size with almost no bytes behind it must fail after allocating at most a
+// chunk or two — not the full 1 GiB claim.
+func TestReadFrameHostileSizeBoundedAlloc(t *testing.T) {
+	stream := binary.LittleEndian.AppendUint32(nil, maxFrameSize)
+	stream = append(stream, make([]byte, 100)...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var hdr [14]byte
+	_, _, _, _, err := readFrame(bytes.NewReader(stream), &hdr)
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated 1 GiB claim parsed without error")
+	}
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > 4*payloadChunk {
+		t.Fatalf("hostile size claim allocated %d bytes, want < %d", alloc, 4*payloadChunk)
+	}
+}
+
+// TestReadPayloadLargeHonest: chunked reading still returns big payloads
+// intact when the bytes really arrive.
+func TestReadPayloadLargeHonest(t *testing.T) {
+	n := payloadChunk*2 + 12345
+	want := make([]byte, n)
+	for i := range want {
+		want[i] = byte(i * 31)
+	}
+	got, err := readPayload(bytes.NewReader(want), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("large payload corrupted by chunked read")
+	}
+}
+
+// TestReadPayloadTruncatedLarge: a large claim over a short stream errors.
+func TestReadPayloadTruncatedLarge(t *testing.T) {
+	data := make([]byte, payloadChunk+10)
+	if _, err := readPayload(bytes.NewReader(data), 3*payloadChunk); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}

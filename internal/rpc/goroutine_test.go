@@ -1,0 +1,64 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestCallCtxNoWatcherGoroutines: issuing many context-carrying calls must
+// not spawn a goroutine per call. Cancellation is resolved in the wait path
+// (Future.WaitCtx fails the pending slot itself), so 10k in-flight calls
+// cost 10k pending-map entries and zero goroutines.
+func TestCallCtxNoWatcherGoroutines(t *testing.T) {
+	conn, peer := net.Pipe()
+	// Discard everything the client writes so sendFrame never blocks; never
+	// answer, so every call stays in flight.
+	go io.Copy(io.Discard, peer)
+	c := NewClient(conn, LatencyModel{})
+	defer func() {
+		c.Close()
+		peer.Close()
+	}()
+
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const calls = 10_000
+	futs := make([]*Future, calls)
+	for i := range futs {
+		futs[i] = c.CallCtx(ctx, MethodGetNeighborInfos, []byte{0, 0, 0, 0})
+	}
+
+	// Allow any stray goroutines to reach a steady state before measuring.
+	time.Sleep(50 * time.Millisecond)
+	runtime.GC()
+	if grew := runtime.NumGoroutine() - base; grew > 50 {
+		t.Fatalf("%d calls in flight grew goroutines by %d (want ~0: no per-call watcher)", calls, grew)
+	}
+
+	// Cancellation still works without watchers: every waiter resolves with
+	// the context error via the wait path.
+	cancel()
+	for i, f := range futs {
+		if _, err := f.WaitCtx(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("call %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+
+	// The pending table must be fully drained — cancelled slots are removed,
+	// not leaked until connection teardown.
+	left := 0
+	c.pending.Range(func(_, _ any) bool {
+		left++
+		return true
+	})
+	if left != 0 {
+		t.Fatalf("%d pending entries leaked after cancellation", left)
+	}
+}

@@ -100,9 +100,35 @@ func readFrame(r io.Reader, hdr *[14]byte) (reqID uint64, flags byte, method Met
 	reqID = binary.LittleEndian.Uint64(hdr[4:12])
 	flags = hdr[12]
 	method = Method(hdr[13])
-	payload = make([]byte, size-10)
-	_, err = io.ReadFull(r, payload)
+	payload, err = readPayload(r, int(size-10))
 	return
+}
+
+// payloadChunk bounds how much readPayload commits ahead of the bytes that
+// have actually arrived.
+const payloadChunk = 1 << 20
+
+// readPayload reads exactly n payload bytes. Large payloads are read in
+// bounded chunks so a corrupt or hostile size claim (up to maxFrameSize)
+// cannot force a huge up-front allocation: memory grows only as bytes
+// actually arrive, and a truncated stream errors after at most one chunk of
+// overshoot.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= payloadChunk {
+		buf := make([]byte, n)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	var buf []byte
+	for len(buf) < n {
+		chunk := min(payloadChunk, n-len(buf))
+		off := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // Server dispatches incoming requests to registered handlers. Each accepted
@@ -217,7 +243,12 @@ func (s *Server) ListenAndServe() (addr string, err error) {
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	s.connsTotal.Add(1)
+	// One write buffer per connection, owned by whoever holds wmu: responses
+	// are serialized on the connection anyway, so sharing the buffer costs
+	// nothing and lets writeFrame reuse it across requests instead of
+	// reallocating in every request goroutine.
 	var wmu sync.Mutex
+	var wbuf []byte
 	var hdr [14]byte
 	for {
 		reqID, flags, method, payload, err := readFrame(conn, &hdr)
@@ -237,7 +268,6 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
-				var wbuf []byte
 				wmu.Lock()
 				writeFrame(conn, &wbuf, reqID, flagError, method,
 					[]byte(fmt.Sprintf("rpc: request of %d bytes exceeds server limit %d", len(payload), max)))
@@ -248,7 +278,6 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			var wbuf []byte
 			if !ok {
 				s.errCounts[method].Add(1)
 				wmu.Lock()
@@ -297,6 +326,7 @@ func (s *Server) Close() {
 type Future struct {
 	id      uint64
 	reqSize int
+	c       *Client // issuing client; nil for pre-failed futures
 	done    chan struct{}
 	payload []byte
 	err     error
@@ -332,15 +362,22 @@ func (f *Future) Wait() ([]byte, error) {
 }
 
 // WaitCtx is Wait with a context: it returns ctx.Err() as soon as ctx is
-// done, even if the response has not arrived. The underlying call keeps its
-// slot in the pending table (a late response is then dropped), so WaitCtx
-// alone does not cancel the request — issue the call with CallCtx to also
-// release it at cancellation.
+// done, even if the response has not arrived. Cancellation also releases the
+// call's slot in the pending table and resolves the future with ctx.Err()
+// for every other waiter (a late response is then dropped), so abandoned
+// calls do not accumulate client state. Cancellation is resolved here, on
+// the wait path, rather than by a per-call watcher goroutine — a client with
+// thousands of calls in flight holds zero goroutines for them.
 func (f *Future) WaitCtx(ctx context.Context) ([]byte, error) {
 	select {
 	case <-f.done:
 		return f.payload, f.err
 	case <-ctx.Done():
+		if f.c != nil {
+			// Exactly-once with a racing response or connection death: fail
+			// only resolves the future if the slot is still pending.
+			f.c.fail(f.id, ctx.Err())
+		}
 		return nil, ctx.Err()
 	}
 }
@@ -584,11 +621,13 @@ func (c *Client) Call(m Method, payload []byte) *Future {
 	return c.CallCtx(context.Background(), m, payload)
 }
 
-// CallCtx is Call with cancellation: when ctx ends before the response
-// arrives, the future resolves to ctx.Err() and the request's pending slot
-// is released (a late response is dropped). The request itself still reaches
-// the server — like most RPC systems, cancellation stops the waiting, not
-// the remote work.
+// CallCtx is Call with cancellation: a ctx that is already done fails the
+// call immediately, and a later WaitCtx observes cancellation by failing the
+// pending slot itself (see Future.WaitCtx). No watcher goroutine is spawned
+// per call — cancellation of an in-flight request is resolved entirely on
+// the wait path, so issuing N calls costs N pending-map entries and nothing
+// else. The request itself still reaches the server — like most RPC
+// systems, cancellation stops the waiting, not the remote work.
 func (c *Client) CallCtx(ctx context.Context, m Method, payload []byte) *Future {
 	if err := ctx.Err(); err != nil {
 		return failedFuture(err)
@@ -599,6 +638,7 @@ func (c *Client) CallCtx(ctx context.Context, m Method, payload []byte) *Future 
 	f := newFuture()
 	f.id = c.nextID.Add(1)
 	f.reqSize = len(payload)
+	f.c = c
 	c.pending.Store(f.id, f)
 	c.wmu.Lock()
 	err := writeFrame(c.conn, &c.wbuf, f.id, flagRequest, m, payload)
@@ -616,15 +656,6 @@ func (c *Client) CallCtx(ctx context.Context, m Method, payload []byte) *Future 
 	}
 	c.RequestsSent.Add(1)
 	c.BytesSent.Add(int64(len(payload)))
-	if ctx.Done() != nil {
-		go func() {
-			select {
-			case <-f.done:
-			case <-ctx.Done():
-				c.fail(f.id, ctx.Err())
-			}
-		}()
-	}
 	return f
 }
 

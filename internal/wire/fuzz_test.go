@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Every decoder in this package parses bytes that arrive off the network.
+// The fuzz targets assert the shared contract: arbitrary input either
+// decodes or returns an error — no panics (slice bounds, nil derefs) and no
+// allocation driven by an unvalidated header count. Seeds pair each valid
+// encoding with corrupt variants (truncations, inflated counts).
+
+// corruptions returns data plus standard mutations worth seeding.
+func corruptions(data []byte) [][]byte {
+	out := [][]byte{data}
+	if len(data) > 0 {
+		out = append(out, data[:len(data)-1])                       // truncated tail
+		out = append(out, append(data[:len(data):len(data)], 0xAA)) // trailing junk
+	}
+	if len(data) >= 4 {
+		huge := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(huge, 0x7fffffff) // inflate leading count
+		out = append(out, huge)
+	}
+	return out
+}
+
+func validInfos() *NeighborInfos {
+	return &NeighborInfos{
+		Indptr:  []int32{0, 2, 2, 5},
+		Locals:  []int32{1, 2, 3, 4, 5},
+		Shards:  []int32{0, 1, 0, 1, 2},
+		Weights: []float32{1, 2, 3, 4, 5},
+		WDegs:   []float32{2, 4, 6, 8, 10},
+		RowWDeg: []float32{3, 0, 12},
+	}
+}
+
+func FuzzDecodeCSR(f *testing.F) {
+	for _, s := range corruptions(EncodeCSR(validInfos())) {
+		f.Add(s)
+	}
+	f.Add(EncodeCSR(&NeighborInfos{}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := DecodeCSR(data)
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("decoded CSR fails its own invariants: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeLoL(f *testing.F) {
+	for _, s := range corruptions(EncodeLoL(validInfos())) {
+		f.Add(s)
+	}
+	f.Add(EncodeLoL(&NeighborInfos{}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := DecodeLoL(data)
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("decoded LoL fails CSR invariants: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeIDList(f *testing.F) {
+	for _, s := range corruptions(EncodeIDList([]int32{7, 8, 9})) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids, err := DecodeIDList(data)
+		if err == nil {
+			_ = ids
+		}
+	})
+}
+
+func FuzzDecodeSampleRequest(f *testing.F) {
+	for _, s := range corruptions(EncodeSampleRequest(&SampleRequest{Seed: 99, Locals: []int32{1, 2}})) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeSampleRequest(data)
+	})
+}
+
+func FuzzDecodeSampleResponse(f *testing.F) {
+	valid := EncodeSampleResponse(&SampleResponse{
+		Locals: []int32{1, -1}, Shards: []int32{0, -1}, Globals: []int32{10, -1},
+	})
+	for _, s := range corruptions(valid) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeSampleResponse(data)
+	})
+}
+
+func FuzzDecodeSampleNRequest(f *testing.F) {
+	for _, s := range corruptions(EncodeSampleNRequest(&SampleNRequest{Seed: 5, Fanout: 3, Locals: []int32{1}})) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeSampleNRequest(data)
+	})
+}
+
+func FuzzDecodeSampleNResponse(f *testing.F) {
+	valid := EncodeSampleNResponse(&SampleNResponse{
+		Indptr: []int32{0, 1, 3}, Locals: []int32{4, 5, 6},
+		Shards: []int32{0, 1, 0}, Globals: []int32{40, 50, 60},
+	})
+	for _, s := range corruptions(valid) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeSampleNResponse(data)
+	})
+}
+
+func FuzzDecodeShardStats(f *testing.F) {
+	for _, s := range corruptions(EncodeShardStats(&ShardStats{ShardID: 1, NumShards: 4, NumCore: 100})) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeShardStats(data)
+	})
+}
+
+func FuzzDecodeQueryRequest(f *testing.F) {
+	for _, s := range corruptions(EncodeQueryRequest(&QueryRequest{SourceLocal: 3, TopK: 10, Alpha: 0.462, Eps: 1e-6, TimeoutMs: 100})) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeQueryRequest(data)
+	})
+}
+
+func FuzzDecodeQueryResponse(f *testing.F) {
+	valid := EncodeQueryResponse(&QueryResponse{
+		Globals: []int32{1, 2}, Scores: []float64{0.5, 0.25},
+		Iterations: 7, Pushes: 1000, Touched: 55,
+	})
+	for _, s := range corruptions(valid) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeQueryResponse(data)
+		if err != nil {
+			return
+		}
+		if len(r.Globals) != len(r.Scores) {
+			t.Fatalf("decoded response with %d globals but %d scores", len(r.Globals), len(r.Scores))
+		}
+	})
+}
+
+func FuzzDecodeFeatureResponse(f *testing.F) {
+	for _, s := range corruptions(EncodeFeatureResponse(4, []float32{1, 2, 3, 4, 5, 6, 7, 8})) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = DecodeFeatureResponse(data)
+	})
+}
+
+func FuzzDecodeF32s(f *testing.F) {
+	for _, s := range corruptions(EncodeF32s([]float32{1.5, -2.5})) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeF32s(data)
+	})
+}

@@ -246,9 +246,15 @@ func DecodeLoL(b []byte) (*NeighborInfos, error) {
 	}
 	rows := int(binary.LittleEndian.Uint32(b))
 	b = b[4:]
+	// The row count is a capacity hint from an untrusted header: clamp it by
+	// what the payload could possibly hold (every row costs at least its
+	// RowWDeg plus four tensor headers) so a corrupt or hostile count cannot
+	// force a huge speculative allocation. An inflated count that survives
+	// the clamp still fails the truncation checks inside the loop.
+	hint := min(rows, len(b)/(4+4*tensorHeaderSize))
 	n := &NeighborInfos{
-		Indptr:  make([]int32, 1, rows+1),
-		RowWDeg: make([]float32, 0, rows),
+		Indptr:  make([]int32, 1, hint+1),
+		RowWDeg: make([]float32, 0, hint),
 	}
 	for i := 0; i < rows; i++ {
 		if len(b) < 4 {
