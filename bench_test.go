@@ -65,6 +65,26 @@ func BenchmarkTable2Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkAggThroughput measures cross-query RPC fetch aggregation: the
+// same concurrent query batch with aggregation off and on, reporting the
+// wire-request reduction factor and the aggregated pass's throughput.
+func BenchmarkAggThroughput(b *testing.B) {
+	p := benchParams()
+	p.Queries = 16
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.AggBench(p, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 || rows[1].RequestsSent == 0 {
+			b.Fatal("aggregated pass sent no requests")
+		}
+		b.ReportMetric(float64(rows[0].RequestsSent)/float64(rows[1].RequestsSent), "req_reduction_x")
+		b.ReportMetric(float64(rows[1].SharedFetches), "shared_fetches")
+		b.ReportMetric(rows[1].Throughput, "agg_qps")
+	}
+}
+
 // BenchmarkAccuracyTop100 regenerates the §4.2 accuracy claim.
 func BenchmarkAccuracyTop100(b *testing.B) {
 	p := benchParams()

@@ -8,9 +8,14 @@
 //
 // Experiments: table1, table2, accuracy, fig5a, fig5b, table3, fig6, fig7,
 // intro, partquality, all.
+//
+// -json <path> additionally writes every ran experiment's structured rows
+// (plus the run parameters) to path as one JSON object, for CI artifacts and
+// scripted regression checks.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +27,15 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|all)")
+		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|all)")
 		scale      = flag.Int("scale", 8, "dataset downscale factor (1 = full stand-in size)")
 		queries    = flag.Int("queries", 0, "SSPPR queries per machine (0 = default)")
 		repeats    = flag.Int("repeats", 0, "measured repetitions (0 = default)")
 		warmup     = flag.Int("warmup", -1, "warm-up runs (-1 = default)")
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "per-machine dynamic neighbor-row cache budget for the cache experiment")
+		aggWindow  = flag.Duration("agg-window", 500*time.Microsecond, "flush window for the agg experiment's cross-query fetch aggregator")
+		aggRows    = flag.Int("agg-rows", 0, "row cap per aggregated request for the agg experiment (0 = aggregator default)")
+		jsonPath   = flag.String("json", "", "write the ran experiments' structured rows to this file as JSON")
 	)
 	flag.Parse()
 
@@ -49,83 +57,106 @@ func main() {
 	}
 	all := want["all"]
 	ran := 0
-	run := func(name string, f func() (experiments.Report, error)) {
+	// jsonOut collects each experiment's structured rows under its name; -json
+	// writes it as one object so CI can archive and diff runs.
+	jsonOut := map[string]any{"params": p}
+	run := func(name string, f func() (experiments.Report, any, error)) {
 		if !all && !want[name] {
 			return
 		}
 		ran++
 		start := time.Now()
-		r, err := f()
+		r, rows, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pprbench: %s failed: %v\n", name, err)
 			os.Exit(1)
+		}
+		if rows != nil {
+			jsonOut[name] = rows
 		}
 		fmt.Print(r.String())
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	run("table1", func() (experiments.Report, error) {
-		r, _ := experiments.Table1(p)
-		return r, nil
+	run("table1", func() (experiments.Report, any, error) {
+		r, rows := experiments.Table1(p)
+		return r, rows, nil
 	})
-	run("table2", func() (experiments.Report, error) {
-		r, _, err := experiments.Table2(p)
-		return r, err
+	run("table2", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Table2(p)
+		return r, rows, err
 	})
-	run("accuracy", func() (experiments.Report, error) {
-		r, _, err := experiments.Accuracy(p, 5)
-		return r, err
+	run("accuracy", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Accuracy(p, 5)
+		return r, rows, err
 	})
-	run("fig5a", func() (experiments.Report, error) {
-		r, _, err := experiments.Fig5a(p)
-		return r, err
+	run("fig5a", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Fig5a(p)
+		return r, rows, err
 	})
-	run("fig5b", func() (experiments.Report, error) {
-		r, _, err := experiments.Fig5b(p)
-		return r, err
+	run("fig5b", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Fig5b(p)
+		return r, rows, err
 	})
-	run("table3", func() (experiments.Report, error) {
-		r, _, err := experiments.Table3(p)
-		return r, err
+	run("table3", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Table3(p)
+		return r, rows, err
 	})
-	run("fig6", func() (experiments.Report, error) {
-		r, _, err := experiments.Fig6(p)
-		return r, err
+	run("fig6", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Fig6(p)
+		return r, rows, err
 	})
-	run("fig7", func() (experiments.Report, error) {
-		r, _, err := experiments.Fig7(p)
-		return r, err
+	run("fig7", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Fig7(p)
+		return r, rows, err
 	})
-	run("intro", func() (experiments.Report, error) {
-		r, _, err := experiments.Intro(p)
-		return r, err
+	run("intro", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Intro(p)
+		return r, rows, err
 	})
-	run("partquality", func() (experiments.Report, error) {
-		r, _, err := experiments.PartQuality(p)
-		return r, err
+	run("partquality", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.PartQuality(p)
+		return r, rows, err
 	})
-	run("halo", func() (experiments.Report, error) {
-		r, _, err := experiments.Halo(p)
-		return r, err
+	run("halo", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Halo(p)
+		return r, rows, err
 	})
-	run("epssweep", func() (experiments.Report, error) {
-		r, _, err := experiments.EpsSweep(p)
-		return r, err
+	run("epssweep", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.EpsSweep(p)
+		return r, rows, err
 	})
-	run("netlatency", func() (experiments.Report, error) {
-		r, _, err := experiments.NetLatency(p)
-		return r, err
+	run("netlatency", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.NetLatency(p)
+		return r, rows, err
 	})
-	run("models", func() (experiments.Report, error) {
-		r, _, err := experiments.Models(p)
-		return r, err
+	run("models", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Models(p)
+		return r, rows, err
 	})
-	run("cache", func() (experiments.Report, error) {
-		r, _, err := experiments.CacheBench(p, *cacheBytes)
-		return r, err
+	run("cache", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.CacheBench(p, *cacheBytes)
+		return r, rows, err
+	})
+	run("agg", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.AggBench(p, *aggWindow, *aggRows)
+		return r, rows, err
 	})
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "pprbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(jsonOut, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprbench: encode -json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pprbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote JSON metrics to %s\n", *jsonPath)
 	}
 }

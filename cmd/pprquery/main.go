@@ -37,6 +37,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries exit with context.DeadlineExceeded")
 		dialTimeout = flag.Duration("dial-timeout", deploy.DefaultDialTimeout, "per-peer connect deadline")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "compute mode: byte budget for the dynamic remote neighbor-row cache (0 = disabled)")
+		aggWindow   = flag.Duration("agg-window", 0, "compute mode: flush window for cross-query RPC fetch aggregation (0 = disabled unless -agg-rows is set)")
+		aggRows     = flag.Int("agg-rows", 0, "compute mode: row cap per aggregated request; setting it also enables aggregation")
 	)
 	flag.Parse()
 	if *locPath == "" {
@@ -67,6 +69,15 @@ func main() {
 	if *cacheBytes > 0 {
 		st.AttachCache(cache.New(*cacheBytes))
 	}
+	cfg := core.DefaultConfig()
+	cfg.Alpha = *alpha
+	cfg.Eps = *eps
+	cfg.QueryTimeout = *timeout
+	cfg.AggWindow = *aggWindow
+	cfg.AggRows = *aggRows
+	if cfg.AggEnabled() {
+		st.AttachFetchAggregators(cfg.AggOptions())
+	}
 
 	sh, local := st.Locator.Locate(graph.NodeID(*source))
 	if sh != st.ShardID {
@@ -74,10 +85,6 @@ func main() {
 			*source, sh, st.ShardID)
 		os.Exit(1)
 	}
-	cfg := core.DefaultConfig()
-	cfg.Alpha = *alpha
-	cfg.Eps = *eps
-	cfg.QueryTimeout = *timeout
 	bd := metrics.NewBreakdown()
 	top, stats, err := core.RunSSPPRTopK(context.Background(), st, local, *topk, cfg, bd)
 	if err != nil {

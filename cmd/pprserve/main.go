@@ -34,6 +34,8 @@ func main() {
 		dialTimeout  = flag.Duration("dial-timeout", deploy.DefaultDialTimeout, "per-peer connect deadline for the query service")
 		queryTimeout = flag.Duration("query-timeout", 0, "default per-query deadline for served SSPPR queries (0 = none; a client-propagated deadline overrides it)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "byte budget for the dynamic remote neighbor-row cache used by served queries (0 = disabled)")
+		aggWindow    = flag.Duration("agg-window", 0, "flush window for cross-query RPC fetch aggregation of served queries (0 = disabled unless -agg-rows is set)")
+		aggRows      = flag.Int("agg-rows", 0, "row cap per aggregated request; setting it also enables aggregation (0 = disabled unless -agg-window is set)")
 	)
 	flag.Parse()
 	if *shardPath == "" || *locPath == "" {
@@ -56,6 +58,8 @@ func main() {
 		cfg := core.DefaultConfig()
 		cfg.QueryTimeout = *queryTimeout
 		cfg.CacheBytes = *cacheBytes
+		cfg.AggWindow = *aggWindow
+		cfg.AggRows = *aggRows
 		ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
 		cleanup, err := deploy.EnableQueries(ctx, srv, peers, cfg, rpc.LatencyModel{})
 		cancel()

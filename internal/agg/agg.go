@@ -1,0 +1,307 @@
+// Package agg implements cross-query RPC fetch aggregation: a per-(machine,
+// destination-shard) coalescing layer in front of the rpc client that merges
+// the GetNeighborInfos requests of concurrent queries into one wire request.
+//
+// The paper's batching optimization (§3.2.3) merges all of ONE query's
+// requests to a destination shard per iteration. Under a heavy concurrent
+// query stream each query still pays its own request/response round trip per
+// shard per iteration, so per-request overhead — framing, syscalls, handler
+// dispatch, scheduling — dominates small fetches. Distributed GNN systems
+// (DistDGL, SALIENT++) show server-side sampling throughput hinges on
+// aggregating many clients' small fetches into few large transfers; this
+// package generalizes the paper's batching ACROSS queries. It composes with
+// the dynamic neighbor-row cache (internal/cache), which dedups IDENTICAL
+// rows: the aggregator coalesces DISTINCT rows headed to the same shard.
+//
+// Mechanism: concurrent fetches enqueue their ID lists into a shared pending
+// batch. A flush merges the batch into one MethodGetNeighborInfos request and
+// demultiplexes the CSR response back to each waiter by row range. Flush
+// triggers:
+//
+//   - idle: nothing in flight and nothing pending to this shard — flush
+//     immediately, so a lone query pays zero added latency (the
+//     zero-aggregation fast path);
+//   - a configurable time window after the batch opened (Options.Window),
+//     bounding the latency any fetch can absorb waiting for company;
+//   - a row cap (Options.MaxRows), bounding request size.
+//
+// A batch opened behind an in-flight flush deliberately waits out its full
+// window rather than flushing the moment the link frees up: the round trip
+// it hides is exactly when other queries' fetches arrive, and draining early
+// would ship one- and two-row batches that defeat the aggregation.
+//
+// Cancellation is per-waiter: a query abandoning its Wait detaches without
+// poisoning the batch — the flush proceeds and resolves every other ticket.
+// A flush-level failure (transport or remote error) propagates to all
+// tickets of that flush.
+package agg
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pprengine/internal/metrics"
+	"pprengine/internal/rpc"
+	"pprengine/internal/wire"
+)
+
+// DefaultWindow is the flush window applied when Options.Window is 0.
+const DefaultWindow = 200 * time.Microsecond
+
+// DefaultMaxRows is the row cap applied when Options.MaxRows is 0.
+const DefaultMaxRows = 4096
+
+// Options configures an Aggregator. The zero value gets DefaultWindow and
+// DefaultMaxRows (enabling aggregation is the caller's decision — a nil
+// *Aggregator is the "disabled" value).
+type Options struct {
+	// Window bounds how long an open batch waits for more fetches before
+	// flushing. It only delays fetches that arrive while another flush is in
+	// flight; an idle aggregator flushes immediately.
+	Window time.Duration
+	// MaxRows flushes the pending batch as soon as it reaches this many
+	// requested rows, regardless of the window.
+	MaxRows int
+}
+
+func (o Options) window() time.Duration {
+	if o.Window <= 0 {
+		return DefaultWindow
+	}
+	return o.Window
+}
+
+func (o Options) maxRows() int {
+	if o.MaxRows <= 0 {
+		return DefaultMaxRows
+	}
+	return o.MaxRows
+}
+
+// Ticket is one enqueued fetch's handle on its share of a flush: rows
+// [Off, Off+len(locals)) of the merged CSR response.
+type Ticket struct {
+	locals []int32
+	done   chan struct{}
+
+	// Resolved by the flush completion, published by closing done.
+	infos *wire.NeighborInfos
+	off   int
+	err   error
+
+	// Wire accounting, attributed to the ticket that opened the flush (the
+	// first in the batch): the flush's single request and its payload bytes.
+	// Riders report zero, so per-query sums equal the true wire totals.
+	wireReqs  int64
+	wireBytes int64
+}
+
+// Rows returns the number of rows this ticket requested.
+func (t *Ticket) Rows() int { return len(t.locals) }
+
+// Done returns a channel closed when the ticket's flush has resolved (rows
+// decoded or error set).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the ticket resolves or ctx ends. On success it returns
+// the decoded batch shared by every ticket of the flush plus the offset of
+// this ticket's first row. Abandoning a Wait detaches only this waiter; the
+// flush still resolves the other tickets and a late response is not lost.
+func (t *Ticket) Wait(ctx context.Context) (infos *wire.NeighborInfos, off int, err error) {
+	select {
+	case <-t.done:
+		return t.infos, t.off, t.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// Result returns the resolved batch, offset and error. It must only be
+// called after Done() closed (e.g. from a cache.Flight resolve callback).
+func (t *Ticket) Result() (infos *wire.NeighborInfos, off int, err error) {
+	return t.infos, t.off, t.err
+}
+
+// Accounting returns the wire requests and request bytes attributed to this
+// ticket (non-zero only for the ticket that opened its flush). Before the
+// ticket resolves it reports zeros.
+func (t *Ticket) Accounting() (requests, bytes int64) {
+	select {
+	case <-t.done:
+		return t.wireReqs, t.wireBytes
+	default:
+		return 0, 0
+	}
+}
+
+// Aggregator coalesces concurrent GetNeighborInfos fetches bound for one
+// destination shard into merged wire requests over a single client. It is
+// shared machine-wide (like the shard and the dynamic cache): every compute
+// process of a machine enqueues into the same pending batch. All methods are
+// safe for concurrent use.
+type Aggregator struct {
+	client *rpc.Client
+	opts   Options
+
+	mu       sync.Mutex
+	pending  []*Ticket
+	rows     int
+	inFlight int
+	timer    *time.Timer
+	gen      uint64 // batch generation, invalidates stale timer fires
+
+	flushes    atomic.Int64
+	flushedRow atomic.Int64
+	tickets    atomic.Int64
+	shared     atomic.Int64
+}
+
+// New returns an aggregator flushing over c. A nil client yields a nil
+// aggregator (the disabled value), so callers can build slices indexed by
+// shard with a nil entry for the local shard.
+func New(c *rpc.Client, opts Options) *Aggregator {
+	if c == nil {
+		return nil
+	}
+	return &Aggregator{client: c, opts: opts}
+}
+
+// Enqueue adds a fetch for locals to the pending batch and returns its
+// ticket. The flush carrying it is issued without any per-query context: a
+// flush is shared machine state, and one query abandoning its wait must not
+// kill a response other queries are waiting on (Ticket.Wait still honors the
+// waiter's own ctx).
+func (a *Aggregator) Enqueue(locals []int32) *Ticket {
+	t := &Ticket{locals: locals, done: make(chan struct{})}
+	if len(locals) == 0 {
+		t.infos = &wire.NeighborInfos{Indptr: []int32{}}
+		close(t.done)
+		return t
+	}
+	a.tickets.Add(1)
+	a.mu.Lock()
+	opened := len(a.pending) == 0
+	a.pending = append(a.pending, t)
+	a.rows += len(locals)
+	switch {
+	case a.inFlight == 0 && opened:
+		// Idle: no flush in flight and no batch forming means no concurrent
+		// fetch to wait for — flushing now keeps the single-query fast path
+		// at zero added latency and zero aggregation.
+		a.flushLocked()
+	case a.rows >= a.opts.maxRows():
+		a.flushLocked()
+	case a.timer == nil:
+		// Batch just opened behind an in-flight flush: bound its wait. The
+		// batch holds until this timer (or the row cap) fires, even across
+		// flush completions — see the package comment.
+		gen := a.gen
+		a.timer = time.AfterFunc(a.opts.window(), func() { a.timedFlush(gen) })
+	}
+	a.mu.Unlock()
+	return t
+}
+
+// timedFlush fires when a batch's window expires. The generation guard makes
+// a stale timer (its batch already flushed by the cap or a drain) a no-op.
+func (a *Aggregator) timedFlush(gen uint64) {
+	a.mu.Lock()
+	if a.gen == gen && len(a.pending) > 0 {
+		a.flushLocked()
+	}
+	a.mu.Unlock()
+}
+
+// flushLocked sends the pending batch as one wire request. Caller holds a.mu.
+func (a *Aggregator) flushLocked() {
+	batch := a.pending
+	a.pending = nil
+	rows := a.rows
+	a.rows = 0
+	a.gen++
+	if a.timer != nil {
+		a.timer.Stop()
+		a.timer = nil
+	}
+	if len(batch) == 0 {
+		return
+	}
+	ids := make([]int32, 0, rows)
+	for _, t := range batch {
+		ids = append(ids, t.locals...)
+	}
+	payload := wire.EncodeIDList(ids)
+	batch[0].wireReqs = 1
+	batch[0].wireBytes = int64(len(payload))
+	a.inFlight++
+	a.flushes.Add(1)
+	a.flushedRow.Add(int64(rows))
+	metrics.AggFlushes.Inc(1)
+	metrics.AggRows.Inc(int64(rows))
+	if len(batch) > 1 {
+		a.shared.Add(int64(len(batch)))
+		metrics.AggShared.Inc(int64(len(batch)))
+	}
+	fut := a.client.Call(rpc.MethodGetNeighborInfos, payload)
+	go a.complete(fut, batch, rows)
+}
+
+// complete resolves one flush: decode, demux by row range, release every
+// ticket. A batch pending behind this flush keeps accumulating until its own
+// window or row cap fires.
+func (a *Aggregator) complete(fut *rpc.Future, batch []*Ticket, rows int) {
+	payload, err := fut.Wait()
+	var infos *wire.NeighborInfos
+	if err == nil {
+		infos, err = wire.DecodeCSR(payload)
+	}
+	if err == nil && infos.NumRows() != rows {
+		err = fmt.Errorf("agg: merged fetch returned %d rows, want %d", infos.NumRows(), rows)
+	}
+	off := 0
+	for _, t := range batch {
+		t.infos, t.off, t.err = infos, off, err
+		off += len(t.locals)
+		close(t.done)
+	}
+	a.mu.Lock()
+	a.inFlight--
+	a.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of one aggregator's counters.
+type Stats struct {
+	// Flushes is the number of wire requests sent.
+	Flushes int64
+	// Rows is the total rows carried by those requests.
+	Rows int64
+	// Tickets is the number of fetches enqueued.
+	Tickets int64
+	// Shared counts tickets whose flush carried at least one other ticket —
+	// the fetches that actually amortized a round trip.
+	Shared int64
+}
+
+// Stats returns a snapshot. A nil aggregator reports zeros.
+func (a *Aggregator) Stats() Stats {
+	if a == nil {
+		return Stats{}
+	}
+	return Stats{
+		Flushes: a.flushes.Load(),
+		Rows:    a.flushedRow.Load(),
+		Tickets: a.tickets.Load(),
+		Shared:  a.shared.Load(),
+	}
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Flushes += other.Flushes
+	s.Rows += other.Rows
+	s.Tickets += other.Tickets
+	s.Shared += other.Shared
+}

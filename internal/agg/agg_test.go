@@ -1,0 +1,286 @@
+package agg
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pprengine/internal/rpc"
+	"pprengine/internal/wire"
+)
+
+// synthInfos builds a deterministic per-ID neighbor row: vertex v has the
+// two neighbors (v, v+1) on shard 0 with weight 1 and row degree 2.
+func synthInfos(ids []int32) *wire.NeighborInfos {
+	n := &wire.NeighborInfos{Indptr: []int32{0}}
+	for _, v := range ids {
+		n.Locals = append(n.Locals, v, v+1)
+		n.Shards = append(n.Shards, 0, 0)
+		n.Weights = append(n.Weights, 1, 1)
+		n.WDegs = append(n.WDegs, 2, 2)
+		n.Indptr = append(n.Indptr, int32(len(n.Locals)))
+		n.RowWDeg = append(n.RowWDeg, 2)
+	}
+	return n
+}
+
+// testServer serves synthetic CSR responses; requests block on gate when it
+// is non-nil (until the gate channel is closed), and any ID >= errID fails
+// the whole request.
+func testServer(t *testing.T, gate chan struct{}, errID int32) (*rpc.Server, *rpc.Client) {
+	t.Helper()
+	srv := rpc.NewServer()
+	srv.Handle(rpc.MethodGetNeighborInfos, func(p []byte) ([]byte, error) {
+		if gate != nil {
+			<-gate
+		}
+		ids, err := wire.DecodeIDList(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			if errID > 0 && id >= errID {
+				return nil, fmt.Errorf("synthetic failure for id %d", id)
+			}
+		}
+		return wire.EncodeCSR(synthInfos(ids)), nil
+	})
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rpc.Dial(addr, rpc.LatencyModel{})
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(); srv.Close() })
+	return srv, c
+}
+
+// checkRows verifies that ticket t resolved to its own IDs' synthetic rows.
+func checkRows(t *testing.T, tk *Ticket, ids []int32) {
+	t.Helper()
+	infos, off, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	for i, id := range ids {
+		locals, _, _, _ := infos.Row(off + i)
+		if len(locals) != 2 || locals[0] != id || locals[1] != id+1 {
+			t.Fatalf("row %d for id %d = %v, want [%d %d]", off+i, id, locals, id, id+1)
+		}
+		if infos.RowWDeg[off+i] != 2 {
+			t.Fatalf("row %d wdeg = %v, want 2", off+i, infos.RowWDeg[off+i])
+		}
+	}
+}
+
+// TestImmediateFlushWhenIdle: with nothing in flight every fetch flushes on
+// its own — the single-query fast path adds no latency and no batching.
+func TestImmediateFlushWhenIdle(t *testing.T) {
+	srv, c := testServer(t, nil, 0)
+	a := New(c, Options{Window: time.Minute})
+	for i := int32(0); i < 3; i++ {
+		checkRows(t, a.Enqueue([]int32{i * 10}), []int32{i * 10})
+	}
+	if got := srv.Stats().Requests[rpc.MethodGetNeighborInfos]; got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (one per idle fetch)", got)
+	}
+	st := a.Stats()
+	if st.Flushes != 3 || st.Shared != 0 || st.Tickets != 3 || st.Rows != 3 {
+		t.Fatalf("stats = %+v, want 3 flushes, 0 shared, 3 tickets, 3 rows", st)
+	}
+}
+
+// TestConcurrentFetchesCoalesce: fetches arriving while a flush is on the
+// wire share the next flush — three queries, two wire requests.
+func TestConcurrentFetchesCoalesce(t *testing.T) {
+	gate := make(chan struct{})
+	srv, c := testServer(t, gate, 0)
+	a := New(c, Options{Window: 5 * time.Millisecond})
+	t1 := a.Enqueue([]int32{1})    // idle -> immediate flush, blocks on gate
+	t2 := a.Enqueue([]int32{2, 3}) // batch behind the in-flight flush
+	t3 := a.Enqueue([]int32{4})    // joins the batch; flushed by its window
+	close(gate)
+	checkRows(t, t1, []int32{1})
+	checkRows(t, t2, []int32{2, 3})
+	checkRows(t, t3, []int32{4})
+	if got := srv.Stats().Requests[rpc.MethodGetNeighborInfos]; got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (1 immediate + 1 merged)", got)
+	}
+	st := a.Stats()
+	if st.Flushes != 2 || st.Shared != 2 || st.Tickets != 3 || st.Rows != 4 {
+		t.Fatalf("stats = %+v, want 2 flushes, 2 shared, 3 tickets, 4 rows", st)
+	}
+	// The opener of each flush carries its wire accounting; riders are free.
+	if r, _ := t1.Accounting(); r != 1 {
+		t.Fatalf("t1 requests = %d, want 1", r)
+	}
+	if r, b := t2.Accounting(); r != 1 || b != int64(len(wire.EncodeIDList([]int32{2, 3, 4}))) {
+		t.Fatalf("t2 accounting = (%d, %d), want the merged flush", r, b)
+	}
+	if r, b := t3.Accounting(); r != 0 || b != 0 {
+		t.Fatalf("t3 accounting = (%d, %d), want (0, 0) for a rider", r, b)
+	}
+}
+
+// TestRowCapFlush: reaching MaxRows flushes the pending batch even while
+// another flush is in flight and long before the window expires.
+func TestRowCapFlush(t *testing.T) {
+	gate := make(chan struct{})
+	srv, c := testServer(t, gate, 0)
+	a := New(c, Options{Window: time.Minute, MaxRows: 2})
+	t1 := a.Enqueue([]int32{1}) // immediate
+	t2 := a.Enqueue([]int32{2})
+	t3 := a.Enqueue([]int32{3}) // pending rows hit the cap -> second flush now
+	if got := a.Stats().Flushes; got != 2 {
+		t.Fatalf("flushes before gate release = %d, want 2 (cap-triggered)", got)
+	}
+	close(gate)
+	checkRows(t, t1, []int32{1})
+	checkRows(t, t2, []int32{2})
+	checkRows(t, t3, []int32{3})
+	if got := srv.Stats().Requests[rpc.MethodGetNeighborInfos]; got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+// TestWindowFlush: a batch opened behind an in-flight flush goes out after
+// the window even if that flush never completes in time.
+func TestWindowFlush(t *testing.T) {
+	release := make(chan struct{}) // releases only the FIRST request
+	first := true
+	var mu sync.Mutex
+	srv := rpc.NewServer()
+	srv.Handle(rpc.MethodGetNeighborInfos, func(p []byte) ([]byte, error) {
+		mu.Lock()
+		mine := first
+		first = false
+		mu.Unlock()
+		if mine {
+			<-release
+		}
+		ids, err := wire.DecodeIDList(p)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeCSR(synthInfos(ids)), nil
+	})
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rpc.Dial(addr, rpc.LatencyModel{})
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(); srv.Close() })
+
+	a := New(c, Options{Window: 2 * time.Millisecond})
+	t1 := a.Enqueue([]int32{1}) // in flight, blocked on release
+	t2 := a.Enqueue([]int32{2}) // opens a batch; window timer armed
+	// t2's window expires while t1 is still stuck on the wire, so t2's flush
+	// goes out on its own and resolves first.
+	checkRows(t, t2, []int32{2})
+	close(release)
+	checkRows(t, t1, []int32{1})
+	if got := srv.Stats().Requests[rpc.MethodGetNeighborInfos]; got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+// TestErrorPropagatesToAllWaiters: a failed flush fails every ticket it
+// carried — and only those.
+func TestErrorPropagatesToAllWaiters(t *testing.T) {
+	gate := make(chan struct{})
+	_, c := testServer(t, gate, 1000)
+	a := New(c, Options{Window: 5 * time.Millisecond})
+	ok := a.Enqueue([]int32{1})      // first flush: succeeds
+	bad1 := a.Enqueue([]int32{1000}) // merged second flush: handler fails it
+	bad2 := a.Enqueue([]int32{5})    // innocent rider on the failed flush
+	close(gate)
+	checkRows(t, ok, []int32{1})
+	if _, _, err := bad1.Wait(context.Background()); err == nil {
+		t.Fatal("bad1 resolved without error")
+	}
+	if _, _, err := bad2.Wait(context.Background()); err == nil {
+		t.Fatal("bad2 must inherit its flush's error")
+	}
+}
+
+// TestCancelledWaiterDetaches: a waiter abandoning its Wait does not poison
+// the flush — the other participant still gets its rows, and the abandoned
+// ticket itself still resolves for anyone holding it.
+func TestCancelledWaiterDetaches(t *testing.T) {
+	gate := make(chan struct{})
+	_, c := testServer(t, gate, 0)
+	a := New(c, Options{Window: 5 * time.Millisecond})
+	t1 := a.Enqueue([]int32{1})
+	t2 := a.Enqueue([]int32{2})
+	t3 := a.Enqueue([]int32{3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := t2.Wait(ctx); err != context.Canceled {
+		t.Fatalf("cancelled Wait = %v, want context.Canceled", err)
+	}
+	close(gate)
+	checkRows(t, t1, []int32{1})
+	checkRows(t, t3, []int32{3})
+	checkRows(t, t2, []int32{2}) // the flush resolved it regardless
+}
+
+// TestEmptyEnqueue: a zero-row fetch resolves immediately without traffic.
+func TestEmptyEnqueue(t *testing.T) {
+	srv, c := testServer(t, nil, 0)
+	a := New(c, Options{})
+	tk := a.Enqueue(nil)
+	infos, off, err := tk.Wait(context.Background())
+	if err != nil || off != 0 || infos.NumRows() != 0 {
+		t.Fatalf("empty enqueue = (%v, %d, %v), want empty batch", infos, off, err)
+	}
+	if got := srv.Stats().Requests[rpc.MethodGetNeighborInfos]; got != 0 {
+		t.Fatalf("server saw %d requests, want 0", got)
+	}
+}
+
+// TestConcurrentHammer drives many goroutines through one aggregator under
+// the race detector and checks every ticket resolves to its own rows.
+func TestConcurrentHammer(t *testing.T) {
+	_, c := testServer(t, nil, 0)
+	a := New(c, Options{Window: 100 * time.Microsecond})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ids := []int32{int32(w*1000 + i), int32(w*1000 + i + 500)}
+				tk := a.Enqueue(ids)
+				infos, off, err := tk.Wait(context.Background())
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				for k, id := range ids {
+					locals, _, _, _ := infos.Row(off + k)
+					if locals[0] != id {
+						t.Errorf("worker %d: row %d = %d, want %d", w, off+k, locals[0], id)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Tickets != 16*50 {
+		t.Fatalf("tickets = %d, want %d", st.Tickets, 16*50)
+	}
+	if st.Rows != 16*50*2 {
+		t.Fatalf("rows = %d, want %d", st.Rows, 16*50*2)
+	}
+}

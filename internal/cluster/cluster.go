@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"pprengine/internal/agg"
 	"pprengine/internal/cache"
 	"pprengine/internal/core"
 	"pprengine/internal/graph"
@@ -52,8 +53,19 @@ type Options struct {
 	// machine's compute processes: repeated remote fetches hit shared
 	// memory and concurrent fetches of one vertex coalesce into one RPC.
 	CacheBytes int64
-	Seed       int64
+	// AggWindow / AggRows, when either is > 0, give every machine a
+	// per-destination-shard cross-query fetch aggregator (internal/agg),
+	// shared by all of the machine's compute processes: concurrent queries'
+	// remote fetches to one shard merge into one wire request. AggWindow
+	// bounds how long a batch waits behind an in-flight flush; AggRows caps
+	// a merged request's rows. Zero/zero (the default) disables aggregation.
+	AggWindow time.Duration
+	AggRows   int
+	Seed      int64
 }
+
+// aggEnabled reports whether the options ask for fetch aggregation.
+func (o Options) aggEnabled() bool { return o.AggWindow > 0 || o.AggRows > 0 }
 
 // Cluster is a running simulated deployment.
 type Cluster struct {
@@ -67,6 +79,10 @@ type Cluster struct {
 	// Caches holds the per-machine dynamic neighbor-row caches (nil entries
 	// when Opts.CacheBytes is 0).
 	Caches []*cache.Cache
+	// Aggs holds each machine's shard-indexed fetch aggregators (nil when
+	// aggregation is off). Like Caches, one slice per machine is shared by
+	// all of its compute processes, so aggregation works across processes.
+	Aggs [][]*agg.Aggregator
 
 	clients []*rpc.Client // all clients, for Close
 	mu      sync.Mutex
@@ -132,6 +148,7 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 	// machines (the paper registers each process in the RPC group).
 	c.Storages = make([][]*core.DistGraphStorage, opts.NumMachines)
 	c.Caches = make([]*cache.Cache, opts.NumMachines)
+	c.Aggs = make([][]*agg.Aggregator, opts.NumMachines)
 	for m := 0; m < opts.NumMachines; m++ {
 		if opts.CacheBytes > 0 {
 			// One cache per machine, shared by all its compute processes —
@@ -156,6 +173,22 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 			c.Storages[m][p] = core.NewDistGraphStorage(int32(m), shards[m], loc, clients)
 			if c.Caches[m] != nil {
 				c.Storages[m][p].AttachCache(c.Caches[m])
+			}
+			if opts.aggEnabled() && p == 0 {
+				// One aggregator per (machine, destination shard), built over
+				// the first process's clients and shared by every process of
+				// the machine: all of a machine's traffic to a shard funnels
+				// through one coalescing point (and one connection), like the
+				// cache. agg.New returns nil for the nil local client.
+				aggs := make([]*agg.Aggregator, opts.NumMachines)
+				aopts := agg.Options{Window: opts.AggWindow, MaxRows: opts.AggRows}
+				for j, cl := range clients {
+					aggs[j] = agg.New(cl, aopts)
+				}
+				c.Aggs[m] = aggs
+			}
+			if c.Aggs[m] != nil {
+				c.Storages[m][p].AttachAggregators(c.Aggs[m])
 			}
 		}
 	}
@@ -196,6 +229,19 @@ func (c *Cluster) CacheStats() cache.Stats {
 		s.Evictions += cs.Evictions
 		s.Entries += cs.Entries
 		s.Bytes += cs.Bytes
+	}
+	return s
+}
+
+// AggStats sums the per-machine fetch-aggregator counters (zero value when
+// aggregation is disabled).
+func (c *Cluster) AggStats() agg.Stats {
+	var s agg.Stats
+	for _, machine := range c.Aggs {
+		for _, a := range machine {
+			st := a.Stats() // nil-safe
+			s.Add(st)
+		}
 	}
 	return s
 }
@@ -288,8 +334,14 @@ type RunResult struct {
 	// Both are 0 when Options.CacheBytes is 0.
 	CacheHits      int64
 	CacheCoalesced int64
-	Timeouts       int64 // queries aborted by deadline or cancellation
-	Retries        int64 // transient-error RPC retries across all queries
+	// RPCRequests / RequestBytes roll up the per-query wire accounting
+	// (core.QueryStats): requests issued and request payload bytes. With
+	// aggregation a shared flush is charged once, to the query that opened
+	// it, so the sums still equal the true wire totals.
+	RPCRequests  int64
+	RequestBytes int64
+	Timeouts     int64 // queries aborted by deadline or cancellation
+	Retries      int64 // transient-error RPC retries across all queries
 	// Errors lists the per-query failures. A timed-out query lands here
 	// with context.DeadlineExceeded in its chain while the rest of the
 	// batch completes normally (partial results, not batch abort).
@@ -323,6 +375,7 @@ func (c *Cluster) RunSSPPRBatch(ctx context.Context, queriesByMachine [][]int32,
 	type acc struct {
 		pushes, localRows, remoteRows, haloRows int64
 		cacheHits, cacheCoalesced               int64
+		rpcRequests, requestBytes               int64
 		timeouts, retries                       int64
 		errs                                    []QueryError
 	}
@@ -335,7 +388,7 @@ func (c *Cluster) RunSSPPRBatch(ctx context.Context, queriesByMachine [][]int32,
 		for p := 0; p < procs; p++ {
 			breakdowns[m][p] = metrics.NewBreakdown()
 			// Round-robin assignment of the machine's queries to procs.
-			var mine []int32
+			mine := make([]int32, 0, len(queriesByMachine[m])/procs+1)
 			for i := p; i < len(queriesByMachine[m]); i += procs {
 				mine = append(mine, queriesByMachine[m][i])
 			}
@@ -362,6 +415,8 @@ func (c *Cluster) RunSSPPRBatch(ctx context.Context, queriesByMachine [][]int32,
 					}
 					a.timeouts += stats.Timeouts
 					a.retries += stats.Retries
+					a.rpcRequests += stats.RPCRequests
+					a.requestBytes += stats.RequestBytes
 					if err != nil {
 						a.errs = append(a.errs, QueryError{m, p, src, err})
 						continue
@@ -388,6 +443,8 @@ func (c *Cluster) RunSSPPRBatch(ctx context.Context, queriesByMachine [][]int32,
 			res.HaloRows += accs[m][p].haloRows
 			res.CacheHits += accs[m][p].cacheHits
 			res.CacheCoalesced += accs[m][p].cacheCoalesced
+			res.RPCRequests += accs[m][p].rpcRequests
+			res.RequestBytes += accs[m][p].requestBytes
 			res.Timeouts += accs[m][p].timeouts
 			res.Retries += accs[m][p].retries
 			res.Errors = append(res.Errors, accs[m][p].errs...)

@@ -60,6 +60,23 @@ func (b *infosBatch) Row(i int) (locals, shards []int32, weights, wdegs []float3
 // InfosBatch wraps a decoded remote response.
 func InfosBatch(n *wire.NeighborInfos) NeighborBatch { return &infosBatch{n: n} }
 
+// aggBatch adapts one ticket's row range [off, off+rows) of a shared
+// aggregated CSR response (internal/agg) to the NeighborBatch view. The
+// decoded response is shared by every ticket of the flush; the offset keeps
+// the demux zero-copy.
+type aggBatch struct {
+	n    *wire.NeighborInfos
+	off  int
+	rows int
+}
+
+func (b *aggBatch) NumRows() int { return b.rows }
+
+func (b *aggBatch) Row(i int) (locals, shards []int32, weights, wdegs []float32, rowWDeg float32) {
+	l, s, w, d := b.n.Row(b.off + i)
+	return l, s, w, d, b.n.RowWDeg[b.off+i]
+}
+
 // rowBatch adapts rows assembled from the dynamic neighbor-row cache (hits,
 // single-flight results) to the NeighborBatch view.
 type rowBatch struct {

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"time"
 
+	"pprengine/internal/agg"
 	"pprengine/internal/rpc"
 )
 
@@ -92,6 +93,28 @@ type Config struct {
 	// DistGraphStorage (it is shared machine state, like the shard);
 	// cluster/deploy construction reads this knob to build and attach it.
 	CacheBytes int64
+	// AggWindow, when > 0 (or when AggRows > 0), enables the cross-query
+	// RPC fetch aggregator (internal/agg): concurrent queries' remote
+	// fetches bound for the same destination shard are coalesced into one
+	// wire request, flushed immediately when the link is idle and otherwise
+	// after this window. 0/0 (the default) disables aggregation, preserving
+	// the per-query RPC behavior — and every ablation number — exactly.
+	// Like CacheBytes, the knob is read at construction time (cluster /
+	// deploy) to build machine-shared aggregators.
+	AggWindow time.Duration
+	// AggRows caps the rows of one aggregated request: reaching it flushes
+	// the pending batch at once. Setting only AggRows also enables
+	// aggregation (the window falls back to the aggregator default).
+	AggRows int
+	// DeterministicPop sorts each Pop round's activated vertices by
+	// (shard, local) before pushing. Pop normally drains Go maps, whose
+	// iteration order is randomized, so float accumulation order — and
+	// scores at round-off level — vary run to run. With DeterministicPop
+	// (plus PushWorkers=1) a query's scores are bitwise reproducible, which
+	// is how tests isolate transport changes (e.g. fetch aggregation) from
+	// engine noise. Default off: the sort costs O(k log k) per round and the
+	// paper's numbers do not pay it.
+	DeterministicPop bool
 	// TensorDispatch simulates the per-operator dispatch latency of a
 	// Python tensor library, charged by the tensor-based baselines for
 	// every small tensor operation they issue (masking, gather, scatter,
@@ -126,6 +149,15 @@ func (c *Config) pushThreshold() int {
 		return 64
 	}
 	return c.PushThreshold
+}
+
+// AggEnabled reports whether the config asks for cross-query fetch
+// aggregation.
+func (c *Config) AggEnabled() bool { return c.AggWindow > 0 || c.AggRows > 0 }
+
+// AggOptions converts the config's aggregation knobs to agg.Options.
+func (c *Config) AggOptions() agg.Options {
+	return agg.Options{Window: c.AggWindow, MaxRows: c.AggRows}
 }
 
 // TensorBaselineConfig is DefaultConfig plus the tensor-library dispatch

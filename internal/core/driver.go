@@ -20,6 +20,8 @@ type QueryStats struct {
 	Timeouts       int64 // 1 when the query was cut short by deadline/cancel
 	CacheHits      int64 // remote rows served by the dynamic neighbor-row cache
 	CacheCoalesced int64 // rows that joined another query's in-flight fetch
+	RPCRequests    int64 // wire requests attributed to this query (see InfoFuture.RPCRequests)
+	RequestBytes   int64 // request payload bytes attributed to this query
 }
 
 // RunSSPPR executes one distributed SSPPR query for the source vertex
@@ -132,6 +134,8 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 				fut := g.GetNeighborInfos(ctx, self, byShard[self], cfg)
 				batch, err = fut.WaitCtx(ctx)
 				stats.Retries += fut.Retries()
+				stats.RPCRequests += fut.RPCRequests()
+				stats.RequestBytes += fut.RequestBytes()
 			})
 			if err != nil {
 				return err
@@ -154,6 +158,11 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 				bd.Time(metrics.PhaseRemoteFetch, func() {
 					batch, err = p.fut.WaitCtx(ctx)
 					stats.Retries += p.fut.Retries()
+					// Wire accounting must be read after the wait: an
+					// aggregated fetch only knows its share of the flush once
+					// the flush resolved.
+					stats.RPCRequests += p.fut.RPCRequests()
+					stats.RequestBytes += p.fut.RequestBytes()
 				})
 				if err != nil {
 					return nil, stats, err
@@ -170,6 +179,8 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 				bd.Time(metrics.PhaseRemoteFetch, func() {
 					batches[i], err = p.fut.WaitCtx(ctx)
 					stats.Retries += p.fut.Retries()
+					stats.RPCRequests += p.fut.RPCRequests()
+					stats.RequestBytes += p.fut.RequestBytes()
 				})
 				if err != nil {
 					return nil, stats, err

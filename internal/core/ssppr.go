@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"pprengine/internal/pmap"
@@ -56,6 +57,14 @@ func (m *SSPPR) Pop() (locals, shards []int32) {
 	keys := m.popKeys
 	if len(keys) == 0 {
 		return nil, nil
+	}
+	if m.cfg.DeterministicPop {
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Shard != keys[j].Shard {
+				return keys[i].Shard < keys[j].Shard
+			}
+			return keys[i].Local < keys[j].Local
+		})
 	}
 	m.Iterations++
 	m.popLocals = m.popLocals[:0]

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"pprengine/internal/agg"
 	"pprengine/internal/cache"
 	"pprengine/internal/rpc"
 	"pprengine/internal/shard"
@@ -219,6 +220,11 @@ type InfoFuture struct {
 	// cached is set when the fetch went through the dynamic neighbor-row
 	// cache; see getNeighborInfosCached.
 	cached *cachedFetch
+	// aggTicket is set when the fetch (or, with the cache, its leader rows)
+	// went through the cross-query fetch aggregator. For an uncached
+	// aggregated fetch it is also the wait source; for a cached one it only
+	// carries the wire accounting (the flights resolve the rows).
+	aggTicket *agg.Ticket
 	// remoteRows counts the rows this future actually requests over RPC
 	// (with the cache: flight-leader rows only). Known at issue time.
 	remoteRows int64
@@ -226,6 +232,12 @@ type InfoFuture struct {
 	// and rows piggybacked on another query's in-flight fetch.
 	cacheHits      int64
 	cacheCoalesced int64
+	// rpcReqs / reqBytes record the wire requests (and request payload
+	// bytes) this fetch issued, for the non-aggregated paths where both are
+	// known at issue time. Aggregated fetches read them off the ticket
+	// instead — see RPCRequests.
+	rpcReqs  int64
+	reqBytes int64
 }
 
 // Retries returns the number of transient-error retries this fetch
@@ -243,6 +255,29 @@ func (f *InfoFuture) CacheHits() int64 { return f.cacheHits }
 // fetch instead of issuing their own RPC.
 func (f *InfoFuture) CacheCoalesced() int64 { return f.cacheCoalesced }
 
+// RPCRequests returns the wire requests attributed to this fetch. For an
+// aggregated fetch the flush is shared: its one request (and payload bytes)
+// is charged to the fetch that opened the flush and zero to the riders, so
+// per-query sums still equal the true wire totals. Call after the fetch
+// resolved — an aggregated fetch reports zeros until its flush completes.
+func (f *InfoFuture) RPCRequests() int64 {
+	if f.aggTicket != nil {
+		r, _ := f.aggTicket.Accounting()
+		return r
+	}
+	return f.rpcReqs
+}
+
+// RequestBytes returns the request payload bytes attributed to this fetch
+// (same attribution rule as RPCRequests).
+func (f *InfoFuture) RequestBytes() int64 {
+	if f.aggTicket != nil {
+		_, b := f.aggTicket.Accounting()
+		return b
+	}
+	return f.reqBytes
+}
+
 // Wait blocks for the response(s) and returns the decoded batch.
 func (f *InfoFuture) Wait() (NeighborBatch, error) {
 	return f.WaitCtx(context.Background())
@@ -256,6 +291,15 @@ func (f *InfoFuture) WaitCtx(ctx context.Context) (NeighborBatch, error) {
 	}
 	if f.cached != nil {
 		return f.waitCached(ctx)
+	}
+	if f.aggTicket != nil {
+		infos, off, err := f.aggTicket.Wait(ctx)
+		if err != nil {
+			f.err = err
+			return nil, err
+		}
+		f.batch = &aggBatch{n: infos, off: off, rows: f.aggTicket.Rows()}
+		return f.batch, nil
 	}
 	switch f.mode {
 	case FetchBatchCompress:
@@ -370,12 +414,46 @@ type DistGraphStorage struct {
 	// internal/cache and Config.CacheBytes). nil disables it, preserving
 	// the paper's ablation behavior exactly.
 	Cache *cache.Cache
+
+	// Aggs, when non-nil, holds the per-destination-shard cross-query fetch
+	// aggregators (indexed by shard ID; the local entry is nil). Like the
+	// cache, aggregators are machine-shared state: every compute process of
+	// a machine enqueues into the same pending batches, so concurrent
+	// queries' fetches to one shard merge into one wire request. nil
+	// disables aggregation (the default).
+	Aggs []*agg.Aggregator
 }
 
 // AttachCache installs the shared dynamic neighbor-row cache. Call once at
 // setup; like the shard, the cache is meant to be shared by every compute
 // handle of the machine.
 func (g *DistGraphStorage) AttachCache(c *cache.Cache) { g.Cache = c }
+
+// AttachAggregators installs a prebuilt per-shard aggregator slice (one
+// entry per shard, nil for the local shard). Cluster construction shares one
+// slice across all of a machine's compute handles so aggregation works
+// across processes, not just within one.
+func (g *DistGraphStorage) AttachAggregators(aggs []*agg.Aggregator) { g.Aggs = aggs }
+
+// AttachFetchAggregators builds one aggregator per remote client of this
+// handle and attaches them — the single-compute-process convenience
+// (cmd/pprquery, deploy.EnableQueries). agg.New returns nil for the nil
+// local client, which disables aggregation for the shared-memory shard.
+func (g *DistGraphStorage) AttachFetchAggregators(o agg.Options) {
+	aggs := make([]*agg.Aggregator, len(g.Clients))
+	for i, c := range g.Clients {
+		aggs[i] = agg.New(c, o)
+	}
+	g.Aggs = aggs
+}
+
+// aggFor returns the aggregator for dstShard, or nil when disabled.
+func (g *DistGraphStorage) aggFor(dstShard int32) *agg.Aggregator {
+	if g.Aggs == nil {
+		return nil
+	}
+	return g.Aggs[dstShard]
+}
 
 // NewDistGraphStorage assembles a handle. clients must have one entry per
 // shard; the local entry may be nil.
@@ -412,13 +490,29 @@ func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32,
 	if g.Cache != nil {
 		return g.getNeighborInfosCached(dstShard, locals, cfg, c)
 	}
+	if ag := g.aggFor(dstShard); ag != nil {
+		// Cross-query aggregation: the fetch joins the machine-wide pending
+		// batch for dstShard and resolves from its row range of the merged
+		// CSR response. Like the cache path, the flush is issued without the
+		// query's ctx (it is shared state; WaitCtx still honors ctx for this
+		// waiter) and always batches CSR, even under the Single/LoL modes.
+		return &InfoFuture{aggTicket: ag.Enqueue(locals), remoteRows: int64(len(locals))}
+	}
 	switch cfg.Mode {
 	case FetchBatchCompress:
-		return &InfoFuture{mode: cfg.Mode, remoteRows: int64(len(locals)), futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfos, wire.EncodeIDList(locals))}}
+		payload := wire.EncodeIDList(locals)
+		return &InfoFuture{mode: cfg.Mode, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)),
+			futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfos, payload)}}
 	case FetchBatch:
-		return &InfoFuture{mode: cfg.Mode, remoteRows: int64(len(locals)), futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfosLoL, wire.EncodeIDList(locals))}}
+		payload := wire.EncodeIDList(locals)
+		return &InfoFuture{mode: cfg.Mode, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)),
+			futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfosLoL, payload)}}
 	default: // FetchSingle: sequential per-vertex round trips (see WaitCtx)
-		return &InfoFuture{mode: FetchSingle, remoteRows: int64(len(locals)), seqClient: c, seqLocals: locals, retry: cfg.Retry}
+		// One 8-byte single-ID request per vertex (retries excluded; the
+		// Retries counter tracks those separately).
+		return &InfoFuture{mode: FetchSingle, remoteRows: int64(len(locals)),
+			rpcReqs: int64(len(locals)), reqBytes: 8 * int64(len(locals)),
+			seqClient: c, seqLocals: locals, retry: cfg.Retry}
 	}
 }
 
@@ -534,21 +628,63 @@ func (g *DistGraphStorage) getNeighborInfosCached(dstShard int32, locals []int32
 	}
 	f.remoteRows = int64(len(leaderLocals))
 	if len(leaderLocals) > 0 {
-		method := rpc.MethodGetNeighborInfosLoL
-		csr := cfg.Mode == FetchBatchCompress
-		if csr {
-			method = rpc.MethodGetNeighborInfos
-		}
-		fg := &fetchGroup{
-			fut:     c.Call(method, wire.EncodeIDList(leaderLocals)),
-			csr:     csr,
-			flights: leaderFlights,
-		}
-		for _, fl := range leaderFlights {
-			fl.AttachSource(fg.fut.Done(), fg.resolve)
+		if ag := g.aggFor(dstShard); ag != nil {
+			// Cache and aggregator compose: the cache already deduplicated
+			// IDENTICAL rows (hits and coalesced flights above); the rows
+			// this query leads are DISTINCT, and the aggregator merges them
+			// with other queries' leader rows bound for the same shard.
+			t := ag.Enqueue(leaderLocals)
+			f.aggTicket = t
+			ar := &aggResolver{t: t, flights: leaderFlights}
+			for _, fl := range leaderFlights {
+				fl.AttachSource(t.Done(), ar.resolve)
+			}
+		} else {
+			method := rpc.MethodGetNeighborInfosLoL
+			csr := cfg.Mode == FetchBatchCompress
+			if csr {
+				method = rpc.MethodGetNeighborInfos
+			}
+			payload := wire.EncodeIDList(leaderLocals)
+			f.rpcReqs = 1
+			f.reqBytes = int64(len(payload))
+			fg := &fetchGroup{
+				fut:     c.Call(method, payload),
+				csr:     csr,
+				flights: leaderFlights,
+			}
+			for _, fl := range leaderFlights {
+				fl.AttachSource(fg.fut.Done(), fg.resolve)
+			}
 		}
 	}
 	return f
+}
+
+// aggResolver fulfills a cached fetch's leader flights from its aggregator
+// ticket's row range. Like fetchGroup.resolve it is idempotent and driven by
+// whichever participant observes the ticket resolve first, so an abandoned
+// leader never strands coalesced waiters.
+type aggResolver struct {
+	t       *agg.Ticket
+	once    sync.Once
+	flights []*cache.Flight
+}
+
+// resolve must only be called after the ticket's Done channel closed.
+func (ar *aggResolver) resolve() {
+	ar.once.Do(func() {
+		infos, off, err := ar.t.Result()
+		if err != nil {
+			for _, fl := range ar.flights {
+				fl.Fulfill(cache.Row{}, err)
+			}
+			return
+		}
+		for i, fl := range ar.flights {
+			fl.Fulfill(copyRow(infos, off+i), nil)
+		}
+	})
 }
 
 // waitCached assembles the batch for a cache-mediated fetch: hits are

@@ -130,7 +130,10 @@ func RunTensorSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32,
 			var batch NeighborBatch
 			var err error
 			bd.Time(metrics.PhaseLocalFetch, func() {
-				batch, err = g.GetNeighborInfos(ctx, self, byShard[self], cfg).WaitCtx(ctx)
+				fut := g.GetNeighborInfos(ctx, self, byShard[self], cfg)
+				batch, err = fut.WaitCtx(ctx)
+				stats.RPCRequests += fut.RPCRequests()
+				stats.RequestBytes += fut.RequestBytes()
 			})
 			if err != nil {
 				return err
@@ -147,7 +150,11 @@ func RunTensorSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32,
 			for _, pd := range remotes {
 				var batch NeighborBatch
 				var err error
-				bd.Time(metrics.PhaseRemoteFetch, func() { batch, err = pd.fut.WaitCtx(ctx) })
+				bd.Time(metrics.PhaseRemoteFetch, func() {
+					batch, err = pd.fut.WaitCtx(ctx)
+					stats.RPCRequests += pd.fut.RPCRequests()
+					stats.RequestBytes += pd.fut.RequestBytes()
+				})
 				if err != nil {
 					return nil, stats, err
 				}
@@ -157,7 +164,11 @@ func RunTensorSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32,
 			batches := make([]NeighborBatch, len(remotes))
 			for i, pd := range remotes {
 				var err error
-				bd.Time(metrics.PhaseRemoteFetch, func() { batches[i], err = pd.fut.WaitCtx(ctx) })
+				bd.Time(metrics.PhaseRemoteFetch, func() {
+					batches[i], err = pd.fut.WaitCtx(ctx)
+					stats.RPCRequests += pd.fut.RPCRequests()
+					stats.RequestBytes += pd.fut.RequestBytes()
+				})
 				if err != nil {
 					return nil, stats, err
 				}

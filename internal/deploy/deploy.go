@@ -96,6 +96,12 @@ func EnableQueries(ctx context.Context, srv *core.StorageServer, peers map[int32
 		// hubs, which is exactly the access pattern the cache serves.
 		compute.AttachCache(cache.New(cfg.CacheBytes))
 	}
+	if cfg.AggEnabled() {
+		// One fetch aggregator per remote peer: the query service runs many
+		// clients' queries concurrently on this handle, so their per-shard
+		// fetches coalesce into merged wire requests.
+		compute.AttachFetchAggregators(cfg.AggOptions())
+	}
 	if err := srv.EnableQueryService(compute, cfg); err != nil {
 		cleanup()
 		return nil, err

@@ -185,6 +185,14 @@ var (
 	// CacheCoalesced counts rows that piggybacked on another query's
 	// in-flight fetch instead of issuing their own RPC.
 	CacheCoalesced Counter
+	// AggFlushes counts merged wire requests sent by the cross-query fetch
+	// aggregator (internal/agg).
+	AggFlushes Counter
+	// AggRows counts neighbor rows carried by aggregated flushes.
+	AggRows Counter
+	// AggShared counts fetches whose flush also carried another query's
+	// fetch — the round trips actually amortized by aggregation.
+	AggShared Counter
 )
 
 // Summary holds repeated-run statistics (the paper reports an average of 10
