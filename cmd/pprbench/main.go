@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|all)")
+		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|all)")
 		scale      = flag.Int("scale", 8, "dataset downscale factor (1 = full stand-in size)")
 		queries    = flag.Int("queries", 0, "SSPPR queries per machine (0 = default)")
 		repeats    = flag.Int("repeats", 0, "measured repetitions (0 = default)")
@@ -35,6 +35,9 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "per-machine dynamic neighbor-row cache budget for the cache experiment")
 		aggWindow  = flag.Duration("agg-window", 500*time.Microsecond, "flush window for the agg experiment's cross-query fetch aggregator")
 		aggRows    = flag.Int("agg-rows", 0, "row cap per aggregated request for the agg experiment (0 = aggregator default)")
+		replicas   = flag.Int("replicas", 0, "serving machines per shard for the failover experiment (0 = default 2)")
+		probeIvl   = flag.Duration("probe-interval", 0, "health-ping interval for the failover experiment (0 = default 50ms)")
+		breakerThr = flag.Int("breaker-threshold", 0, "consecutive failures that open a circuit breaker in the failover experiment (0 = default 3)")
 		jsonPath   = flag.String("json", "", "write the ran experiments' structured rows to this file as JSON")
 	)
 	flag.Parse()
@@ -140,6 +143,10 @@ func main() {
 	})
 	run("agg", func() (experiments.Report, any, error) {
 		r, rows, err := experiments.AggBench(p, *aggWindow, *aggRows)
+		return r, rows, err
+	})
+	run("failover", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.FailoverBench(p, *replicas, *probeIvl, *breakerThr)
 		return r, rows, err
 	})
 	if ran == 0 {

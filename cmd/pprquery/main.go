@@ -20,6 +20,7 @@ import (
 	"pprengine/internal/core"
 	"pprengine/internal/deploy"
 	"pprengine/internal/graph"
+	"pprengine/internal/ha"
 	"pprengine/internal/metrics"
 	"pprengine/internal/rpc"
 )
@@ -28,7 +29,7 @@ func main() {
 	var (
 		shardPath   = flag.String("shard", "", "local shard file (compute mode)")
 		locPath     = flag.String("locator", "", "locator file (required)")
-		peersSpec   = flag.String("peers", "", "compute mode: remote shards \"1=host:port,...\"")
+		peersSpec   = flag.String("peers", "", "compute mode: remote shards \"1=host:port,...\"; with replication, \"1=primary:port|replica:port,...\"")
 		ownersSpec  = flag.String("owners", "", "thin mode: every shard's query service \"0=host:port,1=host:port,...\"; no local shard needed (requires pprserve -peers)")
 		source      = flag.Int("source", 0, "global source node ID")
 		topk        = flag.Int("topk", 10, "print the k best-ranked nodes")
@@ -39,6 +40,9 @@ func main() {
 		cacheBytes  = flag.Int64("cache-bytes", 0, "compute mode: byte budget for the dynamic remote neighbor-row cache (0 = disabled)")
 		aggWindow   = flag.Duration("agg-window", 0, "compute mode: flush window for cross-query RPC fetch aggregation (0 = disabled unless -agg-rows is set)")
 		aggRows     = flag.Int("agg-rows", 0, "compute mode: row cap per aggregated request; setting it also enables aggregation")
+		replicas    = flag.Int("replicas", 0, "expected serving addresses per remote shard in -peers (0 = accept whatever is listed)")
+		probeIvl    = flag.Duration("probe-interval", 0, "health-ping interval per peer when -peers lists replicas (0 = default 500ms)")
+		breakerThr  = flag.Int("breaker-threshold", 0, "consecutive probe/request failures that open a peer's circuit breaker (0 = default)")
 	)
 	flag.Parse()
 	if *locPath == "" {
@@ -53,31 +57,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pprquery: pass -shard (compute mode) or -owners (thin mode)")
 		os.Exit(2)
 	}
-	peers, err := deploy.ParsePeers(*peersSpec)
+	peers, err := deploy.ParseReplicaPeers(*peersSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pprquery:", err)
 		os.Exit(2)
 	}
+	if err := deploy.ValidateReplicas(peers, *replicas); err != nil {
+		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Alpha = *alpha
+	cfg.Eps = *eps
+	cfg.QueryTimeout = *timeout
+	cfg.CacheBytes = *cacheBytes
+	cfg.AggWindow = *aggWindow
+	cfg.AggRows = *aggRows
 	dialCtx, cancelDial := context.WithTimeout(context.Background(), *dialTimeout)
-	st, cleanup, err := deploy.Connect(dialCtx, *shardPath, *locPath, peers, rpc.LatencyModel{})
+	var st *core.DistGraphStorage
+	var cleanup func()
+	if deploy.Replicated(peers) {
+		haOpts := ha.Options{ProbeInterval: *probeIvl, BreakerThreshold: *breakerThr}
+		st, _, cleanup, err = deploy.ConnectHA(dialCtx, *shardPath, *locPath, peers, cfg, haOpts, rpc.LatencyModel{})
+	} else {
+		st, cleanup, err = deploy.Connect(dialCtx, *shardPath, *locPath, deploy.PrimaryPeers(peers), rpc.LatencyModel{})
+		if err == nil {
+			if *cacheBytes > 0 {
+				st.AttachCache(cache.New(*cacheBytes))
+			}
+			if cfg.AggEnabled() {
+				st.AttachFetchAggregators(cfg.AggOptions())
+			}
+		}
+	}
 	cancelDial()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pprquery:", err)
 		os.Exit(1)
 	}
 	defer cleanup()
-	if *cacheBytes > 0 {
-		st.AttachCache(cache.New(*cacheBytes))
-	}
-	cfg := core.DefaultConfig()
-	cfg.Alpha = *alpha
-	cfg.Eps = *eps
-	cfg.QueryTimeout = *timeout
-	cfg.AggWindow = *aggWindow
-	cfg.AggRows = *aggRows
-	if cfg.AggEnabled() {
-		st.AttachFetchAggregators(cfg.AggOptions())
-	}
 
 	sh, local := st.Locator.Locate(graph.NodeID(*source))
 	if sh != st.ShardID {

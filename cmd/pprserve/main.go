@@ -10,6 +10,15 @@
 //	...
 //	pprquery -shard shards/shard-0.bin -locator shards/locator.bin \
 //	         -peers "1=host1:7001,2=host2:7002,3=host3:7003" -source 42 -topk 10
+//
+// With replication, each remote shard lists its serving addresses primary
+// first ("1=host1:7001|host2:7101"), and served queries fail over to a
+// replica when the primary is unreachable (see DESIGN.md §5f).
+//
+// On SIGTERM/SIGINT the server shuts down gracefully: it stops accepting
+// work and waits up to -drain for in-flight requests to finish, so replicas
+// taking over mid-stream see completed responses, not torn connections. A
+// second signal forces immediate exit.
 package main
 
 import (
@@ -19,9 +28,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pprengine/internal/core"
 	"pprengine/internal/deploy"
+	"pprengine/internal/ha"
 	"pprengine/internal/rpc"
 )
 
@@ -30,12 +41,16 @@ func main() {
 		shardPath    = flag.String("shard", "", "shard file (required)")
 		locPath      = flag.String("locator", "", "locator file (required)")
 		listen       = flag.String("listen", ":7000", "TCP listen address")
-		peersSpec    = flag.String("peers", "", "other shards (\"1=host:port,...\"); enables the SSPPR query service for this shard's vertices")
+		peersSpec    = flag.String("peers", "", "other shards (\"1=host:port|replica:port,...\"); enables the SSPPR query service for this shard's vertices")
 		dialTimeout  = flag.Duration("dial-timeout", deploy.DefaultDialTimeout, "per-peer connect deadline for the query service")
 		queryTimeout = flag.Duration("query-timeout", 0, "default per-query deadline for served SSPPR queries (0 = none; a client-propagated deadline overrides it)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "byte budget for the dynamic remote neighbor-row cache used by served queries (0 = disabled)")
 		aggWindow    = flag.Duration("agg-window", 0, "flush window for cross-query RPC fetch aggregation of served queries (0 = disabled unless -agg-rows is set)")
 		aggRows      = flag.Int("agg-rows", 0, "row cap per aggregated request; setting it also enables aggregation (0 = disabled unless -agg-window is set)")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline: how long to wait for in-flight requests after SIGTERM/SIGINT")
+		replicas     = flag.Int("replicas", 0, "expected serving addresses per remote shard in -peers (0 = accept whatever is listed)")
+		probeIvl     = flag.Duration("probe-interval", 0, "health-ping interval per peer when -peers lists replicas (0 = default 500ms)")
+		breakerThr   = flag.Int("breaker-threshold", 0, "consecutive probe/request failures that open a peer's circuit breaker (0 = default)")
 	)
 	flag.Parse()
 	if *shardPath == "" || *locPath == "" {
@@ -50,8 +65,12 @@ func main() {
 	fmt.Printf("pprserve: shard %d (%d core nodes) serving on %s\n",
 		srv.Shard.ShardID, srv.Shard.NumCore(), addr)
 	if *peersSpec != "" {
-		peers, err := deploy.ParsePeers(*peersSpec)
+		peers, err := deploy.ParseReplicaPeers(*peersSpec)
 		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprserve:", err)
+			os.Exit(2)
+		}
+		if err := deploy.ValidateReplicas(peers, *replicas); err != nil {
 			fmt.Fprintln(os.Stderr, "pprserve:", err)
 			os.Exit(2)
 		}
@@ -61,18 +80,41 @@ func main() {
 		cfg.AggWindow = *aggWindow
 		cfg.AggRows = *aggRows
 		ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
-		cleanup, err := deploy.EnableQueries(ctx, srv, peers, cfg, rpc.LatencyModel{})
+		var cleanup func()
+		if deploy.Replicated(peers) {
+			haOpts := ha.Options{ProbeInterval: *probeIvl, BreakerThreshold: *breakerThr}
+			cleanup, err = deploy.EnableQueriesHA(ctx, srv, peers, cfg, haOpts, rpc.LatencyModel{})
+		} else {
+			cleanup, err = deploy.EnableQueries(ctx, srv, deploy.PrimaryPeers(peers), cfg, rpc.LatencyModel{})
+		}
 		cancel()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pprserve:", err)
 			os.Exit(1)
 		}
 		defer cleanup()
-		fmt.Printf("pprserve: query service enabled (peers %s)\n", deploy.FormatPeers(peers))
+		fmt.Printf("pprserve: query service enabled (peers %s)\n", deploy.FormatReplicaPeers(peers))
 	}
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("pprserve: shutting down")
-	srv.Close()
+	fmt.Printf("pprserve: shutting down (draining up to %v; signal again to force)\n", *drain)
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprserve: drain incomplete: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("pprserve: drained, bye")
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "pprserve: forced exit")
+		srv.Close()
+		os.Exit(1)
+	}
 }

@@ -137,14 +137,34 @@ func (t *Ticket) Accounting() (requests, bytes int64) {
 	}
 }
 
+// Response is the pending result of one issued flush. *rpc.Future satisfies
+// it; so does the failover layer's routed call future.
+type Response interface {
+	Wait() ([]byte, error)
+}
+
+// Transport issues one wire request for a flush. The two implementations are
+// a plain rpc client (clientTransport) and the replication layer's
+// ReplicaRouter bound to this aggregator's destination shard — the
+// aggregator itself stays transport-agnostic, so flush merging and failover
+// compose without knowing about each other.
+type Transport interface {
+	Call(m rpc.Method, payload []byte) Response
+}
+
+// clientTransport adapts a plain *rpc.Client to Transport.
+type clientTransport struct{ c *rpc.Client }
+
+func (t clientTransport) Call(m rpc.Method, payload []byte) Response { return t.c.Call(m, payload) }
+
 // Aggregator coalesces concurrent GetNeighborInfos fetches bound for one
-// destination shard into merged wire requests over a single client. It is
+// destination shard into merged wire requests over a single transport. It is
 // shared machine-wide (like the shard and the dynamic cache): every compute
 // process of a machine enqueues into the same pending batch. All methods are
 // safe for concurrent use.
 type Aggregator struct {
-	client *rpc.Client
-	opts   Options
+	tr   Transport
+	opts Options
 
 	mu       sync.Mutex
 	pending  []*Ticket
@@ -166,7 +186,17 @@ func New(c *rpc.Client, opts Options) *Aggregator {
 	if c == nil {
 		return nil
 	}
-	return &Aggregator{client: c, opts: opts}
+	return NewTransport(clientTransport{c}, opts)
+}
+
+// NewTransport returns an aggregator flushing over an arbitrary transport —
+// the constructor the replication layer uses to route flushes through a
+// ReplicaRouter. A nil transport yields a nil aggregator.
+func NewTransport(tr Transport, opts Options) *Aggregator {
+	if tr == nil {
+		return nil
+	}
+	return &Aggregator{tr: tr, opts: opts}
 }
 
 // Enqueue adds a fetch for locals to the pending batch and returns its
@@ -245,14 +275,14 @@ func (a *Aggregator) flushLocked() {
 		a.shared.Add(int64(len(batch)))
 		metrics.AggShared.Inc(int64(len(batch)))
 	}
-	fut := a.client.Call(rpc.MethodGetNeighborInfos, payload)
+	fut := a.tr.Call(rpc.MethodGetNeighborInfos, payload)
 	go a.complete(fut, batch, rows)
 }
 
 // complete resolves one flush: decode, demux by row range, release every
 // ticket. A batch pending behind this flush keeps accumulating until its own
 // window or row cap fires.
-func (a *Aggregator) complete(fut *rpc.Future, batch []*Ticket, rows int) {
+func (a *Aggregator) complete(fut Response, batch []*Ticket, rows int) {
 	payload, err := fut.Wait()
 	var infos *wire.NeighborInfos
 	if err == nil {

@@ -1,0 +1,293 @@
+// Package chaos injects deterministic faults into the engine's TCP transport
+// for failover testing. It wraps net.Listener/net.Conn (the layer below the
+// rpc framing), so the rpc and ha packages are exercised unmodified — exactly
+// the failures they would see in production: connections that die (machine
+// crash), packets that vanish (blackhole), frames that are dropped or
+// delayed.
+//
+// Determinism: all randomness comes from one seeded math/rand source guarded
+// by a mutex, and the kill-after-N trigger counts response writes rather than
+// wall-clock time, so a test or experiment replays identically for a given
+// seed and plan. No fault is scheduled off the clock.
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan configures the faults for one machine. The zero value injects nothing.
+type Plan struct {
+	// DropRate drops each outbound response frame write with this probability
+	// (0..1), drawn from the injector's seeded RNG. The connection stays up;
+	// the client sees a missing response (and, since frames are
+	// length-prefixed on a stream, a desynchronized connection — which is the
+	// point: partial writes corrupt streams).
+	DropRate float64
+	// Delay sleeps this long before every read and write while the machine
+	// is up — crude latency injection.
+	Delay time.Duration
+	// KillAfterWrites kills the machine (closes every connection, rejects
+	// new ones) after this many successful response writes, when > 0. This
+	// is the deterministic "crash mid-stream" trigger.
+	KillAfterWrites int64
+	// Blackhole, when the machine is down, makes connections hang instead of
+	// erroring: reads and writes block until Revive (or the peer's timeout).
+	// Without it a killed machine fails fast with closed connections.
+	Blackhole bool
+}
+
+// Injector manages fault state for the machines of one simulated cluster.
+// Wrap each machine's listener with WrapListener before serving.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	machines map[int]*machineState
+}
+
+// machineState is the per-machine fault state shared by all wrapped
+// connections of that machine.
+type machineState struct {
+	inj  *Injector
+	id   int
+	plan Plan
+
+	mu     sync.Mutex
+	down   bool
+	unfroz chan struct{} // closed on revive; blackholed I/O waits on it
+	writes int64         // successful response writes, for KillAfterWrites
+	kills  int64
+	conns  map[*faultConn]struct{}
+}
+
+// New returns an injector with the given RNG seed. The same seed and plans
+// reproduce the same drop decisions.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:      rand.New(rand.NewSource(seed)),
+		machines: make(map[int]*machineState),
+	}
+}
+
+// SetPlan installs (or replaces) machine's fault plan. Call before traffic
+// for deterministic replay.
+func (in *Injector) SetPlan(machine int, plan Plan) {
+	st := in.state(machine)
+	st.mu.Lock()
+	st.plan = plan
+	st.mu.Unlock()
+}
+
+func (in *Injector) state(machine int) *machineState {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.machines[machine]
+	if !ok {
+		st = &machineState{
+			inj:    in,
+			id:     machine,
+			unfroz: make(chan struct{}),
+			conns:  make(map[*faultConn]struct{}),
+		}
+		in.machines[machine] = st
+	}
+	return st
+}
+
+// chance draws one Bernoulli sample from the shared seeded RNG.
+func (in *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+// Kill takes machine down: existing connections are closed (or frozen, with
+// Blackhole) and new ones are rejected the same way until Revive.
+func (in *Injector) Kill(machine int) { in.state(machine).kill() }
+
+// Revive brings machine back up. Previously frozen connections unblock (and
+// then typically fail, since their peer gave up); new connections work.
+func (in *Injector) Revive(machine int) { in.state(machine).revive() }
+
+// Down reports whether machine is currently killed.
+func (in *Injector) Down(machine int) bool {
+	st := in.state(machine)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.down
+}
+
+// Stats summarizes what the injector has done to one machine.
+type Stats struct {
+	Down   bool
+	Writes int64 // response frame writes that went through
+	Kills  int64 // times the machine was taken down
+}
+
+// Stats returns machine's fault statistics.
+func (in *Injector) Stats(machine int) Stats {
+	st := in.state(machine)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Stats{Down: st.down, Writes: st.writes, Kills: st.kills}
+}
+
+func (st *machineState) kill() {
+	st.mu.Lock()
+	if st.down {
+		st.mu.Unlock()
+		return
+	}
+	st.down = true
+	st.kills++
+	conns := make([]*faultConn, 0, len(st.conns))
+	for c := range st.conns {
+		conns = append(conns, c)
+	}
+	blackhole := st.plan.Blackhole
+	st.mu.Unlock()
+	if !blackhole {
+		// Crash semantics: every open connection dies. The rpc client's read
+		// loop sees EOF, marks itself dead, and fails pending calls — which
+		// is what drives the router's failover.
+		for _, c := range conns {
+			c.Conn.Close()
+		}
+	}
+}
+
+func (st *machineState) revive() {
+	st.mu.Lock()
+	if !st.down {
+		st.mu.Unlock()
+		return
+	}
+	st.down = false
+	close(st.unfroz)
+	st.unfroz = make(chan struct{})
+	st.mu.Unlock()
+}
+
+// gate blocks while the machine is down and blackholing. It returns false
+// when the caller should fail the I/O instead (machine down, fail-fast mode).
+// closed unblocks a frozen wait when the connection itself is closed — a
+// server shutting down must be able to reap readers of a still-blackholed
+// machine.
+func (st *machineState) gate(closed <-chan struct{}) bool {
+	for {
+		st.mu.Lock()
+		if !st.down {
+			delay := st.plan.Delay
+			st.mu.Unlock()
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			return true
+		}
+		if !st.plan.Blackhole {
+			st.mu.Unlock()
+			return false
+		}
+		wait := st.unfroz
+		st.mu.Unlock()
+		select {
+		case <-wait: // Revive
+		case <-closed:
+			return false
+		}
+	}
+}
+
+// WrapListener wraps lis so every accepted connection is subject to
+// machine's fault plan. Safe to call before any plan is set.
+func (in *Injector) WrapListener(machine int, lis net.Listener) net.Listener {
+	return &faultListener{Listener: lis, st: in.state(machine)}
+}
+
+type faultListener struct {
+	net.Listener
+	st *machineState
+}
+
+// Accept never surfaces fault-injected errors to the server's accept loop
+// (a real crashed machine's listener does not return errors to anyone — it
+// is simply gone, and rpc.Server.Serve must keep running for after Revive).
+// While the machine is down, accepted connections are immediately killed
+// (fail-fast) or frozen (blackhole).
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	fc := &faultConn{Conn: conn, st: l.st, closed: make(chan struct{})}
+	l.st.mu.Lock()
+	l.st.conns[fc] = struct{}{}
+	down, blackhole := l.st.down, l.st.plan.Blackhole
+	l.st.mu.Unlock()
+	if down && !blackhole {
+		conn.Close() // the machine is "off": connections die instantly
+	}
+	return fc, nil
+}
+
+// faultConn applies the machine's plan to one server-side connection.
+type faultConn struct {
+	net.Conn
+	st     *machineState
+	closed chan struct{} // closed by Close; unblocks blackholed gates
+	once   sync.Once
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if !c.st.gate(c.closed) {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	return c.Conn.Read(p)
+}
+
+// Write intercepts outbound response frames: each whole-frame write (the rpc
+// server issues exactly one Write per response frame) may be dropped by
+// DropRate, counts toward KillAfterWrites, and is frozen during a blackhole.
+func (c *faultConn) Write(p []byte) (int, error) {
+	if !c.st.gate(c.closed) {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	st := c.st
+	st.mu.Lock()
+	drop := st.inj.chance(st.plan.DropRate)
+	var killNow bool
+	if !drop {
+		st.writes++
+		if st.plan.KillAfterWrites > 0 && st.writes == st.plan.KillAfterWrites {
+			killNow = true
+		}
+	}
+	st.mu.Unlock()
+	if drop {
+		// Lie about success so the rpc server does not treat the connection
+		// as broken; the client just never hears back.
+		return len(p), nil
+	}
+	n, err := c.Conn.Write(p)
+	if killNow {
+		// The deterministic mid-stream crash: this response got out, nothing
+		// after it will.
+		st.kill()
+	}
+	return n, err
+}
+
+func (c *faultConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	c.st.mu.Lock()
+	delete(c.st.conns, c)
+	c.st.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"pprengine/internal/rpc"
+)
+
+// serveWithChaos starts an rpc echo server behind a chaos-wrapped listener.
+func serveWithChaos(t *testing.T, in *Injector, machine int) (*rpc.Server, string) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer()
+	srv.Handle(rpc.MethodEcho, func(p []byte) ([]byte, error) { return p, nil })
+	go srv.Serve(in.WrapListener(machine, lis))
+	return srv, lis.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *rpc.Client {
+	t.Helper()
+	c, err := rpc.Dial(addr, rpc.LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNoFaultsPassThrough(t *testing.T) {
+	in := New(1)
+	srv, addr := serveWithChaos(t, in, 0)
+	defer srv.Close()
+	c := dial(t, addr)
+	defer c.Close()
+	res, err := c.SyncCall(rpc.MethodEcho, []byte("hello"))
+	if err != nil || string(res) != "hello" {
+		t.Fatalf("got %q, %v; want hello", res, err)
+	}
+	if st := in.Stats(0); st.Writes != 1 || st.Down || st.Kills != 0 {
+		t.Fatalf("stats = %+v, want 1 write, up, 0 kills", st)
+	}
+}
+
+func TestKillFailsFastAndReviveRestores(t *testing.T) {
+	in := New(1)
+	srv, addr := serveWithChaos(t, in, 0)
+	defer srv.Close()
+	c := dial(t, addr)
+	defer c.Close()
+	if _, err := c.SyncCall(rpc.MethodEcho, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	in.Kill(0)
+	if !in.Down(0) {
+		t.Fatal("Down(0) = false after Kill")
+	}
+	// The open connection was closed: the pending and subsequent calls fail
+	// fast instead of hanging.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.SyncCallCtx(ctx, rpc.MethodEcho, []byte("b")); err == nil {
+		t.Fatal("call to a killed machine should fail")
+	}
+	// A fresh connection also dies immediately while down.
+	c2 := dial(t, addr)
+	defer c2.Close()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if _, err := c2.SyncCallCtx(ctx2, rpc.MethodEcho, []byte("c")); err == nil {
+		t.Fatal("call on a fresh connection to a killed machine should fail")
+	}
+
+	in.Revive(0)
+	c3 := dial(t, addr)
+	defer c3.Close()
+	res, err := c3.SyncCall(rpc.MethodEcho, []byte("d"))
+	if err != nil || string(res) != "d" {
+		t.Fatalf("after revive: got %q, %v; want d", res, err)
+	}
+	if st := in.Stats(0); st.Kills != 1 {
+		t.Fatalf("Kills = %d, want 1", st.Kills)
+	}
+}
+
+func TestBlackholeHangsUntilTimeout(t *testing.T) {
+	in := New(1)
+	in.SetPlan(0, Plan{Blackhole: true})
+	srv, addr := serveWithChaos(t, in, 0)
+	defer srv.Close()
+	c := dial(t, addr)
+	defer c.Close()
+	if _, err := c.SyncCall(rpc.MethodEcho, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	in.Kill(0)
+	// Blackhole: no error, no response — only the caller's deadline fires.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := c.SyncCallCtx(ctx, rpc.MethodEcho, []byte("b"))
+	if err != context.DeadlineExceeded {
+		t.Fatalf("blackholed call: err = %v, want context.DeadlineExceeded", err)
+	}
+	in.Revive(0)
+	// The same machine answers again on a fresh connection.
+	c2 := dial(t, addr)
+	defer c2.Close()
+	res, err := c2.SyncCall(rpc.MethodEcho, []byte("c"))
+	if err != nil || string(res) != "c" {
+		t.Fatalf("after revive: got %q, %v; want c", res, err)
+	}
+}
+
+func TestKillAfterWritesIsDeterministic(t *testing.T) {
+	in := New(7)
+	in.SetPlan(0, Plan{KillAfterWrites: 3})
+	srv, addr := serveWithChaos(t, in, 0)
+	defer srv.Close()
+	c := dial(t, addr)
+	defer c.Close()
+
+	ok := 0
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_, err := c.SyncCallCtx(ctx, rpc.MethodEcho, []byte{byte(i)})
+		cancel()
+		if err != nil {
+			break
+		}
+		ok++
+	}
+	if ok != 3 {
+		t.Fatalf("%d calls succeeded before the crash, want exactly 3", ok)
+	}
+	st := in.Stats(0)
+	if st.Writes != 3 || st.Kills != 1 || !st.Down {
+		t.Fatalf("stats = %+v, want 3 writes, 1 kill, down", st)
+	}
+}
+
+func TestDropRateSeededDeterminism(t *testing.T) {
+	// The same seed must produce the same drop pattern.
+	pattern := func(seed int64) []bool {
+		in := New(seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.chance(0.5)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			diff = true
+		}
+	}
+	if diff {
+		t.Fatal("same seed produced different drop patterns")
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-draw patterns")
+	}
+}
+
+func TestDroppedResponseLeavesCallerHanging(t *testing.T) {
+	in := New(1)
+	in.SetPlan(0, Plan{DropRate: 1.0}) // drop everything
+	srv, addr := serveWithChaos(t, in, 0)
+	defer srv.Close()
+	c := dial(t, addr)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := c.SyncCallCtx(ctx, rpc.MethodEcho, []byte("a"))
+	if err != context.DeadlineExceeded {
+		t.Fatalf("dropped response: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	in := New(1)
+	in.SetPlan(0, Plan{Delay: 30 * time.Millisecond})
+	srv, addr := serveWithChaos(t, in, 0)
+	defer srv.Close()
+	c := dial(t, addr)
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.SyncCall(rpc.MethodEcho, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Read gate + write gate each sleep once.
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 30ms of injected delay", el)
+	}
+}

@@ -11,13 +11,16 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"time"
 
 	"pprengine/internal/agg"
 	"pprengine/internal/cache"
+	"pprengine/internal/chaos"
 	"pprengine/internal/core"
 	"pprengine/internal/graph"
+	"pprengine/internal/ha"
 	"pprengine/internal/metrics"
 	"pprengine/internal/partition"
 	"pprengine/internal/rpc"
@@ -62,10 +65,45 @@ type Options struct {
 	AggWindow time.Duration
 	AggRows   int
 	Seed      int64
+
+	// Replicas, when >= 2, serves every shard from that many machines
+	// (internal/ha): shard s stays primaried on machine s, and its extra
+	// copies are placed on the least-loaded machines. Every compute process
+	// then routes remote fetches through a per-machine ReplicaRouter that
+	// fails over to a healthy replica when the primary errors, times out, or
+	// has an open circuit breaker. 0 or 1 (the default) disables replication.
+	Replicas int
+	// ProbeInterval / ProbeTimeout configure the per-machine health pings
+	// driving the breakers (defaults: 500ms / 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// BreakerThreshold opens a peer's breaker after this many consecutive
+	// failures (default ha.DefaultBreakerThreshold).
+	BreakerThreshold int
+	// FailoverTimeout bounds each routed request attempt, converting a
+	// blackholed peer into a failover instead of a hang (default 5s).
+	FailoverTimeout time.Duration
+	// Chaos, when non-nil, wraps every storage listener (primaries and
+	// replicas) in the fault injector, so tests and the failover experiment
+	// can kill, blackhole, drop, or delay individual machines.
+	Chaos *chaos.Injector
 }
 
 // aggEnabled reports whether the options ask for fetch aggregation.
 func (o Options) aggEnabled() bool { return o.AggWindow > 0 || o.AggRows > 0 }
+
+// haEnabled reports whether the options ask for shard replication.
+func (o Options) haEnabled() bool { return o.Replicas >= 2 }
+
+// haOptions translates the cluster knobs to the ha layer's.
+func (o Options) haOptions() ha.Options {
+	return ha.Options{
+		ProbeInterval:    o.ProbeInterval,
+		ProbeTimeout:     o.ProbeTimeout,
+		BreakerThreshold: o.BreakerThreshold,
+		AttemptTimeout:   o.FailoverTimeout,
+	}
+}
 
 // Cluster is a running simulated deployment.
 type Cluster struct {
@@ -84,8 +122,21 @@ type Cluster struct {
 	// all of its compute processes, so aggregation works across processes.
 	Aggs [][]*agg.Aggregator
 
-	clients []*rpc.Client // all clients, for Close
-	mu      sync.Mutex
+	// Replication state (all nil/empty when Opts.Replicas < 2). Servers and
+	// Addrs above keep their per-shard primary meaning; the extra serving
+	// processes live here.
+	Placement ha.Placement
+	// ReplicaServers[m] lists the StorageServers machine m runs for shards
+	// it replicates (in Placement.HostedReplicas(m) order).
+	ReplicaServers [][]*core.StorageServer
+	// Routers[m] / Trackers[m] are machine m's failover router and health
+	// tracker, shared by all of its compute processes.
+	Routers  []*ha.ReplicaRouter
+	Trackers []*ha.HealthTracker
+
+	clients   []*rpc.Client  // all direct clients, for Close and NetStats
+	endpoints []*ha.Endpoint // all router endpoints, for NetStats
+	mu        sync.Mutex
 }
 
 // New partitions g, builds shards, starts one storage server per machine,
@@ -133,10 +184,12 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 		Locator: loc,
 		Quality: quality,
 	}
-	// Start storage servers.
+	// Start the primary storage servers: shard m served by machine m, the
+	// paper's layout. With chaos on, each listener is wrapped so the injector
+	// can fail the machine.
 	for m := 0; m < opts.NumMachines; m++ {
 		srv := core.NewStorageServer(shards[m], loc)
-		addr, err := srv.Start()
+		addr, err := startServer(srv, m, opts.Chaos)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -144,16 +197,34 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 		c.Servers = append(c.Servers, srv)
 		c.Addrs = append(c.Addrs, addr)
 	}
+	// servingAddrs[s][i] is the address of shard s's i-th serving machine
+	// (index 0 = the primary). Without replication each shard has exactly its
+	// primary.
+	servingAddrs := make([][]string, opts.NumMachines)
+	for s, a := range c.Addrs {
+		servingAddrs[s] = []string{a}
+	}
+	if opts.haEnabled() {
+		if err := c.startReplicas(servingAddrs); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	// Connect compute processes: every process owns clients to all remote
 	// machines (the paper registers each process in the RPC group).
 	c.Storages = make([][]*core.DistGraphStorage, opts.NumMachines)
 	c.Caches = make([]*cache.Cache, opts.NumMachines)
 	c.Aggs = make([][]*agg.Aggregator, opts.NumMachines)
+	c.Routers = make([]*ha.ReplicaRouter, opts.NumMachines)
+	c.Trackers = make([]*ha.HealthTracker, opts.NumMachines)
 	for m := 0; m < opts.NumMachines; m++ {
 		if opts.CacheBytes > 0 {
 			// One cache per machine, shared by all its compute processes —
 			// like the shard, it is machine-level shared memory.
 			c.Caches[m] = cache.New(opts.CacheBytes)
+		}
+		if opts.haEnabled() {
+			c.buildRouter(m, servingAddrs)
 		}
 		c.Storages[m] = make([]*core.DistGraphStorage, opts.ProcsPerMachine)
 		for p := 0; p < opts.ProcsPerMachine; p++ {
@@ -174,18 +245,27 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 			if c.Caches[m] != nil {
 				c.Storages[m][p].AttachCache(c.Caches[m])
 			}
+			if c.Routers[m] != nil {
+				c.Storages[m][p].AttachRouter(c.Routers[m])
+			}
 			if opts.aggEnabled() && p == 0 {
-				// One aggregator per (machine, destination shard), built over
-				// the first process's clients and shared by every process of
-				// the machine: all of a machine's traffic to a shard funnels
-				// through one coalescing point (and one connection), like the
-				// cache. agg.New returns nil for the nil local client.
-				aggs := make([]*agg.Aggregator, opts.NumMachines)
+				// One aggregator per (machine, destination shard), shared by
+				// every process of the machine: all of a machine's traffic to
+				// a shard funnels through one coalescing point, like the
+				// cache. With replication on, flushes go through the router so
+				// a merged request fails over as a unit; otherwise they use
+				// the first process's clients (agg.New is nil for the nil
+				// local client).
 				aopts := agg.Options{Window: opts.AggWindow, MaxRows: opts.AggRows}
-				for j, cl := range clients {
-					aggs[j] = agg.New(cl, aopts)
+				if c.Routers[m] != nil {
+					c.Aggs[m] = core.RoutedAggregators(c.Routers[m], int32(opts.NumMachines), int32(m), aopts)
+				} else {
+					aggs := make([]*agg.Aggregator, opts.NumMachines)
+					for j, cl := range clients {
+						aggs[j] = agg.New(cl, aopts)
+					}
+					c.Aggs[m] = aggs
 				}
-				c.Aggs[m] = aggs
 			}
 			if c.Aggs[m] != nil {
 				c.Storages[m][p].AttachAggregators(c.Aggs[m])
@@ -193,6 +273,83 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 		}
 	}
 	return c, nil
+}
+
+// startServer serves srv on a fresh loopback listener — wrapped in the fault
+// injector under machine's identity when chaos is on — and returns the
+// dialable address.
+func startServer(srv *core.StorageServer, machine int, inj *chaos.Injector) (string, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := lis.Addr().String()
+	if inj != nil {
+		lis = inj.WrapListener(machine, lis)
+	}
+	go srv.ServeListener(lis)
+	return addr, nil
+}
+
+// startReplicas computes the replica placement and starts, on every machine,
+// one extra StorageServer per shard it replicates — a separate serving
+// process over the SAME immutable shard data, so a failover returns
+// bit-identical rows. It extends servingAddrs[s] with the replica addresses
+// in placement order.
+func (c *Cluster) startReplicas(servingAddrs [][]string) error {
+	k := c.Opts.NumMachines
+	weights := make([]int64, k)
+	for s, sh := range c.Shards {
+		weights[s] = int64(sh.NumCore())
+	}
+	pl, err := ha.PlaceWeighted(weights, c.Opts.Replicas)
+	if err != nil {
+		return err
+	}
+	c.Placement = pl
+	c.ReplicaServers = make([][]*core.StorageServer, k)
+	addrOf := make(map[[2]int]string) // (shard, machine) -> replica address
+	for m := 0; m < k; m++ {
+		for _, s := range pl.HostedReplicas(m) {
+			srv := core.NewStorageServer(c.Shards[s], c.Locator)
+			addr, err := startServer(srv, m, c.Opts.Chaos)
+			if err != nil {
+				return err
+			}
+			c.ReplicaServers[m] = append(c.ReplicaServers[m], srv)
+			addrOf[[2]int{s, m}] = addr
+		}
+	}
+	for s := 0; s < k; s++ {
+		for _, m := range pl.Machines(s)[1:] {
+			servingAddrs[s] = append(servingAddrs[s], addrOf[[2]int{s, m}])
+		}
+	}
+	return nil
+}
+
+// buildRouter assembles machine m's health tracker and replica router over
+// every remote shard's serving endpoints. Endpoints are keyed by hosting
+// machine, so one dead machine opens one breaker covering all shards it
+// serves, and starts background probing.
+func (c *Cluster) buildRouter(m int, servingAddrs [][]string) {
+	hopts := c.Opts.haOptions()
+	tr := ha.NewHealthTracker(hopts)
+	eps := make([][]*ha.Endpoint, c.Opts.NumMachines)
+	for s := 0; s < c.Opts.NumMachines; s++ {
+		if s == m {
+			continue // local shard: shared memory, never routed
+		}
+		for i, host := range c.Placement.Machines(s) {
+			ep := ha.NewEndpoint(host, int32(s), servingAddrs[s][i], fmt.Sprintf("m%d", host), c.Opts.Latency)
+			eps[s] = append(eps[s], ep)
+			tr.Register(ep)
+			c.endpoints = append(c.endpoints, ep)
+		}
+	}
+	tr.Start()
+	c.Trackers[m] = tr
+	c.Routers[m] = ha.NewReplicaRouter(tr, eps, hopts)
 }
 
 // NetStats aggregates client-side traffic counters over every compute
@@ -204,7 +361,9 @@ type NetStats struct {
 	BytesReceived int64
 }
 
-// NetStats returns the cumulative client-side traffic totals.
+// NetStats returns the cumulative client-side traffic totals, including the
+// failover routers' endpoint connections (which carry all remote traffic
+// when replication is on).
 func (c *Cluster) NetStats() NetStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -214,7 +373,23 @@ func (c *Cluster) NetStats() NetStats {
 		n.BytesSent += cl.BytesSent.Load()
 		n.BytesReceived += cl.BytesReceived.Load()
 	}
+	for _, ep := range c.endpoints {
+		reqs, sent, recv := ep.NetStats()
+		n.RequestsSent += reqs
+		n.BytesSent += sent
+		n.BytesReceived += recv
+	}
 	return n
+}
+
+// HAStats sums the per-machine failover counters (zero value when
+// replication is disabled).
+func (c *Cluster) HAStats() ha.Stats {
+	var s ha.Stats
+	for _, r := range c.Routers {
+		s.Add(r.Stats()) // nil-safe
+	}
+	return s
 }
 
 // CacheStats sums the per-machine dynamic-cache counters (zero value when
@@ -246,14 +421,34 @@ func (c *Cluster) AggStats() agg.Stats {
 	return s
 }
 
-// Close shuts down all clients and servers.
+// Close shuts down all clients and servers, stopping the health probe loops
+// and replica servers first.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, tr := range c.Trackers {
+		if tr != nil {
+			tr.Stop()
+		}
+	}
+	c.Trackers = nil
+	for _, r := range c.Routers {
+		if r != nil {
+			r.Close()
+		}
+	}
+	c.Routers = nil
+	c.endpoints = nil
 	for _, cl := range c.clients {
 		cl.Close()
 	}
 	c.clients = nil
+	for _, machine := range c.ReplicaServers {
+		for _, s := range machine {
+			s.Close()
+		}
+	}
+	c.ReplicaServers = nil
 	for _, s := range c.Servers {
 		s.Close()
 	}
@@ -302,16 +497,40 @@ func (k EngineKind) String() string {
 
 // QueryError records one query's failure inside a batch: which machine and
 // compute process ran it, the local source vertex, and the error. Failures
-// are isolated — the rest of the batch keeps running.
+// are isolated — the rest of the batch keeps running. When the failure is
+// attributable to a serving peer (transport error, remote handler error),
+// FaultMachine/FaultShard identify it; both are -1 for local failures such
+// as a query's own deadline expiring.
 type QueryError struct {
 	Machine int
 	Proc    int
 	Source  int32
 	Err     error
+	// FaultMachine is the serving machine that produced the error (-1 when
+	// the failure is not a peer fault or the machine is unknown).
+	FaultMachine int
+	// FaultShard is the destination shard of the failed request (-1 when not
+	// a peer fault).
+	FaultShard int
+}
+
+// newQueryError builds a QueryError, extracting peer attribution from err's
+// chain (see ha.PeerError).
+func newQueryError(machine, proc int, src int32, err error) QueryError {
+	qe := QueryError{Machine: machine, Proc: proc, Source: src, Err: err, FaultMachine: -1, FaultShard: -1}
+	if fm, fs, ok := ha.FaultOf(err); ok {
+		qe.FaultMachine = fm
+		qe.FaultShard = int(fs)
+	}
+	return qe
 }
 
 // Error implements the error interface.
 func (e QueryError) Error() string {
+	if e.FaultShard >= 0 {
+		return fmt.Sprintf("machine %d proc %d source %d (fault: machine %d shard %d): %v",
+			e.Machine, e.Proc, e.Source, e.FaultMachine, e.FaultShard, e.Err)
+	}
 	return fmt.Sprintf("machine %d proc %d source %d: %v", e.Machine, e.Proc, e.Source, e.Err)
 }
 
@@ -402,7 +621,7 @@ func (c *Cluster) RunSSPPRBatch(ctx context.Context, queriesByMachine [][]int32,
 				for _, src := range mine {
 					if ctx.Err() != nil {
 						// Batch cancelled: mark the remaining queries failed.
-						a.errs = append(a.errs, QueryError{m, p, src, ctx.Err()})
+						a.errs = append(a.errs, newQueryError(m, p, src, ctx.Err()))
 						continue
 					}
 					var err error
@@ -418,7 +637,7 @@ func (c *Cluster) RunSSPPRBatch(ctx context.Context, queriesByMachine [][]int32,
 					a.rpcRequests += stats.RPCRequests
 					a.requestBytes += stats.RequestBytes
 					if err != nil {
-						a.errs = append(a.errs, QueryError{m, p, src, err})
+						a.errs = append(a.errs, newQueryError(m, p, src, err))
 						continue
 					}
 					a.pushes += stats.Pushes
@@ -501,7 +720,7 @@ func (c *Cluster) RunRandomWalkBatch(ctx context.Context, walksPerMachine, walkL
 				if err != nil {
 					qes := make([]QueryError, len(mine))
 					for k, src := range mine {
-						qes[k] = QueryError{m, p, src, err}
+						qes[k] = newQueryError(m, p, src, err)
 					}
 					errs[m*procs+p] = qes
 					return

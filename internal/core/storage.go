@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -9,6 +10,7 @@ import (
 
 	"pprengine/internal/agg"
 	"pprengine/internal/cache"
+	"pprengine/internal/ha"
 	"pprengine/internal/rpc"
 	"pprengine/internal/shard"
 	"pprengine/internal/wire"
@@ -38,6 +40,10 @@ func NewStorageServer(s *shard.Shard, loc *shard.Locator) *StorageServer {
 }
 
 func (ss *StorageServer) register() {
+	// Echo is the health-probe method: ha.HealthTracker pings it to decide
+	// whether this machine is alive. It must stay trivial — a probe measures
+	// reachability and scheduling, not shard work.
+	ss.srv.Handle(rpc.MethodEcho, func(p []byte) ([]byte, error) { return p, nil })
 	ss.srv.Handle(rpc.MethodGetNeighborInfos, func(p []byte) ([]byte, error) {
 		ids, err := wire.DecodeIDList(p)
 		if err != nil {
@@ -161,6 +167,10 @@ func (ss *StorageServer) RPCStats() rpc.Stats { return ss.srv.Stats() }
 // Close shuts the server down.
 func (ss *StorageServer) Close() { ss.srv.Close() }
 
+// Shutdown drains the server gracefully: in-flight requests finish (bounded
+// by ctx), new ones are rejected. See rpc.Server.Shutdown.
+func (ss *StorageServer) Shutdown(ctx context.Context) error { return ss.srv.Shutdown(ctx) }
+
 // SampleOneNeighborLocal samples one weighted out-neighbor for each listed
 // core vertex of s. Vertices without out-edges return local -1. The seed
 // makes the whole batch reproducible.
@@ -199,20 +209,31 @@ func SampleOneNeighborLocal(s *shard.Shard, loc *shard.Locator, locals []int32, 
 	return resp, nil
 }
 
+// respFuture is the minimal pending-response surface shared by a direct
+// *rpc.Future and a failover-routed *ha.CallFuture, so the fetch paths work
+// identically with and without replication.
+type respFuture interface {
+	Done() <-chan struct{}
+	Wait() ([]byte, error)
+	WaitCtx(ctx context.Context) ([]byte, error)
+}
+
 // InfoFuture is the engine-level future for a neighbor-info fetch. Local
 // fetches resolve immediately (Batch already set); remote fetches decode on
 // Wait.
 type InfoFuture struct {
-	batch   NeighborBatch
-	err     error
-	futures []*rpc.Future // the batched request (Batch/BatchCompress)
-	mode    FetchMode
+	batch    NeighborBatch
+	err      error
+	futures  []respFuture // the batched request (Batch/BatchCompress)
+	mode     FetchMode
+	dstShard int32 // destination shard, for peer-fault attribution
 
 	// FetchSingle state: the paper's "Single" baseline processes one
 	// vertex at a time, so the per-vertex requests are issued strictly
 	// sequentially at Wait time — no pipelining. retry bounds transient
 	// per-vertex retries; retried counts the backoff rounds taken.
 	seqClient *rpc.Client
+	seqRouter *ha.ReplicaRouter // when set, per-vertex calls fail over
 	seqLocals []int32
 	retry     rpc.RetryPolicy
 	retried   int64
@@ -295,8 +316,8 @@ func (f *InfoFuture) WaitCtx(ctx context.Context) (NeighborBatch, error) {
 	if f.aggTicket != nil {
 		infos, off, err := f.aggTicket.Wait(ctx)
 		if err != nil {
-			f.err = err
-			return nil, err
+			f.err = wrapPeerErr(f.dstShard, err)
+			return nil, f.err
 		}
 		f.batch = &aggBatch{n: infos, off: off, rows: f.aggTicket.Rows()}
 		return f.batch, nil
@@ -305,25 +326,25 @@ func (f *InfoFuture) WaitCtx(ctx context.Context) (NeighborBatch, error) {
 	case FetchBatchCompress:
 		payload, err := f.futures[0].WaitCtx(ctx)
 		if err != nil {
-			f.err = err
-			return nil, err
+			f.err = wrapPeerErr(f.dstShard, err)
+			return nil, f.err
 		}
 		infos, err := wire.DecodeCSR(payload)
 		if err != nil {
-			f.err = err
-			return nil, err
+			f.err = wrapPeerErr(f.dstShard, err)
+			return nil, f.err
 		}
 		f.batch = InfosBatch(infos)
 	case FetchBatch:
 		payload, err := f.futures[0].WaitCtx(ctx)
 		if err != nil {
-			f.err = err
-			return nil, err
+			f.err = wrapPeerErr(f.dstShard, err)
+			return nil, f.err
 		}
 		infos, err := wire.DecodeLoL(payload)
 		if err != nil {
-			f.err = err
-			return nil, err
+			f.err = wrapPeerErr(f.dstShard, err)
+			return nil, f.err
 		}
 		f.batch = InfosBatch(infos)
 	case FetchSingle:
@@ -332,8 +353,8 @@ func (f *InfoFuture) WaitCtx(ctx context.Context) (NeighborBatch, error) {
 		for _, l := range f.seqLocals {
 			payload, err := f.callOne(ctx, l)
 			if err != nil {
-				f.err = err
-				return nil, err
+				f.err = wrapPeerErr(f.dstShard, err)
+				return nil, f.err
 			}
 			one, err := wire.DecodeLoL(payload)
 			if err != nil {
@@ -356,9 +377,13 @@ func (f *InfoFuture) WaitCtx(ctx context.Context) (NeighborBatch, error) {
 }
 
 // callOne fetches a single vertex's row, retrying transient failures when
-// the config opted in.
+// the config opted in. With a replica router the retry policy is not used:
+// failover to a replica subsumes same-destination retries.
 func (f *InfoFuture) callOne(ctx context.Context, l int32) ([]byte, error) {
 	payload := wire.EncodeIDList([]int32{l})
+	if f.seqRouter != nil {
+		return f.seqRouter.Do(ctx, f.dstShard, rpc.MethodGetNeighborInfoOne, payload)
+	}
 	if f.retry.MaxAttempts == 0 {
 		return f.seqClient.SyncCallCtx(ctx, rpc.MethodGetNeighborInfoOne, payload)
 	}
@@ -367,11 +392,22 @@ func (f *InfoFuture) callOne(ctx context.Context, l int32) ([]byte, error) {
 	return f.seqClient.CallRetry(ctx, rpc.MethodGetNeighborInfoOne, payload, p)
 }
 
+// wrapPeerErr attributes a remote-fetch failure to the destination shard
+// (the primary's machine index equals the shard index in this engine).
+// Waiter-side cancellations are not peer faults and pass through unwrapped;
+// router errors already carry the actual machine tried and are preserved.
+func wrapPeerErr(dstShard int32, err error) error {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return ha.WrapPeer(int(dstShard), dstShard, "", err)
+}
+
 // SampleFuture is the future for a sample_one_neighbor call.
 type SampleFuture struct {
 	resp *wire.SampleResponse
 	err  error
-	fut  *rpc.Future
+	fut  respFuture
 }
 
 // Wait blocks for the sampled neighbors.
@@ -422,6 +458,13 @@ type DistGraphStorage struct {
 	// queries' fetches to one shard merge into one wire request. nil
 	// disables aggregation (the default).
 	Aggs []*agg.Aggregator
+
+	// Router, when non-nil, carries every remote request through the
+	// replication layer: primary first, failover to a healthy replica on
+	// error/timeout/open breaker (see internal/ha). Like the cache and the
+	// aggregators it is machine-shared state. nil keeps the direct
+	// single-client paths, preserving the paper's behavior exactly.
+	Router *ha.ReplicaRouter
 }
 
 // AttachCache installs the shared dynamic neighbor-row cache. Call once at
@@ -440,11 +483,60 @@ func (g *DistGraphStorage) AttachAggregators(aggs []*agg.Aggregator) { g.Aggs = 
 // (cmd/pprquery, deploy.EnableQueries). agg.New returns nil for the nil
 // local client, which disables aggregation for the shared-memory shard.
 func (g *DistGraphStorage) AttachFetchAggregators(o agg.Options) {
+	if g.Router != nil {
+		// With replication on, flushes must go through the router so a merged
+		// request fails over as a unit; attach the router first.
+		g.Aggs = RoutedAggregators(g.Router, g.NumShards, g.ShardID, o)
+		return
+	}
 	aggs := make([]*agg.Aggregator, len(g.Clients))
 	for i, c := range g.Clients {
 		aggs[i] = agg.New(c, o)
 	}
 	g.Aggs = aggs
+}
+
+// AttachRouter installs the machine-shared replica router. Remote fetches,
+// samples, and stats calls then prefer the shard's primary and fail over to
+// replicas; the plain Clients slice stays in place for components that need
+// a direct connection.
+func (g *DistGraphStorage) AttachRouter(r *ha.ReplicaRouter) { g.Router = r }
+
+// call issues one remote request, through the router when replication is
+// on. The direct path binds the request to ctx; the routed path is
+// deliberately ctx-free (a failover attempt loop is shared state — the
+// waiter's ctx still applies via WaitCtx).
+func (g *DistGraphStorage) call(ctx context.Context, dstShard int32, m rpc.Method, payload []byte) respFuture {
+	if g.Router != nil {
+		return g.Router.Call(dstShard, m, payload)
+	}
+	return g.Clients[dstShard].CallCtx(ctx, m, payload)
+}
+
+// routedTransport flushes one aggregator's batches through the replica
+// router, bound to the aggregator's destination shard.
+type routedTransport struct {
+	r     *ha.ReplicaRouter
+	shard int32
+}
+
+func (t routedTransport) Call(m rpc.Method, payload []byte) agg.Response {
+	return t.r.Call(t.shard, m, payload)
+}
+
+// RoutedAggregators builds one fetch aggregator per shard whose flushes go
+// through the replica router (nil entry for localShard). Cluster and deploy
+// use it when both aggregation and replication are enabled, so a merged
+// flush fails over as a unit.
+func RoutedAggregators(r *ha.ReplicaRouter, numShards, localShard int32, o agg.Options) []*agg.Aggregator {
+	aggs := make([]*agg.Aggregator, numShards)
+	for s := int32(0); s < numShards; s++ {
+		if s == localShard {
+			continue
+		}
+		aggs[s] = agg.NewTransport(routedTransport{r: r, shard: s}, o)
+	}
+	return aggs
 }
 
 // aggFor returns the aggregator for dstShard, or nil when disabled.
@@ -484,11 +576,11 @@ func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32,
 		return &InfoFuture{batch: LocalBatch(g.Local, locals)}
 	}
 	c := g.Clients[dstShard]
-	if c == nil {
+	if c == nil && g.Router == nil {
 		return &InfoFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
 	}
 	if g.Cache != nil {
-		return g.getNeighborInfosCached(dstShard, locals, cfg, c)
+		return g.getNeighborInfosCached(dstShard, locals, cfg)
 	}
 	if ag := g.aggFor(dstShard); ag != nil {
 		// Cross-query aggregation: the fetch joins the machine-wide pending
@@ -496,23 +588,23 @@ func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32,
 		// CSR response. Like the cache path, the flush is issued without the
 		// query's ctx (it is shared state; WaitCtx still honors ctx for this
 		// waiter) and always batches CSR, even under the Single/LoL modes.
-		return &InfoFuture{aggTicket: ag.Enqueue(locals), remoteRows: int64(len(locals))}
+		return &InfoFuture{dstShard: dstShard, aggTicket: ag.Enqueue(locals), remoteRows: int64(len(locals))}
 	}
 	switch cfg.Mode {
 	case FetchBatchCompress:
 		payload := wire.EncodeIDList(locals)
-		return &InfoFuture{mode: cfg.Mode, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)),
-			futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfos, payload)}}
+		return &InfoFuture{mode: cfg.Mode, dstShard: dstShard, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)),
+			futures: []respFuture{g.call(ctx, dstShard, rpc.MethodGetNeighborInfos, payload)}}
 	case FetchBatch:
 		payload := wire.EncodeIDList(locals)
-		return &InfoFuture{mode: cfg.Mode, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)),
-			futures: []*rpc.Future{c.CallCtx(ctx, rpc.MethodGetNeighborInfosLoL, payload)}}
+		return &InfoFuture{mode: cfg.Mode, dstShard: dstShard, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)),
+			futures: []respFuture{g.call(ctx, dstShard, rpc.MethodGetNeighborInfosLoL, payload)}}
 	default: // FetchSingle: sequential per-vertex round trips (see WaitCtx)
 		// One 8-byte single-ID request per vertex (retries excluded; the
 		// Retries counter tracks those separately).
-		return &InfoFuture{mode: FetchSingle, remoteRows: int64(len(locals)),
+		return &InfoFuture{mode: FetchSingle, dstShard: dstShard, remoteRows: int64(len(locals)),
 			rpcReqs: int64(len(locals)), reqBytes: 8 * int64(len(locals)),
-			seqClient: c, seqLocals: locals, retry: cfg.Retry}
+			seqClient: c, seqRouter: g.Router, seqLocals: locals, retry: cfg.Retry}
 	}
 }
 
@@ -529,7 +621,7 @@ type cachedFetch struct {
 // participant — the leader's wait path or any coalesced waiter that saw the
 // response land first (see cache.Flight.AttachSource).
 type fetchGroup struct {
-	fut  *rpc.Future
+	fut  respFuture
 	csr  bool
 	once sync.Once
 	// flights[i] is the flight for the i-th requested row.
@@ -603,12 +695,12 @@ func copyRow(infos *wire.NeighborInfos, i int) cache.Row {
 // response that other queries — and the cache — are waiting on. The wire
 // format follows cfg.Mode (CSR for FetchBatchCompress, list-of-lists
 // otherwise; the cache path always batches, even under FetchSingle).
-func (g *DistGraphStorage) getNeighborInfosCached(dstShard int32, locals []int32, cfg Config, c *rpc.Client) *InfoFuture {
+func (g *DistGraphStorage) getNeighborInfosCached(dstShard int32, locals []int32, cfg Config) *InfoFuture {
 	cf := &cachedFetch{
 		rows:    make([]cache.Row, len(locals)),
 		flights: make([]*cache.Flight, len(locals)),
 	}
-	f := &InfoFuture{cached: cf}
+	f := &InfoFuture{dstShard: dstShard, cached: cf}
 	var leaderLocals []int32
 	var leaderFlights []*cache.Flight
 	for i, l := range locals {
@@ -649,7 +741,9 @@ func (g *DistGraphStorage) getNeighborInfosCached(dstShard int32, locals []int32
 			f.rpcReqs = 1
 			f.reqBytes = int64(len(payload))
 			fg := &fetchGroup{
-				fut:     c.Call(method, payload),
+				// Leader RPCs are shared state (see doc comment), so the
+				// direct and routed paths both issue without a query ctx.
+				fut:     g.call(context.Background(), dstShard, method, payload),
 				csr:     csr,
 				flights: leaderFlights,
 			}
@@ -697,8 +791,8 @@ func (f *InfoFuture) waitCached(ctx context.Context) (NeighborBatch, error) {
 		}
 		row, err := fl.Wait(ctx)
 		if err != nil {
-			f.err = err
-			return nil, err
+			f.err = wrapPeerErr(f.dstShard, err)
+			return nil, f.err
 		}
 		cf.rows[i] = row
 	}
@@ -722,13 +816,12 @@ func (g *DistGraphStorage) GetShardStats(dstShard int32) (*wire.ShardStats, erro
 			AvgOutDegree: st.AvgOutDegree,
 		}, nil
 	}
-	c := g.Clients[dstShard]
-	if c == nil {
+	if g.Clients[dstShard] == nil && g.Router == nil {
 		return nil, fmt.Errorf("core: no client for shard %d", dstShard)
 	}
-	payload, err := c.SyncCall(rpc.MethodGetShardStats, nil)
+	payload, err := g.call(context.Background(), dstShard, rpc.MethodGetShardStats, nil).Wait()
 	if err != nil {
-		return nil, err
+		return nil, wrapPeerErr(dstShard, err)
 	}
 	return wire.DecodeShardStats(payload)
 }
@@ -741,10 +834,9 @@ func (g *DistGraphStorage) SampleOneNeighbor(ctx context.Context, dstShard int32
 		resp, err := SampleOneNeighborLocal(g.Local, g.Locator, locals, seed)
 		return &SampleFuture{resp: resp, err: err}
 	}
-	c := g.Clients[dstShard]
-	if c == nil {
+	if g.Clients[dstShard] == nil && g.Router == nil {
 		return &SampleFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
 	}
 	payload := wire.EncodeSampleRequest(&wire.SampleRequest{Seed: seed, Locals: locals})
-	return &SampleFuture{fut: c.CallCtx(ctx, rpc.MethodSampleOneNeighbor, payload)}
+	return &SampleFuture{fut: g.call(ctx, dstShard, rpc.MethodSampleOneNeighbor, payload)}
 }

@@ -7,9 +7,11 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"pprengine/internal/core"
 	"pprengine/internal/graph"
+	"pprengine/internal/ha"
 	"pprengine/internal/partition"
 	"pprengine/internal/ppr"
 	"pprengine/internal/rpc"
@@ -173,4 +175,182 @@ func TestLocatorDecodeGarbage(t *testing.T) {
 
 func writeFile(path string, b []byte) error {
 	return os.WriteFile(path, b, 0o644)
+}
+
+func TestParseReplicaPeers(t *testing.T) {
+	peers, err := ParseReplicaPeers("1=127.0.0.1:7001|127.0.0.1:7101, 2=127.0.0.1:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || len(peers[1]) != 2 || peers[1][1] != "127.0.0.1:7101" || len(peers[2]) != 1 {
+		t.Fatalf("%v", peers)
+	}
+	if got := FormatReplicaPeers(peers); got != "1=127.0.0.1:7001|127.0.0.1:7101,2=127.0.0.1:7002" {
+		t.Fatalf("format: %s", got)
+	}
+	if !Replicated(peers) {
+		t.Fatal("Replicated = false with a two-address shard")
+	}
+	prim := PrimaryPeers(peers)
+	if prim[1] != "127.0.0.1:7001" || prim[2] != "127.0.0.1:7002" {
+		t.Fatalf("primaries: %v", prim)
+	}
+	// Plain ParsePeers syntax parses unchanged and reports non-replicated.
+	single, err := ParseReplicaPeers("1=a:1,2=b:2")
+	if err != nil || Replicated(single) {
+		t.Fatalf("single-copy spec: %v %v", single, err)
+	}
+	if _, err := ParseReplicaPeers("1=a:1|"); err == nil {
+		t.Fatal("expected empty-address error")
+	}
+	if _, err := ParseReplicaPeers("x=a:1"); err == nil {
+		t.Fatal("expected id error")
+	}
+}
+
+func TestValidateReplicas(t *testing.T) {
+	peers := map[int32][]string{1: {"a:1", "b:1"}, 2: {"c:1"}}
+	if err := ValidateReplicas(peers, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReplicas(peers, 2); err == nil {
+		t.Fatal("shard 2 has one address; want error at R=2")
+	}
+	peers[2] = append(peers[2], "d:1")
+	if err := ValidateReplicas(peers, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanReplicas(t *testing.T) {
+	// Four shards with skewed weights: every shard's primary is itself, each
+	// extra copy goes to the least-loaded other machine, copies per shard are
+	// distinct, and the plan validates.
+	pl, err := PlanReplicas([]int64{100, 10, 10, 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Replicas() != 2 {
+		t.Fatalf("replicas = %d", pl.Replicas())
+	}
+	for s := 0; s < 4; s++ {
+		machines := pl.Machines(s)
+		if machines[0] != s {
+			t.Fatalf("shard %d primary = %d, want itself", s, machines[0])
+		}
+		seen := map[int]bool{}
+		for _, m := range machines {
+			if seen[m] {
+				t.Fatalf("shard %d served twice by machine %d", s, m)
+			}
+			seen[m] = true
+		}
+	}
+	// The heavy shard 0's replica should not land every light shard's replica
+	// onto one machine: counting hosted replicas, no machine hosts more than
+	// two at R=2 with four shards (greedy least-loaded).
+	for m := 0; m < 4; m++ {
+		if n := len(pl.HostedReplicas(m)); n > 2 {
+			t.Fatalf("machine %d hosts %d replicas", m, n)
+		}
+	}
+	if _, err := PlanReplicas([]int64{1, 2}, 3); err == nil {
+		t.Fatal("R > machines must fail")
+	}
+}
+
+// TestConnectHAFailover is the file-based deployment's failover test: two
+// pprserve processes serve shard 1 (primary + replica); killing the primary
+// mid-session leaves queries running against the replica.
+func TestConnectHAFailover(t *testing.T) {
+	g := graph.MakeUndirected(graph.RMAT(graph.RMATConfig{
+		NumNodes: 300, NumEdges: 1800, A: 0.55, B: 0.2, C: 0.15, Seed: 9,
+	}))
+	const k = 2
+	dir := writeDeployment(t, g, k)
+	locPath := filepath.Join(dir, "locator.bin")
+
+	primary, primAddr, err := Serve(filepath.Join(dir, "shard-1.bin"), locPath, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	replica, replAddr, err := Serve(filepath.Join(dir, "shard-1.bin"), locPath, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	peers := map[int32][]string{1: {primAddr, replAddr}}
+	// Pin float order so the only variable between the two runs is the
+	// serving endpoint; replicas serve identical bytes, so scores must match.
+	cfg := core.DefaultConfig()
+	cfg.DeterministicPop = true
+	cfg.PushWorkers = 1
+	st, router, cleanup, err := ConnectHA(context.Background(), filepath.Join(dir, "shard-0.bin"), locPath, peers, cfg,
+		ha.Options{ProbeInterval: 20 * time.Millisecond, ProbeTimeout: time.Second, BreakerThreshold: 2, AttemptTimeout: 2 * time.Second},
+		rpc.LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	run := func() (map[int32]float64, error) {
+		m, _, err := core.RunSSPPR(context.Background(), st, 0, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return core.ScoresGlobal(st, m), nil
+	}
+	before, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.Close() // the primary machine "crashes"
+	after, err := run()
+	if err != nil {
+		t.Fatalf("query after primary crash: %v", err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("score sets differ: %d vs %d nodes", len(before), len(after))
+	}
+	for v, s := range before {
+		if math.Abs(after[v]-s) > 1e-12 {
+			t.Fatalf("node %d: %g vs %g after failover", v, s, after[v])
+		}
+	}
+	if router.Failovers() == 0 {
+		t.Fatal("no failovers recorded after the primary died")
+	}
+}
+
+// TestGracefulShutdownDrains exercises the pprserve drain path: Shutdown
+// completes while an in-flight request finishes, and new requests are
+// rejected during the drain.
+func TestGracefulShutdownDrains(t *testing.T) {
+	g := graph.MakeUndirected(graph.ErdosRenyi(150, 700, 5))
+	dir := writeDeployment(t, g, 2)
+	srv, addr, err := Serve(filepath.Join(dir, "shard-1.bin"), filepath.Join(dir, "locator.bin"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rpc.Dial(addr, rpc.LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.SyncCall(rpc.MethodEcho, []byte("up")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	if _, err := c.SyncCall(rpc.MethodEcho, []byte("down")); err == nil {
+		t.Fatal("request after shutdown should fail")
+	}
 }

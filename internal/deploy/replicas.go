@@ -1,0 +1,221 @@
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pprengine/internal/cache"
+	"pprengine/internal/core"
+	"pprengine/internal/ha"
+	"pprengine/internal/rpc"
+	"pprengine/internal/shard"
+)
+
+// ParseReplicaPeers parses "1=hostA:7001|hostB:7001,2=hostC:7002" into a
+// shard → serving-address list map. The first address of each shard is its
+// primary (the owner under owner-compute); the rest are replicas in failover
+// preference order. A spec without '|' separators is exactly the ParsePeers
+// syntax, so existing single-copy deployments parse unchanged.
+func ParseReplicaPeers(spec string) (map[int32][]string, error) {
+	peers := map[int32][]string{}
+	if strings.TrimSpace(spec) == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("deploy: bad peer %q (want shard=host:port[|host:port...])", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("deploy: bad peer shard id %q", kv[0])
+		}
+		var addrs []string
+		for _, addr := range strings.Split(kv[1], "|") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				return nil, fmt.Errorf("deploy: empty address for shard %d", id)
+			}
+			addrs = append(addrs, addr)
+		}
+		peers[int32(id)] = addrs
+	}
+	return peers, nil
+}
+
+// FormatReplicaPeers renders a replica-peer map back to the flag syntax.
+func FormatReplicaPeers(peers map[int32][]string) string {
+	ids := make([]int, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, strings.Join(peers[int32(id)], "|")))
+	}
+	return strings.Join(parts, ",")
+}
+
+// PrimaryPeers projects a replica-peer map onto the single-address form the
+// non-replicated bootstrap paths take (each shard's primary).
+func PrimaryPeers(peers map[int32][]string) map[int32]string {
+	out := make(map[int32]string, len(peers))
+	for id, addrs := range peers {
+		if len(addrs) > 0 {
+			out[id] = addrs[0]
+		}
+	}
+	return out
+}
+
+// PlanReplicas computes a replica placement from per-shard weights (core-node
+// or byte counts from the partition map): shard s's primary is machine s, and
+// each of the replicas-1 extra copies goes to the least-loaded other machine.
+// Ops tooling uses this to decide which shard files to ship where before
+// starting the extra pprserve processes.
+func PlanReplicas(weights []int64, replicas int) (ha.Placement, error) {
+	return ha.PlaceWeighted(weights, replicas)
+}
+
+// buildRouter assembles a health tracker + replica router over peers for a
+// compute process owning localShard, verifies every shard's primary is
+// reachable under ctx (replicas may come up later; probing adopts them), and
+// starts background probing. Addresses are also the health keys: a file-based
+// deployment identifies peers by address, not machine index.
+func buildRouter(ctx context.Context, localShard, k int32, peers map[int32][]string, haOpts ha.Options, lat rpc.LatencyModel) (*ha.ReplicaRouter, func(), error) {
+	tracker := ha.NewHealthTracker(haOpts)
+	endpoints := make([][]*ha.Endpoint, k)
+	for j := int32(0); j < k; j++ {
+		if j == localShard {
+			continue
+		}
+		addrs, ok := peers[j]
+		if !ok || len(addrs) == 0 {
+			return nil, nil, fmt.Errorf("deploy: no serving address for shard %d", j)
+		}
+		for i, addr := range addrs {
+			// The primary of shard j is machine j by the owner-compute
+			// convention; replica hosts are only known by address here.
+			machine := -1
+			if i == 0 {
+				machine = int(j)
+			}
+			ep := ha.NewEndpoint(machine, j, addr, "", lat)
+			endpoints[j] = append(endpoints[j], ep)
+			tracker.Register(ep)
+		}
+	}
+	router := ha.NewReplicaRouter(tracker, endpoints, haOpts)
+	cleanup := func() {
+		tracker.Stop()
+		router.Close()
+	}
+	for j := int32(0); j < k; j++ {
+		if j == localShard {
+			continue
+		}
+		// Fail fast only when NO copy of the shard is reachable: a dead
+		// primary with a live replica is exactly the situation replication
+		// exists for, and must not block bootstrap. Probing adopts whichever
+		// endpoints come up later.
+		var lastErr error
+		reachable := false
+		for _, ep := range endpoints[j] {
+			if _, err := ep.Client(ctx); err == nil {
+				reachable = true
+				break
+			} else {
+				lastErr = err
+			}
+		}
+		if !reachable {
+			cleanup()
+			return nil, nil, fmt.Errorf("deploy: no serving copy of shard %d reachable (last: %w)", j, lastErr)
+		}
+	}
+	tracker.Start()
+	return router, cleanup, nil
+}
+
+// ConnectHA builds a compute-process handle with replicated remote serving:
+// like Connect, but every remote shard may list several serving addresses.
+// It starts a health tracker probing each distinct address and attaches a
+// ReplicaRouter, so remote fetches prefer the primary and fail over to
+// replicas when it is unreachable. The returned cleanup stops probing and
+// closes every connection.
+func ConnectHA(ctx context.Context, shardPath, locatorPath string, peers map[int32][]string, cfg core.Config, haOpts ha.Options, lat rpc.LatencyModel) (*core.DistGraphStorage, *ha.ReplicaRouter, func(), error) {
+	s, err := shard.LoadFile(shardPath)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("deploy: load shard: %w", err)
+	}
+	loc, err := shard.LoadLocatorFile(locatorPath)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("deploy: load locator: %w", err)
+	}
+	router, cleanup, err := buildRouter(ctx, s.ShardID, s.NumShards, peers, haOpts, lat)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	compute := core.NewDistGraphStorage(s.ShardID, s, loc, make([]*rpc.Client, s.NumShards))
+	compute.AttachRouter(router)
+	if cfg.CacheBytes > 0 {
+		compute.AttachCache(cache.New(cfg.CacheBytes))
+	}
+	if cfg.AggEnabled() {
+		compute.AttachFetchAggregators(cfg.AggOptions())
+	}
+	return compute, router, cleanup, nil
+}
+
+// EnableQueriesHA is EnableQueries with replicated peers: the query owner's
+// compute handle routes remote fetches through a ReplicaRouter, so served
+// queries survive a peer machine's crash. The returned cleanup stops probing
+// and closes every connection.
+func EnableQueriesHA(ctx context.Context, srv *core.StorageServer, peers map[int32][]string, cfg core.Config, haOpts ha.Options, lat rpc.LatencyModel) (func(), error) {
+	router, cleanup, err := buildRouter(ctx, srv.Shard.ShardID, srv.Shard.NumShards, peers, haOpts, lat)
+	if err != nil {
+		return nil, err
+	}
+	compute := core.NewDistGraphStorage(srv.Shard.ShardID, srv.Shard, srv.Locator, make([]*rpc.Client, srv.Shard.NumShards))
+	compute.AttachRouter(router)
+	if cfg.CacheBytes > 0 {
+		compute.AttachCache(cache.New(cfg.CacheBytes))
+	}
+	if cfg.AggEnabled() {
+		compute.AttachFetchAggregators(cfg.AggOptions())
+	}
+	if err := srv.EnableQueryService(compute, cfg); err != nil {
+		cleanup()
+		return nil, err
+	}
+	return cleanup, nil
+}
+
+// Replicated reports whether a replica-peer map actually lists more than one
+// serving address for any shard (i.e. whether the HA paths are worth wiring).
+func Replicated(peers map[int32][]string) bool {
+	for _, addrs := range peers {
+		if len(addrs) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateReplicas checks that every shard in peers lists at least r serving
+// addresses (for a -replicas flag asserting the expected redundancy).
+func ValidateReplicas(peers map[int32][]string, r int) error {
+	if r <= 1 {
+		return nil
+	}
+	for id, addrs := range peers {
+		if len(addrs) < r {
+			return fmt.Errorf("deploy: shard %d lists %d serving address(es), want >= %d (-replicas)", id, len(addrs), r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package ha
+
+import (
+	"sync"
+
+	"pprengine/internal/metrics"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the peer is healthy; requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: a probe succeeded against an open peer; the router
+	// sends real traffic again, and the first outcome decides — success
+	// closes the breaker, failure reopens it.
+	BreakerHalfOpen
+	// BreakerOpen: the peer failed Threshold consecutive times; the router
+	// skips it and only health probes reach it.
+	BreakerOpen
+)
+
+// String names the state for logs and reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "breaker(?)"
+	}
+}
+
+// DefaultBreakerThreshold is the consecutive-failure count that opens a
+// breaker when the caller does not configure one.
+const DefaultBreakerThreshold = 3
+
+// Breaker is a per-peer circuit breaker fed by both real traffic and health
+// probes. State machine:
+//
+//	Closed --(threshold consecutive failures)--> Open
+//	Open --(success, i.e. a recovered probe)--> HalfOpen
+//	HalfOpen --(success)--> Closed
+//	HalfOpen --(failure)--> Open
+//
+// Any success resets the consecutive-failure count. Safe for concurrent use.
+type Breaker struct {
+	threshold int
+
+	mu    sync.Mutex
+	state BreakerState
+	fails int
+}
+
+// NewBreaker returns a closed breaker opening after threshold consecutive
+// failures (<= 0 means DefaultBreakerThreshold).
+func NewBreaker(threshold int) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	return &Breaker{threshold: threshold}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether the router may send real traffic to the peer
+// (closed or half-open).
+func (b *Breaker) Allow() bool { return b.State() != BreakerOpen }
+
+// Failure records a failed request or probe. It returns true when this
+// failure opened the breaker (transition into Open).
+func (b *Breaker) Failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	opened := false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		opened = true
+	case BreakerClosed:
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			opened = true
+		}
+	}
+	if opened {
+		metrics.BreakerOpens.Inc(1)
+	}
+	return opened
+}
+
+// Success records a successful request or probe. It returns true when this
+// success fully closed the breaker (transition HalfOpen -> Closed).
+func (b *Breaker) Success() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	switch b.state {
+	case BreakerOpen:
+		b.state = BreakerHalfOpen
+	case BreakerHalfOpen:
+		b.state = BreakerClosed
+		metrics.BreakerCloses.Inc(1)
+		return true
+	}
+	return false
+}
+
+// ConsecutiveFailures returns the current failure streak.
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails
+}

@@ -1,0 +1,476 @@
+package ha
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"pprengine/internal/rpc"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := NewBreaker(3)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after 2 failures state = %v, want closed (threshold 3)", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow traffic")
+	}
+	if opened := b.Failure(); !opened {
+		t.Fatal("third failure should report the open transition")
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after 3 failures state = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must not allow traffic")
+	}
+
+	// Recovery: success moves open -> half-open (probing), a second success
+	// closes, and traffic is allowed again.
+	if closed := b.Success(); closed {
+		t.Fatal("open -> half-open must not report fully closed")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker must allow trial traffic")
+	}
+	if closed := b.Success(); !closed {
+		t.Fatal("half-open -> closed should report the close transition")
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+
+	// A failure while half-open reopens immediately, regardless of threshold.
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	b.Success() // open -> half-open
+	if opened := b.Failure(); !opened {
+		t.Fatal("half-open failure should reopen the breaker")
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open after half-open failure", got)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (streak was reset)", got)
+	}
+	if got := b.ConsecutiveFailures(); got != 2 {
+		t.Fatalf("ConsecutiveFailures = %d, want 2", got)
+	}
+}
+
+func TestPlaceRing(t *testing.T) {
+	p, err := Place(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	want := Placement{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	for s := range want {
+		for i := range want[s] {
+			if p[s][i] != want[s][i] {
+				t.Fatalf("Place(4,2) = %v, want %v", p, want)
+			}
+		}
+	}
+}
+
+func TestPlaceWeightedBalanced(t *testing.T) {
+	weights := []int64{100, 10, 10, 10}
+	p, err := PlaceWeighted(weights, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: same inputs, same placement.
+	p2, _ := PlaceWeighted(weights, 2)
+	for s := range p {
+		for i := range p[s] {
+			if p[s][i] != p2[s][i] {
+				t.Fatalf("PlaceWeighted not deterministic: %v vs %v", p, p2)
+			}
+		}
+	}
+	// The heavy shard 0's replica lands somewhere, and no other machine then
+	// receives a second replica before the rest are used: replica load spread.
+	load := make([]int64, 4)
+	for s, machines := range p {
+		for _, m := range machines[1:] {
+			load[m] += weights[s]
+		}
+	}
+	var max, min int64 = load[0], load[0]
+	for _, l := range load[1:] {
+		if l > max {
+			max = l
+		}
+		if l < min {
+			min = l
+		}
+	}
+	// Greedy least-loaded placement keeps the spread within the heaviest
+	// single shard's weight.
+	if max-min > 100 {
+		t.Fatalf("replica load imbalance %v too large for weights %v", load, weights)
+	}
+}
+
+func TestPlacementHostedReplicas(t *testing.T) {
+	p := Placement{{0, 1}, {1, 0}, {2, 0}}
+	got := p.HostedReplicas(0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("HostedReplicas(0) = %v, want [1 2]", got)
+	}
+	if got := p.HostedReplicas(2); len(got) != 0 {
+		t.Fatalf("HostedReplicas(2) = %v, want none", got)
+	}
+}
+
+func TestPlacementValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Placement
+		k    int
+	}{
+		{"wrong primary", Placement{{1, 0}, {0, 1}}, 2},
+		{"duplicate machine", Placement{{0, 0}, {1, 0}}, 2},
+		{"out of range", Placement{{0, 2}, {1, 0}}, 2},
+		{"ragged", Placement{{0, 1}, {1}}, 2},
+		{"wrong shard count", Placement{{0, 1}}, 2},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(c.k); err == nil {
+			t.Errorf("%s: Validate accepted invalid placement %v", c.name, c.p)
+		}
+	}
+	if _, err := Place(2, 3); err == nil {
+		t.Error("Place(2,3) should reject replicas > machines")
+	}
+	if _, err := PlaceWeighted([]int64{1}, 0); err == nil {
+		t.Error("PlaceWeighted with 0 replicas should be rejected")
+	}
+}
+
+// echoServer runs an rpc.Server answering Echo and a marker method that
+// identifies which server handled the request.
+func echoServer(t *testing.T, marker string) (*rpc.Server, string) {
+	t.Helper()
+	srv := rpc.NewServer()
+	srv.Handle(rpc.MethodEcho, func(p []byte) ([]byte, error) { return p, nil })
+	srv.Handle(rpc.MethodGetNeighborInfos, func(p []byte) ([]byte, error) {
+		return []byte(marker), nil
+	})
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, addr
+}
+
+func routerOver(primAddr, replAddr string, opts Options) (*ReplicaRouter, *HealthTracker) {
+	tr := NewHealthTracker(opts)
+	prim := NewEndpoint(0, 0, primAddr, "m0", rpc.LatencyModel{})
+	repl := NewEndpoint(1, 0, replAddr, "m1", rpc.LatencyModel{})
+	tr.Register(prim)
+	tr.Register(repl)
+	router := NewReplicaRouter(tr, [][]*Endpoint{{prim, repl}}, opts)
+	return router, tr
+}
+
+func TestRouterPrefersPrimary(t *testing.T) {
+	srvA, addrA := echoServer(t, "A")
+	defer srvA.Close()
+	srvB, addrB := echoServer(t, "B")
+	defer srvB.Close()
+
+	router, _ := routerOver(addrA, addrB, Options{AttemptTimeout: 2 * time.Second})
+	defer router.Close()
+
+	res, err := router.Do(context.Background(), 0, rpc.MethodGetNeighborInfos, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "A" {
+		t.Fatalf("healthy primary: answered by %q, want A", res)
+	}
+	if got := router.Failovers(); got != 0 {
+		t.Fatalf("Failovers = %d, want 0", got)
+	}
+}
+
+func TestRouterFailsOverToReplica(t *testing.T) {
+	srvA, addrA := echoServer(t, "A")
+	srvB, addrB := echoServer(t, "B")
+	defer srvB.Close()
+
+	opts := Options{AttemptTimeout: 2 * time.Second, BreakerThreshold: 2}
+	router, tr := routerOver(addrA, addrB, opts)
+	defer router.Close()
+
+	srvA.Close() // primary down before the first request
+
+	res, err := router.Do(context.Background(), 0, rpc.MethodGetNeighborInfos, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "B" {
+		t.Fatalf("dead primary: answered by %q, want replica B", res)
+	}
+	if got := router.Failovers(); got != 1 {
+		t.Fatalf("Failovers = %d, want 1", got)
+	}
+	// The failed attempt fed the primary's breaker; one more failure opens it.
+	if got := tr.State("m0"); got != BreakerClosed {
+		t.Fatalf("m0 breaker = %v, want closed after 1 failure (threshold 2)", got)
+	}
+	if _, err := router.Do(context.Background(), 0, rpc.MethodGetNeighborInfos, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.State("m0"); got != BreakerOpen {
+		t.Fatalf("m0 breaker = %v, want open after 2 failures", got)
+	}
+
+	// With the breaker open the router goes straight to the replica — and an
+	// all-served-by-replica call is still counted as a failover.
+	before := router.Failovers()
+	res, err = router.Do(context.Background(), 0, rpc.MethodGetNeighborInfos, nil)
+	if err != nil || string(res) != "B" {
+		t.Fatalf("open breaker: got %q, %v; want B, nil", res, err)
+	}
+	if router.Failovers() != before+1 {
+		t.Fatalf("skipping an open-breaker primary should count as a failover")
+	}
+}
+
+func TestRouterRemoteErrorDoesNotFailOver(t *testing.T) {
+	srvA := rpc.NewServer()
+	srvA.Handle(rpc.MethodGetNeighborInfos, func(p []byte) ([]byte, error) {
+		return nil, errors.New("bad request")
+	})
+	addrA, err := srvA.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	srvB, addrB := echoServer(t, "B")
+	defer srvB.Close()
+
+	router, tr := routerOver(addrA, addrB, Options{AttemptTimeout: 2 * time.Second})
+	defer router.Close()
+
+	_, err = router.Do(context.Background(), 0, rpc.MethodGetNeighborInfos, nil)
+	if err == nil {
+		t.Fatal("remote handler error should surface, not fail over")
+	}
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v should unwrap to rpc.RemoteError", err)
+	}
+	m, shard, ok := FaultOf(err)
+	if !ok || m != 0 || shard != 0 {
+		t.Fatalf("FaultOf = (%d, %d, %v), want (0, 0, true)", m, shard, ok)
+	}
+	if got := router.Failovers(); got != 0 {
+		t.Fatalf("Failovers = %d, want 0 for a remote error", got)
+	}
+	// A remote error is not a health signal.
+	if got := tr.State("m0"); got != BreakerClosed {
+		t.Fatalf("m0 breaker = %v, want closed", got)
+	}
+}
+
+func TestProbeRecoveryClosesBreakerAndRestoresPrimary(t *testing.T) {
+	srvA, addrA := echoServer(t, "A")
+	srvB, addrB := echoServer(t, "B")
+	defer srvB.Close()
+
+	opts := Options{
+		AttemptTimeout:   time.Second,
+		ProbeTimeout:     time.Second,
+		BreakerThreshold: 2,
+	}
+	router, tr := routerOver(addrA, addrB, opts)
+	defer router.Close()
+
+	srvA.Close()
+	// Probes against the dead primary open its breaker.
+	for i := 0; i < 2; i++ {
+		if err := tr.ProbePeer("m0"); err == nil {
+			t.Fatal("probe against a dead server should fail")
+		}
+	}
+	if got := tr.State("m0"); got != BreakerOpen {
+		t.Fatalf("m0 breaker = %v, want open", got)
+	}
+	res, err := router.Do(context.Background(), 0, rpc.MethodGetNeighborInfos, nil)
+	if err != nil || string(res) != "B" {
+		t.Fatalf("got %q, %v; want replica B", res, err)
+	}
+
+	// Revive the primary on the same address; probes walk the breaker back
+	// through half-open to closed, and traffic returns to the primary.
+	srvA2 := restartServer(t, addrA, "A")
+	defer srvA2.Close()
+	for i := 0; i < 2; i++ {
+		if err := tr.ProbePeer("m0"); err != nil {
+			t.Fatalf("probe %d after revival failed: %v", i, err)
+		}
+	}
+	if got := tr.State("m0"); got != BreakerClosed {
+		t.Fatalf("m0 breaker = %v, want closed after recovery", got)
+	}
+	res, err = router.Do(context.Background(), 0, rpc.MethodGetNeighborInfos, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "A" {
+		t.Fatalf("recovered primary: answered by %q, want A", res)
+	}
+
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[0].Key != "m0" || snap[1].Key != "m1" {
+		t.Fatalf("snapshot order = %+v, want m0 then m1", snap)
+	}
+	if snap[0].Probes != 4 || snap[0].ProbeFailures != 2 {
+		t.Fatalf("m0 probes = %d/%d failures, want 4/2", snap[0].Probes, snap[0].ProbeFailures)
+	}
+	if snap[0].LastProbeLatency <= 0 {
+		t.Fatal("successful probe should record a positive latency")
+	}
+}
+
+// restartServer listens again on the exact address a previous server vacated.
+func restartServer(t *testing.T, addr, marker string) *rpc.Server {
+	t.Helper()
+	srv := rpc.NewServer()
+	srv.Handle(rpc.MethodEcho, func(p []byte) ([]byte, error) { return p, nil })
+	srv.Handle(rpc.MethodGetNeighborInfos, func(p []byte) ([]byte, error) {
+		return []byte(marker), nil
+	})
+	var lis net.Listener
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lis, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	go srv.Serve(lis)
+	return srv
+}
+
+func TestHealthTrackerBackgroundProbing(t *testing.T) {
+	srv, addr := echoServer(t, "A")
+	defer srv.Close()
+
+	tr := NewHealthTracker(Options{ProbeInterval: 5 * time.Millisecond, ProbeTimeout: time.Second})
+	ep := NewEndpoint(0, 0, addr, "m0", rpc.LatencyModel{})
+	tr.Register(ep)
+	tr.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if snap := tr.Snapshot(); len(snap) == 1 && snap[0].Probes >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background probe loop never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tr.Stop()
+	ep.Close()
+	if got := tr.State("m0"); got != BreakerClosed {
+		t.Fatalf("healthy peer breaker = %v, want closed", got)
+	}
+}
+
+func TestEndpointRedialAfterDeath(t *testing.T) {
+	srv, addr := echoServer(t, "A")
+	ep := NewEndpoint(0, 0, addr, "m0", rpc.LatencyModel{})
+	defer ep.Close()
+
+	ctx := context.Background()
+	c1, err := ep.Client(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.SyncCallCtx(ctx, rpc.MethodEcho, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// The old client dies; Client() must hand back a fresh connection once
+	// the server is reachable again.
+	deadline := time.Now().Add(5 * time.Second)
+	for c1.Healthy() {
+		if time.Now().After(deadline) {
+			t.Fatal("client never noticed the closed server")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv2 := restartServer(t, addr, "A")
+	defer srv2.Close()
+	c2, err := ep.Client(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("Client() returned the dead client instead of re-dialing")
+	}
+	if _, err := c2.SyncCallCtx(ctx, rpc.MethodEcho, []byte("hi")); err != nil {
+		t.Fatalf("re-dialed client call failed: %v", err)
+	}
+	reqs, _, _ := ep.NetStats()
+	if reqs < 2 {
+		t.Fatalf("NetStats requests = %d, want cumulative >= 2 across reconnects", reqs)
+	}
+}
+
+func TestPeerErrorWrapping(t *testing.T) {
+	base := fmt.Errorf("boom")
+	err := WrapPeer(2, 1, "x:1", base)
+	if !errors.Is(err, base) {
+		t.Fatal("WrapPeer must preserve the error chain")
+	}
+	// Re-wrapping keeps the original attribution.
+	err2 := WrapPeer(9, 9, "y:2", err)
+	m, shard, ok := FaultOf(err2)
+	if !ok || m != 2 || shard != 1 {
+		t.Fatalf("FaultOf = (%d, %d, %v), want (2, 1, true)", m, shard, ok)
+	}
+	if WrapPeer(0, 0, "", nil) != nil {
+		t.Fatal("WrapPeer(nil) must be nil")
+	}
+	if _, _, ok := FaultOf(base); ok {
+		t.Fatal("FaultOf on an unattributed error must report !ok")
+	}
+}

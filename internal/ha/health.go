@@ -1,0 +1,255 @@
+package ha
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pprengine/internal/metrics"
+	"pprengine/internal/rpc"
+)
+
+// Options configures health tracking and failover routing. The zero value
+// gets the defaults below.
+type Options struct {
+	// ProbeInterval is the delay between health pings to each peer.
+	// <= 0 means 500ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one ping's round trip. <= 0 means 1s.
+	ProbeTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a peer's
+	// breaker. <= 0 means DefaultBreakerThreshold.
+	BreakerThreshold int
+	// AttemptTimeout bounds each routed request attempt, so a blackholed
+	// peer (packets silently dropped) converts into a failover instead of a
+	// hang. <= 0 means 5s.
+	AttemptTimeout time.Duration
+}
+
+func (o Options) probeInterval() time.Duration {
+	if o.ProbeInterval <= 0 {
+		return 500 * time.Millisecond
+	}
+	return o.ProbeInterval
+}
+
+func (o Options) probeTimeout() time.Duration {
+	if o.ProbeTimeout <= 0 {
+		return time.Second
+	}
+	return o.ProbeTimeout
+}
+
+func (o Options) attemptTimeout() time.Duration {
+	if o.AttemptTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return o.AttemptTimeout
+}
+
+// peer is one tracked serving machine (or address): its breaker plus probe
+// statistics. All endpoints sharing the peer's key feed the same breaker.
+type peer struct {
+	key       string
+	machine   int
+	breaker   *Breaker
+	endpoints []*Endpoint
+
+	probes        atomic.Int64
+	probeFailures atomic.Int64
+	lastLatencyNs atomic.Int64
+}
+
+// PeerHealth is a point-in-time snapshot of one peer's state.
+type PeerHealth struct {
+	Key              string
+	Machine          int // -1 when unknown
+	State            BreakerState
+	ConsecutiveFails int
+	Probes           int64
+	ProbeFailures    int64
+	// LastProbeLatency is the most recent successful probe's round trip
+	// (0 before the first success).
+	LastProbeLatency time.Duration
+}
+
+// HealthTracker probes a set of peers with lightweight RPC pings (Echo) and
+// maintains one circuit breaker per peer. It is shared by every compute
+// process of a machine, like the shard and the cache. Register all peers
+// before Start.
+type HealthTracker struct {
+	opts Options
+
+	mu    sync.Mutex
+	peers map[string]*peer
+	order []string // registration order, for deterministic snapshots
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewHealthTracker returns an empty tracker.
+func NewHealthTracker(opts Options) *HealthTracker {
+	return &HealthTracker{
+		opts:  opts,
+		peers: make(map[string]*peer),
+		stop:  make(chan struct{}),
+	}
+}
+
+// Register adds ep under its health key. Endpoints sharing a key (one
+// machine hosting several shards) share a breaker: the machine fails as a
+// unit.
+func (t *HealthTracker) Register(ep *Endpoint) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.peers[ep.Key()]
+	if !ok {
+		p = &peer{
+			key:     ep.Key(),
+			machine: ep.Machine,
+			breaker: NewBreaker(t.opts.BreakerThreshold),
+		}
+		t.peers[ep.Key()] = p
+		t.order = append(t.order, ep.Key())
+	}
+	p.endpoints = append(p.endpoints, ep)
+}
+
+// Start launches one probe loop per registered peer. Call Stop to end them.
+func (t *HealthTracker) Start() {
+	t.mu.Lock()
+	peers := make([]*peer, 0, len(t.order))
+	for _, k := range t.order {
+		peers = append(peers, t.peers[k])
+	}
+	t.mu.Unlock()
+	for _, p := range peers {
+		t.wg.Add(1)
+		go t.probeLoop(p)
+	}
+}
+
+// Stop ends the probe loops and waits for them.
+func (t *HealthTracker) Stop() {
+	t.once.Do(func() { close(t.stop) })
+	t.wg.Wait()
+}
+
+func (t *HealthTracker) probeLoop(p *peer) {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.opts.probeInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.ProbePeer(p.key)
+		}
+	}
+}
+
+// ProbePeer sends one health ping to the peer registered under key and feeds
+// the outcome into its breaker. Exposed so tests (and serving binaries that
+// run their own schedule) can step probing deterministically. Returns the
+// probe error, nil on success or for an unknown key.
+func (t *HealthTracker) ProbePeer(key string) error {
+	t.mu.Lock()
+	p := t.peers[key]
+	t.mu.Unlock()
+	if p == nil || len(p.endpoints) == 0 {
+		return nil
+	}
+	ep := p.endpoints[0]
+	p.probes.Add(1)
+	metrics.ProbesSent.Inc(1)
+	ctx, cancel := context.WithTimeout(context.Background(), t.opts.probeTimeout())
+	defer cancel()
+	start := time.Now()
+	err := probe(ctx, ep)
+	if err != nil {
+		p.probeFailures.Add(1)
+		metrics.ProbeFailures.Inc(1)
+		p.breaker.Failure()
+		return err
+	}
+	lat := time.Since(start)
+	p.lastLatencyNs.Store(lat.Nanoseconds())
+	metrics.ProbeLatencyNs.Set(lat.Nanoseconds())
+	p.breaker.Success()
+	return nil
+}
+
+// probe issues one Echo round trip on ep, dialing a fresh connection when
+// the previous one died (the recovery path: a revived machine is only
+// reachable through a new connection).
+func probe(ctx context.Context, ep *Endpoint) error {
+	c, err := ep.Client(ctx)
+	if err != nil {
+		return err
+	}
+	_, err = c.SyncCallCtx(ctx, rpc.MethodEcho, []byte("ping"))
+	return err
+}
+
+// breakerFor returns the breaker tracking key, or nil when untracked.
+func (t *HealthTracker) breakerFor(key string) *Breaker {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p := t.peers[key]; p != nil {
+		return p.breaker
+	}
+	return nil
+}
+
+// Allow reports whether real traffic may be sent to the peer under key.
+// Untracked keys are always allowed.
+func (t *HealthTracker) Allow(key string) bool {
+	b := t.breakerFor(key)
+	return b == nil || b.Allow()
+}
+
+// State returns the breaker state for key (BreakerClosed for untracked keys).
+func (t *HealthTracker) State(key string) BreakerState {
+	if b := t.breakerFor(key); b != nil {
+		return b.State()
+	}
+	return BreakerClosed
+}
+
+// ReportSuccess feeds a successful real request into the peer's breaker.
+func (t *HealthTracker) ReportSuccess(key string) {
+	if b := t.breakerFor(key); b != nil {
+		b.Success()
+	}
+}
+
+// ReportFailure feeds a failed real request into the peer's breaker.
+func (t *HealthTracker) ReportFailure(key string) {
+	if b := t.breakerFor(key); b != nil {
+		b.Failure()
+	}
+}
+
+// Snapshot returns every peer's health in registration order.
+func (t *HealthTracker) Snapshot() []PeerHealth {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PeerHealth, 0, len(t.order))
+	for _, k := range t.order {
+		p := t.peers[k]
+		out = append(out, PeerHealth{
+			Key:              p.key,
+			Machine:          p.machine,
+			State:            p.breaker.State(),
+			ConsecutiveFails: p.breaker.ConsecutiveFailures(),
+			Probes:           p.probes.Load(),
+			ProbeFailures:    p.probeFailures.Load(),
+			LastProbeLatency: time.Duration(p.lastLatencyNs.Load()),
+		})
+	}
+	return out
+}

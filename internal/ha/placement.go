@@ -1,0 +1,162 @@
+// Package ha adds the robustness layer the paper's engine assumes away:
+// shard replication with health-checked failover. The paper (§3.1) serves
+// every shard from exactly one Graph Storage server and assumes that server
+// stays up for the lifetime of the query stream; a crashed machine therefore
+// fails every SSPPR query whose frontier touches its shard. Production
+// serving stacks for the same workload (DistDGL, SALIENT++-style systems)
+// instead serve each partition from R redundant server processes and route
+// around failures. This package provides the three pieces of that layer:
+//
+//   - Placement: which machines serve which shard (primary + replicas),
+//     computed from the partition map so replica bytes stay balanced;
+//   - HealthTracker + Breaker: lightweight RPC pings per peer, with a
+//     circuit breaker that opens after consecutive failures and closes
+//     again once probes recover;
+//   - ReplicaRouter: the request path — prefer the primary, fail over to a
+//     healthy replica on error/timeout/open breaker, return to the primary
+//     when its breaker closes.
+//
+// Replication here is read-only: the graph is immutable after partitioning,
+// so replicas never diverge and a failover returns bit-identical rows.
+package ha
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement lists, for every shard, the machines serving it. Entry 0 is the
+// primary — the shard's owner under the paper's owner-compute rule; the rest
+// are replicas in preference order.
+type Placement [][]int
+
+// Replicas returns the replication factor (serving machines per shard).
+func (p Placement) Replicas() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p[0])
+}
+
+// Machines returns the serving machines for shard s, primary first.
+func (p Placement) Machines(s int) []int { return p[s] }
+
+// HostedReplicas returns the shards machine m serves as a NON-primary
+// replica, in shard order — the extra serving duty replication adds on top
+// of the machine's own shard.
+func (p Placement) HostedReplicas(m int) []int {
+	var out []int
+	for s, machines := range p {
+		for _, host := range machines[1:] {
+			if host == m {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: every shard has the same replica
+// count, machine indices are in range, shard s's primary is machine s, and no
+// machine serves the same shard twice.
+func (p Placement) Validate(numMachines int) error {
+	if len(p) != numMachines {
+		return fmt.Errorf("ha: placement covers %d shards, want %d", len(p), numMachines)
+	}
+	r := p.Replicas()
+	for s, machines := range p {
+		if len(machines) != r {
+			return fmt.Errorf("ha: shard %d has %d serving machines, want %d", s, len(machines), r)
+		}
+		if len(machines) == 0 || machines[0] != s {
+			return fmt.Errorf("ha: shard %d primary is %v, want machine %d", s, machines, s)
+		}
+		seen := map[int]bool{}
+		for _, m := range machines {
+			if m < 0 || m >= numMachines {
+				return fmt.Errorf("ha: shard %d served by out-of-range machine %d", s, m)
+			}
+			if seen[m] {
+				return fmt.Errorf("ha: shard %d served twice by machine %d", s, m)
+			}
+			seen[m] = true
+		}
+	}
+	return nil
+}
+
+// Place is the trivial ring placement: shard s is served by machines
+// s, s+1, ..., s+replicas-1 (mod K). Deterministic and balanced when shards
+// are, but blind to shard sizes; PlaceWeighted is what deployments use.
+func Place(numShards, replicas int) (Placement, error) {
+	if err := checkReplicas(numShards, replicas); err != nil {
+		return nil, err
+	}
+	p := make(Placement, numShards)
+	for s := range p {
+		p[s] = make([]int, replicas)
+		for i := range p[s] {
+			p[s][i] = (s + i) % numShards
+		}
+	}
+	return p, nil
+}
+
+// PlaceWeighted computes a replica placement balanced by shard weight
+// (typically neighbor-entry counts from the METIS partition map): shard s is
+// always primaried on machine s, and its replicas go to the machines with the
+// least accumulated replica weight, heaviest shards placed first.
+// Deterministic: ties break by machine index, and the input order is fixed by
+// sorting on (weight desc, shard asc).
+func PlaceWeighted(weights []int64, replicas int) (Placement, error) {
+	k := len(weights)
+	if err := checkReplicas(k, replicas); err != nil {
+		return nil, err
+	}
+	p := make(Placement, k)
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	load := make([]int64, k) // replica weight accumulated per machine
+	for _, s := range order {
+		machines := make([]int, 0, replicas)
+		machines = append(machines, s)
+		taken := map[int]bool{s: true}
+		for len(machines) < replicas {
+			best := -1
+			for m := 0; m < k; m++ {
+				if taken[m] {
+					continue
+				}
+				if best < 0 || load[m] < load[best] {
+					best = m
+				}
+			}
+			taken[best] = true
+			machines = append(machines, best)
+			load[best] += weights[s]
+		}
+		p[s] = machines
+	}
+	return p, nil
+}
+
+func checkReplicas(numShards, replicas int) error {
+	if numShards <= 0 {
+		return fmt.Errorf("ha: need at least one shard")
+	}
+	if replicas < 1 {
+		return fmt.Errorf("ha: replicas must be >= 1, got %d", replicas)
+	}
+	if replicas > numShards {
+		return fmt.Errorf("ha: %d replicas need at least that many machines, have %d", replicas, numShards)
+	}
+	return nil
+}

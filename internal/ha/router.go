@@ -1,0 +1,241 @@
+package ha
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"pprengine/internal/metrics"
+	"pprengine/internal/rpc"
+)
+
+// PeerError attributes a request failure to the serving peer that produced
+// it: the machine index (when known), the destination shard, and the address
+// tried last. It wraps the underlying error for errors.Is/As.
+type PeerError struct {
+	Machine int   // serving machine index, -1 when unknown
+	Shard   int32 // destination shard of the failed request
+	Addr    string
+	Err     error
+}
+
+// Error implements the error interface.
+func (e *PeerError) Error() string {
+	if e.Machine >= 0 {
+		return fmt.Sprintf("machine %d (shard %d, %s): %v", e.Machine, e.Shard, e.Addr, e.Err)
+	}
+	return fmt.Sprintf("shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// WrapPeer attributes err to (machine, shard) unless it already carries a
+// peer attribution. A nil err returns nil.
+func WrapPeer(machine int, shard int32, addr string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		return err
+	}
+	return &PeerError{Machine: machine, Shard: shard, Addr: addr, Err: err}
+}
+
+// FaultOf extracts the peer attribution from err's chain. ok is false when
+// the failure is not attributable to a peer (e.g. a local cancellation).
+func FaultOf(err error) (machine int, shard int32, ok bool) {
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		return pe.Machine, pe.Shard, true
+	}
+	return -1, -1, false
+}
+
+// ReplicaRouter routes requests for a shard to one of its serving endpoints:
+// the primary while healthy, a replica when the primary's breaker is open or
+// an attempt fails, and the primary again once its breaker closes. One
+// router per machine, shared by all of its compute processes.
+type ReplicaRouter struct {
+	tracker *HealthTracker
+	opts    Options
+	shards  [][]*Endpoint // per shard, primary first; nil for the local shard
+
+	failovers atomic.Int64
+}
+
+// NewReplicaRouter returns a router consulting tracker's breakers. endpoints
+// must have one entry per shard (primary first); the local shard's entry may
+// be nil.
+func NewReplicaRouter(tracker *HealthTracker, endpoints [][]*Endpoint, opts Options) *ReplicaRouter {
+	return &ReplicaRouter{tracker: tracker, opts: opts, shards: endpoints}
+}
+
+// Endpoints returns the serving endpoints for shard (primary first).
+func (r *ReplicaRouter) Endpoints(shard int32) []*Endpoint { return r.shards[shard] }
+
+// Failovers returns the number of attempts re-routed away from the
+// preferred endpoint (dial failures and failed requests alike).
+func (r *ReplicaRouter) Failovers() int64 { return r.failovers.Load() }
+
+// Tracker returns the health tracker the router consults.
+func (r *ReplicaRouter) Tracker() *HealthTracker { return r.tracker }
+
+// CallFuture is the pending result of a routed request. It resolves after at
+// most one attempt per serving endpoint, each bounded by
+// Options.AttemptTimeout; failed transient attempts fail over to the next
+// healthy replica. Any number of goroutines may wait on it.
+type CallFuture struct {
+	done chan struct{}
+	res  []byte
+	err  error
+}
+
+// Done returns a channel closed when the final result (after any failovers)
+// is available.
+func (f *CallFuture) Done() <-chan struct{} { return f.done }
+
+// Wait blocks for the final result.
+func (f *CallFuture) Wait() ([]byte, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// WaitCtx is Wait bounded by the waiter's context. Cancellation detaches
+// only this waiter — the routed request keeps running for other waiters
+// (routed calls are shared state, like aggregator flushes).
+func (f *CallFuture) WaitCtx(ctx context.Context) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Call issues one request for dstShard with failover: it returns
+// immediately with a future driven by a background attempt loop. The loop is
+// NOT bound to any query context — like cache flights and aggregator
+// flushes, a routed call may be shared by several queries, and each waiter's
+// own ctx applies only to its WaitCtx.
+func (r *ReplicaRouter) Call(dstShard int32, m rpc.Method, payload []byte) *CallFuture {
+	f := &CallFuture{done: make(chan struct{})}
+	go r.run(f, dstShard, m, payload)
+	return f
+}
+
+// Do is Call followed by WaitCtx.
+func (r *ReplicaRouter) Do(ctx context.Context, dstShard int32, m rpc.Method, payload []byte) ([]byte, error) {
+	return r.Call(dstShard, m, payload).WaitCtx(ctx)
+}
+
+// run drives the attempt loop: endpoints whose breaker allows traffic are
+// tried in preference order (primary first); if every breaker is open, the
+// endpoints are tried anyway as a last resort — an open breaker should
+// degrade to the replica, never fail a query that could have succeeded.
+func (r *ReplicaRouter) run(f *CallFuture, dstShard int32, m rpc.Method, payload []byte) {
+	defer close(f.done)
+	eps := r.shards[dstShard]
+	if len(eps) == 0 {
+		f.err = &PeerError{Machine: -1, Shard: dstShard, Err: fmt.Errorf("ha: no endpoints for shard %d", dstShard)}
+		return
+	}
+	allowed := make([]*Endpoint, 0, len(eps))
+	for _, ep := range eps {
+		if r.tracker.Allow(ep.Key()) {
+			allowed = append(allowed, ep)
+		}
+	}
+	if len(allowed) == 0 {
+		allowed = eps // all breakers open: try everything rather than fail
+	}
+	var lastErr error
+	var lastEp *Endpoint
+	for i, ep := range allowed {
+		if i > 0 || ep != eps[0] {
+			// Any attempt not on the primary is a failover, whether we got
+			// here by a failed attempt or by skipping an open breaker.
+			r.failovers.Add(1)
+			metrics.Failovers.Inc(1)
+		}
+		res, err := r.attempt(ep, m, payload)
+		if err == nil {
+			r.tracker.ReportSuccess(ep.Key())
+			f.res = res
+			return
+		}
+		lastErr, lastEp = err, ep
+		if !transientAttempt(err) {
+			// A remote handler error is not a machine-health signal — the
+			// peer answered — and retrying a replica would fail identically.
+			break
+		}
+		r.tracker.ReportFailure(ep.Key())
+	}
+	f.err = WrapPeer(lastEp.Machine, dstShard, lastEp.Addr, lastErr)
+}
+
+// attempt issues the request on ep once, bounded by the attempt timeout.
+func (r *ReplicaRouter) attempt(ep *Endpoint, m rpc.Method, payload []byte) ([]byte, error) {
+	c, err := ep.dial()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.attemptTimeout())
+	defer cancel()
+	return c.SyncCallCtx(ctx, m, payload)
+}
+
+// transientAttempt reports whether a failed attempt should fail over to a
+// replica. Unlike rpc.Transient, an expired attempt deadline IS transient
+// here: the timeout is the router's own (detecting a blackholed peer), not
+// the caller's.
+func transientAttempt(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return true
+	}
+	return rpc.Transient(err)
+}
+
+// Close closes every endpoint connection.
+func (r *ReplicaRouter) Close() {
+	for _, eps := range r.shards {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}
+}
+
+// Stats summarizes a router (and its tracker) for experiment reports.
+type Stats struct {
+	Failovers     int64
+	Probes        int64
+	ProbeFailures int64
+	BreakersOpen  int // peers currently open
+}
+
+// Stats returns a snapshot. A nil router reports zeros.
+func (r *ReplicaRouter) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	s := Stats{Failovers: r.failovers.Load()}
+	for _, ph := range r.tracker.Snapshot() {
+		s.Probes += ph.Probes
+		s.ProbeFailures += ph.ProbeFailures
+		if ph.State == BreakerOpen {
+			s.BreakersOpen++
+		}
+	}
+	return s
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Failovers += other.Failovers
+	s.Probes += other.Probes
+	s.ProbeFailures += other.ProbeFailures
+	s.BreakersOpen += other.BreakersOpen
+}

@@ -168,6 +168,16 @@ func (c *Counter) Inc(n int64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is an atomic last-observed value (e.g. the most recent probe
+// latency), usable from many goroutines.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the stored value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Engine-wide query-lifecycle counters. The rpc layer and the SSPPR drivers
 // increment these; serving binaries read them for health reporting.
 var (
@@ -193,6 +203,20 @@ var (
 	// AggShared counts fetches whose flush also carried another query's
 	// fetch — the round trips actually amortized by aggregation.
 	AggShared Counter
+	// Failovers counts routed requests that were re-issued to a replica
+	// after the preferred endpoint failed (internal/ha).
+	Failovers Counter
+	// BreakerOpens / BreakerCloses count peer circuit-breaker transitions
+	// into the open and (fully) closed states.
+	BreakerOpens  Counter
+	BreakerCloses Counter
+	// ProbesSent / ProbeFailures count health-check pings issued by the
+	// per-machine health trackers and the pings that failed.
+	ProbesSent    Counter
+	ProbeFailures Counter
+	// ProbeLatencyNs holds the most recent successful probe round trip in
+	// nanoseconds, across all trackers of the process.
+	ProbeLatencyNs Gauge
 )
 
 // Summary holds repeated-run statistics (the paper reports an average of 10

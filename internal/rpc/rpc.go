@@ -140,7 +140,13 @@ type Server struct {
 	lis      net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
+	draining atomic.Bool
 	conns    sync.Map // *net.Conn set for shutdown
+
+	// reqWG counts in-flight request handlers only (wg also includes
+	// per-connection reader goroutines, which exit only when their
+	// connection closes — waiting on wg alone would never drain).
+	reqWG sync.WaitGroup
 
 	// MaxRequestBytes rejects request payloads larger than this when > 0
 	// (a guard against misbehaving clients; responses are not limited).
@@ -260,14 +266,33 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.reqCounts[method].Add(1)
 		s.bytesIn.Add(int64(len(payload)))
+		// The draining check and reqWG.Add share the read lock so they cannot
+		// interleave with Shutdown's write-locked draining flip: once Shutdown
+		// starts waiting on reqWG, no new handler can join it.
 		s.mu.RLock()
 		h, ok := s.handlers[method]
+		draining := s.draining.Load()
+		if !draining {
+			s.reqWG.Add(1)
+		}
 		s.mu.RUnlock()
+		if draining {
+			s.errCounts[method].Add(1)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				wmu.Lock()
+				writeFrame(conn, &wbuf, reqID, flagError, method, []byte("rpc: server shutting down"))
+				wmu.Unlock()
+			}()
+			continue
+		}
 		if max := s.MaxRequestBytes; max > 0 && len(payload) > max {
 			s.errCounts[method].Add(1)
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
+				defer s.reqWG.Done()
 				wmu.Lock()
 				writeFrame(conn, &wbuf, reqID, flagError, method,
 					[]byte(fmt.Sprintf("rpc: request of %d bytes exceeds server limit %d", len(payload), max)))
@@ -278,6 +303,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.reqWG.Done()
 			if !ok {
 				s.errCounts[method].Add(1)
 				wmu.Lock()
@@ -318,6 +344,43 @@ func (s *Server) Close() {
 		return true
 	})
 	s.wg.Wait()
+}
+
+// Shutdown drains the server gracefully: it stops accepting connections,
+// rejects requests arriving on existing connections (clients get an error
+// response instead of a hang), waits for in-flight handlers up to ctx, then
+// force-closes the remaining connections. Returns ctx.Err() when the drain
+// deadline expired before every handler finished, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	// Flip draining under the write lock: serveConn reads it (and joins
+	// reqWG) under the read lock, so after this no new handler can start.
+	s.mu.Lock()
+	s.draining.Store(true)
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.conns.Range(func(k, _ any) bool {
+		k.(net.Conn).Close()
+		return true
+	})
+	s.wg.Wait()
+	return err
 }
 
 // Future is the pending result of an asynchronous Call. It is safe for any
@@ -658,6 +721,12 @@ func (c *Client) CallCtx(ctx context.Context, m Method, payload []byte) *Future 
 	c.BytesSent.Add(int64(len(payload)))
 	return f
 }
+
+// Healthy reports whether the client can still issue calls: it has not been
+// closed and its read loop is alive. A false return means every future call
+// would fail fast with ErrClientClosed — callers holding long-lived client
+// references (failover endpoints) use this to decide when to re-dial.
+func (c *Client) Healthy() bool { return !c.closed.Load() && !c.dead.Load() }
 
 // SyncCall is Call followed by Wait.
 func (c *Client) SyncCall(m Method, payload []byte) ([]byte, error) {
