@@ -7,7 +7,8 @@
 //	pprbench -exp table2 -scale 1 -queries 32 -repeats 3
 //
 // Experiments: table1, table2, accuracy, fig5a, fig5b, table3, fig6, fig7,
-// intro, partquality, all.
+// intro, partquality, halo, epssweep, netlatency, models, cache, agg,
+// failover, traceoverhead, all.
 //
 // -json <path> additionally writes every ran experiment's structured rows
 // (plus the run parameters) to path as one JSON object, for CI artifacts and
@@ -23,11 +24,12 @@ import (
 	"time"
 
 	"pprengine/internal/experiments"
+	"pprengine/internal/obs"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|all)")
+		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|traceoverhead|all)")
 		scale      = flag.Int("scale", 8, "dataset downscale factor (1 = full stand-in size)")
 		queries    = flag.Int("queries", 0, "SSPPR queries per machine (0 = default)")
 		repeats    = flag.Int("repeats", 0, "measured repetitions (0 = default)")
@@ -39,8 +41,15 @@ func main() {
 		probeIvl   = flag.Duration("probe-interval", 0, "health-ping interval for the failover experiment (0 = default 50ms)")
 		breakerThr = flag.Int("breaker-threshold", 0, "consecutive failures that open a circuit breaker in the failover experiment (0 = default 3)")
 		jsonPath   = flag.String("json", "", "write the ran experiments' structured rows to this file as JSON")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pprbench:", err)
+		os.Exit(2)
+	}
 
 	p := experiments.DefaultParams()
 	p.Scale = *scale
@@ -71,7 +80,7 @@ func main() {
 		start := time.Now()
 		r, rows, err := f()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pprbench: %s failed: %v\n", name, err)
+			logger.Error("experiment failed", "exp", name, "err", err)
 			os.Exit(1)
 		}
 		if rows != nil {
@@ -149,19 +158,23 @@ func main() {
 		r, rows, err := experiments.FailoverBench(p, *replicas, *probeIvl, *breakerThr)
 		return r, rows, err
 	})
+	run("traceoverhead", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.TraceOverhead(p)
+		return r, rows, err
+	})
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "pprbench: unknown experiment %q\n", *exp)
+		logger.Error("unknown experiment", "exp", *exp)
 		os.Exit(2)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(jsonOut, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pprbench: encode -json: %v\n", err)
+			logger.Error("encode -json failed", "err", err)
 			os.Exit(1)
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "pprbench: write %s: %v\n", *jsonPath, err)
+			logger.Error("write -json failed", "path", *jsonPath, "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote JSON metrics to %s\n", *jsonPath)

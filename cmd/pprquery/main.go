@@ -7,13 +7,25 @@
 //
 // -source is a global node ID; it must belong to the local shard (the
 // owner-compute rule: queries run on the machine that owns their source).
+// -sources runs a comma-separated batch instead: failures are isolated (the
+// remaining queries still run) but the process exits non-zero if any query
+// failed, logging which serving machine/shard was at fault when the error is
+// peer-attributable.
+//
+// -trace-sample enables client-side distributed tracing: each sampled
+// query's trace context rides the wire, the serving machines record their
+// side of the trace, and the per-query log line carries the trace ID to grep
+// for on the servers' /debug/traces endpoints.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"pprengine/internal/cache"
@@ -22,6 +34,7 @@ import (
 	"pprengine/internal/graph"
 	"pprengine/internal/ha"
 	"pprengine/internal/metrics"
+	"pprengine/internal/obs"
 	"pprengine/internal/rpc"
 )
 
@@ -32,6 +45,7 @@ func main() {
 		peersSpec   = flag.String("peers", "", "compute mode: remote shards \"1=host:port,...\"; with replication, \"1=primary:port|replica:port,...\"")
 		ownersSpec  = flag.String("owners", "", "thin mode: every shard's query service \"0=host:port,1=host:port,...\"; no local shard needed (requires pprserve -peers)")
 		source      = flag.Int("source", 0, "global source node ID")
+		sourcesCSV  = flag.String("sources", "", "batch mode: comma-separated global source IDs (overrides -source); exits non-zero if any query fails")
 		topk        = flag.Int("topk", 10, "print the k best-ranked nodes")
 		alpha       = flag.Float64("alpha", 0.462, "teleport probability")
 		eps         = flag.Float64("eps", 1e-6, "residual threshold")
@@ -43,27 +57,40 @@ func main() {
 		replicas    = flag.Int("replicas", 0, "expected serving addresses per remote shard in -peers (0 = accept whatever is listed)")
 		probeIvl    = flag.Duration("probe-interval", 0, "health-ping interval per peer when -peers lists replicas (0 = default 500ms)")
 		breakerThr  = flag.Int("breaker-threshold", 0, "consecutive probe/request failures that open a peer's circuit breaker (0 = default)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of queries to trace end to end (0 = off, 1 = all)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
-	if *locPath == "" {
-		fmt.Fprintln(os.Stderr, "pprquery: -locator is required")
-		os.Exit(2)
-	}
-	if *ownersSpec != "" {
-		runThin(*locPath, *ownersSpec, *source, *topk, *alpha, *eps, *timeout, *dialTimeout)
-		return
-	}
-	if *shardPath == "" {
-		fmt.Fprintln(os.Stderr, "pprquery: pass -shard (compute mode) or -owners (thin mode)")
-		os.Exit(2)
-	}
-	peers, err := deploy.ParseReplicaPeers(*peersSpec)
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pprquery:", err)
 		os.Exit(2)
 	}
+	if *locPath == "" {
+		logger.Error("missing required flag", "flag", "-locator")
+		os.Exit(2)
+	}
+	sources, err := parseSources(*sourcesCSV, *source)
+	if err != nil {
+		logger.Error("bad -sources", "err", err)
+		os.Exit(2)
+	}
+	if *ownersSpec != "" {
+		runThin(logger, *locPath, *ownersSpec, sources, *topk, *alpha, *eps, *timeout, *dialTimeout, *traceSample)
+		return
+	}
+	if *shardPath == "" {
+		logger.Error("pass -shard (compute mode) or -owners (thin mode)")
+		os.Exit(2)
+	}
+	peers, err := deploy.ParseReplicaPeers(*peersSpec)
+	if err != nil {
+		logger.Error("bad -peers", "err", err)
+		os.Exit(2)
+	}
 	if err := deploy.ValidateReplicas(peers, *replicas); err != nil {
-		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		logger.Error("replica validation failed", "err", err)
 		os.Exit(2)
 	}
 	cfg := core.DefaultConfig()
@@ -92,63 +119,153 @@ func main() {
 	}
 	cancelDial()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		logger.Error("connect failed", "err", err)
 		os.Exit(1)
 	}
 	defer cleanup()
+	if *traceSample > 0 {
+		st.AttachTracer(obs.NewTracer(st.ShardID, *traceSample, 0))
+	}
 
-	sh, local := st.Locator.Locate(graph.NodeID(*source))
-	if sh != st.ShardID {
-		fmt.Fprintf(os.Stderr, "pprquery: source %d lives on shard %d, not the local shard %d (owner-compute rule)\n",
-			*source, sh, st.ShardID)
+	failed := 0
+	for _, src := range sources {
+		sh, local := st.Locator.Locate(graph.NodeID(src))
+		if sh != st.ShardID {
+			logger.Error("source not local (owner-compute rule)",
+				"source", src, "owner_shard", sh, "local_shard", st.ShardID)
+			failed++
+			continue
+		}
+		bd := metrics.NewBreakdown()
+		start := time.Now()
+		top, stats, err := core.RunSSPPRTopK(context.Background(), st, local, *topk, cfg, bd)
+		if err != nil {
+			failed++
+			logQueryError(logger, src, err)
+			continue
+		}
+		logger.Info("query done", queryAttrs(src, time.Since(start), st.Tracer)...)
+		fmt.Printf("SSPPR from %d (alpha=%.3f eps=%.0e): %d iterations, %d pushes, %d touched\n",
+			src, *alpha, *eps, stats.Iterations, stats.Pushes, stats.TouchedNodes)
+		fmt.Printf("rows: local=%d halo=%d remote=%d cachehit=%d coalesced=%d; %s\n",
+			stats.LocalRows, stats.HaloRows, stats.RemoteRows, stats.CacheHits, stats.CacheCoalesced, bd)
+		for rank, sn := range top {
+			fmt.Printf("%3d. node %-8d π = %.6g\n",
+				rank+1, st.Locator.Global(sn.Key.Shard, sn.Key.Local), sn.Score)
+		}
+	}
+	exitBatch(logger, len(sources), failed)
+}
+
+// parseSources resolves the batch: -sources when given, else the single
+// -source.
+func parseSources(csv string, single int) ([]int, error) {
+	if strings.TrimSpace(csv) == "" {
+		return []int{single}, nil
+	}
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad source %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// logQueryError logs one failed query, attributing it to the serving peer at
+// fault when the error chain identifies one (see ha.FaultOf).
+func logQueryError(logger *slog.Logger, src int, err error) {
+	if fm, fs, ok := ha.FaultOf(err); ok {
+		logger.Error("query failed", "source", src, "err", err,
+			"fault_machine", fm, "fault_shard", fs)
+		return
+	}
+	logger.Error("query failed", "source", src, "err", err)
+}
+
+// queryAttrs builds the per-query log attributes, adding the trace ID of the
+// most recent locally-rooted trace when tracing is on — the ID to grep for on
+// the serving machines' /debug/traces.
+func queryAttrs(src int, dur time.Duration, tr *obs.Tracer) []any {
+	attrs := []any{"source", src, "dur", dur}
+	if tr == nil {
+		return attrs
+	}
+	spans := tr.Spans()
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i].Name == "query" && spans[i].Parent == 0 {
+			return append(attrs, "trace", obs.TraceIDString(spans[i].Trace))
+		}
+	}
+	return attrs
+}
+
+// exitBatch reports the batch outcome: any failed query exits non-zero.
+func exitBatch(logger *slog.Logger, total, failed int) {
+	if failed > 0 {
+		logger.Error("batch finished with failures", "queries", total, "failed", failed)
 		os.Exit(1)
 	}
-	bd := metrics.NewBreakdown()
-	top, stats, err := core.RunSSPPRTopK(context.Background(), st, local, *topk, cfg, bd)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pprquery:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("SSPPR from %d (alpha=%.3f eps=%.0e): %d iterations, %d pushes, %d touched\n",
-		*source, *alpha, *eps, stats.Iterations, stats.Pushes, stats.TouchedNodes)
-	fmt.Printf("rows: local=%d halo=%d remote=%d cachehit=%d coalesced=%d; %s\n",
-		stats.LocalRows, stats.HaloRows, stats.RemoteRows, stats.CacheHits, stats.CacheCoalesced, bd)
-	for rank, sn := range top {
-		fmt.Printf("%3d. node %-8d π = %.6g\n",
-			rank+1, st.Locator.Global(sn.Key.Shard, sn.Key.Local), sn.Score)
+	if total > 1 {
+		logger.Info("batch finished", "queries", total)
 	}
 }
 
-// runThin dispatches the query to its owner's query service (owner-compute
+// runThin dispatches queries to their owners' query services (owner-compute
 // over RPC) instead of computing locally.
-func runThin(locPath, ownersSpec string, source, topk int, alpha, eps float64, timeout, dialTimeout time.Duration) {
+func runThin(logger *slog.Logger, locPath, ownersSpec string, sources []int, topk int, alpha, eps float64, timeout, dialTimeout time.Duration, traceSample float64) {
 	owners, err := deploy.ParsePeers(ownersSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		logger.Error("bad -owners", "err", err)
 		os.Exit(2)
 	}
 	dialCtx, cancelDial := context.WithTimeout(context.Background(), dialTimeout)
 	qc, cleanup, err := deploy.ConnectThin(dialCtx, locPath, owners, rpc.LatencyModel{})
 	cancelDial()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pprquery:", err)
+		logger.Error("connect failed", "err", err)
 		os.Exit(1)
 	}
 	defer cleanup()
-	ctx := context.Background()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
+	// The thin client is the trace head: a sampled dispatch's context rides
+	// the query request, and the owner's whole distributed execution joins
+	// the trace. Machine -1 marks spans recorded outside the cluster.
+	var tracer *obs.Tracer
+	if traceSample > 0 {
+		tracer = obs.NewTracer(-1, traceSample, 0)
 	}
-	resp, err := qc.Query(ctx, graph.NodeID(source), topk, alpha, eps)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pprquery:", err)
-		os.Exit(1)
+	failed := 0
+	for _, src := range sources {
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		span := tracer.StartTrace("dispatch")
+		ctx = obs.ContextWith(ctx, span.Context())
+		sc := span.Context()
+		start := time.Now()
+		resp, err := qc.Query(ctx, graph.NodeID(src), topk, alpha, eps)
+		span.SetErr(err != nil)
+		span.End()
+		if err != nil {
+			failed++
+			logQueryError(logger, src, err)
+			continue
+		}
+		attrs := []any{"source", src, "dur", time.Since(start)}
+		if sc.Valid() {
+			attrs = append(attrs, "trace", obs.TraceIDString(sc.TraceID))
+		}
+		logger.Info("query done", attrs...)
+		fmt.Printf("SSPPR from %d (remote, alpha=%.3f eps=%.0e): %d iterations, %d pushes, %d touched\n",
+			src, alpha, eps, resp.Iterations, resp.Pushes, resp.Touched)
+		for i := range resp.Globals {
+			fmt.Printf("%3d. node %-8d π = %.6g\n", i+1, resp.Globals[i], resp.Scores[i])
+		}
 	}
-	fmt.Printf("SSPPR from %d (remote, alpha=%.3f eps=%.0e): %d iterations, %d pushes, %d touched\n",
-		source, alpha, eps, resp.Iterations, resp.Pushes, resp.Touched)
-	for i := range resp.Globals {
-		fmt.Printf("%3d. node %-8d π = %.6g\n", i+1, resp.Globals[i], resp.Scores[i])
-	}
+	exitBatch(logger, len(sources), failed)
 }

@@ -15,10 +15,19 @@
 // first ("1=host1:7001|host2:7101"), and served queries fail over to a
 // replica when the primary is unreachable (see DESIGN.md §5f).
 //
-// On SIGTERM/SIGINT the server shuts down gracefully: it stops accepting
-// work and waits up to -drain for in-flight requests to finish, so replicas
-// taking over mid-stream see completed responses, not torn connections. A
-// second signal forces immediate exit.
+// With -admin-addr the process also serves an operator HTTP endpoint:
+// Prometheus metrics on /metrics, liveness on /healthz, readiness on /readyz
+// (not-ready while bootstrapping, while draining, and — in replicated mode —
+// while some remote shard has every breaker open), recent slow traces on
+// /debug/traces, and the standard pprof handlers. -trace-sample turns on
+// head-based query tracing; sampled trace contexts ride the wire protocol, so
+// this server also records spans for traces started by its clients.
+//
+// On SIGTERM/SIGINT the server shuts down gracefully: it flips /readyz
+// not-ready (so load balancers stop routing to it), stops accepting work, and
+// waits up to -drain for in-flight requests to finish, so replicas taking
+// over mid-stream see completed responses, not torn connections. A second
+// signal forces immediate exit.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"pprengine/internal/core"
 	"pprengine/internal/deploy"
 	"pprengine/internal/ha"
+	"pprengine/internal/obs"
 	"pprengine/internal/rpc"
 )
 
@@ -51,27 +61,67 @@ func main() {
 		replicas     = flag.Int("replicas", 0, "expected serving addresses per remote shard in -peers (0 = accept whatever is listed)")
 		probeIvl     = flag.Duration("probe-interval", 0, "health-ping interval per peer when -peers lists replicas (0 = default 500ms)")
 		breakerThr   = flag.Int("breaker-threshold", 0, "consecutive probe/request failures that open a peer's circuit breaker (0 = default)")
+		adminAddr    = flag.String("admin-addr", "", "admin HTTP address for /metrics, /healthz, /readyz, /debug/traces, /debug/pprof (empty = disabled)")
+		traceSample  = flag.Float64("trace-sample", 0, "fraction of locally-started queries to trace (0 = off; remote-initiated traces are always honored)")
+		traceBuf     = flag.Int("trace-buf", 0, "span ring-buffer capacity (0 = default)")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pprserve:", err)
+		os.Exit(2)
+	}
 	if *shardPath == "" || *locPath == "" {
-		fmt.Fprintln(os.Stderr, "pprserve: -shard and -locator are required")
+		logger.Error("missing required flags", "flags", "-shard, -locator")
 		os.Exit(2)
 	}
 	srv, addr, err := deploy.Serve(*shardPath, *locPath, *listen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pprserve:", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("pprserve: shard %d (%d core nodes) serving on %s\n",
-		srv.Shard.ShardID, srv.Shard.NumCore(), addr)
+	// The tracer is attached before the query service starts so the server's
+	// rpc spans and served queries' driver spans share one ring buffer. Even
+	// at -trace-sample 0 it records spans for traces sampled by clients.
+	tracer := obs.NewTracer(srv.Shard.ShardID, *traceSample, *traceBuf)
+	srv.AttachTracer(tracer)
+	logger.Info("serving shard",
+		"shard", srv.Shard.ShardID, "core_nodes", srv.Shard.NumCore(), "addr", addr)
+
+	var admin *obs.Admin
+	if *adminAddr != "" {
+		admin = obs.NewAdmin(nil)
+		reg := admin.Registry()
+		obs.RegisterEngineMetrics(reg)
+		obs.RegisterPhaseMetrics(reg, srv.QueryPhases())
+		obs.RegisterGoMetrics(reg)
+		srv.QueryLatency = reg.Histogram("ppr_query_seconds",
+			"Wall time of served SSPPR queries.", nil, obs.DefBuckets)
+		reg.CounterFunc("ppr_queries_served_total",
+			"SSPPR queries answered by this server (failures included).", nil,
+			func() float64 { served, _ := srv.QueryCounts(); return float64(served) })
+		reg.CounterFunc("ppr_query_failures_total",
+			"Served SSPPR queries that returned an error.", nil,
+			func() float64 { _, failed := srv.QueryCounts(); return float64(failed) })
+		admin.AttachTracer(tracer)
+		bound, err := admin.ListenAndServe(*adminAddr)
+		if err != nil {
+			logger.Error("admin server failed", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("admin server up", "addr", bound)
+	}
+
 	if *peersSpec != "" {
 		peers, err := deploy.ParseReplicaPeers(*peersSpec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pprserve:", err)
+			logger.Error("bad -peers", "err", err)
 			os.Exit(2)
 		}
 		if err := deploy.ValidateReplicas(peers, *replicas); err != nil {
-			fmt.Fprintln(os.Stderr, "pprserve:", err)
+			logger.Error("replica validation failed", "err", err)
 			os.Exit(2)
 		}
 		cfg := core.DefaultConfig()
@@ -83,22 +133,37 @@ func main() {
 		var cleanup func()
 		if deploy.Replicated(peers) {
 			haOpts := ha.Options{ProbeInterval: *probeIvl, BreakerThreshold: *breakerThr}
-			cleanup, err = deploy.EnableQueriesHA(ctx, srv, peers, cfg, haOpts, rpc.LatencyModel{})
+			var router *ha.ReplicaRouter
+			router, cleanup, err = deploy.EnableQueriesHA(ctx, srv, peers, cfg, haOpts, rpc.LatencyModel{})
+			if err == nil && admin != nil {
+				// A remote shard with every serving copy's breaker open means
+				// queries touching it will fail: report not-ready so traffic
+				// shifts to an owner that can still reach the whole graph.
+				admin.AddCheck("breakers", router.ReadyCheck)
+			}
 		} else {
 			cleanup, err = deploy.EnableQueries(ctx, srv, deploy.PrimaryPeers(peers), cfg, rpc.LatencyModel{})
 		}
 		cancel()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pprserve:", err)
+			logger.Error("query service failed", "err", err)
 			os.Exit(1)
 		}
 		defer cleanup()
-		fmt.Printf("pprserve: query service enabled (peers %s)\n", deploy.FormatReplicaPeers(peers))
+		logger.Info("query service enabled", "peers", deploy.FormatReplicaPeers(peers))
+	}
+	if admin != nil {
+		admin.SetReady(true)
 	}
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("pprserve: shutting down (draining up to %v; signal again to force)\n", *drain)
+	if admin != nil {
+		// Flip not-ready first: probes and load balancers route away while
+		// in-flight requests drain below.
+		admin.SetReady(false)
+	}
+	logger.Info("shutting down", "drain", *drain, "note", "signal again to force")
 	done := make(chan error, 1)
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -108,12 +173,17 @@ func main() {
 	select {
 	case err := <-done:
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pprserve: drain incomplete: %v\n", err)
+			logger.Error("drain incomplete", "err", err)
 			os.Exit(1)
 		}
-		fmt.Println("pprserve: drained, bye")
+		if admin != nil {
+			shCtx, shCancel := context.WithTimeout(context.Background(), 2*time.Second)
+			admin.Shutdown(shCtx)
+			shCancel()
+		}
+		logger.Info("drained, bye")
 	case <-sig:
-		fmt.Fprintln(os.Stderr, "pprserve: forced exit")
+		logger.Error("forced exit")
 		srv.Close()
 		os.Exit(1)
 	}

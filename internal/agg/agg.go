@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"pprengine/internal/metrics"
+	"pprengine/internal/obs"
 	"pprengine/internal/rpc"
 	"pprengine/internal/wire"
 )
@@ -65,6 +66,10 @@ type Options struct {
 	// MaxRows flushes the pending batch as soon as it reaches this many
 	// requested rows, regardless of the window.
 	MaxRows int
+	// Tracer, when set, records one "agg:flush" span per flush, parented to
+	// the trace context of the ticket that opened the flush (riders share the
+	// flush, but only one query can own the span).
+	Tracer *obs.Tracer
 }
 
 func (o Options) window() time.Duration {
@@ -97,6 +102,10 @@ type Ticket struct {
 	// Riders report zero, so per-query sums equal the true wire totals.
 	wireReqs  int64
 	wireBytes int64
+
+	// sc is the enqueuer's trace context; the flush's span (and its wire
+	// request) is attributed to the opener's trace.
+	sc obs.SpanContext
 }
 
 // Rows returns the number of rows this ticket requested.
@@ -149,13 +158,19 @@ type Response interface {
 // aggregator itself stays transport-agnostic, so flush merging and failover
 // compose without knowing about each other.
 type Transport interface {
-	Call(m rpc.Method, payload []byte) Response
+	// Call issues one wire request. sc is the trace context the request
+	// should carry (zero when the flush's opener was not traced); it rides
+	// the request frame, not a cancellation context — a flush is shared
+	// machine state and must not die with any single query.
+	Call(sc obs.SpanContext, m rpc.Method, payload []byte) Response
 }
 
 // clientTransport adapts a plain *rpc.Client to Transport.
 type clientTransport struct{ c *rpc.Client }
 
-func (t clientTransport) Call(m rpc.Method, payload []byte) Response { return t.c.Call(m, payload) }
+func (t clientTransport) Call(sc obs.SpanContext, m rpc.Method, payload []byte) Response {
+	return t.c.CallCtx(obs.ContextWith(context.Background(), sc), m, payload)
+}
 
 // Aggregator coalesces concurrent GetNeighborInfos fetches bound for one
 // destination shard into merged wire requests over a single transport. It is
@@ -205,7 +220,14 @@ func NewTransport(tr Transport, opts Options) *Aggregator {
 // kill a response other queries are waiting on (Ticket.Wait still honors the
 // waiter's own ctx).
 func (a *Aggregator) Enqueue(locals []int32) *Ticket {
-	t := &Ticket{locals: locals, done: make(chan struct{})}
+	return a.EnqueueTraced(obs.SpanContext{}, locals)
+}
+
+// EnqueueTraced is Enqueue carrying the enqueuer's trace context: if this
+// ticket ends up opening a flush, the flush's span and wire request join the
+// enqueuer's trace.
+func (a *Aggregator) EnqueueTraced(sc obs.SpanContext, locals []int32) *Ticket {
+	t := &Ticket{locals: locals, done: make(chan struct{}), sc: sc}
 	if len(locals) == 0 {
 		t.infos = &wire.NeighborInfos{Indptr: []int32{}}
 		close(t.done)
@@ -275,14 +297,22 @@ func (a *Aggregator) flushLocked() {
 		a.shared.Add(int64(len(batch)))
 		metrics.AggShared.Inc(int64(len(batch)))
 	}
-	fut := a.tr.Call(rpc.MethodGetNeighborInfos, payload)
-	go a.complete(fut, batch, rows)
+	// The flush span (and the request's trace context) belong to the opener's
+	// trace; a span context derived from it keeps the rpc-server span a child
+	// of "agg:flush" rather than a sibling.
+	span := a.opts.Tracer.StartSpan(batch[0].sc, "agg:flush")
+	sc := batch[0].sc
+	if c := span.Context(); c.Valid() {
+		sc = c
+	}
+	fut := a.tr.Call(sc, rpc.MethodGetNeighborInfos, payload)
+	go a.complete(fut, span, batch, rows)
 }
 
 // complete resolves one flush: decode, demux by row range, release every
 // ticket. A batch pending behind this flush keeps accumulating until its own
 // window or row cap fires.
-func (a *Aggregator) complete(fut Response, batch []*Ticket, rows int) {
+func (a *Aggregator) complete(fut Response, span obs.ActiveSpan, batch []*Ticket, rows int) {
 	payload, err := fut.Wait()
 	var infos *wire.NeighborInfos
 	if err == nil {
@@ -291,6 +321,8 @@ func (a *Aggregator) complete(fut Response, batch []*Ticket, rows int) {
 	if err == nil && infos.NumRows() != rows {
 		err = fmt.Errorf("agg: merged fetch returned %d rows, want %d", infos.NumRows(), rows)
 	}
+	span.SetErr(err != nil)
+	span.End()
 	off := 0
 	for _, t := range batch {
 		t.infos, t.off, t.err = infos, off, err

@@ -226,12 +226,13 @@ func (c *Cache) add(key uint64, row Row) {
 		s.mu.Unlock()
 		return
 	}
-	var evicted int64
+	var evicted, freed int64
 	for s.bytes+b > s.budget && s.tail != nil {
 		victim := s.tail
 		s.unlink(victim)
 		delete(s.items, victim.key)
 		s.bytes -= victim.bytes
+		freed += victim.bytes
 		evicted++
 	}
 	e := &entry{key: key, row: row, bytes: b}
@@ -243,6 +244,9 @@ func (c *Cache) add(key uint64, row Row) {
 		c.evictions.Add(evicted)
 		metrics.CacheEvictions.Inc(evicted)
 	}
+	// Process-wide occupancy gauges for the /metrics endpoint.
+	metrics.CacheBytes.Add(b - freed)
+	metrics.CacheEntries.Add(1 - evicted)
 }
 
 // removeFlight deletes f from the flight table if it is still the registered

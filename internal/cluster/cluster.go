@@ -22,6 +22,7 @@ import (
 	"pprengine/internal/graph"
 	"pprengine/internal/ha"
 	"pprengine/internal/metrics"
+	"pprengine/internal/obs"
 	"pprengine/internal/partition"
 	"pprengine/internal/rpc"
 	"pprengine/internal/shard"
@@ -87,6 +88,14 @@ type Options struct {
 	// replicas) in the fault injector, so tests and the failover experiment
 	// can kill, blackhole, drop, or delay individual machines.
 	Chaos *chaos.Injector
+
+	// TraceSample, when > 0, gives every machine an obs.Tracer sampling
+	// roughly that fraction of queries head-based (1.0 = every query). A
+	// sampled query's trace context rides the wire, so one query yields one
+	// trace spanning every machine it touched. TraceBuf caps each machine's
+	// span ring buffer (0 = obs.DefaultRingSize).
+	TraceSample float64
+	TraceBuf    int
 }
 
 // aggEnabled reports whether the options ask for fetch aggregation.
@@ -133,6 +142,12 @@ type Cluster struct {
 	// tracker, shared by all of its compute processes.
 	Routers  []*ha.ReplicaRouter
 	Trackers []*ha.HealthTracker
+
+	// Tracers[m] is machine m's span recorder (nil entries when
+	// Opts.TraceSample is 0). Shared by the machine's storage server(s),
+	// compute processes, aggregators, and router — exactly the sharing a real
+	// machine's processes would get from a node-local trace agent.
+	Tracers []*obs.Tracer
 
 	clients   []*rpc.Client  // all direct clients, for Close and NetStats
 	endpoints []*ha.Endpoint // all router endpoints, for NetStats
@@ -184,11 +199,22 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 		Locator: loc,
 		Quality: quality,
 	}
+	// One tracer per machine when tracing is on, created before any serving
+	// process so primaries, replicas, and compute handles all share it.
+	c.Tracers = make([]*obs.Tracer, opts.NumMachines)
+	if opts.TraceSample > 0 {
+		for m := 0; m < opts.NumMachines; m++ {
+			c.Tracers[m] = obs.NewTracer(int32(m), opts.TraceSample, opts.TraceBuf)
+		}
+	}
 	// Start the primary storage servers: shard m served by machine m, the
 	// paper's layout. With chaos on, each listener is wrapped so the injector
 	// can fail the machine.
 	for m := 0; m < opts.NumMachines; m++ {
 		srv := core.NewStorageServer(shards[m], loc)
+		if c.Tracers[m] != nil {
+			srv.AttachTracer(c.Tracers[m])
+		}
 		addr, err := startServer(srv, m, opts.Chaos)
 		if err != nil {
 			c.Close()
@@ -242,6 +268,9 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 				c.clients = append(c.clients, cl)
 			}
 			c.Storages[m][p] = core.NewDistGraphStorage(int32(m), shards[m], loc, clients)
+			if c.Tracers[m] != nil {
+				c.Storages[m][p].AttachTracer(c.Tracers[m])
+			}
 			if c.Caches[m] != nil {
 				c.Storages[m][p].AttachCache(c.Caches[m])
 			}
@@ -256,7 +285,7 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 				// a merged request fails over as a unit; otherwise they use
 				// the first process's clients (agg.New is nil for the nil
 				// local client).
-				aopts := agg.Options{Window: opts.AggWindow, MaxRows: opts.AggRows}
+				aopts := agg.Options{Window: opts.AggWindow, MaxRows: opts.AggRows, Tracer: c.Tracers[m]}
 				if c.Routers[m] != nil {
 					c.Aggs[m] = core.RoutedAggregators(c.Routers[m], int32(opts.NumMachines), int32(m), aopts)
 				} else {
@@ -312,6 +341,11 @@ func (c *Cluster) startReplicas(servingAddrs [][]string) error {
 	for m := 0; m < k; m++ {
 		for _, s := range pl.HostedReplicas(m) {
 			srv := core.NewStorageServer(c.Shards[s], c.Locator)
+			if c.Tracers[m] != nil {
+				// A replica's spans carry its HOSTING machine's identity —
+				// that is what a failover trace must show.
+				srv.AttachTracer(c.Tracers[m])
+			}
 			addr, err := startServer(srv, m, c.Opts.Chaos)
 			if err != nil {
 				return err
@@ -334,6 +368,7 @@ func (c *Cluster) startReplicas(servingAddrs [][]string) error {
 // serves, and starts background probing.
 func (c *Cluster) buildRouter(m int, servingAddrs [][]string) {
 	hopts := c.Opts.haOptions()
+	hopts.Tracer = c.Tracers[m]
 	tr := ha.NewHealthTracker(hopts)
 	eps := make([][]*ha.Endpoint, c.Opts.NumMachines)
 	for s := 0; s < c.Opts.NumMachines; s++ {
@@ -350,6 +385,19 @@ func (c *Cluster) buildRouter(m int, servingAddrs [][]string) {
 	tr.Start()
 	c.Trackers[m] = tr
 	c.Routers[m] = ha.NewReplicaRouter(tr, eps, hopts)
+}
+
+// Spans gathers every machine's recorded spans into one slice — the
+// cluster-wide trace view a collector would assemble from the per-machine
+// ring buffers. Empty when tracing is off.
+func (c *Cluster) Spans() []obs.Span {
+	var out []obs.Span
+	for _, tr := range c.Tracers {
+		if tr != nil {
+			out = append(out, tr.Spans()...)
+		}
+	}
+	return out
 }
 
 // NetStats aggregates client-side traffic counters over every compute

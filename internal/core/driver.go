@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"pprengine/internal/metrics"
+	"pprengine/internal/obs"
 	"pprengine/internal/pmap"
 	"pprengine/internal/shard"
 )
@@ -41,17 +42,37 @@ type QueryStats struct {
 func RunSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (*SSPPR, QueryStats, error) {
 	ctx, cancel := cfg.applyQueryTimeout(ctx)
 	defer cancel()
+	// Root span of the query's trace. A context already carrying a trace
+	// (owner-compute dispatch: the coordinator sampled this query and its
+	// context crossed the wire) joins it; otherwise this machine makes the
+	// head-based sampling decision.
+	root := startQuerySpan(g.Tracer, ctx)
+	ctx = obs.ContextWith(ctx, root.Context())
 	m, stats, err := runSSPPR(ctx, g, sourceLocal, cfg, bd)
 	if err != nil && isCtxErr(err) {
 		stats.Timeouts++
 		metrics.QueryTimeouts.Inc(1)
 	}
+	root.SetErr(err != nil)
+	root.End()
 	return m, stats, err
+}
+
+// startQuerySpan opens the "query" span: as a child when ctx already carries
+// a sampled trace, as a new sampled-or-not root otherwise.
+func startQuerySpan(tr *obs.Tracer, ctx context.Context) obs.ActiveSpan {
+	if sc := obs.FromContext(ctx); sc.Valid() {
+		return tr.StartSpan(sc, "query")
+	}
+	return tr.StartTrace("query")
 }
 
 func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (*SSPPR, QueryStats, error) {
 	m := NewSSPPR(sourceLocal, g.ShardID, cfg)
 	var stats QueryStats
+	// Phase spans mirror bd's phases for sampled queries; tr is nil-safe and
+	// qsc is zero for unsampled ones, making every StartSpan below a no-op.
+	tr, qsc := g.Tracer, obs.FromContext(ctx)
 	// Scratch buffers reused across iterations: the per-shard grouping, the
 	// halo diversion slices, and the pending-fetch list. Pop's output is
 	// likewise reused via scratch on the SSPPR state. Each is reset, never
@@ -71,7 +92,9 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 			return nil, stats, err
 		}
 		stopPop := bd.Start(metrics.PhasePop)
+		popSpan := tr.StartSpan(qsc, "pop")
 		locals, shards := m.Pop()
+		popSpan.End()
 		stopPop()
 		if len(locals) == 0 {
 			break
@@ -130,6 +153,8 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 			}
 			var batch NeighborBatch
 			var err error
+			fetchSpan := tr.StartSpan(qsc, "local-fetch")
+			fetchSpan.SetShard(self)
 			bd.Time(metrics.PhaseLocalFetch, func() {
 				fut := g.GetNeighborInfos(ctx, self, byShard[self], cfg)
 				batch, err = fut.WaitCtx(ctx)
@@ -137,13 +162,17 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 				stats.RPCRequests += fut.RPCRequests()
 				stats.RequestBytes += fut.RequestBytes()
 			})
+			fetchSpan.SetErr(err != nil)
+			fetchSpan.End()
 			if err != nil {
 				return err
 			}
 			stats.LocalRows += int64(len(byShard[self]))
+			pushSpan := tr.StartSpan(qsc, "push")
 			bd.Time(metrics.PhasePush, func() {
 				m.Push(batch, byShard[self], sameShard(len(byShard[self]), self))
 			})
+			pushSpan.End()
 			return nil
 		}
 
@@ -155,6 +184,8 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 			for _, p := range remotes {
 				var batch NeighborBatch
 				var err error
+				waitSpan := tr.StartSpan(qsc, "remote-fetch")
+				waitSpan.SetShard(p.shard)
 				bd.Time(metrics.PhaseRemoteFetch, func() {
 					batch, err = p.fut.WaitCtx(ctx)
 					stats.Retries += p.fut.Retries()
@@ -164,24 +195,32 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 					stats.RPCRequests += p.fut.RPCRequests()
 					stats.RequestBytes += p.fut.RequestBytes()
 				})
+				waitSpan.SetErr(err != nil)
+				waitSpan.End()
 				if err != nil {
 					return nil, stats, err
 				}
+				pushSpan := tr.StartSpan(qsc, "push")
 				bd.Time(metrics.PhasePush, func() {
 					m.Push(batch, byShard[p.shard], sameShard(len(byShard[p.shard]), p.shard))
 				})
+				pushSpan.End()
 			}
 		} else {
 			// Synchronous variant: complete every fetch before pushing.
 			batches := make([]NeighborBatch, len(remotes))
 			for i, p := range remotes {
 				var err error
+				waitSpan := tr.StartSpan(qsc, "remote-fetch")
+				waitSpan.SetShard(p.shard)
 				bd.Time(metrics.PhaseRemoteFetch, func() {
 					batches[i], err = p.fut.WaitCtx(ctx)
 					stats.Retries += p.fut.Retries()
 					stats.RPCRequests += p.fut.RPCRequests()
 					stats.RequestBytes += p.fut.RequestBytes()
 				})
+				waitSpan.SetErr(err != nil)
+				waitSpan.End()
 				if err != nil {
 					return nil, stats, err
 				}
@@ -190,9 +229,11 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 				return nil, stats, err
 			}
 			for i, p := range remotes {
+				pushSpan := tr.StartSpan(qsc, "push")
 				bd.Time(metrics.PhasePush, func() {
 					m.Push(batches[i], byShard[p.shard], sameShard(len(byShard[p.shard]), p.shard))
 				})
+				pushSpan.End()
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pprengine/internal/graph"
+	"pprengine/internal/metrics"
 	"pprengine/internal/rpc"
 	"pprengine/internal/wire"
 )
@@ -30,7 +31,10 @@ func (ss *StorageServer) EnableQueryService(compute *DistGraphStorage, cfg Confi
 		return fmt.Errorf("core: query service compute handle is for shard %d, server stores shard %d",
 			compute.ShardID, ss.Shard.ShardID)
 	}
-	ss.srv.Handle(rpc.MethodSSPPRQuery, func(p []byte) ([]byte, error) {
+	// Context-aware registration: the handler ctx carries the client's trace
+	// context when the query request frame was traced, so the owner-side
+	// "query" span (and everything under it) joins the coordinator's trace.
+	ss.srv.HandleCtx(rpc.MethodSSPPRQuery, func(ctx context.Context, p []byte) ([]byte, error) {
 		req, err := wire.DecodeQueryRequest(p)
 		if err != nil {
 			return nil, err
@@ -45,8 +49,16 @@ func (ss *StorageServer) EnableQueryService(compute *DistGraphStorage, cfg Confi
 		if req.TimeoutMs > 0 {
 			qcfg.QueryTimeout = time.Duration(req.TimeoutMs) * time.Millisecond
 		}
-		top, stats, err := RunSSPPRTopK(context.Background(), compute, req.SourceLocal, int(req.TopK), qcfg, nil)
+		start := time.Now()
+		var bd metrics.Breakdown
+		top, stats, err := RunSSPPRTopK(ctx, compute, req.SourceLocal, int(req.TopK), qcfg, &bd)
+		ss.queryPhases.Merge(&bd)
+		ss.queriesServed.Add(1)
+		if ss.QueryLatency != nil {
+			ss.QueryLatency.Observe(time.Since(start).Seconds())
+		}
 		if err != nil {
+			ss.queryFailures.Add(1)
 			return nil, err
 		}
 		resp := &wire.QueryResponse{

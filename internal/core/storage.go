@@ -7,10 +7,13 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"pprengine/internal/agg"
 	"pprengine/internal/cache"
 	"pprengine/internal/ha"
+	"pprengine/internal/metrics"
+	"pprengine/internal/obs"
 	"pprengine/internal/rpc"
 	"pprengine/internal/shard"
 	"pprengine/internal/wire"
@@ -28,7 +31,17 @@ type StorageServer struct {
 	Features   []float32
 	FeatureDim int
 
-	srv *rpc.Server
+	srv    *rpc.Server
+	tracer *obs.Tracer
+
+	// Owner-compute query-service observability, fed by the SSPPRQuery
+	// handler: accumulated per-phase breakdown plus served/failed counts.
+	// QueryLatency, when set before EnableQueryService, observes each
+	// query's wall time in seconds (an admin-registry histogram).
+	queryPhases   metrics.AtomicBreakdown
+	queriesServed atomic.Int64
+	queryFailures atomic.Int64
+	QueryLatency  *obs.Histogram
 }
 
 // NewStorageServer wraps a shard (and locator) in a server. Call Start to
@@ -161,6 +174,27 @@ func (ss *StorageServer) ServeListener(lis net.Listener) {
 // add machine-level handlers (e.g. gradient allreduce).
 func (ss *StorageServer) Handle(m rpc.Method, h rpc.Handler) { ss.srv.Handle(m, h) }
 
+// AttachTracer installs the machine's tracer: the rpc server then records one
+// span per traced request it handles, and the owner-compute query service
+// parents its spans to the caller's trace.
+func (ss *StorageServer) AttachTracer(t *obs.Tracer) {
+	ss.tracer = t
+	ss.srv.SetTracer(t)
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (ss *StorageServer) Tracer() *obs.Tracer { return ss.tracer }
+
+// QueryPhases returns the accumulated per-phase breakdown of every query
+// served by this server's owner-compute handler.
+func (ss *StorageServer) QueryPhases() *metrics.AtomicBreakdown { return &ss.queryPhases }
+
+// QueryCounts returns how many owner-compute queries this server served and
+// how many of those failed.
+func (ss *StorageServer) QueryCounts() (served, failed int64) {
+	return ss.queriesServed.Load(), ss.queryFailures.Load()
+}
+
 // RPCStats returns the underlying server's request counters.
 func (ss *StorageServer) RPCStats() rpc.Stats { return ss.srv.Stats() }
 
@@ -259,6 +293,11 @@ type InfoFuture struct {
 	// instead — see RPCRequests.
 	rpcReqs  int64
 	reqBytes int64
+
+	// tr/sc time the cache-wait phase of a cached fetch ("cache:wait" span)
+	// when the issuing query is traced. Both are nil-safe/zero-safe.
+	tr *obs.Tracer
+	sc obs.SpanContext
 }
 
 // Retries returns the number of transient-error retries this fetch
@@ -465,6 +504,10 @@ type DistGraphStorage struct {
 	// aggregators it is machine-shared state. nil keeps the direct
 	// single-client paths, preserving the paper's behavior exactly.
 	Router *ha.ReplicaRouter
+
+	// Tracer records this machine's spans for sampled queries (nil when
+	// tracing is off — every use is nil-safe).
+	Tracer *obs.Tracer
 }
 
 // AttachCache installs the shared dynamic neighbor-row cache. Call once at
@@ -483,6 +526,11 @@ func (g *DistGraphStorage) AttachAggregators(aggs []*agg.Aggregator) { g.Aggs = 
 // (cmd/pprquery, deploy.EnableQueries). agg.New returns nil for the nil
 // local client, which disables aggregation for the shared-memory shard.
 func (g *DistGraphStorage) AttachFetchAggregators(o agg.Options) {
+	if o.Tracer == nil {
+		// Flush spans belong to the same machine-local recorder as the rest
+		// of this handle's spans unless the caller wired one explicitly.
+		o.Tracer = g.Tracer
+	}
 	if g.Router != nil {
 		// With replication on, flushes must go through the router so a merged
 		// request fails over as a unit; attach the router first.
@@ -502,13 +550,17 @@ func (g *DistGraphStorage) AttachFetchAggregators(o agg.Options) {
 // a direct connection.
 func (g *DistGraphStorage) AttachRouter(r *ha.ReplicaRouter) { g.Router = r }
 
+// AttachTracer installs the machine's tracer on this compute handle.
+func (g *DistGraphStorage) AttachTracer(t *obs.Tracer) { g.Tracer = t }
+
 // call issues one remote request, through the router when replication is
 // on. The direct path binds the request to ctx; the routed path is
 // deliberately ctx-free (a failover attempt loop is shared state — the
-// waiter's ctx still applies via WaitCtx).
+// waiter's ctx still applies via WaitCtx) but still carries ctx's trace
+// context so the attempt spans and the remote server join the query's trace.
 func (g *DistGraphStorage) call(ctx context.Context, dstShard int32, m rpc.Method, payload []byte) respFuture {
 	if g.Router != nil {
-		return g.Router.Call(dstShard, m, payload)
+		return g.Router.CallTraced(obs.FromContext(ctx), dstShard, m, payload)
 	}
 	return g.Clients[dstShard].CallCtx(ctx, m, payload)
 }
@@ -520,8 +572,8 @@ type routedTransport struct {
 	shard int32
 }
 
-func (t routedTransport) Call(m rpc.Method, payload []byte) agg.Response {
-	return t.r.Call(t.shard, m, payload)
+func (t routedTransport) Call(sc obs.SpanContext, m rpc.Method, payload []byte) agg.Response {
+	return t.r.CallTraced(sc, t.shard, m, payload)
 }
 
 // RoutedAggregators builds one fetch aggregator per shard whose flushes go
@@ -580,7 +632,7 @@ func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32,
 		return &InfoFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
 	}
 	if g.Cache != nil {
-		return g.getNeighborInfosCached(dstShard, locals, cfg)
+		return g.getNeighborInfosCached(obs.FromContext(ctx), dstShard, locals, cfg)
 	}
 	if ag := g.aggFor(dstShard); ag != nil {
 		// Cross-query aggregation: the fetch joins the machine-wide pending
@@ -588,7 +640,7 @@ func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32,
 		// CSR response. Like the cache path, the flush is issued without the
 		// query's ctx (it is shared state; WaitCtx still honors ctx for this
 		// waiter) and always batches CSR, even under the Single/LoL modes.
-		return &InfoFuture{dstShard: dstShard, aggTicket: ag.Enqueue(locals), remoteRows: int64(len(locals))}
+		return &InfoFuture{dstShard: dstShard, aggTicket: ag.EnqueueTraced(obs.FromContext(ctx), locals), remoteRows: int64(len(locals))}
 	}
 	switch cfg.Mode {
 	case FetchBatchCompress:
@@ -695,12 +747,12 @@ func copyRow(infos *wire.NeighborInfos, i int) cache.Row {
 // response that other queries — and the cache — are waiting on. The wire
 // format follows cfg.Mode (CSR for FetchBatchCompress, list-of-lists
 // otherwise; the cache path always batches, even under FetchSingle).
-func (g *DistGraphStorage) getNeighborInfosCached(dstShard int32, locals []int32, cfg Config) *InfoFuture {
+func (g *DistGraphStorage) getNeighborInfosCached(sc obs.SpanContext, dstShard int32, locals []int32, cfg Config) *InfoFuture {
 	cf := &cachedFetch{
 		rows:    make([]cache.Row, len(locals)),
 		flights: make([]*cache.Flight, len(locals)),
 	}
-	f := &InfoFuture{dstShard: dstShard, cached: cf}
+	f := &InfoFuture{dstShard: dstShard, cached: cf, tr: g.Tracer, sc: sc}
 	var leaderLocals []int32
 	var leaderFlights []*cache.Flight
 	for i, l := range locals {
@@ -725,7 +777,7 @@ func (g *DistGraphStorage) getNeighborInfosCached(dstShard int32, locals []int32
 			// IDENTICAL rows (hits and coalesced flights above); the rows
 			// this query leads are DISTINCT, and the aggregator merges them
 			// with other queries' leader rows bound for the same shard.
-			t := ag.Enqueue(leaderLocals)
+			t := ag.EnqueueTraced(sc, leaderLocals)
 			f.aggTicket = t
 			ar := &aggResolver{t: t, flights: leaderFlights}
 			for _, fl := range leaderFlights {
@@ -742,8 +794,9 @@ func (g *DistGraphStorage) getNeighborInfosCached(dstShard int32, locals []int32
 			f.reqBytes = int64(len(payload))
 			fg := &fetchGroup{
 				// Leader RPCs are shared state (see doc comment), so the
-				// direct and routed paths both issue without a query ctx.
-				fut:     g.call(context.Background(), dstShard, method, payload),
+				// direct and routed paths both issue without a query ctx —
+				// but the trace context still rides the request frame.
+				fut:     g.call(obs.ContextWith(context.Background(), sc), dstShard, method, payload),
 				csr:     csr,
 				flights: leaderFlights,
 			}
@@ -782,20 +835,33 @@ func (ar *aggResolver) resolve() {
 }
 
 // waitCached assembles the batch for a cache-mediated fetch: hits are
-// already in place; every other row waits on its flight under ctx.
+// already in place; every other row waits on its flight under ctx. When the
+// query is traced and at least one row is in flight, the wait is timed as a
+// "cache:wait" span — the time this query spent blocked on its own leader
+// RPC or on another query's in-flight fetch.
 func (f *InfoFuture) waitCached(ctx context.Context) (NeighborBatch, error) {
 	cf := f.cached
+	var span obs.ActiveSpan
+	waiting := false
 	for i, fl := range cf.flights {
 		if fl == nil {
 			continue // cache hit, filled at issue time
 		}
+		if !waiting {
+			waiting = true
+			span = f.tr.StartSpan(f.sc, "cache:wait")
+			span.SetShard(f.dstShard)
+		}
 		row, err := fl.Wait(ctx)
 		if err != nil {
 			f.err = wrapPeerErr(f.dstShard, err)
+			span.SetErr(true)
+			span.End()
 			return nil, f.err
 		}
 		cf.rows[i] = row
 	}
+	span.End()
 	f.batch = &rowBatch{rows: cf.rows}
 	return f.batch, nil
 }

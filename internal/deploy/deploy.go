@@ -90,6 +90,10 @@ func EnableQueries(ctx context.Context, srv *core.StorageServer, peers map[int32
 		opened = append(opened, c)
 	}
 	compute := core.NewDistGraphStorage(srv.Shard.ShardID, srv.Shard, srv.Locator, clients)
+	// The owner's compute handle shares the server's tracer (nil when tracing
+	// is off), so a served query's driver-side spans land in the same ring
+	// buffer as the server's rpc spans.
+	compute.AttachTracer(srv.Tracer())
 	if cfg.CacheBytes > 0 {
 		// The owner's compute handle gets its own dynamic neighbor-row cache:
 		// queries for this shard's sources repeatedly touch the same remote

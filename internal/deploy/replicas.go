@@ -173,14 +173,19 @@ func ConnectHA(ctx context.Context, shardPath, locatorPath string, peers map[int
 
 // EnableQueriesHA is EnableQueries with replicated peers: the query owner's
 // compute handle routes remote fetches through a ReplicaRouter, so served
-// queries survive a peer machine's crash. The returned cleanup stops probing
-// and closes every connection.
-func EnableQueriesHA(ctx context.Context, srv *core.StorageServer, peers map[int32][]string, cfg core.Config, haOpts ha.Options, lat rpc.LatencyModel) (func(), error) {
+// queries survive a peer machine's crash. The router is returned so the
+// serving process can wire its ReadyCheck into an admin server's /readyz.
+// The returned cleanup stops probing and closes every connection.
+func EnableQueriesHA(ctx context.Context, srv *core.StorageServer, peers map[int32][]string, cfg core.Config, haOpts ha.Options, lat rpc.LatencyModel) (*ha.ReplicaRouter, func(), error) {
+	if haOpts.Tracer == nil {
+		haOpts.Tracer = srv.Tracer()
+	}
 	router, cleanup, err := buildRouter(ctx, srv.Shard.ShardID, srv.Shard.NumShards, peers, haOpts, lat)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	compute := core.NewDistGraphStorage(srv.Shard.ShardID, srv.Shard, srv.Locator, make([]*rpc.Client, srv.Shard.NumShards))
+	compute.AttachTracer(srv.Tracer())
 	compute.AttachRouter(router)
 	if cfg.CacheBytes > 0 {
 		compute.AttachCache(cache.New(cfg.CacheBytes))
@@ -190,9 +195,9 @@ func EnableQueriesHA(ctx context.Context, srv *core.StorageServer, peers map[int
 	}
 	if err := srv.EnableQueryService(compute, cfg); err != nil {
 		cleanup()
-		return nil, err
+		return nil, nil, err
 	}
-	return cleanup, nil
+	return router, cleanup, nil
 }
 
 // Replicated reports whether a replica-peer map actually lists more than one

@@ -317,3 +317,27 @@ func TestCacheBenchSecondPassCheaper(t *testing.T) {
 		t.Fatal("cached second pass recorded no hits")
 	}
 }
+
+func TestTraceOverheadRuns(t *testing.T) {
+	p := quickParams()
+	p.Queries = 2
+	_, rows, err := TraceOverhead(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (rates 0, 0.01, 1)", len(rows))
+	}
+	// Rate 0 records nothing; rate 1 records every query's spans. Overhead
+	// numbers are noise-dominated at this scale, so only span counts are
+	// asserted.
+	if rows[0].Spans != 0 {
+		t.Fatalf("rate 0 recorded %d spans", rows[0].Spans)
+	}
+	if rows[2].Spans == 0 {
+		t.Fatal("rate 1 recorded no spans")
+	}
+	if rows[2].Throughput <= 0 {
+		t.Fatalf("rate 1 throughput = %v", rows[2].Throughput)
+	}
+}

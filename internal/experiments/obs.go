@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"pprengine/internal/cluster"
+	"pprengine/internal/core"
+	"pprengine/internal/partition"
+	"pprengine/internal/shard"
+)
+
+// TraceOverheadRow is one sampling rate's measurement in the tracing-overhead
+// experiment.
+type TraceOverheadRow struct {
+	SampleRate float64 `json:"sample_rate"`
+	Throughput float64 `json:"throughput_qps"` // best measured repeat
+	OverheadPc float64 `json:"overhead_pct"`   // vs the rate-0 baseline
+	Spans      int64   `json:"spans"`          // spans recorded across all machines
+}
+
+// TraceOverhead measures the cost of distributed tracing: the same SSPPR
+// batch on a 4-machine twitter-sim cluster at sampling rates 0 (tracing
+// compiled in but never sampling), 0.01 (a production-style rate), and 1.0
+// (every query traced). Overhead is reported against the rate-0 run; the
+// acceptance bar is <5% at 0.01. Each rate takes the best of p.Repeats
+// measured batches so scheduler noise doesn't masquerade as tracing cost.
+func TraceOverhead(p Params) (Report, []TraceOverheadRow, error) {
+	const machines = 4
+	cfg := core.DefaultConfig()
+	r := Report{Title: fmt.Sprintf("Tracing overhead on twitter-sim (%d machines, head-based sampling)", machines)}
+	r.Lines = append(r.Lines, fmt.Sprintf("%-12s %12s %10s %10s", "SampleRate", "Queries/s", "Overhead", "Spans"))
+	var rows []TraceOverheadRow
+	baseline := 0.0
+	for _, rate := range []float64{0, 0.01, 1.0} {
+		c, err := buildTraceCluster("twitter-sim", p, machines, rate)
+		if err != nil {
+			return r, nil, err
+		}
+		qs := c.EvenQuerySet(minInt(p.Queries, 64), 61)
+		best := 0.0
+		for i := 0; i < p.Warmup+p.Repeats; i++ {
+			res, err := c.RunSSPPRBatch(context.Background(), qs, cfg, cluster.EngineMap)
+			if err != nil {
+				c.Close()
+				return r, nil, err
+			}
+			if i >= p.Warmup && res.Throughput > best {
+				best = res.Throughput
+			}
+		}
+		spans := int64(len(c.Spans()))
+		c.Close()
+		if rate == 0 {
+			baseline = best
+		}
+		overhead := 0.0
+		if baseline > 0 {
+			overhead = (baseline - best) / baseline * 100
+		}
+		row := TraceOverheadRow{SampleRate: rate, Throughput: best, OverheadPc: overhead, Spans: spans}
+		rows = append(rows, row)
+		r.Lines = append(r.Lines, fmt.Sprintf("%-12g %12.1f %9.1f%% %10d",
+			rate, row.Throughput, row.OverheadPc, row.Spans))
+	}
+	return r, rows, nil
+}
+
+// buildTraceCluster is buildCacheCluster's shape with a per-machine tracer
+// sampling rate instead of a cache budget.
+func buildTraceCluster(name string, p Params, machines int, sampleRate float64) (*cluster.Cluster, error) {
+	spec, err := p.Spec(name)
+	if err != nil {
+		return nil, err
+	}
+	g := spec.GenerateCached()
+	a, err := assignmentFor(spec.Name, g, machines, cluster.PartitionMinCut)
+	if err != nil {
+		return nil, err
+	}
+	shards, loc, err := shard.Build(g, a, machines)
+	if err != nil {
+		return nil, err
+	}
+	opts := cluster.Options{NumMachines: machines, ProcsPerMachine: 1, TraceSample: sampleRate}
+	return cluster.NewFromShards(shards, loc, opts, partition.Evaluate(g, a))
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pprengine/internal/metrics"
+	"pprengine/internal/obs"
 	"pprengine/internal/rpc"
 )
 
@@ -25,6 +26,9 @@ type Options struct {
 	// peer (packets silently dropped) converts into a failover instead of a
 	// hang. <= 0 means 5s.
 	AttemptTimeout time.Duration
+	// Tracer, when set, records one "ha:attempt" span per routed attempt of
+	// a traced request (see ReplicaRouter.CallTraced). nil disables.
+	Tracer *obs.Tracer
 }
 
 func (o Options) probeInterval() time.Duration {

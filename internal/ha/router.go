@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"pprengine/internal/metrics"
+	"pprengine/internal/obs"
 	"pprengine/internal/rpc"
 )
 
@@ -121,21 +122,29 @@ func (f *CallFuture) WaitCtx(ctx context.Context) ([]byte, error) {
 // flushes, a routed call may be shared by several queries, and each waiter's
 // own ctx applies only to its WaitCtx.
 func (r *ReplicaRouter) Call(dstShard int32, m rpc.Method, payload []byte) *CallFuture {
+	return r.CallTraced(obs.SpanContext{}, dstShard, m, payload)
+}
+
+// CallTraced is Call carrying a trace context: each attempt records an
+// "ha:attempt" span (errored attempts included, so a trace shows the failed
+// primary attempt before the replica that served) and the wire request
+// extends the same trace on the serving machine.
+func (r *ReplicaRouter) CallTraced(sc obs.SpanContext, dstShard int32, m rpc.Method, payload []byte) *CallFuture {
 	f := &CallFuture{done: make(chan struct{})}
-	go r.run(f, dstShard, m, payload)
+	go r.run(f, sc, dstShard, m, payload)
 	return f
 }
 
 // Do is Call followed by WaitCtx.
 func (r *ReplicaRouter) Do(ctx context.Context, dstShard int32, m rpc.Method, payload []byte) ([]byte, error) {
-	return r.Call(dstShard, m, payload).WaitCtx(ctx)
+	return r.CallTraced(obs.FromContext(ctx), dstShard, m, payload).WaitCtx(ctx)
 }
 
 // run drives the attempt loop: endpoints whose breaker allows traffic are
 // tried in preference order (primary first); if every breaker is open, the
 // endpoints are tried anyway as a last resort — an open breaker should
 // degrade to the replica, never fail a query that could have succeeded.
-func (r *ReplicaRouter) run(f *CallFuture, dstShard int32, m rpc.Method, payload []byte) {
+func (r *ReplicaRouter) run(f *CallFuture, sc obs.SpanContext, dstShard int32, m rpc.Method, payload []byte) {
 	defer close(f.done)
 	eps := r.shards[dstShard]
 	if len(eps) == 0 {
@@ -160,7 +169,7 @@ func (r *ReplicaRouter) run(f *CallFuture, dstShard int32, m rpc.Method, payload
 			r.failovers.Add(1)
 			metrics.Failovers.Inc(1)
 		}
-		res, err := r.attempt(ep, m, payload)
+		res, err := r.attempt(ep, sc, m, payload)
 		if err == nil {
 			r.tracker.ReportSuccess(ep.Key())
 			f.res = res
@@ -178,14 +187,49 @@ func (r *ReplicaRouter) run(f *CallFuture, dstShard int32, m rpc.Method, payload
 }
 
 // attempt issues the request on ep once, bounded by the attempt timeout.
-func (r *ReplicaRouter) attempt(ep *Endpoint, m rpc.Method, payload []byte) ([]byte, error) {
+// Traced attempts record an "ha:attempt" span whose context rides the wire
+// request, so the serving endpoint's span nests under the attempt.
+func (r *ReplicaRouter) attempt(ep *Endpoint, sc obs.SpanContext, m rpc.Method, payload []byte) ([]byte, error) {
+	span := r.opts.Tracer.StartSpan(sc, "ha:attempt")
+	span.SetShard(ep.Shard)
+	if c := span.Context(); c.Valid() {
+		sc = c
+	}
 	c, err := ep.dial()
 	if err != nil {
+		span.SetErr(true)
+		span.End()
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), r.opts.attemptTimeout())
+	ctx, cancel := context.WithTimeout(obs.ContextWith(context.Background(), sc), r.opts.attemptTimeout())
 	defer cancel()
-	return c.SyncCallCtx(ctx, m, payload)
+	res, err := c.SyncCallCtx(ctx, m, payload)
+	span.SetErr(err != nil)
+	span.End()
+	return res, err
+}
+
+// ReadyCheck reports whether the router can currently reach every remote
+// shard: a shard whose serving endpoints ALL have open breakers is considered
+// unreachable, and the first such shard is returned as the error. It is the
+// /readyz check a serving process registers — a cluster peer going dark
+// flips this process not-ready without killing it.
+func (r *ReplicaRouter) ReadyCheck() error {
+	for shard, eps := range r.shards {
+		if len(eps) == 0 {
+			continue // local shard
+		}
+		open := 0
+		for _, ep := range eps {
+			if r.tracker.State(ep.Key()) == BreakerOpen {
+				open++
+			}
+		}
+		if open == len(eps) {
+			return fmt.Errorf("ha: all %d endpoints for shard %d have open breakers", len(eps), shard)
+		}
+	}
+	return nil
 }
 
 // transientAttempt reports whether a failed attempt should fail over to a

@@ -175,6 +175,10 @@ type Gauge struct{ v atomic.Int64 }
 // Set stores n.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
+// Add adjusts the gauge by n (for up-and-down quantities like resident
+// cache bytes).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
 // Load returns the stored value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
@@ -217,7 +221,63 @@ var (
 	// ProbeLatencyNs holds the most recent successful probe round trip in
 	// nanoseconds, across all trackers of the process.
 	ProbeLatencyNs Gauge
+	// CacheBytes / CacheEntries track the resident size of the process's
+	// dynamic neighbor-row caches (internal/cache updates them on insert and
+	// eviction), so a scrape sees live occupancy without walking the stripes.
+	CacheBytes   Gauge
+	CacheEntries Gauge
+	// WireRequests / WireBytesSent / WireBytesReceived count client-side RPC
+	// traffic across every rpc.Client of the process — the wire-level totals
+	// the /metrics endpoint exposes.
+	WireRequests      Counter
+	WireBytesSent     Counter
+	WireBytesReceived Counter
 )
+
+// AtomicBreakdown is a Breakdown safe for concurrent merges: a long-lived
+// accumulator (e.g. a query service summing every served query's phase
+// timings) that scrape-time readers can sample without locks.
+type AtomicBreakdown struct {
+	durs   [numPhases]atomic.Int64 // nanoseconds
+	counts [numPhases]atomic.Int64
+}
+
+// Merge adds b's samples into a. Nil receivers and arguments are no-ops.
+func (a *AtomicBreakdown) Merge(b *Breakdown) {
+	if a == nil || b == nil {
+		return
+	}
+	for i := range b.durs {
+		a.durs[i].Add(int64(b.durs[i]))
+		a.counts[i].Add(b.counts[i])
+	}
+}
+
+// Get returns the accumulated duration for p.
+func (a *AtomicBreakdown) Get(p Phase) time.Duration {
+	if a == nil {
+		return 0
+	}
+	return time.Duration(a.durs[p].Load())
+}
+
+// Count returns the number of samples recorded for p.
+func (a *AtomicBreakdown) Count(p Phase) int64 {
+	if a == nil {
+		return 0
+	}
+	return a.counts[p].Load()
+}
+
+// Phases lists every phase label, for adapters that register one metric
+// series per phase.
+func Phases() []Phase {
+	out := make([]Phase, numPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
 
 // Summary holds repeated-run statistics (the paper reports an average of 10
 // runs after 4 warm-ups).

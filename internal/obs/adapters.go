@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+
+	"pprengine/internal/metrics"
+)
+
+// counterOf adapts an engine metrics.Counter to a scrape-time read.
+func counterOf(c *metrics.Counter) func() float64 {
+	return func() float64 { return float64(c.Load()) }
+}
+
+// RegisterEngineMetrics bridges the engine's global counters
+// (internal/metrics) into r: query lifecycle, cache, aggregation, wire
+// traffic, and HA failover/breaker counters. Values are read at scrape
+// time, so the hot paths keep their existing single-atomic-increment cost.
+func RegisterEngineMetrics(r *Registry) {
+	r.CounterFunc("ppr_query_timeouts_total", "Queries aborted by a deadline or cancellation.", nil, counterOf(&metrics.QueryTimeouts))
+	r.CounterFunc("ppr_rpc_retries_total", "Backoff rounds taken by rpc.Client.CallRetry.", nil, counterOf(&metrics.RPCRetries))
+
+	r.CounterFunc("ppr_cache_hits_total", "Remote rows served from the dynamic neighbor-row cache.", nil, counterOf(&metrics.CacheHits))
+	r.CounterFunc("ppr_cache_misses_total", "Rows that started a fetch (single-flight leaders).", nil, counterOf(&metrics.CacheMisses))
+	r.CounterFunc("ppr_cache_coalesced_total", "Rows that piggybacked on an in-flight fetch.", nil, counterOf(&metrics.CacheCoalesced))
+	r.CounterFunc("ppr_cache_evictions_total", "Rows evicted to stay under the cache byte budget.", nil, counterOf(&metrics.CacheEvictions))
+	r.GaugeFunc("ppr_cache_bytes", "Resident bytes across the process's neighbor-row caches.", nil,
+		func() float64 { return float64(metrics.CacheBytes.Load()) })
+	r.GaugeFunc("ppr_cache_entries", "Resident rows across the process's neighbor-row caches.", nil,
+		func() float64 { return float64(metrics.CacheEntries.Load()) })
+
+	r.CounterFunc("ppr_agg_flushes_total", "Merged wire requests sent by the cross-query fetch aggregator.", nil, counterOf(&metrics.AggFlushes))
+	r.CounterFunc("ppr_agg_rows_total", "Neighbor rows carried by aggregated flushes.", nil, counterOf(&metrics.AggRows))
+	r.CounterFunc("ppr_agg_shared_total", "Fetches whose flush also carried another query's fetch.", nil, counterOf(&metrics.AggShared))
+
+	r.CounterFunc("ppr_wire_requests_total", "Client-side RPC requests sent.", nil, counterOf(&metrics.WireRequests))
+	r.CounterFunc("ppr_wire_bytes_sent_total", "Client-side request payload bytes sent.", nil, counterOf(&metrics.WireBytesSent))
+	r.CounterFunc("ppr_wire_bytes_received_total", "Client-side response payload bytes received.", nil, counterOf(&metrics.WireBytesReceived))
+
+	r.CounterFunc("ppr_failovers_total", "Routed requests re-issued to a replica after the preferred endpoint failed.", nil, counterOf(&metrics.Failovers))
+	r.CounterFunc("ppr_breaker_opens_total", "Peer circuit-breaker transitions into the open state.", nil, counterOf(&metrics.BreakerOpens))
+	r.CounterFunc("ppr_breaker_closes_total", "Peer circuit-breaker transitions back to closed.", nil, counterOf(&metrics.BreakerCloses))
+	r.CounterFunc("ppr_probes_sent_total", "Health pings issued by the per-machine health trackers.", nil, counterOf(&metrics.ProbesSent))
+	r.CounterFunc("ppr_probe_failures_total", "Health pings that failed.", nil, counterOf(&metrics.ProbeFailures))
+	r.GaugeFunc("ppr_probe_latency_seconds", "Most recent successful probe round trip.", nil,
+		func() float64 { return float64(metrics.ProbeLatencyNs.Load()) / 1e9 })
+}
+
+// RegisterPhaseMetrics exposes an accumulated per-phase breakdown (the
+// paper's Table 3 dimensions) as one counter pair per phase: cumulative
+// seconds and sample counts, labeled by phase.
+func RegisterPhaseMetrics(r *Registry, ab *metrics.AtomicBreakdown) {
+	for _, p := range metrics.Phases() {
+		p := p
+		labels := Labels{"phase": p.String()}
+		r.CounterFunc("ppr_phase_seconds_total", "Cumulative wall time per query phase.", labels,
+			func() float64 { return ab.Get(p).Seconds() })
+		r.CounterFunc("ppr_phase_ops_total", "Timed operations per query phase.", labels,
+			func() float64 { return float64(ab.Count(p)) })
+	}
+}
+
+// RegisterGoMetrics exposes basic process health: goroutine count and heap
+// occupancy. ReadMemStats runs at scrape time only.
+func RegisterGoMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admin is the per-process observability HTTP server (pprserve -admin-addr):
+//
+//	/metrics       Prometheus text exposition of the attached registry
+//	/healthz       liveness — 200 as long as the process serves HTTP
+//	/readyz        readiness — bootstrap flag plus named checks (breakers)
+//	/debug/traces  recent traces from the attached tracers, slowest first,
+//	               as JSON (?min_ms=N&limit=N)
+//	/debug/pprof/  the standard runtime profiles
+//
+// Liveness and readiness are deliberately split: a draining server is alive
+// (don't kill it harder) but not ready (stop sending it queries), which is
+// exactly the SIGTERM window.
+type Admin struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	tracers []*Tracer
+	checks  []readyCheck
+	ready   atomic.Bool
+
+	srv *http.Server
+}
+
+type readyCheck struct {
+	name string
+	fn   func() error
+}
+
+// NewAdmin returns an admin server over reg (nil gets a fresh empty
+// registry). It starts not-ready; call SetReady(true) once bootstrap
+// (shard load, peer dials) finished.
+func NewAdmin(reg *Registry) *Admin {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Admin{reg: reg}
+}
+
+// Registry returns the metrics registry the admin serves.
+func (a *Admin) Registry() *Registry { return a.reg }
+
+// AttachTracer adds a tracer whose spans /debug/traces serves. Multiple
+// tracers (a simulated multi-machine cluster in one process) are merged.
+func (a *Admin) AttachTracer(t *Tracer) {
+	if t == nil {
+		return
+	}
+	a.mu.Lock()
+	a.tracers = append(a.tracers, t)
+	a.mu.Unlock()
+}
+
+// SetReady flips the bootstrap readiness flag: false until the serving
+// process finished loading its shard and dialing peers, and again false the
+// moment a SIGTERM drain begins.
+func (a *Admin) SetReady(ready bool) { a.ready.Store(ready) }
+
+// AddCheck registers a named readiness check evaluated on every /readyz
+// request; any check returning an error makes the endpoint report 503.
+func (a *Admin) AddCheck(name string, fn func() error) {
+	a.mu.Lock()
+	a.checks = append(a.checks, readyCheck{name: name, fn: fn})
+	a.mu.Unlock()
+}
+
+// Handler returns the admin mux, for embedding or tests.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
+	mux.HandleFunc("/debug/traces", a.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr and serves the admin endpoints in a background
+// goroutine, returning the bound address (addr may use port 0).
+func (a *Admin) ListenAndServe(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	a.srv = &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go a.srv.Serve(lis)
+	return lis.Addr().String(), nil
+}
+
+// Shutdown drains the admin server gracefully (it is last in the SIGTERM
+// sequence so /healthz answers while the storage server drains).
+func (a *Admin) Shutdown(ctx context.Context) error {
+	if a.srv == nil {
+		return nil
+	}
+	return a.srv.Shutdown(ctx)
+}
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.reg.WritePrometheus(w)
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (a *Admin) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !a.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready: bootstrapping or draining")
+		return
+	}
+	a.mu.Lock()
+	checks := append([]readyCheck(nil), a.checks...)
+	a.mu.Unlock()
+	for _, c := range checks {
+		if err := c.fn(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "not ready: %s: %v\n", c.name, err)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// traceJSON is the /debug/traces wire shape: hex trace IDs for greppability,
+// durations in both ns (machine) and ms (human).
+type traceJSON struct {
+	Trace  string  `json:"trace"`
+	RootMs float64 `json:"root_ms"`
+	Root   string  `json:"root_name,omitempty"`
+	Spans  []Span  `json:"spans"`
+}
+
+func (a *Admin) handleTraces(w http.ResponseWriter, r *http.Request) {
+	minMs, _ := strconv.ParseFloat(r.URL.Query().Get("min_ms"), 64)
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	if limit <= 0 {
+		limit = 20
+	}
+	a.mu.Lock()
+	tracers := append([]*Tracer(nil), a.tracers...)
+	a.mu.Unlock()
+	var spans []Span
+	for _, t := range tracers {
+		spans = append(spans, t.Spans()...)
+	}
+	sums := SummarizeTraces(spans, time.Duration(minMs*float64(time.Millisecond)), limit)
+	out := make([]traceJSON, 0, len(sums))
+	for _, ts := range sums {
+		sort.Slice(ts.Spans, func(i, j int) bool { return ts.Spans[i].Start < ts.Spans[j].Start })
+		out = append(out, traceJSON{
+			Trace:  fmt.Sprintf("%016x", ts.Trace),
+			RootMs: float64(ts.RootDurNs) / 1e6,
+			Root:   ts.RootName,
+			Spans:  ts.Spans,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// TraceIDString renders a trace ID the way log lines and /debug/traces do.
+func TraceIDString(id uint64) string { return fmt.Sprintf("%016x", id) }

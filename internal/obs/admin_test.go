@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+func adminGet(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("admin_test_total", "Admin test counter.", nil).Add(9)
+	a := NewAdmin(reg)
+	addr, err := a.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown(context.Background())
+	base := "http://" + addr
+
+	if code, body := adminGet(t, base, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// Readiness: 503 before bootstrap, 200 after, 503 again when a check
+	// fails or the drain flag flips.
+	if code, _ := adminGet(t, base, "/readyz"); code != 503 {
+		t.Fatalf("/readyz before SetReady = %d, want 503", code)
+	}
+	a.SetReady(true)
+	if code, _ := adminGet(t, base, "/readyz"); code != 200 {
+		t.Fatalf("/readyz after SetReady = %d, want 200", code)
+	}
+	checkErr := errors.New("shard 1 unreachable")
+	a.AddCheck("breakers", func() error { return checkErr })
+	if code, body := adminGet(t, base, "/readyz"); code != 503 || !contains(body, "breakers") || !contains(body, "shard 1 unreachable") {
+		t.Fatalf("/readyz with failing check = %d %q", code, body)
+	}
+	checkErr = nil
+	if code, _ := adminGet(t, base, "/readyz"); code != 200 {
+		t.Fatal("/readyz did not recover when check passed")
+	}
+	a.SetReady(false)
+	if code, _ := adminGet(t, base, "/readyz"); code != 503 {
+		t.Fatal("/readyz did not flip on SetReady(false)")
+	}
+
+	code, body := adminGet(t, base, "/metrics")
+	if code != 200 || !contains(body, "admin_test_total 9") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+
+	if code, body := adminGet(t, base, "/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestAdminTraces(t *testing.T) {
+	a := NewAdmin(nil)
+	fast := NewTracer(0, 1.0, 64)
+	slow := NewTracer(1, 1.0, 64)
+	a.AttachTracer(fast)
+	a.AttachTracer(slow)
+
+	sp := fast.StartTrace("query")
+	child := fast.StartSpan(sp.Context(), "remote-fetch")
+	child.End()
+	sp.End()
+	// A slower trace on the other machine's tracer, with a synthetic
+	// duration large enough to pass a min_ms filter.
+	root := slow.StartTrace("query")
+	rc := root.Context()
+	root.End()
+	slow.mu.Lock()
+	for i := range slow.ring {
+		if slow.ring[i].ID == rc.SpanID {
+			slow.ring[i].DurNs = int64(80 * time.Millisecond)
+		}
+	}
+	slow.mu.Unlock()
+
+	addr, err := a.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown(context.Background())
+	base := "http://" + addr
+
+	code, body := adminGet(t, base, "/debug/traces")
+	if code != 200 {
+		t.Fatalf("/debug/traces = %d", code)
+	}
+	var out []struct {
+		Trace  string  `json:"trace"`
+		RootMs float64 `json:"root_ms"`
+		Root   string  `json:"root_name"`
+		Spans  []Span  `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON from /debug/traces: %v\n%s", err, body)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d traces, want 2", len(out))
+	}
+	if out[0].Trace != fmt.Sprintf("%016x", rc.TraceID) || out[0].RootMs < 79 {
+		t.Fatalf("slowest trace first: %+v", out[0])
+	}
+	if out[1].Root != "query" || len(out[1].Spans) != 2 {
+		t.Fatalf("fast trace summary wrong: %+v", out[1])
+	}
+
+	// min_ms filters the fast trace out; limit caps the result.
+	code, body = adminGet(t, base, "/debug/traces?min_ms=50")
+	if code != 200 {
+		t.Fatalf("/debug/traces?min_ms=50 = %d", code)
+	}
+	out = out[:0]
+	json.Unmarshal([]byte(body), &out)
+	if len(out) != 1 || out[0].RootMs < 79 {
+		t.Fatalf("min_ms filter wrong: %+v", out)
+	}
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Instrument kinds, matching the Prometheus TYPE lines the encoder emits.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Labels are a metric series' label set. The registry renders them sorted by
+// key, so two Labels maps with equal contents identify the same series.
+type Labels map[string]string
+
+// Counter is a monotonically increasing float series.
+type Counter struct{ v atomicFloat }
+
+// Add increments the counter by v (v must be >= 0; negative adds are
+// ignored to keep the series monotone).
+func (c *Counter) Add(v float64) {
+	if v > 0 {
+		c.v.Add(v)
+	}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a float series that can move both ways.
+type Gauge struct{ v atomicFloat }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add adjusts the gauge by v.
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency/size distribution. Buckets hold
+// per-bucket (non-cumulative) counts internally; the encoder emits the
+// cumulative form Prometheus expects, with the implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, +Inf excluded
+	counts []atomic.Int64
+	inf    atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// DefBuckets are latency buckets in seconds, spanning 100µs to 10s.
+var DefBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.bounds) {
+		h.counts[lo].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// atomicFloat is a float64 with atomic add/load via CAS on the bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// series is one label set's instrument within a family: a direct instrument
+// or a scrape-time read function (adapter over an external counter).
+type series struct {
+	labels  string // rendered {k="v",...} or ""
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family is one metric name: its help, type, and series in registration
+// order.
+type family struct {
+	name, help, typ string
+	series          []*series
+	byLabels        map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use; instrument
+// updates are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// familyFor returns (creating if needed) the family for name, checking type
+// consistency.
+func (r *Registry) familyFor(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, byLabels: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// seriesFor returns (creating if needed) the series for labels within f.
+// Caller holds r.mu.
+func (f *family) seriesFor(labels Labels) (*series, bool) {
+	key := renderLabels(labels)
+	if s, ok := f.byLabels[key]; ok {
+		return s, false
+	}
+	s := &series{labels: key}
+	f.byLabels[key] = s
+	f.series = append(f.series, s)
+	return s, true
+}
+
+// Counter returns the counter series for (name, labels), registering the
+// family on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.familyFor(name, help, typeCounter).seriesFor(labels)
+	if fresh {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.familyFor(name, help, typeGauge).seriesFor(labels)
+	if fresh {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram series for (name, labels) with the given
+// bucket upper bounds (nil uses DefBuckets). Bounds must be sorted
+// ascending; the +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.familyFor(name, help, typeHistogram).seriesFor(labels)
+	if fresh {
+		s.hist = &Histogram{bounds: buckets, counts: make([]atomic.Int64, len(buckets))}
+	}
+	return s.hist
+}
+
+// CounterFunc registers a counter series whose value is read by fn at scrape
+// time — the adapter form, bridging existing atomic counters (e.g.
+// internal/metrics globals) into the registry without double accounting.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.familyFor(name, help, typeCounter).seriesFor(labels)
+	s.fn = fn
+}
+
+// GaugeFunc is CounterFunc for gauge semantics.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.familyFor(name, help, typeGauge).seriesFor(labels)
+	s.fn = fn
+}
+
+// renderLabels renders a label set as {k="v",...}, keys sorted, values
+// escaped per the Prometheus text format. Empty labels render as "".
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += k + `="` + escapeLabelValue(labels[k]) + `"`
+	}
+	return out + "}"
+}

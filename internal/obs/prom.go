@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per family,
+// then one sample line per series, histograms expanded into cumulative
+// le-bucketed samples plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	// Snapshot the family list under the lock; instrument reads are atomic
+	// and fn adapters must run outside it (they may take other locks).
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch {
+			case s.hist != nil:
+				writeHistogram(&b, f.name, s)
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.fn()))
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.counter.Value()))
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.gauge.Value()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits the cumulative bucket series, _sum and _count for one
+// histogram series. The le label is appended to the series' own labels.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.hist
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(s.labels, "le", formatValue(bound)), cum)
+	}
+	// The +Inf bucket equals the total count by construction; emit the total
+	// rather than cum+inf so a scrape racing Observe stays internally
+	// consistent (count is incremented last).
+	total := h.count.Load()
+	if c := cum + h.inf.Load(); c > total {
+		total = c
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(s.labels, "le", "+Inf"), total)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, total)
+}
+
+// withLabel appends one extra label to an already-rendered label block.
+func withLabel(rendered, key, value string) string {
+	extra := key + `="` + escapeLabelValue(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// representation that round-trips, integers without an exponent.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value: backslash, double quote, newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

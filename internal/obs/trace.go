@@ -1,0 +1,302 @@
+// Package obs is the engine's observability subsystem: lightweight
+// distributed tracing (per-query spans propagated inside the wire
+// protocol's request frames), a metrics registry with a Prometheus
+// text-format encoder, and the admin HTTP server that exposes both to a
+// live cluster (DESIGN.md §5g).
+//
+// Tracing follows the engine's nil-is-disabled convention (like
+// metrics.Breakdown): a nil *Tracer and the zero SpanContext are no-ops
+// everywhere, so the instrumented hot paths cost one pointer check when
+// tracing is off. Sampling is head-based: the coordinator that starts a
+// query decides once whether the trace is recorded, and every downstream
+// machine simply records spans for any request frame that carries a trace
+// context. At a 1% sample rate the per-query cost is one atomic increment.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies a position in a trace: the trace it belongs to and
+// the span that is the parent of any work done under it. The zero value
+// means "not traced" and is what every unsampled query carries.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context belongs to a sampled trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 && sc.SpanID != 0 }
+
+// ctxKey carries a SpanContext through context.Context values.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc. An invalid sc returns ctx unchanged,
+// so untraced paths allocate nothing.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the SpanContext from ctx (zero when absent).
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// Span is one recorded unit of work. Spans are small fixed-shape records so
+// a ring buffer of them stays cache-friendly and allocation-free to reuse.
+type Span struct {
+	Trace  uint64 `json:"trace"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Machine is the simulated machine (shard index of the recorder's host)
+	// the span ran on; Shard is the destination shard a fetch-type span
+	// targeted (-1 when not applicable).
+	Machine int32  `json:"machine"`
+	Shard   int32  `json:"shard"`
+	Name    string `json:"name"`
+	Start   int64  `json:"start"` // UnixNano
+	DurNs   int64  `json:"dur_ns"`
+	Err     bool   `json:"err,omitempty"`
+}
+
+// Tracer records spans for one machine into a fixed-size ring buffer.
+// StartTrace applies head-based stride sampling; StartSpan follows its
+// parent's sampling decision (recording whenever the parent is valid), which
+// is what lets a server record spans for remote-initiated traces without a
+// sampling decision of its own. A nil Tracer is the disabled value: every
+// method is a no-op returning zero values.
+type Tracer struct {
+	machine int32
+	stride  uint64 // sample 1 in stride StartTrace calls; 0 = never
+	seq     atomic.Uint64
+	ids     atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int // ring write cursor
+	total int64
+}
+
+// DefaultRingSize is the per-machine span buffer capacity applied when
+// NewTracer gets capacity <= 0.
+const DefaultRingSize = 8192
+
+// NewTracer returns a tracer for the given machine. sampleRate is the
+// fraction of locally-started traces recorded (1 in round(1/rate)); <= 0
+// disables local sampling while still recording spans of remote-initiated
+// traces, which is the right default for a serving process.
+func NewTracer(machine int32, sampleRate float64, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	var stride uint64
+	if sampleRate > 0 {
+		if sampleRate >= 1 {
+			stride = 1
+		} else {
+			stride = uint64(1/sampleRate + 0.5)
+			if stride == 0 {
+				stride = 1
+			}
+		}
+	}
+	return &Tracer{machine: machine, stride: stride, ring: make([]Span, 0, capacity)}
+}
+
+// Machine returns the machine index the tracer records for (-1 on nil).
+func (t *Tracer) Machine() int32 {
+	if t == nil {
+		return -1
+	}
+	return t.machine
+}
+
+// newID mints a process-unique nonzero ID, salted by machine so IDs from
+// different machines of one simulated cluster never collide.
+func (t *Tracer) newID() uint64 {
+	return (uint64(uint32(t.machine))+1)<<40 | t.ids.Add(1)
+}
+
+// ActiveSpan is a span being timed. The zero value (unsampled or nil
+// tracer) is valid: every method is a no-op and Context returns the zero
+// SpanContext, so callers never branch on whether tracing is on.
+type ActiveSpan struct {
+	t *Tracer
+	s Span
+}
+
+// Context returns the SpanContext identifying this span (zero when the span
+// is not recording), for propagation to child work.
+func (a *ActiveSpan) Context() SpanContext {
+	if a.t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: a.s.Trace, SpanID: a.s.ID}
+}
+
+// SetShard tags the span with the destination shard of the work it times.
+func (a *ActiveSpan) SetShard(shard int32) {
+	if a.t != nil {
+		a.s.Shard = shard
+	}
+}
+
+// SetErr marks the span as failed.
+func (a *ActiveSpan) SetErr(failed bool) {
+	if a.t != nil {
+		a.s.Err = failed
+	}
+}
+
+// End stops the span's clock and records it into the tracer's ring.
+func (a *ActiveSpan) End() {
+	if a.t == nil {
+		return
+	}
+	a.s.DurNs = time.Now().UnixNano() - a.s.Start
+	a.t.record(a.s)
+	a.t = nil
+}
+
+// StartTrace starts a new root span named name, applying the tracer's
+// sampling stride. Unsampled calls return the zero ActiveSpan.
+func (t *Tracer) StartTrace(name string) ActiveSpan {
+	if t == nil || t.stride == 0 {
+		return ActiveSpan{}
+	}
+	if (t.seq.Add(1)-1)%t.stride != 0 {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{t: t, s: Span{
+		Trace:   t.newID(),
+		ID:      t.newID(),
+		Machine: t.machine,
+		Shard:   -1,
+		Name:    name,
+		Start:   time.Now().UnixNano(),
+	}}
+}
+
+// StartSpan starts a child span of parent. An invalid parent (the unsampled
+// case) returns the zero ActiveSpan, so child instrumentation follows the
+// root's sampling decision for free.
+func (t *Tracer) StartSpan(parent SpanContext, name string) ActiveSpan {
+	if t == nil || !parent.Valid() {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{t: t, s: Span{
+		Trace:   parent.TraceID,
+		ID:      t.newID(),
+		Parent:  parent.SpanID,
+		Machine: t.machine,
+		Shard:   -1,
+		Name:    name,
+		Start:   time.Now().UnixNano(),
+	}}
+}
+
+// record appends s to the ring, overwriting the oldest span when full.
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Recorded returns the total number of spans recorded (including any the
+// ring has since overwritten). A nil tracer reports 0.
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns a snapshot of the buffered spans, oldest first. A nil
+// tracer returns nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// TraceSummary groups one trace's buffered spans for the /debug/traces
+// endpoint: the identifying root (when buffered on this machine), the
+// trace's total span count here, and the spans themselves.
+type TraceSummary struct {
+	Trace uint64 `json:"trace"`
+	// RootDurNs is the duration of the trace's root span when this machine
+	// holds it, else the longest local span's (a serving peer sees only its
+	// own side of the trace).
+	RootDurNs int64  `json:"root_dur_ns"`
+	RootName  string `json:"root_name"`
+	Spans     []Span `json:"spans"`
+}
+
+// Traces groups the buffered spans by trace and returns the slowest traces
+// first (by root duration), keeping only traces whose root lasted at least
+// minDur and at most limit entries (limit <= 0 means all).
+func (t *Tracer) Traces(minDur time.Duration, limit int) []TraceSummary {
+	return SummarizeTraces(t.Spans(), minDur, limit)
+}
+
+// SummarizeTraces is Traces over an arbitrary span set — callers holding
+// several machines' tracers concatenate their Spans() to get cluster-wide
+// trace views.
+func SummarizeTraces(spans []Span, minDur time.Duration, limit int) []TraceSummary {
+	byTrace := map[uint64]*TraceSummary{}
+	var order []uint64
+	for _, s := range spans {
+		ts, ok := byTrace[s.Trace]
+		if !ok {
+			ts = &TraceSummary{Trace: s.Trace}
+			byTrace[s.Trace] = ts
+			order = append(order, s.Trace)
+		}
+		ts.Spans = append(ts.Spans, s)
+		if s.Parent == 0 || (ts.RootName == "" && s.DurNs > ts.RootDurNs) {
+			ts.RootDurNs = s.DurNs
+			if s.Parent == 0 {
+				ts.RootName = s.Name
+			}
+		}
+	}
+	out := make([]TraceSummary, 0, len(order))
+	for _, id := range order {
+		ts := byTrace[id]
+		if time.Duration(ts.RootDurNs) >= minDur {
+			out = append(out, *ts)
+		}
+	}
+	// Slowest first; insertion sort keeps this dependency-free and the sets
+	// are small (bounded by the ring).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].RootDurNs > out[j-1].RootDurNs; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartTrace("query")
+	if sp.Context().Valid() {
+		t.Fatal("nil tracer produced a valid span context")
+	}
+	sp.SetShard(3)
+	sp.SetErr(true)
+	sp.End() // must not panic
+	child := tr.StartSpan(SpanContext{TraceID: 1, SpanID: 2}, "child")
+	child.End()
+	if tr.Recorded() != 0 || tr.Spans() != nil || tr.Machine() != -1 {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+func TestStrideSampling(t *testing.T) {
+	tr := NewTracer(0, 0.25, 64) // stride 4
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		sp := tr.StartTrace("q")
+		if sp.Context().Valid() {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("sampled %d of 100 at rate 0.25, want 25", sampled)
+	}
+
+	always := NewTracer(0, 1.0, 64)
+	for i := 0; i < 10; i++ {
+		sp := always.StartTrace("q")
+		if !sp.Context().Valid() {
+			t.Fatal("rate 1.0 skipped a trace")
+		}
+		sp.End()
+	}
+
+	never := NewTracer(0, 0, 64)
+	if sp := never.StartTrace("q"); sp.Context().Valid() {
+		t.Fatal("rate 0 sampled a locally-started trace")
+	}
+	// rate 0 must still record remote-initiated spans: servers participate in
+	// traces the coordinator sampled.
+	remote := SpanContext{TraceID: 42, SpanID: 7}
+	sp := never.StartSpan(remote, "rpc:Echo")
+	if !sp.Context().Valid() {
+		t.Fatal("rate 0 refused a remote-parented span")
+	}
+	sp.End()
+	if never.Recorded() != 1 {
+		t.Fatalf("recorded %d spans, want 1", never.Recorded())
+	}
+}
+
+func TestSpanParentage(t *testing.T) {
+	tr := NewTracer(2, 1.0, 64)
+	root := tr.StartTrace("query")
+	rc := root.Context()
+	child := tr.StartSpan(rc, "remote-fetch")
+	child.SetShard(5)
+	cc := child.Context()
+	if cc.TraceID != rc.TraceID {
+		t.Fatalf("child trace %d != root trace %d", cc.TraceID, rc.TraceID)
+	}
+	if cc.SpanID == rc.SpanID {
+		t.Fatal("child span ID equals parent span ID")
+	}
+	child.SetErr(true)
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Ring is oldest-first; child ended first.
+	if spans[0].Name != "remote-fetch" || spans[0].Parent != rc.SpanID || spans[0].Shard != 5 || !spans[0].Err {
+		t.Fatalf("child span wrong: %+v", spans[0])
+	}
+	if spans[1].Name != "query" || spans[1].Parent != 0 || spans[1].Machine != 2 {
+		t.Fatalf("root span wrong: %+v", spans[1])
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	tr := NewTracer(0, 1.0, 4)
+	for i := 0; i < 10; i++ {
+		sp := tr.StartTrace("q")
+		sp.SetShard(int32(i))
+		sp.End()
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("recorded %d, want 10", tr.Recorded())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := int32(6 + i); s.Shard != want {
+			t.Fatalf("span %d shard = %d, want %d (oldest-first order)", i, s.Shard, want)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if sc := FromContext(ctx); sc.Valid() {
+		t.Fatal("empty context carried a span context")
+	}
+	// Invalid contexts don't allocate a new ctx.
+	if got := ContextWith(ctx, SpanContext{}); got != ctx {
+		t.Fatal("ContextWith(zero) returned a new context")
+	}
+	sc := SpanContext{TraceID: 11, SpanID: 22}
+	if got := FromContext(ContextWith(ctx, sc)); got != sc {
+		t.Fatalf("round-trip got %+v, want %+v", got, sc)
+	}
+}
+
+func TestIDsDistinctAcrossMachines(t *testing.T) {
+	a, b := NewTracer(0, 1.0, 16), NewTracer(1, 1.0, 16)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		for _, tr := range []*Tracer{a, b} {
+			sp := tr.StartTrace("q")
+			sc := sp.Context()
+			if seen[sc.TraceID] || seen[sc.SpanID] {
+				t.Fatal("duplicate ID across machines")
+			}
+			seen[sc.TraceID], seen[sc.SpanID] = true, true
+			sp.End()
+		}
+	}
+}
+
+func TestSummarizeTraces(t *testing.T) {
+	mk := func(trace, parent uint64, name string, dur time.Duration) Span {
+		return Span{Trace: trace, ID: trace*100 + uint64(dur), Parent: parent, Name: name, DurNs: int64(dur)}
+	}
+	spans := []Span{
+		mk(1, 0, "query", 50*time.Millisecond),
+		mk(1, 1, "remote-fetch", 20*time.Millisecond),
+		mk(2, 0, "query", 200*time.Millisecond),
+		mk(3, 9, "rpc:GetNeighborInfos", 5*time.Millisecond), // rootless: peer's view
+	}
+	out := SummarizeTraces(spans, 0, 0)
+	if len(out) != 3 {
+		t.Fatalf("got %d traces, want 3", len(out))
+	}
+	if out[0].Trace != 2 || out[1].Trace != 1 {
+		t.Fatalf("not sorted slowest-first: %v %v", out[0].Trace, out[1].Trace)
+	}
+	if len(out[1].Spans) != 2 {
+		t.Fatalf("trace 1 has %d spans, want 2", len(out[1].Spans))
+	}
+	if out[2].RootName != "" || out[2].RootDurNs != int64(5*time.Millisecond) {
+		t.Fatalf("rootless trace summary wrong: %+v", out[2])
+	}
+
+	// minDur filters by root duration; limit truncates after sorting.
+	out = SummarizeTraces(spans, 10*time.Millisecond, 1)
+	if len(out) != 1 || out[0].Trace != 2 {
+		t.Fatalf("filtered summary wrong: %+v", out)
+	}
+}
+
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(0, 1.0, 128)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				sp := tr.StartTrace("q")
+				child := tr.StartSpan(sp.Context(), "c")
+				child.End()
+				sp.End()
+				tr.Spans()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if tr.Recorded() != 8*200*2 {
+		t.Fatalf("recorded %d, want %d", tr.Recorded(), 8*200*2)
+	}
+}

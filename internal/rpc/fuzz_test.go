@@ -6,13 +6,15 @@ import (
 	"io"
 	"runtime"
 	"testing"
+
+	"pprengine/internal/obs"
 )
 
 // frameBytes builds a wire frame from parts (what writeFrame would emit).
-func frameBytes(reqID uint64, flags byte, method Method, payload []byte) []byte {
+func frameBytes(reqID uint64, flags byte, method Method, sc obs.SpanContext, payload []byte) []byte {
 	var buf bytes.Buffer
 	var wbuf []byte
-	if err := writeFrame(&buf, &wbuf, reqID, flags, method, payload); err != nil {
+	if err := writeFrame(&buf, &wbuf, reqID, flags, method, sc, payload); err != nil {
 		panic(err)
 	}
 	return buf.Bytes()
@@ -22,14 +24,22 @@ func frameBytes(reqID uint64, flags byte, method Method, payload []byte) []byte 
 // either parse a frame or return an error — never panic, and never commit
 // large allocations for size claims the stream cannot back up.
 func FuzzReadFrame(f *testing.F) {
-	f.Add(frameBytes(1, 0, MethodGetNeighborInfos, []byte("payload")))
-	f.Add(frameBytes(42, flagResponse, MethodSampleOneNeighbor, nil))
-	f.Add(frameBytes(7, flagError, MethodGetShardStats, []byte("boom")))
+	none := obs.SpanContext{}
+	traced := obs.SpanContext{TraceID: 0xfeedbeefcafe, SpanID: 0x1234}
+	f.Add(frameBytes(1, 0, MethodGetNeighborInfos, none, []byte("payload")))
+	f.Add(frameBytes(42, flagResponse, MethodSampleOneNeighbor, none, nil))
+	f.Add(frameBytes(7, flagError, MethodGetShardStats, none, []byte("boom")))
+	f.Add(frameBytes(9, flagRequest|flagTraced, MethodSSPPRQuery, traced, []byte("q"))) // traced request
+	f.Add(frameBytes(10, flagRequest|flagTraced, MethodEcho, traced, nil))              // traced, empty payload
+	f.Add(frameBytes(11, flagRequest|flagTraced, MethodEcho, traced, nil)[:18])         // truncated trace block
 	f.Add([]byte{})                                                // empty stream
 	f.Add([]byte{9, 0, 0, 0})                                      // size below the 10-byte header
 	f.Add([]byte{255, 255, 255, 255})                              // size above maxFrameSize
-	f.Add(frameBytes(3, 0, 0, nil)[:8])                            // truncated header
-	f.Add(frameBytes(3, 0, 0, make([]byte, 64))[:20])              // truncated payload
+	f.Add(frameBytes(3, 0, 0, none, nil)[:8])                      // truncated header
+	f.Add(frameBytes(3, 0, 0, none, make([]byte, 64))[:20])        // truncated payload
+	short := frameBytes(5, flagTraced, MethodEcho, traced, nil)    // traced flag but size too small
+	binary.LittleEndian.PutUint32(short, 12)
+	f.Add(short[:16])
 	hostile := binary.LittleEndian.AppendUint32(nil, maxFrameSize) // claims 1 GiB
 	hostile = append(hostile, make([]byte, 14)...)                 // ...delivers 14 bytes
 	f.Add(hostile)
@@ -37,12 +47,12 @@ func FuzzReadFrame(f *testing.F) {
 	var hdr [14]byte
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
-		reqID, flags, method, payload, err := readFrame(r, &hdr)
+		reqID, flags, method, sc, payload, err := readFrame(r, &hdr)
 		if err != nil {
 			return
 		}
-		// A successfully parsed frame must round-trip.
-		again := frameBytes(reqID, flags, method, payload)
+		// A successfully parsed frame must round-trip, trace context included.
+		again := frameBytes(reqID, flags, method, sc, payload)
 		if !bytes.Equal(again, data[:len(again)]) {
 			t.Fatalf("parsed frame does not round-trip: % x vs % x", again, data[:len(again)])
 		}
@@ -60,7 +70,7 @@ func TestReadFrameHostileSizeBoundedAlloc(t *testing.T) {
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	var hdr [14]byte
-	_, _, _, _, err := readFrame(bytes.NewReader(stream), &hdr)
+	_, _, _, _, _, err := readFrame(bytes.NewReader(stream), &hdr)
 	runtime.ReadMemStats(&after)
 	if err == nil {
 		t.Fatal("truncated 1 GiB claim parsed without error")

@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"pprengine/internal/metrics"
+	"pprengine/internal/obs"
+	"pprengine/internal/wire"
 )
 
 // Method identifies a server-side handler.
@@ -46,12 +48,25 @@ const (
 	flagRequest  = 0x00
 	flagResponse = 0x01
 	flagError    = 0x02
+	// flagTraced marks a request frame that carries a trace context: 16
+	// extra bytes (trace ID, span ID — wire.AppendTraceContext layout)
+	// between the fixed header and the payload, counted in the length
+	// prefix. Only requests carry it; responses are matched to their
+	// request's future, which already knows the trace. Untraced frames are
+	// byte-identical to the pre-tracing protocol.
+	flagTraced = 0x04
 
 	maxFrameSize = 1 << 30
 )
 
 // Handler processes one request payload and returns the response payload.
 type Handler func(payload []byte) ([]byte, error)
+
+// HandlerCtx is a Handler that also receives the request's context, which
+// carries the caller's trace context when the request frame was traced.
+// Handlers that fan out further RPCs pass the context on so the whole query
+// stays one trace.
+type HandlerCtx func(ctx context.Context, payload []byte) ([]byte, error)
 
 // LatencyModel adds synthetic delay to every message of size n bytes:
 // Base + n/BytesPerSec. A zero model means raw transport speed.
@@ -69,23 +84,32 @@ func (l LatencyModel) Delay(n int) time.Duration {
 	return d
 }
 
-// writeFrame writes one frame: [len u32][reqID u64][flags u8][method u8][payload].
-func writeFrame(w io.Writer, buf *[]byte, reqID uint64, flags byte, method Method, payload []byte) error {
-	need := 4 + 10 + len(payload)
+// writeFrame writes one frame: [len u32][reqID u64][flags u8][method u8]
+// [trace?][payload], where the 16-byte trace context block is present iff
+// flags has flagTraced set (and is counted in len).
+func writeFrame(w io.Writer, buf *[]byte, reqID uint64, flags byte, method Method, sc obs.SpanContext, payload []byte) error {
+	trace := 0
+	if flags&flagTraced != 0 {
+		trace = wire.TraceContextSize
+	}
+	need := 4 + 10 + trace + len(payload)
 	if cap(*buf) < need {
 		*buf = make([]byte, need)
 	}
 	b := (*buf)[:need]
-	binary.LittleEndian.PutUint32(b, uint32(10+len(payload)))
+	binary.LittleEndian.PutUint32(b, uint32(10+trace+len(payload)))
 	binary.LittleEndian.PutUint64(b[4:], reqID)
 	b[12] = flags
 	b[13] = byte(method)
-	copy(b[14:], payload)
+	if trace > 0 {
+		wire.AppendTraceContext(b[14:14:14+trace], sc.TraceID, sc.SpanID)
+	}
+	copy(b[14+trace:], payload)
 	_, err := w.Write(b)
 	return err
 }
 
-func readFrame(r io.Reader, hdr *[14]byte) (reqID uint64, flags byte, method Method, payload []byte, err error) {
+func readFrame(r io.Reader, hdr *[14]byte) (reqID uint64, flags byte, method Method, sc obs.SpanContext, payload []byte, err error) {
 	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
 		return
 	}
@@ -100,7 +124,20 @@ func readFrame(r io.Reader, hdr *[14]byte) (reqID uint64, flags byte, method Met
 	reqID = binary.LittleEndian.Uint64(hdr[4:12])
 	flags = hdr[12]
 	method = Method(hdr[13])
-	payload, err = readPayload(r, int(size-10))
+	rest := int(size - 10)
+	if flags&flagTraced != 0 {
+		if rest < wire.TraceContextSize {
+			err = fmt.Errorf("rpc: traced frame of size %d lacks trace context", size)
+			return
+		}
+		var tb [wire.TraceContextSize]byte
+		if _, err = io.ReadFull(r, tb[:]); err != nil {
+			return
+		}
+		sc.TraceID, sc.SpanID, _ = wire.DecodeTraceContext(tb[:])
+		rest -= wire.TraceContextSize
+	}
+	payload, err = readPayload(r, rest)
 	return
 }
 
@@ -136,7 +173,8 @@ func readPayload(r io.Reader, n int) ([]byte, error) {
 // so slow handlers do not head-of-line block the connection.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[Method]Handler
+	handlers map[Method]HandlerCtx
+	tracer   atomic.Pointer[obs.Tracer]
 	lis      net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
@@ -190,15 +228,29 @@ func (s *Server) Stats() Stats {
 
 // NewServer returns a server with no handlers registered.
 func NewServer() *Server {
-	return &Server{handlers: make(map[Method]Handler)}
+	return &Server{handlers: make(map[Method]HandlerCtx)}
 }
 
 // Handle registers h for method m, replacing any previous handler.
 func (s *Server) Handle(m Method, h Handler) {
+	s.HandleCtx(m, func(_ context.Context, payload []byte) ([]byte, error) {
+		return h(payload)
+	})
+}
+
+// HandleCtx registers a context-aware handler for method m. The context
+// passed to h carries the request's trace context (obs.FromContext) when the
+// client traced the call.
+func (s *Server) HandleCtx(m Method, h HandlerCtx) {
 	s.mu.Lock()
 	s.handlers[m] = h
 	s.mu.Unlock()
 }
+
+// SetTracer attaches a tracer; the server then records one "rpc:<method>"
+// span per traced request it handles, parented to the caller's span. A nil
+// tracer (the default) just forwards the trace context to handlers.
+func (s *Server) SetTracer(t *obs.Tracer) { s.tracer.Store(t) }
 
 // Serve accepts connections on lis until Close. It returns after the
 // listener fails (normally: after Close).
@@ -257,11 +309,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	var wbuf []byte
 	var hdr [14]byte
 	for {
-		reqID, flags, method, payload, err := readFrame(conn, &hdr)
+		reqID, flags, method, sc, payload, err := readFrame(conn, &hdr)
 		if err != nil {
 			return
 		}
-		if flags != flagRequest {
+		if flags&^flagTraced != flagRequest {
 			continue // protocol misuse; drop
 		}
 		s.reqCounts[method].Add(1)
@@ -282,7 +334,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			go func() {
 				defer s.wg.Done()
 				wmu.Lock()
-				writeFrame(conn, &wbuf, reqID, flagError, method, []byte("rpc: server shutting down"))
+				writeFrame(conn, &wbuf, reqID, flagError, method, obs.SpanContext{}, []byte("rpc: server shutting down"))
 				wmu.Unlock()
 			}()
 			continue
@@ -294,7 +346,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				defer s.wg.Done()
 				defer s.reqWG.Done()
 				wmu.Lock()
-				writeFrame(conn, &wbuf, reqID, flagError, method,
+				writeFrame(conn, &wbuf, reqID, flagError, method, obs.SpanContext{},
 					[]byte(fmt.Sprintf("rpc: request of %d bytes exceeds server limit %d", len(payload), max)))
 				wmu.Unlock()
 			}()
@@ -307,22 +359,65 @@ func (s *Server) serveConn(conn net.Conn) {
 			if !ok {
 				s.errCounts[method].Add(1)
 				wmu.Lock()
-				writeFrame(conn, &wbuf, reqID, flagError, method, []byte(fmt.Sprintf("rpc: no handler for method %d", method)))
+				writeFrame(conn, &wbuf, reqID, flagError, method, obs.SpanContext{}, []byte(fmt.Sprintf("rpc: no handler for method %d", method)))
 				wmu.Unlock()
 				return
 			}
-			resp, err := h(payload)
+			// Traced requests get a server-side span; the handler context
+			// carries that span (or the remote one when no tracer is
+			// attached), so handler-issued RPCs extend the same trace.
+			ctx := context.Background()
+			var span obs.ActiveSpan
+			if sc.Valid() {
+				if tr := s.tracer.Load(); tr != nil {
+					span = tr.StartSpan(sc, "rpc:"+method.name())
+					ctx = obs.ContextWith(ctx, span.Context())
+				} else {
+					ctx = obs.ContextWith(ctx, sc)
+				}
+			}
+			resp, err := h(ctx, payload)
+			span.SetErr(err != nil)
+			span.End()
 			wmu.Lock()
 			defer wmu.Unlock()
 			if err != nil {
 				s.errCounts[method].Add(1)
-				writeFrame(conn, &wbuf, reqID, flagError, method, []byte(err.Error()))
+				writeFrame(conn, &wbuf, reqID, flagError, method, obs.SpanContext{}, []byte(err.Error()))
 				return
 			}
 			s.bytesOut.Add(int64(len(resp)))
-			writeFrame(conn, &wbuf, reqID, flagResponse, method, resp)
+			writeFrame(conn, &wbuf, reqID, flagResponse, method, obs.SpanContext{}, resp)
 		}()
 	}
+}
+
+// name returns a stable label for well-known methods (the numeric value for
+// others) without allocating on the known path.
+func (m Method) name() string {
+	switch m {
+	case MethodGetNeighborInfos:
+		return "GetNeighborInfos"
+	case MethodGetNeighborInfosLoL:
+		return "GetNeighborInfosLoL"
+	case MethodGetNeighborInfoOne:
+		return "GetNeighborInfoOne"
+	case MethodSampleOneNeighbor:
+		return "SampleOneNeighbor"
+	case MethodGetShardStats:
+		return "GetShardStats"
+	case MethodFetchFeatures:
+		return "FetchFeatures"
+	case MethodAllreduce:
+		return "Allreduce"
+	case MethodSampleNeighbors:
+		return "SampleNeighbors"
+	case MethodSSPPRQuery:
+		return "SSPPRQuery"
+	case MethodEcho:
+		return "Echo"
+	}
+	return fmt.Sprintf("method-%d", m)
 }
 
 // Close stops accepting, closes all connections, and waits for in-flight
@@ -626,7 +721,7 @@ func Transient(err error) bool {
 func (c *Client) readLoop() {
 	var hdr [14]byte
 	for {
-		reqID, flags, _, payload, err := readFrame(c.conn, &hdr)
+		reqID, flags, _, _, payload, err := readFrame(c.conn, &hdr)
 		if err != nil {
 			// Connection gone: mark the client dead so new Calls fail fast,
 			// then fail every pending call exactly once.
@@ -640,6 +735,7 @@ func (c *Client) readLoop() {
 		}
 		f := v.(*Future)
 		c.BytesReceived.Add(int64(len(payload)))
+		metrics.WireBytesReceived.Inc(int64(len(payload)))
 		var res []byte
 		var rerr error
 		if flags == flagError {
@@ -702,9 +798,16 @@ func (c *Client) CallCtx(ctx context.Context, m Method, payload []byte) *Future 
 	f.id = c.nextID.Add(1)
 	f.reqSize = len(payload)
 	f.c = c
+	// A sampled trace context on ctx rides the request frame so the remote
+	// server's spans join the caller's trace.
+	flags := byte(flagRequest)
+	sc := obs.FromContext(ctx)
+	if sc.Valid() {
+		flags |= flagTraced
+	}
 	c.pending.Store(f.id, f)
 	c.wmu.Lock()
-	err := writeFrame(c.conn, &c.wbuf, f.id, flagRequest, m, payload)
+	err := writeFrame(c.conn, &c.wbuf, f.id, flags, m, sc, payload)
 	c.wmu.Unlock()
 	if err != nil {
 		c.fail(f.id, err)
@@ -719,6 +822,8 @@ func (c *Client) CallCtx(ctx context.Context, m Method, payload []byte) *Future 
 	}
 	c.RequestsSent.Add(1)
 	c.BytesSent.Add(int64(len(payload)))
+	metrics.WireRequests.Inc(1)
+	metrics.WireBytesSent.Inc(int64(len(payload)))
 	return f
 }
 

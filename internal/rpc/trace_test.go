@@ -1,0 +1,145 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"pprengine/internal/obs"
+)
+
+// TestTraceContextFrameRoundTrip exercises the traced frame layout directly:
+// the 16-byte trace block rides between header and payload, and untraced
+// frames stay byte-identical to the legacy layout.
+func TestTraceContextFrameRoundTrip(t *testing.T) {
+	sc := obs.SpanContext{TraceID: 0xabcdef0123456789, SpanID: 0x42}
+	payload := []byte("neighbor request")
+	data := frameBytes(77, flagRequest|flagTraced, MethodGetNeighborInfos, sc, payload)
+	if want := 4 + 10 + 16 + len(payload); len(data) != want {
+		t.Fatalf("traced frame is %d bytes, want %d", len(data), want)
+	}
+
+	var hdr [14]byte
+	reqID, flags, method, got, pl, err := readFrame(bytes.NewReader(data), &hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqID != 77 || flags != flagRequest|flagTraced || method != MethodGetNeighborInfos {
+		t.Fatalf("header mismatch: id=%d flags=%x m=%d", reqID, flags, method)
+	}
+	if got != sc {
+		t.Fatalf("trace context = %+v, want %+v", got, sc)
+	}
+	if !bytes.Equal(pl, payload) {
+		t.Fatalf("payload corrupted: %q", pl)
+	}
+
+	// Untraced frames carry no trace block: the legacy layout exactly.
+	plain := frameBytes(77, flagRequest, MethodGetNeighborInfos, obs.SpanContext{}, payload)
+	if want := 4 + 10 + len(payload); len(plain) != want {
+		t.Fatalf("plain frame is %d bytes, want %d", len(plain), want)
+	}
+	_, _, _, zero, _, err := readFrame(bytes.NewReader(plain), &hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Valid() {
+		t.Fatalf("plain frame produced trace context %+v", zero)
+	}
+}
+
+// TestTracePropagationOverWire runs a real client/server pair and checks
+// that a trace context on the caller's context reaches the handler, and that
+// a server with a tracer attached records an rpc:<method> span parented to
+// the caller's span.
+func TestTracePropagationOverWire(t *testing.T) {
+	srv := NewServer()
+	defer srv.Close()
+	serverTracer := obs.NewTracer(1, 0, 64) // rate 0: records only remote-initiated spans
+	srv.SetTracer(serverTracer)
+
+	gotSC := make(chan obs.SpanContext, 1)
+	srv.HandleCtx(MethodEcho, func(ctx context.Context, payload []byte) ([]byte, error) {
+		gotSC <- obs.FromContext(ctx)
+		return payload, nil
+	})
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	clientTracer := obs.NewTracer(0, 1.0, 64)
+	root := clientTracer.StartTrace("query")
+	rc := root.Context()
+	ctx := obs.ContextWith(context.Background(), rc)
+	resp, err := c.SyncCallCtx(ctx, MethodEcho, []byte("hi"))
+	if err != nil || string(resp) != "hi" {
+		t.Fatalf("echo = %q, %v", resp, err)
+	}
+	root.End()
+
+	handlerSC := <-gotSC
+	if !handlerSC.Valid() || handlerSC.TraceID != rc.TraceID {
+		t.Fatalf("handler saw %+v, want trace %d", handlerSC, rc.TraceID)
+	}
+	// The handler context's span is the server-side rpc span, a child of the
+	// client's root — not the root itself.
+	if handlerSC.SpanID == rc.SpanID {
+		t.Fatal("handler context carries the client span, not a server span")
+	}
+	spans := serverTracer.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("server recorded %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "rpc:Echo" || s.Trace != rc.TraceID || s.Parent != rc.SpanID || s.Machine != 1 {
+		t.Fatalf("server span wrong: %+v", s)
+	}
+
+	// Untraced calls reach handlers with no trace context and record nothing.
+	resp, err = c.SyncCallCtx(context.Background(), MethodEcho, []byte("plain"))
+	if err != nil || string(resp) != "plain" {
+		t.Fatalf("plain echo = %q, %v", resp, err)
+	}
+	if sc := <-gotSC; sc.Valid() {
+		t.Fatalf("untraced call leaked trace context %+v", sc)
+	}
+	if n := serverTracer.Recorded(); n != 1 {
+		t.Fatalf("untraced call recorded a span (total %d)", n)
+	}
+}
+
+// TestTracedErrorPath: a failing traced handler records an errored span and
+// still returns the remote error.
+func TestTracedErrorPath(t *testing.T) {
+	srv := NewServer()
+	defer srv.Close()
+	tr := obs.NewTracer(0, 0, 16)
+	srv.SetTracer(tr)
+	srv.Handle(MethodEcho, func(payload []byte) ([]byte, error) {
+		return nil, context.DeadlineExceeded
+	})
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := obs.ContextWith(context.Background(), obs.SpanContext{TraceID: 5, SpanID: 6})
+	if _, err := c.SyncCallCtx(ctx, MethodEcho, nil); err == nil {
+		t.Fatal("expected remote error")
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || !spans[0].Err {
+		t.Fatalf("want one errored span, got %+v", spans)
+	}
+}

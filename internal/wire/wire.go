@@ -706,3 +706,23 @@ func DecodeF32s(b []byte) ([]float32, error) {
 	}
 	return v, nil
 }
+
+// TraceContextSize is the encoded length of a trace context: two uint64s
+// (trace ID then span ID), appended to a request frame header when the
+// frame's traced flag is set.
+const TraceContextSize = 16
+
+// AppendTraceContext appends a trace context (trace ID, span ID) to dst in
+// the wire's little-endian layout.
+func AppendTraceContext(dst []byte, traceID, spanID uint64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, traceID)
+	return binary.LittleEndian.AppendUint64(dst, spanID)
+}
+
+// DecodeTraceContext parses an AppendTraceContext block.
+func DecodeTraceContext(b []byte) (traceID, spanID uint64, err error) {
+	if len(b) < TraceContextSize {
+		return 0, 0, fmt.Errorf("wire: short trace context (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(b[8:]), nil
+}
