@@ -8,7 +8,7 @@
 //
 // Experiments: table1, table2, accuracy, fig5a, fig5b, table3, fig6, fig7,
 // intro, partquality, halo, epssweep, netlatency, models, cache, agg,
-// failover, traceoverhead, all.
+// failover, traceoverhead, hotpath, all.
 //
 // -json <path> additionally writes every ran experiment's structured rows
 // (plus the run parameters) to path as one JSON object, for CI artifacts and
@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|traceoverhead|all)")
+		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|traceoverhead|hotpath|all)")
 		scale      = flag.Int("scale", 8, "dataset downscale factor (1 = full stand-in size)")
 		queries    = flag.Int("queries", 0, "SSPPR queries per machine (0 = default)")
 		repeats    = flag.Int("repeats", 0, "measured repetitions (0 = default)")
@@ -41,6 +43,7 @@ func main() {
 		probeIvl   = flag.Duration("probe-interval", 0, "health-ping interval for the failover experiment (0 = default 50ms)")
 		breakerThr = flag.Int("breaker-threshold", 0, "consecutive failures that open a circuit breaker in the failover experiment (0 = default 3)")
 		jsonPath   = flag.String("json", "", "write the ran experiments' structured rows to this file as JSON")
+		memProfile = flag.String("memprofile", "", "write a pprof allocs profile to this file after the experiments finish")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log format: text or json")
 	)
@@ -162,6 +165,10 @@ func main() {
 		r, rows, err := experiments.TraceOverhead(p)
 		return r, rows, err
 	})
+	run("hotpath", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.HotpathBench(p)
+		return r, rows, err
+	})
 	if ran == 0 {
 		logger.Error("unknown experiment", "exp", *exp)
 		os.Exit(2)
@@ -178,5 +185,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote JSON metrics to %s\n", *jsonPath)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			logger.Error("create -memprofile failed", "err", err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush recent frees so the profile reflects live + allocs accurately
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			logger.Error("write -memprofile failed", "err", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote allocs profile to %s\n", *memProfile)
 	}
 }

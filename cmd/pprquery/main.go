@@ -54,6 +54,7 @@ func main() {
 		cacheBytes  = flag.Int64("cache-bytes", 0, "compute mode: byte budget for the dynamic remote neighbor-row cache (0 = disabled)")
 		aggWindow   = flag.Duration("agg-window", 0, "compute mode: flush window for cross-query RPC fetch aggregation (0 = disabled unless -agg-rows is set)")
 		aggRows     = flag.Int("agg-rows", 0, "compute mode: row cap per aggregated request; setting it also enables aggregation")
+		zeroCopy    = flag.Bool("zerocopy", true, "fetch over the zero-copy path: pooled RPC buffers, view decoders, single decode per remote row (false = copy-decode every response)")
 		replicas    = flag.Int("replicas", 0, "expected serving addresses per remote shard in -peers (0 = accept whatever is listed)")
 		probeIvl    = flag.Duration("probe-interval", 0, "health-ping interval per peer when -peers lists replicas (0 = default 500ms)")
 		breakerThr  = flag.Int("breaker-threshold", 0, "consecutive probe/request failures that open a peer's circuit breaker (0 = default)")
@@ -100,6 +101,7 @@ func main() {
 	cfg.CacheBytes = *cacheBytes
 	cfg.AggWindow = *aggWindow
 	cfg.AggRows = *aggRows
+	cfg.ZeroCopy = *zeroCopy
 	dialCtx, cancelDial := context.WithTimeout(context.Background(), *dialTimeout)
 	var st *core.DistGraphStorage
 	var cleanup func()

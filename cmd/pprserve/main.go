@@ -57,6 +57,7 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 0, "byte budget for the dynamic remote neighbor-row cache used by served queries (0 = disabled)")
 		aggWindow    = flag.Duration("agg-window", 0, "flush window for cross-query RPC fetch aggregation of served queries (0 = disabled unless -agg-rows is set)")
 		aggRows      = flag.Int("agg-rows", 0, "row cap per aggregated request; setting it also enables aggregation (0 = disabled unless -agg-window is set)")
+		zeroCopy     = flag.Bool("zerocopy", true, "serve queries over the zero-copy fetch path: pooled RPC buffers, view decoders, single decode per remote row (false = copy-decode every response)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline: how long to wait for in-flight requests after SIGTERM/SIGINT")
 		replicas     = flag.Int("replicas", 0, "expected serving addresses per remote shard in -peers (0 = accept whatever is listed)")
 		probeIvl     = flag.Duration("probe-interval", 0, "health-ping interval per peer when -peers lists replicas (0 = default 500ms)")
@@ -129,6 +130,7 @@ func main() {
 		cfg.CacheBytes = *cacheBytes
 		cfg.AggWindow = *aggWindow
 		cfg.AggRows = *aggRows
+		cfg.ZeroCopy = *zeroCopy
 		ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
 		var cleanup func()
 		if deploy.Replicated(peers) {

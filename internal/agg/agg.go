@@ -70,6 +70,13 @@ type Options struct {
 	// the trace context of the ticket that opened the flush (riders share the
 	// flush, but only one query can own the span).
 	Tracer *obs.Tracer
+	// ZeroCopy decodes flush responses with wire.DecodeCSRView, so every
+	// ticket's rows alias the pooled response payload instead of a heap copy.
+	// The payload is held by a per-flush refcount (one count per ticket) and
+	// returns to its pool when the last ticket calls Release. Off, responses
+	// are copy-decoded and the payload is released as soon as the decode
+	// finishes — the pre-view behavior.
+	ZeroCopy bool
 }
 
 func (o Options) window() time.Duration {
@@ -106,6 +113,28 @@ type Ticket struct {
 	// sc is the enqueuer's trace context; the flush's span (and its wire
 	// request) is attributed to the opener's trace.
 	sc obs.SpanContext
+
+	// share refcounts the flush's pooled response payload when the decode
+	// aliased it (Options.ZeroCopy); nil when the rows were copied out.
+	share    *flushShare
+	released atomic.Bool
+}
+
+// flushShare is the refcount tying one flush's decoded view to its pooled
+// response payload: every ticket of the flush holds one count, and the last
+// Release returns the payload to its pool.
+type flushShare struct {
+	refs atomic.Int64
+	rel  func()
+}
+
+func (s *flushShare) release() {
+	if s == nil {
+		return
+	}
+	if s.refs.Add(-1) == 0 {
+		s.rel()
+	}
 }
 
 // Rows returns the number of rows this ticket requested.
@@ -134,6 +163,26 @@ func (t *Ticket) Result() (infos *wire.NeighborInfos, off int, err error) {
 	return t.infos, t.off, t.err
 }
 
+// Release returns this ticket's share of the flush's decoded response. With
+// ZeroCopy the rows alias the pooled response payload, so the caller must
+// not touch the batch returned by Wait/Result after Release; the last
+// ticket's Release returns the payload to its pool. Release is idempotent,
+// nil-safe, and a no-op before the ticket resolves (an abandoned ticket's
+// payload falls back to the garbage collector — never released early).
+func (t *Ticket) Release() {
+	if t == nil {
+		return
+	}
+	select {
+	case <-t.done:
+	default:
+		return
+	}
+	if t.released.CompareAndSwap(false, true) {
+		t.share.release()
+	}
+}
+
 // Accounting returns the wire requests and request bytes attributed to this
 // ticket (non-zero only for the ticket that opened its flush). Before the
 // ticket resolves it reports zeros.
@@ -147,9 +196,12 @@ func (t *Ticket) Accounting() (requests, bytes int64) {
 }
 
 // Response is the pending result of one issued flush. *rpc.Future satisfies
-// it; so does the failover layer's routed call future.
+// it; so does the failover layer's routed call future. Release hands the
+// response's pooled payload buffer back once the flush is done with it (see
+// the buffer-ownership rules in DESIGN.md §5h).
 type Response interface {
 	Wait() ([]byte, error)
+	Release()
 }
 
 // Transport issues one wire request for a flush. The two implementations are
@@ -315,17 +367,35 @@ func (a *Aggregator) flushLocked() {
 func (a *Aggregator) complete(fut Response, span obs.ActiveSpan, batch []*Ticket, rows int) {
 	payload, err := fut.Wait()
 	var infos *wire.NeighborInfos
+	aliased := false
 	if err == nil {
-		infos, err = wire.DecodeCSR(payload)
+		if a.opts.ZeroCopy {
+			// One decode per flush, shared by every ticket. When the payload
+			// is aliasable the views point straight into the pooled response
+			// buffer; the tickets' refcount decides when it goes home.
+			aliased = wire.CanAlias(payload)
+			infos, err = wire.DecodeCSRView(payload, nil)
+		} else {
+			infos, err = wire.DecodeCSR(payload)
+		}
 	}
 	if err == nil && infos.NumRows() != rows {
 		err = fmt.Errorf("agg: merged fetch returned %d rows, want %d", infos.NumRows(), rows)
+	}
+	var share *flushShare
+	if err == nil && aliased {
+		share = &flushShare{rel: fut.Release}
+		share.refs.Store(int64(len(batch)))
+	} else {
+		// Rows copied out (or the flush failed): the payload buffer can go
+		// back to its pool right now.
+		fut.Release()
 	}
 	span.SetErr(err != nil)
 	span.End()
 	off := 0
 	for _, t := range batch {
-		t.infos, t.off, t.err = infos, off, err
+		t.infos, t.off, t.err, t.share = infos, off, err, share
 		off += len(t.locals)
 		close(t.done)
 	}

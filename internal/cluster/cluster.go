@@ -65,7 +65,12 @@ type Options struct {
 	// a merged request's rows. Zero/zero (the default) disables aggregation.
 	AggWindow time.Duration
 	AggRows   int
-	Seed      int64
+	// ZeroCopy makes each machine's fetch aggregators decode flush responses
+	// as views over the pooled payload (agg.Options.ZeroCopy). It governs the
+	// machine-shared aggregators only; the per-query fetch paths follow
+	// core.Config.ZeroCopy. Set both for a fully zero-copy hot path.
+	ZeroCopy bool
+	Seed     int64
 
 	// Replicas, when >= 2, serves every shard from that many machines
 	// (internal/ha): shard s stays primaried on machine s, and its extra
@@ -285,7 +290,7 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 				// a merged request fails over as a unit; otherwise they use
 				// the first process's clients (agg.New is nil for the nil
 				// local client).
-				aopts := agg.Options{Window: opts.AggWindow, MaxRows: opts.AggRows, Tracer: c.Tracers[m]}
+				aopts := agg.Options{Window: opts.AggWindow, MaxRows: opts.AggRows, ZeroCopy: opts.ZeroCopy, Tracer: c.Tracers[m]}
 				if c.Routers[m] != nil {
 					c.Aggs[m] = core.RoutedAggregators(c.Routers[m], int32(opts.NumMachines), int32(m), aopts)
 				} else {

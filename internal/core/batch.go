@@ -2,6 +2,7 @@ package core
 
 import (
 	"pprengine/internal/cache"
+	"pprengine/internal/mem"
 	"pprengine/internal/shard"
 	"pprengine/internal/wire"
 )
@@ -93,10 +94,14 @@ func (b *rowBatch) Row(i int) (locals, shards []int32, weights, wdegs []float32,
 // BuildInfos assembles the wire response for a batch of core vertices of s —
 // the server-side "compress into CSR" step.
 func BuildInfos(s *shard.Shard, locals []int32) (*wire.NeighborInfos, error) {
-	n := &wire.NeighborInfos{
-		Indptr:  make([]int32, 1, len(locals)+1),
-		RowWDeg: make([]float32, 0, len(locals)),
-	}
+	return BuildInfosArena(s, locals, nil)
+}
+
+// BuildInfosArena is BuildInfos with every slice of the result carved from a
+// (a nil arena falls back to the heap). The handlers use it with a pooled
+// arena so a response batch costs no per-request heap allocation; the result
+// is only valid until the arena is reset.
+func BuildInfosArena(s *shard.Shard, locals []int32, a *mem.Arena) (*wire.NeighborInfos, error) {
 	total := 0
 	for _, l := range locals {
 		if err := s.CheckLocal(l); err != nil {
@@ -104,21 +109,45 @@ func BuildInfos(s *shard.Shard, locals []int32) (*wire.NeighborInfos, error) {
 		}
 		total += int(s.Indptr[l+1] - s.Indptr[l])
 	}
-	n.Locals = make([]int32, 0, total)
-	n.Shards = make([]int32, 0, total)
-	n.Weights = make([]float32, 0, total)
-	n.WDegs = make([]float32, 0, total)
-	for _, l := range locals {
-		lo, hi := s.Indptr[l], s.Indptr[l+1]
-		n.Locals = append(n.Locals, s.NbrLocal[lo:hi]...)
-		n.Shards = append(n.Shards, s.NbrShard[lo:hi]...)
-		n.Weights = append(n.Weights, s.NbrWeight[lo:hi]...)
-		n.WDegs = append(n.WDegs, s.NbrWDeg[lo:hi]...)
-		n.Indptr = append(n.Indptr, int32(len(n.Locals)))
-		n.RowWDeg = append(n.RowWDeg, s.CoreWDeg[l])
+	rows := len(locals)
+	n := &wire.NeighborInfos{
+		Indptr:  arenaI32(a, rows+1),
+		RowWDeg: arenaF32(a, rows),
+		Locals:  arenaI32(a, total),
+		Shards:  arenaI32(a, total),
+		Weights: arenaF32(a, total),
+		WDegs:   arenaF32(a, total),
 	}
-	if len(locals) == 0 {
-		n.Indptr = []int32{}
+	off := 0
+	for i, l := range locals {
+		lo, hi := s.Indptr[l], s.Indptr[l+1]
+		end := off + int(hi-lo)
+		copy(n.Locals[off:end], s.NbrLocal[lo:hi])
+		copy(n.Shards[off:end], s.NbrShard[lo:hi])
+		copy(n.Weights[off:end], s.NbrWeight[lo:hi])
+		copy(n.WDegs[off:end], s.NbrWDeg[lo:hi])
+		off = end
+		n.Indptr[i+1] = int32(off)
+		n.RowWDeg[i] = s.CoreWDeg[l]
+	}
+	if rows == 0 {
+		// Match the historical wire shape exactly: an empty batch encodes a
+		// zero-length indptr, not [0].
+		n.Indptr = n.Indptr[:0]
 	}
 	return n, nil
+}
+
+func arenaI32(a *mem.Arena, n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	return a.I32(n)
+}
+
+func arenaF32(a *mem.Arena, n int) []float32 {
+	if a == nil {
+		return make([]float32, n)
+	}
+	return a.F32(n)
 }

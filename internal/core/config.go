@@ -115,6 +115,16 @@ type Config struct {
 	// engine noise. Default off: the sort costs O(k log k) per round and the
 	// paper's numbers do not pay it.
 	DeterministicPop bool
+	// ZeroCopy routes remote fetches through the zero-copy hot path: RPC
+	// response payloads stay in pooled buffers, decoders return views that
+	// alias them (or land in a reusable arena), and each machine decodes a
+	// remote row exactly once — the aggregator demux and the cache
+	// single-flight fill share the one decoded representation. Buffers return
+	// to their pool when the consuming future is released (DESIGN.md §5h).
+	// Off, every response is copy-decoded onto the heap — the pre-pooling
+	// allocation profile, kept as the -exp hotpath ablation baseline.
+	// DefaultConfig enables it.
+	ZeroCopy bool
 	// TensorDispatch simulates the per-operator dispatch latency of a
 	// Python tensor library, charged by the tensor-based baselines for
 	// every small tensor operation they issue (masking, gather, scatter,
@@ -134,6 +144,7 @@ func DefaultConfig() Config {
 		Overlap:       true,
 		PushWorkers:   runtime.GOMAXPROCS(0),
 		PushThreshold: 64,
+		ZeroCopy:      true,
 	}
 }
 
@@ -157,7 +168,7 @@ func (c *Config) AggEnabled() bool { return c.AggWindow > 0 || c.AggRows > 0 }
 
 // AggOptions converts the config's aggregation knobs to agg.Options.
 func (c *Config) AggOptions() agg.Options {
-	return agg.Options{Window: c.AggWindow, MaxRows: c.AggRows}
+	return agg.Options{Window: c.AggWindow, MaxRows: c.AggRows, ZeroCopy: c.ZeroCopy}
 }
 
 // TensorBaselineConfig is DefaultConfig plus the tensor-library dispatch

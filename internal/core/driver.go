@@ -205,6 +205,9 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 					m.Push(batch, byShard[p.shard], sameShard(len(byShard[p.shard]), p.shard))
 				})
 				pushSpan.End()
+				// The push copied what it keeps; the pooled response buffer
+				// backing the batch goes back to its pool.
+				p.fut.Release()
 			}
 		} else {
 			// Synchronous variant: complete every fetch before pushing.
@@ -234,6 +237,7 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 					m.Push(batches[i], byShard[p.shard], sameShard(len(byShard[p.shard]), p.shard))
 				})
 				pushSpan.End()
+				p.fut.Release()
 			}
 		}
 	}

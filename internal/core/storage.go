@@ -12,12 +12,17 @@ import (
 	"pprengine/internal/agg"
 	"pprengine/internal/cache"
 	"pprengine/internal/ha"
+	"pprengine/internal/mem"
 	"pprengine/internal/metrics"
 	"pprengine/internal/obs"
 	"pprengine/internal/rpc"
 	"pprengine/internal/shard"
 	"pprengine/internal/wire"
 )
+
+// respPool holds the pooled response buffers the storage handlers encode
+// into; the rpc server releases each one after writing it to the wire.
+var respPool mem.Pool
 
 // StorageServer is the per-machine Graph Storage endpoint: it owns the
 // machine's shard (in shared memory) and answers neighborhood requests over
@@ -57,23 +62,35 @@ func (ss *StorageServer) register() {
 	// whether this machine is alive. It must stay trivial — a probe measures
 	// reachability and scheduling, not shard work.
 	ss.srv.Handle(rpc.MethodEcho, func(p []byte) ([]byte, error) { return p, nil })
-	ss.srv.Handle(rpc.MethodGetNeighborInfos, func(p []byte) ([]byte, error) {
-		ids, err := wire.DecodeIDList(p)
+	// The batched-CSR handler is the server side of the zero-copy hot path:
+	// the request IDs are read as a view over the (pooled) request payload,
+	// the CSR batch is assembled in a pooled arena, and the response is
+	// encoded straight into a pooled buffer that the rpc layer writes
+	// vectored and then releases — steady state, a fetch costs the server no
+	// per-request heap allocation.
+	ss.srv.HandleBuf(rpc.MethodGetNeighborInfos, func(_ context.Context, p []byte) (*mem.Buf, error) {
+		ids, err := wire.DecodeIDListView(p)
 		if err != nil {
 			return nil, err
 		}
-		infos, err := BuildInfos(ss.Shard, ids)
+		arena := mem.GetArena()
+		defer mem.PutArena(arena)
+		infos, err := BuildInfosArena(ss.Shard, ids, arena)
 		if err != nil {
 			return nil, err
 		}
-		return wire.EncodeCSR(infos), nil
+		buf := respPool.Get(wire.CSRSize(infos))
+		buf.SetLen(len(wire.EncodeCSRTo(buf.Bytes()[:0], infos)))
+		return buf, nil
 	})
 	ss.srv.Handle(rpc.MethodGetNeighborInfosLoL, func(p []byte) ([]byte, error) {
-		ids, err := wire.DecodeIDList(p)
+		ids, err := wire.DecodeIDListView(p)
 		if err != nil {
 			return nil, err
 		}
-		infos, err := BuildInfos(ss.Shard, ids)
+		arena := mem.GetArena()
+		defer mem.PutArena(arena)
+		infos, err := BuildInfosArena(ss.Shard, ids, arena)
 		if err != nil {
 			return nil, err
 		}
@@ -245,11 +262,14 @@ func SampleOneNeighborLocal(s *shard.Shard, loc *shard.Locator, locals []int32, 
 
 // respFuture is the minimal pending-response surface shared by a direct
 // *rpc.Future and a failover-routed *ha.CallFuture, so the fetch paths work
-// identically with and without replication.
+// identically with and without replication. Release hands the response's
+// pooled payload buffer back to its pool once the consumer is done with the
+// bytes (idempotent, no-op before resolution — DESIGN.md §5h).
 type respFuture interface {
 	Done() <-chan struct{}
 	Wait() ([]byte, error)
 	WaitCtx(ctx context.Context) ([]byte, error)
+	Release()
 }
 
 // InfoFuture is the engine-level future for a neighbor-info fetch. Local
@@ -298,6 +318,25 @@ type InfoFuture struct {
 	// when the issuing query is traced. Both are nil-safe/zero-safe.
 	tr *obs.Tracer
 	sc obs.SpanContext
+
+	// zeroCopy selects the view decoders (Config.ZeroCopy) for the batched
+	// remote paths; release returns the pooled buffer / arena backing the
+	// decoded batch, set by the wait path that decoded it.
+	zeroCopy    bool
+	release     func()
+	releaseOnce sync.Once
+}
+
+// Release hands back the pooled response buffer (or decode arena) backing
+// this future's batch. Call it only after every read of the batch returned
+// by Wait/WaitCtx — afterwards the batch's rows may alias recycled memory.
+// Idempotent and nil-safe; futures whose batch owns its memory (local
+// shared-memory views, cache rows, copy-decoded responses) make it a no-op.
+func (f *InfoFuture) Release() {
+	if f == nil || f.release == nil {
+		return
+	}
+	f.releaseOnce.Do(f.release)
 }
 
 // Retries returns the number of transient-error retries this fetch
@@ -359,28 +398,65 @@ func (f *InfoFuture) WaitCtx(ctx context.Context) (NeighborBatch, error) {
 			return nil, f.err
 		}
 		f.batch = &aggBatch{n: infos, off: off, rows: f.aggTicket.Rows()}
+		// This ticket's share of the flush's pooled payload is returned at
+		// f.Release, once the push consumed the rows.
+		f.release = f.aggTicket.Release
 		return f.batch, nil
 	}
 	switch f.mode {
 	case FetchBatchCompress:
-		payload, err := f.futures[0].WaitCtx(ctx)
+		fut := f.futures[0]
+		payload, err := fut.WaitCtx(ctx)
 		if err != nil {
 			f.err = wrapPeerErr(f.dstShard, err)
 			return nil, f.err
 		}
-		infos, err := wire.DecodeCSR(payload)
+		var infos *wire.NeighborInfos
+		if f.zeroCopy {
+			// The decoded batch aliases the pooled response payload when the
+			// host allows it; the buffer goes home at f.Release (after the
+			// push consumed the rows). A misaligned payload falls back to a
+			// heap copy, so the buffer can go home immediately.
+			aliased := wire.CanAlias(payload)
+			infos, err = wire.DecodeCSRView(payload, nil)
+			if aliased && err == nil {
+				f.release = fut.Release
+			} else {
+				fut.Release()
+			}
+		} else {
+			infos, err = wire.DecodeCSR(payload)
+			fut.Release()
+		}
 		if err != nil {
 			f.err = wrapPeerErr(f.dstShard, err)
 			return nil, f.err
 		}
 		f.batch = InfosBatch(infos)
 	case FetchBatch:
-		payload, err := f.futures[0].WaitCtx(ctx)
+		fut := f.futures[0]
+		payload, err := fut.WaitCtx(ctx)
 		if err != nil {
 			f.err = wrapPeerErr(f.dstShard, err)
 			return nil, f.err
 		}
-		infos, err := wire.DecodeLoL(payload)
+		var infos *wire.NeighborInfos
+		if f.zeroCopy {
+			// The interleaved LoL layout cannot be aliased; the decode lands
+			// in a pooled arena instead, recycled at f.Release. The wire
+			// payload itself is done as soon as the decode finishes.
+			arena := mem.GetArena()
+			infos, err = wire.DecodeLoLView(payload, arena)
+			fut.Release()
+			if err != nil {
+				mem.PutArena(arena)
+			} else {
+				f.release = func() { mem.PutArena(arena) }
+			}
+		} else {
+			infos, err = wire.DecodeLoL(payload)
+			fut.Release()
+		}
 		if err != nil {
 			f.err = wrapPeerErr(f.dstShard, err)
 			return nil, f.err
@@ -465,6 +541,7 @@ func (f *SampleFuture) WaitCtx(ctx context.Context) (*wire.SampleResponse, error
 		return nil, err
 	}
 	f.resp, f.err = wire.DecodeSampleResponse(payload)
+	f.fut.Release() // response copied into f.resp by the decode
 	return f.resp, f.err
 }
 
@@ -645,11 +722,11 @@ func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32,
 	switch cfg.Mode {
 	case FetchBatchCompress:
 		payload := wire.EncodeIDList(locals)
-		return &InfoFuture{mode: cfg.Mode, dstShard: dstShard, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)),
+		return &InfoFuture{mode: cfg.Mode, dstShard: dstShard, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)), zeroCopy: cfg.ZeroCopy,
 			futures: []respFuture{g.call(ctx, dstShard, rpc.MethodGetNeighborInfos, payload)}}
 	case FetchBatch:
 		payload := wire.EncodeIDList(locals)
-		return &InfoFuture{mode: cfg.Mode, dstShard: dstShard, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)),
+		return &InfoFuture{mode: cfg.Mode, dstShard: dstShard, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)), zeroCopy: cfg.ZeroCopy,
 			futures: []respFuture{g.call(ctx, dstShard, rpc.MethodGetNeighborInfosLoL, payload)}}
 	default: // FetchSingle: sequential per-vertex round trips (see WaitCtx)
 		// One 8-byte single-ID request per vertex (retries excluded; the
@@ -675,6 +752,7 @@ type cachedFetch struct {
 type fetchGroup struct {
 	fut  respFuture
 	csr  bool
+	zc   bool // view decoders + pooled-buffer lifecycle (Config.ZeroCopy)
 	once sync.Once
 	// flights[i] is the flight for the i-th requested row.
 	flights []*cache.Flight
@@ -685,15 +763,32 @@ func (fg *fetchGroup) resolve() {
 	fg.once.Do(func() {
 		payload, err := fg.fut.Wait()
 		if err != nil {
+			fg.fut.Release()
 			fg.fail(err)
 			return
 		}
+		// The flights copy each row into cache-owned storage (copyRow), so
+		// the response payload and decode arena go home as soon as the demux
+		// below finishes — the response is decoded exactly once, here, and
+		// every waiter (leader and coalesced alike) reads the cache rows.
 		var infos *wire.NeighborInfos
-		if fg.csr {
+		var arena *mem.Arena
+		if fg.zc {
+			if fg.csr {
+				infos, err = wire.DecodeCSRView(payload, nil)
+			} else {
+				arena = mem.GetArena()
+				infos, err = wire.DecodeLoLView(payload, arena)
+			}
+		} else if fg.csr {
 			infos, err = wire.DecodeCSR(payload)
 		} else {
 			infos, err = wire.DecodeLoL(payload)
 		}
+		defer func() {
+			fg.fut.Release()
+			mem.PutArena(arena)
+		}()
 		if err != nil {
 			fg.fail(err)
 			return
@@ -798,6 +893,7 @@ func (g *DistGraphStorage) getNeighborInfosCached(sc obs.SpanContext, dstShard i
 				// but the trace context still rides the request frame.
 				fut:     g.call(obs.ContextWith(context.Background(), sc), dstShard, method, payload),
 				csr:     csr,
+				zc:      cfg.ZeroCopy,
 				flights: leaderFlights,
 			}
 			for _, fl := range leaderFlights {
@@ -823,6 +919,7 @@ func (ar *aggResolver) resolve() {
 	ar.once.Do(func() {
 		infos, off, err := ar.t.Result()
 		if err != nil {
+			ar.t.Release()
 			for _, fl := range ar.flights {
 				fl.Fulfill(cache.Row{}, err)
 			}
@@ -831,6 +928,11 @@ func (ar *aggResolver) resolve() {
 		for i, fl := range ar.flights {
 			fl.Fulfill(copyRow(infos, off+i), nil)
 		}
+		// Rows are now cache-owned copies; this ticket's share of the flush
+		// payload goes home. The resolver — not the issuing InfoFuture — owns
+		// the cached path's ticket, so an abandoned leader query still
+		// returns the buffer.
+		ar.t.Release()
 	})
 }
 
@@ -885,11 +987,15 @@ func (g *DistGraphStorage) GetShardStats(dstShard int32) (*wire.ShardStats, erro
 	if g.Clients[dstShard] == nil && g.Router == nil {
 		return nil, fmt.Errorf("core: no client for shard %d", dstShard)
 	}
-	payload, err := g.call(context.Background(), dstShard, rpc.MethodGetShardStats, nil).Wait()
+	fut := g.call(context.Background(), dstShard, rpc.MethodGetShardStats, nil)
+	payload, err := fut.Wait()
 	if err != nil {
+		fut.Release()
 		return nil, wrapPeerErr(dstShard, err)
 	}
-	return wire.DecodeShardStats(payload)
+	st, err := wire.DecodeShardStats(payload)
+	fut.Release() // stats copied into st by the decode
+	return st, err
 }
 
 // SampleOneNeighbor samples one neighbor for each listed core vertex of

@@ -92,6 +92,24 @@ type CallFuture struct {
 	done chan struct{}
 	res  []byte
 	err  error
+	// rel releases the winning attempt's pooled response buffer (the rpc
+	// future's Release). Set only on success; forwarded via Release.
+	rel      func()
+	released atomic.Bool
+}
+
+// Release recycles the response payload's pooled buffer. Call it once the
+// payload (and every view decoded from it) is dead. Idempotent, optional —
+// an unreleased payload falls back to the garbage collector.
+func (f *CallFuture) Release() {
+	select {
+	case <-f.done:
+	default:
+		return
+	}
+	if f.released.CompareAndSwap(false, true) && f.rel != nil {
+		f.rel()
+	}
 }
 
 // Done returns a channel closed when the final result (after any failovers)
@@ -169,10 +187,10 @@ func (r *ReplicaRouter) run(f *CallFuture, sc obs.SpanContext, dstShard int32, m
 			r.failovers.Add(1)
 			metrics.Failovers.Inc(1)
 		}
-		res, err := r.attempt(ep, sc, m, payload)
+		res, rel, err := r.attempt(ep, sc, m, payload)
 		if err == nil {
 			r.tracker.ReportSuccess(ep.Key())
-			f.res = res
+			f.res, f.rel = res, rel
 			return
 		}
 		lastErr, lastEp = err, ep
@@ -189,7 +207,10 @@ func (r *ReplicaRouter) run(f *CallFuture, sc obs.SpanContext, dstShard int32, m
 // attempt issues the request on ep once, bounded by the attempt timeout.
 // Traced attempts record an "ha:attempt" span whose context rides the wire
 // request, so the serving endpoint's span nests under the attempt.
-func (r *ReplicaRouter) attempt(ep *Endpoint, sc obs.SpanContext, m rpc.Method, payload []byte) ([]byte, error) {
+// The returned release func recycles the response's pooled buffer (nil on
+// failure); the router forwards it to the CallFuture so the final waiter
+// controls the payload's lifetime.
+func (r *ReplicaRouter) attempt(ep *Endpoint, sc obs.SpanContext, m rpc.Method, payload []byte) ([]byte, func(), error) {
 	span := r.opts.Tracer.StartSpan(sc, "ha:attempt")
 	span.SetShard(ep.Shard)
 	if c := span.Context(); c.Valid() {
@@ -199,14 +220,18 @@ func (r *ReplicaRouter) attempt(ep *Endpoint, sc obs.SpanContext, m rpc.Method, 
 	if err != nil {
 		span.SetErr(true)
 		span.End()
-		return nil, err
+		return nil, nil, err
 	}
 	ctx, cancel := context.WithTimeout(obs.ContextWith(context.Background(), sc), r.opts.attemptTimeout())
 	defer cancel()
-	res, err := c.SyncCallCtx(ctx, m, payload)
+	fut := c.CallCtx(ctx, m, payload)
+	res, err := fut.WaitCtx(ctx)
 	span.SetErr(err != nil)
 	span.End()
-	return res, err
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, fut.Release, nil
 }
 
 // ReadyCheck reports whether the router can currently reach every remote

@@ -1,0 +1,89 @@
+package mem
+
+import (
+	"math"
+	"sync"
+
+	"pprengine/internal/metrics"
+)
+
+// Arena is an epoch-style allocator for decoded rows: I32/F32 carve typed
+// slices out of large slabs, and Reset recycles every allocation at once.
+// An arena is single-epoch single-owner — not safe for concurrent use, and
+// every slice it handed out dies (logically) at Reset. In poison mode Reset
+// clobbers the slabs so stale views surface as corrupt data.
+type Arena struct {
+	i32    []int32
+	i32Off int
+	f32    []float32
+	f32Off int
+}
+
+// arenaMinSlab is the smallest slab allocated on growth, in elements.
+const arenaMinSlab = 4096
+
+// I32 returns a zeroed int32 slice of length n carved from the arena,
+// valid until Reset.
+func (a *Arena) I32(n int) []int32 {
+	if a.i32Off+n > len(a.i32) {
+		size := max(2*len(a.i32), n, arenaMinSlab)
+		// The previous slab's live allocations stay valid: the GC keeps the
+		// old slab alive for as long as they are referenced.
+		a.i32 = make([]int32, size)
+		a.i32Off = 0
+		metrics.ArenaSlabBytes.Inc(int64(4 * size))
+	}
+	s := a.i32[a.i32Off : a.i32Off+n : a.i32Off+n]
+	a.i32Off += n
+	clear(s)
+	return s
+}
+
+// F32 returns a zeroed float32 slice of length n carved from the arena,
+// valid until Reset.
+func (a *Arena) F32(n int) []float32 {
+	if a.f32Off+n > len(a.f32) {
+		size := max(2*len(a.f32), n, arenaMinSlab)
+		a.f32 = make([]float32, size)
+		a.f32Off = 0
+		metrics.ArenaSlabBytes.Inc(int64(4 * size))
+	}
+	s := a.f32[a.f32Off : a.f32Off+n : a.f32Off+n]
+	a.f32Off += n
+	clear(s)
+	return s
+}
+
+// Reset ends the epoch: every slice previously returned by I32/F32 is
+// invalid after Reset and its memory will be reused. In poison mode the
+// slabs are clobbered immediately so stale views show up in tests.
+func (a *Arena) Reset() {
+	if poisonOn.Load() {
+		const p32 = int32(-0x24242425) // 0xDBDBDBDB
+		for i := range a.i32 {
+			a.i32[i] = p32
+		}
+		for i := range a.f32 {
+			a.f32[i] = poisonF32
+		}
+	}
+	a.i32Off, a.f32Off = 0, 0
+}
+
+// poisonF32 is the float32 whose bit pattern is the poison fill: a large
+// negative garbage value that no legitimate weight or degree resembles.
+var poisonF32 = math.Float32frombits(0xDBDBDBDB)
+
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// GetArena returns a reusable arena from the process-wide pool.
+func GetArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// PutArena resets a and returns it to the pool. Nil-safe.
+func PutArena(a *Arena) {
+	if a == nil {
+		return
+	}
+	a.Reset()
+	arenaPool.Put(a)
+}

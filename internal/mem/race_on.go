@@ -1,0 +1,8 @@
+//go:build race
+
+package mem
+
+// RaceEnabled reports whether the binary was built with the race detector,
+// whose instrumentation adds allocations that would trip the alloc-budget
+// guard tests.
+const RaceEnabled = true

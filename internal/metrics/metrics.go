@@ -232,6 +232,17 @@ var (
 	WireRequests      Counter
 	WireBytesSent     Counter
 	WireBytesReceived Counter
+	// PoolHits / PoolMisses count frame-buffer checkouts served by
+	// recycling a released buffer vs. by a fresh allocation (internal/mem).
+	PoolHits   Counter
+	PoolMisses Counter
+	// PoolLiveBytes tracks bytes currently checked out of the frame-buffer
+	// pools — buffers handed to handlers or futures and not yet released.
+	PoolLiveBytes Gauge
+	// ArenaSlabBytes counts bytes committed to decode-arena slabs. Slabs are
+	// reused across epochs, so this grows only when an arena outgrows its
+	// slab — a hot steady state stops moving it entirely.
+	ArenaSlabBytes Counter
 )
 
 // AtomicBreakdown is a Breakdown safe for concurrent merges: a long-lived

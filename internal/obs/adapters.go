@@ -32,6 +32,12 @@ func RegisterEngineMetrics(r *Registry) {
 	r.CounterFunc("ppr_agg_rows_total", "Neighbor rows carried by aggregated flushes.", nil, counterOf(&metrics.AggRows))
 	r.CounterFunc("ppr_agg_shared_total", "Fetches whose flush also carried another query's fetch.", nil, counterOf(&metrics.AggShared))
 
+	r.CounterFunc("ppr_mem_pool_hits_total", "Frame-buffer checkouts served by recycling a released buffer.", nil, counterOf(&metrics.PoolHits))
+	r.CounterFunc("ppr_mem_pool_misses_total", "Frame-buffer checkouts that had to allocate.", nil, counterOf(&metrics.PoolMisses))
+	r.GaugeFunc("ppr_mem_pool_live_bytes", "Bytes currently checked out of the frame-buffer pools.", nil,
+		func() float64 { return float64(metrics.PoolLiveBytes.Load()) })
+	r.CounterFunc("ppr_mem_arena_slab_bytes_total", "Bytes committed to decode-arena slabs.", nil, counterOf(&metrics.ArenaSlabBytes))
+
 	r.CounterFunc("ppr_wire_requests_total", "Client-side RPC requests sent.", nil, counterOf(&metrics.WireRequests))
 	r.CounterFunc("ppr_wire_bytes_sent_total", "Client-side request payload bytes sent.", nil, counterOf(&metrics.WireBytesSent))
 	r.CounterFunc("ppr_wire_bytes_received_total", "Client-side response payload bytes received.", nil, counterOf(&metrics.WireBytesReceived))

@@ -1,0 +1,126 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"pprengine/internal/mem"
+	"pprengine/internal/obs"
+)
+
+// TestWriteFrameLargePayloadBypassesScratch: payloads at or above
+// vectoredMin must go out as a vectored write, never copied into the
+// per-connection scratch buffer.
+func TestWriteFrameLargePayloadBypassesScratch(t *testing.T) {
+	var out bytes.Buffer
+	var wbuf []byte
+	payload := make([]byte, vectoredMin)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := writeFrame(&out, &wbuf, 9, flagResponse, MethodGetNeighborInfos, obs.SpanContext{}, payload); err != nil {
+		t.Fatal(err)
+	}
+	if wbuf != nil {
+		t.Fatalf("large frame grew the scratch buffer to %d bytes", cap(wbuf))
+	}
+	// The emitted frame is byte-identical to the copying path's.
+	var hdr [14]byte
+	var pool mem.Pool
+	reqID, flags, method, _, pl, err := readFrame(&pool, bytes.NewReader(out.Bytes()), &hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqID != 9 || flags != flagResponse || method != MethodGetNeighborInfos || !bytes.Equal(pl.Bytes(), payload) {
+		t.Fatal("vectored frame does not round-trip")
+	}
+	pl.Release()
+}
+
+// TestWriteScratchShrinks: a scratch buffer that somehow grew past
+// writeScratchCap is dropped after the next write instead of pinning its
+// high-water capacity for the connection's lifetime.
+func TestWriteScratchShrinks(t *testing.T) {
+	var out bytes.Buffer
+	wbuf := make([]byte, 0, writeScratchCap*4)
+	if err := writeFrame(&out, &wbuf, 1, flagRequest, MethodEcho, obs.SpanContext{}, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if cap(wbuf) > writeScratchCap {
+		t.Fatalf("scratch kept %d bytes of capacity, cap is %d", cap(wbuf), writeScratchCap)
+	}
+}
+
+// TestReadFrameAllocBudget guards the frame-read hot path: once the pool is
+// warm, parsing a frame and releasing its payload must not allocate per
+// frame. Budget 2 tolerates a GC emptying the pool mid-run (one Buf + one
+// backing array); the regression this guards against — a fresh buffer per
+// frame, every frame — would sit at 2+ permanently and flake loudly.
+func TestReadFrameAllocBudget(t *testing.T) {
+	if mem.RaceEnabled {
+		t.Skip("race instrumentation skews alloc counts")
+	}
+	data := frameBytes(4, flagResponse, MethodGetNeighborInfos, obs.SpanContext{}, make([]byte, 8<<10))
+	var pool mem.Pool
+	var hdr [14]byte
+	r := bytes.NewReader(data)
+	// Warm the pool.
+	if _, _, _, _, pl, err := readFrame(&pool, r, &hdr); err != nil {
+		t.Fatal(err)
+	} else {
+		pl.Release()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		r.Reset(data)
+		_, _, _, _, pl, err := readFrame(&pool, r, &hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.Release()
+	})
+	if allocs > 2 {
+		t.Fatalf("frame read allocates %.1f objects per frame, budget 2", allocs)
+	}
+	if st := pool.Stats(); st.Hits == 0 {
+		t.Fatalf("pool never hit: %+v", st)
+	}
+}
+
+func BenchmarkReadFrameRelease(b *testing.B) {
+	data := frameBytes(4, flagResponse, MethodGetNeighborInfos, obs.SpanContext{}, make([]byte, 8<<10))
+	var pool mem.Pool
+	var hdr [14]byte
+	r := bytes.NewReader(data)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		r.Reset(data)
+		_, _, _, _, pl, err := readFrame(&pool, r, &hdr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl.Release()
+	}
+}
+
+func BenchmarkWriteFrameVectored(b *testing.B) {
+	payload := make([]byte, 64<<10)
+	var wbuf []byte
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		var sink countWriter
+		if err := writeFrame(&sink, &wbuf, uint64(i), flagResponse, MethodGetNeighborInfos, obs.SpanContext{}, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// countWriter discards writes without buffering (bytes.Buffer would dominate
+// the write benchmark's allocations).
+type countWriter struct{ n int }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

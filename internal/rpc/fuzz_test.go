@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"testing"
 
+	"pprengine/internal/mem"
 	"pprengine/internal/obs"
 )
 
@@ -21,8 +22,9 @@ func frameBytes(reqID uint64, flags byte, method Method, sc obs.SpanContext, pay
 }
 
 // FuzzReadFrame feeds arbitrary byte streams to the frame reader. It must
-// either parse a frame or return an error — never panic, and never commit
-// large allocations for size claims the stream cannot back up.
+// either parse a frame or return an error — never panic, never commit large
+// allocations for size claims the stream cannot back up, and never leak a
+// pooled buffer on the error path.
 func FuzzReadFrame(f *testing.F) {
 	none := obs.SpanContext{}
 	traced := obs.SpanContext{TraceID: 0xfeedbeefcafe, SpanID: 0x1234}
@@ -37,6 +39,7 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{255, 255, 255, 255})                              // size above maxFrameSize
 	f.Add(frameBytes(3, 0, 0, none, nil)[:8])                      // truncated header
 	f.Add(frameBytes(3, 0, 0, none, make([]byte, 64))[:20])        // truncated payload
+	f.Add(frameBytes(2, 0, 0, none, make([]byte, vectoredMin+3)))  // vectored-write frame
 	short := frameBytes(5, flagTraced, MethodEcho, traced, nil)    // traced flag but size too small
 	binary.LittleEndian.PutUint32(short, 12)
 	f.Add(short[:16])
@@ -46,15 +49,23 @@ func FuzzReadFrame(f *testing.F) {
 
 	var hdr [14]byte
 	f.Fuzz(func(t *testing.T, data []byte) {
+		var pool mem.Pool
 		r := bytes.NewReader(data)
-		reqID, flags, method, sc, payload, err := readFrame(r, &hdr)
+		reqID, flags, method, sc, payload, err := readFrame(&pool, r, &hdr)
 		if err != nil {
+			if live := pool.Stats().Live; live != 0 {
+				t.Fatalf("failed parse leaked %d pooled bytes", live)
+			}
 			return
 		}
 		// A successfully parsed frame must round-trip, trace context included.
-		again := frameBytes(reqID, flags, method, sc, payload)
+		again := frameBytes(reqID, flags, method, sc, payload.Bytes())
 		if !bytes.Equal(again, data[:len(again)]) {
 			t.Fatalf("parsed frame does not round-trip: % x vs % x", again, data[:len(again)])
+		}
+		payload.Release()
+		if live := pool.Stats().Live; live != 0 {
+			t.Fatalf("released frame left %d pooled bytes checked out", live)
 		}
 	})
 }
@@ -66,11 +77,12 @@ func TestReadFrameHostileSizeBoundedAlloc(t *testing.T) {
 	stream := binary.LittleEndian.AppendUint32(nil, maxFrameSize)
 	stream = append(stream, make([]byte, 100)...)
 
+	var pool mem.Pool
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	var hdr [14]byte
-	_, _, _, _, _, err := readFrame(bytes.NewReader(stream), &hdr)
+	_, _, _, _, _, err := readFrame(&pool, bytes.NewReader(stream), &hdr)
 	runtime.ReadMemStats(&after)
 	if err == nil {
 		t.Fatal("truncated 1 GiB claim parsed without error")
@@ -88,19 +100,41 @@ func TestReadPayloadLargeHonest(t *testing.T) {
 	for i := range want {
 		want[i] = byte(i * 31)
 	}
-	got, err := readPayload(bytes.NewReader(want), n)
+	var pool mem.Pool
+	got, err := readPayload(&pool, bytes.NewReader(want), n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, want) {
+	if !bytes.Equal(got.Bytes(), want) {
 		t.Fatal("large payload corrupted by chunked read")
 	}
+	got.Release()
 }
 
 // TestReadPayloadTruncatedLarge: a large claim over a short stream errors.
 func TestReadPayloadTruncatedLarge(t *testing.T) {
 	data := make([]byte, payloadChunk+10)
-	if _, err := readPayload(bytes.NewReader(data), 3*payloadChunk); err != io.ErrUnexpectedEOF {
+	var pool mem.Pool
+	if _, err := readPayload(&pool, bytes.NewReader(data), 3*payloadChunk); err != io.ErrUnexpectedEOF {
 		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestReadPayloadTruncatedNoLeak: chaos-injected truncated frames (streams
+// that die mid-payload) produce clean errors with every pooled buffer back
+// in the pool.
+func TestReadPayloadTruncatedNoLeak(t *testing.T) {
+	var pool mem.Pool
+	for _, n := range []int{1, 100, 4096, payloadChunk} {
+		data := make([]byte, n-1) // one byte short
+		if _, err := readPayload(&pool, bytes.NewReader(data), n); err == nil {
+			t.Fatalf("n=%d: truncated payload parsed", n)
+		}
+		if live := pool.Stats().Live; live != 0 {
+			t.Fatalf("n=%d: truncated read leaked %d pooled bytes", n, live)
+		}
+	}
+	if pool.Stats().Releases != 4 {
+		t.Fatalf("releases = %d, want 4", pool.Stats().Releases)
 	}
 }

@@ -22,10 +22,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pprengine/internal/mem"
 	"pprengine/internal/metrics"
 	"pprengine/internal/obs"
 	"pprengine/internal/wire"
 )
+
+// framePool recycles frame payload buffers across requests: every payload
+// readFrame returns is checked out of this pool and flows back in when its
+// last holder releases it (server: after the response is written; client:
+// when the caller releases its Future). A payload that is never released
+// falls back to the garbage collector — safe, just not recycled.
+var framePool mem.Pool
 
 // Method identifies a server-side handler.
 type Method uint8
@@ -60,13 +68,25 @@ const (
 )
 
 // Handler processes one request payload and returns the response payload.
+// The payload aliases a pooled frame buffer: it is valid only for the
+// duration of the call (plus the response write), so a handler that wants to
+// keep request bytes must copy them. Returning the payload itself as the
+// response is legal — the server writes the response before recycling the
+// request buffer.
 type Handler func(payload []byte) ([]byte, error)
 
 // HandlerCtx is a Handler that also receives the request's context, which
 // carries the caller's trace context when the request frame was traced.
 // Handlers that fan out further RPCs pass the context on so the whole query
-// stays one trace.
+// stays one trace. The payload lifetime contract is Handler's.
 type HandlerCtx func(ctx context.Context, payload []byte) ([]byte, error)
+
+// HandlerBuf is a HandlerCtx whose response is a pooled buffer: the server
+// writes the frame and then releases the caller's reference, so a handler
+// can encode straight into a mem.Pool checkout and have it recycled the
+// moment the bytes are on the wire. A nil response buffer means an empty
+// response.
+type HandlerBuf func(ctx context.Context, payload []byte) (*mem.Buf, error)
 
 // LatencyModel adds synthetic delay to every message of size n bytes:
 // Base + n/BytesPerSec. A zero model means raw transport speed.
@@ -84,13 +104,41 @@ func (l LatencyModel) Delay(n int) time.Duration {
 	return d
 }
 
+const (
+	// vectoredMin is the payload size from which writeFrame switches to a
+	// net.Buffers vectored write (writev on TCP) instead of copying the
+	// payload into the connection's scratch buffer. Below it, one small
+	// copy plus a single Write beats two syscall-visible buffers.
+	vectoredMin = 4 << 10
+	// writeScratchCap bounds the per-connection scratch buffer across
+	// frames: a scratch grown past it is dropped after the write so one
+	// oversized frame does not pin its high-water mark per connection
+	// forever.
+	writeScratchCap = 64 << 10
+)
+
 // writeFrame writes one frame: [len u32][reqID u64][flags u8][method u8]
 // [trace?][payload], where the 16-byte trace context block is present iff
-// flags has flagTraced set (and is counted in len).
+// flags has flagTraced set (and is counted in len). Large payloads are not
+// copied: the header and payload go out as one vectored write, so writeFrame
+// never owns (or duplicates) the payload memory.
 func writeFrame(w io.Writer, buf *[]byte, reqID uint64, flags byte, method Method, sc obs.SpanContext, payload []byte) error {
 	trace := 0
 	if flags&flagTraced != 0 {
 		trace = wire.TraceContextSize
+	}
+	if len(payload) >= vectoredMin {
+		var hdr [14 + wire.TraceContextSize]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(10+trace+len(payload)))
+		binary.LittleEndian.PutUint64(hdr[4:], reqID)
+		hdr[12] = flags
+		hdr[13] = byte(method)
+		if trace > 0 {
+			wire.AppendTraceContext(hdr[14:14:14+trace], sc.TraceID, sc.SpanID)
+		}
+		bufs := net.Buffers{hdr[:14+trace], payload}
+		_, err := bufs.WriteTo(w)
+		return err
 	}
 	need := 4 + 10 + trace + len(payload)
 	if cap(*buf) < need {
@@ -106,10 +154,16 @@ func writeFrame(w io.Writer, buf *[]byte, reqID uint64, flags byte, method Metho
 	}
 	copy(b[14+trace:], payload)
 	_, err := w.Write(b)
+	if cap(*buf) > writeScratchCap {
+		*buf = nil
+	}
 	return err
 }
 
-func readFrame(r io.Reader, hdr *[14]byte) (reqID uint64, flags byte, method Method, sc obs.SpanContext, payload []byte, err error) {
+// readFrame parses one frame from r. The returned payload is checked out of
+// p with one reference owned by the caller; a nil payload means the frame
+// was empty. On error no payload reference is retained.
+func readFrame(p *mem.Pool, r io.Reader, hdr *[14]byte) (reqID uint64, flags byte, method Method, sc obs.SpanContext, payload *mem.Buf, err error) {
 	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
 		return
 	}
@@ -137,7 +191,7 @@ func readFrame(r io.Reader, hdr *[14]byte) (reqID uint64, flags byte, method Met
 		sc.TraceID, sc.SpanID, _ = wire.DecodeTraceContext(tb[:])
 		rest -= wire.TraceContextSize
 	}
-	payload, err = readPayload(r, rest)
+	payload, err = readPayload(p, r, rest)
 	return
 }
 
@@ -145,27 +199,35 @@ func readFrame(r io.Reader, hdr *[14]byte) (reqID uint64, flags byte, method Met
 // have actually arrived.
 const payloadChunk = 1 << 20
 
-// readPayload reads exactly n payload bytes. Large payloads are read in
-// bounded chunks so a corrupt or hostile size claim (up to maxFrameSize)
-// cannot force a huge up-front allocation: memory grows only as bytes
-// actually arrive, and a truncated stream errors after at most one chunk of
-// overshoot.
-func readPayload(r io.Reader, n int) ([]byte, error) {
-	if n <= payloadChunk {
-		buf := make([]byte, n)
-		_, err := io.ReadFull(r, buf)
-		return buf, err
+// readPayload reads exactly n payload bytes into a buffer checked out of p.
+// Payloads up to one chunk — the overwhelmingly common case — come from the
+// pool; larger ones are read in bounded chunks so a corrupt or hostile size
+// claim (up to maxFrameSize) cannot force a huge up-front allocation: memory
+// grows only as bytes actually arrive, and a truncated stream errors after
+// at most one chunk of overshoot. On error the checked-out buffer has
+// already been released.
+func readPayload(p *mem.Pool, r io.Reader, n int) (*mem.Buf, error) {
+	if n == 0 {
+		return nil, nil
 	}
-	var buf []byte
-	for len(buf) < n {
-		chunk := min(payloadChunk, n-len(buf))
-		off := len(buf)
-		buf = append(buf, make([]byte, chunk)...)
-		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+	if n <= payloadChunk {
+		buf := p.Get(n)
+		if _, err := io.ReadFull(r, buf.Bytes()); err != nil {
+			buf.Release()
+			return nil, err
+		}
+		return buf, nil
+	}
+	var b []byte
+	for len(b) < n {
+		chunk := min(payloadChunk, n-len(b))
+		off := len(b)
+		b = append(b, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, b[off:]); err != nil {
 			return nil, err
 		}
 	}
-	return buf, nil
+	return mem.Wrap(b), nil
 }
 
 // Server dispatches incoming requests to registered handlers. Each accepted
@@ -173,7 +235,7 @@ func readPayload(r io.Reader, n int) ([]byte, error) {
 // so slow handlers do not head-of-line block the connection.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[Method]HandlerCtx
+	handlers map[Method]HandlerBuf
 	tracer   atomic.Pointer[obs.Tracer]
 	lis      net.Listener
 	wg       sync.WaitGroup
@@ -228,7 +290,7 @@ func (s *Server) Stats() Stats {
 
 // NewServer returns a server with no handlers registered.
 func NewServer() *Server {
-	return &Server{handlers: make(map[Method]HandlerCtx)}
+	return &Server{handlers: make(map[Method]HandlerBuf)}
 }
 
 // Handle registers h for method m, replacing any previous handler.
@@ -242,6 +304,18 @@ func (s *Server) Handle(m Method, h Handler) {
 // passed to h carries the request's trace context (obs.FromContext) when the
 // client traced the call.
 func (s *Server) HandleCtx(m Method, h HandlerCtx) {
+	s.HandleBuf(m, func(ctx context.Context, payload []byte) (*mem.Buf, error) {
+		resp, err := h(ctx, payload)
+		if err != nil || resp == nil {
+			return nil, err
+		}
+		return mem.Wrap(resp), nil
+	})
+}
+
+// HandleBuf registers a handler whose response is a pooled buffer the
+// server releases after the frame is written (see HandlerBuf).
+func (s *Server) HandleBuf(m Method, h HandlerBuf) {
 	s.mu.Lock()
 	s.handlers[m] = h
 	s.mu.Unlock()
@@ -309,15 +383,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	var wbuf []byte
 	var hdr [14]byte
 	for {
-		reqID, flags, method, sc, payload, err := readFrame(conn, &hdr)
+		reqID, flags, method, sc, payload, err := readFrame(&framePool, conn, &hdr)
 		if err != nil {
 			return
 		}
 		if flags&^flagTraced != flagRequest {
+			payload.Release()
 			continue // protocol misuse; drop
 		}
 		s.reqCounts[method].Add(1)
-		s.bytesIn.Add(int64(len(payload)))
+		s.bytesIn.Add(int64(payload.Len()))
 		// The draining check and reqWG.Add share the read lock so they cannot
 		// interleave with Shutdown's write-locked draining flip: once Shutdown
 		// starts waiting on reqWG, no new handler can join it.
@@ -329,6 +404,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.mu.RUnlock()
 		if draining {
+			payload.Release()
 			s.errCounts[method].Add(1)
 			s.wg.Add(1)
 			go func() {
@@ -339,7 +415,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			}()
 			continue
 		}
-		if max := s.MaxRequestBytes; max > 0 && len(payload) > max {
+		if max := s.MaxRequestBytes; max > 0 && payload.Len() > max {
+			n := payload.Len()
+			payload.Release()
 			s.errCounts[method].Add(1)
 			s.wg.Add(1)
 			go func() {
@@ -347,7 +425,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				defer s.reqWG.Done()
 				wmu.Lock()
 				writeFrame(conn, &wbuf, reqID, flagError, method, obs.SpanContext{},
-					[]byte(fmt.Sprintf("rpc: request of %d bytes exceeds server limit %d", len(payload), max)))
+					[]byte(fmt.Sprintf("rpc: request of %d bytes exceeds server limit %d", n, max)))
 				wmu.Unlock()
 			}()
 			continue
@@ -356,6 +434,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		go func() {
 			defer s.wg.Done()
 			defer s.reqWG.Done()
+			// The request buffer is recycled once the response is on the
+			// wire — not before, because a handler may legally return (a view
+			// of) the request payload as its response.
+			defer payload.Release()
 			if !ok {
 				s.errCounts[method].Add(1)
 				wmu.Lock()
@@ -376,18 +458,20 @@ func (s *Server) serveConn(conn net.Conn) {
 					ctx = obs.ContextWith(ctx, sc)
 				}
 			}
-			resp, err := h(ctx, payload)
+			resp, err := h(ctx, payload.Bytes())
 			span.SetErr(err != nil)
 			span.End()
 			wmu.Lock()
 			defer wmu.Unlock()
 			if err != nil {
+				resp.Release()
 				s.errCounts[method].Add(1)
 				writeFrame(conn, &wbuf, reqID, flagError, method, obs.SpanContext{}, []byte(err.Error()))
 				return
 			}
-			s.bytesOut.Add(int64(len(resp)))
-			writeFrame(conn, &wbuf, reqID, flagResponse, method, obs.SpanContext{}, resp)
+			s.bytesOut.Add(int64(resp.Len()))
+			writeFrame(conn, &wbuf, reqID, flagResponse, method, obs.SpanContext{}, resp.Bytes())
+			resp.Release()
 		}()
 	}
 }
@@ -482,12 +566,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // number of goroutines to Wait on the same future concurrently; all of them
 // observe the same result once it resolves.
 type Future struct {
-	id      uint64
-	reqSize int
-	c       *Client // issuing client; nil for pre-failed futures
-	done    chan struct{}
-	payload []byte
-	err     error
+	id       uint64
+	reqSize  int
+	c        *Client // issuing client; nil for pre-failed futures
+	done     chan struct{}
+	buf      *mem.Buf // pooled backing of payload; nil for empty/error results
+	released atomic.Bool
+	payload  []byte
+	err      error
 }
 
 func newFuture() *Future { return &Future{done: make(chan struct{})} }
@@ -501,10 +587,27 @@ func failedFuture(err error) *Future {
 // complete resolves the future. Completion must happen exactly once; the
 // client guarantees this by routing every completion path through
 // pending.LoadAndDelete on the request ID.
-func (f *Future) complete(payload []byte, err error) {
-	f.payload = payload
+func (f *Future) complete(buf *mem.Buf, err error) {
+	f.buf = buf
+	f.payload = buf.Bytes()
 	f.err = err
 	close(f.done)
+}
+
+// Release returns the response payload's pooled buffer for reuse. It is the
+// waiter's declaration that the payload — and every view decoded from it —
+// will not be touched again. Release is idempotent, nil-safe on unresolved
+// or failed futures, and optional: an unreleased payload just falls back to
+// the garbage collector.
+func (f *Future) Release() {
+	select {
+	case <-f.done:
+	default:
+		return // unresolved: nothing checked out yet
+	}
+	if f.released.CompareAndSwap(false, true) {
+		f.buf.Release()
+	}
 }
 
 // Done returns a channel that is closed when the response (or failure) is
@@ -721,7 +824,7 @@ func Transient(err error) bool {
 func (c *Client) readLoop() {
 	var hdr [14]byte
 	for {
-		reqID, flags, _, _, payload, err := readFrame(c.conn, &hdr)
+		reqID, flags, _, _, payload, err := readFrame(&framePool, c.conn, &hdr)
 		if err != nil {
 			// Connection gone: mark the client dead so new Calls fail fast,
 			// then fail every pending call exactly once.
@@ -731,19 +834,24 @@ func (c *Client) readLoop() {
 		}
 		v, ok := c.pending.LoadAndDelete(reqID)
 		if !ok {
-			continue // cancelled or unknown request; drop the late response
+			// Cancelled or unknown request; drop the late response and
+			// recycle its buffer immediately — no waiter will.
+			payload.Release()
+			continue
 		}
 		f := v.(*Future)
-		c.BytesReceived.Add(int64(len(payload)))
-		metrics.WireBytesReceived.Inc(int64(len(payload)))
-		var res []byte
+		n := payload.Len()
+		c.BytesReceived.Add(int64(n))
+		metrics.WireBytesReceived.Inc(int64(n))
+		var res *mem.Buf
 		var rerr error
 		if flags == flagError {
-			rerr = &RemoteError{Msg: string(payload)}
+			rerr = &RemoteError{Msg: string(payload.Bytes())}
+			payload.Release()
 		} else {
 			res = payload
 		}
-		if d := c.lat.Delay(f.reqSize + len(payload)); d > 0 {
+		if d := c.lat.Delay(f.reqSize + n); d > 0 {
 			// The synthetic latency model charges both legs to the waiter,
 			// not the read loop, so other responses are not delayed.
 			go func() {
@@ -835,12 +943,22 @@ func (c *Client) Healthy() bool { return !c.closed.Load() && !c.dead.Load() }
 
 // SyncCall is Call followed by Wait.
 func (c *Client) SyncCall(m Method, payload []byte) ([]byte, error) {
-	return c.Call(m, payload).Wait()
+	return c.SyncCallCtx(context.Background(), m, payload)
 }
 
-// SyncCallCtx is CallCtx followed by WaitCtx.
+// SyncCallCtx is CallCtx followed by WaitCtx. The returned payload is an
+// ordinary heap copy: the convenience API stays release-free (the pooled
+// frame buffer is recycled here), and hot paths that care about the copy
+// hold the Future directly.
 func (c *Client) SyncCallCtx(ctx context.Context, m Method, payload []byte) ([]byte, error) {
-	return c.CallCtx(ctx, m, payload).WaitCtx(ctx)
+	f := c.CallCtx(ctx, m, payload)
+	p, err := f.WaitCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), p...)
+	f.Release()
+	return out, nil
 }
 
 // CallRetry issues the request up to p.MaxAttempts times with bounded

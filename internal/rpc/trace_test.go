@@ -20,7 +20,7 @@ func TestTraceContextFrameRoundTrip(t *testing.T) {
 	}
 
 	var hdr [14]byte
-	reqID, flags, method, got, pl, err := readFrame(bytes.NewReader(data), &hdr)
+	reqID, flags, method, got, pl, err := readFrame(&framePool, bytes.NewReader(data), &hdr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,22 +30,24 @@ func TestTraceContextFrameRoundTrip(t *testing.T) {
 	if got != sc {
 		t.Fatalf("trace context = %+v, want %+v", got, sc)
 	}
-	if !bytes.Equal(pl, payload) {
-		t.Fatalf("payload corrupted: %q", pl)
+	if !bytes.Equal(pl.Bytes(), payload) {
+		t.Fatalf("payload corrupted: %q", pl.Bytes())
 	}
+	pl.Release()
 
 	// Untraced frames carry no trace block: the legacy layout exactly.
 	plain := frameBytes(77, flagRequest, MethodGetNeighborInfos, obs.SpanContext{}, payload)
 	if want := 4 + 10 + len(payload); len(plain) != want {
 		t.Fatalf("plain frame is %d bytes, want %d", len(plain), want)
 	}
-	_, _, _, zero, _, err := readFrame(bytes.NewReader(plain), &hdr)
+	_, _, _, zero, plainPl, err := readFrame(&framePool, bytes.NewReader(plain), &hdr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if zero.Valid() {
 		t.Fatalf("plain frame produced trace context %+v", zero)
 	}
+	plainPl.Release()
 }
 
 // TestTracePropagationOverWire runs a real client/server pair and checks

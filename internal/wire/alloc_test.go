@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"testing"
+
+	"pprengine/internal/mem"
+)
+
+// Alloc-regression guards: the view decoders exist so the row-decode path
+// stops allocating per batch. These budgets keep future changes from
+// silently reintroducing per-row copies. The budgets are per decoded batch:
+// the NeighborInfos header itself plus nothing else once the arena is warm.
+
+func TestDecodeCSRViewAllocBudget(t *testing.T) {
+	if mem.RaceEnabled {
+		t.Skip("race instrumentation skews alloc counts")
+	}
+	enc := aligned(EncodeCSR(benchInfos()))
+	if !CanAlias(enc) {
+		t.Skip("host cannot alias")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeCSRView(enc, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation: the *NeighborInfos header. Every array aliases enc.
+	if allocs > 1 {
+		t.Fatalf("DecodeCSRView allocates %.1f objects per batch, budget 1", allocs)
+	}
+}
+
+func TestDecodeLoLViewAllocBudget(t *testing.T) {
+	if mem.RaceEnabled {
+		t.Skip("race instrumentation skews alloc counts")
+	}
+	enc := EncodeLoL(benchInfos())
+	var a mem.Arena
+	if _, err := DecodeLoLView(enc, &a); err != nil { // warm the slabs
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		a.Reset()
+		if _, err := DecodeLoLView(enc, &a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation: the *NeighborInfos header. Arrays come from the warm
+	// arena.
+	if allocs > 1 {
+		t.Fatalf("DecodeLoLView allocates %.1f objects per batch, budget 1", allocs)
+	}
+}
+
+// The copy decoders are the ablation baseline — assert they really do
+// allocate per batch, so the bench comparison keeps meaning something.
+func TestDecodeCSRCopyAllocates(t *testing.T) {
+	if mem.RaceEnabled {
+		t.Skip("race instrumentation skews alloc counts")
+	}
+	enc := EncodeCSR(benchInfos())
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := DecodeCSR(enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs < 6 {
+		t.Fatalf("DecodeCSR allocates %.1f objects, expected one per array", allocs)
+	}
+}

@@ -3,6 +3,8 @@ package wire
 import (
 	"encoding/binary"
 	"testing"
+
+	"pprengine/internal/mem"
 )
 
 // Every decoder in this package parses bytes that arrive off the network.
@@ -67,6 +69,56 @@ func FuzzDecodeLoL(f *testing.F) {
 			t.Fatalf("decoded LoL fails CSR invariants: %v", err)
 		}
 	})
+}
+
+// FuzzDecodeCSRView holds the view decoder to the copy decoder's verdict:
+// both accept or both reject, and on accept the decoded batches are
+// identical — whether the view aliased the payload or fell back to a copy.
+func FuzzDecodeCSRView(f *testing.F) {
+	for _, s := range corruptions(EncodeCSR(validInfos())) {
+		f.Add(s)
+	}
+	f.Add(EncodeCSR(&NeighborInfos{}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ref, refErr := DecodeCSR(data)
+		for _, b := range [][]byte{aligned(data), misalignedFuzz(data)} {
+			var a mem.Arena
+			v, err := DecodeCSRView(b, &a)
+			if (err == nil) != (refErr == nil) {
+				t.Fatalf("view err = %v, copy err = %v", err, refErr)
+			}
+			if err == nil {
+				checkInfosMatch(t, ref, v)
+			}
+		}
+	})
+}
+
+// FuzzDecodeLoLView does the same for the LoL pair.
+func FuzzDecodeLoLView(f *testing.F) {
+	for _, s := range corruptions(EncodeLoL(validInfos())) {
+		f.Add(s)
+	}
+	f.Add(EncodeLoL(&NeighborInfos{}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ref, refErr := DecodeLoL(data)
+		var a mem.Arena
+		v, err := DecodeLoLView(data, &a)
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("view err = %v, copy err = %v", err, refErr)
+		}
+		if err == nil {
+			checkInfosMatch(t, ref, v)
+		}
+	})
+}
+
+// misalignedFuzz is misaligned() tolerant of empty input.
+func misalignedFuzz(b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	return misaligned(b)
 }
 
 func FuzzDecodeIDList(f *testing.F) {

@@ -1,0 +1,266 @@
+// View-based decoders for the zero-copy hot path: where DecodeCSR/DecodeLoL
+// copy every array onto the heap, the *View variants alias the payload
+// in place (CSR, when the host layout allows it) or carve their arrays out
+// of a caller-supplied arena (LoL, and the CSR fallback). The returned
+// NeighborInfos is a *view*: it is valid only while the payload's buffer
+// is retained (see mem.Buf) or until the arena is reset.
+
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"pprengine/internal/mem"
+)
+
+// hostLittleEndian reports whether the host's native integer layout matches
+// the wire's little-endian encoding, which is what makes in-place aliasing
+// of int32/float32 arrays legal.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// CanAlias reports whether a decoder may reinterpret b's bytes in place as
+// 4-byte elements: the host must be little-endian and b 4-byte aligned.
+// Pooled frame buffers are allocator-aligned, and every array inside a CSR
+// payload starts at a multiple of 4, so the hot path aliases; odd inputs
+// (sub-slices, big-endian hosts) fall back to copying.
+func CanAlias(b []byte) bool {
+	if !hostLittleEndian {
+		return false
+	}
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%4 == 0
+}
+
+// aliasI32s reinterprets the first 4n bytes of b as an []int32 without
+// copying. The caller has bounds-checked b and established CanAlias.
+func aliasI32s(b []byte, n int) ([]int32, []byte) {
+	if n == 0 {
+		return []int32{}, b
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n), b[4*n:]
+}
+
+// aliasF32s is aliasI32s for float32.
+func aliasF32s(b []byte, n int) ([]float32, []byte) {
+	if n == 0 {
+		return []float32{}, b
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), n), b[4*n:]
+}
+
+// DecodeIDListView parses an EncodeIDList payload, aliasing the IDs in place
+// when the host allows it (the IDs start at payload offset 4, so a 4-aligned
+// payload keeps them aligned). The returned slice is a view: valid only
+// while the payload's buffer is. Hosts that cannot alias fall back to the
+// copying decoder.
+func DecodeIDListView(b []byte) ([]int32, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: short ID list")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if len(b)-4 != 4*n {
+		return DecodeIDList(b) // exact error messages live in one place
+	}
+	if !CanAlias(b[4:]) {
+		return DecodeIDList(b)
+	}
+	ids, _ := aliasI32s(b[4:], n)
+	return ids, nil
+}
+
+// arenaI32 allocates n int32s from a, or the heap when a is nil.
+func arenaI32(a *mem.Arena, n int) []int32 {
+	if a != nil {
+		return a.I32(n)
+	}
+	return make([]int32, n)
+}
+
+// arenaF32 allocates n float32s from a, or the heap when a is nil.
+func arenaF32(a *mem.Arena, n int) []float32 {
+	if a != nil {
+		return a.F32(n)
+	}
+	return make([]float32, n)
+}
+
+// copyI32s decodes n int32s from b into dst (len n), returning the rest.
+func copyI32s(dst []int32, b []byte) []byte {
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return b[4*len(dst):]
+}
+
+// copyF32s decodes n float32s from b into dst (len n), returning the rest.
+func copyF32s(dst []float32, b []byte) []byte {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return b[4*len(dst):]
+}
+
+// CSRSize returns the exact length of EncodeCSR(n)'s output.
+func CSRSize(n *NeighborInfos) int {
+	return 8 + 4*(len(n.Indptr)+len(n.Locals)+len(n.Shards)+
+		len(n.Weights)+len(n.WDegs)+len(n.RowWDeg))
+}
+
+// EncodeCSRTo appends EncodeCSR(n)'s encoding to dst and returns the
+// extended slice. With cap(dst) >= CSRSize(n) (e.g. a pooled buffer sized
+// by CSRSize) no allocation happens and the result shares dst's backing
+// array.
+func EncodeCSRTo(dst []byte, n *NeighborInfos) []byte {
+	rows := n.NumRows()
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(rows))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(n.Locals)))
+	dst = putI32s(dst, n.Indptr)
+	dst = putI32s(dst, n.Locals)
+	dst = putI32s(dst, n.Shards)
+	dst = putF32s(dst, n.Weights)
+	dst = putF32s(dst, n.WDegs)
+	dst = putF32s(dst, n.RowWDeg)
+	return dst
+}
+
+// DecodeCSRView parses an EncodeCSR payload without copying when possible:
+// on a little-endian host with an aligned payload the returned arrays alias
+// b directly; otherwise they are decoded into a (or the heap when a is
+// nil). Either way the result is a view — valid only while b's buffer is
+// retained and a is not reset.
+func DecodeCSRView(b []byte, a *mem.Arena) (*NeighborInfos, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("wire: short CSR header")
+	}
+	rows := int(binary.LittleEndian.Uint32(b))
+	entries := int(binary.LittleEndian.Uint32(b[4:]))
+	rest := b[8:]
+	indptrLen := 0
+	if rows > 0 {
+		indptrLen = rows + 1
+	}
+	need := 4 * (indptrLen + 4*entries + rows)
+	if len(rest) < need {
+		return nil, fmt.Errorf("wire: short buffer for %d int32s", indptrLen)
+	}
+	if len(rest) > need {
+		return nil, fmt.Errorf("wire: %d trailing bytes in CSR payload", len(rest)-need)
+	}
+	n := &NeighborInfos{}
+	if CanAlias(b) {
+		if rows > 0 {
+			n.Indptr, rest = aliasI32s(rest, indptrLen)
+		} else {
+			n.Indptr = []int32{}
+		}
+		n.Locals, rest = aliasI32s(rest, entries)
+		n.Shards, rest = aliasI32s(rest, entries)
+		n.Weights, rest = aliasF32s(rest, entries)
+		n.WDegs, rest = aliasF32s(rest, entries)
+		n.RowWDeg, _ = aliasF32s(rest, rows)
+	} else {
+		if rows > 0 {
+			n.Indptr = arenaI32(a, indptrLen)
+			rest = copyI32s(n.Indptr, rest)
+		} else {
+			n.Indptr = []int32{}
+		}
+		n.Locals = arenaI32(a, entries)
+		rest = copyI32s(n.Locals, rest)
+		n.Shards = arenaI32(a, entries)
+		rest = copyI32s(n.Shards, rest)
+		n.Weights = arenaF32(a, entries)
+		rest = copyF32s(n.Weights, rest)
+		n.WDegs = arenaF32(a, entries)
+		rest = copyF32s(n.WDegs, rest)
+		n.RowWDeg = arenaF32(a, rows)
+		copyF32s(n.RowWDeg, rest)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// DecodeLoLView parses an EncodeLoL payload into a NeighborInfos whose
+// arrays are carved from a (or the heap when a is nil). The interleaved
+// list-of-lists layout can never be aliased in place, but a two-pass decode
+// sizes every array exactly, so a warm arena makes the steady state
+// allocation-free where DecodeLoL reallocates per batch. The result is a
+// view into a: valid only until the arena is reset.
+func DecodeLoLView(b []byte, a *mem.Arena) (*NeighborInfos, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: short LoL header")
+	}
+	rows := int(binary.LittleEndian.Uint32(b))
+	body := b[4:]
+
+	// Pass 1: validate the row structure and count total entries, committing
+	// no memory for an untrusted header's claims.
+	entries := 0
+	rest := body
+	for i := 0; i < rows; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("wire: truncated LoL row %d", i)
+		}
+		rest = rest[4:]
+		deg := 0
+		for t := 0; t < 4; t++ {
+			d, r2, err := readTensorHeader(rest)
+			if err != nil {
+				return nil, err
+			}
+			if t == 0 {
+				deg = d
+			} else if d != deg {
+				return nil, fmt.Errorf("wire: LoL row %d tensor count mismatch", i)
+			}
+			if len(r2) < 4*deg {
+				return nil, fmt.Errorf("wire: short buffer for %d int32s", deg)
+			}
+			rest = r2[4*deg:]
+		}
+		entries += deg
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in LoL payload", len(rest))
+	}
+
+	// Pass 2: exact-size allocation, then a straight fill. The structure was
+	// validated above, so this walk cannot fail.
+	n := &NeighborInfos{
+		Locals:  arenaI32(a, entries),
+		Shards:  arenaI32(a, entries),
+		Weights: arenaF32(a, entries),
+		WDegs:   arenaF32(a, entries),
+		RowWDeg: arenaF32(a, rows),
+	}
+	if rows > 0 {
+		n.Indptr = arenaI32(a, rows+1)
+	} else {
+		n.Indptr = []int32{}
+	}
+	rest = body
+	off := 0
+	for i := 0; i < rows; i++ {
+		n.RowWDeg[i] = math.Float32frombits(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		var deg int
+		deg, rest, _ = readTensorHeader(rest)
+		rest = copyI32s(n.Locals[off:off+deg], rest)
+		_, rest, _ = readTensorHeader(rest)
+		rest = copyI32s(n.Shards[off:off+deg], rest)
+		_, rest, _ = readTensorHeader(rest)
+		rest = copyF32s(n.Weights[off:off+deg], rest)
+		_, rest, _ = readTensorHeader(rest)
+		rest = copyF32s(n.WDegs[off:off+deg], rest)
+		off += deg
+		n.Indptr[i+1] = int32(off)
+	}
+	return n, nil
+}

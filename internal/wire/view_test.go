@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"pprengine/internal/mem"
+)
+
+// checkInfosMatch compares two batches by content. Unlike assertEqualInfos
+// it treats nil and empty slices as equal: the view decoders return empty
+// (possibly arena-backed) slices where the copy decoders return nil.
+func checkInfosMatch(t *testing.T, want, got *NeighborInfos) {
+	t.Helper()
+	if want.NumRows() != got.NumRows() {
+		t.Fatalf("rows %d vs %d", want.NumRows(), got.NumRows())
+	}
+	if !slices.Equal(want.Indptr, got.Indptr) {
+		t.Fatalf("indptr %v vs %v", want.Indptr, got.Indptr)
+	}
+	if !slices.Equal(want.Locals, got.Locals) || !slices.Equal(want.Shards, got.Shards) {
+		t.Fatal("ids differ")
+	}
+	if !slices.Equal(want.Weights, got.Weights) || !slices.Equal(want.WDegs, got.WDegs) {
+		t.Fatal("weights differ")
+	}
+	if !slices.Equal(want.RowWDeg, got.RowWDeg) {
+		t.Fatalf("row wdeg %v vs %v", want.RowWDeg, got.RowWDeg)
+	}
+}
+
+// aligned returns a copy of b whose base address is 4-byte aligned.
+func aligned(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// misaligned returns a copy of b that CanAlias rejects (on a little-endian
+// host: a 4-byte-misaligned base; on big-endian any copy qualifies).
+func misaligned(b []byte) []byte {
+	raw := make([]byte, len(b)+4)
+	for off := 0; off < 4; off++ {
+		s := raw[off : off+len(b)]
+		if !CanAlias(s) {
+			copy(s, b)
+			return s
+		}
+	}
+	panic("could not construct a buffer CanAlias rejects")
+}
+
+func TestCSRSizeMatchesEncode(t *testing.T) {
+	for _, n := range []*NeighborInfos{sampleInfos(), {}} {
+		if got, want := CSRSize(n), len(EncodeCSR(n)); got != want {
+			t.Fatalf("CSRSize = %d, EncodeCSR len = %d", got, want)
+		}
+	}
+}
+
+func TestEncodeCSRTo(t *testing.T) {
+	n := sampleInfos()
+	want := EncodeCSR(n)
+	dst := make([]byte, 0, CSRSize(n))
+	out := EncodeCSRTo(dst, n)
+	if len(out) != len(want) {
+		t.Fatalf("len %d vs %d", len(out), len(want))
+	}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("EncodeCSRTo reallocated despite sufficient capacity")
+	}
+}
+
+func TestDecodeCSRViewAliased(t *testing.T) {
+	n := sampleInfos()
+	b := aligned(EncodeCSR(n))
+	got, err := DecodeCSRView(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInfosMatch(t, n, got)
+	if !CanAlias(b) {
+		t.Skip("host cannot alias")
+	}
+	// The view must alias the payload: mutating the payload shows through.
+	b[8] ^= 0xFF // first Indptr byte
+	if got.Indptr[0] == 0 {
+		t.Fatal("aliased view did not observe payload mutation")
+	}
+}
+
+func TestDecodeCSRViewMisalignedFallsBack(t *testing.T) {
+	n := sampleInfos()
+	b := misaligned(EncodeCSR(n))
+	var a mem.Arena
+	got, err := DecodeCSRView(b, &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInfosMatch(t, n, got)
+	// The fallback copies: payload mutation must NOT show through.
+	b[8] ^= 0xFF
+	if got.Indptr[0] != 0 {
+		t.Fatal("copy-fallback view aliases the payload")
+	}
+}
+
+func TestDecodeCSRViewEmpty(t *testing.T) {
+	got, err := DecodeCSRView(aligned(EncodeCSR(&NeighborInfos{})), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+}
+
+func TestDecodeCSRViewCorruption(t *testing.T) {
+	n := sampleInfos()
+	good := aligned(EncodeCSR(n))
+	cases := [][]byte{
+		good[:4],               // short header
+		good[:len(good)-3],     // truncated arrays
+		append(aligned(good), 0, 0, 0, 0), // trailing bytes
+	}
+	for i, b := range cases {
+		if _, err := DecodeCSRView(b, nil); err == nil {
+			t.Fatalf("case %d: corrupt payload decoded", i)
+		}
+	}
+	// Non-monotone indptr must fail Validate.
+	bad := aligned(EncodeCSR(n))
+	copy(bad[8:], []byte{5, 0, 0, 0}) // Indptr[0] = 5
+	if _, err := DecodeCSRView(bad, nil); err == nil {
+		t.Fatal("invalid CSR passed Validate")
+	}
+}
+
+func TestDecodeLoLView(t *testing.T) {
+	n := sampleInfos()
+	var a mem.Arena
+	got, err := DecodeLoLView(EncodeLoL(n), &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInfosMatch(t, n, got)
+
+	// Heap fallback (nil arena) works too.
+	got2, err := DecodeLoLView(EncodeLoL(n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInfosMatch(t, n, got2)
+
+	// Empty batch.
+	if got3, err := DecodeLoLView(EncodeLoL(&NeighborInfos{}), &a); err != nil || got3.NumRows() != 0 {
+		t.Fatalf("empty: %v rows=%d", err, got3.NumRows())
+	}
+}
+
+func TestDecodeLoLViewCorruption(t *testing.T) {
+	n := sampleInfos()
+	good := EncodeLoL(n)
+	for i, b := range [][]byte{
+		good[:2],           // short header
+		good[:len(good)-2], // truncated last array
+		append(append([]byte{}, good...), 7), // trailing byte
+	} {
+		if _, err := DecodeLoLView(b, nil); err == nil {
+			t.Fatalf("case %d: corrupt LoL decoded", i)
+		}
+	}
+	// Mismatched tensor headers within a row.
+	bad := append([]byte{}, good...)
+	// Row 0 starts at offset 4: rowwdeg(4) + header(16). The second tensor
+	// header begins after the first array (2 entries): 4+4+16+8 = 32.
+	bad[32]++ // bump shard tensor count
+	if _, err := DecodeLoLView(bad, nil); err == nil {
+		t.Fatal("mismatched tensor headers decoded")
+	}
+}
+
+// TestViewMatchesCopyDecodersRandom cross-checks the view decoders against
+// the copy decoders on random batches.
+func TestViewMatchesCopyDecodersRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a mem.Arena
+	for trial := 0; trial < 50; trial++ {
+		rows := rng.Intn(8)
+		n := &NeighborInfos{Indptr: make([]int32, rows+1)}
+		if rows == 0 {
+			n.Indptr = []int32{}
+		}
+		for i := 0; i < rows; i++ {
+			deg := rng.Intn(5)
+			for d := 0; d < deg; d++ {
+				n.Locals = append(n.Locals, rng.Int31n(100))
+				n.Shards = append(n.Shards, rng.Int31n(4))
+				n.Weights = append(n.Weights, rng.Float32())
+				n.WDegs = append(n.WDegs, rng.Float32()*10)
+			}
+			n.Indptr[i+1] = int32(len(n.Locals))
+			n.RowWDeg = append(n.RowWDeg, rng.Float32()*10)
+		}
+		a.Reset()
+		fromCSR, err := DecodeCSRView(aligned(EncodeCSR(n)), &a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkInfosMatch(t, n, fromCSR)
+		fromLoL, err := DecodeLoLView(EncodeLoL(n), &a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkInfosMatch(t, n, fromLoL)
+	}
+}
+
+// TestPoisonedBufferNotObservableThroughView: once every reference to a
+// pooled payload is released, a correctly-lifecycled consumer has already
+// copied what it needs; this test proves the *converse* — a view read after
+// release observes poison, never stale-but-plausible data.
+func TestPoisonedBufferNotObservableThroughView(t *testing.T) {
+	mem.SetPoison(true)
+	defer mem.SetPoison(false)
+	var p mem.Pool
+	n := sampleInfos()
+	enc := EncodeCSR(n)
+	buf := p.Get(len(enc))
+	copy(buf.Bytes(), enc)
+	v, err := DecodeCSRView(buf.Bytes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CanAlias(buf.Bytes()) {
+		t.Skip("host cannot alias")
+	}
+	locals0 := v.Locals[0]
+	buf.Release()
+	if v.Locals[0] == locals0 {
+		t.Fatal("view still shows pre-release data after Release with poison on")
+	}
+}
+
+func BenchmarkDecodeCSR(b *testing.B) {
+	enc := aligned(EncodeCSR(benchInfos()))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeCSR(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeCSRView(b *testing.B) {
+	enc := aligned(EncodeCSR(benchInfos()))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeCSRView(enc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeLoL(b *testing.B) {
+	enc := EncodeLoL(benchInfos())
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeLoL(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeLoLView(b *testing.B) {
+	enc := EncodeLoL(benchInfos())
+	var a mem.Arena
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	for i := 0; i < b.N; i++ {
+		a.Reset()
+		if _, err := DecodeLoLView(enc, &a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchInfos builds a 64-row batch with degree 16 — a realistic remote
+// fetch for the benchmarks above.
+func benchInfos() *NeighborInfos {
+	const rows, deg = 64, 16
+	n := &NeighborInfos{Indptr: make([]int32, rows+1)}
+	for i := 0; i < rows; i++ {
+		for d := 0; d < deg; d++ {
+			n.Locals = append(n.Locals, int32(i*deg+d))
+			n.Shards = append(n.Shards, int32(d%4))
+			n.Weights = append(n.Weights, float32(d)+0.5)
+			n.WDegs = append(n.WDegs, float32(d)+1)
+		}
+		n.Indptr[i+1] = int32(len(n.Locals))
+		n.RowWDeg = append(n.RowWDeg, float32(i)+1)
+	}
+	return n
+}
