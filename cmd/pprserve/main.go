@@ -41,6 +41,7 @@ import (
 
 	"pprengine/internal/core"
 	"pprengine/internal/deploy"
+	"pprengine/internal/gnn"
 	"pprengine/internal/ha"
 	"pprengine/internal/obs"
 	"pprengine/internal/rpc"
@@ -58,6 +59,13 @@ func main() {
 		aggWindow    = flag.Duration("agg-window", 0, "flush window for cross-query RPC fetch aggregation of served queries (0 = disabled unless -agg-rows is set)")
 		aggRows      = flag.Int("agg-rows", 0, "row cap per aggregated request; setting it also enables aggregation (0 = disabled unless -agg-window is set)")
 		zeroCopy     = flag.Bool("zerocopy", true, "serve queries over the zero-copy fetch path: pooled RPC buffers, view decoders, single decode per remote row (false = copy-decode every response)")
+		featureDim   = flag.Int("feature-dim", 0, "synthesize a per-vertex feature block of this dimension and serve MethodFetchFeatures plus the /infer endpoint (0 = no feature tier)")
+		numClasses   = flag.Int("num-classes", 4, "label/logit classes for the feature tier")
+		hidden       = flag.Int("hidden", 32, "GraphSAGE hidden width for /infer")
+		topK         = flag.Int("topk", 128, "top-K subgraph size per inference")
+		modelSeed    = flag.Int64("model-seed", 1, "seed for the synthetic features and model weights (must match across machines)")
+		featCacheB   = flag.Int64("feat-cache-bytes", 0, "byte budget for the remote feature-row cache used by inference (0 = disabled)")
+		featAdmit    = flag.Float64("feat-admit-mass", 0, "minimum PPR mass for a fetched feature row to be cached (0 = admit all)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline: how long to wait for in-flight requests after SIGTERM/SIGINT")
 		replicas     = flag.Int("replicas", 0, "expected serving addresses per remote shard in -peers (0 = accept whatever is listed)")
 		probeIvl     = flag.Duration("probe-interval", 0, "health-ping interval per peer when -peers lists replicas (0 = default 500ms)")
@@ -90,6 +98,20 @@ func main() {
 	srv.AttachTracer(tracer)
 	logger.Info("serving shard",
 		"shard", srv.Shard.ShardID, "core_nodes", srv.Shard.NumCore(), "addr", addr)
+
+	// Feature tier: synthesize this shard's feature block deterministically
+	// from (model-seed, shard ID) — every machine running the same flags
+	// derives consistent features, and replicas of a shard serve bitwise-
+	// identical rows. Real deployments would load the block from disk here.
+	var feats []float32
+	if *featureDim > 0 {
+		feats = gnn.MakeFeatures(srv.Shard, *featureDim, *numClasses, *modelSeed+int64(srv.Shard.ShardID))
+		if err := srv.AttachFeatures(*featureDim, feats); err != nil {
+			logger.Error("feature attach failed", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("feature tier enabled", "dim", *featureDim, "classes", *numClasses)
+	}
 
 	var admin *obs.Admin
 	if *adminAddr != "" {
@@ -131,12 +153,15 @@ func main() {
 		cfg.AggWindow = *aggWindow
 		cfg.AggRows = *aggRows
 		cfg.ZeroCopy = *zeroCopy
+		cfg.FeatCacheBytes = *featCacheB
+		cfg.FeatAdmitMass = *featAdmit
 		ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
+		var compute *core.DistGraphStorage
 		var cleanup func()
 		if deploy.Replicated(peers) {
 			haOpts := ha.Options{ProbeInterval: *probeIvl, BreakerThreshold: *breakerThr}
 			var router *ha.ReplicaRouter
-			router, cleanup, err = deploy.EnableQueriesHA(ctx, srv, peers, cfg, haOpts, rpc.LatencyModel{})
+			compute, router, cleanup, err = deploy.EnableQueriesHA(ctx, srv, peers, cfg, haOpts, rpc.LatencyModel{})
 			if err == nil && admin != nil {
 				// A remote shard with every serving copy's breaker open means
 				// queries touching it will fail: report not-ready so traffic
@@ -144,7 +169,7 @@ func main() {
 				admin.AddCheck("breakers", router.ReadyCheck)
 			}
 		} else {
-			cleanup, err = deploy.EnableQueries(ctx, srv, deploy.PrimaryPeers(peers), cfg, rpc.LatencyModel{})
+			compute, cleanup, err = deploy.EnableQueries(ctx, srv, deploy.PrimaryPeers(peers), cfg, rpc.LatencyModel{})
 		}
 		cancel()
 		if err != nil {
@@ -153,6 +178,26 @@ func main() {
 		}
 		defer cleanup()
 		logger.Info("query service enabled", "peers", deploy.FormatReplicaPeers(peers))
+
+		if *featureDim > 0 {
+			// End-to-end serving (§4.5): SSPPR → top-K subgraph + feature
+			// slice → GraphSAGE forward. The model is derived from the shared
+			// seed, so every owner serves the same network.
+			compute.AttachLocalFeatures(*featureDim, feats)
+			svc := &gnn.InferService{
+				G:          compute,
+				Model:      gnn.NewSAGE(*featureDim, *hidden, *numClasses, *modelSeed),
+				TopK:       *topK,
+				NumClasses: *numClasses,
+				PPR:        cfg,
+			}
+			if admin != nil {
+				svc.Latency = admin.Registry().Histogram("ppr_infer_seconds",
+					"End-to-end wall time of served GNN inferences.", nil, obs.DefBuckets)
+				admin.Handle("/infer", svc.Handler())
+				logger.Info("inference endpoint enabled", "path", "/infer", "topk", *topK)
+			}
+		}
 	}
 	if admin != nil {
 		admin.SetReady(true)

@@ -66,7 +66,7 @@ func main() {
 	}
 	// Enable the owner-compute query service on each.
 	for _, srv := range servers {
-		cleanup, err := deploy.EnableQueries(context.Background(), srv, owners, core.DefaultConfig(), rpc.LatencyModel{})
+		_, cleanup, err := deploy.EnableQueries(context.Background(), srv, owners, core.DefaultConfig(), rpc.LatencyModel{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,266 @@
+package agg
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pprengine/internal/metrics"
+	"pprengine/internal/obs"
+	"pprengine/internal/rpc"
+	"pprengine/internal/wire"
+)
+
+// FeatTicket is one enqueued feature fetch's handle on its share of a
+// flush: rows [off, off+len(locals)) of the merged flat feature response.
+type FeatTicket struct {
+	locals []int32
+	done   chan struct{}
+
+	// Resolved by the flush completion, published by closing done. feats is
+	// this ticket's own row range ([Rows() x dim], row-major) — unlike the
+	// CSR ticket there is no offset to apply.
+	feats []float32
+	dim   int
+	err   error
+
+	// Wire accounting, attributed to the ticket that opened the flush.
+	wireReqs  int64
+	wireBytes int64
+
+	sc obs.SpanContext
+
+	// share refcounts the flush's pooled response payload when the decode
+	// aliased it; nil when the rows were copied out.
+	share    *flushShare
+	released atomic.Bool
+}
+
+// Rows returns the number of feature rows this ticket requested.
+func (t *FeatTicket) Rows() int { return len(t.locals) }
+
+// Done returns a channel closed when the ticket's flush has resolved.
+func (t *FeatTicket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the ticket resolves or ctx ends, returning this
+// ticket's row range of the merged response plus the feature dimension.
+// Abandoning a Wait detaches only this waiter.
+func (t *FeatTicket) Wait(ctx context.Context) (feats []float32, dim int, err error) {
+	select {
+	case <-t.done:
+		return t.feats, t.dim, t.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// Result returns the resolved rows, dimension and error. It must only be
+// called after Done() closed.
+func (t *FeatTicket) Result() (feats []float32, dim int, err error) {
+	return t.feats, t.dim, t.err
+}
+
+// Release returns this ticket's share of the flush's decoded response. With
+// ZeroCopy the rows alias the pooled response payload, so the caller must
+// not touch the slice returned by Wait/Result after Release; the last
+// ticket's Release returns the payload to its pool. Idempotent, nil-safe,
+// and a no-op before the ticket resolves.
+func (t *FeatTicket) Release() {
+	if t == nil {
+		return
+	}
+	select {
+	case <-t.done:
+	default:
+		return
+	}
+	if t.released.CompareAndSwap(false, true) {
+		t.share.release()
+	}
+}
+
+// Accounting returns the wire requests and request bytes attributed to this
+// ticket (non-zero only for the flush opener; zeros before resolution).
+func (t *FeatTicket) Accounting() (requests, bytes int64) {
+	select {
+	case <-t.done:
+		return t.wireReqs, t.wireBytes
+	default:
+		return 0, 0
+	}
+}
+
+// FeatureAggregator coalesces concurrent FetchFeatures calls bound for one
+// destination shard into merged MethodFetchFeatures requests, exactly as
+// Aggregator does for neighbor fetches: same flush triggers (idle /
+// window / row cap), same shared-machine-state contract, same opener-charged
+// wire accounting. The response is a flat [total rows x dim] block, so the
+// demux is a plain row-range slice per ticket instead of a CSR offset.
+type FeatureAggregator struct {
+	tr   Transport
+	opts Options
+
+	mu       sync.Mutex
+	pending  []*FeatTicket
+	rows     int
+	inFlight int
+	timer    *time.Timer
+	gen      uint64
+
+	flushes    atomic.Int64
+	flushedRow atomic.Int64
+	tickets    atomic.Int64
+	shared     atomic.Int64
+}
+
+// NewFeature returns a feature aggregator flushing over c. A nil client
+// yields a nil aggregator (the disabled value).
+func NewFeature(c *rpc.Client, opts Options) *FeatureAggregator {
+	if c == nil {
+		return nil
+	}
+	return NewFeatureTransport(clientTransport{c}, opts)
+}
+
+// NewFeatureTransport returns a feature aggregator over an arbitrary
+// transport (the replication layer routes flushes this way). A nil
+// transport yields a nil aggregator.
+func NewFeatureTransport(tr Transport, opts Options) *FeatureAggregator {
+	if tr == nil {
+		return nil
+	}
+	return &FeatureAggregator{tr: tr, opts: opts}
+}
+
+// EnqueueTraced adds a feature fetch for locals to the pending batch and
+// returns its ticket. Flush scheduling follows the package rules: a flush
+// is shared machine state issued without any per-query context.
+func (a *FeatureAggregator) EnqueueTraced(sc obs.SpanContext, locals []int32) *FeatTicket {
+	t := &FeatTicket{locals: locals, done: make(chan struct{}), sc: sc}
+	if len(locals) == 0 {
+		t.feats = []float32{}
+		close(t.done)
+		return t
+	}
+	a.tickets.Add(1)
+	a.mu.Lock()
+	opened := len(a.pending) == 0
+	a.pending = append(a.pending, t)
+	a.rows += len(locals)
+	switch {
+	case a.inFlight == 0 && opened:
+		a.flushLocked()
+	case a.rows >= a.opts.maxRows():
+		a.flushLocked()
+	case a.timer == nil:
+		gen := a.gen
+		a.timer = time.AfterFunc(a.opts.window(), func() { a.timedFlush(gen) })
+	}
+	a.mu.Unlock()
+	return t
+}
+
+func (a *FeatureAggregator) timedFlush(gen uint64) {
+	a.mu.Lock()
+	if a.gen == gen && len(a.pending) > 0 {
+		a.flushLocked()
+	}
+	a.mu.Unlock()
+}
+
+// flushLocked sends the pending batch as one wire request. Caller holds a.mu.
+func (a *FeatureAggregator) flushLocked() {
+	batch := a.pending
+	a.pending = nil
+	rows := a.rows
+	a.rows = 0
+	a.gen++
+	if a.timer != nil {
+		a.timer.Stop()
+		a.timer = nil
+	}
+	if len(batch) == 0 {
+		return
+	}
+	ids := make([]int32, 0, rows)
+	for _, t := range batch {
+		ids = append(ids, t.locals...)
+	}
+	payload := wire.EncodeIDList(ids)
+	batch[0].wireReqs = 1
+	batch[0].wireBytes = int64(len(payload))
+	a.inFlight++
+	a.flushes.Add(1)
+	a.flushedRow.Add(int64(rows))
+	metrics.FeatAggFlushes.Inc(1)
+	metrics.FeatAggRows.Inc(int64(rows))
+	if len(batch) > 1 {
+		a.shared.Add(int64(len(batch)))
+		metrics.FeatAggShared.Inc(int64(len(batch)))
+	}
+	span := a.opts.Tracer.StartSpan(batch[0].sc, "featagg:flush")
+	sc := batch[0].sc
+	if c := span.Context(); c.Valid() {
+		sc = c
+	}
+	fut := a.tr.Call(sc, rpc.MethodFetchFeatures, payload)
+	go a.complete(fut, span, batch, rows)
+}
+
+// complete resolves one flush: decode once, slice each ticket's row range,
+// release every ticket.
+func (a *FeatureAggregator) complete(fut Response, span obs.ActiveSpan, batch []*FeatTicket, rows int) {
+	payload, err := fut.Wait()
+	var feats []float32
+	dim := 0
+	aliased := false
+	if err == nil {
+		if a.opts.ZeroCopy {
+			aliased = wire.CanAlias(payload)
+			dim, feats, err = wire.DecodeFeatureResponseView(payload)
+		} else {
+			dim, feats, err = wire.DecodeFeatureResponse(payload)
+		}
+	}
+	if err == nil && (dim <= 0 || len(feats) != rows*dim) {
+		err = fmt.Errorf("agg: merged feature fetch returned %d floats at dim %d, want %d rows", len(feats), dim, rows)
+	}
+	var share *flushShare
+	if err == nil && aliased {
+		share = &flushShare{rel: fut.Release}
+		share.refs.Store(int64(len(batch)))
+	} else {
+		fut.Release()
+	}
+	span.SetErr(err != nil)
+	span.End()
+	off := 0
+	for _, t := range batch {
+		if err == nil {
+			t.feats = feats[off*dim : (off+len(t.locals))*dim]
+			t.dim = dim
+		}
+		t.err, t.share = err, share
+		off += len(t.locals)
+		close(t.done)
+	}
+	a.mu.Lock()
+	a.inFlight--
+	a.mu.Unlock()
+}
+
+// Stats returns a snapshot of the aggregator's counters (the same shape as
+// the neighbor-fetch aggregator's). A nil aggregator reports zeros.
+func (a *FeatureAggregator) Stats() Stats {
+	if a == nil {
+		return Stats{}
+	}
+	return Stats{
+		Flushes: a.flushes.Load(),
+		Rows:    a.flushedRow.Load(),
+		Tickets: a.tickets.Load(),
+		Shared:  a.shared.Load(),
+	}
+}

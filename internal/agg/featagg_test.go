@@ -1,0 +1,197 @@
+package agg
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pprengine/internal/obs"
+	"pprengine/internal/rpc"
+	"pprengine/internal/wire"
+)
+
+// featFakeTransport answers merged MethodFetchFeatures requests in-process:
+// row for local id v is [v, v+0.25, v+0.5, ...] at the configured dim, so a
+// test can verify each ticket got exactly its own row range of the merged
+// response. A non-nil gate holds every response until the gate closes,
+// letting tests force tickets to pile into one flush.
+type featFakeTransport struct {
+	dim   int
+	gate  chan struct{}
+	calls atomic.Int64
+	fail  error
+	// short truncates responses to this many rows (0 = answer fully), to
+	// exercise the row-count validation.
+	short int
+}
+
+type featFakeResponse struct {
+	tr      *featFakeTransport
+	payload []byte
+}
+
+func (r *featFakeResponse) Wait() ([]byte, error) {
+	if r.tr.gate != nil {
+		<-r.tr.gate
+	}
+	if r.tr.fail != nil {
+		return nil, r.tr.fail
+	}
+	ids, err := wire.DecodeIDList(r.payload)
+	if err != nil {
+		return nil, err
+	}
+	if r.tr.short > 0 && len(ids) > r.tr.short {
+		ids = ids[:r.tr.short]
+	}
+	feats := make([]float32, 0, len(ids)*r.tr.dim)
+	for _, v := range ids {
+		for j := 0; j < r.tr.dim; j++ {
+			feats = append(feats, float32(v)+float32(j)*0.25)
+		}
+	}
+	return wire.EncodeFeatureResponse(r.tr.dim, feats), nil
+}
+
+func (r *featFakeResponse) Release() {}
+
+func (t *featFakeTransport) Call(sc obs.SpanContext, m rpc.Method, payload []byte) Response {
+	if m != rpc.MethodFetchFeatures {
+		panic("unexpected method")
+	}
+	t.calls.Add(1)
+	return &featFakeResponse{tr: t, payload: payload}
+}
+
+func wantTicketRows(t *testing.T, tk *FeatTicket, locals []int32, dim int) {
+	t.Helper()
+	feats, d, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != dim || len(feats) != len(locals)*dim {
+		t.Fatalf("ticket got %d floats at dim %d, want %d rows x %d", len(feats), d, len(locals), dim)
+	}
+	for i, v := range locals {
+		for j := 0; j < dim; j++ {
+			want := float32(v) + float32(j)*0.25
+			if feats[i*dim+j] != want {
+				t.Fatalf("row %d (local %d) col %d = %v, want %v", i, v, j, feats[i*dim+j], want)
+			}
+		}
+	}
+}
+
+func TestFeatureAggregatorMergesAndDemuxes(t *testing.T) {
+	tr := &featFakeTransport{dim: 4, gate: make(chan struct{})}
+	a := NewFeatureTransport(tr, Options{Window: time.Hour, MaxRows: 4})
+
+	// The first enqueue opens a flush immediately; the gate keeps it in
+	// flight so the next two tickets batch together behind it, and the row
+	// cap (not the hour-long window) issues the merged flush — every
+	// trigger in this test is deterministic.
+	t1 := a.EnqueueTraced(obs.SpanContext{}, []int32{10, 11})
+	t2 := a.EnqueueTraced(obs.SpanContext{}, []int32{20})
+	t3 := a.EnqueueTraced(obs.SpanContext{}, []int32{30, 31, 32})
+	close(tr.gate)
+
+	wantTicketRows(t, t1, []int32{10, 11}, 4)
+	wantTicketRows(t, t2, []int32{20}, 4)
+	wantTicketRows(t, t3, []int32{30, 31, 32}, 4)
+	t1.Release()
+	t2.Release()
+	t3.Release()
+
+	if got := tr.calls.Load(); got != 2 {
+		t.Fatalf("wire calls = %d, want 2 (t1 alone, then t2+t3 merged)", got)
+	}
+	st := a.Stats()
+	if st.Flushes != 2 || st.Rows != 6 || st.Tickets != 3 || st.Shared != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Wire accounting lands on each flush's opener, never on the riders.
+	if reqs, bytes := t1.Accounting(); reqs != 1 || bytes == 0 {
+		t.Fatalf("t1 accounting = %d, %d", reqs, bytes)
+	}
+	if reqs, _ := t2.Accounting(); reqs != 1 {
+		t.Fatalf("t2 opened the merged flush, accounting = %d", reqs)
+	}
+	if reqs, _ := t3.Accounting(); reqs != 0 {
+		t.Fatalf("t3 rode a flush but was charged %d requests", reqs)
+	}
+}
+
+func TestFeatureAggregatorEmptyTicket(t *testing.T) {
+	tr := &featFakeTransport{dim: 4}
+	a := NewFeatureTransport(tr, Options{Window: time.Millisecond})
+	tk := a.EnqueueTraced(obs.SpanContext{}, nil)
+	select {
+	case <-tk.Done():
+	default:
+		t.Fatal("empty ticket not resolved immediately")
+	}
+	feats, _, err := tk.Result()
+	if err != nil || len(feats) != 0 {
+		t.Fatalf("empty ticket result = %v, %v", feats, err)
+	}
+	if tr.calls.Load() != 0 {
+		t.Fatal("empty ticket reached the wire")
+	}
+}
+
+func TestFeatureAggregatorErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	tr := &featFakeTransport{dim: 4, fail: boom, gate: make(chan struct{})}
+	a := NewFeatureTransport(tr, Options{Window: time.Millisecond})
+	t1 := a.EnqueueTraced(obs.SpanContext{}, []int32{1})
+	t2 := a.EnqueueTraced(obs.SpanContext{}, []int32{2})
+	close(tr.gate)
+	if _, _, err := t1.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("t1 err = %v", err)
+	}
+	if _, _, err := t2.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("t2 err = %v", err)
+	}
+}
+
+func TestFeatureAggregatorValidatesRowCount(t *testing.T) {
+	// The peer answers fewer rows than the merged request asked for: the
+	// flush must fail instead of mis-slicing row ranges across tickets.
+	tr := &featFakeTransport{dim: 4, short: 1}
+	a := NewFeatureTransport(tr, Options{Window: time.Millisecond})
+	tk := a.EnqueueTraced(obs.SpanContext{}, []int32{1, 2, 3})
+	if _, _, err := tk.Wait(context.Background()); err == nil {
+		t.Fatal("short response was not rejected")
+	}
+}
+
+func TestFeatureAggregatorMaxRowsFlush(t *testing.T) {
+	tr := &featFakeTransport{dim: 2, gate: make(chan struct{})}
+	a := NewFeatureTransport(tr, Options{Window: time.Hour, MaxRows: 3})
+	t1 := a.EnqueueTraced(obs.SpanContext{}, []int32{1}) // opens flush 1
+	// Flush 1 is gated in flight and the window is effectively infinite:
+	// only the row cap can trigger the second flush.
+	t2 := a.EnqueueTraced(obs.SpanContext{}, []int32{2})
+	t3 := a.EnqueueTraced(obs.SpanContext{}, []int32{3, 4})
+	close(tr.gate)
+	wantTicketRows(t, t1, []int32{1}, 2)
+	wantTicketRows(t, t2, []int32{2}, 2)
+	wantTicketRows(t, t3, []int32{3, 4}, 2)
+	if got := tr.calls.Load(); got != 2 {
+		t.Fatalf("wire calls = %d, want 2", got)
+	}
+}
+
+func TestFeatureAggregatorWaitHonorsContext(t *testing.T) {
+	tr := &featFakeTransport{dim: 2, gate: make(chan struct{})}
+	defer close(tr.gate)
+	a := NewFeatureTransport(tr, Options{Window: time.Millisecond})
+	tk := a.EnqueueTraced(obs.SpanContext{}, []int32{1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := tk.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

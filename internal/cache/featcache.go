@@ -1,0 +1,327 @@
+package cache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"pprengine/internal/metrics"
+)
+
+// featRowOverhead approximates the fixed per-entry cost: the entry struct,
+// the map slot, and the slice header.
+const featRowOverhead = 64
+
+// featBytes is the budget charge for one cached feature row.
+func featBytes(row []float32) int64 {
+	return featRowOverhead + 4*int64(len(row))
+}
+
+// featEntry is one resident feature row in a stripe's LRU list.
+type featEntry struct {
+	key        uint64
+	row        []float32
+	bytes      int64
+	prev, next *featEntry
+}
+
+type featStripe struct {
+	mu      sync.Mutex
+	items   map[uint64]*featEntry
+	head    *featEntry
+	tail    *featEntry
+	bytes   int64
+	budget  int64
+	flights map[uint64]*FeatFlight
+}
+
+// FeatureCache is the feature-tier sibling of Cache: a sharded,
+// byte-budgeted LRU of feature rows keyed by (shard ID, local ID) with the
+// same single-flight fetch deduplication, plus one policy the neighbor-row
+// cache does not need — mass-based admission. Feature rows are fixed-size
+// and a serving workload's working set is the union of many top-K
+// subgraphs, so caching every fetched row would cycle the LRU with one-off
+// cold vertices. Following the probabilistic-caching idea of Kaler et al.
+// (communication-efficient GNN sampling), a fetched row is admitted only
+// when the PPR mass that requested it clears a threshold: hub vertices
+// that dominate many egos' top-K sets carry high mass and stick, long-tail
+// rows pass through without evicting them.
+type FeatureCache struct {
+	stripes   [numShards]featStripe
+	admitMass float64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+	rejected  atomic.Int64
+}
+
+// NewFeatures returns a feature cache bounded by maxBytes (split evenly
+// across the lock stripes). Rows are admitted only when the highest PPR
+// mass among the queries that reserved them reaches admitMass; 0 admits
+// every row. It returns nil when maxBytes <= 0 — the "disabled" value.
+func NewFeatures(maxBytes int64, admitMass float64) *FeatureCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	c := &FeatureCache{admitMass: admitMass}
+	per := maxBytes / numShards
+	if per < featRowOverhead {
+		per = featRowOverhead
+	}
+	for i := range c.stripes {
+		c.stripes[i] = featStripe{
+			items:   make(map[uint64]*featEntry),
+			budget:  per,
+			flights: make(map[uint64]*FeatFlight),
+		}
+	}
+	return c
+}
+
+func (c *FeatureCache) stripeFor(key uint64) *featStripe {
+	return &c.stripes[mix(key)&(numShards-1)]
+}
+
+// GetOrReserve is the fetch-path entry point, with the same contract as
+// Cache.GetOrReserve: exactly one of a hit (row, true, nil, false), flight
+// leadership (_, false, flight, true — the caller MUST Fulfill or
+// AttachSource), or a coalesced wait (_, false, flight, false). mass is the
+// requesting row's PPR mass; the flight remembers the highest mass seen
+// across all reservers, and the admission policy reads that maximum at
+// Fulfill time — a row two low-mass queries collide on may still earn its
+// slot from a third, high-mass one.
+func (c *FeatureCache) GetOrReserve(sh, local int32, mass float64) ([]float32, bool, *FeatFlight, bool) {
+	key := pack(sh, local)
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	if e, ok := s.items[key]; ok {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		metrics.FeatCacheHits.Inc(1)
+		return e.row, true, nil, false
+	}
+	if f, ok := s.flights[key]; ok {
+		if mass > f.mass {
+			f.mass = mass // guarded by the stripe lock, like the table itself
+		}
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		metrics.FeatCacheCoalesced.Inc(1)
+		return nil, false, f, false
+	}
+	f := &FeatFlight{
+		c:     c,
+		key:   key,
+		mass:  mass,
+		done:  make(chan struct{}),
+		ready: make(chan struct{}),
+	}
+	s.flights[key] = f
+	s.mu.Unlock()
+	c.misses.Add(1)
+	metrics.FeatCacheMisses.Inc(1)
+	return nil, false, f, true
+}
+
+// moveToFront makes e the list head. Caller holds s.mu.
+func (s *featStripe) moveToFront(e *featEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// unlink removes e from the list. Caller holds s.mu.
+func (s *featStripe) unlink(e *featEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if s.head == e {
+		s.head = e.next
+	}
+	if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// add inserts a row, evicting from the LRU tail until the stripe fits its
+// budget. Rows larger than the whole stripe budget are not admitted.
+func (c *FeatureCache) add(key uint64, row []float32) {
+	b := featBytes(row)
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	if _, dup := s.items[key]; dup {
+		s.mu.Unlock()
+		return
+	}
+	if b > s.budget {
+		s.mu.Unlock()
+		return
+	}
+	var evicted, freed int64
+	for s.bytes+b > s.budget && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.items, victim.key)
+		s.bytes -= victim.bytes
+		freed += victim.bytes
+		evicted++
+	}
+	e := &featEntry{key: key, row: row, bytes: b}
+	s.items[key] = e
+	s.moveToFront(e)
+	s.bytes += b
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+		metrics.FeatCacheEvictions.Inc(evicted)
+	}
+	metrics.FeatCacheBytes.Add(b - freed)
+	metrics.FeatCacheEntries.Add(1 - evicted)
+}
+
+// removeFlight deletes f from the flight table if it is still the
+// registered flight for its key.
+func (c *FeatureCache) removeFlight(key uint64, f *FeatFlight) {
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	if cur, ok := s.flights[key]; ok && cur == f {
+		delete(s.flights, key)
+	}
+	s.mu.Unlock()
+}
+
+// FeatStats is a point-in-time snapshot of the feature-cache counters.
+type FeatStats struct {
+	Hits      int64 // rows served from the cache
+	Misses    int64 // rows that started a fetch (flight leaders)
+	Coalesced int64 // rows that piggybacked on another fetch
+	Evictions int64 // rows evicted under the byte budget
+	Rejected  int64 // fetched rows the admission policy declined to cache
+	Entries   int64 // resident rows
+	Bytes     int64 // resident bytes (approximate)
+}
+
+// Add accumulates other into s.
+func (s *FeatStats) Add(other FeatStats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Coalesced += other.Coalesced
+	s.Evictions += other.Evictions
+	s.Rejected += other.Rejected
+	s.Entries += other.Entries
+	s.Bytes += other.Bytes
+}
+
+// Stats returns a snapshot. A nil cache reports zeros.
+func (c *FeatureCache) Stats() FeatStats {
+	if c == nil {
+		return FeatStats{}
+	}
+	st := FeatStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		st.Entries += int64(len(s.items))
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// FeatFlight is one in-flight fetch of a single feature row, shared by
+// every inference that missed on the key while the fetch was pending. Same
+// lifecycle as Flight (AttachSource / Fulfill / any-participant resolve);
+// the row handed to Fulfill must be cache-owned (copied out of the RPC
+// response).
+type FeatFlight struct {
+	c    *FeatureCache
+	key  uint64
+	mass float64 // max PPR mass among reservers; stripe-lock guarded
+
+	once sync.Once
+	done chan struct{}
+	row  []float32
+	err  error
+
+	ready   chan struct{} // closed by AttachSource
+	src     <-chan struct{}
+	resolve func()
+}
+
+// AttachSource arms external resolution: src is closed when the underlying
+// response is available, and resolve (idempotent, multi-goroutine safe)
+// turns it into Fulfill calls. Must be called at most once, by the leader.
+func (f *FeatFlight) AttachSource(src <-chan struct{}, resolve func()) {
+	f.src = src
+	f.resolve = resolve
+	close(f.ready)
+}
+
+// Fulfill completes the flight: on success the row is inserted into the
+// cache iff the flight's highest requester mass clears the admission
+// threshold; in all cases the flight leaves the in-flight table and every
+// waiter is released. Extra calls are no-ops.
+func (f *FeatFlight) Fulfill(row []float32, err error) {
+	f.once.Do(func() {
+		if err == nil {
+			s := f.c.stripeFor(f.key)
+			s.mu.Lock()
+			mass := f.mass
+			s.mu.Unlock()
+			if mass >= f.c.admitMass {
+				f.c.add(f.key, row)
+			} else {
+				f.c.rejected.Add(1)
+				metrics.FeatCacheRejected.Inc(1)
+			}
+		}
+		f.row, f.err = row, err
+		f.c.removeFlight(f.key, f)
+		close(f.done)
+	})
+}
+
+// Wait blocks until the flight resolves or ctx ends. Like Flight.Wait, any
+// participant can drive the resolve once the source fires, so an abandoned
+// leader never strands the waiters.
+func (f *FeatFlight) Wait(ctx context.Context) ([]float32, error) {
+	select {
+	case <-f.done:
+		return f.row, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-f.ready:
+	}
+	select {
+	case <-f.done:
+		return f.row, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-f.src:
+		f.resolve()
+		<-f.done
+		return f.row, f.err
+	}
+}

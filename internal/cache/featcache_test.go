@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func fulfillRow(f *FeatFlight, v float32, dim int) []float32 {
+	row := make([]float32, dim)
+	for i := range row {
+		row[i] = v
+	}
+	f.Fulfill(row, nil)
+	return row
+}
+
+func TestFeatureCacheHitAfterAdmit(t *testing.T) {
+	c := NewFeatures(1<<20, 0)
+	_, hit, f, leader := c.GetOrReserve(2, 7, 0.3)
+	if hit || !leader {
+		t.Fatalf("first access: hit=%v leader=%v, want miss+leadership", hit, leader)
+	}
+	want := fulfillRow(f, 1.5, 8)
+	row, hit, _, _ := c.GetOrReserve(2, 7, 0.3)
+	if !hit {
+		t.Fatal("second access missed after an admitted fulfill")
+	}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("row[%d] = %v, want %v", i, row[i], want[i])
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Rejected != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFeatureCacheMassAdmission(t *testing.T) {
+	c := NewFeatures(1<<20, 0.5)
+	// Below-threshold mass: the fetch completes but the row is not cached.
+	_, _, f, leader := c.GetOrReserve(0, 1, 0.1)
+	if !leader {
+		t.Fatal("expected flight leadership")
+	}
+	fulfillRow(f, 1, 4)
+	if st := c.Stats(); st.Rejected != 1 || st.Entries != 0 {
+		t.Fatalf("low-mass fulfill: stats = %+v, want rejected and nothing resident", st)
+	}
+	if _, hit, f2, leader := c.GetOrReserve(0, 1, 0.1); hit || !leader {
+		t.Fatalf("re-access after rejection: hit=%v leader=%v, want a fresh miss", hit, leader)
+	} else {
+		fulfillRow(f2, 1, 4)
+	}
+	// At/above threshold: admitted.
+	_, _, f3, leader := c.GetOrReserve(0, 2, 0.5)
+	if !leader {
+		t.Fatal("expected flight leadership")
+	}
+	fulfillRow(f3, 2, 4)
+	if _, hit, _, _ := c.GetOrReserve(0, 2, 0); !hit {
+		t.Fatal("high-mass row was not admitted")
+	}
+}
+
+func TestFeatureCacheCoalesceTakesMaxMass(t *testing.T) {
+	c := NewFeatures(1<<20, 0.5)
+	// The leader's own mass is below the threshold...
+	_, _, f, leader := c.GetOrReserve(1, 3, 0.1)
+	if !leader {
+		t.Fatal("expected flight leadership")
+	}
+	// ...but a high-mass query coalesces onto the same flight, so the row
+	// earns its slot from the maximum mass seen.
+	_, hit, f2, leader2 := c.GetOrReserve(1, 3, 0.9)
+	if hit || leader2 || f2 != f {
+		t.Fatalf("coalesce: hit=%v leader=%v sameFlight=%v", hit, leader2, f2 == f)
+	}
+	want := fulfillRow(f, 3, 4)
+	got, err := f2.Wait(context.Background())
+	if err != nil || len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("coalesced wait = %v, %v", got, err)
+	}
+	if _, hit, _, _ := c.GetOrReserve(1, 3, 0); !hit {
+		t.Fatal("max-mass admission failed: row not resident")
+	}
+	if st := c.Stats(); st.Coalesced != 1 {
+		t.Fatalf("stats = %+v, want 1 coalesced", st)
+	}
+}
+
+func TestFeatureCacheEvictsUnderBudget(t *testing.T) {
+	const maxBytes = 16 << 10
+	c := NewFeatures(maxBytes, 0)
+	for i := int32(0); i < 300; i++ {
+		_, _, f, leader := c.GetOrReserve(0, i, 1)
+		if !leader {
+			t.Fatalf("key %d: expected leadership", i)
+		}
+		fulfillRow(f, float32(i), 64)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after overflowing the budget: stats = %+v", st)
+	}
+	if st.Bytes > maxBytes {
+		t.Fatalf("resident bytes %d exceed the %d budget", st.Bytes, maxBytes)
+	}
+	if st.Entries >= 300 {
+		t.Fatalf("all %d rows resident despite the budget", st.Entries)
+	}
+}
+
+func TestFeatureCacheOversizedRowNotAdmitted(t *testing.T) {
+	// Budget so small each stripe can hold only the fixed overhead: no
+	// non-empty row fits, and add must decline rather than evict forever.
+	c := NewFeatures(1, 0)
+	_, _, f, _ := c.GetOrReserve(0, 0, 1)
+	fulfillRow(f, 1, 1024)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("oversized row was admitted: stats = %+v", st)
+	}
+}
+
+func TestFeatureCacheAnyParticipantResolves(t *testing.T) {
+	c := NewFeatures(1<<20, 0)
+	_, _, f, leader := c.GetOrReserve(4, 4, 1)
+	if !leader {
+		t.Fatal("expected flight leadership")
+	}
+	src := make(chan struct{})
+	f.AttachSource(src, func() { f.Fulfill([]float32{42}, nil) })
+	_, _, f2, _ := c.GetOrReserve(4, 4, 1)
+
+	// The leader abandons the flight; a waiter must still complete it once
+	// the source fires.
+	done := make(chan error, 1)
+	go func() {
+		row, err := f2.Wait(context.Background())
+		if err == nil && (len(row) != 1 || row[0] != 42) {
+			err = fmt.Errorf("row = %v", row)
+		}
+		done <- err
+	}()
+	close(src)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never resolved the armed flight")
+	}
+}
+
+func TestFeatureCacheErrorNotCached(t *testing.T) {
+	c := NewFeatures(1<<20, 0)
+	_, _, f, _ := c.GetOrReserve(5, 5, 1)
+	boom := errors.New("boom")
+	f.Fulfill(nil, boom)
+	if _, err := f.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("wait err = %v, want the fulfill error", err)
+	}
+	if _, hit, _, leader := c.GetOrReserve(5, 5, 1); hit || !leader {
+		t.Fatalf("after a failed fetch: hit=%v leader=%v, want a fresh miss", hit, leader)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed fetch left residue: stats = %+v", st)
+	}
+}
+
+func TestFeatureCacheWaitHonorsContext(t *testing.T) {
+	c := NewFeatures(1<<20, 0)
+	_, _, f, _ := c.GetOrReserve(6, 6, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := f.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	f.Fulfill([]float32{1}, nil) // release the flight table entry
+}

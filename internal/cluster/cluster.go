@@ -70,7 +70,17 @@ type Options struct {
 	// machine-shared aggregators only; the per-query fetch paths follow
 	// core.Config.ZeroCopy. Set both for a fully zero-copy hot path.
 	ZeroCopy bool
-	Seed     int64
+	// FeatCacheBytes, when > 0, gives every machine a feature-row cache of
+	// that byte budget (cache.FeatureCache) shared by its compute processes,
+	// backing the GNN serving path: repeated feature fetches of hot vertices
+	// hit shared memory and concurrent fetches of one row coalesce into one
+	// RPC. FeatAdmitMass is its admission threshold — a fetched row is
+	// cached only when the highest PPR mass among requesting queries reaches
+	// it (0 admits every row). Feature-fetch aggregation piggybacks on
+	// AggWindow/AggRows.
+	FeatCacheBytes int64
+	FeatAdmitMass  float64
+	Seed           int64
 
 	// Replicas, when >= 2, serves every shard from that many machines
 	// (internal/ha): shard s stays primaried on machine s, and its extra
@@ -135,6 +145,11 @@ type Cluster struct {
 	// aggregation is off). Like Caches, one slice per machine is shared by
 	// all of its compute processes, so aggregation works across processes.
 	Aggs [][]*agg.Aggregator
+	// FeatCaches / FeatAggs are the feature tier's machine-shared analogues
+	// of Caches / Aggs (nil entries when Opts.FeatCacheBytes is 0 /
+	// aggregation is off).
+	FeatCaches []*cache.FeatureCache
+	FeatAggs   [][]*agg.FeatureAggregator
 
 	// Replication state (all nil/empty when Opts.Replicas < 2). Servers and
 	// Addrs above keep their per-shard primary meaning; the extra serving
@@ -246,6 +261,8 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 	c.Storages = make([][]*core.DistGraphStorage, opts.NumMachines)
 	c.Caches = make([]*cache.Cache, opts.NumMachines)
 	c.Aggs = make([][]*agg.Aggregator, opts.NumMachines)
+	c.FeatCaches = make([]*cache.FeatureCache, opts.NumMachines)
+	c.FeatAggs = make([][]*agg.FeatureAggregator, opts.NumMachines)
 	c.Routers = make([]*ha.ReplicaRouter, opts.NumMachines)
 	c.Trackers = make([]*ha.HealthTracker, opts.NumMachines)
 	for m := 0; m < opts.NumMachines; m++ {
@@ -254,6 +271,8 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 			// like the shard, it is machine-level shared memory.
 			c.Caches[m] = cache.New(opts.CacheBytes)
 		}
+		// The feature cache is machine-shared for the same reason.
+		c.FeatCaches[m] = cache.NewFeatures(opts.FeatCacheBytes, opts.FeatAdmitMass)
 		if opts.haEnabled() {
 			c.buildRouter(m, servingAddrs)
 		}
@@ -279,6 +298,9 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 			if c.Caches[m] != nil {
 				c.Storages[m][p].AttachCache(c.Caches[m])
 			}
+			if c.FeatCaches[m] != nil {
+				c.Storages[m][p].AttachFeatureCache(c.FeatCaches[m])
+			}
 			if c.Routers[m] != nil {
 				c.Storages[m][p].AttachRouter(c.Routers[m])
 			}
@@ -293,16 +315,23 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 				aopts := agg.Options{Window: opts.AggWindow, MaxRows: opts.AggRows, ZeroCopy: opts.ZeroCopy, Tracer: c.Tracers[m]}
 				if c.Routers[m] != nil {
 					c.Aggs[m] = core.RoutedAggregators(c.Routers[m], int32(opts.NumMachines), int32(m), aopts)
+					c.FeatAggs[m] = core.RoutedFeatureAggregators(c.Routers[m], int32(opts.NumMachines), int32(m), aopts)
 				} else {
 					aggs := make([]*agg.Aggregator, opts.NumMachines)
+					faggs := make([]*agg.FeatureAggregator, opts.NumMachines)
 					for j, cl := range clients {
 						aggs[j] = agg.New(cl, aopts)
+						faggs[j] = agg.NewFeature(cl, aopts)
 					}
 					c.Aggs[m] = aggs
+					c.FeatAggs[m] = faggs
 				}
 			}
 			if c.Aggs[m] != nil {
 				c.Storages[m][p].AttachAggregators(c.Aggs[m])
+			}
+			if c.FeatAggs[m] != nil {
+				c.Storages[m][p].AttachFeatureAggregators(c.FeatAggs[m])
 			}
 		}
 	}
@@ -469,6 +498,28 @@ func (c *Cluster) AggStats() agg.Stats {
 		for _, a := range machine {
 			st := a.Stats() // nil-safe
 			s.Add(st)
+		}
+	}
+	return s
+}
+
+// FeatCacheStats sums the per-machine feature-cache counters (zero value
+// when the feature cache is disabled).
+func (c *Cluster) FeatCacheStats() cache.FeatStats {
+	var s cache.FeatStats
+	for _, fc := range c.FeatCaches {
+		s.Add(fc.Stats()) // nil-safe
+	}
+	return s
+}
+
+// FeatAggStats sums the per-machine feature-fetch-aggregator counters (zero
+// value when aggregation is disabled).
+func (c *Cluster) FeatAggStats() agg.Stats {
+	var s agg.Stats
+	for _, machine := range c.FeatAggs {
+		for _, a := range machine {
+			s.Add(a.Stats()) // nil-safe
 		}
 	}
 	return s

@@ -106,6 +106,18 @@ type Config struct {
 	// the pending batch at once. Setting only AggRows also enables
 	// aggregation (the window falls back to the aggregator default).
 	AggRows int
+	// FeatCacheBytes is the byte budget for the machine-wide cache of
+	// remote feature rows (cache.FeatureCache) backing the GNN serving
+	// path. 0 (the default) disables it. Like CacheBytes, the knob is read
+	// at construction time (cluster / deploy) to build and attach the
+	// machine-shared cache.
+	FeatCacheBytes int64
+	// FeatAdmitMass is the feature cache's admission threshold: a fetched
+	// row is cached only when the highest PPR mass among the queries that
+	// requested it reaches this value (Kaler et al.'s probabilistic
+	// caching). 0 admits every fetched row. Ignored when FeatCacheBytes
+	// is 0. Feature-fetch aggregation shares the AggWindow/AggRows knobs.
+	FeatAdmitMass float64
 	// DeterministicPop sorts each Pop round's activated vertices by
 	// (shard, local) before pushing. Pop normally drains Go maps, whose
 	// iteration order is randomized, so float accumulation order — and

@@ -87,9 +87,10 @@ func SampleNeighborsLocal(s *shard.Shard, loc *shard.Locator, locals []int32, fa
 
 // SampleNFuture is the future for a SampleNeighbors call.
 type SampleNFuture struct {
-	resp *wire.SampleNResponse
-	err  error
-	fut  *rpc.Future
+	resp     *wire.SampleNResponse
+	err      error
+	fut      respFuture
+	dstShard int32
 }
 
 // Wait blocks for the sampled rows.
@@ -104,27 +105,28 @@ func (f *SampleNFuture) WaitCtx(ctx context.Context) (*wire.SampleNResponse, err
 	}
 	payload, err := f.fut.WaitCtx(ctx)
 	if err != nil {
-		f.err = err
-		return nil, err
+		f.err = wrapPeerErr(f.dstShard, err)
+		return nil, f.err
 	}
 	f.resp, f.err = wire.DecodeSampleNResponse(payload)
+	f.fut.Release() // response copied into f.resp by the decode
 	return f.resp, f.err
 }
 
 // SampleNeighbors samples up to fanout neighbors for each core vertex of
 // dstShard, locally via shared memory or remotely via one batched RPC
-// issued under ctx.
+// issued under ctx — through the replica router when replication is on,
+// carrying ctx's trace context either way.
 func (g *DistGraphStorage) SampleNeighbors(ctx context.Context, dstShard int32, locals []int32, fanout int32, seed int64) *SampleNFuture {
 	if dstShard == g.ShardID {
 		resp, err := SampleNeighborsLocal(g.Local, g.Locator, locals, fanout, seed)
 		return &SampleNFuture{resp: resp, err: err}
 	}
-	c := g.Clients[dstShard]
-	if c == nil {
+	if g.Clients[dstShard] == nil && g.Router == nil {
 		return &SampleNFuture{err: fmt.Errorf("core: no client for shard %d", dstShard)}
 	}
 	payload := wire.EncodeSampleNRequest(&wire.SampleNRequest{Seed: seed, Fanout: fanout, Locals: locals})
-	return &SampleNFuture{fut: c.CallCtx(ctx, rpc.MethodSampleNeighbors, payload)}
+	return &SampleNFuture{dstShard: dstShard, fut: g.call(ctx, dstShard, rpc.MethodSampleNeighbors, payload)}
 }
 
 // KHopResult is a sampled computation graph: the union of sampled vertices

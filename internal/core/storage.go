@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -147,23 +148,57 @@ func (ss *StorageServer) register() {
 		}
 		return wire.EncodeSampleNResponse(resp), nil
 	})
-	ss.srv.Handle(rpc.MethodFetchFeatures, func(p []byte) ([]byte, error) {
-		ids, err := wire.DecodeIDList(p)
+	// The feature handler mirrors the batched-CSR one: view-decoded request
+	// IDs, rows gathered straight into a pooled buffer (header + one append
+	// per row — no intermediate heap block), released by the rpc layer after
+	// the vectored write.
+	ss.srv.HandleBuf(rpc.MethodFetchFeatures, func(_ context.Context, p []byte) (*mem.Buf, error) {
+		ids, err := wire.DecodeIDListView(p)
 		if err != nil {
 			return nil, err
 		}
-		feats, err := ss.FetchFeaturesLocal(ids)
-		if err != nil {
-			return nil, err
+		if ss.Features == nil {
+			return nil, fmt.Errorf("core: shard %d: %s", ss.Shard.ShardID, noFeatureStoreMsg)
 		}
-		return wire.EncodeFeatureResponse(ss.FeatureDim, feats), nil
+		d := ss.FeatureDim
+		buf := respPool.Get(wire.FeatureResponseSize(len(ids) * d))
+		out := wire.AppendFeatureHeader(buf.Bytes()[:0], d, len(ids)*d)
+		for _, id := range ids {
+			if err := ss.Shard.CheckLocal(id); err != nil {
+				buf.Release()
+				return nil, err
+			}
+			out = wire.AppendF32s(out, ss.Features[int(id)*d:(int(id)+1)*d])
+		}
+		buf.SetLen(len(out))
+		return buf, nil
 	})
+}
+
+// ErrNoFeatureStore reports a feature fetch against a shard that has no
+// feature block attached (AttachFeatures / AttachLocalFeatures). Local
+// fetches wrap it directly; remote fetches re-wrap the server's error
+// string so errors.Is works across the wire too.
+var ErrNoFeatureStore = errors.New("core: no feature store attached")
+
+// noFeatureStoreMsg is the marker the server embeds in its error so the
+// client side can map the stringified remote error back to the sentinel.
+const noFeatureStoreMsg = "no feature store attached"
+
+// wrapFeatureErr maps a remote handler's no-feature-store message back to
+// the typed sentinel: rpc errors cross the wire as strings, so this is the
+// only way callers keep errors.Is(err, ErrNoFeatureStore) for remote shards.
+func wrapFeatureErr(err error) error {
+	if err != nil && !errors.Is(err, ErrNoFeatureStore) && strings.Contains(err.Error(), noFeatureStoreMsg) {
+		return fmt.Errorf("%w: %v", ErrNoFeatureStore, err)
+	}
+	return err
 }
 
 // FetchFeaturesLocal gathers feature rows for core vertices.
 func (ss *StorageServer) FetchFeaturesLocal(ids []int32) ([]float32, error) {
 	if ss.Features == nil {
-		return nil, fmt.Errorf("core: shard %d has no feature store", ss.Shard.ShardID)
+		return nil, fmt.Errorf("core: shard %d: %w", ss.Shard.ShardID, ErrNoFeatureStore)
 	}
 	d := ss.FeatureDim
 	out := make([]float32, 0, len(ids)*d)
@@ -575,6 +610,16 @@ type DistGraphStorage struct {
 	// disables aggregation (the default).
 	Aggs []*agg.Aggregator
 
+	// FeatCache, when non-nil, is the machine-wide cache of remote feature
+	// rows with single-flight deduplication and PPR-mass admission (see
+	// cache.FeatureCache and Config.FeatCacheBytes). nil disables it.
+	FeatCache *cache.FeatureCache
+
+	// FeatAggs, when non-nil, holds the per-destination-shard feature-fetch
+	// aggregators (indexed by shard ID; the local entry is nil) — the
+	// feature tier's analogue of Aggs, sharing the same window/row knobs.
+	FeatAggs []*agg.FeatureAggregator
+
 	// Router, when non-nil, carries every remote request through the
 	// replication layer: primary first, failover to a healthy replica on
 	// error/timeout/open breaker (see internal/ha). Like the cache and the
@@ -585,6 +630,11 @@ type DistGraphStorage struct {
 	// Tracer records this machine's spans for sampled queries (nil when
 	// tracing is off — every use is nil-safe).
 	Tracer *obs.Tracer
+
+	// featZeroCopyOff disables view decoding of feature responses (the
+	// feature path has no per-query Config, so the zero-copy knob is
+	// structural; see SetFeatureZeroCopy). Zero — the default — aliases.
+	featZeroCopyOff int
 }
 
 // AttachCache installs the shared dynamic neighbor-row cache. Call once at
@@ -619,6 +669,34 @@ func (g *DistGraphStorage) AttachFetchAggregators(o agg.Options) {
 		aggs[i] = agg.New(c, o)
 	}
 	g.Aggs = aggs
+}
+
+// AttachFeatureCache installs the shared feature-row cache. Like the
+// neighbor-row cache it is machine-level shared state: attach the same
+// instance to every compute handle of a machine.
+func (g *DistGraphStorage) AttachFeatureCache(c *cache.FeatureCache) { g.FeatCache = c }
+
+// AttachFeatureAggregators installs a prebuilt per-shard feature-fetch
+// aggregator slice (one entry per shard, nil for the local shard), shared
+// across a machine's compute handles like Aggs.
+func (g *DistGraphStorage) AttachFeatureAggregators(aggs []*agg.FeatureAggregator) { g.FeatAggs = aggs }
+
+// AttachFeatureFetchAggregators builds one feature aggregator per remote
+// client (or per routed shard, with replication on) and attaches them — the
+// single-compute-process convenience mirroring AttachFetchAggregators.
+func (g *DistGraphStorage) AttachFeatureFetchAggregators(o agg.Options) {
+	if o.Tracer == nil {
+		o.Tracer = g.Tracer
+	}
+	if g.Router != nil {
+		g.FeatAggs = RoutedFeatureAggregators(g.Router, g.NumShards, g.ShardID, o)
+		return
+	}
+	aggs := make([]*agg.FeatureAggregator, len(g.Clients))
+	for i, c := range g.Clients {
+		aggs[i] = agg.NewFeature(c, o)
+	}
+	g.FeatAggs = aggs
 }
 
 // AttachRouter installs the machine-shared replica router. Remote fetches,
@@ -668,12 +746,33 @@ func RoutedAggregators(r *ha.ReplicaRouter, numShards, localShard int32, o agg.O
 	return aggs
 }
 
+// RoutedFeatureAggregators builds one feature-fetch aggregator per shard
+// whose flushes go through the replica router (nil entry for localShard).
+func RoutedFeatureAggregators(r *ha.ReplicaRouter, numShards, localShard int32, o agg.Options) []*agg.FeatureAggregator {
+	aggs := make([]*agg.FeatureAggregator, numShards)
+	for s := int32(0); s < numShards; s++ {
+		if s == localShard {
+			continue
+		}
+		aggs[s] = agg.NewFeatureTransport(routedTransport{r: r, shard: s}, o)
+	}
+	return aggs
+}
+
 // aggFor returns the aggregator for dstShard, or nil when disabled.
 func (g *DistGraphStorage) aggFor(dstShard int32) *agg.Aggregator {
 	if g.Aggs == nil {
 		return nil
 	}
 	return g.Aggs[dstShard]
+}
+
+// featAggFor returns the feature aggregator for dstShard, or nil.
+func (g *DistGraphStorage) featAggFor(dstShard int32) *agg.FeatureAggregator {
+	if g.FeatAggs == nil {
+		return nil
+	}
+	return g.FeatAggs[dstShard]
 }
 
 // NewDistGraphStorage assembles a handle. clients must have one entry per

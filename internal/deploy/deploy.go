@@ -61,9 +61,11 @@ func Serve(shardPath, locatorPath, listenAddr string) (*core.StorageServer, stri
 // EnableQueries upgrades a running storage server into a query owner: it
 // connects a compute handle to the given peers and registers the SSPPR
 // query handler, so thin clients can dispatch queries for this shard's core
-// vertices. The returned cleanup closes the peer clients. ctx bounds the
-// peer dials (DefaultDialTimeout applies when it has no deadline).
-func EnableQueries(ctx context.Context, srv *core.StorageServer, peers map[int32]string, cfg core.Config, lat rpc.LatencyModel) (func(), error) {
+// vertices. The compute handle is returned so the serving process can run
+// higher tiers on it (the GNN inference service); the returned cleanup
+// closes the peer clients. ctx bounds the peer dials (DefaultDialTimeout
+// applies when it has no deadline).
+func EnableQueries(ctx context.Context, srv *core.StorageServer, peers map[int32]string, cfg core.Config, lat rpc.LatencyModel) (*core.DistGraphStorage, func(), error) {
 	k := srv.Shard.NumShards
 	clients := make([]*rpc.Client, k)
 	var opened []*rpc.Client
@@ -79,12 +81,12 @@ func EnableQueries(ctx context.Context, srv *core.StorageServer, peers map[int32
 		addr, ok := peers[j]
 		if !ok {
 			cleanup()
-			return nil, fmt.Errorf("deploy: query service needs a peer address for shard %d", j)
+			return nil, nil, fmt.Errorf("deploy: query service needs a peer address for shard %d", j)
 		}
 		c, err := dialPeer(ctx, addr, lat)
 		if err != nil {
 			cleanup()
-			return nil, fmt.Errorf("deploy: dial shard %d at %s: %w", j, addr, err)
+			return nil, nil, fmt.Errorf("deploy: dial shard %d at %s: %w", j, addr, err)
 		}
 		clients[j] = c
 		opened = append(opened, c)
@@ -106,11 +108,24 @@ func EnableQueries(ctx context.Context, srv *core.StorageServer, peers map[int32
 		// fetches coalesce into merged wire requests.
 		compute.AttachFetchAggregators(cfg.AggOptions())
 	}
+	attachFeatureTier(compute, cfg)
 	if err := srv.EnableQueryService(compute, cfg); err != nil {
 		cleanup()
-		return nil, err
+		return nil, nil, err
 	}
-	return cleanup, nil
+	return compute, cleanup, nil
+}
+
+// attachFeatureTier wires the feature-row cache and feature-fetch
+// aggregators onto a compute handle from the config knobs — the serving
+// tier's analogue of the neighbor cache/agg attachment above.
+func attachFeatureTier(compute *core.DistGraphStorage, cfg core.Config) {
+	if cfg.FeatCacheBytes > 0 {
+		compute.AttachFeatureCache(cache.NewFeatures(cfg.FeatCacheBytes, cfg.FeatAdmitMass))
+	}
+	if cfg.AggEnabled() {
+		compute.AttachFeatureFetchAggregators(cfg.AggOptions())
+	}
 }
 
 // ConnectThin builds a thin query client: no local shard, just connections

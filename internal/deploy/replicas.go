@@ -168,21 +168,23 @@ func ConnectHA(ctx context.Context, shardPath, locatorPath string, peers map[int
 	if cfg.AggEnabled() {
 		compute.AttachFetchAggregators(cfg.AggOptions())
 	}
+	attachFeatureTier(compute, cfg)
 	return compute, router, cleanup, nil
 }
 
 // EnableQueriesHA is EnableQueries with replicated peers: the query owner's
 // compute handle routes remote fetches through a ReplicaRouter, so served
-// queries survive a peer machine's crash. The router is returned so the
-// serving process can wire its ReadyCheck into an admin server's /readyz.
-// The returned cleanup stops probing and closes every connection.
-func EnableQueriesHA(ctx context.Context, srv *core.StorageServer, peers map[int32][]string, cfg core.Config, haOpts ha.Options, lat rpc.LatencyModel) (*ha.ReplicaRouter, func(), error) {
+// queries survive a peer machine's crash. The compute handle is returned
+// for higher serving tiers (the GNN inference service), and the router so
+// the serving process can wire its ReadyCheck into an admin server's
+// /readyz. The returned cleanup stops probing and closes every connection.
+func EnableQueriesHA(ctx context.Context, srv *core.StorageServer, peers map[int32][]string, cfg core.Config, haOpts ha.Options, lat rpc.LatencyModel) (*core.DistGraphStorage, *ha.ReplicaRouter, func(), error) {
 	if haOpts.Tracer == nil {
 		haOpts.Tracer = srv.Tracer()
 	}
 	router, cleanup, err := buildRouter(ctx, srv.Shard.ShardID, srv.Shard.NumShards, peers, haOpts, lat)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	compute := core.NewDistGraphStorage(srv.Shard.ShardID, srv.Shard, srv.Locator, make([]*rpc.Client, srv.Shard.NumShards))
 	compute.AttachTracer(srv.Tracer())
@@ -193,11 +195,12 @@ func EnableQueriesHA(ctx context.Context, srv *core.StorageServer, peers map[int
 	if cfg.AggEnabled() {
 		compute.AttachFetchAggregators(cfg.AggOptions())
 	}
+	attachFeatureTier(compute, cfg)
 	if err := srv.EnableQueryService(compute, cfg); err != nil {
 		cleanup()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return router, cleanup, nil
+	return compute, router, cleanup, nil
 }
 
 // Replicated reports whether a replica-peer map actually lists more than one

@@ -2,6 +2,7 @@ package gnn
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -10,12 +11,18 @@ import (
 	"pprengine/internal/pmap"
 )
 
+// ErrFeatureDimMismatch reports shards that disagree on the feature
+// dimension — a deployment wiring error, surfaced as a typed error so
+// serving layers can distinguish it from transport failures.
+var ErrFeatureDimMismatch = errors.New("gnn: inconsistent feature dims across shards")
+
 // ConvertBatch is the paper's convert_batch (§4.5): given an SSPPR result
 // for an ego vertex, it takes the top-K scored vertices (always including
 // the ego), induces their subgraph by fetching neighbor lists through the
 // distributed storage, and slices their features from the cross-machine
-// feature store. The result is a model-ready Batch. ctx bounds all the
-// fetches.
+// feature store. Each row's PPR mass rides along with the feature fetch as
+// the cache-admission signal. The result is a model-ready Batch. ctx bounds
+// all the fetches.
 func ConvertBatch(ctx context.Context, g *core.DistGraphStorage, m *core.SSPPR, egoLocal int32, topK, numClasses int) (*Batch, error) {
 	scores := m.Scores()
 	ego := pmap.Key{Local: egoLocal, Shard: g.ShardID}
@@ -39,26 +46,42 @@ func ConvertBatch(ctx context.Context, g *core.DistGraphStorage, m *core.SSPPR, 
 	for i, k := range keys {
 		index[k] = int32(i)
 	}
-	// Group by shard for neighbor-info and feature fetches.
+	// Group by shard for neighbor-info and feature fetches; each row's PPR
+	// mass travels with the feature request as the admission signal.
 	byShard := make([][]int32, g.NumShards)
 	rowOf := make([][]int32, g.NumShards) // batch index per fetched row
+	massBy := make([][]float64, g.NumShards)
 	for i, k := range keys {
 		byShard[k.Shard] = append(byShard[k.Shard], k.Local)
 		rowOf[k.Shard] = append(rowOf[k.Shard], int32(i))
+		massBy[k.Shard] = append(massBy[k.Shard], scores[k])
 	}
 	// Issue everything asynchronously (remote shards overlap).
 	infoFuts := make([]*core.InfoFuture, g.NumShards)
 	featFuts := make([]*core.FeatureFuture, g.NumShards)
+	// Every future's pooled payload goes home when the batch assembly is
+	// done with it — including on error paths (Release is idempotent and
+	// nil-safe, and a no-op on unresolved futures).
+	defer func() {
+		for _, f := range infoFuts {
+			f.Release()
+		}
+		for _, f := range featFuts {
+			f.Release()
+		}
+	}()
 	for sh := int32(0); sh < g.NumShards; sh++ {
 		if len(byShard[sh]) == 0 {
 			continue
 		}
 		infoFuts[sh] = g.GetNeighborInfos(ctx, sh, byShard[sh], core.Config{Mode: core.FetchBatchCompress})
-		featFuts[sh] = g.FetchFeatures(ctx, sh, byShard[sh])
+		featFuts[sh] = g.FetchFeaturesMass(ctx, sh, byShard[sh], massBy[sh])
 	}
 	b := &Batch{N: len(keys)}
 	var dim int
-	// Assemble features.
+	// Assemble features. featRows may alias pooled response payloads until
+	// the copy into b.X below, which is why the futures stay unreleased
+	// until the deferred sweep.
 	featRows := make([][]float32, len(keys))
 	for sh := int32(0); sh < g.NumShards; sh++ {
 		if featFuts[sh] == nil {
@@ -68,10 +91,13 @@ func ConvertBatch(ctx context.Context, g *core.DistGraphStorage, m *core.SSPPR, 
 		if err != nil {
 			return nil, fmt.Errorf("gnn: feature fetch shard %d: %w", sh, err)
 		}
+		if d <= 0 {
+			return nil, fmt.Errorf("gnn: shard %d reported non-positive feature dim %d", sh, d)
+		}
 		if dim == 0 {
 			dim = d
 		} else if dim != d {
-			return nil, fmt.Errorf("gnn: inconsistent feature dims %d vs %d", dim, d)
+			return nil, fmt.Errorf("%w: %d vs %d (shard %d)", ErrFeatureDimMismatch, dim, d, sh)
 		}
 		for i, row := range rowOf[sh] {
 			featRows[row] = feats[i*d : (i+1)*d]

@@ -75,12 +75,19 @@ type EpochStats struct {
 
 // Setup attaches synthetic features to every cluster machine and returns
 // per-machine allreduce endpoints (the hub lives on machine 0).
+//
+// With replication on, every replica server of shard s gets the same
+// feature block as s's primary — a replica that serves a failover feature
+// fetch must return bitwise-identical rows, or inference results would
+// change across a primary kill.
 func Setup(c *cluster.Cluster, cfg TrainConfig) ([]*AllreduceClient, error) {
 	hub := NewAllreduceHub(c.Opts.NumMachines)
 	hub.RegisterHandler(c.Servers[0].Handle)
 	ends := make([]*AllreduceClient, c.Opts.NumMachines)
+	featsOf := make([][]float32, len(c.Servers))
 	for m := range c.Servers {
 		feats := MakeFeatures(c.Shards[m], cfg.FeatureDim, cfg.NumClasses, cfg.Seed+int64(m))
+		featsOf[m] = feats
 		if err := c.Servers[m].AttachFeatures(cfg.FeatureDim, feats); err != nil {
 			return nil, err
 		}
@@ -92,6 +99,13 @@ func Setup(c *cluster.Cluster, cfg TrainConfig) ([]*AllreduceClient, error) {
 		} else {
 			// Reuse the first compute process's client to machine 0.
 			ends[m] = &AllreduceClient{Client: c.Storages[m][0].Clients[0]}
+		}
+	}
+	for _, machine := range c.ReplicaServers {
+		for _, rs := range machine {
+			if err := rs.AttachFeatures(cfg.FeatureDim, featsOf[rs.Shard.ShardID]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return ends, nil

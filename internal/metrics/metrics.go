@@ -243,6 +243,31 @@ var (
 	// reused across epochs, so this grows only when an arena outgrows its
 	// slab — a hot steady state stops moving it entirely.
 	ArenaSlabBytes Counter
+	// FeatCacheHits / FeatCacheMisses / FeatCacheCoalesced count feature
+	// rows served from the machine-wide feature cache, rows that started a
+	// fetch (single-flight leaders), and rows that piggybacked on another
+	// inference's in-flight fetch.
+	FeatCacheHits      Counter
+	FeatCacheMisses    Counter
+	FeatCacheCoalesced Counter
+	// FeatCacheEvictions counts feature rows evicted under the byte budget;
+	// FeatCacheRejected counts fetched rows the mass-based admission policy
+	// declined to cache (their PPR mass was below the threshold).
+	FeatCacheEvictions Counter
+	FeatCacheRejected  Counter
+	// FeatCacheBytes / FeatCacheEntries track the resident size of the
+	// process's feature-row caches.
+	FeatCacheBytes   Gauge
+	FeatCacheEntries Gauge
+	// FeatAggFlushes / FeatAggRows / FeatAggShared mirror the neighbor-fetch
+	// aggregation counters for the feature-fetch aggregator.
+	FeatAggFlushes Counter
+	FeatAggRows    Counter
+	FeatAggShared  Counter
+	// InferServed / InferFailures count end-to-end inference requests
+	// (SSPPR → ConvertBatch → model forward) served and failed.
+	InferServed   Counter
+	InferFailures Counter
 )
 
 // AtomicBreakdown is a Breakdown safe for concurrent merges: a long-lived

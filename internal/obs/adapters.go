@@ -32,6 +32,23 @@ func RegisterEngineMetrics(r *Registry) {
 	r.CounterFunc("ppr_agg_rows_total", "Neighbor rows carried by aggregated flushes.", nil, counterOf(&metrics.AggRows))
 	r.CounterFunc("ppr_agg_shared_total", "Fetches whose flush also carried another query's fetch.", nil, counterOf(&metrics.AggShared))
 
+	r.CounterFunc("ppr_feat_cache_hits_total", "Feature rows served from the feature-row cache.", nil, counterOf(&metrics.FeatCacheHits))
+	r.CounterFunc("ppr_feat_cache_misses_total", "Feature rows that started a fetch (single-flight leaders).", nil, counterOf(&metrics.FeatCacheMisses))
+	r.CounterFunc("ppr_feat_cache_coalesced_total", "Feature rows that piggybacked on an in-flight fetch.", nil, counterOf(&metrics.FeatCacheCoalesced))
+	r.CounterFunc("ppr_feat_cache_evictions_total", "Feature rows evicted to stay under the cache byte budget.", nil, counterOf(&metrics.FeatCacheEvictions))
+	r.CounterFunc("ppr_feat_cache_rejected_total", "Fetched feature rows declined by the mass-admission policy.", nil, counterOf(&metrics.FeatCacheRejected))
+	r.GaugeFunc("ppr_feat_cache_bytes", "Resident bytes across the process's feature-row caches.", nil,
+		func() float64 { return float64(metrics.FeatCacheBytes.Load()) })
+	r.GaugeFunc("ppr_feat_cache_entries", "Resident rows across the process's feature-row caches.", nil,
+		func() float64 { return float64(metrics.FeatCacheEntries.Load()) })
+
+	r.CounterFunc("ppr_feat_agg_flushes_total", "Merged wire requests sent by the feature-fetch aggregator.", nil, counterOf(&metrics.FeatAggFlushes))
+	r.CounterFunc("ppr_feat_agg_rows_total", "Feature rows carried by aggregated flushes.", nil, counterOf(&metrics.FeatAggRows))
+	r.CounterFunc("ppr_feat_agg_shared_total", "Feature fetches whose flush also carried another query's fetch.", nil, counterOf(&metrics.FeatAggShared))
+
+	r.CounterFunc("ppr_infer_served_total", "GNN inferences served end to end.", nil, counterOf(&metrics.InferServed))
+	r.CounterFunc("ppr_infer_failures_total", "GNN inferences that failed.", nil, counterOf(&metrics.InferFailures))
+
 	r.CounterFunc("ppr_mem_pool_hits_total", "Frame-buffer checkouts served by recycling a released buffer.", nil, counterOf(&metrics.PoolHits))
 	r.CounterFunc("ppr_mem_pool_misses_total", "Frame-buffer checkouts that had to allocate.", nil, counterOf(&metrics.PoolMisses))
 	r.GaugeFunc("ppr_mem_pool_live_bytes", "Bytes currently checked out of the frame-buffer pools.", nil,

@@ -32,6 +32,7 @@ type Admin struct {
 	mu      sync.Mutex
 	tracers []*Tracer
 	checks  []readyCheck
+	extra   map[string]http.Handler
 	ready   atomic.Bool
 
 	srv *http.Server
@@ -79,6 +80,19 @@ func (a *Admin) AddCheck(name string, fn func() error) {
 	a.mu.Unlock()
 }
 
+// Handle mounts an application endpoint (exact path match) on the admin
+// server — pprserve's /infer, for example. Extra routes are looked up at
+// request time, so a handler registered after ListenAndServe still serves;
+// they never shadow the fixed admin endpoints.
+func (a *Admin) Handle(pattern string, h http.Handler) {
+	a.mu.Lock()
+	if a.extra == nil {
+		a.extra = make(map[string]http.Handler)
+	}
+	a.extra[pattern] = h
+	a.mu.Unlock()
+}
+
 // Handler returns the admin mux, for embedding or tests.
 func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -91,7 +105,18 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pat := mux.Handler(r); pat == "" || pat == "/" {
+			a.mu.Lock()
+			h := a.extra[r.URL.Path]
+			a.mu.Unlock()
+			if h != nil {
+				h.ServeHTTP(w, r)
+				return
+			}
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // ListenAndServe binds addr and serves the admin endpoints in a background

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"math"
 	"testing"
 
 	"pprengine/internal/mem"
@@ -217,8 +218,40 @@ func FuzzDecodeFeatureResponse(f *testing.F) {
 	for _, s := range corruptions(EncodeFeatureResponse(4, []float32{1, 2, 3, 4, 5, 6, 7, 8})) {
 		f.Add(s)
 	}
+	f.Add(EncodeFeatureResponse(0, nil))
+	f.Add(EncodeFeatureResponse(3, []float32{-1.5, 0, 2.25})) // one row, dim 3
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _, _ = DecodeFeatureResponse(data)
+	})
+}
+
+// FuzzDecodeFeatureResponseView holds the view decoder to the copy
+// decoder's verdict on both aligned and misaligned inputs.
+func FuzzDecodeFeatureResponseView(f *testing.F) {
+	for _, s := range corruptions(EncodeFeatureResponse(2, []float32{1, 2, 3, 4})) {
+		f.Add(s)
+	}
+	f.Add(EncodeFeatureResponse(0, nil))
+	f.Add(EncodeFeatureResponse(8, []float32{1, 2, 3, 4, 5, 6, 7, 8}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refDim, ref, refErr := DecodeFeatureResponse(data)
+		for _, b := range [][]byte{aligned(data), misalignedFuzz(data)} {
+			dim, feats, err := DecodeFeatureResponseView(b)
+			if (err == nil) != (refErr == nil) {
+				t.Fatalf("view err = %v, copy err = %v", err, refErr)
+			}
+			if err != nil {
+				continue
+			}
+			if dim != refDim || len(feats) != len(ref) {
+				t.Fatalf("view (dim %d, %d floats) vs copy (dim %d, %d floats)", dim, len(feats), refDim, len(ref))
+			}
+			for i := range ref {
+				if math.Float32bits(feats[i]) != math.Float32bits(ref[i]) {
+					t.Fatalf("view[%d] = %v, copy = %v", i, feats[i], ref[i])
+				}
+			}
+		}
 	})
 }
 

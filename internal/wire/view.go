@@ -187,6 +187,39 @@ func DecodeCSRView(b []byte, a *mem.Arena) (*NeighborInfos, error) {
 	return n, nil
 }
 
+// FeatureResponseSize returns the exact length of EncodeFeatureResponse's
+// output for n floats.
+func FeatureResponseSize(n int) int { return 8 + 4*n }
+
+// AppendFeatureHeader appends a feature response's [dim][count] header to
+// dst — the first half of an encode that gathers rows straight into a
+// pooled buffer (pair with AppendF32s per row).
+func AppendFeatureHeader(dst []byte, dim, count int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(dim))
+	return binary.LittleEndian.AppendUint32(dst, uint32(count))
+}
+
+// AppendF32s appends v in the wire's little-endian float32 layout.
+func AppendF32s(dst []byte, v []float32) []byte { return putF32s(dst, v) }
+
+// DecodeFeatureResponseView parses an EncodeFeatureResponse payload without
+// copying when possible: the floats start at payload offset 8, so on a
+// little-endian host with a 4-aligned payload the returned slice aliases b
+// directly — valid only while b's buffer is retained. Odd inputs fall back
+// to the copying decoder (which also owns the exact error messages).
+func DecodeFeatureResponseView(b []byte) (dim int, feats []float32, err error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("wire: short feature response")
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	if len(b)-8 != 4*n || !CanAlias(b[8:]) {
+		return DecodeFeatureResponse(b)
+	}
+	dim = int(binary.LittleEndian.Uint32(b))
+	feats, _ = aliasF32s(b[8:], n)
+	return dim, feats, nil
+}
+
 // DecodeLoLView parses an EncodeLoL payload into a NeighborInfos whose
 // arrays are carved from a (or the heap when a is nil). The interleaved
 // list-of-lists layout can never be aliased in place, but a two-pass decode
