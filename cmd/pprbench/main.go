@@ -8,7 +8,7 @@
 //
 // Experiments: table1, table2, accuracy, fig5a, fig5b, table3, fig6, fig7,
 // intro, partquality, halo, epssweep, netlatency, models, cache, agg,
-// failover, traceoverhead, hotpath, serve, all.
+// failover, traceoverhead, hotpath, hotpath2, serve, all.
 //
 // -json <path> additionally writes every ran experiment's structured rows
 // (plus the run parameters) to path as one JSON object, for CI artifacts and
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|traceoverhead|hotpath|serve|all)")
+		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|traceoverhead|hotpath|hotpath2|serve|all)")
 		scale      = flag.Int("scale", 8, "dataset downscale factor (1 = full stand-in size)")
 		queries    = flag.Int("queries", 0, "SSPPR queries per machine (0 = default)")
 		repeats    = flag.Int("repeats", 0, "measured repetitions (0 = default)")
@@ -167,6 +167,10 @@ func main() {
 	})
 	run("hotpath", func() (experiments.Report, any, error) {
 		r, rows, err := experiments.HotpathBench(p)
+		return r, rows, err
+	})
+	run("hotpath2", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.Hotpath2Bench(p)
 		return r, rows, err
 	})
 	run("serve", func() (experiments.Report, any, error) {

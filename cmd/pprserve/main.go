@@ -59,6 +59,7 @@ func main() {
 		aggWindow    = flag.Duration("agg-window", 0, "flush window for cross-query RPC fetch aggregation of served queries (0 = disabled unless -agg-rows is set)")
 		aggRows      = flag.Int("agg-rows", 0, "row cap per aggregated request; setting it also enables aggregation (0 = disabled unless -agg-window is set)")
 		zeroCopy     = flag.Bool("zerocopy", true, "serve queries over the zero-copy fetch path: pooled RPC buffers, view decoders, single decode per remote row (false = copy-decode every response)")
+		affinity     = flag.Bool("affinity", false, "run served queries' pop/push compute on the shard-affinity worker pool: long-lived workers owning fixed pmap stripes over flat probe tables (DESIGN.md §5j)")
 		featureDim   = flag.Int("feature-dim", 0, "synthesize a per-vertex feature block of this dimension and serve MethodFetchFeatures plus the /infer endpoint (0 = no feature tier)")
 		numClasses   = flag.Int("num-classes", 4, "label/logit classes for the feature tier")
 		hidden       = flag.Int("hidden", 32, "GraphSAGE hidden width for /infer")
@@ -91,6 +92,9 @@ func main() {
 		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
+	// The sampling handler has no per-request knob; its zero-copy gate
+	// follows the same -zerocopy flag as the fetch path.
+	srv.SetSampleZeroCopy(*zeroCopy)
 	// The tracer is attached before the query service starts so the server's
 	// rpc spans and served queries' driver spans share one ring buffer. Even
 	// at -trace-sample 0 it records spans for traces sampled by clients.
@@ -153,6 +157,7 @@ func main() {
 		cfg.AggWindow = *aggWindow
 		cfg.AggRows = *aggRows
 		cfg.ZeroCopy = *zeroCopy
+		cfg.Affinity = *affinity
 		cfg.FeatCacheBytes = *featCacheB
 		cfg.FeatAdmitMass = *featAdmit
 		ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
@@ -177,6 +182,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer cleanup()
+		compute.SetSampleZeroCopy(*zeroCopy)
 		logger.Info("query service enabled", "peers", deploy.FormatReplicaPeers(peers))
 
 		if *featureDim > 0 {

@@ -122,6 +122,18 @@ func (c *Cache) stripeFor(key uint64) *stripe {
 	return &c.stripes[mix(key)&(numShards-1)]
 }
 
+// Stripes returns the lock-striping factor — the unit of ownership a
+// shard-affinity compute layer can partition cache work by (worker w owning
+// stripes s with s % workers == w, the rule of DESIGN.md §5j).
+func (c *Cache) Stripes() int { return numShards }
+
+// StripeOf returns the stripe index that owns (sh, local)'s entry — the same
+// derivation every internal path uses, exported so affinity workers can keep
+// their cache touches on owned stripes and avoid cross-worker lock traffic.
+func (c *Cache) StripeOf(sh, local int32) int {
+	return int(mix(pack(sh, local)) & (numShards - 1))
+}
+
 // Get returns the cached row for (sh, local), marking it most recently used.
 func (c *Cache) Get(sh, local int32) (Row, bool) {
 	key := pack(sh, local)

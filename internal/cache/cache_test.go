@@ -286,3 +286,33 @@ func TestDuplicateInsertIsNoop(t *testing.T) {
 		t.Fatalf("stats after duplicate insert = %+v", st)
 	}
 }
+
+// StripeOf must agree with the stripe every internal path (Get/Put/Reserve)
+// actually locks, or affinity workers partitioning cache work by stripe would
+// contend on stripes they believe they own.
+func TestStripeOfMatchesInternalPlacement(t *testing.T) {
+	c := New(1 << 20)
+	if c.Stripes() != numShards {
+		t.Fatalf("Stripes() = %d, want %d", c.Stripes(), numShards)
+	}
+	for sh := int32(0); sh < 5; sh++ {
+		for local := int32(-2); local < 400; local++ {
+			si := c.StripeOf(sh, local)
+			if si < 0 || si >= c.Stripes() {
+				t.Fatalf("StripeOf(%d,%d) = %d out of range", sh, local, si)
+			}
+			if want := &c.stripes[si]; c.stripeFor(pack(sh, local)) != want {
+				t.Fatalf("StripeOf(%d,%d) = %d but stripeFor locks a different stripe", sh, local, si)
+			}
+		}
+	}
+	// Spot-check the placement is actually striped, not collapsed onto one
+	// stripe by a degenerate hash.
+	seen := map[int]bool{}
+	for local := int32(0); local < 256; local++ {
+		seen[c.StripeOf(0, local)] = true
+	}
+	if len(seen) < c.Stripes()/2 {
+		t.Fatalf("256 keys landed on only %d/%d stripes", len(seen), c.Stripes())
+	}
+}

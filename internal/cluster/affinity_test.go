@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"pprengine/internal/core"
+	"pprengine/internal/partition"
+	"pprengine/internal/shard"
+)
+
+// TestAffinityScoresBitwiseIdentical is the correctness gate of the
+// shard-affinity compute layer. Every push path claims all of a batch's row
+// residuals before applying any neighbor delta, in global row order, so under
+// DeterministicPop the engines are interchangeable at the bit level: the
+// single-worker striped baseline, the single-goroutine flat-table path, and
+// the full worker pool must all produce identical float64 scores. The pool
+// pass pins PushWorkers=4 so the two-round claim/merge machinery runs even on
+// single-core CI — and under -race this doubles as the data-race check on the
+// worker-ownership discipline.
+func TestAffinityScoresBitwiseIdentical(t *testing.T) {
+	const machines = 3
+	const procs = 4
+	g := testGraph(17, 600, 3600)
+	a, err := partition.Partition(g, machines, partition.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, loc, err := shard.Build(g, a, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quality := partition.Evaluate(g, a)
+	c, err := NewFromShards(shards, loc, Options{NumMachines: machines, ProcsPerMachine: procs}, quality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	qs := c.EvenQuerySet(procs*2, 21)
+
+	runPass := func(affinity bool, pushWorkers int) []map[int32]float64 {
+		t.Helper()
+		cfg := core.DefaultConfig()
+		cfg.Eps = 1e-5
+		cfg.DeterministicPop = true
+		cfg.Affinity = affinity
+		cfg.PushWorkers = pushWorkers
+		out := make([]map[int32]float64, machines*len(qs[0]))
+		var wg sync.WaitGroup
+		for m := 0; m < machines; m++ {
+			for p := 0; p < procs; p++ {
+				wg.Add(1)
+				go func(m, p int) {
+					defer wg.Done()
+					st := c.Storages[m][p]
+					for i := p; i < len(qs[m]); i += procs {
+						sp, _, err := core.RunSSPPR(context.Background(), st, qs[m][i], cfg, nil)
+						if err != nil {
+							t.Errorf("machine %d proc %d: %v", m, p, err)
+							return
+						}
+						out[m*len(qs[m])+i] = core.ScoresGlobal(st, sp)
+					}
+				}(m, p)
+			}
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		return out
+	}
+
+	ref := runPass(false, 1)
+	for _, pass := range []struct {
+		name        string
+		pushWorkers int
+	}{
+		{"affinity-sequential", 1}, // flat tables, no pool
+		{"affinity-pool", 4},       // two-round claim/merge across 4 workers
+	} {
+		got := runPass(true, pass.pushWorkers)
+		for q := range ref {
+			if len(ref[q]) != len(got[q]) {
+				t.Fatalf("%s: query %d touched %d nodes baseline, %d affinity",
+					pass.name, q, len(ref[q]), len(got[q]))
+			}
+			for node, w := range ref[q] {
+				v, ok := got[q][node]
+				if !ok || math.Float64bits(v) != math.Float64bits(w) {
+					t.Fatalf("%s: query %d node %d: baseline %v, affinity %v",
+						pass.name, q, node, w, got[q][node])
+				}
+			}
+		}
+	}
+}

@@ -118,6 +118,19 @@ type Config struct {
 	// caching). 0 admits every fetched row. Ignored when FeatCacheBytes
 	// is 0. Feature-fetch aggregation shares the AggWindow/AggRows knobs.
 	FeatAdmitMass float64
+	// Affinity routes a query's pop/push compute through a shard-affinity
+	// worker pool: PushWorkers long-lived goroutines, each owning a fixed
+	// set of pmap stripes (worker w owns stripes s with s % workers == w),
+	// over open-addressed flat probe tables instead of the mutex-striped Go
+	// maps. A stripe's Pop scan and Push applies then stay on one goroutine
+	// across rounds instead of being re-sharded through pushOwned's
+	// transient fork-join goroutines, and the inner loops run branch-light
+	// with no per-submap map overhead (DESIGN.md §5j). Scores are bitwise
+	// identical to the default engine under DeterministicPop — every push
+	// path claims all row residuals before applying any neighbor delta, in
+	// global row order. Default off, preserving the paper's ablation
+	// numbers' allocation profile exactly.
+	Affinity bool
 	// DeterministicPop sorts each Pop round's activated vertices by
 	// (shard, local) before pushing. Pop normally drains Go maps, whose
 	// iteration order is randomized, so float accumulation order — and

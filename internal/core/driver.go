@@ -69,6 +69,7 @@ func startQuerySpan(tr *obs.Tracer, ctx context.Context) obs.ActiveSpan {
 
 func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (*SSPPR, QueryStats, error) {
 	m := NewSSPPR(sourceLocal, g.ShardID, cfg)
+	defer m.Close() // stops the affinity worker pool; the score maps stay readable
 	var stats QueryStats
 	// Phase spans mirror bd's phases for sampled queries; tr is nil-safe and
 	// qsc is zero for unsampled ones, making every StartSpan below a no-op.
@@ -85,6 +86,19 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 	var remotes []pending
 	var haloVPs []shard.VertexProp
 	var haloLocals, haloShards []int32
+	// shardScratch backs sameShard's output; one grow-only slice instead of a
+	// fresh allocation per push call.
+	var shardScratch []int32
+	sameShard := func(n int, shard int32) []int32 {
+		if cap(shardScratch) < n {
+			shardScratch = make([]int32, n)
+		}
+		s := shardScratch[:n]
+		for i := range s {
+			s[i] = shard
+		}
+		return s
+	}
 	for {
 		// Deadline check at the top of every push iteration: a cancelled
 		// query must stop spending CPU on pop/push, not just on fetches.
@@ -243,25 +257,15 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 	}
 	stats.Iterations = m.Iterations
 	stats.Pushes = m.Pushes
-	stats.TouchedNodes = m.p.Len()
+	stats.TouchedNodes = m.ScoreCount()
 	return m, stats, nil
-}
-
-// sameShard returns a slice of n copies of shard (the shard-ID tensor for a
-// single-destination batch).
-func sameShard(n int, shard int32) []int32 {
-	s := make([]int32, n)
-	for i := range s {
-		s[i] = shard
-	}
-	return s
 }
 
 // ScoresGlobal converts a query's sparse result to global node IDs using
 // the storage's locator.
 func ScoresGlobal(g *DistGraphStorage, m *SSPPR) map[int32]float64 {
-	out := make(map[int32]float64, m.p.Len())
-	m.p.Range(func(k pmap.Key, v float64) bool {
+	out := make(map[int32]float64, m.ScoreCount())
+	m.RangeScores(func(k pmap.Key, v float64) bool {
 		out[int32(g.Locator.Global(k.Shard, k.Local))] = v
 		return true
 	})

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"pprengine/internal/metrics"
 	"pprengine/internal/pmap"
 )
 
@@ -15,11 +16,32 @@ import (
 // The two operators exposed to the driver loop mirror the paper's PPR Ops:
 // Pop drains the activated set; Push applies a batch of neighbor updates,
 // multi-threaded when the batch is large enough.
+//
+// Every push path uses the same two-phase semantics: first claim the full
+// residual of every batch row (crediting p), then apply all neighbor deltas
+// in global row order. Residual mass a row receives from earlier rows of the
+// same batch therefore stays in r for a later round instead of being pushed
+// immediately — both are valid eps-approximations, and the shared order makes
+// the sequential, owner-compute, and affinity engines bitwise identical under
+// DeterministicPop (the -exp hotpath2 gate).
+//
+// With cfg.Affinity the state lives in open-addressed flat tables owned by a
+// long-lived worker pool (DESIGN.md §5j) instead of the mutex-striped Go
+// maps; Close releases the pool (the maps stay readable).
 type SSPPR struct {
 	cfg       Config
 	p         *pmap.Striped
 	r         *pmap.Striped
 	activated *pmap.ConcurrentSet
+
+	// Affinity-engine state (cfg.Affinity): flat probe tables plus the
+	// worker pool that owns their stripes. pool is nil when one worker
+	// suffices — the sequential flat path needs no goroutines.
+	fp         *pmap.Flat
+	fr         *pmap.Flat
+	fact       *pmap.FlatSet
+	pool       *pmap.Pool
+	affWorkers int
 
 	// Pushes counts applied push operations (for parity with the
 	// single-machine kernels in tests).
@@ -32,20 +54,93 @@ type SSPPR struct {
 	popKeys   []pmap.Key
 	popLocals []int32
 	popShards []int32
+	// popPerWorker is the affinity drain scratch: worker w drains its owned
+	// stripes into popPerWorker[w].
+	popPerWorker [][]pmap.Key
+
+	// masses is the claim-phase scratch shared by the sequential paths:
+	// masses[i] is row i's propagating mass, 0 for stale or dangling rows.
+	masses []float64
+	// Affinity push scratch, all reused across rounds: the per-owner row
+	// partition, the W×W producer→destination update buckets, and the
+	// per-worker push counters.
+	rowsByOwner  [][]int32
+	buckets      []affBucket
+	workerPushes []int64
+	// lastGrows is the grow-counter watermark already flushed to
+	// metrics.PmapGrows.
+	lastGrows int64
 }
 
-// NewSSPPR initializes the query state for the given source vertex.
+// affUpd is one materialized neighbor update in an affinity push bucket: add
+// Delta to the packed key's residual, then check activation against Aux (the
+// neighbor's weighted degree).
+type affUpd struct {
+	key   uint64
+	delta float64
+	aux   float64
+}
+
+// affRun marks a contiguous same-source-row run inside a bucket's update
+// list, so the apply phase can merge producers by global row index without
+// tagging every update.
+type affRun struct {
+	row int32
+	n   int32
+}
+
+// affBucket carries the updates one producer worker materialized for one
+// destination worker, in increasing source-row order.
+type affBucket struct {
+	upds []affUpd
+	runs []affRun
+}
+
+// NewSSPPR initializes the query state for the given source vertex. With
+// cfg.Affinity the caller owns the returned state's worker pool and must
+// Close it when the query finishes (the driver does).
 func NewSSPPR(sourceLocal, sourceShard int32, cfg Config) *SSPPR {
-	m := &SSPPR{
-		cfg:       cfg,
-		p:         pmap.NewStriped(1024),
-		r:         pmap.NewStriped(1024),
-		activated: pmap.NewConcurrentSet(256),
-	}
+	m := &SSPPR{cfg: cfg}
 	src := pmap.Key{Local: sourceLocal, Shard: sourceShard}
+	if cfg.Affinity {
+		w := cfg.pushWorkers()
+		if w > pmap.NumSubmaps {
+			w = pmap.NumSubmaps
+		}
+		if w < 1 {
+			w = 1
+		}
+		m.affWorkers = w
+		m.fp = pmap.NewFlat(1024)
+		m.fr = pmap.NewFlat(1024)
+		m.fact = pmap.NewFlatSet(256)
+		m.fr.Set(src, 1)
+		m.fact.InsertP(src.Packed())
+		if w > 1 {
+			m.pool = pmap.NewPool(w)
+			m.popPerWorker = make([][]pmap.Key, w)
+			m.rowsByOwner = make([][]int32, w)
+			m.buckets = make([]affBucket, w*w)
+			m.workerPushes = make([]int64, w)
+		}
+		return m
+	}
+	m.p = pmap.NewStriped(1024)
+	m.r = pmap.NewStriped(1024)
+	m.activated = pmap.NewConcurrentSet(256)
 	m.r.Set(src, 1)
 	m.activated.Insert(src)
 	return m
+}
+
+// Close stops the affinity worker pool, if any. The score and residual maps
+// stay readable (Scores, TopK, ResidualMass); only Push/Pop must not be
+// called afterwards. No-op for the default engine, idempotent either way.
+func (m *SSPPR) Close() {
+	if m.pool != nil {
+		m.pool.Close()
+		m.pool = nil
+	}
 }
 
 // Pop returns the current activated vertices as parallel local-ID and
@@ -53,7 +148,11 @@ func NewSSPPR(sourceLocal, sourceShard int32, cfg Config) *SSPPR {
 // scratch owned by the SSPPR state and remain valid only until the next Pop
 // call; callers that need to retain them across rounds must copy.
 func (m *SSPPR) Pop() (locals, shards []int32) {
-	m.popKeys = m.activated.Drain(m.popKeys[:0])
+	if m.cfg.Affinity {
+		m.popKeys = m.drainAffinity(m.popKeys[:0])
+	} else {
+		m.popKeys = m.activated.Drain(m.popKeys[:0])
+	}
 	keys := m.popKeys
 	if len(keys) == 0 {
 		return nil, nil
@@ -76,17 +175,47 @@ func (m *SSPPR) Pop() (locals, shards []int32) {
 	return m.popLocals, m.popShards
 }
 
+// drainAffinity empties the flat activated set: each pool worker scans only
+// its owned stripes (the dense insertion lists make the scan branch-light),
+// and the per-worker buffers are concatenated in worker order.
+func (m *SSPPR) drainAffinity(dst []pmap.Key) []pmap.Key {
+	if m.pool == nil {
+		return m.fact.Drain(dst)
+	}
+	w := m.affWorkers
+	m.pool.Do(func(i int) {
+		buf := m.popPerWorker[i][:0]
+		for si := i; si < pmap.NumSubmaps; si += w {
+			buf = m.fact.DrainStripe(si, buf)
+		}
+		m.popPerWorker[i] = buf
+	})
+	for _, buf := range m.popPerWorker {
+		dst = append(dst, buf...)
+	}
+	return dst
+}
+
 // Push applies one fetched batch: batch row i holds the neighbor info of
 // the source vertex (locals[i], shards[i]). It updates p and r and inserts
 // newly activated vertices into the activated set.
 //
 // Following §3.3, the batch goes multi-threaded only above the configured
-// threshold; below it a single thread avoids fork-join overhead.
+// threshold; below it a single thread avoids fork-join (or pool-round)
+// overhead.
 func (m *SSPPR) Push(batch NeighborBatch, locals, shards []int32) {
 	if batch.NumRows() != len(locals) || len(locals) != len(shards) {
 		panic("core: Push batch size mismatch")
 	}
 	if batch.NumRows() == 0 {
+		return
+	}
+	if m.cfg.Affinity {
+		if batch.NumRows() <= m.cfg.pushThreshold() || m.pool == nil {
+			m.pushFlatSequential(batch, locals, shards)
+			return
+		}
+		m.pushAffinity(batch, locals, shards)
 		return
 	}
 	workers := m.cfg.pushWorkers()
@@ -107,7 +236,7 @@ func (m *SSPPR) Push(batch NeighborBatch, locals, shards []int32) {
 func (m *SSPPR) claimRow(key pmap.Key, rowWDeg float32) float64 {
 	rv := m.r.Swap(key, 0)
 	if rv <= 0 {
-		return 0 // already claimed by an earlier batch this round
+		return 0 // nothing to propagate this round
 	}
 	m.p.Add(key, m.cfg.Alpha*rv)
 	if rowWDeg <= 0 {
@@ -123,23 +252,75 @@ func (m *SSPPR) visitResidual(k pmap.Key, newVal, wdeg float64) {
 	}
 }
 
-func (m *SSPPR) pushSequential(batch NeighborBatch, locals, shards []int32) {
-	// Single-threaded: use the lock-free map fast paths. No other goroutine
-	// touches this query's state while the driver is in Push.
-	eps := m.cfg.Eps
-	for i := 0; i < batch.NumRows(); i++ {
-		nl, ns, nw, nd, rowWDeg := batch.Row(i)
+// claimMasses runs the claim phase on the Striped maps: row i's residual is
+// swapped out and credited to p, and masses[i] receives its propagating mass
+// (0 when stale or dangling). Single-goroutine.
+func (m *SSPPR) claimMasses(batch NeighborBatch, locals, shards []int32) []float64 {
+	rows := batch.NumRows()
+	if cap(m.masses) < rows {
+		m.masses = make([]float64, rows)
+	}
+	masses := m.masses[:rows]
+	alpha := m.cfg.Alpha
+	for i := 0; i < rows; i++ {
+		masses[i] = 0
 		key := pmap.Key{Local: locals[i], Shard: shards[i]}
 		rv := m.r.SwapSeq(key, 0)
 		if rv <= 0 {
 			continue
 		}
-		m.p.AddSeq(key, m.cfg.Alpha*rv)
-		if rowWDeg <= 0 {
+		m.p.AddSeq(key, alpha*rv)
+		if _, _, _, _, rowWDeg := batch.Row(i); rowWDeg <= 0 {
 			continue
 		}
 		m.Pushes++
-		inv := (1 - m.cfg.Alpha) * rv / float64(rowWDeg)
+		masses[i] = (1 - alpha) * rv
+	}
+	return masses
+}
+
+func (m *SSPPR) pushSequential(batch NeighborBatch, locals, shards []int32) {
+	// Single-threaded: use the lock-free map fast paths. No other goroutine
+	// touches this query's state while the driver is in Push.
+	eps := m.cfg.Eps
+	if !m.cfg.DeterministicPop {
+		// Single-pass: each row's claim is interleaved with its neighbor
+		// applies, so residual a row receives from an earlier row of the SAME
+		// batch propagates this round instead of waiting for the next. That
+		// converges in measurably fewer pushes, but the row-visit interleaving
+		// is not reproducible across engines — deterministic runs take the
+		// claims-first path below so all engines agree bitwise (DESIGN.md §5j).
+		alpha := m.cfg.Alpha
+		for i := 0; i < batch.NumRows(); i++ {
+			nl, ns, nw, nd, rowWDeg := batch.Row(i)
+			key := pmap.Key{Local: locals[i], Shard: shards[i]}
+			rv := m.r.SwapSeq(key, 0)
+			if rv <= 0 {
+				continue
+			}
+			m.p.AddSeq(key, alpha*rv)
+			if rowWDeg <= 0 {
+				continue
+			}
+			m.Pushes++
+			inv := (1 - alpha) * rv / float64(rowWDeg)
+			for j := range nl {
+				k := pmap.Key{Local: nl[j], Shard: ns[j]}
+				nv := m.r.AddSeq(k, float64(nw[j])*inv)
+				if nv > eps*float64(nd[j]) {
+					m.activated.InsertSeq(k)
+				}
+			}
+		}
+		return
+	}
+	masses := m.claimMasses(batch, locals, shards)
+	for i := range masses {
+		if masses[i] == 0 {
+			continue
+		}
+		nl, ns, nw, nd, rowWDeg := batch.Row(i)
+		inv := masses[i] / float64(rowWDeg)
 		for j := range nl {
 			k := pmap.Key{Local: nl[j], Shard: ns[j]}
 			nv := m.r.AddSeq(k, float64(nw[j])*inv)
@@ -150,8 +331,190 @@ func (m *SSPPR) pushSequential(batch NeighborBatch, locals, shards []int32) {
 	}
 }
 
+// pushFlatSequential is pushSequential over the affinity engine's flat
+// tables: same claim-then-apply order, no pool round — small batches are not
+// worth W channel handoffs.
+func (m *SSPPR) pushFlatSequential(batch NeighborBatch, locals, shards []int32) {
+	rows := batch.NumRows()
+	eps := m.cfg.Eps
+	alpha := m.cfg.Alpha
+	if !m.cfg.DeterministicPop {
+		// Same single-pass interleaving as pushSequential: same-batch residual
+		// propagates this round. Deterministic runs need the claims-first
+		// order below to stay bitwise-identical with the pool path.
+		for i := 0; i < rows; i++ {
+			nl, ns, nw, nd, rowWDeg := batch.Row(i)
+			p := (pmap.Key{Local: locals[i], Shard: shards[i]}).Packed()
+			rv := m.fr.SwapP(p, 0)
+			if rv <= 0 {
+				continue
+			}
+			m.fp.AddP(p, alpha*rv)
+			if rowWDeg <= 0 {
+				continue
+			}
+			m.Pushes++
+			inv := (1 - alpha) * rv / float64(rowWDeg)
+			for j := range nl {
+				kp := (pmap.Key{Local: nl[j], Shard: ns[j]}).Packed()
+				nv := m.fr.AddP(kp, float64(nw[j])*inv)
+				if nv > eps*float64(nd[j]) {
+					m.fact.InsertP(kp)
+				}
+			}
+		}
+		m.flushAffinityMetrics()
+		return
+	}
+	if cap(m.masses) < rows {
+		m.masses = make([]float64, rows)
+	}
+	masses := m.masses[:rows]
+	for i := 0; i < rows; i++ {
+		masses[i] = 0
+		p := (pmap.Key{Local: locals[i], Shard: shards[i]}).Packed()
+		rv := m.fr.SwapP(p, 0)
+		if rv <= 0 {
+			continue
+		}
+		m.fp.AddP(p, alpha*rv)
+		if _, _, _, _, rowWDeg := batch.Row(i); rowWDeg <= 0 {
+			continue
+		}
+		m.Pushes++
+		masses[i] = (1 - alpha) * rv
+	}
+	for i := range masses {
+		if masses[i] == 0 {
+			continue
+		}
+		nl, ns, nw, nd, rowWDeg := batch.Row(i)
+		inv := masses[i] / float64(rowWDeg)
+		for j := range nl {
+			kp := (pmap.Key{Local: nl[j], Shard: ns[j]}).Packed()
+			nv := m.fr.AddP(kp, float64(nw[j])*inv)
+			if nv > eps*float64(nd[j]) {
+				m.fact.InsertP(kp)
+			}
+		}
+	}
+	m.flushAffinityMetrics()
+}
+
+// pushAffinity is the shard-affinity push (DESIGN.md §5j): two pool rounds
+// over long-lived workers that each own a fixed set of stripes.
+//
+// Round 1 (claim + materialize): worker w walks the batch rows whose keys it
+// owns, in increasing global row index, swapping out their residuals and
+// bucketing every neighbor delta by the destination worker that owns the
+// neighbor's stripe — the one bucket sort of the round. Round 2 (merge +
+// apply): worker d merges its W incoming buckets by source-row index (each
+// is already row-sorted, so a run-at-a-time W-way merge restores the global
+// row order) and applies them to its own stripes. No locks anywhere, and the
+// per-key application order equals the sequential engine's, which is what
+// keeps affinity scores bitwise identical under DeterministicPop.
+func (m *SSPPR) pushAffinity(batch NeighborBatch, locals, shards []int32) {
+	w := m.affWorkers
+	rows := batch.NumRows()
+	for i := range m.rowsByOwner {
+		m.rowsByOwner[i] = m.rowsByOwner[i][:0]
+	}
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.upds = b.upds[:0]
+		b.runs = b.runs[:0]
+	}
+	for i := 0; i < rows; i++ {
+		p := (pmap.Key{Local: locals[i], Shard: shards[i]}).Packed()
+		m.rowsByOwner[pmap.StripeOfPacked(p)%w] = append(m.rowsByOwner[pmap.StripeOfPacked(p)%w], int32(i))
+	}
+	alpha, eps := m.cfg.Alpha, m.cfg.Eps
+	m.pool.Do(func(pw int) {
+		var pushes int64
+		bkt := m.buckets[pw*w : (pw+1)*w]
+		for _, ri := range m.rowsByOwner[pw] {
+			i := int(ri)
+			p := (pmap.Key{Local: locals[i], Shard: shards[i]}).Packed()
+			rv := m.fr.SwapP(p, 0)
+			if rv <= 0 {
+				continue
+			}
+			m.fp.AddP(p, alpha*rv)
+			nl, ns, nw, nd, rowWDeg := batch.Row(i)
+			if rowWDeg <= 0 {
+				continue
+			}
+			pushes++
+			inv := (1 - alpha) * rv / float64(rowWDeg)
+			for j := range nl {
+				kp := (pmap.Key{Local: nl[j], Shard: ns[j]}).Packed()
+				b := &bkt[pmap.StripeOfPacked(kp)%w]
+				if nr := len(b.runs); nr == 0 || b.runs[nr-1].row != ri {
+					b.runs = append(b.runs, affRun{row: ri})
+				}
+				b.upds = append(b.upds, affUpd{key: kp, delta: float64(nw[j]) * inv, aux: float64(nd[j])})
+				b.runs[len(b.runs)-1].n++
+			}
+		}
+		m.workerPushes[pw] = pushes
+	})
+	var updates int64
+	for pw := 0; pw < w; pw++ {
+		m.Pushes += m.workerPushes[pw]
+	}
+	for i := range m.buckets {
+		updates += int64(len(m.buckets[i].upds))
+	}
+	m.pool.Do(func(d int) {
+		// Cursor per producer bucket: next run and that run's update offset.
+		var runCur, updCur [pmap.NumSubmaps]int32
+		for {
+			best := -1
+			bestRow := int32(0)
+			for pw := 0; pw < w; pw++ {
+				b := &m.buckets[pw*w+d]
+				if int(runCur[pw]) >= len(b.runs) {
+					continue
+				}
+				if row := b.runs[runCur[pw]].row; best < 0 || row < bestRow {
+					best, bestRow = pw, row
+				}
+			}
+			if best < 0 {
+				return
+			}
+			b := &m.buckets[best*w+d]
+			run := b.runs[runCur[best]]
+			upds := b.upds[updCur[best] : updCur[best]+run.n]
+			for _, u := range upds {
+				nv := m.fr.AddP(u.key, u.delta)
+				if nv > eps*u.aux {
+					m.fact.InsertP(u.key)
+				}
+			}
+			updCur[best] += run.n
+			runCur[best]++
+		}
+	})
+	metrics.PmapAffinityRounds.Inc(1)
+	metrics.PmapOwnedUpdates.Inc(updates)
+	m.flushAffinityMetrics()
+}
+
+// flushAffinityMetrics forwards the flat tables' grow counters to the global
+// metric, once per push round instead of once per grow.
+func (m *SSPPR) flushAffinityMetrics() {
+	grows := m.fp.Grows() + m.fr.Grows() + m.fact.Grows()
+	if d := grows - m.lastGrows; d > 0 {
+		metrics.PmapGrows.Inc(d)
+		m.lastGrows = grows
+	}
+}
+
 // pushLocked is the straightforward multi-threaded push: rows in parallel,
-// every residual update takes its submap lock.
+// every residual update takes its submap lock. Kept as the locking-scheme
+// ablation; it claims per-row inside the parallel loop, so it is not
+// bitwise-comparable to the other paths (it never was deterministic).
 func (m *SSPPR) pushLocked(batch NeighborBatch, locals, shards []int32, workers int) {
 	rows := batch.NumRows()
 	var wg sync.WaitGroup
@@ -194,7 +557,9 @@ func (m *SSPPR) pushLocked(batch NeighborBatch, locals, shards []int32, workers 
 // pushOwned is the lock-eliminated push of §3.3: phase 1 claims row
 // residuals and materializes all neighbor deltas; phase 2 applies them with
 // ApplyOwned, which partitions updates by submap index across workers so no
-// locks are taken while mutating the residual map.
+// locks are taken while mutating the residual map. Claims happen before any
+// apply and the concatenation below preserves global row order, so scores
+// match the sequential path bitwise.
 func (m *SSPPR) pushOwned(batch NeighborBatch, locals, shards []int32, workers int) {
 	rows := batch.NumRows()
 	perWorker := make([][]pmap.Update, workers)
@@ -245,14 +610,33 @@ func (m *SSPPR) pushOwned(batch NeighborBatch, locals, shards []int32, workers i
 	for _, u := range perWorker {
 		updates = append(updates, u...)
 	}
+	metrics.PmapOwnedUpdates.Inc(int64(total))
 	m.r.ApplyOwned(updates, workers, m.visitResidual)
+}
+
+// ScoreCount returns the number of nodes holding PPR mass.
+func (m *SSPPR) ScoreCount() int {
+	if m.cfg.Affinity {
+		return m.fp.Len()
+	}
+	return m.p.Len()
+}
+
+// RangeScores iterates the PPR estimates. Call only after the driver loop
+// finished (both engines require quiescence for iteration).
+func (m *SSPPR) RangeScores(f func(pmap.Key, float64) bool) {
+	if m.cfg.Affinity {
+		m.fp.Range(f)
+		return
+	}
+	m.p.Range(f)
 }
 
 // Scores returns the computed PPR estimates. Call after the driver loop has
 // drained the activated set.
 func (m *SSPPR) Scores() map[pmap.Key]float64 {
-	out := make(map[pmap.Key]float64, m.p.Len())
-	m.p.Range(func(k pmap.Key, v float64) bool {
+	out := make(map[pmap.Key]float64, m.ScoreCount())
+	m.RangeScores(func(k pmap.Key, v float64) bool {
 		out[k] = v
 		return true
 	})
@@ -263,9 +647,14 @@ func (m *SSPPR) Scores() map[pmap.Key]float64 {
 // engine's approximation error mass).
 func (m *SSPPR) ResidualMass() float64 {
 	s := 0.0
-	m.r.Range(func(_ pmap.Key, v float64) bool {
+	visit := func(_ pmap.Key, v float64) bool {
 		s += v
 		return true
-	})
+	}
+	if m.cfg.Affinity {
+		m.fr.Range(visit)
+	} else {
+		m.r.Range(visit)
+	}
 	return s
 }

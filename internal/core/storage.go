@@ -48,6 +48,24 @@ type StorageServer struct {
 	queriesServed atomic.Int64
 	queryFailures atomic.Int64
 	QueryLatency  *obs.Histogram
+
+	// sampleZeroCopyOff routes MethodSampleNeighbors through the legacy
+	// copy paths (heap-built response, heap encode) instead of the pooled
+	// arena + buffer hot path — the pre-pooling allocation profile, kept as
+	// the -exp hotpath2 sampling baseline. Toggle only while no requests
+	// are in flight (see SetSampleZeroCopy). Zero — the default — pools.
+	sampleZeroCopyOff int
+}
+
+// SetSampleZeroCopy toggles the pooled zero-copy sampling handler. Toggle
+// only between benchmark passes or before Start — the flag is read without
+// synchronization by in-flight handlers.
+func (ss *StorageServer) SetSampleZeroCopy(on bool) {
+	if on {
+		ss.sampleZeroCopyOff = 0
+	} else {
+		ss.sampleZeroCopyOff = 1
+	}
 }
 
 // NewStorageServer wraps a shard (and locator) in a server. Call Start to
@@ -137,16 +155,37 @@ func (ss *StorageServer) register() {
 			AvgOutDegree: st.AvgOutDegree,
 		}), nil
 	})
-	ss.srv.Handle(rpc.MethodSampleNeighbors, func(p []byte) ([]byte, error) {
-		req, err := wire.DecodeSampleNRequest(p)
+	// The sampling handler follows the batched-CSR one: view-decoded request
+	// (locals alias the pooled request payload), rows sampled straight into a
+	// pooled arena sized exactly by a pre-pass, response encoded into a pooled
+	// buffer the rpc layer releases after its vectored write. The legacy
+	// copy path stays reachable behind SetSampleZeroCopy(false) as the
+	// -exp hotpath2 baseline.
+	ss.srv.HandleBuf(rpc.MethodSampleNeighbors, func(_ context.Context, p []byte) (*mem.Buf, error) {
+		if ss.sampleZeroCopyOff != 0 {
+			req, err := wire.DecodeSampleNRequest(p)
+			if err != nil {
+				return nil, err
+			}
+			resp, err := SampleNeighborsLocal(ss.Shard, ss.Locator, req.Locals, req.Fanout, req.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return mem.Wrap(wire.EncodeSampleNResponse(resp)), nil
+		}
+		req, err := wire.DecodeSampleNRequestView(p)
 		if err != nil {
 			return nil, err
 		}
-		resp, err := SampleNeighborsLocal(ss.Shard, ss.Locator, req.Locals, req.Fanout, req.Seed)
-		if err != nil {
+		arena := mem.GetArena()
+		defer mem.PutArena(arena)
+		var resp wire.SampleNResponse
+		if err := SampleNeighborsInto(ss.Shard, ss.Locator, req.Locals, req.Fanout, req.Seed, arena, &resp); err != nil {
 			return nil, err
 		}
-		return wire.EncodeSampleNResponse(resp), nil
+		buf := respPool.Get(wire.SampleNSize(&resp))
+		buf.SetLen(len(wire.EncodeSampleNTo(buf.Bytes()[:0], &resp)))
+		return buf, nil
 	})
 	// The feature handler mirrors the batched-CSR one: view-decoded request
 	// IDs, rows gathered straight into a pooled buffer (header + one append
@@ -500,13 +539,27 @@ func (f *InfoFuture) WaitCtx(ctx context.Context) (NeighborBatch, error) {
 	case FetchSingle:
 		// One request-response round trip per vertex, strictly in order.
 		merged := &wire.NeighborInfos{Indptr: []int32{0}}
+		var arena *mem.Arena
+		if f.zeroCopy {
+			// Each response is decoded into a pooled arena reset per vertex:
+			// the merge below copies what it keeps, so nothing outlives the
+			// reset and the per-vertex decode stops allocating.
+			arena = mem.GetArena()
+			defer mem.PutArena(arena)
+		}
 		for _, l := range f.seqLocals {
 			payload, err := f.callOne(ctx, l)
 			if err != nil {
 				f.err = wrapPeerErr(f.dstShard, err)
 				return nil, f.err
 			}
-			one, err := wire.DecodeLoL(payload)
+			var one *wire.NeighborInfos
+			if arena != nil {
+				arena.Reset()
+				one, err = wire.DecodeLoLView(payload, arena)
+			} else {
+				one, err = wire.DecodeLoL(payload)
+			}
 			if err != nil {
 				f.err = err
 				return nil, err
@@ -635,6 +688,25 @@ type DistGraphStorage struct {
 	// feature path has no per-query Config, so the zero-copy knob is
 	// structural; see SetFeatureZeroCopy). Zero — the default — aliases.
 	featZeroCopyOff int
+
+	// sampleZeroCopyOff disables view decoding of sampling responses and
+	// the arena-built local sampling path (the k-hop path has no per-query
+	// Config either; see SetSampleZeroCopy). Zero — the default — aliases.
+	sampleZeroCopyOff int
+}
+
+// zeroCopySamples reports whether sampling responses should be view-decoded.
+func (g *DistGraphStorage) zeroCopySamples() bool { return g.sampleZeroCopyOff == 0 }
+
+// SetSampleZeroCopy toggles view decoding for sampling responses and the
+// arena-built local sampling fast path. Like SetFeatureZeroCopy, flip it only
+// while the handle is quiescent.
+func (g *DistGraphStorage) SetSampleZeroCopy(on bool) {
+	if on {
+		g.sampleZeroCopyOff = 0
+	} else {
+		g.sampleZeroCopyOff = 1
+	}
 }
 
 // AttachCache installs the shared dynamic neighbor-row cache. Call once at
@@ -831,7 +903,7 @@ func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32,
 		// One 8-byte single-ID request per vertex (retries excluded; the
 		// Retries counter tracks those separately).
 		return &InfoFuture{mode: FetchSingle, dstShard: dstShard, remoteRows: int64(len(locals)),
-			rpcReqs: int64(len(locals)), reqBytes: 8 * int64(len(locals)),
+			rpcReqs: int64(len(locals)), reqBytes: 8 * int64(len(locals)), zeroCopy: cfg.ZeroCopy,
 			seqClient: c, seqRouter: g.Router, seqLocals: locals, retry: cfg.Retry}
 	}
 }

@@ -50,7 +50,7 @@ func (m *SSPPR) TopK(k int) []ScoredNode {
 		return nil
 	}
 	h := make(scoredHeap, 0, k+1)
-	m.p.Range(func(key pmap.Key, v float64) bool {
+	m.RangeScores(func(key pmap.Key, v float64) bool {
 		s := ScoredNode{key, v}
 		if len(h) < k {
 			heap.Push(&h, s)

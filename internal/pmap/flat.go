@@ -1,0 +1,334 @@
+// Flat and FlatSet are the open-addressed, single-owner probe tables behind
+// the shard-affinity compute pools (DESIGN.md §5j). Where Striped pays Go-map
+// overhead (hashing twice, bucket chains, interface-free but pointer-heavy
+// internals) plus a mutex per submap, Flat keys each stripe as a bare
+// open-addressed array pair: packed keys (biased by one so zero means empty)
+// and float64 values, probed linearly from the upper bits of the same hash
+// that picked the stripe. There are no locks anywhere: correctness comes from
+// the ownership discipline — at any moment a stripe is touched by exactly one
+// goroutine, either the single sequential pusher or the pool worker that owns
+// it (stripe s belongs to worker s % W).
+package pmap
+
+import "sync/atomic"
+
+// submapBits is log2(NumSubmaps): stripe selection uses the hash's low
+// submapBits bits, slot probing starts from the bits above them, so the two
+// derivations never correlate.
+const submapBits = 6
+
+// flatMinStripeCap is the smallest per-stripe table (power of two).
+const flatMinStripeCap = 8
+
+// stripeCapFor sizes one stripe's table for a total capacity hint, keeping
+// the load factor under 3/4 at the hinted size.
+func stripeCapFor(capacityHint int) int {
+	per := capacityHint / NumSubmaps
+	n := flatMinStripeCap
+	for n*3 < per*4 {
+		n <<= 1
+	}
+	return n
+}
+
+type flatStripe struct {
+	keys []uint64 // packed key + keyBias; 0 = empty
+	vals []float64
+	n    int
+	_    [24]byte // pad to reduce false sharing between adjacent owners
+}
+
+// Flat is a striped open-addressed map from Key to float64 with no internal
+// synchronization. It is safe for concurrent use only under the owner-compute
+// discipline: every call that touches stripe StripeOfPacked(k) must come from
+// that stripe's owning goroutine (or from a single goroutine owning the whole
+// map, the sequential fast path).
+type Flat struct {
+	stripes [NumSubmaps]flatStripe
+	grows   atomic.Int64
+}
+
+// NewFlat returns an empty Flat map sized for capacityHint total entries.
+func NewFlat(capacityHint int) *Flat {
+	f := &Flat{}
+	per := stripeCapFor(capacityHint)
+	for i := range f.stripes {
+		f.stripes[i].keys = make([]uint64, per)
+		f.stripes[i].vals = make([]float64, per)
+	}
+	return f
+}
+
+// Packed returns the Key's packed 64-bit form, the representation the flat
+// tables and the affinity push buckets carry on the hot path.
+func (k Key) Packed() uint64 { return k.pack() }
+
+// UnpackKey is the inverse of Key.Packed.
+func UnpackKey(p uint64) Key { return unpack(p) }
+
+// StripeOfPacked returns the stripe (= submap index) owning a packed key.
+// It is the same derivation as SubmapIndex, so affinity workers can own
+// Striped submaps and Flat stripes under one rule.
+func StripeOfPacked(p uint64) int {
+	return int(hash64(p) & (NumSubmaps - 1))
+}
+
+// AddP adds delta to packed key p's value (missing keys start at 0) and
+// returns the new value. Owner-only: the caller must own p's stripe.
+func (f *Flat) AddP(p uint64, delta float64) float64 {
+	h := hash64(p)
+	st := &f.stripes[h&(NumSubmaps-1)]
+	if st.n*4 >= len(st.keys)*3 {
+		f.growStripe(st)
+	}
+	b := p + keyBias
+	keys, vals := st.keys, st.vals
+	mask := uint64(len(keys) - 1)
+	i := (h >> submapBits) & mask
+	for {
+		k := keys[i]
+		if k == b {
+			nv := vals[i] + delta
+			vals[i] = nv
+			return nv
+		}
+		if k == emptySlot {
+			keys[i] = b
+			vals[i] = delta
+			st.n++
+			return delta
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// SwapP stores v for packed key p and returns the previous value (0 if
+// absent). Owner-only.
+func (f *Flat) SwapP(p uint64, v float64) float64 {
+	h := hash64(p)
+	st := &f.stripes[h&(NumSubmaps-1)]
+	if st.n*4 >= len(st.keys)*3 {
+		f.growStripe(st)
+	}
+	b := p + keyBias
+	keys, vals := st.keys, st.vals
+	mask := uint64(len(keys) - 1)
+	i := (h >> submapBits) & mask
+	for {
+		k := keys[i]
+		if k == b {
+			old := vals[i]
+			vals[i] = v
+			return old
+		}
+		if k == emptySlot {
+			keys[i] = b
+			vals[i] = v
+			st.n++
+			return 0
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// growStripe doubles one stripe's table and rehashes its entries.
+func (f *Flat) growStripe(st *flatStripe) {
+	oldKeys, oldVals := st.keys, st.vals
+	n := len(oldKeys) * 2
+	keys := make([]uint64, n)
+	vals := make([]float64, n)
+	mask := uint64(n - 1)
+	for i, b := range oldKeys {
+		if b == emptySlot {
+			continue
+		}
+		j := (hash64(b-keyBias) >> submapBits) & mask
+		for keys[j] != emptySlot {
+			j = (j + 1) & mask
+		}
+		keys[j] = b
+		vals[j] = oldVals[i]
+	}
+	st.keys, st.vals = keys, vals
+	f.grows.Add(1)
+}
+
+// Grows returns how many stripe rehashes this map has performed (the
+// ppr_pmap_grows_total feed; growth should vanish once capacity hints fit
+// the workload).
+func (f *Flat) Grows() int64 { return f.grows.Load() }
+
+// Get returns the value for k and whether it is present. Owner-only (or
+// quiescent map).
+func (f *Flat) Get(k Key) (float64, bool) {
+	p := k.pack()
+	h := hash64(p)
+	st := &f.stripes[h&(NumSubmaps-1)]
+	b := p + keyBias
+	keys := st.keys
+	mask := uint64(len(keys) - 1)
+	i := (h >> submapBits) & mask
+	for {
+		kk := keys[i]
+		if kk == b {
+			return st.vals[i], true
+		}
+		if kk == emptySlot {
+			return 0, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Set stores v for k. Owner-only (or quiescent map).
+func (f *Flat) Set(k Key, v float64) { f.SwapP(k.pack(), v) }
+
+// Len returns the total number of keys. Only meaningful on a quiescent map.
+func (f *Flat) Len() int {
+	n := 0
+	for i := range f.stripes {
+		n += f.stripes[i].n
+	}
+	return n
+}
+
+// Range calls f2 for every (key, value) pair. Quiescent-map only.
+func (f *Flat) Range(f2 func(Key, float64) bool) {
+	for i := range f.stripes {
+		st := &f.stripes[i]
+		for j, b := range st.keys {
+			if b == emptySlot {
+				continue
+			}
+			if !f2(unpack(b-keyBias), st.vals[j]) {
+				return
+			}
+		}
+	}
+}
+
+// Clear removes all keys, retaining the stripe storage.
+func (f *Flat) Clear() {
+	for i := range f.stripes {
+		st := &f.stripes[i]
+		clear(st.keys)
+		st.n = 0
+	}
+}
+
+type flatSetStripe struct {
+	keys  []uint64 // probe table: packed key + keyBias; 0 = empty
+	slots []int32  // insertion-ordered slot indices into keys
+	_     [16]byte
+}
+
+// FlatSet is the activated-vertex set for the affinity engine: a striped
+// probe table for O(1) dedup plus a dense per-stripe insertion list so
+// draining is a straight scan instead of a table walk. Same ownership rules
+// as Flat; the dense list keeps DrainStripe branch-light — one hoisted-bounds
+// loop over the slots, then either a sparse slot reset or one memclr,
+// whichever touches less memory.
+type FlatSet struct {
+	stripes [NumSubmaps]flatSetStripe
+	grows   atomic.Int64
+}
+
+// NewFlatSet returns an empty set sized for capacityHint total keys.
+func NewFlatSet(capacityHint int) *FlatSet {
+	s := &FlatSet{}
+	per := stripeCapFor(capacityHint)
+	for i := range s.stripes {
+		s.stripes[i].keys = make([]uint64, per)
+	}
+	return s
+}
+
+// InsertP adds packed key p and reports whether it was newly added.
+// Owner-only: the caller must own p's stripe.
+func (s *FlatSet) InsertP(p uint64) bool {
+	h := hash64(p)
+	st := &s.stripes[h&(NumSubmaps-1)]
+	if len(st.slots)*4 >= len(st.keys)*3 {
+		s.growStripe(st)
+	}
+	b := p + keyBias
+	keys := st.keys
+	mask := uint64(len(keys) - 1)
+	i := (h >> submapBits) & mask
+	for {
+		k := keys[i]
+		if k == b {
+			return false
+		}
+		if k == emptySlot {
+			keys[i] = b
+			st.slots = append(st.slots, int32(i))
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// growStripe doubles one stripe's probe table, reinserting the live keys in
+// insertion order so the slot list stays valid.
+func (s *FlatSet) growStripe(st *flatSetStripe) {
+	n := len(st.keys) * 2
+	keys := make([]uint64, n)
+	mask := uint64(n - 1)
+	for idx, sl := range st.slots {
+		b := st.keys[sl]
+		i := (hash64(b-keyBias) >> submapBits) & mask
+		for keys[i] != emptySlot {
+			i = (i + 1) & mask
+		}
+		keys[i] = b
+		st.slots[idx] = int32(i)
+	}
+	st.keys = keys
+	s.grows.Add(1)
+}
+
+// Grows returns how many stripe rehashes this set has performed.
+func (s *FlatSet) Grows() int64 { return s.grows.Load() }
+
+// DrainStripe appends stripe si's keys to dst in insertion order and clears
+// the stripe. Owner-only.
+func (s *FlatSet) DrainStripe(si int, dst []Key) []Key {
+	st := &s.stripes[si]
+	slots := st.slots
+	if len(slots) == 0 {
+		return dst
+	}
+	keys := st.keys
+	for _, sl := range slots {
+		dst = append(dst, unpack(keys[sl]-keyBias))
+	}
+	if len(slots)*4 >= len(keys) {
+		// Dense: one memclr beats resetting slot by slot.
+		clear(keys)
+	} else {
+		for _, sl := range slots {
+			keys[sl] = emptySlot
+		}
+	}
+	st.slots = slots[:0]
+	return dst
+}
+
+// Drain appends all keys to dst (stripe-major, insertion order within a
+// stripe) and clears the set. Quiescent-set only.
+func (s *FlatSet) Drain(dst []Key) []Key {
+	for si := range s.stripes {
+		dst = s.DrainStripe(si, dst)
+	}
+	return dst
+}
+
+// Len returns the number of keys. Quiescent-set only.
+func (s *FlatSet) Len() int {
+	n := 0
+	for i := range s.stripes {
+		n += len(s.stripes[i].slots)
+	}
+	return n
+}

@@ -1,0 +1,286 @@
+package pmap
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"pprengine/internal/mem"
+)
+
+func TestFlatBasics(t *testing.T) {
+	f := NewFlat(16)
+	k1 := Key{Local: 3, Shard: 1}
+	k2 := Key{Local: 3, Shard: 2}
+	if _, ok := f.Get(k1); ok {
+		t.Fatal("empty map reports key present")
+	}
+	f.Set(k1, 1.5)
+	if v, ok := f.Get(k1); !ok || v != 1.5 {
+		t.Fatalf("Get(k1) = %v,%v", v, ok)
+	}
+	if _, ok := f.Get(k2); ok {
+		t.Fatal("k2 should be absent")
+	}
+	if nv := f.AddP(k1.Packed(), 0.5); nv != 2.0 {
+		t.Fatalf("AddP -> %v, want 2.0", nv)
+	}
+	if nv := f.AddP(k2.Packed(), 0.25); nv != 0.25 {
+		t.Fatalf("AddP on missing key -> %v, want 0.25", nv)
+	}
+	if old := f.SwapP(k1.Packed(), 7); old != 2.0 {
+		t.Fatalf("SwapP returned %v, want 2.0", old)
+	}
+	if v, _ := f.Get(k1); v != 7 {
+		t.Fatalf("after SwapP Get = %v", v)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+	sum := 0.0
+	f.Range(func(_ Key, v float64) bool {
+		sum += v
+		return true
+	})
+	if sum != 7.25 {
+		t.Fatalf("Range sum = %v, want 7.25", sum)
+	}
+	f.Clear()
+	if f.Len() != 0 {
+		t.Fatalf("after Clear Len = %d", f.Len())
+	}
+	if _, ok := f.Get(k1); ok {
+		t.Fatal("key survived Clear")
+	}
+}
+
+func TestFlatZeroAndNegativeKeys(t *testing.T) {
+	// Key{0,0} packs to 0, which collides with the empty-slot marker unless
+	// keys are biased; negative components must not collide with positive.
+	f := NewFlat(4)
+	f.Set(Key{Local: 0, Shard: 0}, 7)
+	f.Set(Key{Local: -1, Shard: 0}, 1)
+	f.Set(Key{Local: 1, Shard: 0}, 2)
+	f.Set(Key{Local: 0, Shard: -1}, 3)
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	if v, ok := f.Get(Key{Local: 0, Shard: 0}); !ok || v != 7 {
+		t.Fatalf("zero key lost: %v %v", v, ok)
+	}
+	if v, _ := f.Get(Key{Local: -1, Shard: 0}); v != 1 {
+		t.Fatalf("negative local: got %v", v)
+	}
+}
+
+func TestFlatGrowth(t *testing.T) {
+	f := NewFlat(1) // minimal stripes: force rehashing
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f.Set(Key{Local: int32(i), Shard: int32(i % 7)}, float64(i))
+	}
+	if f.Len() != n {
+		t.Fatalf("Len = %d, want %d", f.Len(), n)
+	}
+	if f.Grows() == 0 {
+		t.Fatal("expected stripe rehashes at this load")
+	}
+	for i := 0; i < n; i++ {
+		v, ok := f.Get(Key{Local: int32(i), Shard: int32(i % 7)})
+		if !ok || v != float64(i) {
+			t.Fatalf("key %d lost after growth: %v %v", i, v, ok)
+		}
+	}
+}
+
+// Property: Flat agrees with a reference map under random AddP/SwapP/Get.
+func TestQuickFlatMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := NewFlat(8)
+		ref := map[Key]float64{}
+		for i := 0; i < 400; i++ {
+			k := Key{Local: int32(rng.Intn(25)), Shard: int32(rng.Intn(3))}
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Float64()
+				ref[k] = v
+				fl.SwapP(k.Packed(), v)
+			case 1:
+				d := rng.Float64()
+				ref[k] += d
+				fl.AddP(k.Packed(), d)
+			case 2:
+				rv, rok := ref[k]
+				v, ok := fl.Get(k)
+				if ok != rok || math.Abs(v-rv) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return fl.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripeOfPackedMatchesSubmapIndex(t *testing.T) {
+	// Affinity workers own Striped submaps and Flat stripes under one rule:
+	// the two derivations must agree for every key.
+	for i := int32(0); i < 2000; i++ {
+		k := Key{Local: i, Shard: i % 5}
+		if StripeOfPacked(k.Packed()) != SubmapIndex(k) {
+			t.Fatalf("stripe/submap mismatch for %v", k)
+		}
+	}
+}
+
+func TestPackedRoundTrip(t *testing.T) {
+	f := func(local, shard int32) bool {
+		k := Key{Local: local, Shard: shard}
+		return UnpackKey(k.Packed()) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlatSetBasics(t *testing.T) {
+	s := NewFlatSet(16)
+	k := Key{Local: 5, Shard: 2}
+	if !s.InsertP(k.Packed()) {
+		t.Fatal("first InsertP should report new")
+	}
+	if s.InsertP(k.Packed()) {
+		t.Fatal("second InsertP should report existing")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := s.Drain(nil)
+	if len(got) != 1 || got[0] != k {
+		t.Fatalf("Drain = %v", got)
+	}
+	if s.Len() != 0 {
+		t.Fatal("set not cleared by Drain")
+	}
+	if !s.InsertP(k.Packed()) {
+		t.Fatal("reinsert after Drain should report new")
+	}
+}
+
+// DrainStripe preserves insertion order within a stripe, and both clear
+// strategies (sparse slot reset and dense memclr) leave the stripe reusable.
+func TestFlatSetDrainOrderAndReuse(t *testing.T) {
+	for _, n := range []int{3, 600} { // sparse stripes, then dense ones
+		s := NewFlatSet(64)
+		var want []Key
+		for i := 0; i < n; i++ {
+			k := Key{Local: int32(i), Shard: 0}
+			s.InsertP(k.Packed())
+			want = append(want, k)
+		}
+		perStripe := make(map[int][]Key)
+		for _, k := range want {
+			si := StripeOfPacked(k.Packed())
+			perStripe[si] = append(perStripe[si], k)
+		}
+		for si := 0; si < NumSubmaps; si++ {
+			got := s.DrainStripe(si, nil)
+			if len(got) != len(perStripe[si]) {
+				t.Fatalf("n=%d stripe %d drained %d keys, want %d", n, si, len(got), len(perStripe[si]))
+			}
+			for j := range got {
+				if got[j] != perStripe[si][j] {
+					t.Fatalf("n=%d stripe %d out of insertion order at %d: %v vs %v",
+						n, si, j, got[j], perStripe[si][j])
+				}
+			}
+		}
+		if s.Len() != 0 {
+			t.Fatalf("n=%d keys left after full drain", n)
+		}
+		for _, k := range want { // the cleared tables must accept everything again
+			if !s.InsertP(k.Packed()) {
+				t.Fatalf("n=%d stale key %v after drain", n, k)
+			}
+		}
+	}
+}
+
+func TestFlatSetGrowth(t *testing.T) {
+	s := NewFlatSet(1)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !s.InsertP((Key{Local: int32(i), Shard: int32(i % 3)}).Packed()) {
+			t.Fatalf("key %d reported duplicate", i)
+		}
+	}
+	if s.Grows() == 0 {
+		t.Fatal("expected stripe rehashes at this load")
+	}
+	seen := make(map[Key]bool, n)
+	for _, k := range s.Drain(nil) {
+		if seen[k] {
+			t.Fatalf("duplicate %v in drain", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d keys, want %d", len(seen), n)
+	}
+}
+
+func TestPoolDoRoundsAndClose(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+	var ran [4]atomic.Int64
+	for round := 0; round < 50; round++ {
+		p.Do(func(w int) { ran[w].Add(1) })
+		// Do is a barrier: after it returns, every worker ran this round.
+		for w := range ran {
+			if got := ran[w].Load(); got != int64(round+1) {
+				t.Fatalf("round %d: worker %d ran %d times", round, w, got)
+			}
+		}
+	}
+}
+
+// The inner-loop table ops must not allocate once capacity fits the workload
+// — that is the whole point of replacing the Go maps on the hot path.
+func TestFlatSteadyStateAllocBudget(t *testing.T) {
+	if mem.RaceEnabled {
+		t.Skip("race instrumentation skews alloc counts")
+	}
+	f := NewFlat(4096)
+	s := NewFlatSet(4096)
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = (Key{Local: int32(i), Shard: int32(i % 4)}).Packed()
+	}
+	for _, p := range keys { // warm to final size
+		f.AddP(p, 1)
+		s.InsertP(p)
+	}
+	var drained []Key
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, p := range keys {
+			f.AddP(p, 0.5)
+			f.SwapP(p, 2)
+			s.InsertP(p)
+		}
+		drained = s.Drain(drained[:0])
+		for _, k := range drained {
+			s.InsertP(k.Packed())
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state flat ops allocate %.1f objects per round, budget 0", allocs)
+	}
+}

@@ -1,0 +1,68 @@
+package pmap
+
+import "sync"
+
+// Pool is a set of long-lived worker goroutines for the shard-affinity
+// compute layer: worker w owns stripes {s : s % Workers == w} of every Flat
+// map and FlatSet of its query, so a stripe's pop scan and push applies stay
+// on one goroutine (and its cached lines stay in one core's cache) instead of
+// being re-sharded through freshly spawned goroutines every round, the way
+// pushOwned's fork-join does.
+//
+// Do runs one round: it hands the same closure to every worker and returns
+// when all of them finish. Rounds are the only synchronization — between the
+// two Do calls of a push (claim+materialize, then merge+apply) no worker
+// touches a stripe it does not own, so the closures run lock-free.
+type Pool struct {
+	work []chan func()
+	wg   sync.WaitGroup // tracks worker goroutines for Close
+}
+
+// NewPool starts workers long-lived goroutines. Callers cap workers at
+// NumSubmaps; fewer stripes than workers would leave workers idle.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{work: make([]chan func(), workers)}
+	for w := range p.work {
+		ch := make(chan func(), 1)
+		p.work[w] = ch
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range ch {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.work) }
+
+// Do runs f(w) on every worker w and returns when all calls complete. Not
+// safe for concurrent Do calls — the engine issues rounds from the single
+// driver goroutine.
+func (p *Pool) Do(f func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(len(p.work))
+	for w := range p.work {
+		w := w
+		p.work[w] <- func() {
+			f(w)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// Close stops the workers and waits for them to exit. Do must not be called
+// after Close.
+func (p *Pool) Close() {
+	for _, ch := range p.work {
+		close(ch)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,112 @@
+// View-based codecs for the k-hop sampling RPC, extending the zero-copy hot
+// path (view.go) to MethodSampleNeighbors: the server encodes straight into a
+// pooled buffer, the client aliases the response payload in place (or decodes
+// it into an arena), and request locals are aliased on the serving side. Same
+// validity rules as the neighbor-fetch views: a decoded view lives only while
+// the payload's buffer is retained and the arena is not reset.
+
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pprengine/internal/mem"
+)
+
+// SampleNSize returns the exact length of EncodeSampleNResponse(r)'s output.
+func SampleNSize(r *SampleNResponse) int {
+	return 8 + 4*(len(r.Indptr)+len(r.Locals)+len(r.Shards)+len(r.Globals))
+}
+
+// EncodeSampleNTo appends EncodeSampleNResponse(r)'s encoding to dst and
+// returns the extended slice. With cap(dst) >= SampleNSize(r) (a pooled
+// buffer sized by SampleNSize) no allocation happens and the result shares
+// dst's backing array.
+func EncodeSampleNTo(dst []byte, r *SampleNResponse) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.NumRows()))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Locals)))
+	dst = putI32s(dst, r.Indptr)
+	dst = putI32s(dst, r.Locals)
+	dst = putI32s(dst, r.Shards)
+	return putI32s(dst, r.Globals)
+}
+
+// DecodeSampleNRequestView parses an EncodeSampleNRequest payload, aliasing
+// the locals in place when the host allows it (they start at payload offset
+// 16, so a 4-aligned payload keeps them aligned). Returned by value so a
+// handler's request never escapes to the heap; the Locals slice is a view
+// into b. Odd inputs fall back to the copying decoder, which owns the exact
+// error messages.
+func DecodeSampleNRequestView(b []byte) (SampleNRequest, error) {
+	if len(b) >= 16 {
+		n := int(binary.LittleEndian.Uint32(b[12:]))
+		if len(b)-16 == 4*n && CanAlias(b[16:]) {
+			locals, _ := aliasI32s(b[16:], n)
+			return SampleNRequest{
+				Seed:   int64(binary.LittleEndian.Uint64(b)),
+				Fanout: int32(binary.LittleEndian.Uint32(b[8:])),
+				Locals: locals,
+			}, nil
+		}
+	}
+	r, err := DecodeSampleNRequest(b)
+	if err != nil {
+		return SampleNRequest{}, err
+	}
+	return *r, nil
+}
+
+// DecodeSampleNResponseView parses an EncodeSampleNResponse payload into r
+// without copying when possible: on a little-endian host with an aligned
+// payload the arrays alias b directly (every array starts 4-aligned after
+// the 8-byte header); otherwise they are decoded into a, or the heap when a
+// is nil. Decoding into a caller-owned struct keeps the steady state
+// allocation-free. r is a view — valid only while b's buffer is retained and
+// a is not reset.
+func DecodeSampleNResponseView(b []byte, a *mem.Arena, r *SampleNResponse) error {
+	if len(b) < 8 {
+		return fmt.Errorf("wire: short sampleN response")
+	}
+	rows := int(binary.LittleEndian.Uint32(b))
+	entries := int(binary.LittleEndian.Uint32(b[4:]))
+	rest := b[8:]
+	indptrLen := 0
+	if rows > 0 {
+		indptrLen = rows + 1
+	}
+	need := 4 * (indptrLen + 3*entries)
+	if len(rest) != need {
+		// Malformed sizes: the copying decoder owns the exact errors.
+		dec, err := DecodeSampleNResponse(b)
+		if err != nil {
+			return err
+		}
+		*r = *dec
+		return nil
+	}
+	if CanAlias(b) {
+		if rows > 0 {
+			r.Indptr, rest = aliasI32s(rest, indptrLen)
+		} else {
+			r.Indptr = []int32{}
+		}
+		r.Locals, rest = aliasI32s(rest, entries)
+		r.Shards, rest = aliasI32s(rest, entries)
+		r.Globals, _ = aliasI32s(rest, entries)
+		return nil
+	}
+	if rows > 0 {
+		r.Indptr = arenaI32(a, indptrLen)
+		rest = copyI32s(r.Indptr, rest)
+	} else {
+		r.Indptr = []int32{}
+	}
+	r.Locals = arenaI32(a, entries)
+	rest = copyI32s(r.Locals, rest)
+	r.Shards = arenaI32(a, entries)
+	rest = copyI32s(r.Shards, rest)
+	r.Globals = arenaI32(a, entries)
+	copyI32s(r.Globals, rest)
+	return nil
+}

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pprengine/internal/mem"
+)
+
+func sampleResp() *SampleNResponse {
+	return &SampleNResponse{
+		Indptr:  []int32{0, 2, 2, 5},
+		Locals:  []int32{1, 2, 3, 4, 5},
+		Shards:  []int32{0, 1, 0, 2, 1},
+		Globals: []int32{10, 20, 30, 40, 50},
+	}
+}
+
+func TestEncodeSampleNToMatchesEncode(t *testing.T) {
+	r := sampleResp()
+	want := EncodeSampleNResponse(r)
+	if SampleNSize(r) != len(want) {
+		t.Fatalf("SampleNSize = %d, encoded %d", SampleNSize(r), len(want))
+	}
+	buf := make([]byte, 0, SampleNSize(r))
+	got := EncodeSampleNTo(buf, r)
+	if !bytes.Equal(got, want) {
+		t.Fatal("EncodeSampleNTo produced different bytes")
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("sized EncodeSampleNTo reallocated")
+	}
+
+	empty := &SampleNResponse{Indptr: []int32{}}
+	if !bytes.Equal(EncodeSampleNTo(nil, empty), EncodeSampleNResponse(empty)) {
+		t.Fatal("empty response bytes differ")
+	}
+}
+
+func TestDecodeSampleNResponseViewAliases(t *testing.T) {
+	want := sampleResp()
+	enc := aligned(EncodeSampleNResponse(want))
+	if !CanAlias(enc) {
+		t.Skip("host cannot alias")
+	}
+	var got SampleNResponse
+	if err := DecodeSampleNResponseView(enc, nil, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("view decode mismatch: %+v vs %+v", got, want)
+	}
+	// The arrays must be views into enc, not copies.
+	enc[8] = 9 // first Indptr entry
+	if got.Indptr[0] != 9 {
+		t.Fatal("Indptr does not alias the payload")
+	}
+}
+
+func TestDecodeSampleNResponseViewArenaFallback(t *testing.T) {
+	want := sampleResp()
+	enc := misaligned(EncodeSampleNResponse(want))
+	var a mem.Arena
+	var got SampleNResponse
+	if err := DecodeSampleNResponseView(enc, &a, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("arena decode mismatch: %+v vs %+v", got, want)
+	}
+	// Copied, not aliased: mutating the payload must not leak through.
+	enc[8]++
+	if got.Indptr[0] != 0 {
+		t.Fatal("arena decode aliased the payload")
+	}
+}
+
+func TestDecodeSampleNResponseViewEmptyAndMalformed(t *testing.T) {
+	empty := &SampleNResponse{Indptr: []int32{}}
+	var got SampleNResponse
+	if err := DecodeSampleNResponseView(aligned(EncodeSampleNResponse(empty)), nil, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	enc := EncodeSampleNResponse(sampleResp())
+	for _, bad := range [][]byte{nil, enc[:5], enc[:len(enc)-3]} {
+		if err := DecodeSampleNResponseView(aligned(bad), nil, &got); err == nil {
+			t.Fatalf("malformed payload (len %d) decoded", len(bad))
+		}
+	}
+}
+
+func TestDecodeSampleNRequestView(t *testing.T) {
+	want := &SampleNRequest{Seed: -42, Fanout: 5, Locals: []int32{7, 8, 9}}
+	enc := aligned(EncodeSampleNRequest(want))
+	got, err := DecodeSampleNRequestView(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != want.Seed || got.Fanout != want.Fanout || !reflect.DeepEqual(got.Locals, want.Locals) {
+		t.Fatalf("%+v", got)
+	}
+	if CanAlias(enc[16:]) {
+		enc[16] = 99
+		if got.Locals[0] != 99 {
+			t.Fatal("request locals do not alias the payload")
+		}
+	}
+	// The misaligned fall-back still decodes correctly (by copying).
+	got2, err := DecodeSampleNRequestView(misaligned(EncodeSampleNRequest(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2.Locals, want.Locals) {
+		t.Fatalf("fallback locals %v", got2.Locals)
+	}
+	if _, err := DecodeSampleNRequestView([]byte{1, 2}); err == nil {
+		t.Fatal("short request should fail")
+	}
+}
+
+func TestDecodeSampleNResponseViewAllocBudget(t *testing.T) {
+	if mem.RaceEnabled {
+		t.Skip("race instrumentation skews alloc counts")
+	}
+	enc := aligned(EncodeSampleNResponse(sampleResp()))
+	if !CanAlias(enc) {
+		t.Skip("host cannot alias")
+	}
+	var resp SampleNResponse
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := DecodeSampleNResponseView(enc, nil, &resp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Decoding into a caller-owned struct must be allocation-free: the whole
+	// point of the sampling view path.
+	if allocs > 0 {
+		t.Fatalf("DecodeSampleNResponseView allocates %.1f objects per batch, budget 0", allocs)
+	}
+}
