@@ -8,7 +8,7 @@
 //
 // Experiments: table1, table2, accuracy, fig5a, fig5b, table3, fig6, fig7,
 // intro, partquality, halo, epssweep, netlatency, models, cache, agg,
-// failover, traceoverhead, hotpath, hotpath2, serve, all.
+// failover, traceoverhead, hotpath, hotpath2, serve, overload, all.
 //
 // -json <path> additionally writes every ran experiment's structured rows
 // (plus the run parameters) to path as one JSON object, for CI artifacts and
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|traceoverhead|hotpath|hotpath2|serve|all)")
+		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|traceoverhead|hotpath|hotpath2|serve|overload|all)")
 		scale      = flag.Int("scale", 8, "dataset downscale factor (1 = full stand-in size)")
 		queries    = flag.Int("queries", 0, "SSPPR queries per machine (0 = default)")
 		repeats    = flag.Int("repeats", 0, "measured repetitions (0 = default)")
@@ -42,6 +42,9 @@ func main() {
 		replicas   = flag.Int("replicas", 0, "serving machines per shard for the failover experiment (0 = default 2)")
 		probeIvl   = flag.Duration("probe-interval", 0, "health-ping interval for the failover experiment (0 = default 50ms)")
 		breakerThr = flag.Int("breaker-threshold", 0, "consecutive failures that open a circuit breaker in the failover experiment (0 = default 3)")
+		admitCap   = flag.Int("admit-max-inflight", 0, "per-machine in-flight query cap for the overload experiment (0 = core-count default)")
+		admitQueue = flag.Int("admit-queue", 0, "admission wait-queue depth for the overload experiment (0 = default 2x cap)")
+		hedgeDelay = flag.Duration("hedge-delay", 0, "fixed hedge delay for the overload experiment (0 = default 1ms)")
 		jsonPath   = flag.String("json", "", "write the ran experiments' structured rows to this file as JSON")
 		memProfile = flag.String("memprofile", "", "write a pprof allocs profile to this file after the experiments finish")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -175,6 +178,10 @@ func main() {
 	})
 	run("serve", func() (experiments.Report, any, error) {
 		r, rows, err := experiments.ServeBench(p)
+		return r, rows, err
+	})
+	run("overload", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.OverloadBench(p, *admitCap, *admitQueue, *hedgeDelay)
 		return r, rows, err
 	})
 	if ran == 0 {

@@ -16,10 +16,16 @@
 // query's trace context rides the wire, the serving machines record their
 // side of the trace, and the per-query log line carries the trace ID to grep
 // for on the servers' /debug/traces endpoints.
+//
+// -tenant/-priority identify the queries to the owner's admission controller
+// (pprserve -admit-max-inflight). A batch whose failures are all admission
+// sheds exits with code 3 (back off and retry) instead of 1, and the
+// controller's retry-after hint is printed per shed query.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -28,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"pprengine/internal/admit"
 	"pprengine/internal/cache"
 	"pprengine/internal/core"
 	"pprengine/internal/deploy"
@@ -50,6 +57,8 @@ func main() {
 		alpha       = flag.Float64("alpha", 0.462, "teleport probability")
 		eps         = flag.Float64("eps", 1e-6, "residual threshold")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries exit with context.DeadlineExceeded")
+		tenant      = flag.String("tenant", "", "tenant ID for admission control on the owner (empty = the shared untenanted bucket)")
+		priority    = flag.Int("priority", 0, "admission priority: higher-priority queries queue ahead and may evict lower-priority waiters")
 		dialTimeout = flag.Duration("dial-timeout", deploy.DefaultDialTimeout, "per-peer connect deadline")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "compute mode: byte budget for the dynamic remote neighbor-row cache (0 = disabled)")
 		aggWindow   = flag.Duration("agg-window", 0, "compute mode: flush window for cross-query RPC fetch aggregation (0 = disabled unless -agg-rows is set)")
@@ -79,7 +88,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *ownersSpec != "" {
-		runThin(logger, *locPath, *ownersSpec, sources, *topk, *alpha, *eps, *timeout, *dialTimeout, *traceSample)
+		runThin(logger, *locPath, *ownersSpec, sources, *topk, *alpha, *eps, *timeout, *dialTimeout, *traceSample, *tenant, *priority)
 		return
 	}
 	if *shardPath == "" {
@@ -104,6 +113,8 @@ func main() {
 	cfg.AggRows = *aggRows
 	cfg.ZeroCopy = *zeroCopy
 	cfg.Affinity = *affinity
+	cfg.Tenant = *tenant
+	cfg.Priority = *priority
 	dialCtx, cancelDial := context.WithTimeout(context.Background(), *dialTimeout)
 	var st *core.DistGraphStorage
 	var cleanup func()
@@ -134,7 +145,7 @@ func main() {
 		st.AttachTracer(obs.NewTracer(st.ShardID, *traceSample, 0))
 	}
 
-	failed := 0
+	failed, shed := 0, 0
 	for _, src := range sources {
 		sh, local := st.Locator.Locate(graph.NodeID(src))
 		if sh != st.ShardID {
@@ -148,6 +159,9 @@ func main() {
 		top, stats, err := core.RunSSPPRTopK(context.Background(), st, local, *topk, cfg, bd)
 		if err != nil {
 			failed++
+			if errors.Is(err, admit.ErrShed) {
+				shed++
+			}
 			logQueryError(logger, src, err)
 			continue
 		}
@@ -161,7 +175,7 @@ func main() {
 				rank+1, st.Locator.Global(sn.Key.Shard, sn.Key.Local), sn.Score)
 		}
 	}
-	exitBatch(logger, len(sources), failed)
+	exitBatch(logger, len(sources), failed, shed)
 }
 
 // parseSources resolves the batch: -sources when given, else the single
@@ -182,8 +196,20 @@ func parseSources(csv string, single int) ([]int, error) {
 }
 
 // logQueryError logs one failed query, attributing it to the serving peer at
-// fault when the error chain identifies one (see ha.FaultOf).
+// fault when the error chain identifies one (see ha.FaultOf). A shed query
+// also surfaces the controller's retry-after hint.
 func logQueryError(logger *slog.Logger, src int, err error) {
+	var se *admit.ShedError
+	if errors.As(err, &se) {
+		logger.Error("query shed by admission control", "source", src,
+			"reason", se.Reason, "queue_depth", se.QueueDepth, "retry_after", se.RetryAfter)
+		if se.RetryAfter > 0 {
+			fmt.Fprintf(os.Stderr, "query for %d was shed (%s); retry in %v\n", src, se.Reason, se.RetryAfter)
+		} else {
+			fmt.Fprintf(os.Stderr, "query for %d was shed (%s); retry with a larger -timeout\n", src, se.Reason)
+		}
+		return
+	}
 	if fm, fs, ok := ha.FaultOf(err); ok {
 		logger.Error("query failed", "source", src, "err", err,
 			"fault_machine", fm, "fault_shard", fs)
@@ -210,9 +236,16 @@ func queryAttrs(src int, dur time.Duration, tr *obs.Tracer) []any {
 }
 
 // exitBatch reports the batch outcome: any failed query exits non-zero.
-func exitBatch(logger *slog.Logger, total, failed int) {
+// Exit code 3 means every failure was an admission shed — the queries were
+// rejected early by an overloaded or quota-limited owner, not broken — so
+// callers can back off and retry instead of alerting. Any harder failure
+// keeps the generic code 1.
+func exitBatch(logger *slog.Logger, total, failed, shed int) {
 	if failed > 0 {
-		logger.Error("batch finished with failures", "queries", total, "failed", failed)
+		logger.Error("batch finished with failures", "queries", total, "failed", failed, "shed", shed)
+		if shed == failed {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 	if total > 1 {
@@ -222,7 +255,7 @@ func exitBatch(logger *slog.Logger, total, failed int) {
 
 // runThin dispatches queries to their owners' query services (owner-compute
 // over RPC) instead of computing locally.
-func runThin(logger *slog.Logger, locPath, ownersSpec string, sources []int, topk int, alpha, eps float64, timeout, dialTimeout time.Duration, traceSample float64) {
+func runThin(logger *slog.Logger, locPath, ownersSpec string, sources []int, topk int, alpha, eps float64, timeout, dialTimeout time.Duration, traceSample float64, tenant string, priority int) {
 	owners, err := deploy.ParsePeers(ownersSpec)
 	if err != nil {
 		logger.Error("bad -owners", "err", err)
@@ -236,6 +269,8 @@ func runThin(logger *slog.Logger, locPath, ownersSpec string, sources []int, top
 		os.Exit(1)
 	}
 	defer cleanup()
+	qc.Tenant = tenant
+	qc.Priority = priority
 	// The thin client is the trace head: a sampled dispatch's context rides
 	// the query request, and the owner's whole distributed execution joins
 	// the trace. Machine -1 marks spans recorded outside the cluster.
@@ -243,7 +278,7 @@ func runThin(logger *slog.Logger, locPath, ownersSpec string, sources []int, top
 	if traceSample > 0 {
 		tracer = obs.NewTracer(-1, traceSample, 0)
 	}
-	failed := 0
+	failed, shed := 0, 0
 	for _, src := range sources {
 		ctx := context.Background()
 		if timeout > 0 {
@@ -260,6 +295,9 @@ func runThin(logger *slog.Logger, locPath, ownersSpec string, sources []int, top
 		span.End()
 		if err != nil {
 			failed++
+			if errors.Is(err, admit.ErrShed) {
+				shed++
+			}
 			logQueryError(logger, src, err)
 			continue
 		}
@@ -274,5 +312,5 @@ func runThin(logger *slog.Logger, locPath, ownersSpec string, sources []int, top
 			fmt.Printf("%3d. node %-8d π = %.6g\n", i+1, resp.Globals[i], resp.Scores[i])
 		}
 	}
-	exitBatch(logger, len(sources), failed)
+	exitBatch(logger, len(sources), failed, shed)
 }

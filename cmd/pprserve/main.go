@@ -23,6 +23,14 @@
 // head-based query tracing; sampled trace contexts ride the wire protocol, so
 // this server also records spans for traces started by its clients.
 //
+// With -admit-max-inflight the served queries pass through an admission
+// controller (DESIGN.md §5k): per-tenant token buckets, a bounded priority
+// wait queue, and deadline-aware load shedding. /readyz reports 503 while the
+// queue is saturated, and /debug/admit dumps the controller snapshot
+// (per-tenant bucket levels, queue depth, shed counters) as JSON. With
+// replicated -peers, -hedge additionally duplicates slow remote fetches to a
+// healthy replica.
+//
 // On SIGTERM/SIGINT the server shuts down gracefully: it flips /readyz
 // not-ready (so load balancers stop routing to it), stops accepting work, and
 // waits up to -drain for in-flight requests to finish, so replicas taking
@@ -32,10 +40,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -67,6 +78,12 @@ func main() {
 		modelSeed    = flag.Int64("model-seed", 1, "seed for the synthetic features and model weights (must match across machines)")
 		featCacheB   = flag.Int64("feat-cache-bytes", 0, "byte budget for the remote feature-row cache used by inference (0 = disabled)")
 		featAdmit    = flag.Float64("feat-admit-mass", 0, "minimum PPR mass for a fetched feature row to be cached (0 = admit all)")
+		admitInFl    = flag.Int("admit-max-inflight", 0, "max concurrently executing served queries; enables the admission controller (0 = no admission control)")
+		admitQueue   = flag.Int("admit-queue", 0, "queries allowed to wait for a slot beyond -admit-max-inflight; beyond that they are shed")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant token-bucket refill rate, queries/sec (0 = no per-tenant quotas)")
+		tenantBurst  = flag.Float64("tenant-burst", 0, "per-tenant token-bucket capacity (0 = rate)")
+		hedge        = flag.Bool("hedge", false, "hedge slow remote fetches to a healthy replica (needs replicated -peers)")
+		hedgeDelay   = flag.Duration("hedge-delay", 0, "fixed hedge delay (0 = adapt to the observed per-shard p95)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline: how long to wait for in-flight requests after SIGTERM/SIGINT")
 		replicas     = flag.Int("replicas", 0, "expected serving addresses per remote shard in -peers (0 = accept whatever is listed)")
 		probeIvl     = flag.Duration("probe-interval", 0, "health-ping interval per peer when -peers lists replicas (0 = default 500ms)")
@@ -160,6 +177,12 @@ func main() {
 		cfg.Affinity = *affinity
 		cfg.FeatCacheBytes = *featCacheB
 		cfg.FeatAdmitMass = *featAdmit
+		cfg.AdmitMaxInFlight = *admitInFl
+		cfg.AdmitMaxQueue = *admitQueue
+		cfg.AdmitTenantRate = *tenantRate
+		cfg.AdmitTenantBurst = *tenantBurst
+		cfg.Hedge = *hedge
+		cfg.HedgeDelay = *hedgeDelay
 		ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
 		var compute *core.DistGraphStorage
 		var cleanup func()
@@ -184,6 +207,40 @@ func main() {
 		defer cleanup()
 		compute.SetSampleZeroCopy(*zeroCopy)
 		logger.Info("query service enabled", "peers", deploy.FormatReplicaPeers(peers))
+		if compute.Hedger != nil {
+			logger.Info("hedged fetches enabled", "delay", *hedgeDelay)
+		}
+		if ctrl := compute.Admit; ctrl != nil {
+			logger.Info("admission control enabled",
+				"max_inflight", *admitInFl, "queue", *admitQueue,
+				"tenant_rate", *tenantRate, "tenant_burst", *tenantBurst)
+			if admin != nil {
+				// Saturated queue → /readyz 503: load balancers route new
+				// queries to owners with headroom instead of feeding the shed.
+				admin.AddCheck("admission", ctrl.ReadyCheck)
+				admin.Handle("/debug/admit", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					w.Header().Set("Content-Type", "application/json")
+					json.NewEncoder(w).Encode(ctrl.Snapshot())
+				}))
+				// Per-tenant latency histograms, materialized lazily on each
+				// tenant's first completed query.
+				reg := admin.Registry()
+				var histMu sync.Mutex
+				hists := map[string]*obs.Histogram{}
+				ctrl.SetLatencyHook(func(tenant string, secs float64) {
+					histMu.Lock()
+					h := hists[tenant]
+					if h == nil {
+						h = reg.Histogram("ppr_tenant_query_seconds",
+							"Wall time of admitted SSPPR queries by tenant.",
+							obs.Labels{"tenant": tenant}, obs.DefBuckets)
+						hists[tenant] = h
+					}
+					histMu.Unlock()
+					h.Observe(secs)
+				})
+			}
+		}
 
 		if *featureDim > 0 {
 			// End-to-end serving (§4.5): SSPPR → top-K subgraph + feature

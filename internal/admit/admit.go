@@ -1,0 +1,609 @@
+// Package admit is the query-admission frontend of the engine: it decides,
+// before any pop/push work happens, whether a query runs now, waits, or is
+// shed. Serving-scale deployments die past saturation not because queries
+// get slow but because EVERY query gets slow — each one burns CPU and RPC
+// budget only to time out late. The controller here turns that cliff into a
+// slope:
+//
+//   - per-tenant token buckets bound any one tenant's query rate,
+//   - a per-machine cap bounds in-flight queries (the machine's real
+//     parallelism), with a bounded priority queue absorbing bursts,
+//   - deadline-aware shedding rejects queries whose remaining context budget
+//     cannot cover the observed p50 service time — a typed ShedError in
+//     microseconds instead of a DeadlineExceeded after the full deadline.
+//
+// The package also provides the Hedger (hedge.go): latency-percentile-driven
+// duplicate remote fetches over the replication layer's replica set.
+//
+// Ownership and cancellation rules are documented in DESIGN.md §5k.
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pprengine/internal/metrics"
+)
+
+// Shed reasons carried by ShedError.Reason.
+const (
+	// ReasonQuota: the tenant's token bucket is empty.
+	ReasonQuota = "quota"
+	// ReasonDeadline: the query's remaining deadline budget cannot cover the
+	// observed p50 service time — it would time out late; fail it early.
+	ReasonDeadline = "deadline"
+	// ReasonQueue: the wait queue is full and the query did not outrank any
+	// queued waiter.
+	ReasonQueue = "queue"
+)
+
+// ErrShed is the sentinel every admission rejection matches via errors.Is,
+// whatever the reason. The concrete error is always a *ShedError.
+var ErrShed = errors.New("admit: query shed")
+
+// shedMarker prefixes every ShedError's message. Remote handler errors cross
+// the rpc layer as strings, so the marker (plus the parseable key=value tail)
+// is the wire format of a shed — FromRemote maps it back to a typed error on
+// the client side, the same pattern as core's ErrNoFeatureStore remap.
+const shedMarker = "admit: shed"
+
+// ShedError is a typed admission rejection. It satisfies
+// errors.Is(err, ErrShed).
+type ShedError struct {
+	// Tenant is the rejected query's tenant ID ("" when untenanted).
+	Tenant string
+	// Reason is one of ReasonQuota, ReasonDeadline, ReasonQueue.
+	Reason string
+	// QueueDepth is the wait-queue depth at rejection time.
+	QueueDepth int
+	// RetryAfter is the controller's hint for when a retry could succeed:
+	// time to the next token (quota), or the estimated queue drain time
+	// (queue). Zero for deadline sheds — retrying with the same budget fails
+	// identically.
+	RetryAfter time.Duration
+}
+
+// Error renders the shed in its parseable wire form.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("%s tenant=%q reason=%s depth=%d retry_after_ms=%d",
+		shedMarker, e.Tenant, e.Reason, e.QueueDepth, e.RetryAfter.Milliseconds())
+}
+
+// Is makes every ShedError match the ErrShed sentinel.
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
+
+// FromRemote maps an error that crossed the rpc layer as a string back to a
+// typed *ShedError when its message carries the shed marker. Any other error
+// (including nil) is returned unchanged.
+func FromRemote(err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *ShedError
+	if errors.As(err, &se) {
+		return err
+	}
+	msg := err.Error()
+	i := strings.Index(msg, shedMarker)
+	if i < 0 {
+		return err
+	}
+	parsed := &ShedError{}
+	var retryMs int64
+	if _, serr := fmt.Sscanf(msg[i+len(shedMarker):], " tenant=%q reason=%s depth=%d retry_after_ms=%d",
+		&parsed.Tenant, &parsed.Reason, &parsed.QueueDepth, &retryMs); serr != nil {
+		return err
+	}
+	parsed.RetryAfter = time.Duration(retryMs) * time.Millisecond
+	return parsed
+}
+
+// Clock abstracts time for the controller so tests can drive bucket refill
+// and latency accounting deterministically.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Options configures a Controller. MaxInFlight must be positive; everything
+// else has working defaults.
+type Options struct {
+	// MaxInFlight caps concurrently executing queries on this machine.
+	MaxInFlight int
+	// MaxQueue bounds the wait queue; a query arriving at a full queue is
+	// shed (or evicts a strictly lower-priority waiter). <= 0 means 64.
+	MaxQueue int
+	// TenantRate is each tenant's sustained query rate in queries/second.
+	// <= 0 disables per-tenant quotas.
+	TenantRate float64
+	// TenantBurst is each tenant's bucket capacity (burst size). <= 0 means
+	// max(TenantRate, 1).
+	TenantBurst float64
+	// MinSamples is the number of completed queries required before the
+	// deadline-feasibility check engages (no shedding on a cold estimate).
+	// <= 0 means 8.
+	MinSamples int
+	// Clock supplies time; nil means the real clock.
+	Clock Clock
+	// OnLatency, when set, receives every admitted query's service time —
+	// the hook serving binaries use for per-tenant latency histograms. Called
+	// outside the controller lock.
+	OnLatency func(tenant string, seconds float64)
+}
+
+func (o Options) maxQueue() int {
+	if o.MaxQueue <= 0 {
+		return 64
+	}
+	return o.MaxQueue
+}
+
+func (o Options) tenantBurst() float64 {
+	if o.TenantBurst > 0 {
+		return o.TenantBurst
+	}
+	if o.TenantRate > 1 {
+		return o.TenantRate
+	}
+	return 1
+}
+
+func (o Options) minSamples() int {
+	if o.MinSamples <= 0 {
+		return 8
+	}
+	return o.MinSamples
+}
+
+// Request identifies one query to the admission controller.
+type Request struct {
+	// Tenant is the quota bucket the query draws from ("" is a valid shared
+	// bucket for untenanted traffic).
+	Tenant string
+	// Priority orders the wait queue: higher runs first, and an arriving
+	// higher-priority query evicts a lower-priority waiter from a full
+	// queue. FIFO within a priority band.
+	Priority int
+}
+
+// bucket is one tenant's token bucket, refilled lazily on access.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// waiter is one queued Acquire. grant delivery and shed delivery both go
+// through ch (buffered, one message ever); removal from the queue and sends
+// on ch happen only under the controller lock, so exactly one message is
+// sent per waiter.
+type waiter struct {
+	tenant   string
+	priority int
+	seq      uint64
+	deadline time.Time // zero when the query's ctx has no deadline
+	ch       chan error
+}
+
+// latWindow is the service-time sample window backing the p50 estimate.
+const latWindow = 256
+
+// Controller is one machine's admission frontend, shared by every compute
+// process of the machine (like the cache and the aggregators).
+type Controller struct {
+	opts  Options
+	clock Clock
+
+	mu       sync.Mutex
+	inFlight int
+	queue    []*waiter
+	buckets  map[string]*bucket
+	seq      uint64
+
+	// Service-time ring for the p50 estimate (seconds). Only successful
+	// queries record — a shed or timed-out query's duration says nothing
+	// about healthy service time.
+	samples []float64
+	sampIdx int
+
+	admitted     atomic.Int64
+	shedQuota    atomic.Int64
+	shedDeadline atomic.Int64
+	shedQueue    atomic.Int64
+
+	// onLatency holds the Options.OnLatency hook (type func(string, float64)),
+	// replaceable after construction via SetLatencyHook.
+	onLatency atomic.Value
+}
+
+// NewController builds a controller. MaxInFlight <= 0 is normalized to 1.
+func NewController(opts Options) *Controller {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 1
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	c := &Controller{
+		opts:    opts,
+		clock:   clock,
+		buckets: make(map[string]*bucket),
+		samples: make([]float64, 0, latWindow),
+	}
+	if opts.OnLatency != nil {
+		c.onLatency.Store(opts.OnLatency)
+	}
+	return c
+}
+
+// SetLatencyHook installs (or replaces) the OnLatency hook after
+// construction — serving binaries attach their per-tenant latency histograms
+// here once a metrics registry exists. Safe to call concurrently with
+// traffic.
+func (c *Controller) SetLatencyHook(fn func(tenant string, seconds float64)) {
+	c.onLatency.Store(fn)
+}
+
+// Grant is one admitted query's slot. Release it exactly once when the query
+// finishes (ok = it completed without error), which frees the slot for the
+// next waiter and, when ok, records the service time into the p50 estimate.
+type Grant struct {
+	c      *Controller
+	tenant string
+	start  time.Time
+	done   atomic.Bool
+}
+
+// Release returns the grant's slot. Idempotent.
+func (g *Grant) Release(ok bool) {
+	if g == nil || !g.done.CompareAndSwap(false, true) {
+		return
+	}
+	dur := g.c.clock.Now().Sub(g.start)
+	g.c.release(ok, dur)
+	if fn, _ := g.c.onLatency.Load().(func(string, float64)); ok && fn != nil {
+		fn(g.tenant, dur.Seconds())
+	}
+}
+
+// Acquire admits, queues, or sheds one query. On admission it returns a
+// Grant the caller must Release. On a shed it returns a *ShedError
+// (errors.Is(err, ErrShed)); on caller cancellation while queued it returns
+// ctx's error. The queue is priority-ordered (FIFO within a band) and every
+// grant re-checks the waiter's deadline feasibility — queue time eats
+// deadline budget.
+func (c *Controller) Acquire(ctx context.Context, req Request) (*Grant, error) {
+	now := c.clock.Now()
+	var deadline time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		deadline = dl
+	}
+	c.mu.Lock()
+	// Deadline feasibility before anything else: an infeasible query must
+	// not consume a token (it will be retried with a fresh deadline, and the
+	// bucket should not have been charged for work never started).
+	if !deadline.IsZero() {
+		if need := c.expectedLocked(); need > 0 && deadline.Sub(now) < need {
+			err := c.shedLocked(req.Tenant, ReasonDeadline, 0)
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	if c.opts.TenantRate > 0 {
+		b := c.bucketLocked(req.Tenant, now)
+		if b.tokens < 1 {
+			wait := time.Duration((1 - b.tokens) / c.opts.TenantRate * float64(time.Second))
+			err := c.shedLocked(req.Tenant, ReasonQuota, wait)
+			c.mu.Unlock()
+			return nil, err
+		}
+		b.tokens--
+	}
+	if c.inFlight < c.opts.MaxInFlight {
+		g := c.grantLocked(req.Tenant, now)
+		c.mu.Unlock()
+		return g, nil
+	}
+	// Saturated: queue, evict, or shed.
+	if len(c.queue) >= c.opts.maxQueue() {
+		v := c.victimLocked(req.Priority)
+		if v == nil {
+			err := c.shedLocked(req.Tenant, ReasonQueue, c.drainEstimateLocked())
+			c.mu.Unlock()
+			return nil, err
+		}
+		// The incoming query outranks v: v is shed in its place.
+		c.removeLocked(v)
+		v.ch <- c.shedLocked(v.tenant, ReasonQueue, c.drainEstimateLocked())
+	}
+	w := &waiter{tenant: req.Tenant, priority: req.Priority, seq: c.seq, deadline: deadline, ch: make(chan error, 1)}
+	c.seq++
+	c.queue = append(c.queue, w)
+	metrics.AdmitQueueDepth.Set(int64(len(c.queue)))
+	c.mu.Unlock()
+
+	select {
+	case err := <-w.ch:
+		if err != nil {
+			return nil, err
+		}
+		return &Grant{c: c, tenant: req.Tenant, start: c.clock.Now()}, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		removed := c.removeLocked(w)
+		if removed {
+			metrics.AdmitQueueDepth.Set(int64(len(c.queue)))
+		}
+		c.mu.Unlock()
+		if !removed {
+			// Lost the race: a grant or shed was already delivered. A granted
+			// slot the caller cannot use goes straight back.
+			if err := <-w.ch; err == nil {
+				c.release(false, 0)
+			}
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// grantLocked takes one in-flight slot.
+func (c *Controller) grantLocked(tenant string, now time.Time) *Grant {
+	c.inFlight++
+	c.admitted.Add(1)
+	metrics.QueriesAdmitted.Inc(1)
+	metrics.AdmitInFlight.Set(int64(c.inFlight))
+	return &Grant{c: c, tenant: tenant, start: now}
+}
+
+// shedLocked counts one shed and builds its typed error.
+func (c *Controller) shedLocked(tenant, reason string, retryAfter time.Duration) error {
+	switch reason {
+	case ReasonQuota:
+		c.shedQuota.Add(1)
+		metrics.QueriesShedQuota.Inc(1)
+	case ReasonDeadline:
+		c.shedDeadline.Add(1)
+		metrics.QueriesShedDeadline.Inc(1)
+	default:
+		c.shedQueue.Add(1)
+		metrics.QueriesShedQueue.Inc(1)
+	}
+	return &ShedError{Tenant: tenant, Reason: reason, QueueDepth: len(c.queue), RetryAfter: retryAfter}
+}
+
+// bucketLocked returns tenant's bucket refilled to now.
+func (c *Controller) bucketLocked(tenant string, now time.Time) *bucket {
+	b := c.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: c.opts.tenantBurst(), last: now}
+		c.buckets[tenant] = b
+		return b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * c.opts.TenantRate
+		if burst := c.opts.tenantBurst(); b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+	return b
+}
+
+// expectedLocked estimates the latency a query admitted now would see: the
+// p50 service time, plus the queue's drain time when the query would have to
+// wait. Zero before the estimate warms up (MinSamples completions).
+func (c *Controller) expectedLocked() time.Duration {
+	p50 := c.p50Locked()
+	if p50 <= 0 {
+		return 0
+	}
+	need := p50
+	if c.inFlight >= c.opts.MaxInFlight {
+		// Every queued waiter ahead of us (plus us) drains at cap-parallel
+		// p50 pace.
+		need += time.Duration(float64(len(c.queue)+1) / float64(c.opts.MaxInFlight) * float64(p50))
+	}
+	return need
+}
+
+// drainEstimateLocked is the retry-after hint for queue sheds: roughly when
+// the current queue will have drained.
+func (c *Controller) drainEstimateLocked() time.Duration {
+	p50 := c.p50Locked()
+	if p50 <= 0 {
+		p50 = 10 * time.Millisecond // cold default: something non-zero to back off on
+	}
+	n := len(c.queue) + 1
+	return time.Duration(float64(n) / float64(c.opts.MaxInFlight) * float64(p50))
+}
+
+// p50Locked returns the median observed service time, 0 before warm-up.
+func (c *Controller) p50Locked() time.Duration {
+	if len(c.samples) < c.opts.minSamples() {
+		return 0
+	}
+	sorted := append(make([]float64, 0, len(c.samples)), c.samples...)
+	sort.Float64s(sorted)
+	return time.Duration(sorted[len(sorted)/2] * float64(time.Second))
+}
+
+// victimLocked finds the waiter an incoming query of priority p may evict:
+// the lowest-priority, youngest waiter, and only when strictly outranked.
+func (c *Controller) victimLocked(p int) *waiter {
+	var v *waiter
+	for _, w := range c.queue {
+		if v == nil || w.priority < v.priority || (w.priority == v.priority && w.seq > v.seq) {
+			v = w
+		}
+	}
+	if v == nil || v.priority >= p {
+		return nil
+	}
+	return v
+}
+
+// removeLocked deletes w from the queue, reporting whether it was present.
+func (c *Controller) removeLocked(w *waiter) bool {
+	for i, q := range c.queue {
+		if q == w {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// release frees one slot, records the service time, and dispatches waiters.
+func (c *Controller) release(ok bool, dur time.Duration) {
+	c.mu.Lock()
+	c.inFlight--
+	if ok {
+		if len(c.samples) < latWindow {
+			c.samples = append(c.samples, dur.Seconds())
+		} else {
+			c.samples[c.sampIdx] = dur.Seconds()
+			c.sampIdx = (c.sampIdx + 1) % latWindow
+		}
+	}
+	c.dispatchLocked()
+	metrics.AdmitInFlight.Set(int64(c.inFlight))
+	metrics.AdmitQueueDepth.Set(int64(len(c.queue)))
+	c.mu.Unlock()
+}
+
+// dispatchLocked grants freed slots to the best waiters: highest priority,
+// FIFO within a band. A waiter whose remaining deadline budget no longer
+// covers the p50 service time is shed instead of granted — its queue time
+// ate the budget.
+func (c *Controller) dispatchLocked() {
+	now := c.clock.Now()
+	for c.inFlight < c.opts.MaxInFlight && len(c.queue) > 0 {
+		best := 0
+		for i, w := range c.queue {
+			b := c.queue[best]
+			if w.priority > b.priority || (w.priority == b.priority && w.seq < b.seq) {
+				best = i
+			}
+		}
+		w := c.queue[best]
+		c.queue = append(c.queue[:best], c.queue[best+1:]...)
+		if !w.deadline.IsZero() {
+			if p50 := c.p50Locked(); p50 > 0 && w.deadline.Sub(now) < p50 {
+				w.ch <- c.shedLocked(w.tenant, ReasonDeadline, 0)
+				continue
+			}
+		}
+		c.inFlight++
+		c.admitted.Add(1)
+		metrics.QueriesAdmitted.Inc(1)
+		w.ch <- nil
+	}
+}
+
+// TenantState is one tenant's bucket level in a Snapshot.
+type TenantState struct {
+	Tenant string  `json:"tenant"`
+	Tokens float64 `json:"tokens"`
+	Burst  float64 `json:"burst"`
+}
+
+// Snapshot is a point-in-time view of the controller, served by
+// /debug/admit and summed by cluster.AdmitStats.
+type Snapshot struct {
+	InFlight     int           `json:"in_flight"`
+	MaxInFlight  int           `json:"max_in_flight"`
+	QueueDepth   int           `json:"queue_depth"`
+	MaxQueue     int           `json:"max_queue"`
+	P50          time.Duration `json:"p50_ns"`
+	Admitted     int64         `json:"admitted"`
+	ShedQuota    int64         `json:"shed_quota"`
+	ShedDeadline int64         `json:"shed_deadline"`
+	ShedQueue    int64         `json:"shed_queue"`
+	Tenants      []TenantState `json:"tenants,omitempty"`
+}
+
+// Shed returns the total sheds across all reasons.
+func (s Snapshot) Shed() int64 { return s.ShedQuota + s.ShedDeadline + s.ShedQueue }
+
+// Add accumulates other's counters and occupancy into s (for cluster-wide
+// rollups). Per-tenant bucket levels merge by summing tokens and burst: the
+// rolled-up row reads as the tenant's total available budget across all
+// controllers.
+func (s *Snapshot) Add(other Snapshot) {
+	s.InFlight += other.InFlight
+	s.MaxInFlight += other.MaxInFlight
+	s.QueueDepth += other.QueueDepth
+	s.MaxQueue += other.MaxQueue
+	s.Admitted += other.Admitted
+	s.ShedQuota += other.ShedQuota
+	s.ShedDeadline += other.ShedDeadline
+	s.ShedQueue += other.ShedQueue
+	for _, ot := range other.Tenants {
+		merged := false
+		for i := range s.Tenants {
+			if s.Tenants[i].Tenant == ot.Tenant {
+				s.Tenants[i].Tokens += ot.Tokens
+				s.Tenants[i].Burst += ot.Burst
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			s.Tenants = append(s.Tenants, ot)
+		}
+	}
+	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Tenant < s.Tenants[j].Tenant })
+}
+
+// Snapshot returns the controller's current state. Bucket levels are
+// refilled to now, so an idle tenant shows a full bucket. A nil controller
+// reports zeros.
+func (c *Controller) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		InFlight:     c.inFlight,
+		MaxInFlight:  c.opts.MaxInFlight,
+		QueueDepth:   len(c.queue),
+		MaxQueue:     c.opts.maxQueue(),
+		P50:          c.p50Locked(),
+		Admitted:     c.admitted.Load(),
+		ShedQuota:    c.shedQuota.Load(),
+		ShedDeadline: c.shedDeadline.Load(),
+		ShedQueue:    c.shedQueue.Load(),
+	}
+	for t := range c.buckets {
+		b := c.bucketLocked(t, now)
+		s.Tenants = append(s.Tenants, TenantState{Tenant: t, Tokens: b.tokens, Burst: c.opts.tenantBurst()})
+	}
+	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Tenant < s.Tenants[j].Tenant })
+	return s
+}
+
+// ReadyCheck is the /readyz check: it fails (→ 503 "overloaded") while the
+// wait queue is saturated. A nil controller is always ready.
+func (c *Controller) ReadyCheck() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	depth, max := len(c.queue), c.opts.maxQueue()
+	c.mu.Unlock()
+	if depth >= max {
+		return fmt.Errorf("admit: overloaded (queue %d/%d)", depth, max)
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"pprengine/internal/admit"
 	"pprengine/internal/agg"
 	"pprengine/internal/cache"
 	"pprengine/internal/chaos"
@@ -104,6 +105,24 @@ type Options struct {
 	// can kill, blackhole, drop, or delay individual machines.
 	Chaos *chaos.Injector
 
+	// AdmitMaxInFlight, when > 0, gives every machine an admission
+	// controller (internal/admit) shared by its compute processes: at most
+	// that many queries execute concurrently, AdmitMaxQueue more wait in a
+	// priority queue, and the rest are shed early with a typed error.
+	// AdmitTenantRate/AdmitTenantBurst configure the per-tenant token
+	// buckets (0 disables quotas). 0 disables admission control entirely.
+	AdmitMaxInFlight int
+	AdmitMaxQueue    int
+	AdmitTenantRate  float64
+	AdmitTenantBurst float64
+	// Hedge, with replication on, gives every machine a hedged remote-fetch
+	// layer (admit.Hedger) over its replica router: a fetch whose primary
+	// outlives the hedge delay is duplicated to a healthy replica and the
+	// first response wins. HedgeDelay fixes the delay; 0 adapts it to the
+	// observed per-shard p95. Ignored when Replicas < 2.
+	Hedge      bool
+	HedgeDelay time.Duration
+
 	// TraceSample, when > 0, gives every machine an obs.Tracer sampling
 	// roughly that fraction of queries head-based (1.0 = every query). A
 	// sampled query's trace context rides the wire, so one query yields one
@@ -162,6 +181,14 @@ type Cluster struct {
 	// tracker, shared by all of its compute processes.
 	Routers  []*ha.ReplicaRouter
 	Trackers []*ha.HealthTracker
+
+	// Admits[m] is machine m's admission controller (nil entries when
+	// Opts.AdmitMaxInFlight is 0), shared by all of its compute processes so
+	// the concurrency cap and tenant buckets are machine-wide, like the
+	// cache. Hedgers[m] is its hedged-fetch layer (nil unless Opts.Hedge and
+	// replication are both on).
+	Admits  []*admit.Controller
+	Hedgers []*admit.Hedger
 
 	// Tracers[m] is machine m's span recorder (nil entries when
 	// Opts.TraceSample is 0). Shared by the machine's storage server(s),
@@ -265,6 +292,8 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 	c.FeatAggs = make([][]*agg.FeatureAggregator, opts.NumMachines)
 	c.Routers = make([]*ha.ReplicaRouter, opts.NumMachines)
 	c.Trackers = make([]*ha.HealthTracker, opts.NumMachines)
+	c.Admits = make([]*admit.Controller, opts.NumMachines)
+	c.Hedgers = make([]*admit.Hedger, opts.NumMachines)
 	for m := 0; m < opts.NumMachines; m++ {
 		if opts.CacheBytes > 0 {
 			// One cache per machine, shared by all its compute processes —
@@ -275,6 +304,23 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 		c.FeatCaches[m] = cache.NewFeatures(opts.FeatCacheBytes, opts.FeatAdmitMass)
 		if opts.haEnabled() {
 			c.buildRouter(m, servingAddrs)
+			if opts.Hedge {
+				c.Hedgers[m] = admit.NewHedger(c.Routers[m], admit.HedgeOptions{
+					Delay:  opts.HedgeDelay,
+					Tracer: c.Tracers[m],
+				})
+			}
+		}
+		if opts.AdmitMaxInFlight > 0 {
+			// Admission is machine-level for the same reason as the cache:
+			// the concurrency cap models the machine's capacity, so every
+			// compute process must draw from the same slot pool.
+			c.Admits[m] = admit.NewController(admit.Options{
+				MaxInFlight: opts.AdmitMaxInFlight,
+				MaxQueue:    opts.AdmitMaxQueue,
+				TenantRate:  opts.AdmitTenantRate,
+				TenantBurst: opts.AdmitTenantBurst,
+			})
 		}
 		c.Storages[m] = make([]*core.DistGraphStorage, opts.ProcsPerMachine)
 		for p := 0; p < opts.ProcsPerMachine; p++ {
@@ -304,6 +350,12 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 			if c.Routers[m] != nil {
 				c.Storages[m][p].AttachRouter(c.Routers[m])
 			}
+			if c.Hedgers[m] != nil {
+				c.Storages[m][p].AttachHedger(c.Hedgers[m])
+			}
+			if c.Admits[m] != nil {
+				c.Storages[m][p].AttachAdmission(c.Admits[m])
+			}
 			if opts.aggEnabled() && p == 0 {
 				// One aggregator per (machine, destination shard), shared by
 				// every process of the machine: all of a machine's traffic to
@@ -313,7 +365,13 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 				// the first process's clients (agg.New is nil for the nil
 				// local client).
 				aopts := agg.Options{Window: opts.AggWindow, MaxRows: opts.AggRows, ZeroCopy: opts.ZeroCopy, Tracer: c.Tracers[m]}
-				if c.Routers[m] != nil {
+				if c.Hedgers[m] != nil {
+					// Aggregated flushes hedge as a unit: the merged request
+					// goes through the hedger so a slow primary costs one
+					// duplicate wire request, not one per coalesced query.
+					c.Aggs[m] = core.HedgedAggregators(c.Hedgers[m], int32(opts.NumMachines), int32(m), aopts)
+					c.FeatAggs[m] = core.HedgedFeatureAggregators(c.Hedgers[m], int32(opts.NumMachines), int32(m), aopts)
+				} else if c.Routers[m] != nil {
 					c.Aggs[m] = core.RoutedAggregators(c.Routers[m], int32(opts.NumMachines), int32(m), aopts)
 					c.FeatAggs[m] = core.RoutedFeatureAggregators(c.Routers[m], int32(opts.NumMachines), int32(m), aopts)
 				} else {
@@ -470,6 +528,26 @@ func (c *Cluster) HAStats() ha.Stats {
 	var s ha.Stats
 	for _, r := range c.Routers {
 		s.Add(r.Stats()) // nil-safe
+	}
+	return s
+}
+
+// AdmitStats sums the per-machine admission snapshots (zero value when
+// admission control is disabled).
+func (c *Cluster) AdmitStats() admit.Snapshot {
+	var s admit.Snapshot
+	for _, a := range c.Admits {
+		s.Add(a.Snapshot()) // nil-safe
+	}
+	return s
+}
+
+// HedgeStats sums the per-machine hedging counters (zero value when
+// hedging is disabled).
+func (c *Cluster) HedgeStats() admit.HedgeStats {
+	var s admit.HedgeStats
+	for _, h := range c.Hedgers {
+		s.Add(h.Stats()) // nil-safe
 	}
 	return s
 }

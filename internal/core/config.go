@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"time"
 
+	"pprengine/internal/admit"
 	"pprengine/internal/agg"
 	"pprengine/internal/rpc"
 )
@@ -150,6 +151,39 @@ type Config struct {
 	// allocation profile, kept as the -exp hotpath ablation baseline.
 	// DefaultConfig enables it.
 	ZeroCopy bool
+	// Tenant identifies the quota bucket this query draws from when the
+	// machine runs an admission controller ("" is the shared untenanted
+	// bucket). Threaded from pprquery -tenant / pprserve /infer requests.
+	Tenant string
+	// Priority orders the admission wait queue: higher runs first, and a
+	// higher-priority arrival may evict a lower-priority waiter from a full
+	// queue. 0 is the default band.
+	Priority int
+	// AdmitMaxInFlight, when > 0, enables the admission controller
+	// (internal/admit): at most this many queries execute concurrently on
+	// the machine, excess queries wait in a bounded priority queue, and
+	// queries that cannot meet their deadline — or exceed their tenant's
+	// quota — are shed early with a typed admit.ErrShed instead of timing
+	// out late. Like CacheBytes, the knob is read at construction time
+	// (cluster / deploy) to build the machine-shared controller; 0 (the
+	// default) disables admission entirely.
+	AdmitMaxInFlight int
+	// AdmitMaxQueue bounds the admission wait queue (0 = controller default
+	// 64). Ignored when AdmitMaxInFlight is 0.
+	AdmitMaxQueue int
+	// AdmitTenantRate / AdmitTenantBurst give every tenant a token bucket of
+	// that sustained rate (queries/second) and burst capacity. Rate 0
+	// disables per-tenant quotas; burst 0 defaults to max(rate, 1).
+	AdmitTenantRate  float64
+	AdmitTenantBurst float64
+	// Hedge, when replication is on, routes remote fetches through a hedger
+	// (admit.Hedger): a fetch whose primary replica has not answered within
+	// a latency-percentile-derived delay is also issued to a healthy replica
+	// and the first response wins. Construction-time knob like the admission
+	// fields. HedgeDelay, when > 0, fixes the hedge delay instead of
+	// deriving it from observed primary latencies.
+	Hedge      bool
+	HedgeDelay time.Duration
 	// TensorDispatch simulates the per-operator dispatch latency of a
 	// Python tensor library, charged by the tensor-based baselines for
 	// every small tensor operation they issue (masking, gather, scatter,
@@ -190,6 +224,24 @@ func (c *Config) pushThreshold() int {
 // AggEnabled reports whether the config asks for cross-query fetch
 // aggregation.
 func (c *Config) AggEnabled() bool { return c.AggWindow > 0 || c.AggRows > 0 }
+
+// AdmitEnabled reports whether the config asks for query admission control.
+func (c *Config) AdmitEnabled() bool { return c.AdmitMaxInFlight > 0 }
+
+// AdmitOptions converts the config's admission knobs to admit.Options.
+func (c *Config) AdmitOptions() admit.Options {
+	return admit.Options{
+		MaxInFlight: c.AdmitMaxInFlight,
+		MaxQueue:    c.AdmitMaxQueue,
+		TenantRate:  c.AdmitTenantRate,
+		TenantBurst: c.AdmitTenantBurst,
+	}
+}
+
+// HedgeOptions converts the config's hedging knobs to admit.HedgeOptions.
+func (c *Config) HedgeOptions() admit.HedgeOptions {
+	return admit.HedgeOptions{Delay: c.HedgeDelay}
+}
 
 // AggOptions converts the config's aggregation knobs to agg.Options.
 func (c *Config) AggOptions() agg.Options {

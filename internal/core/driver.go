@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"pprengine/internal/admit"
 	"pprengine/internal/metrics"
 	"pprengine/internal/obs"
 	"pprengine/internal/pmap"
@@ -48,7 +49,31 @@ func RunSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 	// head-based sampling decision.
 	root := startQuerySpan(g.Tracer, ctx)
 	ctx = obs.ContextWith(ctx, root.Context())
+	// Admission gate: with a controller attached the query first claims an
+	// execution slot — or is shed (admit.ErrShed) / queued under its
+	// priority. The gate sits AFTER applyQueryTimeout so the deadline
+	// feasibility check sees the query's real budget, and inside the root
+	// span so traces show the "admit:wait" time a saturated machine adds.
+	var grant *admit.Grant
+	if g.Admit != nil {
+		waitSpan := g.Tracer.StartSpan(obs.FromContext(ctx), "admit:wait")
+		var aerr error
+		grant, aerr = g.Admit.Acquire(ctx, admit.Request{Tenant: cfg.Tenant, Priority: cfg.Priority})
+		waitSpan.SetErr(aerr != nil)
+		waitSpan.End()
+		if aerr != nil {
+			var stats QueryStats
+			if isCtxErr(aerr) {
+				stats.Timeouts++
+				metrics.QueryTimeouts.Inc(1)
+			}
+			root.SetErr(true)
+			root.End()
+			return nil, stats, aerr
+		}
+	}
 	m, stats, err := runSSPPR(ctx, g, sourceLocal, cfg, bd)
+	grant.Release(err == nil) // nil-safe; records the service time on success
 	if err != nil && isCtxErr(err) {
 		stats.Timeouts++
 		metrics.QueryTimeouts.Inc(1)

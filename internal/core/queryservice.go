@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"pprengine/internal/admit"
 	"pprengine/internal/graph"
 	"pprengine/internal/metrics"
 	"pprengine/internal/rpc"
@@ -49,6 +50,11 @@ func (ss *StorageServer) EnableQueryService(compute *DistGraphStorage, cfg Confi
 		if req.TimeoutMs > 0 {
 			qcfg.QueryTimeout = time.Duration(req.TimeoutMs) * time.Millisecond
 		}
+		// Admission identity rides the request: the owner's controller (when
+		// attached) charges the client's tenant bucket and queues under the
+		// client's priority, not the server's defaults.
+		qcfg.Tenant = req.Tenant
+		qcfg.Priority = int(req.Priority)
 		start := time.Now()
 		var bd metrics.Breakdown
 		top, stats, err := RunSSPPRTopK(ctx, compute, req.SourceLocal, int(req.TopK), qcfg, &bd)
@@ -88,6 +94,12 @@ type QueryClient struct {
 	// of whole queries with bounded exponential backoff. Deadline expiry is
 	// never retried.
 	Retry rpc.RetryPolicy
+
+	// Tenant and Priority identify this client to the owner's admission
+	// controller. Both zero values keep the wire encoding at the legacy
+	// layout, so default-config clients interoperate with older servers.
+	Tenant   string
+	Priority int
 }
 
 // NewQueryClient builds a query client from per-shard connections and a
@@ -110,6 +122,8 @@ func (qc *QueryClient) Query(ctx context.Context, source graph.NodeID, topK int,
 		TopK:        int32(topK),
 		Alpha:       alpha,
 		Eps:         eps,
+		Tenant:      qc.Tenant,
+		Priority:    int32(qc.Priority),
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		if ms := time.Until(dl).Milliseconds(); ms > 0 {
@@ -127,7 +141,9 @@ func (qc *QueryClient) Query(ctx context.Context, source graph.NodeID, topK int,
 		resp, err = qc.clients[sh].SyncCallCtx(ctx, rpc.MethodSSPPRQuery, payload)
 	}
 	if err != nil {
-		return nil, err
+		// Sheds cross the RPC boundary as strings; remap so callers can
+		// errors.Is(err, admit.ErrShed) and read the retry-after hint.
+		return nil, admit.FromRemote(err)
 	}
 	return wire.DecodeQueryResponse(resp)
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pprengine/internal/admit"
 	"pprengine/internal/agg"
 	"pprengine/internal/cache"
 	"pprengine/internal/ha"
@@ -680,6 +681,18 @@ type DistGraphStorage struct {
 	// single-client paths, preserving the paper's behavior exactly.
 	Router *ha.ReplicaRouter
 
+	// Admit, when non-nil, is the machine's admission controller
+	// (internal/admit): RunSSPPR claims an execution slot before any
+	// pop/push work and sheds queries that cannot meet their deadline or
+	// exceed their tenant's quota. Machine-shared state like the cache.
+	Admit *admit.Controller
+
+	// Hedger, when non-nil (requires Router), carries remote requests
+	// through hedged dispatch: a fetch whose primary has not answered within
+	// the hedge delay is also issued to a healthy replica, first response
+	// wins. nil keeps the plain routed (or direct) path.
+	Hedger *admit.Hedger
+
 	// Tracer records this machine's spans for sampled queries (nil when
 	// tracing is off — every use is nil-safe).
 	Tracer *obs.Tracer
@@ -730,6 +743,12 @@ func (g *DistGraphStorage) AttachFetchAggregators(o agg.Options) {
 		// of this handle's spans unless the caller wired one explicitly.
 		o.Tracer = g.Tracer
 	}
+	if g.Hedger != nil {
+		// Hedging applies to merged flushes too: a slow primary re-issues
+		// the whole flush to a replica. Attach the hedger first.
+		g.Aggs = HedgedAggregators(g.Hedger, g.NumShards, g.ShardID, o)
+		return
+	}
 	if g.Router != nil {
 		// With replication on, flushes must go through the router so a merged
 		// request fails over as a unit; attach the router first.
@@ -760,6 +779,10 @@ func (g *DistGraphStorage) AttachFeatureFetchAggregators(o agg.Options) {
 	if o.Tracer == nil {
 		o.Tracer = g.Tracer
 	}
+	if g.Hedger != nil {
+		g.FeatAggs = HedgedFeatureAggregators(g.Hedger, g.NumShards, g.ShardID, o)
+		return
+	}
 	if g.Router != nil {
 		g.FeatAggs = RoutedFeatureAggregators(g.Router, g.NumShards, g.ShardID, o)
 		return
@@ -777,15 +800,33 @@ func (g *DistGraphStorage) AttachFeatureFetchAggregators(o agg.Options) {
 // a direct connection.
 func (g *DistGraphStorage) AttachRouter(r *ha.ReplicaRouter) { g.Router = r }
 
+// AttachAdmission installs the machine-shared admission controller; the
+// driver then gates every RunSSPPR through it.
+func (g *DistGraphStorage) AttachAdmission(c *admit.Controller) { g.Admit = c }
+
+// AttachHedger installs the machine-shared request hedger. It also installs
+// the hedger's router when none is attached yet, so hedged and non-hedged
+// calls agree on the replica set.
+func (g *DistGraphStorage) AttachHedger(h *admit.Hedger) {
+	g.Hedger = h
+	if g.Router == nil && h != nil {
+		g.Router = h.Router()
+	}
+}
+
 // AttachTracer installs the machine's tracer on this compute handle.
 func (g *DistGraphStorage) AttachTracer(t *obs.Tracer) { g.Tracer = t }
 
-// call issues one remote request, through the router when replication is
-// on. The direct path binds the request to ctx; the routed path is
+// call issues one remote request: hedged over the replica set when a hedger
+// is attached, through the router when replication is on, direct otherwise.
+// The direct path binds the request to ctx; the routed and hedged paths are
 // deliberately ctx-free (a failover attempt loop is shared state — the
-// waiter's ctx still applies via WaitCtx) but still carries ctx's trace
+// waiter's ctx still applies via WaitCtx) but still carry ctx's trace
 // context so the attempt spans and the remote server join the query's trace.
 func (g *DistGraphStorage) call(ctx context.Context, dstShard int32, m rpc.Method, payload []byte) respFuture {
+	if g.Hedger != nil {
+		return g.Hedger.CallTraced(obs.FromContext(ctx), dstShard, m, payload)
+	}
 	if g.Router != nil {
 		return g.Router.CallTraced(obs.FromContext(ctx), dstShard, m, payload)
 	}
@@ -827,6 +868,46 @@ func RoutedFeatureAggregators(r *ha.ReplicaRouter, numShards, localShard int32, 
 			continue
 		}
 		aggs[s] = agg.NewFeatureTransport(routedTransport{r: r, shard: s}, o)
+	}
+	return aggs
+}
+
+// hedgedTransport flushes one aggregator's batches through the hedger: a
+// merged flush whose primary is slow is re-issued to a replica as one unit,
+// exactly like a single fetch. Hedging sits below the aggregator's
+// single-flight merging, so the dedup semantics are untouched — one flush,
+// at most two wire attempts, one decoded response.
+type hedgedTransport struct {
+	h     *admit.Hedger
+	shard int32
+}
+
+func (t hedgedTransport) Call(sc obs.SpanContext, m rpc.Method, payload []byte) agg.Response {
+	return t.h.CallTraced(sc, t.shard, m, payload)
+}
+
+// HedgedAggregators builds one fetch aggregator per shard whose flushes go
+// through the hedger (nil entry for localShard).
+func HedgedAggregators(h *admit.Hedger, numShards, localShard int32, o agg.Options) []*agg.Aggregator {
+	aggs := make([]*agg.Aggregator, numShards)
+	for s := int32(0); s < numShards; s++ {
+		if s == localShard {
+			continue
+		}
+		aggs[s] = agg.NewTransport(hedgedTransport{h: h, shard: s}, o)
+	}
+	return aggs
+}
+
+// HedgedFeatureAggregators builds one feature-fetch aggregator per shard
+// whose flushes go through the hedger (nil entry for localShard).
+func HedgedFeatureAggregators(h *admit.Hedger, numShards, localShard int32, o agg.Options) []*agg.FeatureAggregator {
+	aggs := make([]*agg.FeatureAggregator, numShards)
+	for s := int32(0); s < numShards; s++ {
+		if s == localShard {
+			continue
+		}
+		aggs[s] = agg.NewFeatureTransport(hedgedTransport{h: h, shard: s}, o)
 	}
 	return aggs
 }

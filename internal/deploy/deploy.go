@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"pprengine/internal/admit"
 	"pprengine/internal/cache"
 	"pprengine/internal/core"
 	"pprengine/internal/rpc"
@@ -109,6 +110,7 @@ func EnableQueries(ctx context.Context, srv *core.StorageServer, peers map[int32
 		compute.AttachFetchAggregators(cfg.AggOptions())
 	}
 	attachFeatureTier(compute, cfg)
+	attachAdmission(compute, cfg)
 	if err := srv.EnableQueryService(compute, cfg); err != nil {
 		cleanup()
 		return nil, nil, err
@@ -125,6 +127,16 @@ func attachFeatureTier(compute *core.DistGraphStorage, cfg core.Config) {
 	}
 	if cfg.AggEnabled() {
 		compute.AttachFeatureFetchAggregators(cfg.AggOptions())
+	}
+}
+
+// attachAdmission wires an admission controller onto a serving compute
+// handle from the config knobs. The controller stays reachable as
+// compute.Admit, so the serving process can expose its ReadyCheck and
+// Snapshot through an admin server.
+func attachAdmission(compute *core.DistGraphStorage, cfg core.Config) {
+	if cfg.AdmitEnabled() {
+		compute.AttachAdmission(admit.NewController(cfg.AdmitOptions()))
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pprengine/internal/admit"
 	"pprengine/internal/cache"
 	"pprengine/internal/core"
 	"pprengine/internal/ha"
@@ -162,6 +163,7 @@ func ConnectHA(ctx context.Context, shardPath, locatorPath string, peers map[int
 	}
 	compute := core.NewDistGraphStorage(s.ShardID, s, loc, make([]*rpc.Client, s.NumShards))
 	compute.AttachRouter(router)
+	attachHedger(compute, router, cfg, haOpts)
 	if cfg.CacheBytes > 0 {
 		compute.AttachCache(cache.New(cfg.CacheBytes))
 	}
@@ -170,6 +172,18 @@ func ConnectHA(ctx context.Context, shardPath, locatorPath string, peers map[int
 	}
 	attachFeatureTier(compute, cfg)
 	return compute, router, cleanup, nil
+}
+
+// attachHedger wires a hedged-fetch layer over the router when the config
+// asks for it. It must run before the aggregator attachments so merged
+// flushes route through the hedger too.
+func attachHedger(compute *core.DistGraphStorage, router *ha.ReplicaRouter, cfg core.Config, haOpts ha.Options) {
+	if !cfg.Hedge {
+		return
+	}
+	ho := cfg.HedgeOptions()
+	ho.Tracer = haOpts.Tracer
+	compute.AttachHedger(admit.NewHedger(router, ho))
 }
 
 // EnableQueriesHA is EnableQueries with replicated peers: the query owner's
@@ -189,6 +203,7 @@ func EnableQueriesHA(ctx context.Context, srv *core.StorageServer, peers map[int
 	compute := core.NewDistGraphStorage(srv.Shard.ShardID, srv.Shard, srv.Locator, make([]*rpc.Client, srv.Shard.NumShards))
 	compute.AttachTracer(srv.Tracer())
 	compute.AttachRouter(router)
+	attachHedger(compute, router, cfg, haOpts)
 	if cfg.CacheBytes > 0 {
 		compute.AttachCache(cache.New(cfg.CacheBytes))
 	}
@@ -196,6 +211,7 @@ func EnableQueriesHA(ctx context.Context, srv *core.StorageServer, peers map[int
 		compute.AttachFetchAggregators(cfg.AggOptions())
 	}
 	attachFeatureTier(compute, cfg)
+	attachAdmission(compute, cfg)
 	if err := srv.EnableQueryService(compute, cfg); err != nil {
 		cleanup()
 		return nil, nil, nil, err

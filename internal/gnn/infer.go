@@ -3,11 +3,13 @@ package gnn
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
+	"pprengine/internal/admit"
 	"pprengine/internal/core"
 	"pprengine/internal/metrics"
 	"pprengine/internal/obs"
@@ -53,6 +55,13 @@ type InferResult struct {
 // root, and the SSPPR query, every fetch RPC, and the convert phase appear
 // as its descendants.
 func (s *InferService) Infer(ctx context.Context, sourceLocal int32) (*InferResult, error) {
+	return s.InferAs(ctx, sourceLocal, s.PPR.Tenant, s.PPR.Priority)
+}
+
+// InferAs is Infer with an explicit admission identity: the SSPPR stage
+// charges tenant's quota bucket and waits at priority when the owner runs an
+// admission controller. A shed surfaces as an error matching admit.ErrShed.
+func (s *InferService) InferAs(ctx context.Context, sourceLocal int32, tenant string, priority int) (*InferResult, error) {
 	start := time.Now()
 	tr := s.G.Tracer
 	var root obs.ActiveSpan
@@ -62,7 +71,7 @@ func (s *InferService) Infer(ctx context.Context, sourceLocal int32) (*InferResu
 		root = tr.StartTrace("infer")
 	}
 	ctx = obs.ContextWith(ctx, root.Context())
-	res, err := s.infer(ctx, sourceLocal)
+	res, err := s.infer(ctx, sourceLocal, tenant, priority)
 	root.SetErr(err != nil)
 	root.End()
 	if err != nil {
@@ -76,11 +85,13 @@ func (s *InferService) Infer(ctx context.Context, sourceLocal int32) (*InferResu
 	return res, nil
 }
 
-func (s *InferService) infer(ctx context.Context, sourceLocal int32) (*InferResult, error) {
+func (s *InferService) infer(ctx context.Context, sourceLocal int32, tenant string, priority int) (*InferResult, error) {
 	cfg := s.PPR
 	if cfg.Alpha == 0 {
 		cfg = core.DefaultConfig()
 	}
+	cfg.Tenant = tenant
+	cfg.Priority = priority
 	m, stats, err := core.RunSSPPR(ctx, s.G, sourceLocal, cfg, nil)
 	if err != nil {
 		return nil, fmt.Errorf("gnn: infer source %d: ssppr: %w", sourceLocal, err)
@@ -105,18 +116,41 @@ func (s *InferService) infer(ctx context.Context, sourceLocal int32) (*InferResu
 	}, nil
 }
 
-// Handler returns the HTTP face of the service: GET /infer?source=N serves
-// one inference and returns the InferResult as JSON. Mounted on the obs
-// admin server by cmd/pprserve.
+// Handler returns the HTTP face of the service: GET
+// /infer?source=N[&tenant=T&priority=P] serves one inference and returns the
+// InferResult as JSON. A request shed by the owner's admission controller
+// maps to 429 Too Many Requests with a Retry-After header (whole seconds,
+// rounded up), so standard HTTP clients back off correctly. Mounted on the
+// obs admin server by cmd/pprserve.
 func (s *InferService) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		src, err := strconv.ParseInt(r.URL.Query().Get("source"), 10, 32)
+		q := r.URL.Query()
+		src, err := strconv.ParseInt(q.Get("source"), 10, 32)
 		if err != nil {
 			http.Error(w, "missing or invalid ?source=<local vertex id>", http.StatusBadRequest)
 			return
 		}
-		res, err := s.Infer(r.Context(), int32(src))
+		priority := 0
+		if p := q.Get("priority"); p != "" {
+			pv, err := strconv.Atoi(p)
+			if err != nil {
+				http.Error(w, "invalid ?priority=<int>", http.StatusBadRequest)
+				return
+			}
+			priority = pv
+		}
+		res, err := s.InferAs(r.Context(), int32(src), q.Get("tenant"), priority)
 		if err != nil {
+			var shed *admit.ShedError
+			if errors.As(err, &shed) {
+				secs := int64(shed.RetryAfter+time.Second-1) / int64(time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}

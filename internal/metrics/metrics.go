@@ -279,6 +279,25 @@ var (
 	// (SSPPR → ConvertBatch → model forward) served and failed.
 	InferServed   Counter
 	InferFailures Counter
+	// QueriesAdmitted counts queries granted an execution slot by the
+	// admission controller (internal/admit); the shed counters break
+	// rejections down by reason: empty tenant token bucket (quota), remaining
+	// deadline budget below the observed p50 service time (deadline), and a
+	// saturated wait queue (queue).
+	QueriesAdmitted     Counter
+	QueriesShedQuota    Counter
+	QueriesShedDeadline Counter
+	QueriesShedQueue    Counter
+	// AdmitQueueDepth / AdmitInFlight track the admission controller's wait
+	// queue and in-flight query occupancy.
+	AdmitQueueDepth Gauge
+	AdmitInFlight   Gauge
+	// Hedges counts duplicate remote-fetch attempts issued by the hedger
+	// after the primary outlived the hedge delay; HedgeWins counts the
+	// hedged attempts that produced the winning response. A hedge win is
+	// never also counted as a failover.
+	Hedges    Counter
+	HedgeWins Counter
 )
 
 // AtomicBreakdown is a Breakdown safe for concurrent merges: a long-lived

@@ -63,6 +63,18 @@ func RegisterEngineMetrics(r *Registry) {
 	r.CounterFunc("ppr_wire_bytes_sent_total", "Client-side request payload bytes sent.", nil, counterOf(&metrics.WireBytesSent))
 	r.CounterFunc("ppr_wire_bytes_received_total", "Client-side response payload bytes received.", nil, counterOf(&metrics.WireBytesReceived))
 
+	r.CounterFunc("ppr_admit_admitted_total", "Queries granted an execution slot by the admission controller.", nil, counterOf(&metrics.QueriesAdmitted))
+	r.CounterFunc("ppr_admit_shed_total", "Queries shed by the admission controller, by reason.", Labels{"reason": "quota"}, counterOf(&metrics.QueriesShedQuota))
+	r.CounterFunc("ppr_admit_shed_total", "Queries shed by the admission controller, by reason.", Labels{"reason": "deadline"}, counterOf(&metrics.QueriesShedDeadline))
+	r.CounterFunc("ppr_admit_shed_total", "Queries shed by the admission controller, by reason.", Labels{"reason": "queue"}, counterOf(&metrics.QueriesShedQueue))
+	r.GaugeFunc("ppr_admit_queue_depth", "Queries waiting in the admission queue.", nil,
+		func() float64 { return float64(metrics.AdmitQueueDepth.Load()) })
+	r.GaugeFunc("ppr_admit_inflight", "Queries currently holding an admission slot.", nil,
+		func() float64 { return float64(metrics.AdmitInFlight.Load()) })
+
+	r.CounterFunc("ppr_hedges_total", "Duplicate remote-fetch attempts issued after the primary outlived the hedge delay.", nil, counterOf(&metrics.Hedges))
+	r.CounterFunc("ppr_hedge_wins_total", "Hedged attempts that produced the winning response.", nil, counterOf(&metrics.HedgeWins))
+
 	r.CounterFunc("ppr_failovers_total", "Routed requests re-issued to a replica after the preferred endpoint failed.", nil, counterOf(&metrics.Failovers))
 	r.CounterFunc("ppr_breaker_opens_total", "Peer circuit-breaker transitions into the open state.", nil, counterOf(&metrics.BreakerOpens))
 	r.CounterFunc("ppr_breaker_closes_total", "Peer circuit-breaker transitions back to closed.", nil, counterOf(&metrics.BreakerCloses))

@@ -579,25 +579,45 @@ type QueryRequest struct {
 	// TimeoutMs propagates the client's deadline so the owner stops
 	// computing once the client has given up. 0 means no client deadline.
 	TimeoutMs uint32
+	// Priority and Tenant feed the owner's admission controller: the quota
+	// bucket the query draws from and its wait-queue band. Zero/empty are
+	// the defaults and keep the encoding at its pre-admission layout.
+	Priority int32
+	Tenant   string
 }
 
-// EncodeQueryRequest serializes r.
+// maxTenantLen caps the tenant ID's encoded length.
+const maxTenantLen = 255
+
+// EncodeQueryRequest serializes r. Requests with no admission identity
+// (Priority 0, empty Tenant) keep the 28-byte pre-admission layout, so
+// default-config clients stay wire-compatible with older servers. A tenant
+// longer than 255 bytes is truncated.
 func EncodeQueryRequest(r *QueryRequest) []byte {
-	b := make([]byte, 0, 28)
+	tenant := r.Tenant
+	if len(tenant) > maxTenantLen {
+		tenant = tenant[:maxTenantLen]
+	}
+	b := make([]byte, 0, 33+len(tenant))
 	b = binary.LittleEndian.AppendUint32(b, uint32(r.SourceLocal))
 	b = binary.LittleEndian.AppendUint32(b, uint32(r.TopK))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Alpha))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Eps))
 	b = binary.LittleEndian.AppendUint32(b, r.TimeoutMs)
+	if r.Priority == 0 && tenant == "" {
+		return b
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Priority))
+	b = append(b, byte(len(tenant)))
+	b = append(b, tenant...)
 	return b
 }
 
-// DecodeQueryRequest parses an EncodeQueryRequest payload. The 24-byte
-// pre-deadline layout (no TimeoutMs field) is still accepted for
-// compatibility with older clients.
+// DecodeQueryRequest parses an EncodeQueryRequest payload. Older layouts are
+// still accepted: 24 bytes (pre-deadline) and 28 bytes (pre-admission).
 func DecodeQueryRequest(b []byte) (*QueryRequest, error) {
-	if len(b) != 24 && len(b) != 28 {
-		return nil, fmt.Errorf("wire: query request has %d bytes, want 24 or 28", len(b))
+	if len(b) != 24 && len(b) != 28 && len(b) < 33 {
+		return nil, fmt.Errorf("wire: query request has %d bytes, want 24, 28, or >= 33", len(b))
 	}
 	r := &QueryRequest{
 		SourceLocal: int32(binary.LittleEndian.Uint32(b)),
@@ -605,8 +625,16 @@ func DecodeQueryRequest(b []byte) (*QueryRequest, error) {
 		Alpha:       math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
 		Eps:         math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
 	}
-	if len(b) == 28 {
+	if len(b) >= 28 {
 		r.TimeoutMs = binary.LittleEndian.Uint32(b[24:])
+	}
+	if len(b) >= 33 {
+		r.Priority = int32(binary.LittleEndian.Uint32(b[28:]))
+		n := int(b[32])
+		if len(b) != 33+n {
+			return nil, fmt.Errorf("wire: query request tenant claims %d bytes, %d remain", n, len(b)-33)
+		}
+		r.Tenant = string(b[33:])
 	}
 	return r, nil
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -350,5 +351,55 @@ func TestQueryRequestLegacyDecode(t *testing.T) {
 	}
 	if _, err := DecodeQueryRequest(legacy[:20]); err == nil {
 		t.Fatal("expected error for truncated request")
+	}
+}
+
+func TestQueryRequestTenantRoundTrip(t *testing.T) {
+	r := &QueryRequest{SourceLocal: 42, TopK: 10, Alpha: 0.462, Eps: 1e-6, TimeoutMs: 1500,
+		Priority: -3, Tenant: "team-α"}
+	b := EncodeQueryRequest(r)
+	if want := 33 + len(r.Tenant); len(b) != want {
+		t.Fatalf("encoded length %d, want %d", len(b), want)
+	}
+	got, err := DecodeQueryRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip: %+v vs %+v", got, r)
+	}
+	// Priority alone (empty tenant) must still use the extended layout.
+	p := &QueryRequest{SourceLocal: 1, Priority: 5}
+	got, err = DecodeQueryRequest(EncodeQueryRequest(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Priority != 5 || got.Tenant != "" {
+		t.Fatalf("priority-only decode: %+v", got)
+	}
+	// Tenant-length/body mismatches must be rejected, not sliced blindly.
+	if _, err := DecodeQueryRequest(b[:len(b)-1]); err == nil {
+		t.Fatal("expected error for truncated tenant")
+	}
+	if _, err := DecodeQueryRequest(append(append([]byte{}, b...), 'x')); err == nil {
+		t.Fatal("expected error for trailing bytes")
+	}
+	// Over-long tenants are truncated, not corrupted.
+	long := &QueryRequest{Tenant: strings.Repeat("t", 300)}
+	got, err = DecodeQueryRequest(EncodeQueryRequest(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tenant) != 255 {
+		t.Fatalf("truncated tenant length %d, want 255", len(got.Tenant))
+	}
+}
+
+func TestQueryRequestDefaultIdentityStaysLegacy(t *testing.T) {
+	// The zero admission identity must keep the 28-byte pre-admission layout
+	// so default-config clients interoperate with older servers.
+	r := &QueryRequest{SourceLocal: 9, TopK: 5, Alpha: 0.3, Eps: 1e-5, TimeoutMs: 100}
+	if b := EncodeQueryRequest(r); len(b) != 28 {
+		t.Fatalf("encoded length %d, want legacy 28", len(b))
 	}
 }
