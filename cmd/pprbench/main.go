@@ -8,7 +8,7 @@
 //
 // Experiments: table1, table2, accuracy, fig5a, fig5b, table3, fig6, fig7,
 // intro, partquality, halo, epssweep, netlatency, models, cache, agg,
-// failover, traceoverhead, hotpath, hotpath2, serve, overload, all.
+// failover, traceoverhead, hotpath, hotpath2, serve, overload, mutate, all.
 //
 // -json <path> additionally writes every ran experiment's structured rows
 // (plus the run parameters) to path as one JSON object, for CI artifacts and
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|traceoverhead|hotpath|hotpath2|serve|overload|all)")
+		exp        = flag.String("exp", "all", "experiment to run (table1|table2|accuracy|fig5a|fig5b|table3|fig6|fig7|intro|partquality|halo|epssweep|netlatency|models|cache|agg|failover|traceoverhead|hotpath|hotpath2|serve|overload|mutate|all)")
 		scale      = flag.Int("scale", 8, "dataset downscale factor (1 = full stand-in size)")
 		queries    = flag.Int("queries", 0, "SSPPR queries per machine (0 = default)")
 		repeats    = flag.Int("repeats", 0, "measured repetitions (0 = default)")
@@ -182,6 +182,10 @@ func main() {
 	})
 	run("overload", func() (experiments.Report, any, error) {
 		r, rows, err := experiments.OverloadBench(p, *admitCap, *admitQueue, *hedgeDelay)
+		return r, rows, err
+	})
+	run("mutate", func() (experiments.Report, any, error) {
+		r, rows, err := experiments.MutateBench(p)
 		return r, rows, err
 	})
 	if ran == 0 {

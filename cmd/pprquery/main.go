@@ -17,6 +17,11 @@
 // side of the trace, and the per-query log line carries the trace ID to grep
 // for on the servers' /debug/traces endpoints.
 //
+// -mutate applies streaming graph mutations instead of querying: the file's
+// add-edge / del-edge / add-vertex lines are validated locally and posted to
+// the mutation coordinator named by -mutate-url (the admin /mutate endpoint
+// of the pprserve started with -mutable -coordinator).
+//
 // -tenant/-priority identify the queries to the owner's admission controller
 // (pprserve -admit-max-inflight). A batch whose failures are all admission
 // sheds exits with code 3 (back off and retry) instead of 1, and the
@@ -25,10 +30,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -37,6 +45,7 @@ import (
 	"pprengine/internal/admit"
 	"pprengine/internal/cache"
 	"pprengine/internal/core"
+	"pprengine/internal/delta"
 	"pprengine/internal/deploy"
 	"pprengine/internal/graph"
 	"pprengine/internal/ha"
@@ -68,6 +77,8 @@ func main() {
 		replicas    = flag.Int("replicas", 0, "expected serving addresses per remote shard in -peers (0 = accept whatever is listed)")
 		probeIvl    = flag.Duration("probe-interval", 0, "health-ping interval per peer when -peers lists replicas (0 = default 500ms)")
 		breakerThr  = flag.Int("breaker-threshold", 0, "consecutive probe/request failures that open a peer's circuit breaker (0 = default)")
+		mutateFile  = flag.String("mutate", "", "apply streaming graph mutations instead of querying: a file of \"add-edge <src> <dst> <w>\" / \"del-edge <src> <dst>\" / \"add-vertex <id>\" lines (\"-\" = stdin), posted to -mutate-url")
+		mutateURL   = flag.String("mutate-url", "", "the mutation coordinator's endpoint, e.g. http://host:9090/mutate (the admin address of the pprserve started with -mutable -coordinator)")
 		traceSample = flag.Float64("trace-sample", 0, "fraction of queries to trace end to end (0 = off, 1 = all)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "log format: text or json")
@@ -77,6 +88,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pprquery:", err)
 		os.Exit(2)
+	}
+	if *mutateFile != "" {
+		runMutate(logger, *mutateFile, *mutateURL, *timeout)
+		return
 	}
 	if *locPath == "" {
 		logger.Error("missing required flag", "flag", "-locator")
@@ -251,6 +266,71 @@ func exitBatch(logger *slog.Logger, total, failed, shed int) {
 	if total > 1 {
 		logger.Info("batch finished", "queries", total)
 	}
+}
+
+// runMutate parses the line-oriented mutation file and posts it to the
+// deployment's mutation coordinator (pprserve -mutable -coordinator), then
+// prints the epoch the batch became visible at. Mutation mode needs no
+// shard or locator: resolution and epoch assignment happen on the
+// coordinator.
+func runMutate(logger *slog.Logger, file, url string, timeout time.Duration) {
+	if url == "" {
+		logger.Error("missing required flag", "flag", "-mutate-url")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			logger.Error("open mutation file failed", "err", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	// Parse locally before sending: a syntax error fails fast here with its
+	// line number instead of round-tripping to the coordinator.
+	muts, err := delta.ParseMutations(in)
+	if err != nil {
+		logger.Error("bad mutation file", "file", file, "err", err)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	body := delta.FormatMutations(muts)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		logger.Error("bad -mutate-url", "err", err)
+		os.Exit(2)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		logger.Error("mutation post failed", "err", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		logger.Error("coordinator rejected mutations",
+			"status", resp.StatusCode, "body", strings.TrimSpace(string(msg)))
+		os.Exit(1)
+	}
+	var ack struct {
+		Epoch     uint64 `json:"epoch"`
+		Mutations int    `json:"mutations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		logger.Error("bad coordinator response", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("mutations applied", "count", ack.Mutations, "epoch", ack.Epoch, "dur", time.Since(start))
+	fmt.Printf("applied %d mutations; graph now at epoch %d\n", ack.Mutations, ack.Epoch)
 }
 
 // runThin dispatches queries to their owners' query services (owner-compute

@@ -31,6 +31,12 @@
 // replicated -peers, -hedge additionally duplicates slow remote fetches to a
 // healthy replica.
 //
+// With -mutable the shard accepts streaming graph mutations through a
+// delta-CSR store (DESIGN.md §5l); the one process also passing -coordinator
+// assigns mutation epochs and mirrors batches to every peer, and exposes
+// POST /mutate (the `pprquery -mutate` line format in the body) plus
+// /debug/epochs on its admin server.
+//
 // On SIGTERM/SIGINT the server shuts down gracefully: it flips /readyz
 // not-ready (so load balancers stop routing to it), stops accepting work, and
 // waits up to -drain for in-flight requests to finish, so replicas taking
@@ -51,6 +57,7 @@ import (
 	"time"
 
 	"pprengine/internal/core"
+	"pprengine/internal/delta"
 	"pprengine/internal/deploy"
 	"pprengine/internal/gnn"
 	"pprengine/internal/ha"
@@ -88,6 +95,10 @@ func main() {
 		replicas     = flag.Int("replicas", 0, "expected serving addresses per remote shard in -peers (0 = accept whatever is listed)")
 		probeIvl     = flag.Duration("probe-interval", 0, "health-ping interval per peer when -peers lists replicas (0 = default 500ms)")
 		breakerThr   = flag.Int("breaker-threshold", 0, "consecutive probe/request failures that open a peer's circuit breaker (0 = default)")
+		mutable      = flag.Bool("mutable", false, "accept streaming graph mutations: this shard gains a delta-CSR store, served queries pin a mutation epoch at admission (DESIGN.md §5l)")
+		coordinator  = flag.Bool("coordinator", false, "be the deployment's mutation coordinator: resolve client mutations, assign epochs, mirror batches to every peer; exactly one process per deployment, needs -mutable and -peers; enables POST /mutate on the admin server")
+		compactIvl   = flag.Duration("compact-interval", 0, "background delta-compaction period (0 = compact only on -max-epochs overflow)")
+		maxEpochs    = flag.Int("max-epochs", 0, "live (uncompacted) mutation epochs allowed before a forced compaction (0 = unbounded)")
 		adminAddr    = flag.String("admin-addr", "", "admin HTTP address for /metrics, /healthz, /readyz, /debug/traces, /debug/pprof (empty = disabled)")
 		traceSample  = flag.Float64("trace-sample", 0, "fraction of locally-started queries to trace (0 = off; remote-initiated traces are always honored)")
 		traceBuf     = flag.Int("trace-buf", 0, "span ring-buffer capacity (0 = default)")
@@ -158,6 +169,10 @@ func main() {
 		logger.Info("admin server up", "addr", bound)
 	}
 
+	// Hoisted out of the query-service block so the mutation tier below can
+	// wire the compute handle (epoch pinning) and the coordinator's peers.
+	var compute *core.DistGraphStorage
+	var primaryPeers map[int32]string
 	if *peersSpec != "" {
 		peers, err := deploy.ParseReplicaPeers(*peersSpec)
 		if err != nil {
@@ -183,8 +198,8 @@ func main() {
 		cfg.AdmitTenantBurst = *tenantBurst
 		cfg.Hedge = *hedge
 		cfg.HedgeDelay = *hedgeDelay
+		primaryPeers = deploy.PrimaryPeers(peers)
 		ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
-		var compute *core.DistGraphStorage
 		var cleanup func()
 		if deploy.Replicated(peers) {
 			haOpts := ha.Options{ProbeInterval: *probeIvl, BreakerThreshold: *breakerThr}
@@ -259,6 +274,56 @@ func main() {
 					"End-to-end wall time of served GNN inferences.", nil, obs.DefBuckets)
 				admin.Handle("/infer", svc.Handler())
 				logger.Info("inference endpoint enabled", "path", "/infer", "topk", *topK)
+			}
+		}
+	}
+	if *mutable {
+		mctx, mcancel := context.WithTimeout(context.Background(), *dialTimeout)
+		store, coord, mcleanup, err := deploy.EnableMutations(mctx, srv, compute, primaryPeers,
+			deploy.MutateOptions{
+				Coordinator:     *coordinator,
+				CompactInterval: *compactIvl,
+				MaxEpochs:       *maxEpochs,
+			}, rpc.LatencyModel{})
+		mcancel()
+		if err != nil {
+			logger.Error("mutation tier failed", "err", err)
+			os.Exit(1)
+		}
+		defer mcleanup()
+		logger.Info("mutation tier enabled",
+			"coordinator", *coordinator, "compact_interval", *compactIvl, "max_epochs", *maxEpochs)
+		if admin != nil {
+			// Epoch/compaction observability: the store snapshot as JSON.
+			admin.Handle("/debug/epochs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(store.Stats())
+			}))
+			if coord != nil {
+				// POST /mutate: the line format of `pprquery -mutate` in the
+				// request body; responds with the epoch the batch landed at.
+				admin.Handle("/mutate", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					if r.Method != http.MethodPost {
+						http.Error(w, "POST only", http.StatusMethodNotAllowed)
+						return
+					}
+					muts, err := delta.ParseMutations(r.Body)
+					if err != nil {
+						http.Error(w, err.Error(), http.StatusBadRequest)
+						return
+					}
+					epoch, err := coord.Apply(r.Context(), muts)
+					if err != nil {
+						http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+						return
+					}
+					w.Header().Set("Content-Type", "application/json")
+					json.NewEncoder(w).Encode(map[string]any{
+						"epoch":     epoch,
+						"mutations": len(muts),
+					})
+				}))
+				logger.Info("mutation endpoint enabled", "path", "/mutate")
 			}
 		}
 	}

@@ -222,6 +222,13 @@ type Controller struct {
 	// onLatency holds the Options.OnLatency hook (type func(string, float64)),
 	// replaceable after construction via SetLatencyHook.
 	onLatency atomic.Value
+
+	// epochPin/epochUnpin hold the delta store's epoch hooks (SetEpochSource):
+	// every grant pins the machine's current mutation epoch at admission time,
+	// and releasing the grant releases the pin. Type func() uint64 and
+	// func(uint64); both atomic.Values so traffic can race installation.
+	epochPin   atomic.Value
+	epochUnpin atomic.Value
 }
 
 // NewController builds a controller. MaxInFlight <= 0 is normalized to 1.
@@ -253,6 +260,27 @@ func (c *Controller) SetLatencyHook(fn func(tenant string, seconds float64)) {
 	c.onLatency.Store(fn)
 }
 
+// SetEpochSource installs the mutation-epoch hooks (the delta store's
+// PinCurrent/Unpin pair): once set, every admitted query's Grant carries the
+// epoch that was current — and pinned — at admission time, so the whole query
+// reads one consistent graph view and compaction cannot retire it mid-query.
+// The pin is released when the grant is. Safe to call concurrently with
+// traffic; a controller without a source stamps epoch 0 (the static base).
+func (c *Controller) SetEpochSource(pin func() uint64, unpin func(uint64)) {
+	c.epochPin.Store(pin)
+	c.epochUnpin.Store(unpin)
+}
+
+// stampEpoch pins the current epoch onto g. Called exactly once per grant, on
+// the admitted caller's goroutine — never for queued waiters that lose their
+// grant to a cancellation race, so no pin leaks.
+func (c *Controller) stampEpoch(g *Grant) *Grant {
+	if pin, _ := c.epochPin.Load().(func() uint64); pin != nil {
+		g.Epoch = pin()
+	}
+	return g
+}
+
 // Grant is one admitted query's slot. Release it exactly once when the query
 // finishes (ok = it completed without error), which frees the slot for the
 // next waiter and, when ok, records the service time into the p50 estimate.
@@ -261,12 +289,21 @@ type Grant struct {
 	tenant string
 	start  time.Time
 	done   atomic.Bool
+
+	// Epoch is the mutation epoch pinned for this query at admission time
+	// (0 when the machine has no epoch source — the static base graph). The
+	// driver reads every fetch at this epoch; the pin is released with the
+	// grant.
+	Epoch uint64
 }
 
 // Release returns the grant's slot. Idempotent.
 func (g *Grant) Release(ok bool) {
 	if g == nil || !g.done.CompareAndSwap(false, true) {
 		return
+	}
+	if unpin, _ := g.c.epochUnpin.Load().(func(uint64)); unpin != nil && g.Epoch > 0 {
+		unpin(g.Epoch)
 	}
 	dur := g.c.clock.Now().Sub(g.start)
 	g.c.release(ok, dur)
@@ -311,7 +348,7 @@ func (c *Controller) Acquire(ctx context.Context, req Request) (*Grant, error) {
 	if c.inFlight < c.opts.MaxInFlight {
 		g := c.grantLocked(req.Tenant, now)
 		c.mu.Unlock()
-		return g, nil
+		return c.stampEpoch(g), nil
 	}
 	// Saturated: queue, evict, or shed.
 	if len(c.queue) >= c.opts.maxQueue() {
@@ -336,7 +373,7 @@ func (c *Controller) Acquire(ctx context.Context, req Request) (*Grant, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Grant{c: c, tenant: req.Tenant, start: c.clock.Now()}, nil
+		return c.stampEpoch(&Grant{c: c, tenant: req.Tenant, start: c.clock.Now()}), nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		removed := c.removeLocked(w)

@@ -236,6 +236,7 @@ type Aggregator struct {
 	mu       sync.Mutex
 	pending  []*Ticket
 	rows     int
+	epoch    uint64 // mutation epoch of the pending batch (0 = static base)
 	inFlight int
 	timer    *time.Timer
 	gen      uint64 // batch generation, invalidates stale timer fires
@@ -279,6 +280,18 @@ func (a *Aggregator) Enqueue(locals []int32) *Ticket {
 // ticket ends up opening a flush, the flush's span and wire request join the
 // enqueuer's trace.
 func (a *Aggregator) EnqueueTraced(sc obs.SpanContext, locals []int32) *Ticket {
+	return a.EnqueueTracedAt(sc, 0, locals)
+}
+
+// EnqueueTracedAt is EnqueueTraced pinned to a mutation epoch: only fetches
+// pinned at the SAME epoch may share a flush (the merged response is decoded
+// as one graph view, so mixing epochs would hand some ticket another epoch's
+// rows). A pending batch at a different epoch is flushed immediately and a
+// new batch opens at the enqueuer's epoch; under a steady epoch the batching
+// behavior is identical to EnqueueTraced. Epoch 0 — the static base graph —
+// flushes with the legacy request format; any other epoch ships an
+// epoch-stamped ID list to the epoch-pinned server method.
+func (a *Aggregator) EnqueueTracedAt(sc obs.SpanContext, epoch uint64, locals []int32) *Ticket {
 	t := &Ticket{locals: locals, done: make(chan struct{}), sc: sc}
 	if len(locals) == 0 {
 		t.infos = &wire.NeighborInfos{Indptr: []int32{}}
@@ -287,8 +300,14 @@ func (a *Aggregator) EnqueueTraced(sc obs.SpanContext, locals []int32) *Ticket {
 	}
 	a.tickets.Add(1)
 	a.mu.Lock()
+	if len(a.pending) > 0 && a.epoch != epoch {
+		// Epoch boundary: the forming batch belongs to another graph view.
+		// Ship it now rather than mixing views in one response.
+		a.flushLocked()
+	}
 	opened := len(a.pending) == 0
 	a.pending = append(a.pending, t)
+	a.epoch = epoch
 	a.rows += len(locals)
 	switch {
 	case a.inFlight == 0 && opened:
@@ -337,7 +356,14 @@ func (a *Aggregator) flushLocked() {
 	for _, t := range batch {
 		ids = append(ids, t.locals...)
 	}
-	payload := wire.EncodeIDList(ids)
+	method := rpc.MethodGetNeighborInfos
+	var payload []byte
+	if epoch := a.epoch; epoch != 0 {
+		method = rpc.MethodGetNeighborInfosAt
+		payload = wire.EncodeIDListAt(epoch, ids)
+	} else {
+		payload = wire.EncodeIDList(ids)
+	}
 	batch[0].wireReqs = 1
 	batch[0].wireBytes = int64(len(payload))
 	a.inFlight++
@@ -357,7 +383,7 @@ func (a *Aggregator) flushLocked() {
 	if c := span.Context(); c.Valid() {
 		sc = c
 	}
-	fut := a.tr.Call(sc, rpc.MethodGetNeighborInfos, payload)
+	fut := a.tr.Call(sc, method, payload)
 	go a.complete(fut, span, batch, rows)
 }
 

@@ -7,8 +7,12 @@
 // traffic. This package adds the missing dynamic layer:
 //
 //   - a sharded, byte-budgeted LRU of decoded neighbor rows keyed by
-//     (shard ID, local ID). The graph is immutable, so entries never need
-//     invalidation — only eviction when the byte budget is exceeded;
+//     (shard ID, local ID, mutation epoch). The base graph is immutable and
+//     the delta tier (internal/delta) never rewrites an epoch once applied,
+//     so entries never need invalidation: a row cached at epoch N simply
+//     cannot answer a read pinned at epoch N+1 — the keys differ — and stale
+//     epochs age out of the LRU. Static deployments use epoch 0 throughout
+//     and see the original single-key behavior;
 //
 //   - single-flight deduplication of in-flight fetches: when several
 //     concurrent queries miss on the same vertex, exactly one RPC is issued
@@ -48,12 +52,22 @@ func (r Row) Bytes() int64 {
 	return rowOverhead + int64(len(r.Locals))*16 // 2×int32 + 2×float32 per neighbor
 }
 
-// numShards is the lock-striping factor. Keys are packed (shard<<32|local),
-// so the mix below must spread both halves.
+// numShards is the lock-striping factor. Addresses are packed
+// (shard<<32|local), so the mix below must spread both halves.
 const numShards = 16
 
 func pack(sh, local int32) uint64 {
 	return uint64(uint32(sh))<<32 | uint64(uint32(local))
+}
+
+// ckey is the full cache key: a packed (shard, local) address plus the
+// mutation epoch the row was resolved at. Exact equality — never a hash — is
+// what guarantees an epoch-N row is invisible to an epoch-N+1 read. The
+// stripe is derived from the address alone, so every epoch of one vertex
+// lives on the one stripe StripeOf reports.
+type ckey struct {
+	addr  uint64
+	epoch uint64
 }
 
 // mix is a 64-bit finalizer (splitmix64) so consecutive local IDs spread
@@ -69,7 +83,7 @@ func mix(k uint64) uint64 {
 
 // entry is one resident row in a stripe's LRU list (head = most recent).
 type entry struct {
-	key        uint64
+	key        ckey
 	row        Row
 	bytes      int64
 	prev, next *entry
@@ -77,12 +91,12 @@ type entry struct {
 
 type stripe struct {
 	mu      sync.Mutex
-	items   map[uint64]*entry
+	items   map[ckey]*entry
 	head    *entry
 	tail    *entry
 	bytes   int64
 	budget  int64
-	flights map[uint64]*Flight
+	flights map[ckey]*Flight
 }
 
 // Cache is a sharded LRU of neighbor rows under a global byte budget, plus
@@ -110,16 +124,16 @@ func New(maxBytes int64) *Cache {
 	}
 	for i := range c.stripes {
 		c.stripes[i] = stripe{
-			items:   make(map[uint64]*entry),
+			items:   make(map[ckey]*entry),
 			budget:  per,
-			flights: make(map[uint64]*Flight),
+			flights: make(map[ckey]*Flight),
 		}
 	}
 	return c
 }
 
-func (c *Cache) stripeFor(key uint64) *stripe {
-	return &c.stripes[mix(key)&(numShards-1)]
+func (c *Cache) stripeFor(key ckey) *stripe {
+	return &c.stripes[mix(key.addr)&(numShards-1)]
 }
 
 // Stripes returns the lock-striping factor — the unit of ownership a
@@ -134,9 +148,17 @@ func (c *Cache) StripeOf(sh, local int32) int {
 	return int(mix(pack(sh, local)) & (numShards - 1))
 }
 
-// Get returns the cached row for (sh, local), marking it most recently used.
+// Get returns the cached row for (sh, local) at epoch 0 — the static-graph
+// entry point, equivalent to GetAt with the base epoch.
 func (c *Cache) Get(sh, local int32) (Row, bool) {
-	key := pack(sh, local)
+	return c.GetAt(sh, local, 0)
+}
+
+// GetAt returns the cached row for (sh, local) as resolved at the given
+// mutation epoch, marking it most recently used. Rows cached at any other
+// epoch never match.
+func (c *Cache) GetAt(sh, local int32, epoch uint64) (Row, bool) {
+	key := ckey{addr: pack(sh, local), epoch: epoch}
 	s := c.stripeFor(key)
 	s.mu.Lock()
 	e, ok := s.items[key]
@@ -161,7 +183,15 @@ func (c *Cache) Get(sh, local int32) (Row, bool) {
 //   - a coalesced wait on an existing flight: (_, false, flight, false) —
 //     the caller just Waits.
 func (c *Cache) GetOrReserve(sh, local int32) (Row, bool, *Flight, bool) {
-	key := pack(sh, local)
+	return c.GetOrReserveAt(sh, local, 0)
+}
+
+// GetOrReserveAt is GetOrReserve keyed by (shard, local, epoch): hits,
+// flights, and fills are all epoch-exact, so a query pinned at epoch N+1 can
+// never be served — or coalesced onto — a row resolved at epoch N. Epoch 0 is
+// the static base graph (what GetOrReserve uses).
+func (c *Cache) GetOrReserveAt(sh, local int32, epoch uint64) (Row, bool, *Flight, bool) {
+	key := ckey{addr: pack(sh, local), epoch: epoch}
 	s := c.stripeFor(key)
 	s.mu.Lock()
 	if e, ok := s.items[key]; ok {
@@ -225,12 +255,13 @@ func (s *stripe) unlink(e *entry) {
 
 // add inserts a row, evicting from the LRU tail until the stripe fits its
 // budget. Rows larger than the whole stripe budget are not admitted.
-func (c *Cache) add(key uint64, row Row) {
+func (c *Cache) add(key ckey, row Row) {
 	b := row.Bytes()
 	s := c.stripeFor(key)
 	s.mu.Lock()
 	if _, dup := s.items[key]; dup {
-		// The graph is immutable: a duplicate insert carries identical data.
+		// A (vertex, epoch) pair resolves to exactly one row, so a duplicate
+		// insert carries identical data.
 		s.mu.Unlock()
 		return
 	}
@@ -264,7 +295,7 @@ func (c *Cache) add(key uint64, row Row) {
 // removeFlight deletes f from the flight table if it is still the registered
 // flight for its key (identity-compared, so a successor flight for the same
 // key is never removed by a stale completion).
-func (c *Cache) removeFlight(key uint64, f *Flight) {
+func (c *Cache) removeFlight(key ckey, f *Flight) {
 	s := c.stripeFor(key)
 	s.mu.Lock()
 	if cur, ok := s.flights[key]; ok && cur == f {
@@ -316,7 +347,7 @@ func (c *Cache) Stats() Stats {
 // next Wait resolves the group itself once the response arrives.
 type Flight struct {
 	c   *Cache
-	key uint64
+	key ckey
 
 	once sync.Once
 	done chan struct{}

@@ -38,10 +38,10 @@ func fulfillLeader(t *testing.T, c *Cache, sh, local int32, row Row) {
 // sameStripeLocals returns n shard-0 local IDs that all hash to one stripe,
 // for deterministic LRU tests despite the striping.
 func sameStripeLocals(c *Cache, n int) []int32 {
-	want := c.stripeFor(pack(0, 0))
+	want := c.stripeFor(ckey{addr: pack(0, 0)})
 	out := []int32{0}
 	for l := int32(1); len(out) < n; l++ {
-		if c.stripeFor(pack(0, l)) == want {
+		if c.stripeFor(ckey{addr: pack(0, l)}) == want {
 			out = append(out, l)
 		}
 	}
@@ -281,7 +281,7 @@ func TestConcurrentReserveElectsOneLeader(t *testing.T) {
 func TestDuplicateInsertIsNoop(t *testing.T) {
 	c := New(1 << 20)
 	fulfillLeader(t, c, 0, 0, mkRow(1))
-	c.add(pack(0, 0), mkRow(1))
+	c.add(ckey{addr: pack(0, 0)}, mkRow(1))
 	if st := c.Stats(); st.Entries != 1 || st.Bytes != mkRow(1).Bytes() {
 		t.Fatalf("stats after duplicate insert = %+v", st)
 	}
@@ -301,7 +301,7 @@ func TestStripeOfMatchesInternalPlacement(t *testing.T) {
 			if si < 0 || si >= c.Stripes() {
 				t.Fatalf("StripeOf(%d,%d) = %d out of range", sh, local, si)
 			}
-			if want := &c.stripes[si]; c.stripeFor(pack(sh, local)) != want {
+			if want := &c.stripes[si]; c.stripeFor(ckey{addr: pack(sh, local)}) != want {
 				t.Fatalf("StripeOf(%d,%d) = %d but stripeFor locks a different stripe", sh, local, si)
 			}
 		}

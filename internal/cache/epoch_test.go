@@ -1,0 +1,92 @@
+package cache
+
+import "testing"
+
+// TestEpochKeyIsolation is the mutation-tier regression test: a neighbor row
+// cached at epoch N must never answer a read pinned at epoch N+1 (or any
+// other epoch) — the delta tier relies on the cache key, not invalidation,
+// to keep epoch-pinned queries consistent.
+func TestEpochKeyIsolation(t *testing.T) {
+	c := New(1 << 20)
+
+	rowN := Row{Locals: []int32{1, 2}, Shards: []int32{0, 0}, Weights: []float32{1, 1}, WDegs: []float32{2, 2}, WDeg: 2}
+	_, hit, fl, leader := c.GetOrReserveAt(0, 7, 5)
+	if hit || !leader {
+		t.Fatalf("first reserve at epoch 5: hit=%v leader=%v", hit, leader)
+	}
+	fl.Fulfill(rowN, nil)
+
+	// Same vertex, same epoch: a hit with the fulfilled row.
+	got, hit, _, _ := c.GetOrReserveAt(0, 7, 5)
+	if !hit || len(got.Locals) != 2 || got.WDeg != 2 {
+		t.Fatalf("epoch-5 reread: hit=%v row=%+v", hit, got)
+	}
+	if r, ok := c.GetAt(0, 7, 5); !ok || r.WDeg != 2 {
+		t.Fatalf("GetAt(epoch 5) = %+v, %v", r, ok)
+	}
+
+	// Epoch N+1 must miss — the cached epoch-5 row would be stale there.
+	_, hit, fl6, leader := c.GetOrReserveAt(0, 7, 6)
+	if hit {
+		t.Fatal("epoch-6 read served the epoch-5 row")
+	}
+	if !leader {
+		t.Fatal("epoch-6 miss did not elect a leader")
+	}
+	rowN1 := Row{Locals: []int32{1, 2, 3}, Shards: []int32{0, 0, 1}, Weights: []float32{1, 1, 1}, WDegs: []float32{2, 2, 1}, WDeg: 3}
+	fl6.Fulfill(rowN1, nil)
+
+	// Both epochs now resident, each serving its own view.
+	if r, ok := c.GetAt(0, 7, 5); !ok || r.WDeg != 2 {
+		t.Fatalf("epoch-5 row clobbered: %+v, %v", r, ok)
+	}
+	if r, ok := c.GetAt(0, 7, 6); !ok || r.WDeg != 3 {
+		t.Fatalf("epoch-6 row wrong: %+v, %v", r, ok)
+	}
+	// The base epoch (0) was never filled and must miss too.
+	if _, ok := c.Get(0, 7); ok {
+		t.Fatal("epoch-0 read served a delta-epoch row")
+	}
+
+	// Flights are epoch-exact as well: a pending epoch-7 fetch must not
+	// coalesce an epoch-8 reader.
+	_, _, _, lead7 := c.GetOrReserveAt(0, 9, 7)
+	if !lead7 {
+		t.Fatal("expected epoch-7 leadership")
+	}
+	_, _, _, lead8 := c.GetOrReserveAt(0, 9, 8)
+	if !lead8 {
+		t.Fatal("epoch-8 read coalesced onto the epoch-7 flight")
+	}
+}
+
+// TestFeatureEpochKeyIsolation pins the same contract for the feature cache.
+func TestFeatureEpochKeyIsolation(t *testing.T) {
+	c := NewFeatures(1<<20, 0)
+
+	_, hit, fl, leader := c.GetOrReserveAt(1, 3, 2, 1.0)
+	if hit || !leader {
+		t.Fatalf("first reserve: hit=%v leader=%v", hit, leader)
+	}
+	fl.Fulfill([]float32{1, 2, 3}, nil)
+
+	if row, hit, _, _ := c.GetOrReserveAt(1, 3, 2, 1.0); !hit || len(row) != 3 {
+		t.Fatalf("epoch-2 reread: hit=%v row=%v", hit, row)
+	}
+	_, hit, fl3, leader := c.GetOrReserveAt(1, 3, 3, 1.0)
+	if hit {
+		t.Fatal("epoch-3 read served the epoch-2 feature row")
+	}
+	if !leader {
+		t.Fatal("epoch-3 miss did not elect a leader")
+	}
+	fl3.Fulfill([]float32{4, 5, 6}, nil)
+	if row, hit, _, _ := c.GetOrReserveAt(1, 3, 3, 1.0); !hit || row[0] != 4 {
+		t.Fatalf("epoch-3 reread: hit=%v row=%v", hit, row)
+	}
+	if _, hit, flz, _ := c.GetOrReserve(1, 3, 1.0); hit {
+		t.Fatal("epoch-0 read served a delta-epoch feature row")
+	} else {
+		flz.Fulfill(nil, nil) // clean up the flight table
+	}
+}

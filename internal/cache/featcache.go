@@ -19,7 +19,7 @@ func featBytes(row []float32) int64 {
 
 // featEntry is one resident feature row in a stripe's LRU list.
 type featEntry struct {
-	key        uint64
+	key        ckey
 	row        []float32
 	bytes      int64
 	prev, next *featEntry
@@ -27,12 +27,12 @@ type featEntry struct {
 
 type featStripe struct {
 	mu      sync.Mutex
-	items   map[uint64]*featEntry
+	items   map[ckey]*featEntry
 	head    *featEntry
 	tail    *featEntry
 	bytes   int64
 	budget  int64
-	flights map[uint64]*FeatFlight
+	flights map[ckey]*FeatFlight
 }
 
 // FeatureCache is the feature-tier sibling of Cache: a sharded,
@@ -72,16 +72,16 @@ func NewFeatures(maxBytes int64, admitMass float64) *FeatureCache {
 	}
 	for i := range c.stripes {
 		c.stripes[i] = featStripe{
-			items:   make(map[uint64]*featEntry),
+			items:   make(map[ckey]*featEntry),
 			budget:  per,
-			flights: make(map[uint64]*FeatFlight),
+			flights: make(map[ckey]*FeatFlight),
 		}
 	}
 	return c
 }
 
-func (c *FeatureCache) stripeFor(key uint64) *featStripe {
-	return &c.stripes[mix(key)&(numShards-1)]
+func (c *FeatureCache) stripeFor(key ckey) *featStripe {
+	return &c.stripes[mix(key.addr)&(numShards-1)]
 }
 
 // GetOrReserve is the fetch-path entry point, with the same contract as
@@ -93,7 +93,15 @@ func (c *FeatureCache) stripeFor(key uint64) *featStripe {
 // Fulfill time — a row two low-mass queries collide on may still earn its
 // slot from a third, high-mass one.
 func (c *FeatureCache) GetOrReserve(sh, local int32, mass float64) ([]float32, bool, *FeatFlight, bool) {
-	key := pack(sh, local)
+	return c.GetOrReserveAt(sh, local, 0, mass)
+}
+
+// GetOrReserveAt is GetOrReserve keyed by (shard, local, epoch). Vertices
+// appended by the delta tier get their feature rows keyed under the epoch
+// that created them, and epoch-pinned serving paths never read another
+// epoch's fill. Epoch 0 is the static base graph.
+func (c *FeatureCache) GetOrReserveAt(sh, local int32, epoch uint64, mass float64) ([]float32, bool, *FeatFlight, bool) {
+	key := ckey{addr: pack(sh, local), epoch: epoch}
 	s := c.stripeFor(key)
 	s.mu.Lock()
 	if e, ok := s.items[key]; ok {
@@ -161,7 +169,7 @@ func (s *featStripe) unlink(e *featEntry) {
 
 // add inserts a row, evicting from the LRU tail until the stripe fits its
 // budget. Rows larger than the whole stripe budget are not admitted.
-func (c *FeatureCache) add(key uint64, row []float32) {
+func (c *FeatureCache) add(key ckey, row []float32) {
 	b := featBytes(row)
 	s := c.stripeFor(key)
 	s.mu.Lock()
@@ -197,7 +205,7 @@ func (c *FeatureCache) add(key uint64, row []float32) {
 
 // removeFlight deletes f from the flight table if it is still the
 // registered flight for its key.
-func (c *FeatureCache) removeFlight(key uint64, f *FeatFlight) {
+func (c *FeatureCache) removeFlight(key ckey, f *FeatFlight) {
 	s := c.stripeFor(key)
 	s.mu.Lock()
 	if cur, ok := s.flights[key]; ok && cur == f {
@@ -257,7 +265,7 @@ func (c *FeatureCache) Stats() FeatStats {
 // response).
 type FeatFlight struct {
 	c    *FeatureCache
-	key  uint64
+	key  ckey
 	mass float64 // max PPR mass among reservers; stripe-lock guarded
 
 	once sync.Once

@@ -20,6 +20,7 @@ import (
 	"pprengine/internal/cache"
 	"pprengine/internal/chaos"
 	"pprengine/internal/core"
+	"pprengine/internal/delta"
 	"pprengine/internal/graph"
 	"pprengine/internal/ha"
 	"pprengine/internal/metrics"
@@ -27,6 +28,7 @@ import (
 	"pprengine/internal/partition"
 	"pprengine/internal/rpc"
 	"pprengine/internal/shard"
+	"pprengine/internal/wire"
 )
 
 // PartitionKind selects the partitioning algorithm used at preprocessing.
@@ -123,6 +125,24 @@ type Options struct {
 	Hedge      bool
 	HedgeDelay time.Duration
 
+	// Mutable gives every machine a delta-CSR mutation store (internal/delta)
+	// shared by its primary server, hosted replica servers, and compute
+	// processes, plus one cluster-wide mutation coordinator (on machine 0):
+	// the cluster then accepts streaming graph mutations via Mutate, queries
+	// pin a mutation epoch at admission, and reads resolve base CSR + deltas
+	// as of that epoch. Off (the default), the engine is byte-for-byte the
+	// static paper system.
+	Mutable bool
+	// CompactInterval, when > 0 (requires Mutable), runs each machine's
+	// background compactor at that period: deltas at or below the oldest
+	// pinned epoch are folded into fresh base CSRs and the epochs retired.
+	// 0 leaves compaction to the MaxEpochs overflow trigger (or manual
+	// Store.Compact calls).
+	CompactInterval time.Duration
+	// MaxEpochs caps each store's live (uncompacted) epochs; an Apply pushing
+	// past it triggers a compaction. 0 = unbounded. Requires Mutable.
+	MaxEpochs int
+
 	// TraceSample, when > 0, gives every machine an obs.Tracer sampling
 	// roughly that fraction of queries head-based (1.0 = every query). A
 	// sampled query's trace context rides the wire, so one query yields one
@@ -190,15 +210,24 @@ type Cluster struct {
 	Admits  []*admit.Controller
 	Hedgers []*admit.Hedger
 
+	// Deltas[m] is machine m's delta-CSR mutation store (nil entries unless
+	// Opts.Mutable), shared by its primary server, hosted replica servers,
+	// and compute processes — machine-level shared state like the shard.
+	// Coord is the cluster's single mutation coordinator, wired over machine
+	// 0's store with RPC appliers to every machine.
+	Deltas []*delta.Store
+	Coord  *delta.Coordinator
+
 	// Tracers[m] is machine m's span recorder (nil entries when
 	// Opts.TraceSample is 0). Shared by the machine's storage server(s),
 	// compute processes, aggregators, and router — exactly the sharing a real
 	// machine's processes would get from a node-local trace agent.
 	Tracers []*obs.Tracer
 
-	clients   []*rpc.Client  // all direct clients, for Close and NetStats
-	endpoints []*ha.Endpoint // all router endpoints, for NetStats
-	mu        sync.Mutex
+	clients      []*rpc.Client  // all direct clients, for Close and NetStats
+	endpoints    []*ha.Endpoint // all router endpoints, for NetStats
+	compactStops []func()       // background compactor stops, for Close
+	mu           sync.Mutex
 }
 
 // New partitions g, builds shards, starts one storage server per machine,
@@ -283,6 +312,35 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 			return nil, err
 		}
 	}
+	if opts.Mutable {
+		// One delta store per machine, built AFTER replica placement so it
+		// bases every shard the machine serves (own + hosted replicas): one
+		// ApplyMutations delivery per machine then keeps primary and replica
+		// rows in lockstep, which is what makes failover score-identical.
+		c.Deltas = make([]*delta.Store, opts.NumMachines)
+		for m := 0; m < opts.NumMachines; m++ {
+			bases := map[int32]*shard.Shard{int32(m): shards[m]}
+			if opts.haEnabled() {
+				for _, s := range c.Placement.HostedReplicas(m) {
+					bases[int32(s)] = shards[s]
+				}
+			}
+			st := delta.NewStore(loc, bases)
+			if opts.MaxEpochs > 0 {
+				st.SetMaxEpochs(opts.MaxEpochs)
+			}
+			c.Deltas[m] = st
+			c.Servers[m].AttachDelta(st)
+			if opts.haEnabled() {
+				for _, rs := range c.ReplicaServers[m] {
+					rs.AttachDelta(st)
+				}
+			}
+			if opts.CompactInterval > 0 {
+				c.compactStops = append(c.compactStops, st.StartCompactor(opts.CompactInterval))
+			}
+		}
+	}
 	// Connect compute processes: every process owns clients to all remote
 	// machines (the paper registers each process in the RPC group).
 	c.Storages = make([][]*core.DistGraphStorage, opts.NumMachines)
@@ -321,6 +379,12 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 				TenantRate:  opts.AdmitTenantRate,
 				TenantBurst: opts.AdmitTenantBurst,
 			})
+			if c.Deltas != nil {
+				// Admitted queries pin their mutation epoch at grant time, so
+				// a query queued behind a burst still reads the snapshot it
+				// was admitted under.
+				c.Admits[m].SetEpochSource(c.Deltas[m].PinCurrent, c.Deltas[m].Unpin)
+			}
 		}
 		c.Storages[m] = make([]*core.DistGraphStorage, opts.ProcsPerMachine)
 		for p := 0; p < opts.ProcsPerMachine; p++ {
@@ -355,6 +419,9 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 			}
 			if c.Admits[m] != nil {
 				c.Storages[m][p].AttachAdmission(c.Admits[m])
+			}
+			if c.Deltas != nil {
+				c.Storages[m][p].AttachDelta(c.Deltas[m])
 			}
 			if opts.aggEnabled() && p == 0 {
 				// One aggregator per (machine, destination shard), shared by
@@ -393,7 +460,93 @@ func NewFromShards(shards []*shard.Shard, loc *shard.Locator, opts Options, qual
 			}
 		}
 	}
+	if opts.Mutable {
+		if err := c.buildCoordinator(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// buildCoordinator wires the cluster's single mutation coordinator over
+// machine 0's delta store, with dedicated RPC clients to every machine's
+// primary endpoint: one applier per machine (its store covers every shard
+// the machine serves, replicas included), and a row fetcher for resolving
+// mutations whose source shard machine 0 does not base. Machine 0's own
+// applier loops back over RPC; its store dedups the batch by epoch, so the
+// delivery path is exercised uniformly.
+func (c *Cluster) buildCoordinator() error {
+	k := c.Opts.NumMachines
+	mirrors := make([]*rpc.Client, k)
+	for j := 0; j < k; j++ {
+		cl, err := rpc.Dial(c.Addrs[j], c.Opts.Latency)
+		if err != nil {
+			return err
+		}
+		mirrors[j] = cl
+		c.mu.Lock()
+		c.clients = append(c.clients, cl)
+		c.mu.Unlock()
+	}
+	appliers := make([]delta.Applier, k)
+	for j := 0; j < k; j++ {
+		cl := mirrors[j]
+		appliers[j] = func(ctx context.Context, payload []byte) error {
+			resp, err := cl.SyncCallCtx(ctx, rpc.MethodApplyMutations, payload)
+			if err != nil {
+				return err
+			}
+			_, err = wire.DecodeMutationAck(resp)
+			return err
+		}
+	}
+	fetch := func(ctx context.Context, sh, local int32, epoch uint64) (delta.RemoteRow, error) {
+		// Shard s is primaried on machine s; its primary's store bases it.
+		resp, err := mirrors[sh].SyncCallCtx(ctx, rpc.MethodGetNeighborInfosAt,
+			wire.EncodeIDListAt(epoch, []int32{local}))
+		if err != nil {
+			return delta.RemoteRow{}, err
+		}
+		infos, err := wire.DecodeCSR(resp)
+		if err != nil {
+			return delta.RemoteRow{}, err
+		}
+		if infos.NumRows() != 1 {
+			return delta.RemoteRow{}, fmt.Errorf("cluster: row fetch returned %d rows, want 1", infos.NumRows())
+		}
+		locals, shards, weights, _ := infos.Row(0)
+		return delta.RemoteRow{
+			Locals:  locals,
+			Shards:  shards,
+			Weights: weights,
+			WDeg:    infos.RowWDeg[0],
+		}, nil
+	}
+	c.Coord = delta.NewCoordinator(c.Deltas[0], appliers, fetch)
+	return nil
+}
+
+// Mutate resolves and applies a batch of graph mutations cluster-wide,
+// returning the epoch at which they became visible. Requires Opts.Mutable.
+func (c *Cluster) Mutate(ctx context.Context, muts []delta.Mutation) (uint64, error) {
+	if c.Coord == nil {
+		return 0, fmt.Errorf("cluster: not mutable (set Options.Mutable)")
+	}
+	return c.Coord.Apply(ctx, muts)
+}
+
+// DeltaStats returns every machine's delta-store snapshot (nil when the
+// cluster is not mutable).
+func (c *Cluster) DeltaStats() []delta.Snapshot {
+	if c.Deltas == nil {
+		return nil
+	}
+	out := make([]delta.Snapshot, len(c.Deltas))
+	for m, st := range c.Deltas {
+		out[m] = st.Stats()
+	}
+	return out
 }
 
 // startServer serves srv on a fresh loopback listener — wrapped in the fault
@@ -608,6 +761,10 @@ func (c *Cluster) FeatAggStats() agg.Stats {
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, stop := range c.compactStops {
+		stop()
+	}
+	c.compactStops = nil
 	for _, tr := range c.Trackers {
 		if tr != nil {
 			tr.Stop()

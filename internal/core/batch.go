@@ -2,6 +2,7 @@ package core
 
 import (
 	"pprengine/internal/cache"
+	"pprengine/internal/delta"
 	"pprengine/internal/mem"
 	"pprengine/internal/shard"
 	"pprengine/internal/wire"
@@ -134,6 +135,46 @@ func BuildInfosArena(s *shard.Shard, locals []int32, a *mem.Arena) (*wire.Neighb
 		// Match the historical wire shape exactly: an empty batch encodes a
 		// zero-length indptr, not [0].
 		n.Indptr = n.Indptr[:0]
+	}
+	return n, nil
+}
+
+// BuildInfosAtArena is the epoch-pinned sibling of BuildInfosArena: rows are
+// resolved through the machine's delta store as of the given mutation epoch
+// (base CSR + deltas-at-or-below-epoch, degree columns re-patched), then
+// compressed into the same CSR wire shape. Backs MethodGetNeighborInfosAt.
+func BuildInfosAtArena(store *delta.Store, sh int32, locals []int32, epoch uint64, a *mem.Arena) (*wire.NeighborInfos, error) {
+	vps, err := store.VertexProps(sh, locals, epoch)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for i := range vps {
+		total += len(vps[i].Locals)
+	}
+	rows := len(vps)
+	n := &wire.NeighborInfos{
+		Indptr:  arenaI32(a, rows+1),
+		RowWDeg: arenaF32(a, rows),
+		Locals:  arenaI32(a, total),
+		Shards:  arenaI32(a, total),
+		Weights: arenaF32(a, total),
+		WDegs:   arenaF32(a, total),
+	}
+	off := 0
+	for i := range vps {
+		vp := &vps[i]
+		end := off + len(vp.Locals)
+		copy(n.Locals[off:end], vp.Locals)
+		copy(n.Shards[off:end], vp.Shards)
+		copy(n.Weights[off:end], vp.Weights)
+		copy(n.WDegs[off:end], vp.WDegs)
+		off = end
+		n.Indptr[i+1] = int32(off)
+		n.RowWDeg[i] = vp.WDeg
+	}
+	if rows == 0 {
+		n.Indptr = n.Indptr[:0] // match the historical empty-batch wire shape
 	}
 	return n, nil
 }

@@ -184,6 +184,27 @@ type Config struct {
 	// deriving it from observed primary latencies.
 	Hedge      bool
 	HedgeDelay time.Duration
+	// PinnedEpoch pins every fetch of the query to one mutation epoch of the
+	// delta tier (internal/delta): local reads, halo rows, cached rows, and
+	// remote fetches all resolve the graph as of this epoch, so a query runs
+	// against one consistent view while mutations land concurrently. 0 — the
+	// default — reads the static base graph through the legacy paths,
+	// byte-for-byte. The driver normally manages pinning itself (the admission
+	// grant's epoch, else the store's current epoch, pinned for the query's
+	// lifetime); a caller setting this field owns the pin. Epoch-pinned remote
+	// fetches require FetchBatchCompress (the CSR hot path) — the Single/LoL
+	// ablation baselines predate the mutation tier and reject a non-zero
+	// epoch.
+	PinnedEpoch uint64
+	// IncrementalExact forces the incremental SSPPR path
+	// (RunSSPPRIncrementalTopK) to fall back to a full recompute whenever the
+	// cached query state overlaps the mutated-vertex set, instead of seeding a
+	// corrected re-push. The footprint-disjoint fast path is bitwise-identical
+	// to a fresh run either way; with this knob the overlapping case is too
+	// (at full-run cost), which is how tests pin down exactness. Default off:
+	// overlapping sources re-push from the mutation frontier, which converges
+	// to the same eps-approximation guarantee much faster.
+	IncrementalExact bool
 	// TensorDispatch simulates the per-operator dispatch latency of a
 	// Python tensor library, charged by the tensor-based baselines for
 	// every small tensor operation they issue (masking, gather, scatter,

@@ -72,6 +72,21 @@ func RunSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 			return nil, stats, aerr
 		}
 	}
+	// Epoch resolution for mutable deployments: the query pins ONE mutation
+	// epoch for its whole lifetime, so every fetch — local, remote, halo,
+	// cached — reads the same consistent snapshot while writers race ahead.
+	// Precedence: a caller-set cfg.PinnedEpoch (the caller owns that pin),
+	// else the epoch the admission grant stamped (the grant owns it, released
+	// with the slot), else pin the store's current epoch here. Epoch 0 — a
+	// static deployment, or no mutations yet — keeps the legacy path exactly.
+	if cfg.PinnedEpoch == 0 && g.Delta != nil {
+		if grant != nil && grant.Epoch != 0 {
+			cfg.PinnedEpoch = grant.Epoch
+		} else if e := g.Delta.PinCurrent(); e != 0 {
+			cfg.PinnedEpoch = e
+			defer g.Delta.Unpin(e)
+		}
+	}
 	m, stats, err := runSSPPR(ctx, g, sourceLocal, cfg, bd)
 	grant.Release(err == nil) // nil-safe; records the service time on success
 	if err != nil && isCtxErr(err) {
@@ -94,6 +109,16 @@ func startQuerySpan(tr *obs.Tracer, ctx context.Context) obs.ActiveSpan {
 
 func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg Config, bd *metrics.Breakdown) (*SSPPR, QueryStats, error) {
 	m := NewSSPPR(sourceLocal, g.ShardID, cfg)
+	stats, err := runSSPPRFrom(ctx, g, m, cfg, bd)
+	return m, stats, err
+}
+
+// runSSPPRFrom drives the pop/fetch/push loop on an already-constructed
+// state until the residual frontier drains. It is the shared engine of a
+// fresh run (runSSPPR) and an incremental re-push (RunSSPPRIncremental),
+// which seeds m with cached reserves/residuals plus a mutation-correction
+// frontier before resuming the identical loop.
+func runSSPPRFrom(ctx context.Context, g *DistGraphStorage, m *SSPPR, cfg Config, bd *metrics.Breakdown) (QueryStats, error) {
 	defer m.Close() // stops the affinity worker pool; the score maps stay readable
 	var stats QueryStats
 	// Phase spans mirror bd's phases for sampled queries; tr is nil-safe and
@@ -128,7 +153,7 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 		// Deadline check at the top of every push iteration: a cancelled
 		// query must stop spending CPU on pop/push, not just on fetches.
 		if err := ctx.Err(); err != nil {
-			return nil, stats, err
+			return stats, err
 		}
 		stopPop := bd.Start(metrics.PhasePop)
 		popSpan := tr.StartSpan(qsc, "pop")
@@ -149,10 +174,18 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 		haloVPs = haloVPs[:0]
 		haloLocals, haloShards = haloLocals[:0], haloShards[:0]
 		useHalo := g.Local.HasHaloRows()
+		epoch := cfg.PinnedEpoch
 		for i, l := range locals {
 			sh := shards[i]
 			if useHalo && sh != self {
 				if vp, ok := g.Local.HaloRow(sh, l); ok {
+					if epoch != 0 {
+						// Epoch-pinned queries must not read a stale halo copy:
+						// the delta store re-resolves a mutated row and patches
+						// the degree columns of an unmutated one — still a
+						// shared-memory read, no RPC.
+						vp = g.Delta.PatchHalo(vp, sh, l, epoch)
+					}
 					haloVPs = append(haloVPs, vp)
 					haloLocals = append(haloLocals, l)
 					haloShards = append(haloShards, sh)
@@ -218,7 +251,7 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 		if cfg.Overlap {
 			// Local work proceeds while remote responses are in flight.
 			if err := pushLocal(); err != nil {
-				return nil, stats, err
+				return stats, err
 			}
 			for _, p := range remotes {
 				var batch NeighborBatch
@@ -237,7 +270,7 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 				waitSpan.SetErr(err != nil)
 				waitSpan.End()
 				if err != nil {
-					return nil, stats, err
+					return stats, err
 				}
 				pushSpan := tr.StartSpan(qsc, "push")
 				bd.Time(metrics.PhasePush, func() {
@@ -264,11 +297,11 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 				waitSpan.SetErr(err != nil)
 				waitSpan.End()
 				if err != nil {
-					return nil, stats, err
+					return stats, err
 				}
 			}
 			if err := pushLocal(); err != nil {
-				return nil, stats, err
+				return stats, err
 			}
 			for i, p := range remotes {
 				pushSpan := tr.StartSpan(qsc, "push")
@@ -283,7 +316,7 @@ func runSSPPR(ctx context.Context, g *DistGraphStorage, sourceLocal int32, cfg C
 	stats.Iterations = m.Iterations
 	stats.Pushes = m.Pushes
 	stats.TouchedNodes = m.ScoreCount()
-	return m, stats, nil
+	return stats, nil
 }
 
 // ScoresGlobal converts a query's sparse result to global node IDs using

@@ -114,6 +114,9 @@ func NewQueryClient(clients []*rpc.Client, locate func(graph.NodeID) (int32, int
 // the owner aborts server-side work the client will never consume.
 func (qc *QueryClient) Query(ctx context.Context, source graph.NodeID, topK int, alpha, eps float64) (*wire.QueryResponse, error) {
 	sh, local := qc.locate(source)
+	if sh < 0 {
+		return nil, fmt.Errorf("core: node %d is unknown to this locator (added after the locator file was written?)", source)
+	}
 	if int(sh) >= len(qc.clients) || qc.clients[sh] == nil {
 		return nil, fmt.Errorf("core: no connection to owner shard %d of node %d", sh, source)
 	}

@@ -100,8 +100,18 @@ type affBucket struct {
 // cfg.Affinity the caller owns the returned state's worker pool and must
 // Close it when the query finishes (the driver does).
 func NewSSPPR(sourceLocal, sourceShard int32, cfg Config) *SSPPR {
-	m := &SSPPR{cfg: cfg}
+	m := newEmptySSPPR(cfg)
 	src := pmap.Key{Local: sourceLocal, Shard: sourceShard}
+	m.seedResidual(src, 1)
+	m.activate(src)
+	return m
+}
+
+// newEmptySSPPR allocates the engine state with no seeded residual — the
+// incremental path (core/incremental.go) loads a cached query's reserves and
+// residuals into it before resuming the driver loop.
+func newEmptySSPPR(cfg Config) *SSPPR {
+	m := &SSPPR{cfg: cfg}
 	if cfg.Affinity {
 		w := cfg.pushWorkers()
 		if w > pmap.NumSubmaps {
@@ -114,8 +124,6 @@ func NewSSPPR(sourceLocal, sourceShard int32, cfg Config) *SSPPR {
 		m.fp = pmap.NewFlat(1024)
 		m.fr = pmap.NewFlat(1024)
 		m.fact = pmap.NewFlatSet(256)
-		m.fr.Set(src, 1)
-		m.fact.InsertP(src.Packed())
 		if w > 1 {
 			m.pool = pmap.NewPool(w)
 			m.popPerWorker = make([][]pmap.Key, w)
@@ -128,9 +136,59 @@ func NewSSPPR(sourceLocal, sourceShard int32, cfg Config) *SSPPR {
 	m.p = pmap.NewStriped(1024)
 	m.r = pmap.NewStriped(1024)
 	m.activated = pmap.NewConcurrentSet(256)
-	m.r.Set(src, 1)
-	m.activated.Insert(src)
 	return m
+}
+
+// seedScore sets the PPR reserve of one vertex (incremental seeding; call
+// only before the driver loop starts).
+func (m *SSPPR) seedScore(k pmap.Key, v float64) {
+	if m.cfg.Affinity {
+		m.fp.Set(k, v)
+		return
+	}
+	m.p.Set(k, v)
+}
+
+// seedResidual sets the residual of one vertex (incremental seeding).
+func (m *SSPPR) seedResidual(k pmap.Key, v float64) {
+	if m.cfg.Affinity {
+		m.fr.Set(k, v)
+		return
+	}
+	m.r.Set(k, v)
+}
+
+// addResidual adds delta to one vertex's residual and returns the new value
+// (incremental correction seeding; single-goroutine).
+func (m *SSPPR) addResidual(k pmap.Key, delta float64) float64 {
+	if m.cfg.Affinity {
+		return m.fr.AddP(k.Packed(), delta)
+	}
+	return m.r.AddSeq(k, delta)
+}
+
+// residual reads one vertex's current residual (0 when absent).
+func (m *SSPPR) residual(k pmap.Key) float64 {
+	var v float64
+	var ok bool
+	if m.cfg.Affinity {
+		v, ok = m.fr.Get(k)
+	} else {
+		v, ok = m.r.Get(k)
+	}
+	if !ok {
+		return 0
+	}
+	return v
+}
+
+// activate inserts one vertex into the activated set.
+func (m *SSPPR) activate(k pmap.Key) {
+	if m.cfg.Affinity {
+		m.fact.InsertP(k.Packed())
+		return
+	}
+	m.activated.Insert(k)
 }
 
 // Close stops the affinity worker pool, if any. The score and residual maps
@@ -641,6 +699,16 @@ func (m *SSPPR) Scores() map[pmap.Key]float64 {
 		return true
 	})
 	return out
+}
+
+// RangeResiduals iterates the residual map. Like RangeScores, call only
+// after the driver loop finished.
+func (m *SSPPR) RangeResiduals(f func(pmap.Key, float64) bool) {
+	if m.cfg.Affinity {
+		m.fr.Range(f)
+		return
+	}
+	m.r.Range(f)
 }
 
 // ResidualMass returns the total remaining residual (diagnostics: the

@@ -9,10 +9,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pprengine/internal/admit"
 	"pprengine/internal/agg"
 	"pprengine/internal/cache"
+	"pprengine/internal/delta"
 	"pprengine/internal/ha"
 	"pprengine/internal/mem"
 	"pprengine/internal/metrics"
@@ -40,6 +42,11 @@ type StorageServer struct {
 
 	srv    *rpc.Server
 	tracer *obs.Tracer
+
+	// delta, when non-nil, is the machine's mutation tier (AttachDelta): the
+	// delta-CSR store backing MethodApplyMutations and the epoch-pinned
+	// neighbor fetch.
+	delta *delta.Store
 
 	// Owner-compute query-service observability, fed by the SSPPRQuery
 	// handler: accumulated per-phase breakdown plus served/failed counts.
@@ -234,6 +241,71 @@ func wrapFeatureErr(err error) error {
 	}
 	return err
 }
+
+// epochWaitTimeout bounds how long an epoch-pinned fetch waits for an
+// in-flight mirror batch when the request carries no deadline of its own.
+const epochWaitTimeout = 5 * time.Second
+
+// AttachDelta installs the machine's delta store and registers the two
+// mutation-tier wire methods:
+//
+//   - MethodApplyMutations installs one resolved, epoch-stamped mutation
+//     batch (coordinator broadcast / replica mirror). The payload aliases a
+//     pooled request frame, so the decode copies before the store keeps
+//     anything. Replays ack idempotently; an epoch gap is an error and the
+//     store stays stale (DESIGN.md §5l).
+//   - MethodGetNeighborInfosAt is the epoch-pinned GetNeighborInfos: same
+//     zero-copy CSR response path, but rows resolve through the delta
+//     overlay as of the request's epoch instead of the raw base CSR.
+//
+// Call before Start, once per server; the store is machine-shared state like
+// the shard itself.
+func (ss *StorageServer) AttachDelta(store *delta.Store) {
+	ss.delta = store
+	ss.srv.Handle(rpc.MethodApplyMutations, func(p []byte) ([]byte, error) {
+		b, err := wire.DecodeMutationBatch(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Apply(b); err != nil {
+			return nil, err
+		}
+		return wire.EncodeMutationAck(b.Epoch), nil
+	})
+	ss.srv.HandleBuf(rpc.MethodGetNeighborInfosAt, func(ctx context.Context, p []byte) (*mem.Buf, error) {
+		epoch, ids, err := wire.DecodeIDListAtView(p)
+		if err != nil {
+			return nil, err
+		}
+		// A pinned epoch names an assigned batch, but the coordinator's
+		// mirror delivering it here may still be in flight (its local store
+		// advances first). Wait for it, bounded so a stale machine errors
+		// instead of hanging the query.
+		if epoch != 0 {
+			wctx := ctx
+			if _, ok := wctx.Deadline(); !ok {
+				var cancel context.CancelFunc
+				wctx, cancel = context.WithTimeout(ctx, epochWaitTimeout)
+				defer cancel()
+			}
+			if err := store.WaitEpoch(wctx, epoch); err != nil {
+				return nil, err
+			}
+		}
+		arena := mem.GetArena()
+		defer mem.PutArena(arena)
+		infos, err := BuildInfosAtArena(store, ss.Shard.ShardID, ids, epoch, arena)
+		if err != nil {
+			return nil, err
+		}
+		buf := respPool.Get(wire.CSRSize(infos))
+		buf.SetLen(len(wire.EncodeCSRTo(buf.Bytes()[:0], infos)))
+		return buf, nil
+	})
+}
+
+// Delta returns the attached delta store (nil for a static deployment).
+func (ss *StorageServer) Delta() *delta.Store { return ss.delta }
 
 // FetchFeaturesLocal gathers feature rows for core vertices.
 func (ss *StorageServer) FetchFeaturesLocal(ids []int32) ([]float32, error) {
@@ -681,6 +753,12 @@ type DistGraphStorage struct {
 	// single-client paths, preserving the paper's behavior exactly.
 	Router *ha.ReplicaRouter
 
+	// Delta, when non-nil, is the machine-shared delta-CSR mutation store
+	// (internal/delta): queries pin one of its epochs and every fetch —
+	// local shared-memory reads included — resolves through the overlay as
+	// of that epoch. nil keeps the static base-CSR engine byte-for-byte.
+	Delta *delta.Store
+
 	// Admit, when non-nil, is the machine's admission controller
 	// (internal/admit): RunSSPPR claims an execution slot before any
 	// pop/push work and sheds queries that cannot meet their deadline or
@@ -793,6 +871,11 @@ func (g *DistGraphStorage) AttachFeatureFetchAggregators(o agg.Options) {
 	}
 	g.FeatAggs = aggs
 }
+
+// AttachDelta installs the machine-shared delta store on this compute
+// handle; epoch-pinned queries (Config.PinnedEpoch, or the driver's
+// admission-time pin) then resolve local rows and halo patches through it.
+func (g *DistGraphStorage) AttachDelta(s *delta.Store) { g.Delta = s }
 
 // AttachRouter installs the machine-shared replica router. Remote fetches,
 // samples, and stats calls then prefer the shard's primary and fail over to
@@ -946,7 +1029,21 @@ func NewDistGraphStorage(shardID int32, local *shard.Shard, loc *shard.Locator, 
 // future resolves to ctx.Err(). mode selects the RPC strategy; cfg's retry
 // policy applies to the sequential mode only.
 func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32, locals []int32, cfg Config) *InfoFuture {
+	epoch := cfg.PinnedEpoch
 	if dstShard == g.ShardID {
+		if epoch != 0 {
+			// Epoch-pinned local read: rows resolve through the delta overlay
+			// (materialized mutated rows, patched degree columns) instead of
+			// the raw base CSR. Unmutated rows still alias shared memory.
+			if g.Delta == nil {
+				return &InfoFuture{err: fmt.Errorf("core: epoch %d pinned but no delta store attached (shard %d)", epoch, dstShard)}
+			}
+			vps, err := g.Delta.VertexProps(dstShard, locals, epoch)
+			if err != nil {
+				return &InfoFuture{err: err}
+			}
+			return &InfoFuture{batch: VPBatch(vps)}
+		}
 		// Shared-memory path: VertexProp views, no serialization. Validate
 		// IDs to mirror the server-side checks.
 		for _, l := range locals {
@@ -969,18 +1066,35 @@ func (g *DistGraphStorage) GetNeighborInfos(ctx context.Context, dstShard int32,
 		// CSR response. Like the cache path, the flush is issued without the
 		// query's ctx (it is shared state; WaitCtx still honors ctx for this
 		// waiter) and always batches CSR, even under the Single/LoL modes.
-		return &InfoFuture{dstShard: dstShard, aggTicket: ag.EnqueueTraced(obs.FromContext(ctx), locals), remoteRows: int64(len(locals))}
+		// Batches are epoch-pure: enqueueing at a different epoch than the
+		// pending batch flushes it first (see agg.EnqueueTracedAt).
+		return &InfoFuture{dstShard: dstShard, aggTicket: ag.EnqueueTracedAt(obs.FromContext(ctx), epoch, locals), remoteRows: int64(len(locals))}
 	}
 	switch cfg.Mode {
 	case FetchBatchCompress:
-		payload := wire.EncodeIDList(locals)
+		method := rpc.MethodGetNeighborInfos
+		var payload []byte
+		if epoch != 0 {
+			// Epoch-pinned remote fetch: same CSR response shape, resolved
+			// through the destination machine's delta store as of epoch.
+			method = rpc.MethodGetNeighborInfosAt
+			payload = wire.EncodeIDListAt(epoch, locals)
+		} else {
+			payload = wire.EncodeIDList(locals)
+		}
 		return &InfoFuture{mode: cfg.Mode, dstShard: dstShard, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)), zeroCopy: cfg.ZeroCopy,
-			futures: []respFuture{g.call(ctx, dstShard, rpc.MethodGetNeighborInfos, payload)}}
+			futures: []respFuture{g.call(ctx, dstShard, method, payload)}}
 	case FetchBatch:
+		if epoch != 0 {
+			return &InfoFuture{err: fmt.Errorf("core: epoch-pinned fetches require FetchBatchCompress (mode %v, epoch %d)", cfg.Mode, epoch)}
+		}
 		payload := wire.EncodeIDList(locals)
 		return &InfoFuture{mode: cfg.Mode, dstShard: dstShard, remoteRows: int64(len(locals)), rpcReqs: 1, reqBytes: int64(len(payload)), zeroCopy: cfg.ZeroCopy,
 			futures: []respFuture{g.call(ctx, dstShard, rpc.MethodGetNeighborInfosLoL, payload)}}
 	default: // FetchSingle: sequential per-vertex round trips (see WaitCtx)
+		if epoch != 0 {
+			return &InfoFuture{err: fmt.Errorf("core: epoch-pinned fetches require FetchBatchCompress (mode %v, epoch %d)", cfg.Mode, epoch)}
+		}
 		// One 8-byte single-ID request per vertex (retries excluded; the
 		// Retries counter tracks those separately).
 		return &InfoFuture{mode: FetchSingle, dstShard: dstShard, remoteRows: int64(len(locals)),
@@ -1100,10 +1214,13 @@ func (g *DistGraphStorage) getNeighborInfosCached(sc obs.SpanContext, dstShard i
 		flights: make([]*cache.Flight, len(locals)),
 	}
 	f := &InfoFuture{dstShard: dstShard, cached: cf, tr: g.Tracer, sc: sc}
+	epoch := cfg.PinnedEpoch
 	var leaderLocals []int32
 	var leaderFlights []*cache.Flight
 	for i, l := range locals {
-		row, hit, fl, leader := g.Cache.GetOrReserve(dstShard, l)
+		// Cache keys carry the epoch, so a row cached at one epoch is never
+		// returned to a query pinned at another (internal/cache).
+		row, hit, fl, leader := g.Cache.GetOrReserveAt(dstShard, l, epoch)
 		switch {
 		case hit:
 			cf.rows[i] = row
@@ -1124,7 +1241,7 @@ func (g *DistGraphStorage) getNeighborInfosCached(sc obs.SpanContext, dstShard i
 			// IDENTICAL rows (hits and coalesced flights above); the rows
 			// this query leads are DISTINCT, and the aggregator merges them
 			// with other queries' leader rows bound for the same shard.
-			t := ag.EnqueueTraced(sc, leaderLocals)
+			t := ag.EnqueueTracedAt(sc, epoch, leaderLocals)
 			f.aggTicket = t
 			ar := &aggResolver{t: t, flights: leaderFlights}
 			for _, fl := range leaderFlights {
@@ -1137,6 +1254,12 @@ func (g *DistGraphStorage) getNeighborInfosCached(sc obs.SpanContext, dstShard i
 				method = rpc.MethodGetNeighborInfos
 			}
 			payload := wire.EncodeIDList(leaderLocals)
+			if epoch != 0 {
+				// Epoch-pinned leader fetch: the epoch-stamped method always
+				// answers in the CSR shape.
+				method, csr = rpc.MethodGetNeighborInfosAt, true
+				payload = wire.EncodeIDListAt(epoch, leaderLocals)
+			}
 			f.rpcReqs = 1
 			f.reqBytes = int64(len(payload))
 			fg := &fetchGroup{

@@ -1,0 +1,254 @@
+package delta
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/metrics"
+	"pprengine/internal/shard"
+)
+
+// CompactStats summarizes one compaction pass.
+type CompactStats struct {
+	Boundary      uint64        // epoch everything at or below was folded to
+	EpochsRetired int           // live epochs pruned
+	RowsBaked     int           // version chains folded or dropped
+	ShardsRebuilt int           // based shards whose CSR was rebuilt
+	Pause         time.Duration // time the store's write lock was held
+}
+
+// Compact merges deltas into fresh base CSRs and retires old epochs. The
+// boundary B is the oldest pinned epoch (or the newest epoch when nothing is
+// pinned): queries pinned at or above B observe identical reads before and
+// after, because every based shard's CSR is rebuilt to its exact as-of-B
+// state, non-based chains are folded to a single as-of-B version, and the
+// degree-override chains keep an as-of-B entry (re-patching a baked value is
+// idempotent). Epochs at or below B become unpinnable; an incremental query
+// whose cached epoch fell below B falls back to a full run.
+//
+// Compact holds the store's write lock for the whole rebuild — that pause is
+// the cost the -exp mutate benchmark measures against MaxEpochs/interval.
+func (s *Store) Compact() CompactStats {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	b := s.epoch
+	for e, n := range s.pins {
+		if n > 0 && e < b {
+			b = e
+		}
+	}
+	st := CompactStats{Boundary: b}
+	if b <= s.retired {
+		return st
+	}
+
+	// Rebuild every based shard to its exact as-of-B state. rowAtLocked
+	// consults s.bases during the rebuild, so swap each shard in only after
+	// its arrays are complete.
+	rebuilt := make(map[int32]*shard.Shard, len(s.bases))
+	for sh, base := range s.bases {
+		rebuilt[sh] = s.rebuildBaseLocked(sh, base, b)
+	}
+	for sh, ns := range rebuilt {
+		s.bases[sh] = ns
+		st.ShardsRebuilt++
+	}
+
+	// Fold chains: based-shard keys are fully baked into the rebuilt CSRs,
+	// so their versions at or below B are dropped; other keys keep a single
+	// as-of-B version so halo patching and remote-miss materialization still
+	// resolve.
+	for k, chain := range s.rows {
+		i := len(chain)
+		for i > 0 && chain[i-1].epoch > b {
+			i--
+		}
+		if i == 0 {
+			continue // fully above the boundary
+		}
+		st.RowsBaked++
+		if _, based := s.bases[k.Shard]; based {
+			if i == len(chain) {
+				delete(s.rows, k)
+			} else {
+				s.rows[k] = append([]rowV(nil), chain[i:]...)
+			}
+			continue
+		}
+		fold := chain[i-1]
+		fold.epoch = b
+		s.rows[k] = append([]rowV{fold}, chain[i:]...)
+	}
+	for k, chain := range s.wdeg {
+		i := len(chain)
+		for i > 0 && chain[i-1].epoch > b {
+			i--
+		}
+		if i == 0 {
+			continue
+		}
+		fold := chain[i-1]
+		fold.epoch = b
+		s.wdeg[k] = append([]wdegV{fold}, chain[i:]...)
+	}
+	// Appended vertices of based shards with creation at or below B now have
+	// real base rows; forget their append records.
+	for k := range s.newV {
+		if _, based := s.bases[k.Shard]; !based {
+			continue
+		}
+		if _, still := s.rows[k]; !still {
+			delete(s.newV, k)
+		}
+	}
+
+	// Retire epochs at or below the boundary.
+	keep := s.epochs[:0]
+	for _, e := range s.epochs {
+		if e <= b {
+			delete(s.log, e)
+			st.EpochsRetired++
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	s.epochs = keep
+	s.retired = b
+	s.compactions++
+	s.lastPause = time.Since(start)
+	st.Pause = s.lastPause
+
+	metrics.Compactions.Inc(1)
+	metrics.EpochsRetired.Inc(int64(st.EpochsRetired))
+	return st
+}
+
+// rebuildBaseLocked materializes shard sh's exact as-of-B CSR: base rows with
+// mutated rows spliced in and degree columns re-patched, appended vertices
+// (created at or below B) promoted to real core rows, and the halo row cache
+// rebuilt the same way.
+func (s *Store) rebuildBaseLocked(sh int32, base *shard.Shard, b uint64) *shard.Shard {
+	n0 := base.NumCore()
+	// Appended locals form a dense suffix in creation-epoch order; take the
+	// prefix created at or below B.
+	appended := []graph.NodeID{}
+	for l := int32(n0); ; l++ {
+		k := Key{sh, l}
+		g, ok := s.newV[k]
+		if !ok {
+			break
+		}
+		chain := s.rows[k]
+		if len(chain) == 0 || chain[0].epoch > b {
+			break
+		}
+		appended = append(appended, g)
+	}
+	n := n0 + len(appended)
+
+	ns := &shard.Shard{
+		ShardID:    sh,
+		NumShards:  base.NumShards,
+		CoreGlobal: append(append(make([]graph.NodeID, 0, n), base.CoreGlobal...), appended...),
+		Indptr:     make([]int64, 1, n+1),
+		CoreWDeg:   make([]float32, 0, n),
+	}
+	for l := int32(0); int(l) < n; l++ {
+		vp, ok := s.rowAtLocked(Key{sh, l}, b)
+		if !ok {
+			// Unreachable for a based shard; keep the base row raw.
+			vp = base.VertexProp(l)
+		}
+		ns.NbrLocal = append(ns.NbrLocal, vp.Locals...)
+		ns.NbrShard = append(ns.NbrShard, vp.Shards...)
+		ns.NbrWeight = append(ns.NbrWeight, vp.Weights...)
+		ns.NbrWDeg = append(ns.NbrWDeg, vp.WDegs...)
+		ns.CoreWDeg = append(ns.CoreWDeg, vp.WDeg)
+		ns.Indptr = append(ns.Indptr, int64(len(ns.NbrLocal)))
+	}
+
+	if base.HasHaloRows() {
+		ns.HaloKeys = append([]uint64(nil), base.HaloKeys...)
+		ns.HaloIndptr = make([]int64, 1, len(ns.HaloKeys)+1)
+		ns.HaloWDeg = make([]float32, 0, len(ns.HaloKeys))
+		for _, hk := range ns.HaloKeys {
+			hsh, hl := int32(hk>>32), int32(uint32(hk))
+			vp, ok := s.rowAtLocked(Key{hsh, hl}, b)
+			if !ok {
+				vp, _ = base.HaloRow(hsh, hl)
+			}
+			ns.HaloNbrLocal = append(ns.HaloNbrLocal, vp.Locals...)
+			ns.HaloNbrShard = append(ns.HaloNbrShard, vp.Shards...)
+			ns.HaloNbrWeight = append(ns.HaloNbrWeight, vp.Weights...)
+			ns.HaloNbrWDeg = append(ns.HaloNbrWDeg, vp.WDegs...)
+			ns.HaloWDeg = append(ns.HaloWDeg, vp.WDeg)
+			ns.HaloIndptr = append(ns.HaloIndptr, int64(len(ns.HaloNbrLocal)))
+		}
+		// Ignoring the error: key/indptr lengths are consistent by
+		// construction above.
+		_ = ns.RebuildHaloIndex()
+	}
+	return ns
+}
+
+// NeedsCompact reports whether the live-epoch count exceeds the configured
+// cap.
+func (s *Store) NeedsCompact() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maxEpochs > 0 && len(s.epochs) > s.maxEpochs
+}
+
+// StartCompactor runs Compact every interval (and immediately when an Apply
+// overflows MaxEpochs) until the returned stop function is called.
+func (s *Store) StartCompactor(interval time.Duration) (stop func()) {
+	s.mu.Lock()
+	s.compactorOn = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.Compact()
+			case <-s.kick:
+				s.Compact()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.compactorOn = false
+			s.mu.Unlock()
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// sortKeys orders keys by (shard, local) — deterministic iteration for tests
+// and the incremental re-push.
+func sortKeys(keys []Key) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Shard != keys[j].Shard {
+			return keys[i].Shard < keys[j].Shard
+		}
+		return keys[i].Local < keys[j].Local
+	})
+}
+
+// SortKeys exposes the canonical (shard, local) ordering of mutation keys.
+func SortKeys(keys []Key) { sortKeys(keys) }

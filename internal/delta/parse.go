@@ -1,0 +1,99 @@
+package delta
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pprengine/internal/graph"
+)
+
+// ParseMutations reads the line-oriented mutation format used by
+// `pprquery -mutate` and `POST /mutate`:
+//
+//	add-edge <src> <dst> <weight>
+//	del-edge <src> <dst>
+//	add-vertex <id>
+//
+// IDs are global node IDs; blank lines and #-comments are ignored. New
+// vertices must use the next dense global ID (the coordinator rejects gaps).
+func ParseMutations(r io.Reader) ([]Mutation, error) {
+	var out []Mutation
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		switch f[0] {
+		case "add-edge":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("line %d: add-edge wants <src> <dst> <weight>", line)
+			}
+			src, err1 := parseNode(f[1])
+			dst, err2 := parseNode(f[2])
+			w, err3 := strconv.ParseFloat(f[3], 32)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("line %d: bad add-edge %q", line, text)
+			}
+			out = append(out, Mutation{Op: OpAddEdge, Src: src, Dst: dst, Weight: float32(w)})
+		case "del-edge":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("line %d: del-edge wants <src> <dst>", line)
+			}
+			src, err1 := parseNode(f[1])
+			dst, err2 := parseNode(f[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad del-edge %q", line, text)
+			}
+			out = append(out, Mutation{Op: OpDelEdge, Src: src, Dst: dst})
+		case "add-vertex":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("line %d: add-vertex wants <id>", line)
+			}
+			id, err := parseNode(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad add-vertex %q", line, text)
+			}
+			out = append(out, Mutation{Op: OpAddVertex, Src: id})
+		default:
+			return nil, fmt.Errorf("line %d: unknown mutation %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseNode(s string) (graph.NodeID, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad node ID %q", s)
+	}
+	return graph.NodeID(v), nil
+}
+
+// FormatMutations renders mutations back to the line format ParseMutations
+// reads — the round-trip `pprquery -mutate` uses to forward a validated
+// file to the coordinator's /mutate endpoint.
+func FormatMutations(muts []Mutation) string {
+	var b strings.Builder
+	for _, m := range muts {
+		switch m.Op {
+		case OpAddEdge:
+			fmt.Fprintf(&b, "add-edge %d %d %g\n", m.Src, m.Dst, m.Weight)
+		case OpDelEdge:
+			fmt.Fprintf(&b, "del-edge %d %d\n", m.Src, m.Dst)
+		case OpAddVertex:
+			fmt.Fprintf(&b, "add-vertex %d\n", m.Src)
+		}
+	}
+	return b.String()
+}

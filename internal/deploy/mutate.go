@@ -1,0 +1,128 @@
+// Mutation bootstrap for real deployments: every serving process gets a
+// delta-CSR store over its shard, and exactly one process (the coordinator)
+// additionally resolves client mutations and broadcasts epoch-stamped
+// batches to its peers — the file-based analogue of cluster.Options.Mutable.
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pprengine/internal/core"
+	"pprengine/internal/delta"
+	"pprengine/internal/rpc"
+	"pprengine/internal/shard"
+	"pprengine/internal/wire"
+)
+
+// MutateOptions configures a serving process's mutation tier.
+type MutateOptions struct {
+	// Coordinator makes this process the cluster's mutation coordinator:
+	// it accepts client mutations, assigns epochs from its own store, and
+	// mirrors batches to every peer. Exactly one process per deployment
+	// must set it (conventionally shard 0's).
+	Coordinator bool
+	// CompactInterval, when > 0, runs the background compactor at that
+	// period. 0 leaves compaction to the MaxEpochs overflow trigger.
+	CompactInterval time.Duration
+	// MaxEpochs caps live (uncompacted) epochs; an Apply pushing past it
+	// triggers a compaction. 0 = unbounded.
+	MaxEpochs int
+}
+
+// EnableMutations upgrades a running storage server into a mutation
+// endpoint: its shard gains a delta-CSR store, the ApplyMutations and
+// epoch-pinned fetch handlers are registered, and compute (when non-nil,
+// the process's query handle) reads through the store with epoch pinning
+// at admission. With opts.Coordinator set it also builds the deployment's
+// mutation coordinator over the peer addresses (the same map EnableQueries
+// uses); the returned coordinator is nil otherwise. The returned cleanup
+// stops the compactor and closes the coordinator's clients. ctx bounds the
+// coordinator's peer dials.
+func EnableMutations(ctx context.Context, srv *core.StorageServer, compute *core.DistGraphStorage, peers map[int32]string, opts MutateOptions, lat rpc.LatencyModel) (*delta.Store, *delta.Coordinator, func(), error) {
+	store := delta.NewStore(srv.Locator, map[int32]*shard.Shard{srv.Shard.ShardID: srv.Shard})
+	if opts.MaxEpochs > 0 {
+		store.SetMaxEpochs(opts.MaxEpochs)
+	}
+	srv.AttachDelta(store)
+	if compute != nil {
+		compute.AttachDelta(store)
+		if compute.Admit != nil {
+			// Queries pin their mutation epoch at admission, so a query
+			// queued behind a burst still reads its admission snapshot.
+			compute.Admit.SetEpochSource(store.PinCurrent, store.Unpin)
+		}
+	}
+	var stops []func()
+	if opts.CompactInterval > 0 {
+		stops = append(stops, store.StartCompactor(opts.CompactInterval))
+	}
+	cleanup := func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+	if !opts.Coordinator {
+		return store, nil, cleanup, nil
+	}
+
+	// Coordinator: one applier per peer shard (the local store was already
+	// written by Coordinator.Apply, so its slot stays nil), and a row
+	// fetcher that reads a mutation source's current row from its owner.
+	k := srv.Shard.NumShards
+	clients := make([]*rpc.Client, k)
+	for j := int32(0); j < k; j++ {
+		if j == srv.Shard.ShardID {
+			continue
+		}
+		addr, ok := peers[j]
+		if !ok {
+			cleanup()
+			return nil, nil, nil, fmt.Errorf("deploy: coordinator needs a peer address for shard %d", j)
+		}
+		c, err := dialPeer(ctx, addr, lat)
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, fmt.Errorf("deploy: dial shard %d at %s: %w", j, addr, err)
+		}
+		clients[j] = c
+		stops = append(stops, func() { c.Close() })
+	}
+	appliers := make([]delta.Applier, k)
+	for j := int32(0); j < k; j++ {
+		if clients[j] == nil {
+			continue
+		}
+		cl := clients[j]
+		appliers[j] = func(ctx context.Context, payload []byte) error {
+			resp, err := cl.SyncCallCtx(ctx, rpc.MethodApplyMutations, payload)
+			if err != nil {
+				return err
+			}
+			_, err = wire.DecodeMutationAck(resp)
+			return err
+		}
+	}
+	fetch := func(ctx context.Context, sh, local int32, epoch uint64) (delta.RemoteRow, error) {
+		if clients[sh] == nil {
+			return delta.RemoteRow{}, fmt.Errorf("deploy: no client for shard %d", sh)
+		}
+		resp, err := clients[sh].SyncCallCtx(ctx, rpc.MethodGetNeighborInfosAt,
+			wire.EncodeIDListAt(epoch, []int32{local}))
+		if err != nil {
+			return delta.RemoteRow{}, err
+		}
+		infos, err := wire.DecodeCSR(resp)
+		if err != nil {
+			return delta.RemoteRow{}, err
+		}
+		if infos.NumRows() != 1 {
+			return delta.RemoteRow{}, fmt.Errorf("deploy: row fetch returned %d rows, want 1", infos.NumRows())
+		}
+		locals, shards, weights, _ := infos.Row(0)
+		return delta.RemoteRow{Locals: locals, Shards: shards, Weights: weights, WDeg: infos.RowWDeg[0]}, nil
+	}
+	coord := delta.NewCoordinator(store, appliers, fetch)
+	return store, coord, cleanup, nil
+}

@@ -298,6 +298,30 @@ var (
 	// never also counted as a failover.
 	Hedges    Counter
 	HedgeWins Counter
+	// MutationBatches / MutationOps count resolved mutation batches applied
+	// to a delta store and the individual ops inside them; the breakdown
+	// counters split ops by kind.
+	MutationBatches  Counter
+	MutationOps      Counter
+	EdgesInserted    Counter
+	EdgesDeleted     Counter
+	VerticesAppended Counter
+	// MutationMirrorFailures counts mutation broadcasts that failed to reach
+	// a machine (the machine applies nothing and serves stale epochs until it
+	// recovers; queries fail over to its replicas).
+	MutationMirrorFailures Counter
+	// Compactions counts delta-store compaction passes; EpochsRetired counts
+	// epochs folded below the compaction boundary and no longer pinnable.
+	Compactions   Counter
+	EpochsRetired Counter
+	// IncrementalHits counts incremental SSPPR queries answered straight from
+	// the cached residual state (mutation frontier missed the query's
+	// footprint); IncrementalRepushes counts queries answered by re-pushing
+	// from the mutated frontier; IncrementalFullRuns counts fallbacks to a
+	// fresh full push (cold cache, retired epoch, or exact mode overlap).
+	IncrementalHits     Counter
+	IncrementalRepushes Counter
+	IncrementalFullRuns Counter
 )
 
 // AtomicBreakdown is a Breakdown safe for concurrent merges: a long-lived

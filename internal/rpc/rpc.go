@@ -49,6 +49,8 @@ const (
 	MethodAllreduce           Method = 7 // gradient sync for the case study
 	MethodSampleNeighbors     Method = 8 // k-hop fanout sampling (GraphSAGE)
 	MethodSSPPRQuery          Method = 9 // owner-compute query dispatch
+	MethodApplyMutations      Method = 10 // resolved mutation batch (delta overlay)
+	MethodGetNeighborInfosAt  Method = 11 // epoch-pinned variant of GetNeighborInfos
 	MethodEcho                Method = 63
 )
 
@@ -498,6 +500,10 @@ func (m Method) name() string {
 		return "SampleNeighbors"
 	case MethodSSPPRQuery:
 		return "SSPPRQuery"
+	case MethodApplyMutations:
+		return "ApplyMutations"
+	case MethodGetNeighborInfosAt:
+		return "GetNeighborInfosAt"
 	case MethodEcho:
 		return "Echo"
 	}

@@ -105,6 +105,11 @@ func (s *Shard) buildHaloRows(g *graph.Graph, loc *Locator) {
 	}
 }
 
+// RebuildHaloIndex reconstructs the halo lookup map from HaloKeys. Callers
+// that assemble a Shard from arrays directly (deserialization, the delta
+// compactor's fresh-base rebuild) use it to make HaloRow work.
+func (s *Shard) RebuildHaloIndex() error { return s.rebuildHaloIndex() }
+
 // rebuildHaloIndex reconstructs the lookup map after deserialization.
 func (s *Shard) rebuildHaloIndex() error {
 	if len(s.HaloKeys) == 0 {

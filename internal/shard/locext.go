@@ -1,0 +1,124 @@
+// Incremental locator maintenance for streaming mutations: new vertices are
+// appended to the Locator through a copy-on-write extension instead of a full
+// Build. The base arrays stay immutable — the hot Locate/Global paths on
+// pre-existing nodes remain plain array indexing with no synchronization —
+// and globals at or beyond the base length resolve through an atomically
+// swapped extension block.
+//
+// Appends follow the same rule Build uses (each shard hands out local IDs in
+// arrival order), so for a stream of strictly increasing global IDs the
+// patched locator is bit-identical to a from-scratch Build of the grown
+// graph with the same assignment. TestLocatorExtendEqualsRebuild pins this.
+package shard
+
+import (
+	"fmt"
+
+	"pprengine/internal/graph"
+)
+
+// locExt is one immutable snapshot of the appended-vertex mappings. Writers
+// clone-and-swap under extMu; readers load the pointer once and index freely.
+type locExt struct {
+	base     int                // len(ShardOf) at build time; globals >= base live here
+	shardOf  []int32            // [global-base] -> shard
+	localOf  []int32            // [global-base] -> local
+	globalOf [][]graph.NodeID   // per shard, locals appended past the base core count
+}
+
+func (l *Locator) loadExt() *locExt { return l.ext.Load() }
+
+// NumNodes returns the number of globals the locator can resolve, including
+// appended vertices.
+func (l *Locator) NumNodes() int {
+	if e := l.loadExt(); e != nil {
+		return e.base + len(e.shardOf)
+	}
+	return len(l.ShardOf)
+}
+
+// BaseCoreCount returns the number of preprocessing-time core locals of sh,
+// excluding appended vertices.
+func (l *Locator) BaseCoreCount(sh int32) int32 { return int32(len(l.GlobalOf[sh])) }
+
+// CoreCount returns the number of core locals of sh, including appended
+// vertices — the next free local ID.
+func (l *Locator) CoreCount(sh int32) int32 {
+	n := int32(len(l.GlobalOf[sh]))
+	if e := l.loadExt(); e != nil {
+		n += int32(len(e.globalOf[sh]))
+	}
+	return n
+}
+
+// Extend registers an appended vertex: global resolves to (sh, local) and
+// Global(sh, local) resolves back. Appends must be dense: global must be the
+// next unmapped global ID and local the next free local of sh. Extend is
+// idempotent — re-registering an identical mapping is a no-op, so the
+// broadcast apply path can patch a locator shared by many stores (the
+// in-process cluster) without double-appending.
+func (l *Locator) Extend(global graph.NodeID, sh, local int32) error {
+	if int(sh) >= l.NumShards() || sh < 0 {
+		return fmt.Errorf("locator: extend to invalid shard %d", sh)
+	}
+	l.extMu.Lock()
+	defer l.extMu.Unlock()
+	old := l.ext.Load()
+	base := len(l.ShardOf)
+	if old != nil {
+		base = old.base
+	}
+	// Idempotence: already mapped?
+	if int(global) < base {
+		return fmt.Errorf("locator: global %d already in base", global)
+	}
+	if old != nil && int(global)-base < len(old.shardOf) {
+		if old.shardOf[int(global)-base] == sh && old.localOf[int(global)-base] == local {
+			return nil
+		}
+		return fmt.Errorf("locator: global %d already mapped to (%d,%d), refusing (%d,%d)",
+			global, old.shardOf[int(global)-base], old.localOf[int(global)-base], sh, local)
+	}
+	next := base
+	if old != nil {
+		next += len(old.shardOf)
+	}
+	if int(global) != next {
+		return fmt.Errorf("locator: non-dense extend: global %d, next unmapped is %d", global, next)
+	}
+	wantLocal := int32(len(l.GlobalOf[sh]))
+	if old != nil {
+		wantLocal += int32(len(old.globalOf[sh]))
+	}
+	if local != wantLocal {
+		return fmt.Errorf("locator: shard %d next free local is %d, got %d", sh, wantLocal, local)
+	}
+	ne := &locExt{base: base, globalOf: make([][]graph.NodeID, l.NumShards())}
+	if old != nil {
+		ne.shardOf = append(ne.shardOf, old.shardOf...)
+		ne.localOf = append(ne.localOf, old.localOf...)
+		for s := range old.globalOf {
+			ne.globalOf[s] = append(ne.globalOf[s], old.globalOf[s]...)
+		}
+	}
+	ne.shardOf = append(ne.shardOf, sh)
+	ne.localOf = append(ne.localOf, local)
+	ne.globalOf[sh] = append(ne.globalOf[sh], global)
+	l.ext.Store(ne)
+	return nil
+}
+
+// TryLocate is Locate for possibly-appended globals: it returns ok=false
+// instead of panicking when v is unmapped.
+func (l *Locator) TryLocate(v graph.NodeID) (sh, local int32, ok bool) {
+	if v < 0 {
+		return 0, 0, false
+	}
+	if int(v) < len(l.ShardOf) {
+		return l.ShardOf[v], l.LocalOf[v], true
+	}
+	if e := l.loadExt(); e != nil && int(v)-e.base < len(e.shardOf) {
+		return e.shardOf[int(v)-e.base], e.localOf[int(v)-e.base], true
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"testing"
+
+	"pprengine/internal/graph"
+	"pprengine/internal/partition"
+)
+
+// TestLocatorExtendEqualsRebuild pins the satellite contract: appending
+// vertices through Extend yields exactly the locator a from-scratch Build of
+// the grown graph produces with the same assignment. Build hands out locals
+// in global-ID order per shard, so a stream of increasing global IDs must
+// land on identical (shard, local) addresses either way.
+func TestLocatorExtendEqualsRebuild(t *testing.T) {
+	const n, k = 10, 3
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		edges = append(edges, graph.Edge{Src: int32(v), Dst: int32((v + 1) % n), Weight: 1})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := partition.HashPartition(n, k)
+	_, loc, err := Build(g, a, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Append three vertices to chosen shards.
+	adds := []struct {
+		global graph.NodeID
+		sh     int32
+	}{{10, 2}, {11, 0}, {12, 2}}
+	for _, ad := range adds {
+		local := loc.CoreCount(ad.sh)
+		if err := loc.Extend(ad.global, ad.sh, local); err != nil {
+			t.Fatal(err)
+		}
+		// Idempotent replay (the broadcast path re-patches a shared locator).
+		if err := loc.Extend(ad.global, ad.sh, local); err != nil {
+			t.Fatalf("idempotent replay: %v", err)
+		}
+	}
+	// Conflicting replay must be refused.
+	if err := loc.Extend(10, 1, loc.CoreCount(1)); err == nil {
+		t.Fatal("conflicting re-extend accepted")
+	}
+	// Non-dense global must be refused.
+	if err := loc.Extend(99, 0, loc.CoreCount(0)); err == nil {
+		t.Fatal("non-dense extend accepted")
+	}
+
+	// From-scratch rebuild of the grown graph (new vertices need no edges for
+	// the locator; reuse the same ring).
+	g2, err := graph.FromEdges(n+len(adds), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := append(append(partition.Assignment{}, a...), 2, 0, 2)
+	_, loc2, err := Build(g2, a2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loc.NumNodes() != loc2.NumNodes() {
+		t.Fatalf("NumNodes %d != %d", loc.NumNodes(), loc2.NumNodes())
+	}
+	for v := graph.NodeID(0); int(v) < loc.NumNodes(); v++ {
+		s1, l1 := loc.Locate(v)
+		s2, l2 := loc2.Locate(v)
+		if s1 != s2 || l1 != l2 {
+			t.Errorf("Locate(%d): patched (%d,%d), rebuilt (%d,%d)", v, s1, l1, s2, l2)
+		}
+	}
+	for sh := int32(0); sh < k; sh++ {
+		if loc.CoreCount(sh) != loc2.CoreCount(sh) {
+			t.Fatalf("shard %d core count %d != %d", sh, loc.CoreCount(sh), loc2.CoreCount(sh))
+		}
+		for l := int32(0); l < loc.CoreCount(sh); l++ {
+			if loc.Global(sh, l) != loc2.Global(sh, l) {
+				t.Errorf("Global(%d,%d): patched %d, rebuilt %d", sh, l, loc.Global(sh, l), loc2.Global(sh, l))
+			}
+		}
+	}
+
+	// TryLocate covers appended and unknown globals.
+	if sh, l, ok := loc.TryLocate(11); !ok || sh != 0 || l != loc.BaseCoreCount(0) {
+		t.Fatalf("TryLocate(11) = (%d,%d,%v)", sh, l, ok)
+	}
+	if _, _, ok := loc.TryLocate(13); ok {
+		t.Fatal("TryLocate of unmapped global succeeded")
+	}
+}

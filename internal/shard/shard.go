@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"pprengine/internal/graph"
 	"pprengine/internal/partition"
@@ -143,22 +145,49 @@ func (s *Shard) Validate() error {
 }
 
 // Locator maps between global node IDs and (shard, local) addresses for a
-// partitioned graph. Built once at preprocessing time.
+// partitioned graph. Built at preprocessing time; vertices appended by the
+// streaming-mutation tier are grafted on through a copy-on-write extension
+// (see locext.go) so the base arrays stay immutable and lock-free to read.
 type Locator struct {
 	ShardOf []int32 // global -> shard
 	LocalOf []int32 // global -> local ID within its shard
 	// GlobalOf[shard][local] -> global
 	GlobalOf [][]graph.NodeID
+
+	extMu sync.Mutex // serializes Extend; readers never take it
+	ext   atomic.Pointer[locExt]
 }
 
-// Locate returns the (shard, local) address of global node v.
+// Locate returns the (shard, local) address of global node v, or (-1, -1)
+// when v is unknown to this locator — e.g. a vertex appended by the
+// streaming-mutation tier after this locator was serialized to a file.
 func (l *Locator) Locate(v graph.NodeID) (shard, local int32) {
-	return l.ShardOf[v], l.LocalOf[v]
+	if v >= 0 && int(v) < len(l.ShardOf) {
+		return l.ShardOf[v], l.LocalOf[v]
+	}
+	if e := l.ext.Load(); e != nil {
+		if i := int(v) - e.base; i >= 0 && i < len(e.shardOf) {
+			return e.shardOf[i], e.localOf[i]
+		}
+	}
+	return -1, -1
 }
 
-// Global returns the global ID for a (shard, local) address.
+// Global returns the global ID for a (shard, local) address, or -1 when the
+// address is unknown to this locator (see Locate).
 func (l *Locator) Global(shard, local int32) graph.NodeID {
-	return l.GlobalOf[shard][local]
+	if shard < 0 || int(shard) >= len(l.GlobalOf) || local < 0 {
+		return -1
+	}
+	if int(local) < len(l.GlobalOf[shard]) {
+		return l.GlobalOf[shard][local]
+	}
+	if e := l.ext.Load(); e != nil {
+		if i := int(local) - len(l.GlobalOf[shard]); i < len(e.globalOf[shard]) {
+			return e.globalOf[shard][i]
+		}
+	}
+	return -1
 }
 
 // NumShards returns the shard count.
